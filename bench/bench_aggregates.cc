@@ -1,0 +1,154 @@
+// E4 — §6 temporal aggregates.
+//
+// Three processing strategies for aggregate conditions:
+//   * direct  — in-evaluator accumulator / monotonic-deque machines,
+//     O(1) amortized per state regardless of window width;
+//   * rewrite — the §6.1.1 auxiliary-item construction (engine level, real
+//     tables + generated reset/accumulate rules);
+//   * naive   — recompute the aggregate from the recorded history at every
+//     state, O(window) per state.
+//
+// Series: per-update cost vs window width w (naive grows with w, direct is
+// flat), and direct-vs-rewrite engine throughput for the paper's
+// start/sample aggregates.
+
+#include <benchmark/benchmark.h>
+
+#include "common/clock.h"
+#include "db/database.h"
+#include "eval/incremental.h"
+#include "ptl/naive_eval.h"
+#include "ptl/parser.h"
+#include "rules/engine.h"
+#include "workloads.h"
+
+namespace ptldb {
+namespace {
+
+ptl::Analysis MustAnalyze(const std::string& text) {
+  auto f = ptl::ParseFormula(text);
+  if (!f.ok()) std::abort();
+  auto a = ptl::Analyze(*f);
+  if (!a.ok()) std::abort();
+  return std::move(a).value();
+}
+
+// Window-aggregate condition of width w over one price stream.
+std::string WindowCondition(int w) {
+  return "wavg(price('IBM'), " + std::to_string(w) + ") > 50 AND "
+         "wmax(price('IBM'), " + std::to_string(w) + ") < 200";
+}
+
+void BM_Window_Direct(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  const size_t n = 8192;
+  bench::Rng rng(3);
+  auto snapshots = bench::PriceSnapshots(&rng, bench::PricePath(&rng, n));
+  size_t fired = 0;
+  for (auto _ : state) {
+    auto ev = eval::IncrementalEvaluator::Make(MustAnalyze(WindowCondition(w)));
+    if (!ev.ok()) std::abort();
+    for (const auto& s : snapshots) {
+      auto r = ev->Step(s);
+      if (!r.ok()) std::abort();
+      fired += *r;
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+  state.counters["sec_per_update"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_Window_NaiveRecompute(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  const size_t n = 2048;  // O(n * w): keep n smaller
+  bench::Rng rng(3);
+  auto snapshots = bench::PriceSnapshots(&rng, bench::PricePath(&rng, n));
+  ptl::Analysis analysis = MustAnalyze(WindowCondition(w));
+  size_t fired = 0;
+  for (auto _ : state) {
+    ptl::NaiveEvaluator ev(&analysis);
+    for (const auto& s : snapshots) {
+      ev.Observe(s);
+      auto r = ev.SatisfiedAtEnd();
+      if (!r.ok()) std::abort();
+      fired += *r;
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+  state.counters["sec_per_update"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+// Engine-level: the paper's avg(price; start; sample) under both modes.
+void RunEngineAggregate(benchmark::State& state, rules::AggregateMode mode) {
+  const size_t kUpdates = 512;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimClock clock(0);
+    db::Database database(&clock);
+    rules::RuleEngine engine(&database);
+    Status s = database.CreateTable(
+        "stock", db::Schema({{"name", ValueType::kString},
+                             {"price", ValueType::kDouble}}),
+        {"name"});
+    if (!s.ok()) std::abort();
+    s = database.InsertRow("stock", {Value::Str("IBM"), Value::Real(50)});
+    if (!s.ok()) std::abort();
+    s = engine.queries().Register(
+        "price", "SELECT price FROM stock WHERE name = $sym", {"sym"});
+    if (!s.ok()) std::abort();
+    s = engine.AddTrigger(
+        "avg_watch", "avg(price('IBM'); @open; @sample) > 50",
+        [](rules::ActionContext&) -> Status { return Status::OK(); },
+        rules::RuleOptions{.aggregate_mode = mode, .record_execution = false});
+    if (!s.ok()) std::abort();
+    bench::Rng rng(5);
+    auto path = bench::PricePath(&rng, kUpdates);
+    state.ResumeTiming();
+
+    if (!database.RaiseEvent(event::Event{"open", {}}).ok()) std::abort();
+    for (size_t i = 0; i < kUpdates; ++i) {
+      clock.Advance(1);
+      db::ParamMap params{{"p", Value::Real(static_cast<double>(path[i]))}};
+      auto n = database.UpdateRows("stock", {{"price", "$p"}}, "name = 'IBM'",
+                                   &params);
+      if (!n.ok()) std::abort();
+      if (i % 4 == 0) {
+        clock.Advance(1);
+        if (!database.RaiseEvent(event::Event{"sample", {}}).ok()) std::abort();
+      }
+    }
+  }
+  state.counters["sec_per_update"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(kUpdates),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_Engine_AggDirect(benchmark::State& state) {
+  RunEngineAggregate(state, rules::AggregateMode::kDirect);
+}
+void BM_Engine_AggRewrite(benchmark::State& state) {
+  RunEngineAggregate(state, rules::AggregateMode::kRewrite);
+}
+
+BENCHMARK(BM_Window_Direct)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Window_NaiveRecompute)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Engine_AggDirect)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Engine_AggRewrite)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ptldb
+
+BENCHMARK_MAIN();

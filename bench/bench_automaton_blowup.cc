@@ -1,0 +1,97 @@
+// E5 — §10 comparison with event expressions: automaton-size blowup.
+//
+// The classic determinization family L_k = (a|b)* a (a|b)^k needs ~2^(k+1)
+// DFA states; the equivalent PTL condition Lasttime^k @a has linear compiled
+// size and O(1) retained state. The paper (citing Stockmeyer) notes the
+// event-expression automaton "can be superexponential in the length of the
+// event expression... the space complexity of our algorithm does not suffer
+// from this blowup".
+//
+// Series: DFA states + compile time vs k, against the PTL evaluator's
+// compiled units + per-event cost on the same stream.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/automaton.h"
+#include "baseline/event_regex.h"
+#include "eval/incremental.h"
+#include "ptl/parser.h"
+#include "workloads.h"
+
+namespace ptldb {
+namespace {
+
+void BM_EventExpressionDfa(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  size_t states_built = 0;
+  size_t detections = 0;
+  // Pre-generate an event stream.
+  bench::Rng rng(17);
+  std::vector<std::string> stream;
+  for (int i = 0; i < 4096; ++i) {
+    stream.push_back(rng.Chance(0.5) ? "a" : "b");
+  }
+  for (auto _ : state) {
+    baseline::RegexFactory f;
+    baseline::RegexId ab = f.Union(f.Symbol("a"), f.Symbol("b"));
+    baseline::RegexId r = f.Concat(f.Star(ab), f.Symbol("a"));
+    for (int i = 0; i < k; ++i) r = f.Concat(r, ab);
+    auto dfa = baseline::Dfa::Compile(&f, r, /*max_states=*/1 << 22);
+    if (!dfa.ok()) std::abort();
+    states_built = dfa->num_states();
+    baseline::EventExpressionDetector det(*dfa);
+    for (const std::string& e : stream) detections += det.Observe(e);
+  }
+  benchmark::DoNotOptimize(detections);
+  state.counters["dfa_states"] =
+      benchmark::Counter(static_cast<double>(states_built));
+}
+
+void BM_PtlEquivalent(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  // Lasttime^k @a: "the event k states ago was a".
+  std::string condition = "@a";
+  for (int i = 0; i < k; ++i) condition = "LASTTIME (" + condition + ")";
+  bench::Rng rng(17);
+  std::vector<ptl::StateSnapshot> stream;
+  for (int i = 0; i < 4096; ++i) {
+    ptl::StateSnapshot s;
+    s.seq = static_cast<size_t>(i);
+    s.time = i + 1;
+    s.events.push_back(event::Event{rng.Chance(0.5) ? "a" : "b", {}});
+    stream.push_back(std::move(s));
+  }
+  size_t detections = 0;
+  size_t retained = 0;
+  for (auto _ : state) {
+    auto f = ptl::ParseFormula(condition);
+    if (!f.ok()) std::abort();
+    auto a = ptl::Analyze(*f);
+    if (!a.ok()) std::abort();
+    auto ev = eval::IncrementalEvaluator::Make(std::move(a).value());
+    if (!ev.ok()) std::abort();
+    for (const auto& s : stream) {
+      auto fired = ev->Step(s);
+      if (!fired.ok()) std::abort();
+      detections += *fired;
+    }
+    retained = ev->LiveNodeCount();
+  }
+  benchmark::DoNotOptimize(detections);
+  state.counters["compiled_size"] = benchmark::Counter(
+      static_cast<double>(ptl::FormulaSize(*ptl::ParseFormula(condition))));
+  state.counters["retained_nodes"] =
+      benchmark::Counter(static_cast<double>(retained));
+}
+
+BENCHMARK(BM_EventExpressionDfa)
+    ->DenseRange(2, 16, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PtlEquivalent)
+    ->DenseRange(2, 16, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ptldb
+
+BENCHMARK_MAIN();

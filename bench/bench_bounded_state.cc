@@ -1,0 +1,82 @@
+// E2 — §5 optimizations: bounded temporal operators keep *bounded* retained
+// state when the optimizations (time-bound pruning + interval subsumption)
+// are on; with both off the retained disjunction grows with the updates.
+//
+// Series: max live graph nodes (and final per-update cost) vs update count,
+// pruning on/off, for a WITHIN window condition whose inner predicate stays
+// symbolic on ~2/7 of states.
+
+#include <benchmark/benchmark.h>
+
+#include "eval/incremental.h"
+#include "ptl/parser.h"
+#include "workloads.h"
+
+namespace ptldb {
+namespace {
+
+ptl::Analysis MustAnalyze(const char* text) {
+  auto f = ptl::ParseFormula(text);
+  if (!f.ok()) std::abort();
+  auto a = ptl::Analyze(*f);
+  if (!a.ok()) std::abort();
+  return std::move(a).value();
+}
+
+constexpr const char* kCondition = "WITHIN(price('IBM') >= 100, 32)";
+
+void RunOnce(benchmark::State& state, bool pruning) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  size_t max_live = 0;
+  double fired_total = 0;
+  for (auto _ : state) {
+    auto ev = eval::IncrementalEvaluator::Make(
+        MustAnalyze(kCondition),
+        eval::IncrementalEvaluator::Options{.time_pruning = pruning,
+                                            .subsumption = pruning});
+    if (!ev.ok()) std::abort();
+    Timestamp now = 0;
+    for (size_t i = 0; i < n; ++i) {
+      ptl::StateSnapshot s;
+      s.seq = i;
+      s.time = ++now;
+      // Price crosses the threshold on 2 of every 7 states, leaving residual
+      // time clauses in the retained state.
+      s.query_values.push_back(Value::Int(static_cast<int64_t>(i % 7) * 20));
+      auto fired = ev->Step(s);
+      if (!fired.ok()) std::abort();
+      fired_total += *fired;
+      max_live = std::max(max_live, ev->LiveNodeCount());
+      ev->MaybeCollect();
+    }
+  }
+  benchmark::DoNotOptimize(fired_total);
+  state.counters["max_live_nodes"] =
+      benchmark::Counter(static_cast<double>(max_live));
+  state.counters["sec_per_update"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_BoundedState_Pruned(benchmark::State& state) { RunOnce(state, true); }
+void BM_BoundedState_NoPruning(benchmark::State& state) {
+  RunOnce(state, false);
+}
+
+BENCHMARK(BM_BoundedState_Pruned)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+// Unpruned state grows linearly (and per-update cost superlinearly): keep the
+// sweep smaller.
+BENCHMARK(BM_BoundedState_NoPruning)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ptldb
+
+BENCHMARK_MAIN();

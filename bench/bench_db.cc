@@ -1,0 +1,161 @@
+// E9 — substrate sanity: query-engine throughput, so the E1–E8 numbers are
+// interpretable relative to the cost of the underlying "Sybase substitute".
+//
+// Series: scan+filter, point lookup via primary key, hash join, grouped
+// aggregation, and transactional update throughput vs table size.
+
+#include <benchmark/benchmark.h>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "db/database.h"
+#include "workloads.h"
+
+namespace ptldb {
+namespace {
+
+// Populates `stock` with n rows across 16 sectors.
+void Populate(db::Database* database, size_t n) {
+  PTLDB_CHECK_OK(database->CreateTable(
+      "stock", db::Schema({{"name", ValueType::kString},
+                           {"price", ValueType::kDouble},
+                           {"sector", ValueType::kInt64}}),
+      {"name"}));
+  PTLDB_CHECK_OK(database->CreateTable(
+      "sector_info", db::Schema({{"sector", ValueType::kInt64},
+                                 {"region", ValueType::kString}})));
+  bench::Rng rng(53);
+  for (size_t i = 0; i < n; ++i) {
+    PTLDB_CHECK_OK(database->InsertRow(
+        "stock", {Value::Str("S" + std::to_string(i)),
+                  Value::Real(static_cast<double>(rng.Range(1, 500))),
+                  Value::Int(static_cast<int64_t>(i % 16))}));
+  }
+  for (int64_t s = 0; s < 16; ++s) {
+    PTLDB_CHECK_OK(database->InsertRow(
+        "sector_info", {Value::Int(s), Value::Str("R" + std::to_string(s))}));
+  }
+}
+
+void BM_ScanFilter(benchmark::State& state) {
+  SimClock clock(0);
+  db::Database database(&clock);
+  Populate(&database, static_cast<size_t>(state.range(0)));
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = database.QuerySql("SELECT name FROM stock WHERE price >= 400");
+    if (!r.ok()) std::abort();
+    rows += r->size();
+  }
+  benchmark::DoNotOptimize(rows);
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_PointLookup(benchmark::State& state) {
+  SimClock clock(0);
+  db::Database database(&clock);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Populate(&database, n);
+  auto table = database.catalog().GetTable("stock");
+  if (!table.ok()) std::abort();
+  bench::Rng rng(59);
+  size_t hits = 0;
+  for (auto _ : state) {
+    db::Tuple key{Value::Str("S" + std::to_string(rng.Below(n)))};
+    hits += (*table)->FindByKey(key) != nullptr;
+  }
+  benchmark::DoNotOptimize(hits);
+}
+
+void BM_SqlPointLookup(benchmark::State& state) {
+  SimClock clock(0);
+  db::Database database(&clock);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Populate(&database, n);
+  bench::Rng rng(67);
+  size_t rows = 0;
+  for (auto _ : state) {
+    db::ParamMap params{{"n", Value::Str("S" + std::to_string(rng.Below(n)))}};
+    auto r = database.QuerySql("SELECT price FROM stock WHERE name = $n",
+                               &params);
+    if (!r.ok()) std::abort();
+    rows += r->size();
+  }
+  benchmark::DoNotOptimize(rows);
+}
+
+void BM_HashJoin(benchmark::State& state) {
+  SimClock clock(0);
+  db::Database database(&clock);
+  Populate(&database, static_cast<size_t>(state.range(0)));
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = database.QuerySql(
+        "SELECT a.name, b.region FROM stock AS a JOIN sector_info AS b "
+        "ON a.sector = b.sector WHERE a.price >= 250");
+    if (!r.ok()) std::abort();
+    rows += r->size();
+  }
+  benchmark::DoNotOptimize(rows);
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_GroupedAggregate(benchmark::State& state) {
+  SimClock clock(0);
+  db::Database database(&clock);
+  Populate(&database, static_cast<size_t>(state.range(0)));
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = database.QuerySql(
+        "SELECT sector, COUNT(*) AS n, AVG(price) AS avg_price FROM stock "
+        "GROUP BY sector");
+    if (!r.ok()) std::abort();
+    rows += r->size();
+  }
+  benchmark::DoNotOptimize(rows);
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_TransactionalUpdate(benchmark::State& state) {
+  SimClock clock(0);
+  db::Database database(&clock);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Populate(&database, n);
+  bench::Rng rng(61);
+  size_t updates = 0;
+  for (auto _ : state) {
+    clock.Advance(1);
+    db::ParamMap params{
+        {"n", Value::Str("S" + std::to_string(rng.Below(n)))},
+        {"p", Value::Real(static_cast<double>(rng.Range(1, 500)))}};
+    auto r = database.UpdateRows("stock", {{"price", "$p"}}, "name = $n",
+                                 &params);
+    if (!r.ok()) std::abort();
+    updates += *r;
+  }
+  benchmark::DoNotOptimize(updates);
+}
+
+BENCHMARK(BM_ScanFilter)->Arg(1000)->Arg(100000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PointLookup)->Arg(100000);
+BENCHMARK(BM_SqlPointLookup)->Arg(100000);
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(100000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GroupedAggregate)
+    ->Arg(1000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TransactionalUpdate)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace ptldb
+
+BENCHMARK_MAIN();

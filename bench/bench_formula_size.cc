@@ -1,0 +1,90 @@
+// E8 — §5 formula-size scaling: per-update cost of the incremental evaluator
+// is polynomial (here: roughly linear) in the size of the condition.
+//
+// Conditions are balanced trees alternating AND/OR/SINCE over event and
+// comparison atoms, generated deterministically at each target size.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "eval/incremental.h"
+#include "ptl/parser.h"
+#include "workloads.h"
+
+namespace ptldb {
+namespace {
+
+// Builds a formula of roughly `size` AST nodes.
+std::string BuildFormula(int size, bench::Rng* rng, int depth = 0) {
+  if (size <= 3) {
+    switch (rng->Below(3)) {
+      case 0:
+        return "@sample";
+      case 1:
+        return "price('IBM') > " + std::to_string(rng->Range(10, 90));
+      default:
+        return "price('IBM') <= " + std::to_string(rng->Range(40, 200));
+    }
+  }
+  const char* op;
+  switch (rng->Below(4)) {
+    case 0:
+      op = " AND ";
+      break;
+    case 1:
+      op = " OR ";
+      break;
+    case 2:
+      op = " SINCE ";
+      break;
+    default:
+      return "PREVIOUSLY (" + BuildFormula(size - 1, rng, depth + 1) + ")";
+  }
+  int left = size / 2;
+  return "(" + BuildFormula(left, rng, depth + 1) + op +
+         BuildFormula(size - left - 1, rng, depth + 1) + ")";
+}
+
+void BM_FormulaSize(benchmark::State& state) {
+  const int target = static_cast<int>(state.range(0));
+  const size_t n = 4096;
+  bench::Rng gen_rng(static_cast<uint64_t>(target) * 977 + 1);
+  std::string condition = BuildFormula(target, &gen_rng);
+  auto f = ptl::ParseFormula(condition);
+  if (!f.ok()) std::abort();
+  size_t actual_size = ptl::FormulaSize(*f);
+
+  bench::Rng rng(41);
+  auto snapshots = bench::PriceSnapshots(&rng, bench::PricePath(&rng, n));
+  size_t fired = 0;
+  for (auto _ : state) {
+    auto a = ptl::Analyze(*f);
+    if (!a.ok()) std::abort();
+    auto ev = eval::IncrementalEvaluator::Make(std::move(a).value());
+    if (!ev.ok()) std::abort();
+    for (const auto& s : snapshots) {
+      auto r = ev->Step(s);
+      if (!r.ok()) std::abort();
+      fired += *r;
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+  state.counters["formula_nodes"] =
+      benchmark::Counter(static_cast<double>(actual_size));
+  state.counters["sec_per_update"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+BENCHMARK(BM_FormulaSize)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ptldb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// E6 — §9 valid time: the cost of the two trigger disciplines.
+//
+//   * Tentative triggers replay the evaluation from the oldest retroactively
+//     updated state: work per commit grows with the retro depth (how far back
+//     the valid time reaches).
+//   * Definite triggers step each state exactly once but only after it is
+//     delta old: firing latency is >= delta by construction.
+//
+// Series: per-commit cost vs retro depth (tentative), and measured firing
+// latency vs delta (definite).
+
+#include <benchmark/benchmark.h>
+
+#include "common/clock.h"
+#include "validtime/vt.h"
+#include "workloads.h"
+
+namespace ptldb {
+namespace {
+
+void BM_TentativeReplay(benchmark::State& state) {
+  const Timestamp retro_depth = state.range(0);
+  const size_t kCommits = 256;
+  size_t fired = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimClock clock(0);
+    validtime::VtDatabase db(&clock, /*max_delay=*/4096);
+    Status s = db.AddTentativeTrigger("watch", "PREVIOUSLY IBM() > 95",
+                                      [&fired](Timestamp) { ++fired; });
+    if (!s.ok()) std::abort();
+    bench::Rng rng(23);
+    auto path = bench::PricePath(&rng, kCommits);
+    // Warm up a linear history so retro updates have something to reach into.
+    Timestamp now = retro_depth + 10;
+    state.ResumeTiming();
+    for (size_t i = 0; i < kCommits; ++i) {
+      now += 2;
+      clock.Set(now);
+      auto txn = db.Begin();
+      if (!txn.ok()) std::abort();
+      // Every commit reaches `retro_depth` ticks into the past.
+      Status u = db.Update(*txn, "IBM", Value::Int(path[i]),
+                           now - retro_depth);
+      if (!u.ok()) std::abort();
+      if (!db.Commit(*txn).ok()) std::abort();
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+  state.counters["sec_per_commit"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(kCommits),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_DefiniteLatency(benchmark::State& state) {
+  const Timestamp delta = state.range(0);
+  const size_t kCommits = 256;
+  double total_latency = 0;
+  size_t firings = 0;
+  for (auto _ : state) {
+    SimClock clock(0);
+    validtime::VtDatabase db(&clock, delta);
+    Timestamp now = delta + 1;
+    Timestamp* now_ptr = &now;
+    std::vector<std::pair<Timestamp, Timestamp>> lat;  // (valid time, seen at)
+    Status s = db.AddDefiniteTrigger(
+        "watch", "IBM() > 95", [now_ptr, &lat](Timestamp at) {
+          lat.emplace_back(at, *now_ptr);
+        });
+    if (!s.ok()) std::abort();
+    bench::Rng rng(29);
+    for (size_t i = 0; i < kCommits; ++i) {
+      now += 2;
+      clock.Set(now);
+      auto txn = db.Begin();
+      if (!txn.ok()) std::abort();
+      // Alternate spikes and calm prices.
+      int64_t price = (i % 8 == 0) ? 120 : 60;
+      if (!db.Update(*txn, "IBM", Value::Int(price), now).ok()) std::abort();
+      if (!db.Commit(*txn).ok()) std::abort();
+    }
+    clock.Set(now + delta + 2);
+    if (!db.AdvanceDefinite().ok()) std::abort();
+    for (const auto& [at, seen] : lat) {
+      total_latency += static_cast<double>(seen - at);
+      ++firings;
+    }
+  }
+  state.counters["avg_fire_latency_ticks"] = benchmark::Counter(
+      firings == 0 ? 0 : total_latency / static_cast<double>(firings));
+  state.counters["firings"] =
+      benchmark::Counter(static_cast<double>(firings));
+}
+
+BENCHMARK(BM_TentativeReplay)
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DefiniteLatency)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ptldb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Shared synthetic workloads for the experiment suite (DESIGN.md §3).
+//
+// The paper's evaluation domain is stock tickers; these generators produce
+// deterministic random-walk price series and event streams so every bench
+// run is reproducible.
+
+#ifndef PTLDB_BENCH_WORKLOADS_H_
+#define PTLDB_BENCH_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "event/event.h"
+#include "ptl/snapshot.h"
+
+namespace ptldb::bench {
+
+/// Deterministic xorshift RNG (same generator as the test suite).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  uint64_t Below(uint64_t n) { return Next() % n; }
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+  bool Chance(double p) {
+    return static_cast<double>(Next() % 1000000) < p * 1000000;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// A random-walk price path of `n` steps starting at `start`, clamped to
+/// [1, 10 * start].
+inline std::vector<int64_t> PricePath(Rng* rng, size_t n, int64_t start = 50) {
+  std::vector<int64_t> path;
+  path.reserve(n);
+  int64_t price = start;
+  for (size_t i = 0; i < n; ++i) {
+    price += rng->Range(-3, 3);
+    if (price < 1) price = 1;
+    if (price > 10 * start) price = 10 * start;
+    path.push_back(price);
+  }
+  return path;
+}
+
+/// Builds snapshots with one query slot carrying `path[i]`, time advancing by
+/// 1..3 ticks, and a `sample` event with probability `event_rate`.
+inline std::vector<ptl::StateSnapshot> PriceSnapshots(
+    Rng* rng, const std::vector<int64_t>& path, size_t num_slots = 1,
+    double event_rate = 0.25) {
+  std::vector<ptl::StateSnapshot> out;
+  out.reserve(path.size());
+  Timestamp now = 0;
+  for (size_t i = 0; i < path.size(); ++i) {
+    ptl::StateSnapshot s;
+    s.seq = i;
+    now += rng->Range(1, 3);
+    s.time = now;
+    if (rng->Chance(event_rate)) {
+      s.events.push_back(event::Event{"sample", {}});
+    }
+    for (size_t q = 0; q < num_slots; ++q) {
+      s.query_values.push_back(Value::Int(path[i] + static_cast<int64_t>(q)));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace ptldb::bench
+
+#endif  // PTLDB_BENCH_WORKLOADS_H_

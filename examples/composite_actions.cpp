@@ -1,0 +1,122 @@
+// Composite and temporal actions (§7), programmed with the `executed`
+// machinery.
+//
+//   * A composite action A = (A1; then A2 ten ticks later): rule r1 runs A1;
+//     rule r2 is a family over the __executed relation firing when
+//     time >= t0 + 10.
+//   * The paper's periodic action: "when price(IBM) < 60, BUY 50 IBM stocks
+//     every 10 minutes for the next hour (as long as the condition persists)"
+//     — r_buy fires on the condition; r_rebuy re-fires off its own execution
+//     record every 10 ticks while within the hour and the price stays low.
+//
+// Run: ./build/examples/composite_actions
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "db/database.h"
+#include "rules/engine.h"
+
+using namespace ptldb;
+
+int main() {
+  SimClock clock(0);
+  db::Database database(&clock);
+  rules::RuleEngine engine(&database);
+
+  PTLDB_CHECK_OK(database.CreateTable(
+      "stock",
+      db::Schema({{"name", ValueType::kString}, {"price", ValueType::kDouble}}),
+      {"name"}));
+  PTLDB_CHECK_OK(database.CreateTable(
+      "portfolio",
+      db::Schema({{"name", ValueType::kString}, {"shares", ValueType::kInt64}}),
+      {"name"}));
+  PTLDB_CHECK_OK(
+      database.InsertRow("stock", {Value::Str("IBM"), Value::Real(80)}));
+  PTLDB_CHECK_OK(
+      database.InsertRow("portfolio", {Value::Str("IBM"), Value::Int(0)}));
+
+  PTLDB_CHECK_OK(engine.queries().Register(
+      "price", "SELECT price FROM stock WHERE name = $sym", {"sym"}));
+  PTLDB_CHECK_OK(engine.queries().Register(
+      "shares", "SELECT shares FROM portfolio WHERE name = $sym", {"sym"}));
+
+  auto buy = [&database](rules::ActionContext& ctx) -> Status {
+    db::ParamMap params{{"n", Value::Str("IBM")}};
+    PTLDB_RETURN_IF_ERROR(database
+                              .UpdateRows("portfolio",
+                                          {{"shares", "shares + 50"}},
+                                          "name = $n", &params)
+                              .status());
+    std::printf(">>> [t=%-3lld] %s: bought 50 IBM\n",
+                static_cast<long long>(ctx.fired_at()), ctx.rule().c_str());
+    return Status::OK();
+  };
+
+  // --- Composite action: A1, then A2 ten ticks later ---
+  PTLDB_CHECK_OK(engine.AddTrigger(
+      "r1", "@deploy()",
+      [](rules::ActionContext& ctx) -> Status {
+        std::printf(">>> [t=%-3lld] r1: A1 (stage one) runs\n",
+                    static_cast<long long>(ctx.fired_at()));
+        return Status::OK();
+      }));
+  PTLDB_CHECK_OK(engine.AddTriggerFamily(
+      "r2", "SELECT t FROM __executed WHERE rule = 'r1'", {"t0"},
+      "time >= $t0 + 10",
+      [](rules::ActionContext& ctx) -> Status {
+        std::printf(">>> [t=%-3lld] r2: A2 (stage two), 10+ ticks after A1 "
+                    "(t0=%s)\n",
+                    static_cast<long long>(ctx.fired_at()),
+                    ctx.param("t0").ToString().c_str());
+        return Status::OK();
+      },
+      rules::RuleOptions{.record_execution = false}));
+
+  // --- Periodic action: the paper's BUY-STOCK example ---
+  // First purchase when the price drops below 60.
+  PTLDB_CHECK_OK(engine.AddTrigger("r_buy", "price('IBM') < 60", buy));
+  // Re-buy every 10 ticks for 60 ticks, while the price stays below 60:
+  // the paper's rule  executed(r1, t) AND (time - t <= 60) AND
+  // (time - t) mod 10 = 0 -> A.
+  PTLDB_CHECK_OK(engine.AddTriggerFamily(
+      "r_rebuy",
+      "SELECT t FROM __executed WHERE rule = 'r_buy'", {"t0"},
+      "(time - $t0) <= 60 AND (time - $t0) % 10 = 0 AND (time - $t0) > 0 "
+      "AND price('IBM') < 60",
+      buy, rules::RuleOptions{.record_execution = false}));
+
+  auto at = [&](Timestamp t, auto fn) {
+    clock.Set(t);
+    fn();
+  };
+  auto set_price = [&](double price) {
+    db::ParamMap params{{"p", Value::Real(price)}};
+    PTLDB_CHECK(
+        database.UpdateRows("stock", {{"price", "$p"}}, "name = 'IBM'", &params)
+            .ok());
+  };
+  auto tick = [&]() {
+    PTLDB_CHECK_OK(database.RaiseEvent(event::Event{"clock_tick", {}}));
+  };
+
+  std::printf("== composite action ==\n");
+  at(5, [&] { PTLDB_CHECK_OK(database.RaiseEvent(event::Event{"deploy", {}})); });
+  at(12, tick);  // too early for A2
+  at(16, tick);  // 16 >= 5 + 10: A2 fires
+
+  std::printf("== periodic BUY while price < 60, every 10 ticks ==\n");
+  at(100, [&] { set_price(55); });  // first buy
+  // Ticks drive evaluation; buys recur at +10, +20, ... while cheap.
+  for (Timestamp t = 101; t <= 150; ++t) at(t, tick);
+  at(151, [&] { set_price(70); });  // price recovers
+  for (Timestamp t = 152; t <= 175; ++t) at(t, tick);  // no more buys
+
+  auto shares = database.QuerySql("SELECT shares FROM portfolio");
+  PTLDB_CHECK(shares.ok());
+  std::printf("final IBM shares: %s\n",
+              shares->row(0)[0].ToString().c_str());
+  return 0;
+}

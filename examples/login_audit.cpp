@@ -1,0 +1,120 @@
+// Login audit: conditions mixing events and database predicates — the §1
+// motivation for dropping the event/condition dichotomy.
+//
+//   * "the balance remains positive while user X is logged in":
+//         balance('X') > 0 is required at every state between @login('X')
+//         and @logout('X') — a Since condition over both an event and a
+//         database predicate, inexpressible as a plain ECA event part.
+//   * an audit rule family over the users table;
+//   * an integrity constraint: a withdrawal cannot be committed by a user
+//     who was never logged in.
+//
+// Run: ./build/examples/login_audit
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "db/database.h"
+#include "rules/engine.h"
+
+using namespace ptldb;
+
+int main() {
+  SimClock clock(0);
+  db::Database database(&clock);
+  rules::RuleEngine engine(&database);
+
+  PTLDB_CHECK_OK(database.CreateTable(
+      "account",
+      db::Schema({{"user", ValueType::kString},
+                  {"balance", ValueType::kDouble}}),
+      {"user"}));
+  PTLDB_CHECK_OK(
+      database.InsertRow("account", {Value::Str("alice"), Value::Real(100)}));
+  PTLDB_CHECK_OK(
+      database.InsertRow("account", {Value::Str("bob"), Value::Real(50)}));
+
+  PTLDB_CHECK_OK(engine.queries().Register(
+      "balance", "SELECT balance FROM account WHERE user = $u", {"u"}));
+
+  // §1's condition: the balance stayed positive throughout alice's session.
+  // Satisfied while logged in AND no non-positive balance since the login.
+  PTLDB_CHECK_OK(engine.AddTrigger(
+      "healthy_session",
+      "(balance('alice') > 0 AND NOT @logout('alice')) "
+      "SINCE @login('alice')",
+      [](rules::ActionContext& ctx) -> Status {
+        std::printf(">>> [t=%-2lld] healthy_session: alice logged in, balance "
+                    "positive throughout\n",
+                    static_cast<long long>(ctx.fired_at()));
+        return Status::OK();
+      },
+      rules::RuleOptions{.record_execution = false}));
+
+  // Alert the instant a session sees a non-positive balance.
+  PTLDB_CHECK_OK(engine.AddTriggerFamily(
+      "overdraft_in_session", "SELECT user FROM account", {"u"},
+      "balance(u) <= 0 AND (NOT @logout(u) SINCE @login(u))",
+      [](rules::ActionContext& ctx) -> Status {
+        std::printf(">>> [t=%-2lld] OVERDRAFT by %s during an open session!\n",
+                    static_cast<long long>(ctx.fired_at()),
+                    ctx.param("u").AsString().c_str());
+        return Status::OK();
+      }));
+
+  // IC: a withdrawal in the committing transaction's window (the last 2
+  // ticks) must come from a user who logged in at some point before. A bare
+  // PREVIOUSLY would latch the violation forever; the WITHIN bound scopes it
+  // to the offending commit.
+  PTLDB_CHECK_OK(engine.AddIntegrityConstraint(
+      "withdraw_needs_login",
+      "NOT WITHIN(@withdraw('bob') AND NOT PREVIOUSLY @login('bob'), 2)"));
+
+  auto raise = [&](Timestamp at, event::Event e) {
+    clock.Set(at);
+    std::printf("t=%-2lld event %s\n", static_cast<long long>(at),
+                e.ToString().c_str());
+    PTLDB_CHECK_OK(database.RaiseEvent(std::move(e)));
+  };
+  auto adjust = [&](Timestamp at, const char* user, double delta,
+                    bool with_withdraw_event = false) {
+    clock.Set(at);
+    auto txn = database.Begin();
+    PTLDB_CHECK(txn.ok());
+    db::ParamMap params{{"d", Value::Real(delta)}, {"u", Value::Str(user)}};
+    PTLDB_CHECK(database
+                    .Update(*txn, "account", {{"balance", "balance + $d"}},
+                            "user = $u", &params)
+                    .ok());
+    if (with_withdraw_event) {
+      // Raising the event *before* commit puts it in the history first; the
+      // IC then sees it at its own state.
+      PTLDB_CHECK_OK(
+          database.RaiseEvent(event::Event{"withdraw", {Value::Str(user)}}));
+    }
+    Status s = database.Commit(*txn);
+    std::printf("t=%-2lld %s %+.0f -> %s\n", static_cast<long long>(at), user,
+                delta, s.ok() ? "committed" : s.ToString().c_str());
+  };
+
+  raise(1, event::Event{"login", {Value::Str("alice")}});
+  adjust(3, "alice", -30);   // balance 70: session healthy
+  adjust(5, "alice", -80);   // balance -10: overdraft alert
+  raise(7, event::Event{"logout", {Value::Str("alice")}});
+  adjust(8, "alice", +40);   // after logout: no session rules fire
+
+  // bob never logged in; his withdrawal is vetoed by the IC.
+  adjust(10, "bob", -10, /*with_withdraw_event=*/true);
+  raise(12, event::Event{"login", {Value::Str("bob")}});
+  adjust(13, "bob", -10, /*with_withdraw_event=*/true);  // now fine
+
+  auto r = database.QuerySql("SELECT user, balance FROM account ORDER BY user");
+  PTLDB_CHECK(r.ok());
+  std::printf("\nfinal balances:\n");
+  for (const auto& row : r->rows()) {
+    std::printf("  %-6s %s\n", row[0].AsString().c_str(),
+                row[1].ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,400 @@
+// ptl_shell — an interactive active-database shell.
+//
+// Drive the whole system from a prompt (or a piped script):
+//
+//   create stock name:string key price:double
+//   insert stock 'IBM' 72.0
+//   query price SELECT price FROM stock WHERE name = $sym
+//   trigger hot := wavg(price('IBM'), 20) > 50
+//   ic cap := price('IBM') <= 1000
+//   sql SELECT * FROM stock
+//   update stock price 80 WHERE name = 'IBM'
+//   event login 'alice'
+//   tick 5
+//   describe hot
+//   stats
+//   quit
+//
+// Run: ./build/examples/ptl_shell            (interactive)
+//      ./build/examples/ptl_shell < script   (batch)
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "db/database.h"
+#include "rules/engine.h"
+
+using namespace ptldb;
+
+namespace {
+
+class Shell {
+ public:
+  Shell() : clock_(0), database_(&clock_), engine_(&database_) {}
+
+  int Run() {
+    std::string line;
+    bool tty = isatty(0);
+    if (tty) {
+      std::printf("ptldb shell — 'help' lists commands, 'quit' exits.\n");
+    }
+    while (true) {
+      if (tty) std::printf("ptldb> ");
+      if (!std::getline(std::cin, line)) break;
+      if (!Dispatch(line)) break;
+      DrainEngineOutput();
+    }
+    return 0;
+  }
+
+ private:
+  // Splits off the first word; returns (word, rest).
+  static std::pair<std::string, std::string> Split(const std::string& s) {
+    size_t i = s.find_first_not_of(" \t");
+    if (i == std::string::npos) return {"", ""};
+    size_t j = s.find_first_of(" \t", i);
+    if (j == std::string::npos) return {s.substr(i), ""};
+    size_t k = s.find_first_not_of(" \t", j);
+    return {s.substr(i, j - i), k == std::string::npos ? "" : s.substr(k)};
+  }
+
+  // Parses one shell literal: 42, 3.5, 'text', true, false, null.
+  static Result<Value> ParseLiteral(const std::string& tok) {
+    if (tok.empty()) return Status::ParseError("empty literal");
+    if (tok == "true") return Value::Bool(true);
+    if (tok == "false") return Value::Bool(false);
+    if (tok == "null") return Value::Null();
+    if (tok.front() == '\'') {
+      if (tok.size() < 2 || tok.back() != '\'') {
+        return Status::ParseError("unterminated string " + tok);
+      }
+      return Value::Str(tok.substr(1, tok.size() - 2));
+    }
+    try {
+      if (tok.find('.') != std::string::npos) {
+        return Value::Real(std::stod(tok));
+      }
+      return Value::Int(std::stoll(tok));
+    } catch (...) {
+      return Status::ParseError("bad literal " + tok);
+    }
+  }
+
+  // Tokenizes respecting single quotes.
+  static std::vector<std::string> Tokens(const std::string& s) {
+    std::vector<std::string> out;
+    std::string cur;
+    bool in_str = false;
+    for (char c : s) {
+      if (c == '\'') {
+        in_str = !in_str;
+        cur += c;
+      } else if (!in_str && (c == ' ' || c == '\t')) {
+        if (!cur.empty()) out.push_back(std::move(cur));
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) out.push_back(std::move(cur));
+    return out;
+  }
+
+  void Report(const Status& s) {
+    if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+  }
+
+  void DrainEngineOutput() {
+    for (const rules::Firing& f : engine_.TakeFirings()) {
+      std::printf(">>> fired %s%s%s at t=%lld\n", f.rule.c_str(),
+                  f.params.empty() ? "" : " ", f.params.c_str(),
+                  static_cast<long long>(f.time));
+    }
+    for (const Status& e : engine_.TakeErrors()) {
+      std::printf("engine error: %s\n", e.ToString().c_str());
+    }
+  }
+
+  bool Dispatch(const std::string& line) {
+    auto [cmd, rest] = Split(line);
+    if (cmd.empty() || cmd[0] == '#') return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::printf(
+          "commands:\n"
+          "  create <table> <col:type>... (append 'key' after the key column)\n"
+          "  insert <table> <literal>...\n"
+          "  update <table> <col> <literal> WHERE <sql-expr>\n"
+          "  delete <table> WHERE <sql-expr>\n"
+          "  sql <SELECT ...>\n"
+          "  query <name> <SELECT ... $p1 ...>   (args bind $p1, $p2, ...)\n"
+          "  trigger <name> := <PTL condition>\n"
+          "  ic <name> := <PTL constraint>\n"
+          "  drop <rule>\n"
+          "  event <name> [literal...]\n"
+          "  tick [n]         advance the clock\n"
+          "  describe <rule> | rules | stats | history | help | quit\n");
+      return true;
+    }
+    if (cmd == "create") return CmdCreate(rest);
+    if (cmd == "insert") return CmdInsert(rest);
+    if (cmd == "update") return CmdUpdate(rest);
+    if (cmd == "delete") return CmdDelete(rest);
+    if (cmd == "sql") return CmdSql(rest);
+    if (cmd == "query") return CmdQuery(rest);
+    if (cmd == "trigger") return CmdRule(rest, /*ic=*/false);
+    if (cmd == "ic") return CmdRule(rest, /*ic=*/true);
+    if (cmd == "drop") {
+      Report(engine_.RemoveRule(rest));
+      return true;
+    }
+    if (cmd == "event") return CmdEvent(rest);
+    if (cmd == "tick") {
+      long n = rest.empty() ? 1 : std::atol(rest.c_str());
+      clock_.Advance(n);
+      // A clock tick is itself an event: time-based conditions advance.
+      Report(database_.RaiseEvent(event::Event{"tick", {}}));
+      return true;
+    }
+    if (cmd == "describe") return CmdDescribe(rest);
+    if (cmd == "rules") {
+      for (const std::string& name : engine_.RuleNames()) {
+        std::printf("  %s\n", name.c_str());
+      }
+      return true;
+    }
+    if (cmd == "stats") return CmdStats();
+    if (cmd == "history") {
+      std::printf("%s", database_.history().ToString().c_str());
+      return true;
+    }
+    std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    return true;
+  }
+
+  bool CmdCreate(const std::string& rest) {
+    auto toks = Tokens(rest);
+    if (toks.size() < 2) {
+      std::printf("usage: create <table> <col:type>... [key]\n");
+      return true;
+    }
+    std::vector<db::Column> cols;
+    std::vector<std::string> key;
+    for (size_t i = 1; i < toks.size(); ++i) {
+      if (toks[i] == "key") {
+        if (!cols.empty()) key.push_back(cols.back().name);
+        continue;
+      }
+      size_t colon = toks[i].find(':');
+      if (colon == std::string::npos) {
+        std::printf("column must be <name>:<type>, got %s\n", toks[i].c_str());
+        return true;
+      }
+      std::string name = toks[i].substr(0, colon);
+      std::string type = ToLower(toks[i].substr(colon + 1));
+      ValueType vt;
+      if (type == "int") vt = ValueType::kInt64;
+      else if (type == "double") vt = ValueType::kDouble;
+      else if (type == "string") vt = ValueType::kString;
+      else if (type == "bool") vt = ValueType::kBool;
+      else {
+        std::printf("unknown type %s (int|double|string|bool)\n", type.c_str());
+        return true;
+      }
+      cols.push_back(db::Column{name, vt});
+    }
+    Report(database_.CreateTable(toks[0], db::Schema(std::move(cols)), key));
+    return true;
+  }
+
+  bool CmdInsert(const std::string& rest) {
+    auto toks = Tokens(rest);
+    if (toks.empty()) {
+      std::printf("usage: insert <table> <literal>...\n");
+      return true;
+    }
+    db::Tuple row;
+    for (size_t i = 1; i < toks.size(); ++i) {
+      auto v = ParseLiteral(toks[i]);
+      if (!v.ok()) {
+        Report(v.status());
+        return true;
+      }
+      row.push_back(*v);
+    }
+    clock_.Advance(1);
+    Report(database_.InsertRow(toks[0], std::move(row)));
+    return true;
+  }
+
+  bool CmdUpdate(const std::string& rest) {
+    // update <table> <col> <literal> WHERE <expr>
+    auto toks = Tokens(rest);
+    size_t where = 0;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (ToLower(toks[i]) == "where") where = i;
+    }
+    if (toks.size() < 5 || where != 3) {
+      std::printf("usage: update <table> <col> <literal> WHERE <expr>\n");
+      return true;
+    }
+    auto v = ParseLiteral(toks[2]);
+    if (!v.ok()) {
+      Report(v.status());
+      return true;
+    }
+    std::string expr;
+    for (size_t i = where + 1; i < toks.size(); ++i) {
+      expr += toks[i];
+      expr += " ";
+    }
+    clock_.Advance(1);
+    db::ParamMap params{{"__v", *v}};
+    auto n = database_.UpdateRows(toks[0], {{toks[1], "$__v"}}, expr, &params);
+    if (n.ok()) {
+      std::printf("%zu row(s)\n", *n);
+    } else {
+      Report(n.status());
+    }
+    return true;
+  }
+
+  bool CmdDelete(const std::string& rest) {
+    auto toks = Tokens(rest);
+    if (toks.size() < 3 || ToLower(toks[1]) != "where") {
+      std::printf("usage: delete <table> WHERE <expr>\n");
+      return true;
+    }
+    std::string expr;
+    for (size_t i = 2; i < toks.size(); ++i) {
+      expr += toks[i];
+      expr += " ";
+    }
+    clock_.Advance(1);
+    auto n = database_.DeleteRows(toks[0], expr);
+    if (n.ok()) {
+      std::printf("%zu row(s)\n", *n);
+    } else {
+      Report(n.status());
+    }
+    return true;
+  }
+
+  bool CmdSql(const std::string& rest) {
+    auto r = database_.QuerySql(rest);
+    if (!r.ok()) {
+      Report(r.status());
+      return true;
+    }
+    std::printf("%s", r->ToString().c_str());
+    std::printf("(%zu row(s))\n", r->size());
+    return true;
+  }
+
+  bool CmdQuery(const std::string& rest) {
+    auto [name, sql] = Split(rest);
+    if (name.empty() || sql.empty()) {
+      std::printf("usage: query <name> <SELECT ...>\n");
+      return true;
+    }
+    // Positional parameters $p1, $p2, ... map to PTL arguments.
+    std::vector<std::string> params;
+    for (int i = 1; i <= 8; ++i) {
+      std::string p = "p" + std::to_string(i);
+      if (sql.find("$" + p) != std::string::npos) params.push_back(p);
+    }
+    Report(engine_.queries().Register(name, sql, params));
+    return true;
+  }
+
+  bool CmdRule(const std::string& rest, bool ic) {
+    size_t sep = rest.find(":=");
+    if (sep == std::string::npos) {
+      std::printf("usage: %s <name> := <condition>\n", ic ? "ic" : "trigger");
+      return true;
+    }
+    std::string name = rest.substr(0, sep);
+    while (!name.empty() && name.back() == ' ') name.pop_back();
+    std::string condition = rest.substr(sep + 2);
+    if (ic) {
+      Report(engine_.AddIntegrityConstraint(name, condition));
+    } else {
+      Report(engine_.AddTrigger(
+          name, condition, [](rules::ActionContext&) { return Status::OK(); }));
+    }
+    return true;
+  }
+
+  bool CmdEvent(const std::string& rest) {
+    auto toks = Tokens(rest);
+    if (toks.empty()) {
+      std::printf("usage: event <name> [literal...]\n");
+      return true;
+    }
+    event::Event e;
+    e.name = toks[0];
+    for (size_t i = 1; i < toks.size(); ++i) {
+      auto v = ParseLiteral(toks[i]);
+      if (!v.ok()) {
+        Report(v.status());
+        return true;
+      }
+      e.params.push_back(*v);
+    }
+    clock_.Advance(1);
+    Report(database_.RaiseEvent(std::move(e)));
+    return true;
+  }
+
+  bool CmdDescribe(const std::string& name) {
+    auto info = engine_.Describe(name);
+    if (!info.ok()) {
+      Report(info.status());
+      return true;
+    }
+    std::printf("rule       %s%s%s%s\n", info->name.c_str(),
+                info->is_ic ? " [integrity constraint]" : "",
+                info->is_system ? " [system]" : "",
+                info->is_family ? " [family]" : "");
+    std::printf("condition  %s\n", info->condition.c_str());
+    std::printf("instances  %zu\n", info->num_instances);
+    std::printf("events     %s\n", Join(info->event_names, ", ").c_str());
+    std::printf("retained   %zu node(s)\n", info->retained_nodes);
+    std::printf("steps      %llu\n",
+                static_cast<unsigned long long>(info->steps));
+    return true;
+  }
+
+  bool CmdStats() {
+    const rules::EngineStats& st = engine_.stats();
+    std::printf("states=%llu steps=%llu queries=%llu actions=%llu "
+                "ic_checks=%llu ic_violations=%llu skipped=%llu\n",
+                static_cast<unsigned long long>(st.states_processed),
+                static_cast<unsigned long long>(st.rule_steps),
+                static_cast<unsigned long long>(st.queries_evaluated),
+                static_cast<unsigned long long>(st.actions_executed),
+                static_cast<unsigned long long>(st.ic_checks),
+                static_cast<unsigned long long>(st.ic_violations),
+                static_cast<unsigned long long>(st.steps_skipped_by_filter));
+    return true;
+  }
+
+  SimClock clock_;
+  db::Database database_;
+  rules::RuleEngine engine_;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  return shell.Run();
+}

@@ -1,0 +1,110 @@
+#include "agg/rewriter.h"
+
+#include "common/strings.h"
+
+namespace ptldb::agg {
+
+namespace {
+
+class Rewriter {
+ public:
+  explicit Rewriter(const std::string& rule_name) : rule_name_(rule_name) {}
+
+  Result<ptl::FormulaPtr> RewriteFormula(const ptl::FormulaPtr& f) {
+    if (f == nullptr) return ptl::FormulaPtr(nullptr);
+    auto copy = std::make_shared<ptl::Formula>(*f);
+    PTLDB_ASSIGN_OR_RETURN(copy->lhs_term, RewriteTerm(f->lhs_term));
+    PTLDB_ASSIGN_OR_RETURN(copy->rhs_term, RewriteTerm(f->rhs_term));
+    PTLDB_ASSIGN_OR_RETURN(copy->bind_term, RewriteTerm(f->bind_term));
+    // Event args are constants; nothing to rewrite there.
+    PTLDB_ASSIGN_OR_RETURN(copy->left, RewriteFormula(f->left));
+    PTLDB_ASSIGN_OR_RETURN(copy->right, RewriteFormula(f->right));
+    return ptl::FormulaPtr(copy);
+  }
+
+  RewriteResult Finish(ptl::FormulaPtr condition) {
+    RewriteResult out;
+    out.condition = std::move(condition);
+    out.items = std::move(items_);
+    out.system_rules = std::move(rules_);
+    return out;
+  }
+
+ private:
+  Result<ptl::TermPtr> RewriteTerm(const ptl::TermPtr& t) {
+    if (t == nullptr) return ptl::TermPtr(nullptr);
+    switch (t->kind) {
+      case ptl::Term::Kind::kConst:
+      case ptl::Term::Kind::kVar:
+      case ptl::Term::Kind::kTime:
+        return t;
+      case ptl::Term::Kind::kArith: {
+        auto copy = std::make_shared<ptl::Term>(*t);
+        for (ptl::TermPtr& op : copy->operands) {
+          PTLDB_ASSIGN_OR_RETURN(op, RewriteTerm(op));
+        }
+        return ptl::TermPtr(copy);
+      }
+      case ptl::Term::Kind::kQuery:
+        return t;
+      case ptl::Term::Kind::kWindowAgg:
+        // No counterpart in the paper's construction; handled directly by the
+        // incremental evaluator's window machines.
+        return t;
+      case ptl::Term::Kind::kAgg: {
+        // Recurse first: inner aggregates' rules must run before ours.
+        PTLDB_ASSIGN_OR_RETURN(ptl::FormulaPtr start,
+                               RewriteFormula(t->agg_start));
+        PTLDB_ASSIGN_OR_RETURN(ptl::FormulaPtr sample,
+                               RewriteFormula(t->agg_sample));
+        if (t->agg_query == nullptr ||
+            t->agg_query->kind != ptl::Term::Kind::kQuery) {
+          return Status::InvalidArgument(
+              "aggregate argument must be a database query");
+        }
+        ptl::QuerySpec source;
+        source.name = t->agg_query->name;
+        for (const ptl::TermPtr& a : t->agg_query->operands) {
+          if (a->kind != ptl::Term::Kind::kConst) {
+            return Status::InvalidArgument(
+                StrCat("aggregate query argument '", a->ToString(),
+                       "' must be ground; substitute rule parameters before "
+                       "rewriting"));
+          }
+          source.args.push_back(a->constant);
+        }
+
+        std::string item =
+            StrCat("__agg_", rule_name_, "_", items_.size());
+        items_.push_back(AuxItem{item, t->agg_fn});
+        rules_.push_back(SystemRule{StrCat(item, "_reset"), start,
+                                    SystemRule::Op::kReset, item, {}});
+        rules_.push_back(SystemRule{StrCat(item, "_acc"), sample,
+                                    SystemRule::Op::kAccumulate, item,
+                                    std::move(source)});
+        // Replace the aggregate by the item's (computed) query.
+        return ptl::QueryRef(item, {});
+      }
+    }
+    return Status::Internal("unknown term kind");
+  }
+
+  std::string rule_name_;
+  std::vector<AuxItem> items_;
+  std::vector<SystemRule> rules_;
+};
+
+}  // namespace
+
+Result<RewriteResult> RewriteAggregates(const ptl::FormulaPtr& condition,
+                                        const std::string& rule_name) {
+  if (condition == nullptr) {
+    return Status::InvalidArgument("null condition");
+  }
+  Rewriter rewriter(rule_name);
+  PTLDB_ASSIGN_OR_RETURN(ptl::FormulaPtr rewritten,
+                         rewriter.RewriteFormula(condition));
+  return rewriter.Finish(std::move(rewritten));
+}
+
+}  // namespace ptldb::agg

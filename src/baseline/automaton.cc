@@ -1,0 +1,60 @@
+#include "baseline/automaton.h"
+
+#include "common/strings.h"
+
+namespace ptldb::baseline {
+
+Result<Dfa> Dfa::Compile(RegexFactory* factory, RegexId root,
+                         size_t max_states) {
+  Dfa dfa;
+  dfa.alphabet_ = factory->Alphabet(root);
+  for (size_t i = 0; i < dfa.alphabet_.size(); ++i) {
+    dfa.symbol_column_.emplace(dfa.alphabet_[i], i);
+  }
+  const size_t width = dfa.alphabet_.size() + 1;  // + "other"
+  // A fresh name guaranteed not to collide with the alphabet stands in for
+  // every symbol outside it (all such symbols have the same derivative).
+  const std::string other = "\x01__other__";
+
+  std::unordered_map<RegexId, size_t> state_of;
+  std::vector<RegexId> worklist;
+  auto state_for = [&](RegexId r) -> size_t {
+    auto [it, inserted] = state_of.try_emplace(r, state_of.size());
+    if (inserted) {
+      dfa.accepting_.push_back(factory->Nullable(r));
+      dfa.transitions_.resize(dfa.accepting_.size() * width, 0);
+      worklist.push_back(r);
+    }
+    return it->second;
+  };
+
+  state_for(root);
+  size_t processed = 0;
+  while (processed < worklist.size()) {
+    RegexId r = worklist[processed];
+    size_t state = state_of[r];
+    ++processed;
+    for (size_t col = 0; col < width; ++col) {
+      const std::string& symbol =
+          col < dfa.alphabet_.size() ? dfa.alphabet_[col] : other;
+      RegexId d = factory->Derivative(r, symbol);
+      size_t target = state_for(d);
+      if (dfa.accepting_.size() > max_states) {
+        return Status::OutOfRange(
+            StrCat("DFA exceeds ", max_states,
+                   " states (the §10 automaton blowup)"));
+      }
+      dfa.transitions_[state * width + col] = target;
+    }
+  }
+  return dfa;
+}
+
+size_t Dfa::Next(size_t state, const std::string& symbol) const {
+  const size_t width = alphabet_.size() + 1;
+  auto it = symbol_column_.find(symbol);
+  size_t col = it == symbol_column_.end() ? alphabet_.size() : it->second;
+  return transitions_[state * width + col];
+}
+
+}  // namespace ptldb::baseline

@@ -1,0 +1,72 @@
+// DFA compilation of event expressions via Brzozowski derivatives, and the
+// detector that runs it over an event stream.
+//
+// States are canonicalized derivatives of the root expression; transitions
+// are labelled with the expression's alphabet plus one implicit "other"
+// letter (any event name not occurring in the expression). The construction
+// terminates because RegexFactory normalizes expressions (ACI), but the number
+// of states can still explode — that is the point of experiment E5.
+
+#ifndef PTLDB_BASELINE_AUTOMATON_H_
+#define PTLDB_BASELINE_AUTOMATON_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "baseline/event_regex.h"
+
+namespace ptldb::baseline {
+
+class Dfa {
+ public:
+  /// Compiles `root` into a DFA. Fails with OutOfRange once more than
+  /// `max_states` states have been generated (blowup guard).
+  static Result<Dfa> Compile(RegexFactory* factory, RegexId root,
+                             size_t max_states = 1 << 20);
+
+  size_t num_states() const { return accepting_.size(); }
+  size_t start_state() const { return 0; }
+  bool accepting(size_t state) const { return accepting_[state]; }
+
+  /// Transition on an event name (names outside the alphabet take the
+  /// "other" edge).
+  size_t Next(size_t state, const std::string& symbol) const;
+
+  const std::vector<std::string>& alphabet() const { return alphabet_; }
+
+ private:
+  std::vector<std::string> alphabet_;
+  std::unordered_map<std::string, size_t> symbol_column_;
+  // transitions_[state * (alphabet+1) + column]; last column = "other".
+  std::vector<size_t> transitions_;
+  std::vector<bool> accepting_;
+};
+
+/// Online composite-event detector: feeds event names one at a time and
+/// reports whether the sequence consumed so far matches the expression
+/// (anchored at the stream start; wrap the expression in `!∅ . r` — i.e.
+/// SigmaStar().Concat(r) — for "some suffix matches" semantics).
+class EventExpressionDetector {
+ public:
+  explicit EventExpressionDetector(Dfa dfa)
+      : dfa_(std::move(dfa)), state_(dfa_.start_state()) {}
+
+  /// Consumes one event; returns whether the expression is now matched.
+  bool Observe(const std::string& event_name) {
+    state_ = dfa_.Next(state_, event_name);
+    return dfa_.accepting(state_);
+  }
+
+  bool matched() const { return dfa_.accepting(state_); }
+  void Reset() { state_ = dfa_.start_state(); }
+
+ private:
+  Dfa dfa_;
+  size_t state_;
+};
+
+}  // namespace ptldb::baseline
+
+#endif  // PTLDB_BASELINE_AUTOMATON_H_

@@ -1,0 +1,348 @@
+#include "baseline/event_regex.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/value.h"
+
+namespace ptldb::baseline {
+
+size_t RegexFactory::NodeKeyHash::operator()(const NodeKey& k) const {
+  size_t seed = static_cast<size_t>(k.kind);
+  seed = HashCombine(seed, k.symbol);
+  seed = HashCombine(seed, k.a);
+  seed = HashCombine(seed, k.b);
+  return seed;
+}
+
+RegexFactory::RegexFactory() {
+  PTLDB_CHECK(Intern(Node::Kind::kEmpty, 0, 0, 0) == kEmpty);
+  PTLDB_CHECK(Intern(Node::Kind::kEpsilon, 0, 0, 0) == kEpsilon);
+}
+
+RegexId RegexFactory::Intern(Node::Kind kind, uint32_t symbol, RegexId a,
+                             RegexId b) {
+  NodeKey key{kind, symbol, a, b};
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  RegexId id = static_cast<RegexId>(nodes_.size());
+  nodes_.push_back(Node{kind, symbol, a, b});
+  index_.emplace(key, id);
+  return id;
+}
+
+RegexId RegexFactory::SigmaStar() { return Negation(kEmpty); }
+
+RegexId RegexFactory::Symbol(const std::string& name) {
+  auto it = symbol_index_.find(name);
+  uint32_t sym;
+  if (it == symbol_index_.end()) {
+    sym = static_cast<uint32_t>(symbol_names_.size());
+    symbol_names_.push_back(name);
+    symbol_index_.emplace(name, sym);
+  } else {
+    sym = it->second;
+  }
+  return Intern(Node::Kind::kSymbol, sym, 0, 0);
+}
+
+RegexId RegexFactory::Concat(RegexId a, RegexId b) {
+  if (a == kEmpty || b == kEmpty) return kEmpty;
+  if (a == kEpsilon) return b;
+  if (b == kEpsilon) return a;
+  // Right-associate: (r.s).t -> r.(s.t) for canonical form.
+  if (node(a).kind == Node::Kind::kConcat) {
+    return Concat(node(a).a, Concat(node(a).b, b));
+  }
+  return Intern(Node::Kind::kConcat, 0, a, b);
+}
+
+RegexId RegexFactory::Union(RegexId a, RegexId b) {
+  if (a == b) return a;                             // idempotence
+  if (a == kEmpty) return b;
+  if (b == kEmpty) return a;
+  // !∅ (Σ*) absorbs.
+  RegexId sigma_star = Intern(Node::Kind::kNegation, 0, kEmpty, 0);
+  if (a == sigma_star || b == sigma_star) return sigma_star;
+  if (a > b) std::swap(a, b);                       // commutativity
+  // Associate right and keep sorted: flatten one level.
+  if (node(a).kind == Node::Kind::kUnion) {
+    return Union(node(a).a, Union(node(a).b, b));
+  }
+  if (node(b).kind == Node::Kind::kUnion) {
+    RegexId ba = node(b).a, bb = node(b).b;
+    if (a == ba) return b;  // idempotence inside the flattened list
+    if (a > ba) return Union(ba, Union(a, bb));
+  }
+  return Intern(Node::Kind::kUnion, 0, a, b);
+}
+
+RegexId RegexFactory::Intersection(RegexId a, RegexId b) {
+  if (a == b) return a;
+  if (a == kEmpty || b == kEmpty) return kEmpty;
+  RegexId sigma_star = Intern(Node::Kind::kNegation, 0, kEmpty, 0);
+  if (a == sigma_star) return b;
+  if (b == sigma_star) return a;
+  if (a > b) std::swap(a, b);
+  if (node(a).kind == Node::Kind::kIntersection) {
+    return Intersection(node(a).a, Intersection(node(a).b, b));
+  }
+  if (node(b).kind == Node::Kind::kIntersection) {
+    RegexId ba = node(b).a, bb = node(b).b;
+    if (a == ba) return b;
+    if (a > ba) return Intersection(ba, Intersection(a, bb));
+  }
+  return Intern(Node::Kind::kIntersection, 0, a, b);
+}
+
+RegexId RegexFactory::Star(RegexId a) {
+  if (a == kEmpty || a == kEpsilon) return kEpsilon;
+  if (node(a).kind == Node::Kind::kStar) return a;  // (r*)* = r*
+  return Intern(Node::Kind::kStar, 0, a, 0);
+}
+
+RegexId RegexFactory::Negation(RegexId a) {
+  if (node(a).kind == Node::Kind::kNegation) return node(a).a;  // !!r = r
+  return Intern(Node::Kind::kNegation, 0, a, 0);
+}
+
+bool RegexFactory::Nullable(RegexId r) const {
+  const Node& n = node(r);
+  switch (n.kind) {
+    case Node::Kind::kEmpty:
+      return false;
+    case Node::Kind::kEpsilon:
+      return true;
+    case Node::Kind::kSymbol:
+      return false;
+    case Node::Kind::kConcat:
+      return Nullable(n.a) && Nullable(n.b);
+    case Node::Kind::kUnion:
+      return Nullable(n.a) || Nullable(n.b);
+    case Node::Kind::kIntersection:
+      return Nullable(n.a) && Nullable(n.b);
+    case Node::Kind::kStar:
+      return true;
+    case Node::Kind::kNegation:
+      return !Nullable(n.a);
+  }
+  return false;
+}
+
+RegexId RegexFactory::Derivative(RegexId r, const std::string& symbol) {
+  auto sit = symbol_index_.find(symbol);
+  // Unknown symbols behave identically ("other"): encode as UINT32_MAX.
+  uint32_t sym = sit == symbol_index_.end() ? UINT32_MAX : sit->second;
+  uint64_t memo_key = (static_cast<uint64_t>(r) << 32) | sym;
+  auto mit = derivative_memo_.find(memo_key);
+  if (mit != derivative_memo_.end()) return mit->second;
+
+  const Node n = node(r);  // copy: nodes_ may grow during recursion
+  RegexId out = kEmpty;
+  switch (n.kind) {
+    case Node::Kind::kEmpty:
+    case Node::Kind::kEpsilon:
+      out = kEmpty;
+      break;
+    case Node::Kind::kSymbol:
+      out = (n.symbol == sym) ? kEpsilon : kEmpty;
+      break;
+    case Node::Kind::kConcat: {
+      RegexId da = Derivative(n.a, symbol);
+      RegexId first = Concat(da, n.b);
+      if (Nullable(n.a)) {
+        out = Union(first, Derivative(n.b, symbol));
+      } else {
+        out = first;
+      }
+      break;
+    }
+    case Node::Kind::kUnion:
+      out = Union(Derivative(n.a, symbol), Derivative(n.b, symbol));
+      break;
+    case Node::Kind::kIntersection:
+      out = Intersection(Derivative(n.a, symbol), Derivative(n.b, symbol));
+      break;
+    case Node::Kind::kStar:
+      out = Concat(Derivative(n.a, symbol), r);
+      break;
+    case Node::Kind::kNegation:
+      out = Negation(Derivative(n.a, symbol));
+      break;
+  }
+  derivative_memo_.emplace(memo_key, out);
+  return out;
+}
+
+void RegexFactory::CollectAlphabet(RegexId r, std::vector<bool>* seen) const {
+  const Node& n = node(r);
+  switch (n.kind) {
+    case Node::Kind::kSymbol:
+      (*seen)[n.symbol] = true;
+      return;
+    case Node::Kind::kConcat:
+    case Node::Kind::kUnion:
+    case Node::Kind::kIntersection:
+      CollectAlphabet(n.a, seen);
+      CollectAlphabet(n.b, seen);
+      return;
+    case Node::Kind::kStar:
+    case Node::Kind::kNegation:
+      CollectAlphabet(n.a, seen);
+      return;
+    default:
+      return;
+  }
+}
+
+std::vector<std::string> RegexFactory::Alphabet(RegexId r) const {
+  std::vector<bool> seen(symbol_names_.size(), false);
+  CollectAlphabet(r, &seen);
+  std::vector<std::string> out;
+  for (size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i]) out.push_back(symbol_names_[i]);
+  }
+  return out;
+}
+
+std::string RegexFactory::ToString(RegexId r) const {
+  const Node& n = node(r);
+  switch (n.kind) {
+    case Node::Kind::kEmpty:
+      return "∅";
+    case Node::Kind::kEpsilon:
+      return "%";
+    case Node::Kind::kSymbol:
+      return symbol_names_[n.symbol];
+    case Node::Kind::kConcat:
+      return StrCat("(", ToString(n.a), ".", ToString(n.b), ")");
+    case Node::Kind::kUnion:
+      return StrCat("(", ToString(n.a), "|", ToString(n.b), ")");
+    case Node::Kind::kIntersection:
+      return StrCat("(", ToString(n.a), "&", ToString(n.b), ")");
+    case Node::Kind::kStar:
+      return StrCat(ToString(n.a), "*");
+    case Node::Kind::kNegation:
+      return StrCat("!(", ToString(n.a), ")");
+  }
+  return "?";
+}
+
+// ---- Parser -------------------------------------------------------------------
+
+namespace {
+
+class RegexParser {
+ public:
+  RegexParser(RegexFactory* factory, std::string_view text)
+      : factory_(factory), text_(text) {}
+
+  Result<RegexId> Parse() {
+    PTLDB_ASSIGN_OR_RETURN(RegexId r, ParseUnion());
+    SkipSpace();
+    if (pos_ < text_.size()) {
+      return Status::ParseError(
+          StrCat("unexpected character '", text_[pos_], "' at offset ", pos_));
+    }
+    return r;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Match(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<RegexId> ParseUnion() {
+    PTLDB_ASSIGN_OR_RETURN(RegexId lhs, ParseIntersection());
+    while (Match('|')) {
+      PTLDB_ASSIGN_OR_RETURN(RegexId rhs, ParseIntersection());
+      lhs = factory_->Union(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<RegexId> ParseIntersection() {
+    PTLDB_ASSIGN_OR_RETURN(RegexId lhs, ParseConcat());
+    while (Match('&')) {
+      PTLDB_ASSIGN_OR_RETURN(RegexId rhs, ParseConcat());
+      lhs = factory_->Intersection(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<RegexId> ParseConcat() {
+    PTLDB_ASSIGN_OR_RETURN(RegexId lhs, ParsePostfix());
+    while (Match('.')) {
+      PTLDB_ASSIGN_OR_RETURN(RegexId rhs, ParsePostfix());
+      lhs = factory_->Concat(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<RegexId> ParsePostfix() {
+    PTLDB_ASSIGN_OR_RETURN(RegexId r, ParsePrimary());
+    while (Match('*')) r = factory_->Star(r);
+    return r;
+  }
+
+  Result<RegexId> ParsePrimary() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("unexpected end of event expression");
+    }
+    char c = text_[pos_];
+    if (c == '!') {
+      ++pos_;
+      PTLDB_ASSIGN_OR_RETURN(RegexId r, ParsePostfix());
+      return factory_->Negation(r);
+    }
+    if (c == '(') {
+      ++pos_;
+      PTLDB_ASSIGN_OR_RETURN(RegexId r, ParseUnion());
+      if (!Match(')')) return Status::ParseError("expected ')'");
+      return r;
+    }
+    if (c == '%') {
+      ++pos_;
+      return factory_->Epsilon();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      return factory_->Symbol(std::string(text_.substr(start, pos_ - start)));
+    }
+    return Status::ParseError(
+        StrCat("unexpected character '", std::string(1, c), "' at offset ",
+               pos_));
+  }
+
+  RegexFactory* factory_;
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegexId> RegexFactory::Parse(std::string_view text) {
+  RegexParser parser(this, text);
+  return parser.Parse();
+}
+
+}  // namespace ptldb::baseline

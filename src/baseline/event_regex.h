@@ -1,0 +1,110 @@
+// Event expressions — the §10 comparison baseline (Gehani/Jagadish/Shmueli).
+//
+// An event expression is a regular expression whose letters are event names;
+// composite events are detected by compiling the expression to a finite-state
+// automaton. The paper's point (§10, citing Stockmeyer) is that with negation
+// the automaton can blow up super-exponentially in the expression size, while
+// the PTL evaluator's retained state stays polynomial; experiment E5
+// reproduces the blowup with the classic (a|b)* a (a|b)^k family.
+//
+// Expressions are hash-consed and canonicalized (ACI normalization of union/
+// intersection, concat/star/negation simplifications), which is what makes
+// the Brzozowski-derivative DFA construction in automaton.h terminate.
+//
+// Text syntax: identifiers are event symbols; `.` concatenation, `|` union,
+// `&` intersection, `!r` complement, postfix `*`, `()` grouping, `%` epsilon.
+// Precedence: (!, *) > . > & > |.
+
+#ifndef PTLDB_BASELINE_EVENT_REGEX_H_
+#define PTLDB_BASELINE_EVENT_REGEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ptldb::baseline {
+
+using RegexId = uint32_t;
+
+/// Hash-consed regular expressions over event names.
+class RegexFactory {
+ public:
+  RegexFactory();
+
+  RegexId Empty() const { return kEmpty; }      // the empty language
+  RegexId Epsilon() const { return kEpsilon; }  // the empty string
+  /// `SigmaStar()` — matches everything (canonical !∅).
+  RegexId SigmaStar();
+
+  RegexId Symbol(const std::string& name);
+  RegexId Concat(RegexId a, RegexId b);
+  RegexId Union(RegexId a, RegexId b);
+  RegexId Intersection(RegexId a, RegexId b);
+  RegexId Star(RegexId a);
+  RegexId Negation(RegexId a);
+
+  /// True when the language of `r` contains the empty string.
+  bool Nullable(RegexId r) const;
+
+  /// Brzozowski derivative of `r` with respect to the event `symbol`.
+  /// `symbol` may be a name not occurring in the expression ("other").
+  RegexId Derivative(RegexId r, const std::string& symbol);
+
+  /// Symbols occurring in `r` (the effective alphabet).
+  std::vector<std::string> Alphabet(RegexId r) const;
+
+  /// Number of distinct expressions interned so far (DFA state bound).
+  size_t size() const { return nodes_.size(); }
+
+  std::string ToString(RegexId r) const;
+
+  /// Parses the text syntax above.
+  Result<RegexId> Parse(std::string_view text);
+
+  static constexpr RegexId kEmpty = 0;
+  static constexpr RegexId kEpsilon = 1;
+
+ private:
+  struct Node {
+    enum class Kind : uint8_t {
+      kEmpty,
+      kEpsilon,
+      kSymbol,
+      kConcat,
+      kUnion,
+      kIntersection,
+      kStar,
+      kNegation,
+    };
+    Kind kind;
+    uint32_t symbol = 0;  // index into symbol_names_
+    RegexId a = 0, b = 0;
+  };
+  struct NodeKey {
+    Node::Kind kind;
+    uint32_t symbol;
+    RegexId a, b;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& k) const;
+  };
+
+  RegexId Intern(Node::Kind kind, uint32_t symbol, RegexId a, RegexId b);
+  const Node& node(RegexId r) const { return nodes_[r]; }
+  void CollectAlphabet(RegexId r, std::vector<bool>* seen) const;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, RegexId, NodeKeyHash> index_;
+  std::vector<std::string> symbol_names_;
+  std::unordered_map<std::string, uint32_t> symbol_index_;
+  // Memo for derivatives: (regex, symbol or UINT32_MAX for "other") -> result.
+  std::unordered_map<uint64_t, RegexId> derivative_memo_;
+};
+
+}  // namespace ptldb::baseline
+
+#endif  // PTLDB_BASELINE_EVENT_REGEX_H_

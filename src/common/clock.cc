@@ -1,0 +1,13 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace ptldb {
+
+Timestamp SystemClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace ptldb

@@ -1,0 +1,46 @@
+// Clock abstraction. The paper's model stamps every system state with the time
+// of the event that produced it, from a fixed global clock. All library code
+// reads time through this interface so experiments can run on simulated time.
+
+#ifndef PTLDB_COMMON_CLOCK_H_
+#define PTLDB_COMMON_CLOCK_H_
+
+#include "common/value.h"
+
+namespace ptldb {
+
+/// Source of the global timestamp attached to system states.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in ticks. Must be monotonically non-decreasing.
+  virtual Timestamp Now() const = 0;
+};
+
+/// Deterministic clock driven by the test/benchmark harness.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp Now() const override { return now_; }
+
+  /// Moves time forward by `delta` ticks (must be >= 0).
+  void Advance(Timestamp delta) { now_ += delta; }
+
+  /// Jumps to an absolute time (must be >= Now()).
+  void Set(Timestamp t) { now_ = t; }
+
+ private:
+  Timestamp now_;
+};
+
+/// Wall-clock backed implementation (milliseconds since epoch). Used by the
+/// examples when running against real time.
+class SystemClock : public Clock {
+ public:
+  Timestamp Now() const override;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_CLOCK_H_

@@ -1,0 +1,31 @@
+// Assertion macros for invariants that indicate programming errors (as opposed
+// to recoverable conditions, which use Status).
+
+#ifndef PTLDB_COMMON_LOGGING_H_
+#define PTLDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when `cond` is false. Enabled in all build types:
+/// an invariant violation in the rule engine must never be silently ignored.
+#define PTLDB_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PTLDB_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define PTLDB_CHECK_OK(status_expr)                                         \
+  do {                                                                      \
+    const ::ptldb::Status _s = (status_expr);                               \
+    if (!_s.ok()) {                                                         \
+      std::fprintf(stderr, "PTLDB_CHECK_OK failed at %s:%d: %s\n",          \
+                   __FILE__, __LINE__, _s.ToString().c_str());              \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // PTLDB_COMMON_LOGGING_H_

@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace ptldb {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kTypeMismatch:
+      return "TypeMismatch";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kConstraintViolation:
+      return "ConstraintViolation";
+    case StatusCode::kTransactionAborted:
+      return "TransactionAborted";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace ptldb

@@ -1,0 +1,165 @@
+// Status / Result error model for ptldb.
+//
+// Follows the RocksDB/Arrow idiom: fallible operations return a `Status`, or a
+// `Result<T>` when they also produce a value. Exceptions are not used on any
+// library path; `PTLDB_CHECK` (logging.h) guards genuine programming errors.
+
+#ifndef PTLDB_COMMON_STATUS_H_
+#define PTLDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ptldb {
+
+/// Canonical error space for the whole library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kTypeMismatch,
+  kParseError,
+  kConstraintViolation,
+  kTransactionAborted,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus an explanatory message.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// heap message otherwise. All factory helpers are static, e.g.
+/// `Status::InvalidArgument("bad arity")`.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status TransactionAborted(std::string msg) {
+    return Status(StatusCode::kTransactionAborted, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error union: holds either a `T` or a non-OK `Status`.
+///
+/// Access the value only after checking `ok()`; `value()` on an error result
+/// asserts in debug builds and is undefined in release builds.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status from `expr` out of the enclosing function.
+#define PTLDB_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::ptldb::Status _ptldb_status = (expr);        \
+    if (!_ptldb_status.ok()) return _ptldb_status; \
+  } while (0)
+
+#define PTLDB_CONCAT_IMPL(a, b) a##b
+#define PTLDB_CONCAT(a, b) PTLDB_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define PTLDB_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  PTLDB_ASSIGN_OR_RETURN_IMPL(PTLDB_CONCAT(_ptldb_res_, __LINE__), \
+                              lhs, rexpr)
+
+#define PTLDB_ASSIGN_OR_RETURN_IMPL(res, lhs, rexpr) \
+  auto res = (rexpr);                                \
+  if (!res.ok()) return res.status();                \
+  lhs = std::move(res).value();
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+// Small string helpers used across the library (gcc 12 lacks std::format).
+
+#ifndef PTLDB_COMMON_STRINGS_H_
+#define PTLDB_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptldb {
+
+namespace internal {
+inline void StrAppendImpl(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void StrAppendImpl(std::ostringstream& os, const T& head, const Rest&... rest) {
+  os << head;
+  StrAppendImpl(os, rest...);
+}
+}  // namespace internal
+
+/// Concatenates the streamable arguments into a string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrAppendImpl(os, args...);
+  return os.str();
+}
+
+/// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_STRINGS_H_

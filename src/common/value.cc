@@ -1,0 +1,162 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ptldb {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+Status IncomparableError(const Value& a, const Value& b) {
+  return Status::TypeMismatch(std::string("cannot compare ") +
+                              ValueTypeToString(a.type()) + " with " +
+                              ValueTypeToString(b.type()));
+}
+
+Status NonNumericError(const char* op, const Value& a, const Value& b) {
+  return Status::TypeMismatch(std::string(op) + " requires numeric operands, got " +
+                              ValueTypeToString(a.type()) + " and " +
+                              ValueTypeToString(b.type()));
+}
+
+}  // namespace
+
+Result<int> Value::Compare(const Value& a, const Value& b) {
+  // Null orders before everything and equals only null.
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) return 0;
+    return a.is_null() ? -1 : 1;
+  }
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int() && b.is_int()) {
+      int64_t x = a.AsInt(), y = b.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = a.AsDouble(), y = b.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.type() != b.type()) return IncomparableError(a, b);
+  switch (a.type()) {
+    case ValueType::kBool: {
+      int x = a.AsBool() ? 1 : 0, y = b.AsBool() ? 1 : 0;
+      return x - y;
+    }
+    case ValueType::kString: {
+      int c = a.AsString().compare(b.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return IncomparableError(a, b);
+  }
+}
+
+namespace {
+
+// Shared shape of Add/Sub/Mul: coerce to double unless both are ints.
+template <typename IntOp, typename DoubleOp>
+Result<Value> NumericBinary(const char* name, const Value& a, const Value& b,
+                            IntOp int_op, DoubleOp double_op) {
+  if (!a.is_numeric() || !b.is_numeric()) return NonNumericError(name, a, b);
+  if (a.is_int() && b.is_int()) return Value::Int(int_op(a.AsInt(), b.AsInt()));
+  return Value::Real(double_op(a.AsDouble(), b.AsDouble()));
+}
+
+}  // namespace
+
+Result<Value> Value::Add(const Value& a, const Value& b) {
+  if (a.is_string() && b.is_string()) return Str(a.AsString() + b.AsString());
+  return NumericBinary(
+      "+", a, b, [](int64_t x, int64_t y) { return x + y; },
+      [](double x, double y) { return x + y; });
+}
+
+Result<Value> Value::Sub(const Value& a, const Value& b) {
+  return NumericBinary(
+      "-", a, b, [](int64_t x, int64_t y) { return x - y; },
+      [](double x, double y) { return x - y; });
+}
+
+Result<Value> Value::Mul(const Value& a, const Value& b) {
+  return NumericBinary(
+      "*", a, b, [](int64_t x, int64_t y) { return x * y; },
+      [](double x, double y) { return x * y; });
+}
+
+Result<Value> Value::Div(const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) return NonNumericError("/", a, b);
+  if (a.is_int() && b.is_int()) {
+    if (b.AsInt() == 0) return Status::InvalidArgument("integer division by zero");
+    return Int(a.AsInt() / b.AsInt());
+  }
+  if (b.AsDouble() == 0.0) return Status::InvalidArgument("division by zero");
+  return Real(a.AsDouble() / b.AsDouble());
+}
+
+Result<Value> Value::Mod(const Value& a, const Value& b) {
+  if (!a.is_int() || !b.is_int()) {
+    return Status::TypeMismatch("mod requires integer operands");
+  }
+  if (b.AsInt() == 0) return Status::InvalidArgument("mod by zero");
+  return Int(a.AsInt() % b.AsInt());
+}
+
+Result<Value> Value::Neg(const Value& a) {
+  if (a.is_int()) return Int(-a.AsInt());
+  if (a.is_double()) return Real(-a.AsDoubleExact());
+  return Status::TypeMismatch(std::string("unary - requires numeric operand, got ") +
+                              ValueTypeToString(a.type()));
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(type());
+  switch (type()) {
+    case ValueType::kNull:
+      return HashCombine(seed, 0);
+    case ValueType::kBool:
+      return HashCombine(seed, AsBool() ? 1 : 0);
+    case ValueType::kInt64:
+      return HashCombine(seed, std::hash<int64_t>{}(AsInt()));
+    case ValueType::kDouble:
+      return HashCombine(seed, std::hash<double>{}(AsDoubleExact()));
+    case ValueType::kString:
+      return HashCombine(seed, std::hash<std::string>{}(AsString()));
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDoubleExact();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "\"" + AsString() + "\"";
+  }
+  return "?";
+}
+
+}  // namespace ptldb

@@ -1,0 +1,115 @@
+// Dynamically typed values — the scalar domain shared by the database engine,
+// the query evaluator, and the PTL condition evaluator.
+
+#ifndef PTLDB_COMMON_VALUE_H_
+#define PTLDB_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace ptldb {
+
+/// Logical timestamps. The paper's model attaches a strictly increasing
+/// timestamp to every system state; we represent it as ticks of a `Clock`.
+using Timestamp = int64_t;
+
+/// Runtime type tags of a `Value`.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// A dynamically typed scalar. Null, bool, 64-bit int, double, or string.
+///
+/// Numeric comparisons and arithmetic coerce int64 <-> double; all other
+/// cross-type operations yield `TypeMismatch`. Null compares equal only to
+/// null and orders before everything (SQL-style three-valued logic is *not*
+/// used: the paper's logic is two-valued, so null is just a distinct value).
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value Int(int64_t i) { return Value(Rep(i)); }
+  static Value Real(double d) { return Value(Rep(d)); }
+  static Value Str(std::string s) { return Value(Rep(std::move(s))); }
+  static Value Time(Timestamp t) { return Int(t); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(rep_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Unchecked accessors; the caller must have verified the type.
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDoubleExact() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Numeric widening: int64 or double -> double. Requires is_numeric().
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDoubleExact();
+  }
+
+  /// Strict structural equality (no numeric coercion: Int(1) != Real(1.0)).
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Three-way comparison with numeric coercion: returns <0, 0, >0.
+  /// Errors with TypeMismatch on incomparable types (e.g. string vs int).
+  static Result<int> Compare(const Value& a, const Value& b);
+
+  /// Arithmetic with numeric coercion. Division by zero and non-numeric
+  /// operands are errors. `Mod` requires integer operands.
+  static Result<Value> Add(const Value& a, const Value& b);
+  static Result<Value> Sub(const Value& a, const Value& b);
+  static Result<Value> Mul(const Value& a, const Value& b);
+  static Result<Value> Div(const Value& a, const Value& b);
+  static Result<Value> Mod(const Value& a, const Value& b);
+  static Result<Value> Neg(const Value& a);
+
+  /// Stable hash consistent with operator== (used by hash indexes and the
+  /// evaluator's hash-consing).
+  size_t Hash() const;
+
+  /// Render for diagnostics and result printing, e.g. `"IBM"`, `42`, `3.5`.
+  std::string ToString() const;
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Combines a hash into a seed (boost::hash_combine formula).
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_VALUE_H_

@@ -1,0 +1,51 @@
+#include "db/catalog.h"
+
+#include "common/strings.h"
+
+namespace ptldb::db {
+
+Status Catalog::CreateTable(std::string name, Schema schema,
+                            std::vector<std::string> primary_key) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("table '", name, "' already exists"));
+  }
+  PTLDB_ASSIGN_OR_RETURN(
+      Table table, Table::Make(name, std::move(schema), std::move(primary_key)));
+  tables_.emplace(std::move(name), std::make_unique<Table>(std::move(table)));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound(StrCat("table '", name, "' does not exist"));
+  }
+  return Status::OK();
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("table '", name, "' does not exist"));
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("table '", name, "' does not exist"));
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, unused] : tables_) {
+    (void)unused;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace ptldb::db

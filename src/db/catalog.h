@@ -1,0 +1,42 @@
+// Catalog: the named tables of a database.
+
+#ifndef PTLDB_DB_CATALOG_H_
+#define PTLDB_DB_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/table.h"
+
+namespace ptldb::db {
+
+class Catalog {
+ public:
+  /// Creates a table; AlreadyExists when the name is taken.
+  Status CreateTable(std::string name, Schema schema,
+                     std::vector<std::string> primary_key = {});
+
+  Status DropTable(const std::string& name);
+
+  /// NotFound when absent.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Sorted table names.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  // std::map keeps iteration deterministic for tests and dumps.
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace ptldb::db
+
+#endif  // PTLDB_DB_CATALOG_H_

@@ -1,0 +1,239 @@
+#include "db/database.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace ptldb::db {
+
+Status Database::CreateTable(std::string name, Schema schema,
+                             std::vector<std::string> primary_key) {
+  return catalog_.CreateTable(std::move(name), std::move(schema),
+                              std::move(primary_key));
+}
+
+Timestamp Database::NextTimestamp() const {
+  Timestamp t = clock_->Now();
+  if (!history_.empty() && t <= history_.back().time) {
+    t = history_.back().time + 1;
+  }
+  return t;
+}
+
+void Database::AppendState(std::vector<event::Event> events) {
+  history_.Append(NextTimestamp(), std::move(events));
+  if (listener_ != nullptr) listener_->OnStateAppended(history_.back());
+}
+
+Result<int64_t> Database::Begin() {
+  int64_t id = next_txn_id_++;
+  Transaction txn;
+  txn.id = id;
+  open_txns_.emplace(id, std::move(txn));
+  AppendState({event::TransactionBegin(id)});
+  return id;
+}
+
+Result<Transaction*> Database::GetTxn(int64_t txn_id) {
+  auto it = open_txns_.find(txn_id);
+  if (it == open_txns_.end()) {
+    return Status::NotFound(StrCat("no open transaction with id ", txn_id));
+  }
+  return &it->second;
+}
+
+Status Database::UndoAll(Transaction* txn) {
+  // Replay the undo log backwards.
+  for (auto it = txn->undo_log.rbegin(); it != txn->undo_log.rend(); ++it) {
+    PTLDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(it->table));
+    switch (it->kind) {
+      case UndoRecord::Kind::kUndoInsert:
+        PTLDB_RETURN_IF_ERROR(table->RemoveOne(it->row));
+        break;
+      case UndoRecord::Kind::kUndoDelete:
+        PTLDB_RETURN_IF_ERROR(table->Insert(it->row));
+        break;
+      case UndoRecord::Kind::kUndoUpdate:
+        PTLDB_RETURN_IF_ERROR(table->ReplaceOne(it->row, it->old_row));
+        break;
+    }
+  }
+  txn->undo_log.clear();
+  return Status::OK();
+}
+
+Status Database::Commit(int64_t txn_id) {
+  PTLDB_ASSIGN_OR_RETURN(Transaction * txn, GetTxn(txn_id));
+
+  // Build the prospective commit state: the database already reflects the
+  // transaction's changes; the event set carries the attempt, the commit, and
+  // the row events (simultaneous events share one state, §2).
+  std::vector<event::Event> events;
+  events.push_back(event::AttemptsToCommit(txn_id));
+  events.push_back(event::TransactionCommit(txn_id));
+  for (const event::Event& e : txn->row_events) events.push_back(e);
+
+  event::SystemState prospective;
+  prospective.seq = history_.size();
+  prospective.time = NextTimestamp();
+  prospective.events = events;
+
+  if (listener_ != nullptr) {
+    Status verdict = listener_->OnCommitAttempt(prospective, txn_id);
+    if (!verdict.ok()) {
+      // Integrity constraint fired abort(T): roll back and record the abort.
+      Status undo = UndoAll(txn);
+      PTLDB_CHECK(undo.ok() && "undo of vetoed transaction must succeed");
+      open_txns_.erase(txn_id);
+      AppendState({event::TransactionAbort(txn_id)});
+      return Status::TransactionAborted(
+          StrCat("transaction ", txn_id, " aborted: ", verdict.message()));
+    }
+  }
+  open_txns_.erase(txn_id);
+  AppendState(std::move(events));
+  return Status::OK();
+}
+
+Status Database::Abort(int64_t txn_id) {
+  PTLDB_ASSIGN_OR_RETURN(Transaction * txn, GetTxn(txn_id));
+  PTLDB_RETURN_IF_ERROR(UndoAll(txn));
+  open_txns_.erase(txn_id);
+  AppendState({event::TransactionAbort(txn_id)});
+  return Status::OK();
+}
+
+Status Database::Insert(int64_t txn_id, const std::string& table_name,
+                        Tuple row) {
+  PTLDB_ASSIGN_OR_RETURN(Transaction * txn, GetTxn(txn_id));
+  PTLDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
+  PTLDB_RETURN_IF_ERROR(table->Insert(row));
+  UndoRecord undo;
+  undo.kind = UndoRecord::Kind::kUndoInsert;
+  undo.table = table_name;
+  undo.row = row;
+  txn->undo_log.push_back(std::move(undo));
+  event::Event e = event::InsertEvent(table_name);
+  e.params.insert(e.params.end(), row.begin(), row.end());
+  txn->row_events.push_back(std::move(e));
+  txn->has_writes = true;
+  return Status::OK();
+}
+
+Result<size_t> Database::Delete(int64_t txn_id, const std::string& table_name,
+                                std::string_view where,
+                                const ParamMap* params) {
+  PTLDB_ASSIGN_OR_RETURN(Transaction * txn, GetTxn(txn_id));
+  PTLDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
+  PTLDB_ASSIGN_OR_RETURN(ExprPtr pred, ParseSqlExpr(where));
+  PTLDB_ASSIGN_OR_RETURN(BoundExpr bound,
+                         BoundExpr::Bind(pred, table->schema(), params));
+  PTLDB_ASSIGN_OR_RETURN(std::vector<Tuple> deleted, table->DeleteWhere(bound));
+  for (Tuple& row : deleted) {
+    event::Event e = event::DeleteEvent(table_name);
+    e.params.insert(e.params.end(), row.begin(), row.end());
+    txn->row_events.push_back(std::move(e));
+    UndoRecord undo;
+    undo.kind = UndoRecord::Kind::kUndoDelete;
+    undo.table = table_name;
+    undo.row = std::move(row);
+    txn->undo_log.push_back(std::move(undo));
+    txn->has_writes = true;
+  }
+  return deleted.size();
+}
+
+Result<size_t> Database::Update(
+    int64_t txn_id, const std::string& table_name,
+    const std::vector<std::pair<std::string, std::string>>& set,
+    std::string_view where, const ParamMap* params) {
+  PTLDB_ASSIGN_OR_RETURN(Transaction * txn, GetTxn(txn_id));
+  PTLDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
+  PTLDB_ASSIGN_OR_RETURN(ExprPtr pred, ParseSqlExpr(where));
+  PTLDB_ASSIGN_OR_RETURN(BoundExpr bound_pred,
+                         BoundExpr::Bind(pred, table->schema(), params));
+  std::vector<std::pair<size_t, BoundExpr>> assignments;
+  for (const auto& [col, expr_text] : set) {
+    PTLDB_ASSIGN_OR_RETURN(size_t idx, table->schema().IndexOf(col));
+    PTLDB_ASSIGN_OR_RETURN(ExprPtr expr, ParseSqlExpr(expr_text));
+    PTLDB_ASSIGN_OR_RETURN(BoundExpr bound,
+                           BoundExpr::Bind(expr, table->schema(), params));
+    assignments.emplace_back(idx, std::move(bound));
+  }
+  PTLDB_ASSIGN_OR_RETURN(std::vector<RowUpdate> updates,
+                         table->UpdateWhere(bound_pred, assignments));
+  for (RowUpdate& u : updates) {
+    txn->row_events.push_back(event::UpdateEvent(table_name));
+    UndoRecord undo;
+    undo.kind = UndoRecord::Kind::kUndoUpdate;
+    undo.table = table_name;
+    undo.row = std::move(u.new_row);
+    undo.old_row = std::move(u.old_row);
+    txn->undo_log.push_back(std::move(undo));
+    txn->has_writes = true;
+  }
+  return updates.size();
+}
+
+Status Database::InsertRow(const std::string& table, Tuple row) {
+  PTLDB_ASSIGN_OR_RETURN(int64_t txn, Begin());
+  Status s = Insert(txn, table, std::move(row));
+  if (!s.ok()) {
+    PTLDB_RETURN_IF_ERROR(Abort(txn));
+    return s;
+  }
+  return Commit(txn);
+}
+
+Result<size_t> Database::DeleteRows(const std::string& table,
+                                    std::string_view where,
+                                    const ParamMap* params) {
+  PTLDB_ASSIGN_OR_RETURN(int64_t txn, Begin());
+  Result<size_t> n = Delete(txn, table, where, params);
+  if (!n.ok()) {
+    PTLDB_RETURN_IF_ERROR(Abort(txn));
+    return n.status();
+  }
+  PTLDB_RETURN_IF_ERROR(Commit(txn));
+  return n;
+}
+
+Result<size_t> Database::UpdateRows(
+    const std::string& table,
+    const std::vector<std::pair<std::string, std::string>>& set,
+    std::string_view where, const ParamMap* params) {
+  PTLDB_ASSIGN_OR_RETURN(int64_t txn, Begin());
+  Result<size_t> n = Update(txn, table, set, where, params);
+  if (!n.ok()) {
+    PTLDB_RETURN_IF_ERROR(Abort(txn));
+    return n.status();
+  }
+  PTLDB_RETURN_IF_ERROR(Commit(txn));
+  return n;
+}
+
+Status Database::RaiseEvent(event::Event e) {
+  AppendState({std::move(e)});
+  return Status::OK();
+}
+
+Result<Relation> Database::Query(const QueryPtr& plan,
+                                 const ParamMap* params) const {
+  QueryExecutor exec(&catalog_);
+  return exec.Execute(plan, params);
+}
+
+Result<Relation> Database::QuerySql(std::string_view sql,
+                                    const ParamMap* params) const {
+  PTLDB_ASSIGN_OR_RETURN(QueryPtr plan, ParseSql(sql));
+  return Query(plan, params);
+}
+
+Result<Value> Database::QueryScalar(const QueryPtr& plan,
+                                    const ParamMap* params) const {
+  QueryExecutor exec(&catalog_);
+  return exec.ExecuteScalar(plan, params);
+}
+
+}  // namespace ptldb::db

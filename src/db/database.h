@@ -1,0 +1,143 @@
+// Database: the active-database engine facade.
+//
+// Owns the catalog, the system history (§2 model), and open transactions.
+// Every change flows through a transaction; single-statement convenience
+// helpers open and commit one implicitly. A registered `Listener` (the rule
+// engine's temporal component) is consulted at commit attempts — returning a
+// ConstraintViolation status aborts the transaction, which is exactly how the
+// paper's integrity constraints (rules whose action is abort(X)) execute —
+// and is notified of every appended system state so triggers can be evaluated.
+//
+// Concurrency: the paper's model serializes commits (at most one commit event
+// per system state); this engine is single-threaded by design.
+
+#ifndef PTLDB_DB_DATABASE_H_
+#define PTLDB_DB_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "db/catalog.h"
+#include "db/query.h"
+#include "db/sql_parser.h"
+#include "db/transaction.h"
+#include "event/event.h"
+
+namespace ptldb::db {
+
+class Database {
+ public:
+  /// Interface the rule engine implements. Callbacks may issue queries
+  /// against the database but must not start transactions.
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+
+    /// Called when `txn` attempts to commit. `prospective` is the system
+    /// state that will be appended if the commit succeeds: the database
+    /// already reflects the transaction's changes, and the event set contains
+    /// attempts_to_commit(txn), commit(txn), and the row events. Returning
+    /// ConstraintViolation vetoes the commit.
+    virtual Status OnCommitAttempt(const event::SystemState& prospective,
+                                   int64_t txn) {
+      (void)prospective;
+      (void)txn;
+      return Status::OK();
+    }
+
+    /// Called after a state is appended to the history (commits, aborts,
+    /// begins, user events). The database reflects the state's S component.
+    virtual void OnStateAppended(const event::SystemState& state) {
+      (void)state;
+    }
+  };
+
+  explicit Database(Clock* clock) : clock_(clock) {}
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  const event::History& history() const { return history_; }
+  Clock* clock() const { return clock_; }
+
+  /// At most one listener (the temporal component).
+  void SetListener(Listener* listener) { listener_ = listener; }
+
+  // ---- DDL ----
+  Status CreateTable(std::string name, Schema schema,
+                     std::vector<std::string> primary_key = {});
+
+  // ---- Transactions ----
+
+  /// Opens a transaction and appends a begin(id) state.
+  Result<int64_t> Begin();
+
+  /// Commits: consults the listener with the prospective commit state; on
+  /// veto, undoes the changes, appends an abort state, and returns
+  /// TransactionAborted carrying the veto message.
+  Status Commit(int64_t txn_id);
+
+  /// Rolls back and appends an abort(id) state.
+  Status Abort(int64_t txn_id);
+
+  // ---- DML (within an open transaction) ----
+  Status Insert(int64_t txn_id, const std::string& table, Tuple row);
+  /// Returns number of rows deleted. `where` is a SQL expression over the
+  /// table's columns; `params` supplies `$name` values.
+  Result<size_t> Delete(int64_t txn_id, const std::string& table,
+                        std::string_view where,
+                        const ParamMap* params = nullptr);
+  /// `set` maps column name -> SQL expression evaluated on the old row.
+  Result<size_t> Update(
+      int64_t txn_id, const std::string& table,
+      const std::vector<std::pair<std::string, std::string>>& set,
+      std::string_view where, const ParamMap* params = nullptr);
+
+  // ---- Single-statement convenience (implicit transaction) ----
+  Status InsertRow(const std::string& table, Tuple row);
+  Result<size_t> DeleteRows(const std::string& table, std::string_view where,
+                            const ParamMap* params = nullptr);
+  Result<size_t> UpdateRows(
+      const std::string& table,
+      const std::vector<std::pair<std::string, std::string>>& set,
+      std::string_view where, const ParamMap* params = nullptr);
+
+  // ---- User events ----
+
+  /// Raises an application event, appending a new system state (§2: a new
+  /// state is added whenever an event occurs).
+  Status RaiseEvent(event::Event e);
+
+  // ---- Queries ----
+  Result<Relation> Query(const QueryPtr& plan,
+                         const ParamMap* params = nullptr) const;
+  Result<Relation> QuerySql(std::string_view sql,
+                            const ParamMap* params = nullptr) const;
+  Result<Value> QueryScalar(const QueryPtr& plan,
+                            const ParamMap* params = nullptr) const;
+
+  /// The timestamp the next appended state would carry: max(clock, last+1),
+  /// keeping history timestamps strictly increasing even if the clock stalls.
+  Timestamp NextTimestamp() const;
+
+ private:
+  Result<Transaction*> GetTxn(int64_t txn_id);
+  void AppendState(std::vector<event::Event> events);
+  Status UndoAll(Transaction* txn);
+
+  Clock* clock_;
+  Catalog catalog_;
+  event::History history_;
+  Listener* listener_ = nullptr;
+  std::unordered_map<int64_t, Transaction> open_txns_;
+  int64_t next_txn_id_ = 1;
+};
+
+}  // namespace ptldb::db
+
+#endif  // PTLDB_DB_DATABASE_H_

@@ -1,0 +1,259 @@
+#include "db/expr.h"
+
+#include "common/strings.h"
+
+namespace ptldb::db {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kColumnRef:
+      return name;
+    case Kind::kParam:
+      return "$" + name;
+    case Kind::kUnary:
+      return StrCat(unary_op == UnaryOp::kNot ? "NOT " : "-", "(",
+                    left->ToString(), ")");
+    case Kind::kBinary:
+      return StrCat("(", left->ToString(), " ", BinaryOpToString(binary_op),
+                    " ", right->ToString(), ")");
+  }
+  return "?";
+}
+
+ExprPtr Lit(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Col(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kColumnRef;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Param(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kParam;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Unary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kUnary;
+  e->unary_op = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->binary_op = op;
+  e->left = std::move(lhs);
+  e->right = std::move(rhs);
+  return e;
+}
+
+Result<Value> ApplyBinaryOp(BinaryOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Add(a, b);
+    case BinaryOp::kSub:
+      return Value::Sub(a, b);
+    case BinaryOp::kMul:
+      return Value::Mul(a, b);
+    case BinaryOp::kDiv:
+      return Value::Div(a, b);
+    case BinaryOp::kMod:
+      return Value::Mod(a, b);
+    case BinaryOp::kEq:
+    case BinaryOp::kNe: {
+      // Equality uses Compare when comparable (so 1 = 1.0), falling back to
+      // strict inequality across incomparable types rather than an error:
+      // "price = 'IBM'" is simply false.
+      auto cmp = Value::Compare(a, b);
+      bool eq = cmp.ok() ? (cmp.value() == 0) : false;
+      return Value::Bool(op == BinaryOp::kEq ? eq : !eq);
+    }
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      PTLDB_ASSIGN_OR_RETURN(int c, Value::Compare(a, b));
+      switch (op) {
+        case BinaryOp::kLt:
+          return Value::Bool(c < 0);
+        case BinaryOp::kLe:
+          return Value::Bool(c <= 0);
+        case BinaryOp::kGt:
+          return Value::Bool(c > 0);
+        default:
+          return Value::Bool(c >= 0);
+      }
+    }
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr: {
+      if (!a.is_bool() || !b.is_bool()) {
+        return Status::TypeMismatch(
+            StrCat(BinaryOpToString(op), " requires boolean operands"));
+      }
+      return Value::Bool(op == BinaryOp::kAnd ? (a.AsBool() && b.AsBool())
+                                              : (a.AsBool() || b.AsBool()));
+    }
+  }
+  return Status::Internal("unknown binary op");
+}
+
+Result<BoundExpr> BoundExpr::Bind(const ExprPtr& expr, const Schema& schema,
+                                  const ParamMap* params) {
+  BoundExpr bound;
+  // Returns the index of the flattened node or an error.
+  struct Rec {
+    const Schema& schema;
+    const ParamMap* params;
+    std::vector<Node>* nodes;
+    Result<int> operator()(const ExprPtr& e) {
+      if (e == nullptr) return Status::InvalidArgument("null expression");
+      Node n;
+      n.kind = e->kind;
+      switch (e->kind) {
+        case Expr::Kind::kLiteral:
+          n.literal = e->literal;
+          break;
+        case Expr::Kind::kColumnRef: {
+          PTLDB_ASSIGN_OR_RETURN(n.column_index, schema.IndexOf(e->name));
+          break;
+        }
+        case Expr::Kind::kParam: {
+          if (params == nullptr) {
+            return Status::InvalidArgument(
+                StrCat("unbound parameter $", e->name));
+          }
+          auto it = params->find(e->name);
+          if (it == params->end()) {
+            return Status::InvalidArgument(
+                StrCat("unbound parameter $", e->name));
+          }
+          n.kind = Expr::Kind::kLiteral;
+          n.literal = it->second;
+          break;
+        }
+        case Expr::Kind::kUnary: {
+          n.unary_op = e->unary_op;
+          PTLDB_ASSIGN_OR_RETURN(n.left, (*this)(e->left));
+          break;
+        }
+        case Expr::Kind::kBinary: {
+          n.binary_op = e->binary_op;
+          PTLDB_ASSIGN_OR_RETURN(n.left, (*this)(e->left));
+          PTLDB_ASSIGN_OR_RETURN(n.right, (*this)(e->right));
+          break;
+        }
+      }
+      nodes->push_back(n);
+      return static_cast<int>(nodes->size() - 1);
+    }
+  } rec{schema, params, &bound.nodes_};
+  PTLDB_ASSIGN_OR_RETURN(int root, rec(expr));
+  (void)root;  // Root is by construction the last node.
+  return bound;
+}
+
+Result<Value> BoundExpr::EvalNode(int idx, const Tuple& row) const {
+  const Node& n = nodes_[idx];
+  switch (n.kind) {
+    case Expr::Kind::kLiteral:
+      return n.literal;
+    case Expr::Kind::kColumnRef:
+      if (n.column_index >= row.size()) {
+        return Status::Internal("column index out of range");
+      }
+      return row[n.column_index];
+    case Expr::Kind::kParam:
+      return Status::Internal("parameter survived binding");
+    case Expr::Kind::kUnary: {
+      PTLDB_ASSIGN_OR_RETURN(Value v, EvalNode(n.left, row));
+      if (n.unary_op == UnaryOp::kNeg) return Value::Neg(v);
+      if (!v.is_bool()) return Status::TypeMismatch("NOT requires a boolean");
+      return Value::Bool(!v.AsBool());
+    }
+    case Expr::Kind::kBinary: {
+      // Short-circuit the boolean connectives.
+      if (n.binary_op == BinaryOp::kAnd || n.binary_op == BinaryOp::kOr) {
+        PTLDB_ASSIGN_OR_RETURN(Value a, EvalNode(n.left, row));
+        if (!a.is_bool()) {
+          return Status::TypeMismatch("AND/OR requires boolean operands");
+        }
+        if (n.binary_op == BinaryOp::kAnd && !a.AsBool()) {
+          return Value::Bool(false);
+        }
+        if (n.binary_op == BinaryOp::kOr && a.AsBool()) {
+          return Value::Bool(true);
+        }
+        PTLDB_ASSIGN_OR_RETURN(Value b, EvalNode(n.right, row));
+        if (!b.is_bool()) {
+          return Status::TypeMismatch("AND/OR requires boolean operands");
+        }
+        return b;
+      }
+      PTLDB_ASSIGN_OR_RETURN(Value a, EvalNode(n.left, row));
+      PTLDB_ASSIGN_OR_RETURN(Value b, EvalNode(n.right, row));
+      return ApplyBinaryOp(n.binary_op, a, b);
+    }
+  }
+  return Status::Internal("unknown expression node");
+}
+
+Result<Value> BoundExpr::Eval(const Tuple& row) const {
+  if (nodes_.empty()) return Status::Internal("empty bound expression");
+  return EvalNode(static_cast<int>(nodes_.size() - 1), row);
+}
+
+Result<bool> BoundExpr::EvalPredicate(const Tuple& row) const {
+  PTLDB_ASSIGN_OR_RETURN(Value v, Eval(row));
+  if (!v.is_bool()) {
+    return Status::TypeMismatch(
+        StrCat("predicate evaluated to non-boolean ", v.ToString()));
+  }
+  return v.AsBool();
+}
+
+}  // namespace ptldb::db

@@ -1,0 +1,126 @@
+// Scalar expressions over rows: literals, column references, named parameters,
+// arithmetic, comparisons, and boolean connectives. Used by query predicates,
+// projections, and update expressions.
+//
+// Expressions are built unbound (columns referenced by name), then bound
+// against a concrete schema to resolve names to column indexes before
+// row-at-a-time evaluation.
+
+#ifndef PTLDB_DB_EXPR_H_
+#define PTLDB_DB_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "db/schema.h"
+#include "db/tuple.h"
+
+namespace ptldb::db {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class UnaryOp { kNot, kNeg };
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+
+/// Immutable expression tree node.
+struct Expr {
+  enum class Kind { kLiteral, kColumnRef, kParam, kUnary, kBinary };
+
+  Kind kind;
+  Value literal;                 // kLiteral
+  std::string name;              // kColumnRef / kParam
+  UnaryOp unary_op{};            // kUnary
+  BinaryOp binary_op{};          // kBinary
+  ExprPtr left;                  // kUnary operand / kBinary lhs
+  ExprPtr right;                 // kBinary rhs
+
+  /// Infix rendering, fully parenthesized.
+  std::string ToString() const;
+};
+
+/// Values substituted for `kParam` nodes at bind time. This is how rule
+/// parameters (the paper's free variables indexed by domain tuples) reach the
+/// queries inside a condition.
+using ParamMap = std::unordered_map<std::string, Value>;
+
+// ---- Construction helpers -------------------------------------------------
+
+ExprPtr Lit(Value v);
+ExprPtr Col(std::string name);
+ExprPtr Param(std::string name);
+ExprPtr Unary(UnaryOp op, ExprPtr operand);
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kEq, a, b); }
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kNe, a, b); }
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kLt, a, b); }
+inline ExprPtr Le(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kLe, a, b); }
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kGt, a, b); }
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kGe, a, b); }
+inline ExprPtr And(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kAnd, a, b); }
+inline ExprPtr Or(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kOr, a, b); }
+inline ExprPtr Not(ExprPtr a) { return Unary(UnaryOp::kNot, a); }
+
+// ---- Binding & evaluation ---------------------------------------------------
+
+/// An expression with column names resolved to indexes of a specific schema
+/// and parameters substituted. Cheap to evaluate per row.
+class BoundExpr {
+ public:
+  /// Resolves `expr` against `schema`. Unresolved columns and unbound
+  /// parameters are errors. `params` may be null when the expression uses
+  /// no parameters.
+  static Result<BoundExpr> Bind(const ExprPtr& expr, const Schema& schema,
+                                const ParamMap* params = nullptr);
+
+  /// Evaluates against one row of the bound schema.
+  Result<Value> Eval(const Tuple& row) const;
+
+  /// Evaluates and coerces to bool; non-bool results are TypeMismatch.
+  Result<bool> EvalPredicate(const Tuple& row) const;
+
+ private:
+  struct Node {
+    Expr::Kind kind;
+    Value literal;          // kLiteral (params are folded into literals)
+    size_t column_index{};  // kColumnRef
+    UnaryOp unary_op{};
+    BinaryOp binary_op{};
+    int left = -1;   // index into nodes_
+    int right = -1;  // index into nodes_
+  };
+
+  Result<Value> EvalNode(int idx, const Tuple& row) const;
+
+  // Flattened tree in evaluation order; root is the last node.
+  std::vector<Node> nodes_;
+};
+
+/// Applies a binary operator to already-evaluated operands. Exposed for reuse
+/// by the PTL term evaluator, which shares the operator semantics.
+Result<Value> ApplyBinaryOp(BinaryOp op, const Value& a, const Value& b);
+
+}  // namespace ptldb::db
+
+#endif  // PTLDB_DB_EXPR_H_

@@ -1,0 +1,128 @@
+// Logical query plans and their executor.
+//
+// Plans are small immutable trees: Scan -> Filter -> Join -> Aggregate ->
+// Project -> Sort -> Limit. The executor evaluates them against a Catalog,
+// row-at-a-time, with a hash join for equi-join predicates and nested loops
+// otherwise. This is the query facility PTL function symbols resolve to
+// ("each n-ary function symbol denotes a query on the database", paper §4.1).
+
+#ifndef PTLDB_DB_QUERY_H_
+#define PTLDB_DB_QUERY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "db/catalog.h"
+#include "db/expr.h"
+#include "db/relation.h"
+
+namespace ptldb::db {
+
+/// Aggregate function selector for Aggregate nodes.
+enum class AggFn { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggFnToString(AggFn fn);
+
+/// One aggregate output column: `fn(arg) AS output_name`. A null `arg`
+/// means COUNT(*).
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  ExprPtr arg;
+  std::string output_name;
+};
+
+struct Query;
+using QueryPtr = std::shared_ptr<const Query>;
+
+/// A logical plan node.
+struct Query {
+  enum class Kind {
+    kScan,
+    kFilter,
+    kProject,
+    kJoin,
+    kAggregate,
+    kSort,
+    kLimit,
+    kDistinct,
+  };
+
+  Kind kind;
+
+  // kScan
+  std::string table;
+  std::string alias;  // When set, output columns are named "alias.col".
+
+  // kFilter: predicate over input schema. kJoin: predicate over the
+  // concatenated (left ++ right) schema.
+  ExprPtr predicate;
+
+  // kProject: (output name, expression) pairs.
+  std::vector<std::pair<std::string, ExprPtr>> projections;
+
+  // kAggregate
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggregates;
+
+  // kSort: (column name, ascending) pairs.
+  std::vector<std::pair<std::string, bool>> sort_keys;
+
+  // kLimit
+  size_t limit = 0;
+
+  QueryPtr input;   // All non-scan nodes.
+  QueryPtr right;   // kJoin only.
+
+  /// Single-line plan rendering, e.g. `Project(name)(Filter(price>300)(Scan(t)))`.
+  std::string ToString() const;
+};
+
+// ---- Plan builders ----------------------------------------------------------
+
+QueryPtr Scan(std::string table, std::string alias = "");
+QueryPtr Filter(QueryPtr input, ExprPtr predicate);
+QueryPtr Project(QueryPtr input,
+                 std::vector<std::pair<std::string, ExprPtr>> projections);
+QueryPtr Join(QueryPtr left, QueryPtr right, ExprPtr predicate);
+QueryPtr Aggregate(QueryPtr input, std::vector<std::string> group_by,
+                   std::vector<AggSpec> aggregates);
+QueryPtr Sort(QueryPtr input, std::vector<std::pair<std::string, bool>> keys);
+QueryPtr Limit(QueryPtr input, size_t n);
+/// Set semantics: drops duplicate rows (first occurrence kept).
+QueryPtr Distinct(QueryPtr input);
+
+// ---- Execution --------------------------------------------------------------
+
+/// Evaluates plans against a catalog. Stateless; cheap to construct.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Runs the plan; `params` supplies values for `$param` expressions.
+  Result<Relation> Execute(const QueryPtr& query,
+                           const ParamMap* params = nullptr) const;
+
+  /// Runs the plan and coerces the result to a scalar (1 row x 1 column).
+  Result<Value> ExecuteScalar(const QueryPtr& query,
+                              const ParamMap* params = nullptr) const;
+
+ private:
+  Result<Relation> ExecScan(const Query& q) const;
+  Result<Relation> ExecFilter(const Query& q, const ParamMap* params) const;
+  Result<Relation> ExecProject(const Query& q, const ParamMap* params) const;
+  Result<Relation> ExecJoin(const Query& q, const ParamMap* params) const;
+  Result<Relation> ExecAggregate(const Query& q, const ParamMap* params) const;
+  Result<Relation> ExecSort(const Query& q, const ParamMap* params) const;
+  Result<Relation> ExecLimit(const Query& q, const ParamMap* params) const;
+  Result<Relation> ExecDistinct(const Query& q, const ParamMap* params) const;
+
+  const Catalog* catalog_;
+};
+
+}  // namespace ptldb::db
+
+#endif  // PTLDB_DB_QUERY_H_

@@ -1,0 +1,70 @@
+#include "db/relation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace ptldb::db {
+
+Status Relation::Append(Tuple row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrCat("row arity ", row.size(), " does not match schema arity ",
+               schema_.num_columns()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Value> Relation::ScalarValue() const {
+  if (rows_.size() != 1 || schema_.num_columns() != 1) {
+    return Status::TypeMismatch(
+        StrCat("expected 1x1 relation for scalar use, got ", rows_.size(),
+               " rows x ", schema_.num_columns(), " columns"));
+  }
+  return rows_[0][0];
+}
+
+bool Relation::BagEquals(const Relation& other) const {
+  if (schema_ != other.schema_ || rows_.size() != other.rows_.size()) {
+    return false;
+  }
+  std::unordered_map<Tuple, int64_t, TupleHash> counts;
+  for (const Tuple& t : rows_) ++counts[t];
+  for (const Tuple& t : other.rows_) {
+    auto it = counts.find(t);
+    if (it == counts.end() || it->second == 0) return false;
+    --it->second;
+  }
+  return true;
+}
+
+namespace {
+
+// Lexicographic tuple order; incomparable values fall back to type order so
+// the sort is still total.
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    auto cmp = Value::Compare(a[i], b[i]);
+    int c = cmp.ok() ? cmp.value()
+                     : (static_cast<int>(a[i].type()) -
+                        static_cast<int>(b[i].type()));
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+void Relation::SortRows() { std::sort(rows_.begin(), rows_.end(), TupleLess); }
+
+std::string Relation::ToString() const {
+  std::string out = schema_.ToString() + "\n";
+  for (const Tuple& t : rows_) {
+    out += "  " + TupleToString(t) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ptldb::db

@@ -1,0 +1,59 @@
+// Relation: a schema plus a bag of tuples. Used for query results and for the
+// evaluator's auxiliary relations (the paper's R_x with validity intervals).
+
+#ifndef PTLDB_DB_RELATION_H_
+#define PTLDB_DB_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/schema.h"
+#include "db/tuple.h"
+
+namespace ptldb::db {
+
+/// An immutable-schema, mutable-contents bag of tuples.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation(Schema schema, std::vector<Tuple> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a row; rejects arity mismatches (type checking is the executor's
+  /// job — dynamically typed values flow through unchanged).
+  Status Append(Tuple row);
+
+  /// Appends without arity check (hot paths where the producer guarantees it).
+  void AppendUnchecked(Tuple row) { rows_.push_back(std::move(row)); }
+
+  void Clear() { rows_.clear(); }
+
+  /// If this relation is exactly one row of one column, returns that value.
+  /// This is how a relational query is used as a scalar term in PTL.
+  Result<Value> ScalarValue() const;
+
+  /// Bag equality irrespective of row order.
+  bool BagEquals(const Relation& other) const;
+
+  /// Sorts rows lexicographically (stable presentation for tests/printing).
+  void SortRows();
+
+  /// Multi-line table rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace ptldb::db
+
+#endif  // PTLDB_DB_RELATION_H_

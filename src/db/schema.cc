@@ -1,0 +1,42 @@
+#include "db/schema.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace ptldb::db {
+
+Result<Schema> Schema::Make(std::vector<Column> columns) {
+  std::unordered_set<std::string> seen;
+  for (const Column& c : columns) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("column name may not be empty");
+    }
+    if (!seen.insert(c.name).second) {
+      return Status::AlreadyExists(StrCat("duplicate column name '", c.name, "'"));
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound(StrCat("no column named '", name, "'"));
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    parts.push_back(StrCat(c.name, " ", ValueTypeToString(c.type)));
+  }
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+}  // namespace ptldb::db

@@ -1,0 +1,50 @@
+// Relational schemas: named, typed columns.
+
+#ifndef PTLDB_DB_SCHEMA_H_
+#define PTLDB_DB_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace ptldb::db {
+
+/// One column of a relation.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Column& other) const = default;
+};
+
+/// Ordered list of columns. Column names are unique within a schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  /// Builds a schema, rejecting duplicate column names.
+  static Result<Schema> Make(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  bool operator==(const Schema& other) const = default;
+
+  /// `(name TYPE, ...)` rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace ptldb::db
+
+#endif  // PTLDB_DB_SCHEMA_H_

@@ -1,0 +1,582 @@
+#include "db/sql_parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace ptldb::db {
+
+namespace {
+
+// ---- Lexer ------------------------------------------------------------------
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  kParam,    // $name
+  kSymbol,   // one of ( ) , * + - / % = != <> < <= > >= .
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;       // identifier / symbol text
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t pos = 0;         // byte offset, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= input_.size()) break;
+      size_t start = pos_;
+      char c = input_[pos_];
+      Token t;
+      t.pos = start;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_')) {
+          ++pos_;
+        }
+        t.kind = Tok::kIdent;
+        t.text = std::string(input_.substr(start, pos_ - start));
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        bool is_float = false;
+        while (pos_ < input_.size() &&
+               (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '.')) {
+          if (input_[pos_] == '.') {
+            // "1.5" is a float; "a.b" never reaches here.
+            if (is_float) break;
+            is_float = true;
+          }
+          ++pos_;
+        }
+        std::string num(input_.substr(start, pos_ - start));
+        if (is_float) {
+          t.kind = Tok::kFloat;
+          t.float_value = std::stod(num);
+        } else {
+          t.kind = Tok::kInt;
+          t.int_value = std::stoll(num);
+        }
+      } else if (c == '\'' || c == '"') {
+        const char quote = c;
+        ++pos_;
+        std::string s;
+        while (pos_ < input_.size() && input_[pos_] != quote) {
+          s += input_[pos_++];
+        }
+        if (pos_ >= input_.size()) {
+          return Status::ParseError(
+              StrCat("unterminated string literal at offset ", start));
+        }
+        ++pos_;  // closing quote
+        t.kind = Tok::kString;
+        t.text = std::move(s);
+      } else if (c == '$') {
+        ++pos_;
+        size_t name_start = pos_;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_')) {
+          ++pos_;
+        }
+        if (pos_ == name_start) {
+          return Status::ParseError(
+              StrCat("expected parameter name after '$' at offset ", start));
+        }
+        t.kind = Tok::kParam;
+        t.text = std::string(input_.substr(name_start, pos_ - name_start));
+      } else {
+        // Multi-char symbols first.
+        static const char* kTwoChar[] = {"!=", "<>", "<=", ">="};
+        std::string_view rest = input_.substr(pos_);
+        std::string sym;
+        for (const char* two : kTwoChar) {
+          if (StartsWith(rest, two)) {
+            sym = two;
+            break;
+          }
+        }
+        if (sym.empty()) {
+          static const std::string kOneChar = "(),*+-/%=<>.";
+          if (kOneChar.find(c) == std::string::npos) {
+            return Status::ParseError(
+                StrCat("unexpected character '", std::string(1, c),
+                       "' at offset ", start));
+          }
+          sym = std::string(1, c);
+        }
+        pos_ += sym.size();
+        t.kind = Tok::kSymbol;
+        t.text = sym;
+      }
+      out.push_back(std::move(t));
+    }
+    Token end;
+    end.kind = Tok::kEnd;
+    end.pos = input_.size();
+    out.push_back(end);
+    return out;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+// ---- Parser -----------------------------------------------------------------
+
+bool IsKeyword(const Token& t, std::string_view kw) {
+  return t.kind == Tok::kIdent && ToLower(t.text) == ToLower(kw);
+}
+
+std::optional<AggFn> AggFnFromName(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "count") return AggFn::kCount;
+  if (lower == "sum") return AggFn::kSum;
+  if (lower == "min") return AggFn::kMin;
+  if (lower == "max") return AggFn::kMax;
+  if (lower == "avg") return AggFn::kAvg;
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QueryPtr> ParseSelect() {
+    PTLDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    distinct_ = MatchKeyword("DISTINCT");
+    PTLDB_RETURN_IF_ERROR(ParseSelectList());
+    PTLDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    PTLDB_ASSIGN_OR_RETURN(QueryPtr plan, ParseTableRef());
+    while (MatchKeyword("JOIN")) {
+      PTLDB_ASSIGN_OR_RETURN(QueryPtr right, ParseTableRef());
+      PTLDB_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      PTLDB_ASSIGN_OR_RETURN(ExprPtr on, ParseExpr());
+      plan = Join(std::move(plan), std::move(right), std::move(on));
+    }
+    if (MatchKeyword("WHERE")) {
+      PTLDB_ASSIGN_OR_RETURN(ExprPtr pred, ParseExpr());
+      plan = Filter(std::move(plan), std::move(pred));
+    }
+    std::vector<std::string> group_by;
+    if (MatchKeyword("GROUP")) {
+      PTLDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        PTLDB_ASSIGN_OR_RETURN(std::string col, ExpectColumnName());
+        group_by.push_back(std::move(col));
+      } while (MatchSymbol(","));
+    }
+    std::vector<std::pair<std::string, bool>> order_keys;
+    if (MatchKeyword("ORDER")) {
+      PTLDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        PTLDB_ASSIGN_OR_RETURN(std::string col, ExpectColumnName());
+        bool asc = true;
+        if (MatchKeyword("ASC")) {
+          asc = true;
+        } else if (MatchKeyword("DESC")) {
+          asc = false;
+        }
+        order_keys.emplace_back(std::move(col), asc);
+      } while (MatchSymbol(","));
+    }
+    if (!order_keys.empty() && !SortKeysAreOutputs(order_keys)) {
+      // ORDER BY references input columns that the projection drops: sort
+      // below the projection (SQL's "order by any column of the FROM list").
+      plan = Sort(std::move(plan), std::move(order_keys));
+      order_keys.clear();
+    }
+    PTLDB_ASSIGN_OR_RETURN(plan,
+                           ApplySelectList(std::move(plan), std::move(group_by)));
+    if (distinct_) plan = Distinct(std::move(plan));
+    if (!order_keys.empty()) {
+      plan = Sort(std::move(plan), std::move(order_keys));
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().kind != Tok::kInt) {
+        return Error("expected integer after LIMIT");
+      }
+      plan = Limit(std::move(plan), static_cast<size_t>(Next().int_value));
+    }
+    if (Peek().kind != Tok::kEnd) {
+      return Error(StrCat("unexpected trailing input '", Peek().text, "'"));
+    }
+    return plan;
+  }
+
+  Result<ExprPtr> ParseBareExpr() {
+    PTLDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().kind != Tok::kEnd) {
+      return Error(StrCat("unexpected trailing input '", Peek().text, "'"));
+    }
+    return e;
+  }
+
+ private:
+  struct SelectItem {
+    bool is_star = false;
+    std::optional<AggFn> agg;  // Set for aggregate calls.
+    ExprPtr expr;              // Agg argument (null = COUNT(*)) or plain expr.
+    std::string name;          // Output name.
+  };
+
+  // -- token plumbing --
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Error(std::string msg) const {
+    return Status::ParseError(StrCat(msg, " (at offset ", Peek().pos, ")"));
+  }
+
+  bool MatchKeyword(std::string_view kw) {
+    if (IsKeyword(Peek(), kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) {
+      return Error(StrCat("expected ", kw));
+    }
+    return Status::OK();
+  }
+  bool MatchSymbol(std::string_view sym) {
+    if (Peek().kind == Tok::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!MatchSymbol(sym)) return Error(StrCat("expected '", sym, "'"));
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != Tok::kIdent) return Error("expected identifier");
+    return Next().text;
+  }
+
+  // Column names may be qualified: `a.b`.
+  Result<std::string> ExpectColumnName() {
+    PTLDB_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    if (MatchSymbol(".")) {
+      PTLDB_ASSIGN_OR_RETURN(std::string field, ExpectIdent());
+      name += "." + field;
+    }
+    return name;
+  }
+
+  // -- select list --
+  Status ParseSelectList() {
+    do {
+      SelectItem item;
+      if (MatchSymbol("*")) {
+        item.is_star = true;
+        select_items_.push_back(std::move(item));
+        continue;
+      }
+      // Aggregate call?
+      if (Peek().kind == Tok::kIdent && Peek(1).kind == Tok::kSymbol &&
+          Peek(1).text == "(") {
+        std::optional<AggFn> fn = AggFnFromName(Peek().text);
+        if (fn.has_value()) {
+          std::string fn_name = Next().text;
+          PTLDB_RETURN_IF_ERROR(ExpectSymbol("("));
+          item.agg = fn;
+          if (MatchSymbol("*")) {
+            item.expr = nullptr;
+            item.name = ToLower(fn_name);
+          } else {
+            PTLDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+            item.name = StrCat(ToLower(fn_name), "_", item.expr->ToString());
+          }
+          PTLDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+          if (MatchKeyword("AS")) {
+            PTLDB_ASSIGN_OR_RETURN(item.name, ExpectIdent());
+          }
+          select_items_.push_back(std::move(item));
+          continue;
+        }
+      }
+      PTLDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      item.name = item.expr->kind == Expr::Kind::kColumnRef
+                      ? item.expr->name
+                      : item.expr->ToString();
+      if (MatchKeyword("AS")) {
+        PTLDB_ASSIGN_OR_RETURN(item.name, ExpectIdent());
+      }
+      select_items_.push_back(std::move(item));
+    } while (MatchSymbol(","));
+    return Status::OK();
+  }
+
+  // Wraps the FROM/WHERE plan with Aggregate/Project per the select list.
+  Result<QueryPtr> ApplySelectList(QueryPtr plan,
+                                   std::vector<std::string> group_by) {
+    bool has_agg = false;
+    for (const SelectItem& item : select_items_) {
+      if (item.agg.has_value()) has_agg = true;
+    }
+    if (!has_agg && !group_by.empty()) {
+      return Status::ParseError("GROUP BY without aggregate select items");
+    }
+    if (has_agg) {
+      std::vector<AggSpec> aggs;
+      // Output order: SQL semantics project in select-list order, but our
+      // Aggregate node emits group columns first. Build Aggregate then a
+      // Project restoring select order.
+      std::vector<std::pair<std::string, ExprPtr>> final_projection;
+      for (const SelectItem& item : select_items_) {
+        if (item.is_star) {
+          return Status::ParseError("'*' cannot be mixed with aggregates");
+        }
+        if (item.agg.has_value()) {
+          aggs.push_back(AggSpec{*item.agg, item.expr, item.name});
+          final_projection.emplace_back(item.name, Col(item.name));
+        } else {
+          if (item.expr->kind != Expr::Kind::kColumnRef) {
+            return Status::ParseError(
+                "non-aggregate select items must be plain group-by columns");
+          }
+          bool grouped = false;
+          for (const std::string& g : group_by) grouped |= (g == item.expr->name);
+          if (!grouped) {
+            return Status::ParseError(
+                StrCat("column '", item.expr->name,
+                       "' must appear in GROUP BY"));
+          }
+          final_projection.emplace_back(item.name, Col(item.expr->name));
+        }
+      }
+      plan = Aggregate(std::move(plan), std::move(group_by), std::move(aggs));
+      return Project(std::move(plan), std::move(final_projection));
+    }
+    // Plain select list.
+    if (select_items_.size() == 1 && select_items_[0].is_star) {
+      return plan;  // SELECT * — pass through.
+    }
+    std::vector<std::pair<std::string, ExprPtr>> projections;
+    for (const SelectItem& item : select_items_) {
+      if (item.is_star) {
+        return Status::ParseError("'*' cannot be mixed with other select items");
+      }
+      projections.emplace_back(item.name, item.expr);
+    }
+    return Project(std::move(plan), std::move(projections));
+  }
+
+  // True when every sort key names a select-list output column.
+  bool SortKeysAreOutputs(
+      const std::vector<std::pair<std::string, bool>>& keys) const {
+    if (select_items_.size() == 1 && select_items_[0].is_star) {
+      return true;  // SELECT *: output columns == input columns
+    }
+    for (const auto& [name, asc] : keys) {
+      (void)asc;
+      bool found = false;
+      for (const SelectItem& item : select_items_) {
+        if (item.name == name) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+
+  Result<QueryPtr> ParseTableRef() {
+    PTLDB_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    std::string alias;
+    if (MatchKeyword("AS")) {
+      PTLDB_ASSIGN_OR_RETURN(alias, ExpectIdent());
+    } else if (Peek().kind == Tok::kIdent && !IsReservedAfterTable(Peek())) {
+      alias = Next().text;
+    }
+    return Scan(std::move(table), std::move(alias));
+  }
+
+  static bool IsReservedAfterTable(const Token& t) {
+    static const char* kReserved[] = {"JOIN",  "ON",    "WHERE", "GROUP",
+                                      "ORDER", "LIMIT", "AS",    "BY"};
+    for (const char* kw : kReserved) {
+      if (IsKeyword(t, kw)) return true;
+    }
+    return false;
+  }
+
+  // -- expressions (precedence climbing) --
+  // or < and < not < comparison < additive < multiplicative < unary < primary
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    PTLDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (MatchKeyword("OR")) {
+      PTLDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    PTLDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (MatchKeyword("AND")) {
+      PTLDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      PTLDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Not(std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    PTLDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    if (Peek().kind == Tok::kSymbol) {
+      const std::string& sym = Peek().text;
+      std::optional<BinaryOp> op;
+      if (sym == "=") op = BinaryOp::kEq;
+      else if (sym == "!=" || sym == "<>") op = BinaryOp::kNe;
+      else if (sym == "<") op = BinaryOp::kLt;
+      else if (sym == "<=") op = BinaryOp::kLe;
+      else if (sym == ">") op = BinaryOp::kGt;
+      else if (sym == ">=") op = BinaryOp::kGe;
+      if (op.has_value()) {
+        ++pos_;
+        PTLDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return Binary(*op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    PTLDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (Peek().kind == Tok::kSymbol &&
+           (Peek().text == "+" || Peek().text == "-")) {
+      BinaryOp op = Next().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+      PTLDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    PTLDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().kind == Tok::kSymbol &&
+           (Peek().text == "*" || Peek().text == "/" || Peek().text == "%")) {
+      std::string sym = Next().text;
+      BinaryOp op = sym == "*"   ? BinaryOp::kMul
+                    : sym == "/" ? BinaryOp::kDiv
+                                 : BinaryOp::kMod;
+      PTLDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().kind == Tok::kSymbol && Peek().text == "-") {
+      ++pos_;
+      PTLDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Unary(UnaryOp::kNeg, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Tok::kInt:
+        return Lit(Value::Int(Next().int_value));
+      case Tok::kFloat:
+        return Lit(Value::Real(Next().float_value));
+      case Tok::kString:
+        return Lit(Value::Str(Next().text));
+      case Tok::kParam:
+        return Param(Next().text);
+      case Tok::kIdent: {
+        if (IsKeyword(t, "TRUE")) {
+          ++pos_;
+          return Lit(Value::Bool(true));
+        }
+        if (IsKeyword(t, "FALSE")) {
+          ++pos_;
+          return Lit(Value::Bool(false));
+        }
+        if (IsKeyword(t, "NULL")) {
+          ++pos_;
+          return Lit(Value::Null());
+        }
+        PTLDB_ASSIGN_OR_RETURN(std::string name, ExpectColumnName());
+        return Col(std::move(name));
+      }
+      case Tok::kSymbol:
+        if (t.text == "(") {
+          ++pos_;
+          PTLDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          PTLDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        break;
+      case Tok::kEnd:
+        break;
+    }
+    return Error(StrCat("unexpected token '", t.text, "' in expression"));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  bool distinct_ = false;
+  std::vector<SelectItem> select_items_;
+};
+
+}  // namespace
+
+Result<QueryPtr> ParseSql(std::string_view sql) {
+  Lexer lexer(sql);
+  PTLDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+Result<ExprPtr> ParseSqlExpr(std::string_view text) {
+  Lexer lexer(text);
+  PTLDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseBareExpr();
+}
+
+}  // namespace ptldb::db

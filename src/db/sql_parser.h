@@ -1,0 +1,35 @@
+// A small SQL dialect for the substrate, sufficient for the queries the paper
+// embeds in PTL conditions (the OVERPRICED example of §4.1 and friends):
+//
+//   SELECT <item, ...> FROM <table> [AS a] [JOIN <table> [AS b] ON <expr>]*
+//     [WHERE <expr>] [GROUP BY col, ...] [ORDER BY col [ASC|DESC], ...]
+//     [LIMIT n]
+//
+// Items are expressions (with optional `AS name`), `*`, or aggregate calls
+// COUNT/SUM/MIN/MAX/AVG. `$name` denotes a named parameter supplied at
+// execution time — this is how rule parameters reach embedded queries.
+//
+// `ParseSql` produces a logical plan (db/query.h); `ParseSqlExpr` parses a
+// bare scalar expression (used for UPDATE ... SET and rule actions).
+
+#ifndef PTLDB_DB_SQL_PARSER_H_
+#define PTLDB_DB_SQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "db/expr.h"
+#include "db/query.h"
+
+namespace ptldb::db {
+
+/// Parses a SELECT statement into a logical plan.
+Result<QueryPtr> ParseSql(std::string_view sql);
+
+/// Parses a bare scalar expression (no SELECT), e.g. "price * 2 >= $limit".
+Result<ExprPtr> ParseSqlExpr(std::string_view text);
+
+}  // namespace ptldb::db
+
+#endif  // PTLDB_DB_SQL_PARSER_H_

@@ -1,0 +1,42 @@
+// Per-transaction bookkeeping: undo log and buffered row events.
+//
+// The engine applies writes to tables immediately (so a transaction reads its
+// own writes) and logs inverse operations; Abort replays the log backwards.
+// Row events are buffered and attached to the commit system state, matching
+// the paper's transaction-time model where "the new database state reflects
+// all and only the database changes made by the transaction" at commit.
+
+#ifndef PTLDB_DB_TRANSACTION_H_
+#define PTLDB_DB_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/tuple.h"
+#include "event/event.h"
+
+namespace ptldb::db {
+
+/// One inverse operation in the undo log.
+struct UndoRecord {
+  enum class Kind { kUndoInsert, kUndoDelete, kUndoUpdate };
+  Kind kind;
+  std::string table;
+  Tuple row;      // kUndoInsert: the inserted row. kUndoDelete: the deleted row.
+  Tuple old_row;  // kUndoUpdate: previous image (row holds the new image).
+};
+
+/// State of an open transaction.
+struct Transaction {
+  int64_t id = 0;
+  std::vector<UndoRecord> undo_log;
+  std::vector<event::Event> row_events;
+  // Sequence number of the earliest history state at/after which this
+  // transaction made its first update; used by the valid-time layer.
+  bool has_writes = false;
+};
+
+}  // namespace ptldb::db
+
+#endif  // PTLDB_DB_TRANSACTION_H_

@@ -1,0 +1,36 @@
+// Tuples: fixed-width rows of dynamically typed values.
+
+#ifndef PTLDB_DB_TUPLE_H_
+#define PTLDB_DB_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ptldb::db {
+
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t seed = t.size();
+    for (const Value& v : t) seed = HashCombine(seed, v.Hash());
+    return seed;
+  }
+};
+
+/// `(v1, v2, ...)` rendering.
+inline std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ptldb::db
+
+#endif  // PTLDB_DB_TUPLE_H_

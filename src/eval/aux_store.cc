@@ -1,0 +1,118 @@
+#include "eval/aux_store.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "db/tuple.h"
+
+namespace ptldb::eval {
+
+Status ScalarSeries::Record(Timestamp t, Value v) {
+  if (!intervals_.empty()) {
+    Interval& last = intervals_.back();
+    if (t < last.start) {
+      return Status::InvalidArgument(
+          StrCat("record at time ", t, " precedes last interval start ",
+                 last.start));
+    }
+    if (last.value == v) return Status::OK();  // unchanged: extend implicitly
+    last.end = t;
+    if (last.start == last.end) intervals_.pop_back();  // zero-length interval
+  }
+  intervals_.push_back(Interval{t, kTimeMax, std::move(v)});
+  return Status::OK();
+}
+
+Result<Value> ScalarSeries::AsOf(Timestamp t) const {
+  // Binary search for the interval containing t.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Timestamp x, const Interval& iv) { return x < iv.start; });
+  if (it == intervals_.begin()) {
+    return Status::NotFound(StrCat("no value recorded at or before time ", t));
+  }
+  --it;
+  if (t >= it->end) {
+    return Status::NotFound(StrCat("value history trimmed before time ", t));
+  }
+  return it->value;
+}
+
+Result<Value> ScalarSeries::Latest() const {
+  if (intervals_.empty()) return Status::NotFound("empty series");
+  return intervals_.back().value;
+}
+
+void ScalarSeries::TrimBefore(Timestamp horizon) {
+  while (!intervals_.empty() && intervals_.front().end <= horizon) {
+    intervals_.pop_front();
+  }
+}
+
+Status RelationHistory::Record(Timestamp t, const db::Relation& rel) {
+  if (rel.schema() != schema_) {
+    return Status::InvalidArgument("relation schema does not match history");
+  }
+  if (has_record_ && t < last_time_) {
+    return Status::InvalidArgument(
+        StrCat("record at time ", t, " precedes last record at ", last_time_));
+  }
+  // Multiset of the new contents.
+  std::unordered_map<db::Tuple, int64_t, db::TupleHash> want;
+  for (const db::Tuple& row : rel.rows()) ++want[row];
+
+  // Close intervals of rows that disappeared (or whose multiplicity dropped);
+  // keep rows still present.
+  for (StampedRow& sr : rows_) {
+    if (sr.end != kTimeMax) continue;
+    auto it = want.find(sr.row);
+    if (it != want.end() && it->second > 0) {
+      --it->second;  // still present: interval stays open
+    } else {
+      sr.end = t;
+    }
+  }
+  // Open intervals for genuinely new rows.
+  for (const auto& [row, count] : want) {
+    for (int64_t i = 0; i < count; ++i) {
+      rows_.push_back(StampedRow{row, t, kTimeMax});
+    }
+  }
+  last_time_ = t;
+  has_record_ = true;
+  return Status::OK();
+}
+
+Result<db::Relation> RelationHistory::AsOf(Timestamp t) const {
+  if (!has_record_) return Status::NotFound("empty relation history");
+  db::Relation out(schema_);
+  for (const StampedRow& sr : rows_) {
+    if (sr.start <= t && t < sr.end) out.AppendUnchecked(sr.row);
+  }
+  return out;
+}
+
+db::Relation RelationHistory::Store() const {
+  std::vector<db::Column> cols = schema_.columns();
+  cols.push_back(db::Column{"T_start", ValueType::kInt64});
+  cols.push_back(db::Column{"T_end", ValueType::kInt64});
+  db::Relation out{db::Schema(std::move(cols))};
+  for (const StampedRow& sr : rows_) {
+    db::Tuple row = sr.row;
+    row.push_back(Value::Time(sr.start));
+    row.push_back(Value::Time(sr.end));
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+void RelationHistory::TrimBefore(Timestamp horizon) {
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                             [horizon](const StampedRow& sr) {
+                               return sr.end <= horizon;
+                             }),
+              rows_.end());
+}
+
+}  // namespace ptldb::eval

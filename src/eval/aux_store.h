@@ -1,0 +1,105 @@
+// Auxiliary relations (paper §5, "Implementation Using Auxiliary Relations").
+//
+// For a variable x bound to a query q, the paper maintains a relation R_x
+// with the query's attributes plus [T_start, T_end) validity interval columns,
+// so the value of q at any previous time can be retrieved by a selection.
+// This module provides both flavors:
+//
+//   * ScalarSeries  — interval-stamped history of a scalar query value
+//     (one row per distinct consecutive value). Used by the valid-time layer
+//     to rebuild StateSnapshots when re-evaluating after retroactive updates,
+//     and by anything needing "value of q as of t".
+//   * RelationHistory — interval-stamped history of a full relation, stored
+//     exactly as the paper describes: one row per (tuple, validity interval).
+//
+// Both support retention trimming: the §5 observation that bounded temporal
+// operators only need a bounded window of the past.
+
+#ifndef PTLDB_EVAL_AUX_STORE_H_
+#define PTLDB_EVAL_AUX_STORE_H_
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "db/relation.h"
+
+namespace ptldb::eval {
+
+/// Sentinel for "still valid" (the paper's T_end = MAX).
+inline constexpr Timestamp kTimeMax = std::numeric_limits<Timestamp>::max();
+
+/// Interval-stamped history of one scalar value.
+class ScalarSeries {
+ public:
+  /// Records that the value is `v` from time `t` on. Appends a new interval
+  /// only when the value changed; `t` must be >= the last recorded time.
+  Status Record(Timestamp t, Value v);
+
+  /// Value at time `t`. NotFound before the first record.
+  Result<Value> AsOf(Timestamp t) const;
+
+  /// Latest recorded value. NotFound when empty.
+  Result<Value> Latest() const;
+
+  /// Drops intervals that ended before `horizon` (bounded-operator GC).
+  /// The interval covering `horizon` is always kept.
+  void TrimBefore(Timestamp horizon);
+
+  size_t num_intervals() const { return intervals_.size(); }
+  bool empty() const { return intervals_.empty(); }
+
+ private:
+  struct Interval {
+    Timestamp start;
+    Timestamp end;  // exclusive; kTimeMax while current
+    Value value;
+  };
+  std::deque<Interval> intervals_;
+};
+
+/// Interval-stamped history of a relation-valued query: the paper's R_x with
+/// k data attributes plus T_start / T_end.
+class RelationHistory {
+ public:
+  /// `schema` is the schema of the tracked query's result.
+  explicit RelationHistory(db::Schema schema) : schema_(std::move(schema)) {}
+
+  const db::Schema& schema() const { return schema_; }
+
+  /// Records the full relation value at time `t` (closing the validity of
+  /// rows that disappeared, opening intervals for new rows). `t` must be
+  /// >= the last recorded time. Rows are compared as bags.
+  Status Record(Timestamp t, const db::Relation& rel);
+
+  /// The relation as of time `t` (selection T_start <= t < T_end followed by
+  /// a projection, exactly the paper's retrieval). NotFound before the first
+  /// record.
+  Result<db::Relation> AsOf(Timestamp t) const;
+
+  /// The backing store as a relation with T_start / T_end columns appended —
+  /// i.e. R_x itself, inspectable and queryable.
+  db::Relation Store() const;
+
+  /// Drops rows whose validity ended before `horizon`.
+  void TrimBefore(Timestamp horizon);
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct StampedRow {
+    db::Tuple row;
+    Timestamp start;
+    Timestamp end;  // exclusive; kTimeMax while current
+  };
+  db::Schema schema_;
+  std::vector<StampedRow> rows_;
+  Timestamp last_time_ = std::numeric_limits<Timestamp>::min();
+  bool has_record_ = false;
+};
+
+}  // namespace ptldb::eval
+
+#endif  // PTLDB_EVAL_AUX_STORE_H_

@@ -1,0 +1,699 @@
+#include "eval/graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "ptl/naive_eval.h"
+
+namespace ptldb::eval {
+
+size_t Graph::NodeKeyHash::operator()(const NodeKey& k) const {
+  size_t seed = static_cast<size_t>(k.kind);
+  seed = HashCombine(seed, static_cast<size_t>(k.cmp));
+  seed = HashCombine(seed, k.lhs);
+  seed = HashCombine(seed, k.rhs);
+  for (NodeId c : k.children) seed = HashCombine(seed, c);
+  return seed;
+}
+
+size_t Graph::ExprKeyHash::operator()(const ExprKey& k) const {
+  size_t seed = static_cast<size_t>(k.kind);
+  seed = HashCombine(seed, static_cast<size_t>(k.op));
+  seed = HashCombine(seed, k.constant.Hash());
+  seed = HashCombine(seed, k.var);
+  seed = HashCombine(seed, k.a);
+  seed = HashCombine(seed, k.b);
+  return seed;
+}
+
+namespace {
+// Swaps the sides of a comparison: `a cmp b` == `b Swap(cmp) a`.
+ptl::CmpOp SwapCmpForSubsume(ptl::CmpOp op) {
+  switch (op) {
+    case ptl::CmpOp::kLt:
+      return ptl::CmpOp::kGt;
+    case ptl::CmpOp::kLe:
+      return ptl::CmpOp::kGe;
+    case ptl::CmpOp::kGt:
+      return ptl::CmpOp::kLt;
+    case ptl::CmpOp::kGe:
+      return ptl::CmpOp::kLe;
+    case ptl::CmpOp::kEq:
+    case ptl::CmpOp::kNe:
+      return op;
+  }
+  return op;
+}
+}  // namespace
+
+Graph::Graph() {
+  // Install the sentinels at their fixed ids.
+  NodeKey false_key{Node::Kind::kFalse, ptl::CmpOp::kEq, 0, 0, {}};
+  NodeKey true_key{Node::Kind::kTrue, ptl::CmpOp::kEq, 0, 0, {}};
+  PTLDB_CHECK(InternNode(std::move(false_key)) == kFalseNode);
+  PTLDB_CHECK(InternNode(std::move(true_key)) == kTrueNode);
+}
+
+VarId Graph::InternVar(const std::string& name, bool is_time_var) {
+  auto it = var_index_.find(name);
+  if (it != var_index_.end()) {
+    if (is_time_var) var_is_time_[it->second] = true;
+    return it->second;
+  }
+  VarId id = static_cast<VarId>(var_names_.size());
+  var_names_.push_back(name);
+  var_is_time_.push_back(is_time_var);
+  var_index_.emplace(name, id);
+  return id;
+}
+
+NodeId Graph::InternNode(NodeKey key) {
+  auto it = node_index_.find(key);
+  if (it != node_index_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.kind = key.kind;
+  n.cmp = key.cmp;
+  n.lhs = key.lhs;
+  n.rhs = key.rhs;
+  n.children = key.children;
+  nodes_.push_back(std::move(n));
+  node_index_.emplace(std::move(key), id);
+  return id;
+}
+
+SymExprId Graph::InternExpr(ExprKey key) {
+  auto it = expr_index_.find(key);
+  if (it != expr_index_.end()) return it->second;
+  SymExprId id = static_cast<SymExprId>(exprs_.size());
+  SymExpr e;
+  e.kind = key.kind;
+  e.op = key.op;
+  e.constant = key.constant;
+  e.var = key.var;
+  e.a = key.a;
+  e.b = key.b;
+  exprs_.push_back(std::move(e));
+  expr_index_.emplace(std::move(key), id);
+  return id;
+}
+
+SymExprId Graph::ExprConst(Value v) {
+  return InternExpr(ExprKey{SymExpr::Kind::kConst, ptl::ArithOp::kAdd,
+                            std::move(v), 0, 0, 0});
+}
+
+SymExprId Graph::ExprVar(VarId var) {
+  return InternExpr(
+      ExprKey{SymExpr::Kind::kVar, ptl::ArithOp::kAdd, Value::Null(), var, 0, 0});
+}
+
+Result<SymExprId> Graph::ExprArith(ptl::ArithOp op, SymExprId a, SymExprId b) {
+  if (ExprIsConst(a) && ExprIsConst(b)) {
+    const Value& va = exprs_[a].constant;
+    const Value& vb = exprs_[b].constant;
+    Result<Value> v = Status::Internal("unset");
+    switch (op) {
+      case ptl::ArithOp::kAdd:
+        v = Value::Add(va, vb);
+        break;
+      case ptl::ArithOp::kSub:
+        v = Value::Sub(va, vb);
+        break;
+      case ptl::ArithOp::kMul:
+        v = Value::Mul(va, vb);
+        break;
+      case ptl::ArithOp::kDiv:
+        v = Value::Div(va, vb);
+        break;
+      case ptl::ArithOp::kMod:
+        v = Value::Mod(va, vb);
+        break;
+      case ptl::ArithOp::kNeg:
+        return Status::Internal("binary arith with kNeg");
+    }
+    if (!v.ok()) return v.status();
+    return ExprConst(std::move(v).value());
+  }
+  return InternExpr(ExprKey{SymExpr::Kind::kArith, op, Value::Null(), 0, a, b});
+}
+
+Result<SymExprId> Graph::ExprNeg(SymExprId a) {
+  if (ExprIsConst(a)) {
+    PTLDB_ASSIGN_OR_RETURN(Value v, Value::Neg(exprs_[a].constant));
+    return ExprConst(std::move(v));
+  }
+  return InternExpr(
+      ExprKey{SymExpr::Kind::kArith, ptl::ArithOp::kNeg, Value::Null(), 0, a, 0});
+}
+
+Result<NodeId> Graph::MakeAtom(ptl::CmpOp cmp, SymExprId lhs, SymExprId rhs) {
+  if (ExprIsConst(lhs) && ExprIsConst(rhs)) {
+    PTLDB_ASSIGN_OR_RETURN(
+        bool v, ptl::ApplyCmp(cmp, exprs_[lhs].constant, exprs_[rhs].constant));
+    return MakeBool(v);
+  }
+  return InternNode(NodeKey{Node::Kind::kAtom, cmp, lhs, rhs, {}});
+}
+
+NodeId Graph::MakeNot(NodeId child) {
+  const Node& n = nodes_[child];
+  if (n.kind == Node::Kind::kFalse) return kTrueNode;
+  if (n.kind == Node::Kind::kTrue) return kFalseNode;
+  if (n.kind == Node::Kind::kNot) return n.children[0];
+  // NOT over an atom folds into the complementary comparison, keeping atoms
+  // in a canonical positive form (helps sharing and pruning).
+  if (n.kind == Node::Kind::kAtom) {
+    Result<NodeId> flipped =
+        MakeAtom(ptl::NegateCmp(n.cmp), n.lhs, n.rhs);
+    PTLDB_CHECK(flipped.ok());  // operands unchanged, cannot fail
+    return flipped.value();
+  }
+  return InternNode(NodeKey{Node::Kind::kNot, ptl::CmpOp::kEq, 0, 0, {child}});
+}
+
+NodeId Graph::MakeNary(Node::Kind kind, std::vector<NodeId> children) {
+  PTLDB_CHECK(kind == Node::Kind::kAnd || kind == Node::Kind::kOr);
+  const bool is_and = kind == Node::Kind::kAnd;
+  const NodeId absorbing = is_and ? kFalseNode : kTrueNode;
+  const NodeId identity = is_and ? kTrueNode : kFalseNode;
+
+  // Flatten nested nodes of the same kind and drop identities.
+  std::vector<NodeId> flat;
+  flat.reserve(children.size());
+  std::vector<NodeId> work(children.rbegin(), children.rend());
+  while (!work.empty()) {
+    NodeId id = work.back();
+    work.pop_back();
+    if (id == absorbing) return absorbing;
+    if (id == identity) continue;
+    const Node& n = nodes_[id];
+    if (n.kind == kind) {
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        work.push_back(*it);
+      }
+    } else {
+      flat.push_back(id);
+    }
+  }
+  std::sort(flat.begin(), flat.end());
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+  if (subsumption_) SubsumeIntervalAtoms(is_and, &flat);
+  if (flat.empty()) return identity;
+  if (flat.size() == 1) return flat[0];
+  // Complement annihilation: x AND NOT x -> false; x OR NOT x -> true.
+  for (NodeId id : flat) {
+    const Node& n = nodes_[id];
+    if (n.kind == Node::Kind::kNot &&
+        std::binary_search(flat.begin(), flat.end(), n.children[0])) {
+      return absorbing;
+    }
+  }
+  return InternNode(NodeKey{kind, ptl::CmpOp::kEq, 0, 0, std::move(flat)});
+}
+
+void Graph::SubsumeIntervalAtoms(bool is_and, std::vector<NodeId>* children) {
+  // §5 "optimization techniques to reduce the size of the formulas":
+  // one-sided atoms over the same symbolic expression collapse —
+  //   (E <= 5 OR  E <= 9) == E <= 9      (E <= 5 AND E <= 9) == E <= 5
+  //   (E >= 5 OR  E >= 9) == E >= 5      (E >= 5 AND E >= 9) == E >= 9
+  // This is what keeps unbounded conditions like
+  // [x := q] PREVIOUSLY (q <= 0.5 * x) at constant retained state: the
+  // retained disjunction is just the running extremum.
+  //
+  // Key: (symbolic side, comparison with the constant on the right).
+  std::unordered_map<uint64_t, size_t> best;  // key -> index into children
+  std::vector<bool> drop(children->size(), false);
+  bool any_dropped = false;
+  for (size_t i = 0; i < children->size(); ++i) {
+    const Node& n = nodes_[(*children)[i]];
+    if (n.kind != Node::Kind::kAtom) continue;
+    SymExprId sym_side, const_side;
+    ptl::CmpOp cmp = n.cmp;
+    if (!ExprIsConst(n.lhs) && ExprIsConst(n.rhs)) {
+      sym_side = n.lhs;
+      const_side = n.rhs;
+    } else if (ExprIsConst(n.lhs) && !ExprIsConst(n.rhs)) {
+      sym_side = n.rhs;
+      const_side = n.lhs;
+      cmp = SwapCmpForSubsume(cmp);
+    } else {
+      continue;
+    }
+    if (cmp == ptl::CmpOp::kEq || cmp == ptl::CmpOp::kNe) continue;
+    const Value& bound = exprs_[const_side].constant;
+    if (!bound.is_numeric()) continue;
+    uint64_t key = (static_cast<uint64_t>(sym_side) << 3) |
+                   static_cast<uint64_t>(cmp);
+    auto [it, inserted] = best.try_emplace(key, i);
+    if (inserted) continue;
+    // Compare against the current keeper.
+    const Node& keeper = nodes_[(*children)[it->second]];
+    const Value& kb = ExprIsConst(keeper.rhs) ? exprs_[keeper.rhs].constant
+                                              : exprs_[keeper.lhs].constant;
+    auto c = Value::Compare(bound, kb);
+    if (!c.ok()) continue;
+    // For <=/<: Or keeps the larger bound, And the smaller. For >=/>:
+    // mirrored.
+    bool upper = cmp == ptl::CmpOp::kLe || cmp == ptl::CmpOp::kLt;
+    bool new_wins = is_and ? (upper ? c.value() < 0 : c.value() > 0)
+                           : (upper ? c.value() > 0 : c.value() < 0);
+    if (new_wins) {
+      drop[it->second] = true;
+      it->second = i;
+    } else {
+      drop[i] = true;
+    }
+    any_dropped = true;
+  }
+  if (!any_dropped) return;
+  std::vector<NodeId> kept;
+  kept.reserve(children->size());
+  for (size_t i = 0; i < children->size(); ++i) {
+    if (!drop[i]) kept.push_back((*children)[i]);
+  }
+  *children = std::move(kept);
+}
+
+NodeId Graph::MakeAnd(std::vector<NodeId> children) {
+  return MakeNary(Node::Kind::kAnd, std::move(children));
+}
+
+NodeId Graph::MakeOr(std::vector<NodeId> children) {
+  return MakeNary(Node::Kind::kOr, std::move(children));
+}
+
+Result<SymExprId> Graph::SubstituteExpr(
+    SymExprId id, VarId var, const Value& value,
+    std::unordered_map<SymExprId, SymExprId>* memo) {
+  auto it = memo->find(id);
+  if (it != memo->end()) return it->second;
+  const SymExpr& e = exprs_[id];
+  SymExprId out = id;
+  switch (e.kind) {
+    case SymExpr::Kind::kConst:
+      break;
+    case SymExpr::Kind::kVar:
+      if (e.var == var) out = ExprConst(value);
+      break;
+    case SymExpr::Kind::kArith: {
+      if (e.op == ptl::ArithOp::kNeg) {
+        PTLDB_ASSIGN_OR_RETURN(SymExprId a,
+                               SubstituteExpr(e.a, var, value, memo));
+        if (a != e.a) {
+          PTLDB_ASSIGN_OR_RETURN(out, ExprNeg(a));
+        }
+      } else {
+        PTLDB_ASSIGN_OR_RETURN(SymExprId a,
+                               SubstituteExpr(e.a, var, value, memo));
+        PTLDB_ASSIGN_OR_RETURN(SymExprId b,
+                               SubstituteExpr(e.b, var, value, memo));
+        if (a != e.a || b != e.b) {
+          // Re-read op from exprs_ (the vector may have reallocated).
+          PTLDB_ASSIGN_OR_RETURN(out, ExprArith(exprs_[id].op, a, b));
+        }
+      }
+      break;
+    }
+  }
+  memo->emplace(id, out);
+  return out;
+}
+
+Result<NodeId> Graph::Substitute(NodeId root, VarId var, const Value& value) {
+  std::unordered_map<NodeId, NodeId> memo;
+  std::unordered_map<SymExprId, SymExprId> expr_memo;
+
+  // Recursive rewrite with explicit lambda recursion.
+  struct Rec {
+    Graph* g;
+    VarId var;
+    const Value& value;
+    std::unordered_map<NodeId, NodeId>* memo;
+    std::unordered_map<SymExprId, SymExprId>* expr_memo;
+
+    Result<NodeId> operator()(NodeId id) {
+      auto it = memo->find(id);
+      if (it != memo->end()) return it->second;
+      const Node n = g->nodes_[id];  // copy: vector may reallocate
+      NodeId out = id;
+      switch (n.kind) {
+        case Node::Kind::kFalse:
+        case Node::Kind::kTrue:
+          break;
+        case Node::Kind::kAtom: {
+          PTLDB_ASSIGN_OR_RETURN(
+              SymExprId lhs, g->SubstituteExpr(n.lhs, var, value, expr_memo));
+          PTLDB_ASSIGN_OR_RETURN(
+              SymExprId rhs, g->SubstituteExpr(n.rhs, var, value, expr_memo));
+          if (lhs != n.lhs || rhs != n.rhs) {
+            PTLDB_ASSIGN_OR_RETURN(out, g->MakeAtom(n.cmp, lhs, rhs));
+          }
+          break;
+        }
+        case Node::Kind::kNot: {
+          PTLDB_ASSIGN_OR_RETURN(NodeId c, (*this)(n.children[0]));
+          if (c != n.children[0]) out = g->MakeNot(c);
+          break;
+        }
+        case Node::Kind::kAnd:
+        case Node::Kind::kOr: {
+          std::vector<NodeId> kids;
+          kids.reserve(n.children.size());
+          bool changed = false;
+          for (NodeId c : n.children) {
+            PTLDB_ASSIGN_OR_RETURN(NodeId nc, (*this)(c));
+            changed |= (nc != c);
+            kids.push_back(nc);
+          }
+          if (changed) out = g->MakeNary(n.kind, std::move(kids));
+          break;
+        }
+      }
+      memo->emplace(id, out);
+      return out;
+    }
+  } rec{this, var, value, &memo, &expr_memo};
+  return rec(root);
+}
+
+namespace {
+
+// Swaps the sides of a comparison: `a cmp b` == `b Swap(cmp) a`.
+ptl::CmpOp SwapCmp(ptl::CmpOp op) {
+  switch (op) {
+    case ptl::CmpOp::kLt:
+      return ptl::CmpOp::kGt;
+    case ptl::CmpOp::kLe:
+      return ptl::CmpOp::kGe;
+    case ptl::CmpOp::kGt:
+      return ptl::CmpOp::kLt;
+    case ptl::CmpOp::kGe:
+      return ptl::CmpOp::kLe;
+    case ptl::CmpOp::kEq:
+    case ptl::CmpOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+}  // namespace
+
+bool Graph::NormalizeTimeAtom(const Node& atom, ptl::CmpOp* out_cmp,
+                              Value* out_bound) const {
+  // Recognize `f(t) cmp C` or `C cmp f(t)` with f(t) one of: t, t+c, t-c, c+t
+  // and t a time variable.
+  SymExprId var_side, const_side;
+  ptl::CmpOp cmp = atom.cmp;
+  if (ExprIsConst(atom.rhs) && !ExprIsConst(atom.lhs)) {
+    var_side = atom.lhs;
+    const_side = atom.rhs;
+  } else if (ExprIsConst(atom.lhs) && !ExprIsConst(atom.rhs)) {
+    var_side = atom.rhs;
+    const_side = atom.lhs;
+    cmp = SwapCmp(cmp);
+  } else {
+    return false;
+  }
+  Value bound = exprs_[const_side].constant;
+  if (!bound.is_numeric()) return false;
+
+  const SymExpr* e = &exprs_[var_side];
+  // Peel one level of t +/- c.
+  if (e->kind == SymExpr::Kind::kArith) {
+    if (e->op == ptl::ArithOp::kAdd) {
+      // t + c cmp B  ->  t cmp B - c  (also c + t).
+      SymExprId var_part, const_part;
+      if (!ExprIsConst(e->a) && ExprIsConst(e->b)) {
+        var_part = e->a;
+        const_part = e->b;
+      } else if (ExprIsConst(e->a) && !ExprIsConst(e->b)) {
+        var_part = e->b;
+        const_part = e->a;
+      } else {
+        return false;
+      }
+      auto nb = Value::Sub(bound, exprs_[const_part].constant);
+      if (!nb.ok()) return false;
+      bound = std::move(nb).value();
+      e = &exprs_[var_part];
+    } else if (e->op == ptl::ArithOp::kSub) {
+      // t - c cmp B  ->  t cmp B + c. (c - t is not handled: sign flip.)
+      if (ExprIsConst(e->a) || !ExprIsConst(e->b)) return false;
+      auto nb = Value::Add(bound, exprs_[e->b].constant);
+      if (!nb.ok()) return false;
+      bound = std::move(nb).value();
+      e = &exprs_[e->a];
+    } else {
+      return false;
+    }
+  }
+  if (e->kind != SymExpr::Kind::kVar) return false;
+  if (!var_is_time_[e->var]) return false;
+  *out_cmp = cmp;
+  *out_bound = std::move(bound);
+  return true;
+}
+
+Result<NodeId> Graph::PruneTimeBounds(NodeId root, Timestamp now) {
+  std::unordered_map<NodeId, NodeId> memo;
+  struct Rec {
+    Graph* g;
+    Timestamp now;
+    std::unordered_map<NodeId, NodeId>* memo;
+
+    Result<NodeId> operator()(NodeId id) {
+      auto it = memo->find(id);
+      if (it != memo->end()) return it->second;
+      const Node n = g->nodes_[id];  // copy: vector may reallocate
+      NodeId out = id;
+      switch (n.kind) {
+        case Node::Kind::kFalse:
+        case Node::Kind::kTrue:
+          break;
+        case Node::Kind::kAtom: {
+          ptl::CmpOp cmp;
+          Value bound;
+          if (g->NormalizeTimeAtom(n, &cmp, &bound)) {
+            // All future substitutions of a time variable are >= now.
+            auto c = Value::Compare(Value::Int(now), bound);
+            if (c.ok()) {
+              int rel = c.value();  // now vs bound
+              switch (cmp) {
+                case ptl::CmpOp::kLe:  // t <= B: dead once now > B
+                  if (rel > 0) out = kFalseNode;
+                  break;
+                case ptl::CmpOp::kLt:  // t < B: dead once now >= B
+                  if (rel >= 0) out = kFalseNode;
+                  break;
+                case ptl::CmpOp::kGe:  // t >= B: settled once now >= B
+                  if (rel >= 0) out = kTrueNode;
+                  break;
+                case ptl::CmpOp::kGt:  // t > B: settled once now > B
+                  if (rel > 0) out = kTrueNode;
+                  break;
+                case ptl::CmpOp::kEq:  // t = B: dead once now > B
+                  if (rel > 0) out = kFalseNode;
+                  break;
+                case ptl::CmpOp::kNe:  // t != B: settled once now > B
+                  if (rel > 0) out = kTrueNode;
+                  break;
+              }
+            }
+          }
+          break;
+        }
+        case Node::Kind::kNot: {
+          PTLDB_ASSIGN_OR_RETURN(NodeId c, (*this)(n.children[0]));
+          if (c != n.children[0]) out = g->MakeNot(c);
+          break;
+        }
+        case Node::Kind::kAnd:
+        case Node::Kind::kOr: {
+          std::vector<NodeId> kids;
+          kids.reserve(n.children.size());
+          bool changed = false;
+          for (NodeId c : n.children) {
+            PTLDB_ASSIGN_OR_RETURN(NodeId nc, (*this)(c));
+            changed |= (nc != c);
+            kids.push_back(nc);
+          }
+          if (changed) out = g->MakeNary(n.kind, std::move(kids));
+          break;
+        }
+      }
+      memo->emplace(id, out);
+      return out;
+    }
+  } rec{this, now, &memo};
+  return rec(root);
+}
+
+size_t Graph::CountReachable(const std::vector<NodeId>& roots) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> work;
+  size_t count = 0;
+  for (NodeId r : roots) {
+    if (!seen[r]) {
+      seen[r] = true;
+      work.push_back(r);
+    }
+  }
+  while (!work.empty()) {
+    NodeId id = work.back();
+    work.pop_back();
+    ++count;
+    for (NodeId c : nodes_[id].children) {
+      if (!seen[c]) {
+        seen[c] = true;
+        work.push_back(c);
+      }
+    }
+  }
+  return count;
+}
+
+void Graph::Collect(std::vector<NodeId*> roots) {
+  // Mark reachable nodes.
+  std::vector<bool> node_seen(nodes_.size(), false);
+  std::vector<bool> expr_seen(exprs_.size(), false);
+  node_seen[kFalseNode] = node_seen[kTrueNode] = true;
+  std::vector<NodeId> work;
+  for (NodeId* r : roots) {
+    if (!node_seen[*r]) {
+      node_seen[*r] = true;
+      work.push_back(*r);
+    }
+  }
+  work.push_back(kFalseNode);
+  work.push_back(kTrueNode);
+  while (!work.empty()) {
+    NodeId id = work.back();
+    work.pop_back();
+    const Node& n = nodes_[id];
+    if (n.kind == Node::Kind::kAtom) {
+      // Mark the expression DAGs of atoms.
+      std::vector<SymExprId> ework{n.lhs, n.rhs};
+      while (!ework.empty()) {
+        SymExprId e = ework.back();
+        ework.pop_back();
+        if (expr_seen[e]) continue;
+        expr_seen[e] = true;
+        const SymExpr& ex = exprs_[e];
+        if (ex.kind == SymExpr::Kind::kArith) {
+          ework.push_back(ex.a);
+          if (ex.op != ptl::ArithOp::kNeg) ework.push_back(ex.b);
+        }
+      }
+    }
+    for (NodeId c : n.children) {
+      if (!node_seen[c]) {
+        node_seen[c] = true;
+        work.push_back(c);
+      }
+    }
+  }
+
+  // Compact expressions.
+  std::vector<SymExprId> expr_remap(exprs_.size(), 0);
+  std::vector<SymExpr> new_exprs;
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (!expr_seen[i]) continue;
+    expr_remap[i] = static_cast<SymExprId>(new_exprs.size());
+    SymExpr e = exprs_[i];
+    if (e.kind == SymExpr::Kind::kArith) {
+      e.a = expr_remap[e.a];  // operands precede users (append-only order)
+      if (e.op != ptl::ArithOp::kNeg) e.b = expr_remap[e.b];
+    }
+    new_exprs.push_back(std::move(e));
+  }
+
+  // Compact nodes (children precede parents by construction order).
+  std::vector<NodeId> node_remap(nodes_.size(), 0);
+  std::vector<Node> new_nodes;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!node_seen[i]) continue;
+    node_remap[i] = static_cast<NodeId>(new_nodes.size());
+    Node n = nodes_[i];
+    if (n.kind == Node::Kind::kAtom) {
+      n.lhs = expr_remap[n.lhs];
+      n.rhs = expr_remap[n.rhs];
+    }
+    for (NodeId& c : n.children) c = node_remap[c];
+    new_nodes.push_back(std::move(n));
+  }
+
+  nodes_ = std::move(new_nodes);
+  exprs_ = std::move(new_exprs);
+  PTLDB_CHECK(nodes_[kFalseNode].kind == Node::Kind::kFalse);
+  PTLDB_CHECK(nodes_[kTrueNode].kind == Node::Kind::kTrue);
+
+  // Rebuild the hash-cons indexes.
+  node_index_.clear();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    node_index_.emplace(NodeKey{n.kind, n.cmp, n.lhs, n.rhs, n.children},
+                        static_cast<NodeId>(i));
+  }
+  expr_index_.clear();
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    const SymExpr& e = exprs_[i];
+    expr_index_.emplace(ExprKey{e.kind, e.op, e.constant, e.var, e.a, e.b},
+                        static_cast<SymExprId>(i));
+  }
+
+  for (NodeId* r : roots) *r = node_remap[*r];
+  ++generation_;
+}
+
+Result<Value> Graph::EvalGroundExpr(SymExprId id) const {
+  const SymExpr& e = exprs_[id];
+  if (e.kind != SymExpr::Kind::kConst) {
+    return Status::Internal("expression is not ground");
+  }
+  return e.constant;
+}
+
+std::string Graph::ExprToString(SymExprId id) const {
+  const SymExpr& e = exprs_[id];
+  switch (e.kind) {
+    case SymExpr::Kind::kConst:
+      return e.constant.ToString();
+    case SymExpr::Kind::kVar:
+      return var_names_[e.var];
+    case SymExpr::Kind::kArith:
+      if (e.op == ptl::ArithOp::kNeg) {
+        return StrCat("-(", ExprToString(e.a), ")");
+      }
+      return StrCat("(", ExprToString(e.a), " ", ptl::ArithOpToString(e.op),
+                    " ", ExprToString(e.b), ")");
+  }
+  return "?";
+}
+
+std::string Graph::ToString(NodeId id) const {
+  const Node& n = nodes_[id];
+  switch (n.kind) {
+    case Node::Kind::kFalse:
+      return "false";
+    case Node::Kind::kTrue:
+      return "true";
+    case Node::Kind::kAtom:
+      return StrCat(ExprToString(n.lhs), " ", ptl::CmpOpToString(n.cmp), " ",
+                    ExprToString(n.rhs));
+    case Node::Kind::kNot:
+      return StrCat("NOT (", ToString(n.children[0]), ")");
+    case Node::Kind::kAnd:
+    case Node::Kind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(n.children.size());
+      for (NodeId c : n.children) parts.push_back(ToString(c));
+      return StrCat("(", Join(parts, n.kind == Node::Kind::kAnd ? " AND " : " OR "),
+                    ")");
+    }
+  }
+  return "?";
+}
+
+}  // namespace ptldb::eval

@@ -1,0 +1,193 @@
+// The and-or graph underlying the §5 incremental algorithm.
+//
+// The algorithm maintains, per subformula g, a *symbolic* boolean formula
+// F_{g,i} whose atoms compare arithmetic expressions over (a) constants
+// captured from past states and (b) variables of enclosing binders that will
+// be substituted later. The paper suggests maintaining these formulas "as an
+// and-or graph"; this module implements that graph with hash-consing, so
+// structurally equal subformulas are shared across generations, plus the two
+// §5 optimizations:
+//
+//   * eager simplification — true/false absorption, flattening, deduplication,
+//     complement annihilation, constant folding of ground atoms — so closed
+//     formulas always collapse to the true/false sentinel nodes;
+//   * time-bound pruning — an atom `t <= c` over a variable that will be bound
+//     to the strictly increasing clock is replaced by a constant once the
+//     clock passes `c` (and dually for `t >= c`), which keeps the retained
+//     graph bounded for bounded temporal conditions.
+//
+// Nodes are append-only between explicit Collect() calls; NodeIds are stable
+// in between, so an evaluator's state is just a vector of NodeIds.
+
+#ifndef PTLDB_EVAL_GRAPH_H_
+#define PTLDB_EVAL_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "ptl/ast.h"
+
+namespace ptldb::eval {
+
+using NodeId = uint32_t;
+using SymExprId = uint32_t;
+using VarId = uint32_t;
+
+/// Sentinel node ids, fixed by construction.
+inline constexpr NodeId kFalseNode = 0;
+inline constexpr NodeId kTrueNode = 1;
+
+/// A symbolic scalar expression: constant, variable, or arithmetic.
+struct SymExpr {
+  enum class Kind : uint8_t { kConst, kVar, kArith };
+  Kind kind;
+  ptl::ArithOp op{};   // kArith
+  Value constant;      // kConst
+  VarId var = 0;       // kVar
+  SymExprId a = 0, b = 0;  // kArith operands (kNeg uses only a)
+};
+
+/// A boolean node. kFalse/kTrue are the sentinels; kAtom compares two
+/// symbolic expressions; kNot has one child; kAnd/kOr have >= 2 sorted,
+/// de-duplicated children.
+struct Node {
+  enum class Kind : uint8_t { kFalse, kTrue, kAtom, kNot, kAnd, kOr };
+  Kind kind;
+  ptl::CmpOp cmp{};            // kAtom
+  SymExprId lhs = 0, rhs = 0;  // kAtom
+  std::vector<NodeId> children;
+};
+
+class Graph {
+ public:
+  Graph();
+
+  /// Enables/disables the §5 interval-subsumption simplification (on by
+  /// default; the E2 ablation turns it off together with time pruning).
+  void set_subsumption(bool enabled) { subsumption_ = enabled; }
+
+  // ---- Variables ----
+
+  /// Interns a variable name. `is_time_var` marks variables bound to the
+  /// `time` data-item (future substitutions are >= the current clock),
+  /// enabling pruning.
+  VarId InternVar(const std::string& name, bool is_time_var);
+
+  // ---- Symbolic expressions (hash-consed, constant-folded) ----
+
+  SymExprId ExprConst(Value v);
+  SymExprId ExprVar(VarId var);
+  /// Folds to a constant when both operands are constant; arithmetic errors
+  /// (division by zero, type mismatch) surface here.
+  Result<SymExprId> ExprArith(ptl::ArithOp op, SymExprId a, SymExprId b);
+  Result<SymExprId> ExprNeg(SymExprId a);
+
+  const SymExpr& expr(SymExprId id) const { return exprs_[id]; }
+
+  // ---- Boolean nodes (hash-consed, simplified) ----
+
+  /// Folds to kTrue/kFalse when both sides are constants.
+  Result<NodeId> MakeAtom(ptl::CmpOp cmp, SymExprId lhs, SymExprId rhs);
+  NodeId MakeBool(bool b) { return b ? kTrueNode : kFalseNode; }
+  NodeId MakeNot(NodeId child);
+  /// `children` may contain duplicates and nested And/Or of the same kind;
+  /// the constructor flattens, sorts, de-duplicates, absorbs sentinels, and
+  /// annihilates x AND NOT x.
+  NodeId MakeAnd(std::vector<NodeId> children);
+  NodeId MakeOr(std::vector<NodeId> children);
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+
+  // ---- Rewrites ----
+
+  /// Substitutes `value` for `var` throughout `root`; ground atoms fold.
+  Result<NodeId> Substitute(NodeId root, VarId var, const Value& value);
+
+  /// §5 time-bound pruning: rewrites atoms over a single time variable whose
+  /// truth is already decided for every future binding (>= `now`).
+  Result<NodeId> PruneTimeBounds(NodeId root, Timestamp now);
+
+  // ---- Introspection / GC ----
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_exprs() const { return exprs_.size(); }
+
+  /// Number of distinct nodes reachable from `roots` (the evaluator's live
+  /// state — what experiment E2 measures).
+  size_t CountReachable(const std::vector<NodeId>& roots) const;
+
+  /// Mark-compact: drops all nodes/exprs not reachable from `roots` and
+  /// remaps the root ids in place. Invalidates all other NodeIds; the
+  /// `generation` counter increments so stale checkpoints can be detected.
+  void Collect(std::vector<NodeId*> roots);
+
+  uint64_t generation() const { return generation_; }
+
+  /// Debug rendering of a node.
+  std::string ToString(NodeId id) const;
+  std::string ExprToString(SymExprId id) const;
+
+ private:
+  struct NodeKey {
+    Node::Kind kind;
+    ptl::CmpOp cmp;
+    SymExprId lhs, rhs;
+    std::vector<NodeId> children;
+    bool operator==(const NodeKey& other) const = default;
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& k) const;
+  };
+  struct ExprKey {
+    SymExpr::Kind kind;
+    ptl::ArithOp op;
+    Value constant;
+    VarId var;
+    SymExprId a, b;
+    bool operator==(const ExprKey& other) const = default;
+  };
+  struct ExprKeyHash {
+    size_t operator()(const ExprKey& k) const;
+  };
+
+  NodeId InternNode(NodeKey key);
+  SymExprId InternExpr(ExprKey key);
+  NodeId MakeNary(Node::Kind kind, std::vector<NodeId> children);
+  /// §5 simplification: collapses one-sided atoms over the same expression
+  /// ((E <= 5 OR E <= 9) -> E <= 9, and the And/>= duals) in place.
+  void SubsumeIntervalAtoms(bool is_and, std::vector<NodeId>* children);
+
+  /// True when the expression mentions no variables.
+  bool ExprIsConst(SymExprId id) const {
+    return exprs_[id].kind == SymExpr::Kind::kConst;
+  }
+
+  Result<Value> EvalGroundExpr(SymExprId id) const;
+  Result<SymExprId> SubstituteExpr(SymExprId id, VarId var, const Value& value,
+                                   std::unordered_map<SymExprId, SymExprId>* memo);
+
+  // Normalizes an atom into `var cmp bound` when it is linear in exactly one
+  // time variable; returns false when not of that shape.
+  bool NormalizeTimeAtom(const Node& atom, ptl::CmpOp* out_cmp,
+                         Value* out_bound) const;
+
+  std::vector<Node> nodes_;
+  std::vector<SymExpr> exprs_;
+  std::unordered_map<NodeKey, NodeId, NodeKeyHash> node_index_;
+  std::unordered_map<ExprKey, SymExprId, ExprKeyHash> expr_index_;
+
+  std::vector<std::string> var_names_;
+  std::vector<bool> var_is_time_;
+  std::unordered_map<std::string, VarId> var_index_;
+
+  uint64_t generation_ = 0;
+  bool subsumption_ = true;
+};
+
+}  // namespace ptldb::eval
+
+#endif  // PTLDB_EVAL_GRAPH_H_

@@ -1,0 +1,191 @@
+// The §5 incremental condition evaluator — the paper's core contribution.
+//
+// For a PTL condition f, the evaluator maintains one symbolic formula
+// F_{g,i} (a Graph node) per temporal subformula g, updated on each new
+// system state via the recurrences
+//
+//   F_{g Since h, i}      = F_{h,i} OR (F_{g,i} AND F_{g Since h, i-1})
+//   F_{Previously g, i}   = F_{g,i} OR F_{Previously g, i-1}
+//   F_{Throughout g, i}   = F_{g,i} AND F_{Throughout g, i-1}
+//   F_{Lasttime g, i}     = F_{g, i-1}
+//   F_{[x := q] g, i}     = F_{g,i}[x := q(S_i)]
+//
+// and fires the trigger iff the top formula evaluates to `true` (Theorem 1).
+// Per-update work depends on the size of the retained symbolic state, never
+// on the length of the history. Temporal aggregates (§6) are folded in as
+// incremental accumulator machines whose start/sampling formulas are
+// themselves evaluated incrementally; sliding-window aggregates use
+// O(1)-amortized monotonic-deque machines.
+//
+// Checkpoint/Restore supports the execution model's hypothetical evaluation:
+// integrity constraints are probed against a prospective commit state and
+// rolled back when the transaction aborts (§8), and the valid-time layer
+// replays suffixes after retroactive updates (§9).
+
+#ifndef PTLDB_EVAL_INCREMENTAL_H_
+#define PTLDB_EVAL_INCREMENTAL_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/graph.h"
+#include "ptl/analyzer.h"
+#include "ptl/naive_eval.h"
+#include "ptl/snapshot.h"
+
+namespace ptldb::eval {
+
+/// Persistent state of one temporal-aggregate machine. Copyable (checkpoints
+/// store the whole vector).
+struct AggMachineState {
+  // kAgg (start/sample driven):
+  bool is_window = false;
+  bool started = false;
+  ptl::AggAccumulator acc{ptl::TemporalAggFn::kSum};
+  int start_unit = -1;   // unit index of the start formula root
+  int sample_unit = -1;  // unit index of the sampling formula root
+  int query_slot = -1;   // snapshot slot of the aggregated query
+  ptl::TemporalAggFn fn = ptl::TemporalAggFn::kSum;
+
+  // kWindowAgg:
+  Timestamp width = 0;
+  std::deque<std::pair<Timestamp, double>> window;  // (time, value) in order
+  std::deque<std::pair<Timestamp, double>> mono;    // monotonic, for min/max
+  double running_sum = 0;
+
+  /// Current aggregate value.
+  Result<Value> Current() const;
+  /// Window-machine update for one state.
+  Status WindowObserve(Timestamp now, const Value& v);
+};
+
+class IncrementalEvaluator {
+ public:
+  struct Options {
+    /// §5 time-bound pruning. Disable only for the E2 ablation.
+    bool time_pruning = true;
+    /// §5 interval subsumption in the and-or graph. Disable only for the E2
+    /// ablation (together with time_pruning this gives the unoptimized
+    /// algorithm whose retained formulas grow with the history).
+    bool subsumption = true;
+  };
+
+  /// Compiles `analysis` (which must have been produced by ptl::Analyze).
+  static Result<IncrementalEvaluator> Make(ptl::Analysis analysis,
+                                           Options options);
+  static Result<IncrementalEvaluator> Make(ptl::Analysis analysis) {
+    return Make(std::move(analysis), Options{});
+  }
+
+  IncrementalEvaluator(IncrementalEvaluator&&) = default;
+  IncrementalEvaluator& operator=(IncrementalEvaluator&&) = default;
+
+  const ptl::Analysis& analysis() const { return analysis_; }
+
+  /// Advances over one system state; returns whether the condition is
+  /// satisfied at that state (i.e. whether the trigger fires).
+  Result<bool> Step(const ptl::StateSnapshot& snapshot);
+
+  /// Number of states observed so far.
+  uint64_t steps() const { return steps_; }
+
+  /// Whether the last Step reported satisfaction.
+  bool last_fired() const { return last_fired_; }
+
+  // ---- Checkpointing ----
+
+  /// Opaque saved state. Valid until the next MaybeCollect() on this
+  /// evaluator (generation-checked).
+  struct Checkpoint {
+    uint64_t generation = 0;
+    uint64_t steps = 0;
+    bool last_fired = false;
+    std::vector<NodeId> mem;
+    std::vector<AggMachineState> machines;
+  };
+
+  Checkpoint Save() const;
+  Status Restore(const Checkpoint& cp);
+
+  // ---- Introspection / GC ----
+
+  /// Distinct graph nodes reachable from the retained state (experiment E2's
+  /// "retained state" metric).
+  size_t LiveNodeCount() const;
+  /// Total nodes in the backing store (grows until MaybeCollect).
+  size_t StoreNodeCount() const { return graph_->num_nodes(); }
+
+  /// Compacts the node store when it exceeds `threshold` nodes. Invalidates
+  /// outstanding Checkpoints (they fail Restore with a clear error).
+  void MaybeCollect(size_t threshold = 65536);
+
+  /// Compacts the node store while keeping `checkpoints` valid: their node
+  /// ids are remapped in place and their generation updated. Used by
+  /// long-running holders of checkpoints (the valid-time monitors).
+  Status CollectKeepingCheckpoints(std::vector<Checkpoint*> checkpoints);
+
+  /// Multi-line dump of each temporal subformula's retained F formula.
+  std::string DebugString() const;
+
+ private:
+  // One compiled evaluation step. Units are topologically ordered: children
+  // and aggregate machinery precede their users.
+  struct Unit {
+    enum class Kind {
+      kTrue,
+      kFalse,
+      kCompare,
+      kEvent,
+      kNot,
+      kAnd,
+      kOr,
+      kSince,
+      kLasttime,
+      kPreviously,
+      kThroughoutPast,
+      kBind,
+      kAggUpdate,  // advances one aggregate machine; produces no output
+    };
+    Kind kind;
+    const ptl::Formula* ast = nullptr;
+    int left = -1;   // unit index
+    int right = -1;  // unit index
+    VarId bind_var = 0;
+    const ptl::Term* bind_term = nullptr;
+    int mem_slot = -1;      // kSince/kLasttime/kPreviously/kThroughoutPast
+    int machine_idx = -1;   // kAggUpdate
+  };
+
+  IncrementalEvaluator() = default;
+
+  Result<int> CompileFormula(const ptl::FormulaPtr& f);
+  Status CompileTermMachines(const ptl::TermPtr& t);
+  Result<SymExprId> BuildTerm(const ptl::TermPtr& t,
+                              const ptl::StateSnapshot& snapshot);
+  Result<Value> EvalGroundTerm(const ptl::TermPtr& t,
+                               const ptl::StateSnapshot& snapshot);
+  NodeId InitialMemValue(Unit::Kind kind) const;
+
+  ptl::Analysis analysis_;
+  Options options_;
+  // unique_ptr keeps the evaluator cheaply movable and Term*-keyed maps valid.
+  std::unique_ptr<Graph> graph_;
+  std::vector<Unit> units_;
+  int root_unit_ = -1;
+  std::vector<NodeId> mem_;
+
+  std::vector<AggMachineState> machines_;
+  std::vector<const ptl::Term*> machine_terms_;  // parallel to machines_
+  std::vector<NodeId> outputs_;  // scratch, resized once
+
+  uint64_t steps_ = 0;
+  bool last_fired_ = false;
+};
+
+
+}  // namespace ptldb::eval
+
+#endif  // PTLDB_EVAL_INCREMENTAL_H_

@@ -1,0 +1,93 @@
+// Events and system states — the paper's §2 model.
+//
+// A system state is a pair (S, E): the database state plus the set of events
+// occurring at one instant, stamped with the global clock. Formulas of PTL are
+// interpreted over finite sequences of system states (system histories). The
+// database state S itself is not copied into history entries; evaluators read
+// the *current* database through a StateView and capture whatever past values
+// they need (that is exactly what makes the §5 algorithm incremental).
+
+#ifndef PTLDB_EVENT_EVENT_H_
+#define PTLDB_EVENT_EVENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ptldb::event {
+
+/// A parameterized instantaneous event, e.g. `commit(42)` or
+/// `insert("STOCK", "IBM", 72)`.
+struct Event {
+  std::string name;
+  std::vector<Value> params;
+
+  bool operator==(const Event& other) const = default;
+
+  /// `name(p1, p2, ...)` rendering.
+  std::string ToString() const;
+};
+
+// Factory helpers for the built-in event vocabulary. Transaction ids are
+// int64.
+Event TransactionBegin(int64_t txn_id);
+Event AttemptsToCommit(int64_t txn_id);
+Event TransactionCommit(int64_t txn_id);
+Event TransactionAbort(int64_t txn_id);
+Event InsertEvent(const std::string& table);
+Event DeleteEvent(const std::string& table);
+Event UpdateEvent(const std::string& table);
+/// `executed(rule)` — recorded when a rule's action commits (§7).
+Event RuleExecuted(const std::string& rule);
+
+// Names of the built-in events, for matching.
+inline constexpr const char* kBeginEvent = "begin";
+inline constexpr const char* kAttemptsToCommitEvent = "attempts_to_commit";
+inline constexpr const char* kCommitEvent = "commit";
+inline constexpr const char* kAbortEvent = "abort";
+inline constexpr const char* kInsertEvent = "insert";
+inline constexpr const char* kDeleteEvent = "delete";
+inline constexpr const char* kUpdateEvent = "update";
+inline constexpr const char* kRuleExecutedEvent = "executed";
+
+/// The (E, timestamp) part of one system state. `seq` is the position of the
+/// state in its history (the paper's index i).
+struct SystemState {
+  size_t seq = 0;
+  Timestamp time = 0;
+  std::vector<Event> events;
+
+  /// True when some event matches `name` with the given parameter prefix
+  /// (an event `e(a, b, c)` matches `HasEvent("e", {a})`).
+  bool HasEvent(const std::string& name,
+                const std::vector<Value>& param_prefix = {}) const;
+
+  /// True when this state contains a transaction commit (a "commit point").
+  bool IsCommitPoint() const;
+
+  std::string ToString() const;
+};
+
+/// A finite sequence of system states with the paper's invariants: strictly
+/// increasing timestamps and at most one commit event per state.
+class History {
+ public:
+  /// Appends a state; enforces the model invariants (PTLDB_CHECK).
+  void Append(Timestamp time, std::vector<Event> events);
+
+  size_t size() const { return states_.size(); }
+  bool empty() const { return states_.empty(); }
+  const SystemState& state(size_t i) const { return states_[i]; }
+  const SystemState& back() const { return states_.back(); }
+  const std::vector<SystemState>& states() const { return states_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<SystemState> states_;
+};
+
+}  // namespace ptldb::event
+
+#endif  // PTLDB_EVENT_EVENT_H_

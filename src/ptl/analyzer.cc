@@ -1,0 +1,255 @@
+#include "ptl/analyzer.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace ptldb::ptl {
+
+std::string QuerySpec::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const Value& v : args) parts.push_back(v.ToString());
+  return StrCat(name, "(", Join(parts, ", "), ")");
+}
+
+namespace {
+
+TermPtr SubstituteParamsTerm(const TermPtr& t,
+                             const std::map<std::string, Value>& params);
+
+FormulaPtr SubstituteParamsImpl(const FormulaPtr& f,
+                                const std::map<std::string, Value>& params) {
+  if (f == nullptr) return nullptr;
+  auto copy = std::make_shared<Formula>(*f);
+  copy->lhs_term = SubstituteParamsTerm(f->lhs_term, params);
+  copy->rhs_term = SubstituteParamsTerm(f->rhs_term, params);
+  copy->bind_term = SubstituteParamsTerm(f->bind_term, params);
+  for (TermPtr& a : copy->event_args) a = SubstituteParamsTerm(a, params);
+  copy->left = SubstituteParamsImpl(f->left, params);
+  copy->right = SubstituteParamsImpl(f->right, params);
+  return copy;
+}
+
+TermPtr SubstituteParamsTerm(const TermPtr& t,
+                             const std::map<std::string, Value>& params) {
+  if (t == nullptr) return nullptr;
+  if (t->kind == Term::Kind::kVar) {
+    auto it = params.find(t->name);
+    if (it != params.end()) return Const(it->second);
+    return t;
+  }
+  auto copy = std::make_shared<Term>(*t);
+  for (TermPtr& op : copy->operands) op = SubstituteParamsTerm(op, params);
+  copy->agg_query = SubstituteParamsTerm(t->agg_query, params);
+  copy->agg_start = SubstituteParamsImpl(t->agg_start, params);
+  copy->agg_sample = SubstituteParamsImpl(t->agg_sample, params);
+  return copy;
+}
+
+/// Recursive well-formedness checker; accumulates into an Analysis.
+class AnalyzerImpl {
+ public:
+  explicit AnalyzerImpl(Analysis* out) : out_(out) {}
+
+  Status CheckFormula(const FormulaPtr& f) {
+    if (f == nullptr) return Status::InvalidArgument("null formula");
+    switch (f->kind) {
+      case Formula::Kind::kTrue:
+      case Formula::Kind::kFalse:
+        return Status::OK();
+      case Formula::Kind::kCompare:
+        PTLDB_RETURN_IF_ERROR(CheckTerm(f->lhs_term));
+        return CheckTerm(f->rhs_term);
+      case Formula::Kind::kEvent: {
+        if (f->event_name.empty()) {
+          return Status::InvalidArgument("event atom with empty name");
+        }
+        out_->event_names.insert(f->event_name);
+        for (const TermPtr& a : f->event_args) {
+          PTLDB_RETURN_IF_ERROR(CheckGroundTerm(
+              a, StrCat("argument of event @", f->event_name)));
+        }
+        return Status::OK();
+      }
+      case Formula::Kind::kNot:
+        return CheckFormula(f->left);
+      case Formula::Kind::kAnd:
+      case Formula::Kind::kOr:
+        PTLDB_RETURN_IF_ERROR(CheckFormula(f->left));
+        return CheckFormula(f->right);
+      case Formula::Kind::kSince:
+        out_->is_temporal = true;
+        PTLDB_RETURN_IF_ERROR(CheckFormula(f->left));
+        return CheckFormula(f->right);
+      case Formula::Kind::kLasttime:
+        out_->is_temporal = true;
+        out_->uses_lasttime = true;
+        return CheckFormula(f->left);
+      case Formula::Kind::kPreviously:
+      case Formula::Kind::kThroughoutPast:
+        out_->is_temporal = true;
+        return CheckFormula(f->left);
+      case Formula::Kind::kBind: {
+        if (f->var.empty()) {
+          return Status::InvalidArgument("binder with empty variable name");
+        }
+        if (scope_.count(f->var) > 0) {
+          return Status::InvalidArgument(
+              StrCat("variable '", f->var,
+                     "' is bound more than once; rename the inner binding"));
+        }
+        // The bound term is evaluated in the *outer* scope, and must be
+        // ground there: binders capture query/time values, not expressions
+        // over other variables (the paper's usage), which keeps the
+        // incremental algorithm's substitutions value-typed.
+        PTLDB_RETURN_IF_ERROR(CheckNoVars(
+            f->bind_term, StrCat("term bound to '", f->var, "'")));
+        PTLDB_RETURN_IF_ERROR(CheckTerm(f->bind_term));
+        if (f->bind_term->kind == Term::Kind::kTime) {
+          out_->time_vars.insert(f->var);
+        }
+        scope_.insert(f->var);
+        Status s = CheckFormula(f->left);
+        scope_.erase(f->var);
+        return s;
+      }
+    }
+    return Status::Internal("unknown formula kind");
+  }
+
+  Status CheckTerm(const TermPtr& t) {
+    if (t == nullptr) return Status::InvalidArgument("null term");
+    ++term_count_;
+    switch (t->kind) {
+      case Term::Kind::kConst:
+      case Term::Kind::kTime:
+        return Status::OK();
+      case Term::Kind::kVar:
+        if (scope_.count(t->name) == 0) {
+          return Status::InvalidArgument(
+              StrCat("free variable '", t->name,
+                     "' (bind it with [", t->name,
+                     " := ...] or declare it as a rule parameter)"));
+        }
+        return Status::OK();
+      case Term::Kind::kArith:
+        for (const TermPtr& op : t->operands) {
+          PTLDB_RETURN_IF_ERROR(CheckTerm(op));
+        }
+        return Status::OK();
+      case Term::Kind::kQuery: {
+        out_->refers_to_db = true;
+        for (const TermPtr& a : t->operands) {
+          PTLDB_RETURN_IF_ERROR(
+              CheckGroundTerm(a, StrCat("argument of query ", t->name)));
+        }
+        AssignSlot(t);
+        return Status::OK();
+      }
+      case Term::Kind::kAgg: {
+        PTLDB_RETURN_IF_ERROR(CheckAggQuery(t));
+        // Start and sampling formulas must be closed: analyze them in a
+        // fresh scope so references to outer binders are rejected (§6.1.1's
+        // automatically-processable case).
+        std::set<std::string> saved;
+        saved.swap(scope_);
+        Status s = CheckFormula(t->agg_start);
+        if (s.ok()) s = CheckFormula(t->agg_sample);
+        scope_.swap(saved);
+        if (!s.ok()) {
+          return Status::InvalidArgument(
+              StrCat("temporal aggregate start/sampling formulas must be "
+                     "closed: ",
+                     s.message()));
+        }
+        return Status::OK();
+      }
+      case Term::Kind::kWindowAgg: {
+        PTLDB_RETURN_IF_ERROR(CheckAggQuery(t));
+        if (t->window_width <= 0) {
+          return Status::InvalidArgument("window width must be positive");
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown term kind");
+  }
+
+  size_t term_count() const { return term_count_; }
+
+ private:
+  Status CheckNoVars(const TermPtr& t, const std::string& where) {
+    if (t == nullptr) return Status::InvalidArgument("null term");
+    if (t->kind == Term::Kind::kVar) {
+      return Status::InvalidArgument(
+          StrCat(where, " may not reference variable '", t->name,
+                 "'; bind variables to queries, aggregates, or time"));
+    }
+    for (const TermPtr& op : t->operands) {
+      PTLDB_RETURN_IF_ERROR(CheckNoVars(op, where));
+    }
+    return Status::OK();
+  }
+
+  Status CheckAggQuery(const TermPtr& t) {
+    if (t->agg_query == nullptr || t->agg_query->kind != Term::Kind::kQuery) {
+      return Status::InvalidArgument(
+          "aggregate argument must be a database query");
+    }
+    return CheckTerm(t->agg_query);
+  }
+
+  // Event/query arguments must be constants after parameter substitution.
+  Status CheckGroundTerm(const TermPtr& t, const std::string& where) {
+    if (t == nullptr) return Status::InvalidArgument("null term");
+    ++term_count_;
+    if (t->kind != Term::Kind::kConst) {
+      return Status::InvalidArgument(
+          StrCat(where, " must be a constant or rule parameter, got '",
+                 t->ToString(), "'"));
+    }
+    return Status::OK();
+  }
+
+  void AssignSlot(const TermPtr& t) {
+    QuerySpec spec;
+    spec.name = t->name;
+    spec.args.reserve(t->operands.size());
+    for (const TermPtr& a : t->operands) spec.args.push_back(a->constant);
+    auto it = spec_to_slot_.find(spec);
+    int slot;
+    if (it == spec_to_slot_.end()) {
+      slot = static_cast<int>(out_->slots.size());
+      spec_to_slot_.emplace(spec, slot);
+      out_->slots.push_back(std::move(spec));
+    } else {
+      slot = it->second;
+    }
+    out_->slot_of[t.get()] = slot;
+  }
+
+  Analysis* out_;
+  std::set<std::string> scope_;
+  std::unordered_map<QuerySpec, int, QuerySpecHash> spec_to_slot_;
+  size_t term_count_ = 0;
+};
+
+}  // namespace
+
+FormulaPtr SubstituteParams(const FormulaPtr& f,
+                            const std::map<std::string, Value>& params) {
+  if (params.empty()) return f;
+  return SubstituteParamsImpl(f, params);
+}
+
+Result<Analysis> Analyze(FormulaPtr root) {
+  Analysis analysis;
+  analysis.root = std::move(root);
+  AnalyzerImpl impl(&analysis);
+  PTLDB_RETURN_IF_ERROR(impl.CheckFormula(analysis.root));
+  analysis.size = FormulaSize(analysis.root);
+  return analysis;
+}
+
+}  // namespace ptldb::ptl

@@ -1,0 +1,77 @@
+// Static analysis of PTL formulas.
+//
+// `SubstituteParams` instantiates rule parameters (the paper's free variables,
+// supported as indexed rule families) by replacing variables with constants.
+// `Analyze` then checks well-formedness and produces everything the
+// evaluators need:
+//   - every variable is bound by exactly one enclosing `[x := q]` binder
+//     (the paper's safety discipline; genuinely free variables are rejected
+//     here — they are handled one level up by rule families);
+//   - database query and event arguments are ground (constants);
+//   - temporal-aggregate start/sampling formulas are closed (§6.1.1's
+//     no-free-variables case, which the paper handles automatically);
+//   - each distinct ground query instance is assigned a snapshot slot;
+//   - variables bound to `time` are marked, enabling the §5 time-bound
+//     pruning optimization;
+//   - the event names the formula references are collected, enabling the §8
+//     event-relevance filter.
+
+#ifndef PTLDB_PTL_ANALYZER_H_
+#define PTLDB_PTL_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "ptl/ast.h"
+#include "ptl/snapshot.h"
+
+namespace ptldb::ptl {
+
+/// Output of `Analyze`.
+struct Analysis {
+  FormulaPtr root;
+
+  /// Distinct ground query instances; index = snapshot slot id.
+  std::vector<QuerySpec> slots;
+
+  /// Slot id for each kQuery term occurrence (by node identity).
+  std::unordered_map<const Term*, int> slot_of;
+
+  /// Binder variables whose bound term is `time` (eligible for pruning).
+  std::set<std::string> time_vars;
+
+  /// Event names mentioned anywhere in the formula.
+  std::set<std::string> event_names;
+
+  /// True when the formula mentions at least one database query.
+  bool refers_to_db = false;
+
+  /// True when the formula contains a Lasttime operator. Such formulas must
+  /// observe every state (the §8 relevance filter would shift their frame of
+  /// reference), so the engine steps them unconditionally.
+  bool uses_lasttime = false;
+
+  /// True when the formula contains any temporal operator at all.
+  bool is_temporal = false;
+
+  /// AST node count.
+  size_t size = 0;
+};
+
+/// Replaces each `Var(name)` with `Const(params.at(name))` for names present
+/// in `params`. Other variables are left for binder scoping.
+FormulaPtr SubstituteParams(const FormulaPtr& f,
+                            const std::map<std::string, Value>& params);
+
+/// Validates `root` and computes its Analysis. All evaluator constructors
+/// require an Analysis, so every malformed formula is rejected exactly once,
+/// here, with a positioned message.
+Result<Analysis> Analyze(FormulaPtr root);
+
+}  // namespace ptldb::ptl
+
+#endif  // PTLDB_PTL_ANALYZER_H_

@@ -1,0 +1,325 @@
+#include "ptl/ast.h"
+
+#include <atomic>
+
+#include "common/strings.h"
+
+namespace ptldb::ptl {
+
+const char* ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+    case ArithOp::kMod:
+      return "%";
+    case ArithOp::kNeg:
+      return "-";
+  }
+  return "?";
+}
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CmpOp NegateCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kNe;
+    case CmpOp::kNe:
+      return CmpOp::kEq;
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+  }
+  return op;
+}
+
+const char* TemporalAggFnToString(TemporalAggFn fn) {
+  switch (fn) {
+    case TemporalAggFn::kSum:
+      return "sum";
+    case TemporalAggFn::kCount:
+      return "count";
+    case TemporalAggFn::kAvg:
+      return "avg";
+    case TemporalAggFn::kMin:
+      return "min";
+    case TemporalAggFn::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant.ToString();
+    case Kind::kVar:
+      return name;
+    case Kind::kTime:
+      return "time";
+    case Kind::kArith: {
+      if (arith_op == ArithOp::kNeg) {
+        return StrCat("-(", operands[0]->ToString(), ")");
+      }
+      return StrCat("(", operands[0]->ToString(), " ",
+                    ArithOpToString(arith_op), " ", operands[1]->ToString(),
+                    ")");
+    }
+    case Kind::kQuery: {
+      std::vector<std::string> args;
+      args.reserve(operands.size());
+      for (const TermPtr& t : operands) args.push_back(t->ToString());
+      return StrCat(name, "(", Join(args, ", "), ")");
+    }
+    case Kind::kAgg:
+      return StrCat(TemporalAggFnToString(agg_fn), "(", agg_query->ToString(),
+                    "; ", agg_start->ToString(), "; ", agg_sample->ToString(),
+                    ")");
+    case Kind::kWindowAgg:
+      return StrCat("w", TemporalAggFnToString(agg_fn), "(",
+                    agg_query->ToString(), ", ", window_width, ")");
+  }
+  return "?";
+}
+
+std::string Formula::ToString() const {
+  switch (kind) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kCompare:
+      return StrCat(lhs_term->ToString(), " ", CmpOpToString(cmp_op), " ",
+                    rhs_term->ToString());
+    case Kind::kEvent: {
+      std::vector<std::string> args;
+      args.reserve(event_args.size());
+      for (const TermPtr& t : event_args) args.push_back(t->ToString());
+      return StrCat("@", event_name, "(", Join(args, ", "), ")");
+    }
+    case Kind::kNot:
+      return StrCat("NOT (", left->ToString(), ")");
+    case Kind::kAnd:
+      return StrCat("(", left->ToString(), " AND ", right->ToString(), ")");
+    case Kind::kOr:
+      return StrCat("(", left->ToString(), " OR ", right->ToString(), ")");
+    case Kind::kSince:
+      return StrCat("(", left->ToString(), " SINCE ", right->ToString(), ")");
+    case Kind::kLasttime:
+      return StrCat("LASTTIME (", left->ToString(), ")");
+    case Kind::kPreviously:
+      return StrCat("PREVIOUSLY (", left->ToString(), ")");
+    case Kind::kThroughoutPast:
+      return StrCat("THROUGHOUT_PAST (", left->ToString(), ")");
+    case Kind::kBind:
+      return StrCat("[", var, " := ", bind_term->ToString(), "] ",
+                    left->ToString());
+  }
+  return "?";
+}
+
+namespace {
+std::shared_ptr<Term> NewTerm(Term::Kind kind) {
+  auto t = std::make_shared<Term>();
+  t->kind = kind;
+  return t;
+}
+std::shared_ptr<Formula> NewFormula(Formula::Kind kind) {
+  auto f = std::make_shared<Formula>();
+  f->kind = kind;
+  return f;
+}
+}  // namespace
+
+TermPtr Const(Value v) {
+  auto t = NewTerm(Term::Kind::kConst);
+  t->constant = std::move(v);
+  return t;
+}
+
+TermPtr Var(std::string name) {
+  auto t = NewTerm(Term::Kind::kVar);
+  t->name = std::move(name);
+  return t;
+}
+
+TermPtr TimeTerm() { return NewTerm(Term::Kind::kTime); }
+
+TermPtr Arith(ArithOp op, std::vector<TermPtr> operands) {
+  auto t = NewTerm(Term::Kind::kArith);
+  t->arith_op = op;
+  t->operands = std::move(operands);
+  return t;
+}
+
+TermPtr QueryRef(std::string name, std::vector<TermPtr> args) {
+  auto t = NewTerm(Term::Kind::kQuery);
+  t->name = std::move(name);
+  t->operands = std::move(args);
+  return t;
+}
+
+TermPtr AggTerm(TemporalAggFn fn, TermPtr query, FormulaPtr start,
+                FormulaPtr sample) {
+  auto t = NewTerm(Term::Kind::kAgg);
+  t->agg_fn = fn;
+  t->agg_query = std::move(query);
+  t->agg_start = std::move(start);
+  t->agg_sample = std::move(sample);
+  return t;
+}
+
+TermPtr WindowAggTerm(TemporalAggFn fn, TermPtr query, Timestamp width) {
+  auto t = NewTerm(Term::Kind::kWindowAgg);
+  t->agg_fn = fn;
+  t->agg_query = std::move(query);
+  t->window_width = width;
+  return t;
+}
+
+FormulaPtr True() { return NewFormula(Formula::Kind::kTrue); }
+FormulaPtr False() { return NewFormula(Formula::Kind::kFalse); }
+
+FormulaPtr Compare(CmpOp op, TermPtr lhs, TermPtr rhs) {
+  auto f = NewFormula(Formula::Kind::kCompare);
+  f->cmp_op = op;
+  f->lhs_term = std::move(lhs);
+  f->rhs_term = std::move(rhs);
+  return f;
+}
+
+FormulaPtr EventAtom(std::string name, std::vector<TermPtr> args) {
+  auto f = NewFormula(Formula::Kind::kEvent);
+  f->event_name = std::move(name);
+  f->event_args = std::move(args);
+  return f;
+}
+
+FormulaPtr Not(FormulaPtr inner) {
+  auto f = NewFormula(Formula::Kind::kNot);
+  f->left = std::move(inner);
+  return f;
+}
+
+FormulaPtr And(FormulaPtr a, FormulaPtr b) {
+  auto f = NewFormula(Formula::Kind::kAnd);
+  f->left = std::move(a);
+  f->right = std::move(b);
+  return f;
+}
+
+FormulaPtr Or(FormulaPtr a, FormulaPtr b) {
+  auto f = NewFormula(Formula::Kind::kOr);
+  f->left = std::move(a);
+  f->right = std::move(b);
+  return f;
+}
+
+FormulaPtr Since(FormulaPtr lhs, FormulaPtr rhs) {
+  auto f = NewFormula(Formula::Kind::kSince);
+  f->left = std::move(lhs);
+  f->right = std::move(rhs);
+  return f;
+}
+
+FormulaPtr Lasttime(FormulaPtr inner) {
+  auto f = NewFormula(Formula::Kind::kLasttime);
+  f->left = std::move(inner);
+  return f;
+}
+
+FormulaPtr Previously(FormulaPtr inner) {
+  auto f = NewFormula(Formula::Kind::kPreviously);
+  f->left = std::move(inner);
+  return f;
+}
+
+FormulaPtr ThroughoutPast(FormulaPtr inner) {
+  auto f = NewFormula(Formula::Kind::kThroughoutPast);
+  f->left = std::move(inner);
+  return f;
+}
+
+FormulaPtr Bind(std::string var, TermPtr term, FormulaPtr body) {
+  auto f = NewFormula(Formula::Kind::kBind);
+  f->var = std::move(var);
+  f->bind_term = std::move(term);
+  f->left = std::move(body);
+  return f;
+}
+
+namespace {
+// Fresh variable names for desugared bounded operators. A process-wide
+// counter keeps them unique across formulas; the "#" prefix cannot collide
+// with parsed identifiers.
+std::string FreshTimeVar() {
+  static std::atomic<uint64_t> counter{0};
+  return StrCat("#t", counter.fetch_add(1));
+}
+}  // namespace
+
+FormulaPtr Within(FormulaPtr f, Timestamp w) {
+  std::string t = FreshTimeVar();
+  return Bind(t, TimeTerm(),
+              Previously(And(std::move(f),
+                             Ge(TimeTerm(), Sub(Var(t), Const(Value::Int(w)))))));
+}
+
+FormulaPtr HeldFor(FormulaPtr f, Timestamp w) {
+  std::string t = FreshTimeVar();
+  // ThroughoutPast(time < t - w OR f): every state in the window satisfies f.
+  return Bind(t, TimeTerm(),
+              ThroughoutPast(Or(Lt(TimeTerm(), Sub(Var(t), Const(Value::Int(w)))),
+                                std::move(f))));
+}
+
+size_t TermSize(const TermPtr& t) {
+  if (t == nullptr) return 0;
+  size_t n = 1;
+  for (const TermPtr& op : t->operands) n += TermSize(op);
+  n += TermSize(t->agg_query);
+  n += FormulaSize(t->agg_start);
+  n += FormulaSize(t->agg_sample);
+  return n;
+}
+
+size_t FormulaSize(const FormulaPtr& f) {
+  if (f == nullptr) return 0;
+  size_t n = 1;
+  n += TermSize(f->lhs_term);
+  n += TermSize(f->rhs_term);
+  for (const TermPtr& a : f->event_args) n += TermSize(a);
+  n += TermSize(f->bind_term);
+  n += FormulaSize(f->left);
+  n += FormulaSize(f->right);
+  return n;
+}
+
+}  // namespace ptldb::ptl

@@ -1,0 +1,169 @@
+// Abstract syntax of Past Temporal Logic (paper §4, §6).
+//
+// Terms:
+//   constants, variables, `time` (the timestamp data-item), arithmetic over
+//   terms, database queries applied to ground arguments (`price(IBM)`),
+//   temporal aggregates `fn(q; start; sample)` (§6), and sliding-window
+//   aggregates `wfn(q, width)` (the intro's "moving average over the last 20
+//   minutes", a bounded special case evaluated in O(1) amortized).
+//
+// Formulas:
+//   true/false, comparisons between terms, event atoms `@name(args)`,
+//   boolean connectives, the basic past operators Since and Lasttime, the
+//   derived Previously and ThroughoutPast, and the assignment operator
+//   `[x := term] f` which captures a value at the current state (§4.1's form
+//   of quantification that "naturally ensures safety").
+
+#ifndef PTLDB_PTL_AST_H_
+#define PTLDB_PTL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ptldb::ptl {
+
+struct Term;
+struct Formula;
+using TermPtr = std::shared_ptr<const Term>;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// Arithmetic operators on terms.
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod, kNeg };
+
+/// Comparison operators between terms.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* ArithOpToString(ArithOp op);
+const char* CmpOpToString(CmpOp op);
+/// Negates a comparison (kLt -> kGe, ...), used by simplification.
+CmpOp NegateCmp(CmpOp op);
+
+/// Aggregate functions available in temporal aggregates (§6).
+enum class TemporalAggFn { kSum, kCount, kAvg, kMin, kMax };
+const char* TemporalAggFnToString(TemporalAggFn fn);
+
+struct Term {
+  enum class Kind {
+    kConst,      // literal value
+    kVar,        // binder variable or rule parameter
+    kTime,       // the `time` data-item (§2)
+    kArith,      // op over operands
+    kQuery,      // named database query with ground arguments
+    kAgg,        // temporal aggregate fn(q; start_formula; sample_formula)
+    kWindowAgg,  // wfn(q, width): aggregate over the last `width` ticks
+  };
+
+  Kind kind;
+  Value constant;                 // kConst
+  std::string name;               // kVar / kQuery (query name)
+  ArithOp arith_op{};             // kArith
+  std::vector<TermPtr> operands;  // kArith operands / kQuery arguments
+  TemporalAggFn agg_fn{};         // kAgg / kWindowAgg
+  TermPtr agg_query;              // kAgg / kWindowAgg: must be kQuery
+  FormulaPtr agg_start;           // kAgg: start formula (phi)
+  FormulaPtr agg_sample;          // kAgg: sampling formula (psi)
+  Timestamp window_width = 0;     // kWindowAgg
+
+  std::string ToString() const;
+};
+
+struct Formula {
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kCompare,         // lhs op rhs
+    kEvent,           // @name(args): some event in E_i matches
+    kNot,
+    kAnd,
+    kOr,
+    kSince,           // lhs Since rhs
+    kLasttime,        // Lasttime f
+    kPreviously,      // Previously f  (== true Since f)
+    kThroughoutPast,  // ThroughoutPast f (== NOT Previously NOT f)
+    kBind,            // [var := term] f
+  };
+
+  Kind kind;
+  CmpOp cmp_op{};                  // kCompare
+  TermPtr lhs_term, rhs_term;      // kCompare
+  std::string event_name;          // kEvent
+  std::vector<TermPtr> event_args; // kEvent (prefix match on parameters)
+  std::string var;                 // kBind
+  TermPtr bind_term;               // kBind
+  FormulaPtr left, right;          // children (unary ops use `left`)
+
+  std::string ToString() const;
+};
+
+// ---- Term builders ----------------------------------------------------------
+
+TermPtr Const(Value v);
+TermPtr Var(std::string name);
+TermPtr TimeTerm();
+TermPtr Arith(ArithOp op, std::vector<TermPtr> operands);
+TermPtr QueryRef(std::string name, std::vector<TermPtr> args = {});
+TermPtr AggTerm(TemporalAggFn fn, TermPtr query, FormulaPtr start,
+                FormulaPtr sample);
+TermPtr WindowAggTerm(TemporalAggFn fn, TermPtr query, Timestamp width);
+
+inline TermPtr Add(TermPtr a, TermPtr b) {
+  return Arith(ArithOp::kAdd, {std::move(a), std::move(b)});
+}
+inline TermPtr Sub(TermPtr a, TermPtr b) {
+  return Arith(ArithOp::kSub, {std::move(a), std::move(b)});
+}
+inline TermPtr Mul(TermPtr a, TermPtr b) {
+  return Arith(ArithOp::kMul, {std::move(a), std::move(b)});
+}
+
+// ---- Formula builders -------------------------------------------------------
+
+FormulaPtr True();
+FormulaPtr False();
+FormulaPtr Compare(CmpOp op, TermPtr lhs, TermPtr rhs);
+FormulaPtr EventAtom(std::string name, std::vector<TermPtr> args = {});
+FormulaPtr Not(FormulaPtr f);
+FormulaPtr And(FormulaPtr a, FormulaPtr b);
+FormulaPtr Or(FormulaPtr a, FormulaPtr b);
+FormulaPtr Since(FormulaPtr lhs, FormulaPtr rhs);
+FormulaPtr Lasttime(FormulaPtr f);
+FormulaPtr Previously(FormulaPtr f);
+FormulaPtr ThroughoutPast(FormulaPtr f);
+FormulaPtr Bind(std::string var, TermPtr term, FormulaPtr body);
+
+inline FormulaPtr Eq(TermPtr a, TermPtr b) {
+  return Compare(CmpOp::kEq, std::move(a), std::move(b));
+}
+inline FormulaPtr Le(TermPtr a, TermPtr b) {
+  return Compare(CmpOp::kLe, std::move(a), std::move(b));
+}
+inline FormulaPtr Ge(TermPtr a, TermPtr b) {
+  return Compare(CmpOp::kGe, std::move(a), std::move(b));
+}
+inline FormulaPtr Lt(TermPtr a, TermPtr b) {
+  return Compare(CmpOp::kLt, std::move(a), std::move(b));
+}
+inline FormulaPtr Gt(TermPtr a, TermPtr b) {
+  return Compare(CmpOp::kGt, std::move(a), std::move(b));
+}
+
+/// Sugar: `Within(f, w)` — "f held at some state within the last w ticks
+/// (inclusive of now)". Desugars to the paper's §5 encoding
+/// `[t := time] (Previously (f AND time >= t - w))` with a fresh `t`.
+FormulaPtr Within(FormulaPtr f, Timestamp w);
+
+/// Sugar: `HeldFor(f, w)` — "f held throughout the last w ticks". Desugars to
+/// `[t := time] ThroughoutPast (time >= t - w IMPLIES f)` — i.e.
+/// `NOT Within(NOT f, w)`.
+FormulaPtr HeldFor(FormulaPtr f, Timestamp w);
+
+/// Counts AST nodes (terms and formulas), for complexity experiments.
+size_t FormulaSize(const FormulaPtr& f);
+size_t TermSize(const TermPtr& t);
+
+}  // namespace ptldb::ptl
+
+#endif  // PTLDB_PTL_AST_H_

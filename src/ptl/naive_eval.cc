@@ -1,0 +1,276 @@
+#include "ptl/naive_eval.h"
+
+#include "common/strings.h"
+
+namespace ptldb::ptl {
+
+Result<bool> ApplyCmp(CmpOp op, const Value& a, const Value& b) {
+  if (op == CmpOp::kEq || op == CmpOp::kNe) {
+    auto cmp = Value::Compare(a, b);
+    bool eq = cmp.ok() ? (cmp.value() == 0) : false;
+    return op == CmpOp::kEq ? eq : !eq;
+  }
+  PTLDB_ASSIGN_OR_RETURN(int c, Value::Compare(a, b));
+  switch (op) {
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+    default:
+      return Status::Internal("unreachable comparison");
+  }
+}
+
+void AggAccumulator::Reset() {
+  count_ = 0;
+  sum_ = Value::Int(0);
+  min_ = Value::Null();
+  max_ = Value::Null();
+}
+
+Status AggAccumulator::Accumulate(const Value& v) {
+  ++count_;
+  if (v.is_null()) return Status::OK();
+  switch (fn_) {
+    case TemporalAggFn::kCount:
+      return Status::OK();
+    case TemporalAggFn::kSum:
+    case TemporalAggFn::kAvg: {
+      PTLDB_ASSIGN_OR_RETURN(sum_, Value::Add(sum_, v));
+      return Status::OK();
+    }
+    case TemporalAggFn::kMin: {
+      if (min_.is_null()) {
+        min_ = v;
+      } else {
+        PTLDB_ASSIGN_OR_RETURN(int c, Value::Compare(v, min_));
+        if (c < 0) min_ = v;
+      }
+      return Status::OK();
+    }
+    case TemporalAggFn::kMax: {
+      if (max_.is_null()) {
+        max_ = v;
+      } else {
+        PTLDB_ASSIGN_OR_RETURN(int c, Value::Compare(v, max_));
+        if (c > 0) max_ = v;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown aggregate fn");
+}
+
+Result<Value> AggAccumulator::Current() const {
+  switch (fn_) {
+    case TemporalAggFn::kCount:
+      return Value::Int(count_);
+    case TemporalAggFn::kSum:
+      return sum_;
+    case TemporalAggFn::kAvg:
+      if (count_ == 0) return Value::Null();
+      return Value::Real(sum_.AsDouble() / static_cast<double>(count_));
+    case TemporalAggFn::kMin:
+      return min_;
+    case TemporalAggFn::kMax:
+      return max_;
+  }
+  return Status::Internal("unknown aggregate fn");
+}
+
+Result<bool> NaiveEvaluator::SatisfiedAtEnd() const {
+  if (history_.empty()) return false;
+  return SatisfiedAt(history_.size() - 1);
+}
+
+Result<bool> NaiveEvaluator::SatisfiedAt(size_t i) const {
+  if (i >= history_.size()) {
+    return Status::OutOfRange(StrCat("position ", i, " beyond history of size ",
+                                     history_.size()));
+  }
+  return EvalFormula(analysis_->root, i, Env{});
+}
+
+Result<bool> NaiveEvaluator::EvalFormula(const FormulaPtr& f, size_t i,
+                                         const Env& env) const {
+  switch (f->kind) {
+    case Formula::Kind::kTrue:
+      return true;
+    case Formula::Kind::kFalse:
+      return false;
+    case Formula::Kind::kCompare: {
+      PTLDB_ASSIGN_OR_RETURN(Value a, EvalTerm(f->lhs_term, i, env));
+      PTLDB_ASSIGN_OR_RETURN(Value b, EvalTerm(f->rhs_term, i, env));
+      return ApplyCmp(f->cmp_op, a, b);
+    }
+    case Formula::Kind::kEvent: {
+      std::vector<Value> args;
+      args.reserve(f->event_args.size());
+      for (const TermPtr& a : f->event_args) {
+        PTLDB_ASSIGN_OR_RETURN(Value v, EvalTerm(a, i, env));
+        args.push_back(std::move(v));
+      }
+      return history_[i].HasEvent(f->event_name, args);
+    }
+    case Formula::Kind::kNot: {
+      PTLDB_ASSIGN_OR_RETURN(bool v, EvalFormula(f->left, i, env));
+      return !v;
+    }
+    case Formula::Kind::kAnd: {
+      PTLDB_ASSIGN_OR_RETURN(bool a, EvalFormula(f->left, i, env));
+      if (!a) return false;
+      return EvalFormula(f->right, i, env);
+    }
+    case Formula::Kind::kOr: {
+      PTLDB_ASSIGN_OR_RETURN(bool a, EvalFormula(f->left, i, env));
+      if (a) return true;
+      return EvalFormula(f->right, i, env);
+    }
+    case Formula::Kind::kSince: {
+      // Exists j <= i with rhs at j and lhs at all k in (j, i].
+      for (size_t j = i + 1; j-- > 0;) {
+        PTLDB_ASSIGN_OR_RETURN(bool rhs, EvalFormula(f->right, j, env));
+        if (rhs) return true;
+        // rhs failed at j; lhs must hold at j for any earlier witness to work.
+        PTLDB_ASSIGN_OR_RETURN(bool lhs, EvalFormula(f->left, j, env));
+        if (!lhs) return false;
+      }
+      return false;
+    }
+    case Formula::Kind::kLasttime: {
+      if (i == 0) return false;
+      return EvalFormula(f->left, i - 1, env);
+    }
+    case Formula::Kind::kPreviously: {
+      for (size_t j = i + 1; j-- > 0;) {
+        PTLDB_ASSIGN_OR_RETURN(bool v, EvalFormula(f->left, j, env));
+        if (v) return true;
+      }
+      return false;
+    }
+    case Formula::Kind::kThroughoutPast: {
+      for (size_t j = i + 1; j-- > 0;) {
+        PTLDB_ASSIGN_OR_RETURN(bool v, EvalFormula(f->left, j, env));
+        if (!v) return false;
+      }
+      return true;
+    }
+    case Formula::Kind::kBind: {
+      PTLDB_ASSIGN_OR_RETURN(Value v, EvalTerm(f->bind_term, i, env));
+      Env inner = env;
+      inner[f->var] = std::move(v);
+      return EvalFormula(f->left, i, inner);
+    }
+  }
+  return Status::Internal("unknown formula kind");
+}
+
+Result<Value> NaiveEvaluator::EvalTerm(const TermPtr& t, size_t i,
+                                       const Env& env) const {
+  switch (t->kind) {
+    case Term::Kind::kConst:
+      return t->constant;
+    case Term::Kind::kVar: {
+      auto it = env.find(t->name);
+      if (it == env.end()) {
+        return Status::Internal(
+            StrCat("unbound variable '", t->name, "' at evaluation"));
+      }
+      return it->second;
+    }
+    case Term::Kind::kTime:
+      return Value::Time(history_[i].time);
+    case Term::Kind::kArith: {
+      if (t->arith_op == ArithOp::kNeg) {
+        PTLDB_ASSIGN_OR_RETURN(Value v, EvalTerm(t->operands[0], i, env));
+        return Value::Neg(v);
+      }
+      PTLDB_ASSIGN_OR_RETURN(Value a, EvalTerm(t->operands[0], i, env));
+      PTLDB_ASSIGN_OR_RETURN(Value b, EvalTerm(t->operands[1], i, env));
+      switch (t->arith_op) {
+        case ArithOp::kAdd:
+          return Value::Add(a, b);
+        case ArithOp::kSub:
+          return Value::Sub(a, b);
+        case ArithOp::kMul:
+          return Value::Mul(a, b);
+        case ArithOp::kDiv:
+          return Value::Div(a, b);
+        case ArithOp::kMod:
+          return Value::Mod(a, b);
+        case ArithOp::kNeg:
+          break;
+      }
+      return Status::Internal("unreachable arith op");
+    }
+    case Term::Kind::kQuery: {
+      auto it = analysis_->slot_of.find(t.get());
+      if (it == analysis_->slot_of.end()) {
+        return Status::Internal(
+            StrCat("query term ", t->ToString(), " has no slot"));
+      }
+      const StateSnapshot& s = history_[i];
+      if (static_cast<size_t>(it->second) >= s.query_values.size()) {
+        return Status::Internal("snapshot missing query slot value");
+      }
+      return s.query_values[it->second];
+    }
+    case Term::Kind::kAgg:
+      return EvalAggregate(*t, i, env);
+    case Term::Kind::kWindowAgg:
+      return EvalWindowAggregate(*t, i, env);
+  }
+  return Status::Internal("unknown term kind");
+}
+
+Result<Value> NaiveEvaluator::EvalAggregate(const Term& t, size_t i,
+                                            const Env& env) const {
+  // j = the latest position <= i whose prefix satisfies the start formula.
+  // No such position -> empty aggregate (count 0).
+  AggAccumulator acc(t.agg_fn);
+  bool found_start = false;
+  size_t start = 0;
+  for (size_t j = i + 1; j-- > 0;) {
+    PTLDB_ASSIGN_OR_RETURN(bool starts, EvalFormula(t.agg_start, j, env));
+    if (starts) {
+      found_start = true;
+      start = j;
+      break;
+    }
+  }
+  if (!found_start) return acc.Current();
+  // Sampling points are all k in [start, i] where the sampling formula holds.
+  for (size_t k = start; k <= i; ++k) {
+    PTLDB_ASSIGN_OR_RETURN(bool sample, EvalFormula(t.agg_sample, k, env));
+    if (!sample) continue;
+    auto it = analysis_->slot_of.find(t.agg_query.get());
+    if (it == analysis_->slot_of.end()) {
+      return Status::Internal("aggregate query has no slot");
+    }
+    PTLDB_RETURN_IF_ERROR(acc.Accumulate(history_[k].query_values[it->second]));
+  }
+  return acc.Current();
+}
+
+Result<Value> NaiveEvaluator::EvalWindowAggregate(const Term& t, size_t i,
+                                                  const Env& env) const {
+  (void)env;
+  AggAccumulator acc(t.agg_fn);
+  auto it = analysis_->slot_of.find(t.agg_query.get());
+  if (it == analysis_->slot_of.end()) {
+    return Status::Internal("window aggregate query has no slot");
+  }
+  Timestamp cutoff = history_[i].time - t.window_width;
+  // Every state in the window is a sampling point.
+  for (size_t k = i + 1; k-- > 0;) {
+    if (history_[k].time < cutoff) break;
+    PTLDB_RETURN_IF_ERROR(acc.Accumulate(history_[k].query_values[it->second]));
+  }
+  return acc.Current();
+}
+
+}  // namespace ptldb::ptl

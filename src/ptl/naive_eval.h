@@ -1,0 +1,83 @@
+// Reference (non-incremental) PTL evaluator.
+//
+// Implements the paper's §4.2 satisfaction relation literally: it records
+// every StateSnapshot and, when asked, recurses over the whole recorded
+// history. It is the correctness oracle for the incremental evaluator (the
+// two must agree on every history — Theorem 1) and the baseline whose
+// per-update cost grows with history length (experiment E1).
+
+#ifndef PTLDB_PTL_NAIVE_EVAL_H_
+#define PTLDB_PTL_NAIVE_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ptl/analyzer.h"
+#include "ptl/snapshot.h"
+
+namespace ptldb::ptl {
+
+class NaiveEvaluator {
+ public:
+  /// `analysis` must outlive the evaluator.
+  explicit NaiveEvaluator(const Analysis* analysis) : analysis_(analysis) {}
+
+  /// Appends one system state (with the formula's query slots evaluated).
+  void Observe(StateSnapshot snapshot) {
+    history_.push_back(std::move(snapshot));
+  }
+
+  size_t history_size() const { return history_.size(); }
+
+  /// Satisfaction at the end of the recorded history. An empty history
+  /// satisfies nothing.
+  Result<bool> SatisfiedAtEnd() const;
+
+  /// Satisfaction at position `i` of the recorded history.
+  Result<bool> SatisfiedAt(size_t i) const;
+
+ private:
+  using Env = std::map<std::string, Value>;
+
+  Result<bool> EvalFormula(const FormulaPtr& f, size_t i, const Env& env) const;
+  Result<Value> EvalTerm(const TermPtr& t, size_t i, const Env& env) const;
+  Result<Value> EvalAggregate(const Term& t, size_t i, const Env& env) const;
+  Result<Value> EvalWindowAggregate(const Term& t, size_t i,
+                                    const Env& env) const;
+
+  const Analysis* analysis_;
+  std::vector<StateSnapshot> history_;
+};
+
+/// Shared by both evaluators and the aggregate machinery: applies a
+/// comparison with the library's coercion rules (equality across incomparable
+/// types is false; ordered comparison across incomparable types is an error).
+Result<bool> ApplyCmp(CmpOp op, const Value& a, const Value& b);
+
+/// Incremental accumulator for one temporal aggregate: reset on the start
+/// formula, fold on the sampling formula. Used by the naive evaluator (per
+/// evaluation), the incremental evaluator (persistently), and tested against
+/// both.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(TemporalAggFn fn) : fn_(fn) {}
+
+  void Reset();
+  Status Accumulate(const Value& v);
+  /// Current aggregate; Null for avg/min/max of an empty sample set.
+  Result<Value> Current() const;
+  int64_t count() const { return count_; }
+
+ private:
+  TemporalAggFn fn_;
+  int64_t count_ = 0;
+  Value sum_ = Value::Int(0);
+  Value min_ = Value::Null();
+  Value max_ = Value::Null();
+};
+
+}  // namespace ptldb::ptl
+
+#endif  // PTLDB_PTL_NAIVE_EVAL_H_

@@ -1,0 +1,498 @@
+#include "ptl/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace ptldb::ptl {
+
+namespace {
+
+// ---- Lexer ------------------------------------------------------------------
+
+enum class Tok { kEnd, kIdent, kInt, kFloat, kString, kSymbol };
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t pos = 0;
+};
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  while (pos < input.size()) {
+    char c = input[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    Token t;
+    t.pos = pos;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos;
+      while (pos < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[pos])) ||
+              input[pos] == '_')) {
+        ++pos;
+      }
+      t.kind = Tok::kIdent;
+      t.text = std::string(input.substr(start, pos - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && pos + 1 < input.size() &&
+                std::isdigit(static_cast<unsigned char>(input[pos + 1])))) {
+      size_t start = pos;
+      bool is_float = false;
+      while (pos < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[pos])) ||
+              input[pos] == '.')) {
+        if (input[pos] == '.') {
+          if (is_float) break;
+          is_float = true;
+        }
+        ++pos;
+      }
+      std::string num(input.substr(start, pos - start));
+      if (is_float) {
+        t.kind = Tok::kFloat;
+        t.float_value = std::stod(num);
+      } else {
+        t.kind = Tok::kInt;
+        t.int_value = std::stoll(num);
+      }
+    } else if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++pos;
+      std::string s;
+      while (pos < input.size() && input[pos] != quote) s += input[pos++];
+      if (pos >= input.size()) {
+        return Status::ParseError(
+            StrCat("unterminated string literal at offset ", t.pos));
+      }
+      ++pos;
+      t.kind = Tok::kString;
+      t.text = std::move(s);
+    } else {
+      static const char* kTwoChar[] = {":=", "!=", "<>", "<=", ">="};
+      std::string sym;
+      std::string_view rest = input.substr(pos);
+      for (const char* two : kTwoChar) {
+        if (StartsWith(rest, two)) {
+          sym = two;
+          break;
+        }
+      }
+      if (sym.empty()) {
+        static const std::string kOneChar = "()[],;*+-/%=<>@$";
+        if (kOneChar.find(c) == std::string::npos) {
+          return Status::ParseError(StrCat("unexpected character '",
+                                           std::string(1, c), "' at offset ",
+                                           pos));
+        }
+        sym = std::string(1, c);
+      }
+      pos += sym.size();
+      t.kind = Tok::kSymbol;
+      t.text = sym;
+    }
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = Tok::kEnd;
+  end.pos = input.size();
+  out.push_back(end);
+  return out;
+}
+
+// ---- Parser -----------------------------------------------------------------
+
+bool IsKw(const Token& t, std::string_view kw) {
+  return t.kind == Tok::kIdent && ToLower(t.text) == ToLower(kw);
+}
+
+std::optional<TemporalAggFn> AggFnFromName(std::string_view name) {
+  std::string lower = ToLower(name);
+  if (lower == "sum") return TemporalAggFn::kSum;
+  if (lower == "count") return TemporalAggFn::kCount;
+  if (lower == "avg") return TemporalAggFn::kAvg;
+  if (lower == "min") return TemporalAggFn::kMin;
+  if (lower == "max") return TemporalAggFn::kMax;
+  return std::nullopt;
+}
+
+std::optional<TemporalAggFn> WindowAggFnFromName(std::string_view name) {
+  std::string lower = ToLower(name);
+  if (lower.size() < 2 || lower[0] != 'w') return std::nullopt;
+  return AggFnFromName(lower.substr(1));
+}
+
+bool IsReservedWord(const std::string& ident) {
+  static const char* kReserved[] = {
+      "and",  "or",       "not",   "since", "previously",
+      "lasttime", "throughout_past", "true", "false", "time",
+      "within", "heldfor"};
+  std::string lower = ToLower(ident);
+  for (const char* kw : kReserved) {
+    if (lower == kw) return true;
+  }
+  return AggFnFromName(lower).has_value() ||
+         WindowAggFnFromName(lower).has_value();
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<FormulaPtr> ParseTop() {
+    PTLDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseOr());
+    if (Peek().kind != Tok::kEnd) {
+      return Error(StrCat("unexpected trailing input '", Peek().text, "'"));
+    }
+    return f;
+  }
+
+  Result<TermPtr> ParseTermTop() {
+    PTLDB_ASSIGN_OR_RETURN(TermPtr t, ParseTermExpr());
+    if (Peek().kind != Tok::kEnd) {
+      return Error(StrCat("unexpected trailing input '", Peek().text, "'"));
+    }
+    return t;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Error(std::string msg) const {
+    return Status::ParseError(StrCat(msg, " (at offset ", Peek().pos, ")"));
+  }
+
+  bool MatchKw(std::string_view kw) {
+    if (IsKw(Peek(), kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool MatchSym(std::string_view sym) {
+    if (Peek().kind == Tok::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSym(std::string_view sym) {
+    if (!MatchSym(sym)) return Error(StrCat("expected '", sym, "'"));
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != Tok::kIdent) return Error("expected identifier");
+    return Next().text;
+  }
+  Result<Timestamp> ExpectIntLiteral() {
+    if (Peek().kind != Tok::kInt) return Error("expected integer literal");
+    return static_cast<Timestamp>(Next().int_value);
+  }
+
+  // -- formulas --
+
+  Result<FormulaPtr> ParseOr() {
+    PTLDB_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseAnd());
+    while (MatchKw("OR")) {
+      PTLDB_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseAnd());
+      lhs = Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FormulaPtr> ParseAnd() {
+    PTLDB_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseSince());
+    while (MatchKw("AND")) {
+      PTLDB_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseSince());
+      lhs = And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FormulaPtr> ParseSince() {
+    PTLDB_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseUnary());
+    while (MatchKw("SINCE")) {
+      PTLDB_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseUnary());
+      lhs = Since(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FormulaPtr> ParseUnary() {
+    if (MatchKw("NOT")) {
+      PTLDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+      return Not(std::move(f));
+    }
+    if (MatchKw("PREVIOUSLY")) {
+      PTLDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+      return Previously(std::move(f));
+    }
+    if (MatchKw("LASTTIME")) {
+      PTLDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+      return Lasttime(std::move(f));
+    }
+    if (MatchKw("THROUGHOUT_PAST")) {
+      PTLDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+      return ThroughoutPast(std::move(f));
+    }
+    if (IsKw(Peek(), "WITHIN") || IsKw(Peek(), "HELDFOR")) {
+      bool is_within = IsKw(Peek(), "WITHIN");
+      ++pos_;
+      PTLDB_RETURN_IF_ERROR(ExpectSym("("));
+      PTLDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseOr());
+      PTLDB_RETURN_IF_ERROR(ExpectSym(","));
+      PTLDB_ASSIGN_OR_RETURN(Timestamp w, ExpectIntLiteral());
+      PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
+      return is_within ? Within(std::move(f), w) : HeldFor(std::move(f), w);
+    }
+    if (MatchSym("[")) {
+      PTLDB_ASSIGN_OR_RETURN(std::string var, ExpectIdent());
+      if (IsReservedWord(var)) {
+        return Error(StrCat("'", var, "' is reserved and cannot be a variable"));
+      }
+      PTLDB_RETURN_IF_ERROR(ExpectSym(":="));
+      PTLDB_ASSIGN_OR_RETURN(TermPtr term, ParseTermExpr());
+      PTLDB_RETURN_IF_ERROR(ExpectSym("]"));
+      PTLDB_ASSIGN_OR_RETURN(FormulaPtr body, ParseUnary());
+      return Bind(std::move(var), std::move(term), std::move(body));
+    }
+    return ParsePrimary();
+  }
+
+  Result<FormulaPtr> ParsePrimary() {
+    if (IsKw(Peek(), "TRUE") && !(Peek(1).kind == Tok::kSymbol &&
+                                  Peek(1).text == "(")) {
+      ++pos_;
+      return True();
+    }
+    if (IsKw(Peek(), "FALSE") && !(Peek(1).kind == Tok::kSymbol &&
+                                   Peek(1).text == "(")) {
+      ++pos_;
+      return False();
+    }
+    if (MatchSym("@")) {
+      PTLDB_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+      std::vector<TermPtr> args;
+      if (MatchSym("(")) {
+        if (!MatchSym(")")) {
+          do {
+            PTLDB_ASSIGN_OR_RETURN(TermPtr arg, ParseTermExpr());
+            args.push_back(std::move(arg));
+          } while (MatchSym(","));
+          PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
+        }
+      }
+      return EventAtom(std::move(name), std::move(args));
+    }
+    // Either `term cmp term` or a parenthesized formula: try the comparison
+    // first, backtracking on failure.
+    size_t saved = pos_;
+    {
+      Result<FormulaPtr> cmp = TryParseComparison();
+      if (cmp.ok()) return cmp;
+    }
+    pos_ = saved;
+    if (MatchSym("(")) {
+      PTLDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseOr());
+      PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
+      return f;
+    }
+    return Error(StrCat("expected formula, got '", Peek().text, "'"));
+  }
+
+  Result<FormulaPtr> TryParseComparison() {
+    PTLDB_ASSIGN_OR_RETURN(TermPtr lhs, ParseTermExpr());
+    std::optional<CmpOp> op;
+    if (Peek().kind == Tok::kSymbol) {
+      const std::string& s = Peek().text;
+      if (s == "=") op = CmpOp::kEq;
+      else if (s == "!=" || s == "<>") op = CmpOp::kNe;
+      else if (s == "<") op = CmpOp::kLt;
+      else if (s == "<=") op = CmpOp::kLe;
+      else if (s == ">") op = CmpOp::kGt;
+      else if (s == ">=") op = CmpOp::kGe;
+    }
+    if (!op.has_value()) return Error("expected comparison operator");
+    ++pos_;
+    PTLDB_ASSIGN_OR_RETURN(TermPtr rhs, ParseTermExpr());
+    return Compare(*op, std::move(lhs), std::move(rhs));
+  }
+
+  // -- terms --
+
+  Result<TermPtr> ParseTermExpr() { return ParseAdditive(); }
+
+  Result<TermPtr> ParseAdditive() {
+    PTLDB_ASSIGN_OR_RETURN(TermPtr lhs, ParseMultiplicative());
+    while (Peek().kind == Tok::kSymbol &&
+           (Peek().text == "+" || Peek().text == "-")) {
+      ArithOp op = Next().text == "+" ? ArithOp::kAdd : ArithOp::kSub;
+      PTLDB_ASSIGN_OR_RETURN(TermPtr rhs, ParseMultiplicative());
+      lhs = Arith(op, {std::move(lhs), std::move(rhs)});
+    }
+    return lhs;
+  }
+
+  Result<TermPtr> ParseMultiplicative() {
+    PTLDB_ASSIGN_OR_RETURN(TermPtr lhs, ParseUnaryTerm());
+    while (Peek().kind == Tok::kSymbol &&
+           (Peek().text == "*" || Peek().text == "/" || Peek().text == "%")) {
+      std::string sym = Next().text;
+      ArithOp op = sym == "*"   ? ArithOp::kMul
+                   : sym == "/" ? ArithOp::kDiv
+                                : ArithOp::kMod;
+      PTLDB_ASSIGN_OR_RETURN(TermPtr rhs, ParseUnaryTerm());
+      lhs = Arith(op, {std::move(lhs), std::move(rhs)});
+    }
+    return lhs;
+  }
+
+  Result<TermPtr> ParseUnaryTerm() {
+    if (Peek().kind == Tok::kSymbol && Peek().text == "-") {
+      ++pos_;
+      // Fold a minus on a numeric literal into a negative constant (so the
+      // printed form of negative constants round-trips).
+      if (Peek().kind == Tok::kInt) {
+        return Const(Value::Int(-Next().int_value));
+      }
+      if (Peek().kind == Tok::kFloat) {
+        return Const(Value::Real(-Next().float_value));
+      }
+      PTLDB_ASSIGN_OR_RETURN(TermPtr t, ParseUnaryTerm());
+      return Arith(ArithOp::kNeg, {std::move(t)});
+    }
+    return ParsePrimaryTerm();
+  }
+
+  Result<TermPtr> ParsePrimaryTerm() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Tok::kInt:
+        return Const(Value::Int(Next().int_value));
+      case Tok::kFloat:
+        return Const(Value::Real(Next().float_value));
+      case Tok::kString:
+        return Const(Value::Str(Next().text));
+      case Tok::kIdent: {
+        if (IsKw(t, "TIME")) {
+          ++pos_;
+          return TimeTerm();
+        }
+        if (IsKw(t, "TRUE")) {
+          ++pos_;
+          return Const(Value::Bool(true));
+        }
+        if (IsKw(t, "FALSE")) {
+          ++pos_;
+          return Const(Value::Bool(false));
+        }
+        // Aggregate call?
+        bool applied =
+            Peek(1).kind == Tok::kSymbol && Peek(1).text == "(";
+        if (applied) {
+          if (auto fn = AggFnFromName(t.text); fn.has_value()) {
+            return ParseAggCall(*fn);
+          }
+          if (auto fn = WindowAggFnFromName(t.text); fn.has_value()) {
+            return ParseWindowAggCall(*fn);
+          }
+        }
+        std::string name = Next().text;
+        if (IsReservedWord(name)) {
+          return Error(StrCat("reserved word '", name,
+                              "' cannot be used as a variable or query name"));
+        }
+        if (applied) {
+          // Database query reference with arguments.
+          PTLDB_RETURN_IF_ERROR(ExpectSym("("));
+          std::vector<TermPtr> args;
+          if (!MatchSym(")")) {
+            do {
+              PTLDB_ASSIGN_OR_RETURN(TermPtr arg, ParseTermExpr());
+              args.push_back(std::move(arg));
+            } while (MatchSym(","));
+            PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
+          }
+          return QueryRef(std::move(name), std::move(args));
+        }
+        return Var(std::move(name));
+      }
+      case Tok::kSymbol:
+        if (t.text == "$") {
+          ++pos_;
+          PTLDB_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+          return Var(std::move(name));
+        }
+        if (t.text == "(") {
+          ++pos_;
+          PTLDB_ASSIGN_OR_RETURN(TermPtr inner, ParseTermExpr());
+          PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
+          return inner;
+        }
+        break;
+      case Tok::kEnd:
+      default:
+        break;
+    }
+    return Error(StrCat("expected term, got '", t.text, "'"));
+  }
+
+  Result<TermPtr> ParseAggCall(TemporalAggFn fn) {
+    ++pos_;  // aggregate name
+    PTLDB_RETURN_IF_ERROR(ExpectSym("("));
+    PTLDB_ASSIGN_OR_RETURN(TermPtr query, ParsePrimaryTerm());
+    if (query->kind != Term::Kind::kQuery) {
+      return Error("aggregate argument must be a query, e.g. price('IBM')");
+    }
+    PTLDB_RETURN_IF_ERROR(ExpectSym(";"));
+    PTLDB_ASSIGN_OR_RETURN(FormulaPtr start, ParseOr());
+    PTLDB_RETURN_IF_ERROR(ExpectSym(";"));
+    PTLDB_ASSIGN_OR_RETURN(FormulaPtr sample, ParseOr());
+    PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
+    return AggTerm(fn, std::move(query), std::move(start), std::move(sample));
+  }
+
+  Result<TermPtr> ParseWindowAggCall(TemporalAggFn fn) {
+    ++pos_;  // aggregate name
+    PTLDB_RETURN_IF_ERROR(ExpectSym("("));
+    PTLDB_ASSIGN_OR_RETURN(TermPtr query, ParsePrimaryTerm());
+    if (query->kind != Term::Kind::kQuery) {
+      return Error("window aggregate argument must be a query");
+    }
+    PTLDB_RETURN_IF_ERROR(ExpectSym(","));
+    PTLDB_ASSIGN_OR_RETURN(Timestamp width, ExpectIntLiteral());
+    PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
+    return WindowAggTerm(fn, std::move(query), width);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<FormulaPtr> ParseFormula(std::string_view text) {
+  PTLDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseTop();
+}
+
+Result<TermPtr> ParseTerm(std::string_view text) {
+  PTLDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseTermTop();
+}
+
+}  // namespace ptldb::ptl

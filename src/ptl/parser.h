@@ -1,0 +1,48 @@
+// Concrete syntax for PTL conditions.
+//
+//   formula  := or
+//   or       := and (OR and)*
+//   and      := since (AND since)*
+//   since    := unary (SINCE unary)*                    (left associative)
+//   unary    := NOT unary | PREVIOUSLY unary | LASTTIME unary
+//             | THROUGHOUT_PAST unary
+//             | WITHIN '(' formula ',' width ')'        (bounded sugar, §5)
+//             | HELDFOR '(' formula ',' width ')'
+//             | '[' ident ':=' term ']' unary           (assignment operator)
+//             | primary
+//   primary  := TRUE | FALSE | '@' ident '(' args ')'   (event atom)
+//             | term cmp term | '(' formula ')'
+//   term     := arithmetic over: numbers, 'strings', time, variables,
+//               query(name, args), aggregates
+//   agg      := (sum|count|avg|min|max) '(' query ';' formula ';' formula ')'
+//   wagg     := (wsum|wcount|wavg|wmin|wmax) '(' query ',' width ')'
+//
+// Examples (from the paper):
+//   [t := time][x := price(IBM)]
+//       PREVIOUSLY (price(IBM) <= 0.5 * x AND time >= t - 10)
+//   price(IBM) > 50 AND (NOT @logout('X') SINCE @login('X'))
+//   avg(price(IBM); time = 540; @update_stocks()) > 70 SINCE time = 540
+//
+// Identifiers that are not applied to arguments parse as variables (bound by
+// binders or supplied as rule parameters); applied identifiers parse as
+// database query references. The aggregate names and keywords are reserved.
+
+#ifndef PTLDB_PTL_PARSER_H_
+#define PTLDB_PTL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "ptl/ast.h"
+
+namespace ptldb::ptl {
+
+/// Parses a PTL formula from text.
+Result<FormulaPtr> ParseFormula(std::string_view text);
+
+/// Parses a bare PTL term (used in tests and tools).
+Result<TermPtr> ParseTerm(std::string_view text);
+
+}  // namespace ptldb::ptl
+
+#endif  // PTLDB_PTL_PARSER_H_

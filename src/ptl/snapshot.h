@@ -1,0 +1,62 @@
+// The view of one system state that PTL evaluators consume.
+//
+// Evaluators never touch the database directly: for each new system state the
+// engine evaluates the formula's ground query instances ("slots", assigned by
+// the analyzer) against the current database and hands the evaluator a
+// StateSnapshot. This decouples the condition evaluator from the data model —
+// the paper's point that PTL "can be combined with any query language".
+
+#ifndef PTLDB_PTL_SNAPSHOT_H_
+#define PTLDB_PTL_SNAPSHOT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "event/event.h"
+
+namespace ptldb::ptl {
+
+/// A ground database query instance: name plus constant arguments, e.g.
+/// `price("IBM")`. Each distinct spec gets one slot in StateSnapshot.
+struct QuerySpec {
+  std::string name;
+  std::vector<Value> args;
+
+  bool operator==(const QuerySpec& other) const = default;
+  std::string ToString() const;
+};
+
+struct QuerySpecHash {
+  size_t operator()(const QuerySpec& q) const {
+    size_t seed = std::hash<std::string>{}(q.name);
+    for (const Value& v : q.args) seed = HashCombine(seed, v.Hash());
+    return seed;
+  }
+};
+
+/// Evaluates one ground query against the *current* database state. Supplied
+/// by the rule engine (or by a test harness).
+using QueryEvalFn = std::function<Result<Value>(const QuerySpec&)>;
+
+/// One system state as seen by an evaluator: index, timestamp, event set, and
+/// the current values of the formula's query slots.
+struct StateSnapshot {
+  size_t seq = 0;
+  Timestamp time = 0;
+  std::vector<event::Event> events;
+  std::vector<Value> query_values;  // indexed by analyzer slot id
+
+  bool HasEvent(const std::string& name,
+                const std::vector<Value>& param_prefix) const {
+    event::SystemState probe;
+    probe.events = events;
+    return probe.HasEvent(name, param_prefix);
+  }
+};
+
+}  // namespace ptldb::ptl
+
+#endif  // PTLDB_PTL_SNAPSHOT_H_

@@ -1,0 +1,658 @@
+#include "rules/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "db/tuple.h"
+
+namespace ptldb::rules {
+
+namespace {
+
+constexpr int kMaxDispatchDepth = 32;
+
+// Schema of an auxiliary aggregate item (one row).
+db::Schema AggItemSchema() {
+  return db::Schema({{"started", ValueType::kBool},
+                     {"sum", ValueType::kDouble},
+                     {"cnt", ValueType::kInt64},
+                     {"minv", ValueType::kDouble},
+                     {"maxv", ValueType::kDouble}});
+}
+
+db::Tuple InitialAggRow() {
+  return {Value::Bool(false), Value::Real(0), Value::Int(0), Value::Null(),
+          Value::Null()};
+}
+
+// Collects the event names a condition mentions and whether it uses
+// Lasttime, without requiring parameter substitution (used for the §8
+// relevance index, including for rule families).
+void CollectTermMeta(const ptl::TermPtr& t, std::set<std::string>* events,
+                     bool* uses_lasttime);
+
+void CollectConditionMeta(const ptl::FormulaPtr& f,
+                          std::set<std::string>* events, bool* uses_lasttime) {
+  if (f == nullptr) return;
+  if (f->kind == ptl::Formula::Kind::kEvent) events->insert(f->event_name);
+  if (f->kind == ptl::Formula::Kind::kLasttime) *uses_lasttime = true;
+  CollectTermMeta(f->lhs_term, events, uses_lasttime);
+  CollectTermMeta(f->rhs_term, events, uses_lasttime);
+  CollectTermMeta(f->bind_term, events, uses_lasttime);
+  CollectConditionMeta(f->left, events, uses_lasttime);
+  CollectConditionMeta(f->right, events, uses_lasttime);
+}
+
+void CollectTermMeta(const ptl::TermPtr& t, std::set<std::string>* events,
+                     bool* uses_lasttime) {
+  if (t == nullptr) return;
+  for (const ptl::TermPtr& op : t->operands) {
+    CollectTermMeta(op, events, uses_lasttime);
+  }
+  CollectConditionMeta(t->agg_start, events, uses_lasttime);
+  CollectConditionMeta(t->agg_sample, events, uses_lasttime);
+}
+
+// Canonical rendering of a parameter map (instance key / __executed column).
+std::string ParamsKey(const std::map<std::string, Value>& params) {
+  std::vector<std::string> parts;
+  parts.reserve(params.size());
+  for (const auto& [name, value] : params) {
+    parts.push_back(StrCat(name, "=", value.ToString()));
+  }
+  return Join(parts, ",");
+}
+
+}  // namespace
+
+RuleEngine::RuleEngine(db::Database* database)
+    : database_(database), registry_(database) {
+  // §7: the execution log is an ordinary, queryable relation.
+  Status s = database_->CreateTable(
+      kExecutedTable, db::Schema({{"rule", ValueType::kString},
+                                  {"params", ValueType::kString},
+                                  {"t", ValueType::kInt64}}));
+  PTLDB_CHECK_OK(s);
+  database_->SetListener(this);
+}
+
+RuleEngine::~RuleEngine() { database_->SetListener(nullptr); }
+
+// ---- Registration -----------------------------------------------------------
+
+Status RuleEngine::AddTrigger(const std::string& name,
+                              std::string_view condition, ActionFn action,
+                              RuleOptions options) {
+  PTLDB_ASSIGN_OR_RETURN(ptl::FormulaPtr f, ptl::ParseFormula(condition));
+  return AddTriggerFormula(name, std::move(f), std::move(action), options);
+}
+
+Status RuleEngine::AddTriggerFormula(const std::string& name,
+                                     ptl::FormulaPtr condition, ActionFn action,
+                                     RuleOptions options) {
+  return AddRuleInternal(name, std::move(condition), std::move(action), options,
+                         /*is_ic=*/false, /*is_family=*/false, "", {});
+}
+
+Status RuleEngine::AddIntegrityConstraint(const std::string& name,
+                                          std::string_view constraint) {
+  PTLDB_ASSIGN_OR_RETURN(ptl::FormulaPtr c, ptl::ParseFormula(constraint));
+  // The rule's condition is the *negation* of the constraint; its action is
+  // abort(X), realized by the commit-attempt veto.
+  return AddRuleInternal(name, ptl::Not(std::move(c)), nullptr, RuleOptions{},
+                         /*is_ic=*/true, /*is_family=*/false, "", {});
+}
+
+Status RuleEngine::AddTriggerFamily(const std::string& name,
+                                    std::string_view domain_sql,
+                                    std::vector<std::string> param_names,
+                                    std::string_view condition, ActionFn action,
+                                    RuleOptions options) {
+  if (param_names.empty()) {
+    return Status::InvalidArgument("rule family needs at least one parameter");
+  }
+  PTLDB_ASSIGN_OR_RETURN(ptl::FormulaPtr f, ptl::ParseFormula(condition));
+  return AddRuleInternal(name, std::move(f), std::move(action), options,
+                         /*is_ic=*/false, /*is_family=*/true, domain_sql,
+                         std::move(param_names));
+}
+
+Status RuleEngine::AddRuleInternal(std::string name, ptl::FormulaPtr condition,
+                                   ActionFn action, RuleOptions options,
+                                   bool is_ic, bool is_family,
+                                   std::string_view domain_sql,
+                                   std::vector<std::string> param_names) {
+  if (dispatch_depth_ > 0) {
+    return Status::InvalidArgument(
+        "rules cannot be added from within rule actions");
+  }
+  if (rule_index_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("rule '", name, "' already exists"));
+  }
+
+  if (options.aggregate_mode == AggregateMode::kRewrite) {
+    if (is_family) {
+      return Status::NotImplemented(
+          "aggregate rewriting for rule families is not supported; use "
+          "AggregateMode::kDirect (indexed aggregate items are evaluated "
+          "per instance there)");
+    }
+    PTLDB_ASSIGN_OR_RETURN(agg::RewriteResult rewrite,
+                           agg::RewriteAggregates(condition, name));
+    PTLDB_RETURN_IF_ERROR(MaterializeRewrite(name, rewrite));
+    condition = rewrite.condition;
+  }
+
+  auto rule = std::make_unique<Rule>();
+  rule->name = name;
+  rule->condition = std::move(condition);
+  rule->action = std::move(action);
+  rule->options = options;
+  rule->is_ic = is_ic;
+  rule->is_family = is_family;
+  rule->param_names = std::move(param_names);
+  rule->registration_order = next_registration_order_++;
+  CollectConditionMeta(rule->condition, &rule->event_names,
+                       &rule->uses_lasttime);
+  if (rule->options.event_filtered && rule->uses_lasttime) {
+    return Status::InvalidArgument(
+        StrCat("rule '", name,
+               "': event_filtered cannot be combined with Lasttime (the "
+               "filter would shift its frame of reference)"));
+  }
+  if (is_family) {
+    PTLDB_ASSIGN_OR_RETURN(rule->domain, db::ParseSql(domain_sql));
+  } else {
+    // Plain rules and ICs have a single parameterless instance; build it now
+    // so malformed conditions are rejected at registration.
+    PTLDB_ASSIGN_OR_RETURN(Instance * unused, MakeInstance(rule.get(), {}));
+    (void)unused;
+  }
+  rule_index_.emplace(rule->name, rules_.size());
+  rules_.push_back(std::move(rule));
+  RebuildEventIndex();
+  return Status::OK();
+}
+
+void RuleEngine::RebuildEventIndex() {
+  event_index_.clear();
+  for (const auto& rule : rules_) {
+    if (rule->is_system || !rule->options.event_filtered ||
+        rule->event_names.empty()) {
+      continue;
+    }
+    for (const std::string& name : rule->event_names) {
+      event_index_[name].push_back(rule.get());
+    }
+  }
+}
+
+Status RuleEngine::MaterializeRewrite(const std::string& rule_name,
+                                      const agg::RewriteResult& rewrite) {
+  (void)rule_name;  // the generated names are already namespaced by the rewriter
+  for (const agg::AuxItem& item : rewrite.items) {
+    PTLDB_RETURN_IF_ERROR(database_->CreateTable(item.name, AggItemSchema()));
+    PTLDB_ASSIGN_OR_RETURN(db::Table * table,
+                           database_->catalog().GetTable(item.name));
+    PTLDB_RETURN_IF_ERROR(table->Insert(InitialAggRow()));
+    // The computed query derives the aggregate's current value from the row.
+    ptl::TemporalAggFn fn = item.fn;
+    std::string table_name = item.name;
+    db::Database* db = database_;
+    PTLDB_RETURN_IF_ERROR(registry_.RegisterComputed(
+        item.name,
+        [db, table_name, fn](const std::vector<Value>& args) -> Result<Value> {
+          if (!args.empty()) {
+            return Status::InvalidArgument("aggregate item takes no arguments");
+          }
+          PTLDB_ASSIGN_OR_RETURN(const db::Table* t,
+                                 static_cast<const db::Database*>(db)
+                                     ->catalog()
+                                     .GetTable(table_name));
+          const db::Tuple& row = t->rows()[0];
+          const Value& sum = row[1];
+          const Value& cnt = row[2];
+          switch (fn) {
+            case ptl::TemporalAggFn::kSum:
+              return sum;
+            case ptl::TemporalAggFn::kCount:
+              return cnt;
+            case ptl::TemporalAggFn::kAvg:
+              if (cnt.AsInt() == 0) return Value::Null();
+              return Value::Real(sum.AsDouble() /
+                                 static_cast<double>(cnt.AsInt()));
+            case ptl::TemporalAggFn::kMin:
+              return row[3];
+            case ptl::TemporalAggFn::kMax:
+              return row[4];
+          }
+          return Status::Internal("unknown aggregate fn");
+        }));
+  }
+  for (const agg::SystemRule& sys : rewrite.system_rules) {
+    auto rule = std::make_unique<Rule>();
+    rule->name = sys.name;
+    rule->condition = sys.condition;
+    rule->is_system = true;
+    rule->sys_op = sys.op;
+    rule->sys_item = sys.item;
+    rule->sys_source = sys.source;
+    rule->registration_order = next_registration_order_++;
+    PTLDB_ASSIGN_OR_RETURN(Instance * unused, MakeInstance(rule.get(), {}));
+    (void)unused;
+    rule_index_.emplace(rule->name, rules_.size());
+    rules_.push_back(std::move(rule));
+  }
+  return Status::OK();
+}
+
+Result<RuleEngine::Instance*> RuleEngine::MakeInstance(
+    Rule* rule, std::map<std::string, Value> params) {
+  ptl::FormulaPtr grounded = ptl::SubstituteParams(rule->condition, params);
+  PTLDB_ASSIGN_OR_RETURN(ptl::Analysis analysis, ptl::Analyze(grounded));
+  // Make sure every query the condition mentions is resolvable now.
+  for (const ptl::QuerySpec& spec : analysis.slots) {
+    if (!registry_.Has(spec.name)) {
+      return Status::NotFound(
+          StrCat("rule '", rule->name, "': no query registered for function "
+                 "symbol '", spec.name, "'"));
+    }
+  }
+  PTLDB_ASSIGN_OR_RETURN(eval::IncrementalEvaluator ev,
+                         eval::IncrementalEvaluator::Make(std::move(analysis)));
+  std::string key = ParamsKey(params);
+  auto instance = std::make_unique<Instance>(std::move(params), key,
+                                             std::move(ev));
+  Instance* ptr = instance.get();
+  rule->instance_index.emplace(ptr->params_key, rule->instances.size());
+  rule->instances.push_back(std::move(instance));
+  ++stats_.instances_created;
+  return ptr;
+}
+
+Status RuleEngine::RemoveRule(const std::string& name) {
+  if (dispatch_depth_ > 0) {
+    return Status::InvalidArgument(
+        "rules cannot be removed from within rule actions");
+  }
+  // Deferred steps hold instance pointers; evaluate them before removal.
+  PTLDB_RETURN_IF_ERROR(Flush());
+  auto it = rule_index_.find(name);
+  if (it == rule_index_.end()) {
+    return Status::NotFound(StrCat("no rule named '", name, "'"));
+  }
+  rules_.erase(rules_.begin() + static_cast<ptrdiff_t>(it->second));
+  // Also drop system rules generated for this rule's aggregates (their names
+  // are namespaced "__agg_<rule>_..."). Their auxiliary tables stay behind as
+  // inert single-row tables.
+  std::string prefix = StrCat("__agg_", name, "_");
+  rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
+                              [&prefix](const std::unique_ptr<Rule>& r) {
+                                return StartsWith(r->name, prefix);
+                              }),
+               rules_.end());
+  rule_index_.clear();
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    rule_index_.emplace(rules_[i]->name, i);
+  }
+  RebuildEventIndex();
+  return Status::OK();
+}
+
+std::vector<Firing> RuleEngine::TakeFirings() {
+  std::vector<Firing> out;
+  out.swap(firings_);
+  return out;
+}
+
+std::vector<Status> RuleEngine::TakeErrors() {
+  std::vector<Status> out;
+  out.swap(errors_);
+  return out;
+}
+
+std::vector<std::string> RuleEngine::RuleNames() const {
+  std::vector<std::string> names;
+  names.reserve(rules_.size());
+  for (const auto& rule : rules_) names.push_back(rule->name);
+  return names;
+}
+
+void RuleEngine::ReportError(Status status) {
+  errors_.push_back(std::move(status));
+}
+
+// ---- Evaluation -------------------------------------------------------------
+
+Status RuleEngine::RefreshFamily(Rule* rule) {
+  PTLDB_ASSIGN_OR_RETURN(db::Relation domain, database_->Query(rule->domain));
+  ++stats_.queries_evaluated;
+  if (domain.schema().num_columns() < rule->param_names.size()) {
+    return Status::InvalidArgument(
+        StrCat("rule '", rule->name, "': domain query returns ",
+               domain.schema().num_columns(), " column(s) but the family has ",
+               rule->param_names.size(), " parameter(s)"));
+  }
+  for (const db::Tuple& row : domain.rows()) {
+    std::map<std::string, Value> params;
+    for (size_t i = 0; i < rule->param_names.size(); ++i) {
+      params.emplace(rule->param_names[i], row[i]);
+    }
+    std::string key = ParamsKey(params);
+    if (rule->instance_index.count(key) > 0) continue;
+    PTLDB_ASSIGN_OR_RETURN(Instance * unused,
+                           MakeInstance(rule, std::move(params)));
+    (void)unused;
+  }
+  return Status::OK();
+}
+
+Result<ptl::StateSnapshot> RuleEngine::BuildSnapshot(
+    const Instance& instance, const event::SystemState& state) {
+  ptl::StateSnapshot snapshot;
+  snapshot.seq = state.seq;
+  snapshot.time = state.time;
+  snapshot.events = state.events;
+  const ptl::Analysis& analysis = instance.ev.analysis();
+  snapshot.query_values.reserve(analysis.slots.size());
+  for (const ptl::QuerySpec& spec : analysis.slots) {
+    PTLDB_ASSIGN_OR_RETURN(Value v, registry_.Eval(spec));
+    ++stats_.queries_evaluated;
+    snapshot.query_values.push_back(std::move(v));
+  }
+  return snapshot;
+}
+
+Result<bool> RuleEngine::StepInstance(Rule* rule, Instance* instance,
+                                      const event::SystemState& state,
+                                      bool allow_collect) {
+  (void)rule;
+  if (instance->last_seq == state.seq) {
+    // Already advanced over this state (hypothetical IC check at commit).
+    return instance->ev.last_fired();
+  }
+  PTLDB_ASSIGN_OR_RETURN(ptl::StateSnapshot snapshot,
+                         BuildSnapshot(*instance, state));
+  PTLDB_ASSIGN_OR_RETURN(bool fired, instance->ev.Step(snapshot));
+  instance->last_seq = state.seq;
+  ++stats_.rule_steps;
+  // Collection invalidates checkpoints, so the hypothetical IC path defers it.
+  if (allow_collect) instance->ev.MaybeCollect();
+  return fired;
+}
+
+Status RuleEngine::ApplySystemOp(const Rule& rule) {
+  PTLDB_ASSIGN_OR_RETURN(db::Table * table,
+                         database_->catalog().GetTable(rule.sys_item));
+  db::Tuple row = table->rows()[0];
+  if (rule.sys_op == agg::SystemRule::Op::kReset) {
+    db::Tuple fresh = InitialAggRow();
+    fresh[0] = Value::Bool(true);  // started
+    PTLDB_RETURN_IF_ERROR(table->ReplaceOne(row, fresh));
+    return Status::OK();
+  }
+  // Accumulate: only once started (samples before the first start point do
+  // not count — the direct machines behave identically).
+  if (!row[0].AsBool()) return Status::OK();
+  PTLDB_ASSIGN_OR_RETURN(Value v, registry_.Eval(rule.sys_source));
+  db::Tuple next = row;
+  if (v.is_numeric()) {
+    PTLDB_ASSIGN_OR_RETURN(next[1], Value::Add(row[1], v));
+  }
+  PTLDB_ASSIGN_OR_RETURN(next[2], Value::Add(row[2], Value::Int(1)));
+  if (!v.is_null()) {
+    if (next[3].is_null()) {
+      next[3] = v;
+    } else {
+      PTLDB_ASSIGN_OR_RETURN(int c, Value::Compare(v, next[3]));
+      if (c < 0) next[3] = v;
+    }
+    if (next[4].is_null()) {
+      next[4] = v;
+    } else {
+      PTLDB_ASSIGN_OR_RETURN(int c, Value::Compare(v, next[4]));
+      if (c > 0) next[4] = v;
+    }
+  }
+  return table->ReplaceOne(row, next);
+}
+
+Status RuleEngine::RecordExecution(const Rule& rule, const Instance& instance,
+                                   Timestamp time) {
+  PTLDB_ASSIGN_OR_RETURN(db::Table * table,
+                         database_->catalog().GetTable(kExecutedTable));
+  PTLDB_RETURN_IF_ERROR(table->Insert(
+      {Value::Str(rule.name), Value::Str(instance.params_key),
+       Value::Time(time)}));
+  firings_.push_back(Firing{rule.name, instance.params_key, time});
+  // Announce: `@executed(rule)` drives §7 composite/temporal actions. The
+  // event appends a new system state, which recursively dispatches rules.
+  return database_->RaiseEvent(
+      event::Event{event::kRuleExecutedEvent,
+                   {Value::Str(rule.name), Value::Time(time)}});
+}
+
+void RuleEngine::ProcessState(const event::SystemState& state) {
+  if (dispatch_depth_ >= kMaxDispatchDepth) {
+    ReportError(Status::Internal(
+        StrCat("rule dispatch depth exceeded ", kMaxDispatchDepth,
+               " at state #", state.seq,
+               " — a rule's action is probably retriggering itself")));
+    return;
+  }
+  ++dispatch_depth_;
+  ++stats_.states_processed;
+
+  // Phase 1: system rules (aggregate reset/accumulate), in registration
+  // order, actions applied inline so user conditions at this state already
+  // observe the updated items.
+  for (const auto& rule : rules_) {
+    if (!rule->is_system) continue;
+    auto fired = StepInstance(rule.get(), rule->instances[0].get(), state);
+    if (!fired.ok()) {
+      ReportError(fired.status());
+      continue;
+    }
+    if (*fired) {
+      Status s = ApplySystemOp(*rule);
+      if (!s.ok()) ReportError(std::move(s));
+    }
+  }
+
+  // Phase 2: user rules — evaluate all conditions first, collecting fired
+  // actions, so one rule's action cannot affect a sibling's view of this
+  // state. The §8 relevance index picks the rules to step: unfiltered rules
+  // always, filtered rules only when one of their events is present.
+  std::set<Rule*> relevant;
+  for (const event::Event& e : state.events) {
+    auto it = event_index_.find(e.name);
+    if (it == event_index_.end()) continue;
+    for (Rule* r : it->second) relevant.insert(r);
+  }
+  const bool batching = batch_size_ > 1;
+  std::vector<PendingAction> pending;
+  for (const auto& rule : rules_) {
+    if (rule->is_system) continue;
+    if (rule->options.event_filtered && !rule->event_names.empty() &&
+        relevant.count(rule.get()) == 0) {
+      stats_.steps_skipped_by_filter += rule->instances.size();
+      continue;
+    }
+    if (rule->is_family) {
+      Status s = RefreshFamily(rule.get());
+      if (!s.ok()) {
+        ReportError(std::move(s));
+        continue;
+      }
+    }
+    for (const auto& instance : rule->instances) {
+      if (batching && !rule->is_ic) {
+        // §8 batched invocation: capture the snapshot now (conditions must
+        // observe this state's query values), defer stepping to Flush().
+        auto snapshot = BuildSnapshot(*instance, state);
+        if (!snapshot.ok()) {
+          ReportError(snapshot.status());
+          continue;
+        }
+        batch_queue_.push_back(
+            QueuedStep{rule.get(), instance.get(), std::move(*snapshot)});
+        continue;
+      }
+      bool was_satisfied = instance->ev.last_fired() && instance->ev.steps() > 0;
+      auto fired = StepInstance(rule.get(), instance.get(), state);
+      if (!fired.ok()) {
+        ReportError(fired.status());
+        continue;
+      }
+      bool run_action =
+          *fired && (rule->options.level_triggered || !was_satisfied);
+      if (run_action && !rule->is_ic && rule->action != nullptr) {
+        pending.push_back(PendingAction{rule.get(), instance.get(), state.time});
+      }
+    }
+  }
+
+  // Phase 3: run actions, ascending (priority, registration order).
+  RunPendingActions(std::move(pending));
+  if (batching) {
+    ++batched_states_;
+    if (batched_states_ >= batch_size_) {
+      Status s = Flush();
+      if (!s.ok()) ReportError(std::move(s));
+    }
+  }
+  --dispatch_depth_;
+}
+
+void RuleEngine::RunPendingActions(std::vector<PendingAction> pending) {
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingAction& a, const PendingAction& b) {
+                     if (a.rule->options.priority != b.rule->options.priority) {
+                       return a.rule->options.priority < b.rule->options.priority;
+                     }
+                     return a.rule->registration_order <
+                            b.rule->registration_order;
+                   });
+  for (const PendingAction& pa : pending) {
+    ActionContext ctx(database_, pa.rule->name, &pa.instance->params,
+                      pa.fired_at);
+    Status s = pa.rule->action(ctx);
+    ++stats_.actions_executed;
+    if (!s.ok()) {
+      ReportError(Status(s.code(), StrCat("action of rule '", pa.rule->name,
+                                          "' failed: ", s.message())));
+      continue;
+    }
+    if (pa.rule->options.record_execution) {
+      Status rec = RecordExecution(*pa.rule, *pa.instance, pa.fired_at);
+      if (!rec.ok()) ReportError(std::move(rec));
+    }
+  }
+}
+
+Status RuleEngine::Flush() {
+  if (flushing_) return Status::OK();  // outer drain loop will pick it up
+  flushing_ = true;
+  while (!batch_queue_.empty()) {
+    std::vector<QueuedStep> queue;
+    queue.swap(batch_queue_);
+    batched_states_ = 0;
+    std::vector<PendingAction> pending;
+    for (QueuedStep& qs : queue) {
+      if (qs.instance->last_seq == qs.snapshot.seq) continue;
+      bool was_satisfied =
+          qs.instance->ev.last_fired() && qs.instance->ev.steps() > 0;
+      auto fired = qs.instance->ev.Step(qs.snapshot);
+      qs.instance->last_seq = qs.snapshot.seq;
+      ++stats_.rule_steps;
+      qs.instance->ev.MaybeCollect();
+      if (!fired.ok()) {
+        ReportError(fired.status());
+        continue;
+      }
+      bool run_action =
+          *fired && (qs.rule->options.level_triggered || !was_satisfied);
+      if (run_action && qs.rule->action != nullptr) {
+        pending.push_back(
+            PendingAction{qs.rule, qs.instance, qs.snapshot.time});
+      }
+    }
+    // Actions may append new states, refilling the queue; the while loop
+    // drains them.
+    RunPendingActions(std::move(pending));
+  }
+  flushing_ = false;
+  return Status::OK();
+}
+
+Result<RuleEngine::RuleInfo> RuleEngine::Describe(const std::string& name) const {
+  auto it = rule_index_.find(name);
+  if (it == rule_index_.end()) {
+    return Status::NotFound(StrCat("no rule named '", name, "'"));
+  }
+  const Rule& rule = *rules_[it->second];
+  RuleInfo info;
+  info.name = rule.name;
+  info.condition = rule.condition->ToString();
+  info.is_ic = rule.is_ic;
+  info.is_system = rule.is_system;
+  info.is_family = rule.is_family;
+  info.num_instances = rule.instances.size();
+  info.event_names.assign(rule.event_names.begin(), rule.event_names.end());
+  for (const auto& instance : rule.instances) {
+    info.retained_nodes += instance->ev.LiveNodeCount();
+    info.steps += instance->ev.steps();
+  }
+  return info;
+}
+
+void RuleEngine::OnStateAppended(const event::SystemState& state) {
+  ProcessState(state);
+}
+
+Status RuleEngine::OnCommitAttempt(const event::SystemState& prospective,
+                                   int64_t txn) {
+  // Probe every integrity constraint against the prospective commit state.
+  // The database already reflects the transaction; on violation we restore
+  // the evaluators and veto (the paper's abort(X) action).
+  struct Probe {
+    Rule* rule;
+    Instance* instance;
+    eval::IncrementalEvaluator::Checkpoint checkpoint;
+  };
+  std::vector<Probe> probes;
+  std::vector<std::string> violated;
+  Status failure = Status::OK();
+
+  for (const auto& rule : rules_) {
+    if (!rule->is_ic) continue;
+    Instance* instance = rule->instances[0].get();
+    ++stats_.ic_checks;
+    Probe probe{rule.get(), instance, instance->ev.Save()};
+    auto fired = StepInstance(rule.get(), instance, prospective,
+                              /*allow_collect=*/false);
+    probes.push_back(std::move(probe));
+    if (!fired.ok()) {
+      failure = fired.status();
+      break;
+    }
+    if (*fired) violated.push_back(rule->name);
+  }
+
+  if (violated.empty() && failure.ok()) return Status::OK();
+
+  // Roll the constraints back: the commit state will not materialize.
+  for (Probe& probe : probes) {
+    Status s = probe.instance->ev.Restore(probe.checkpoint);
+    PTLDB_CHECK(s.ok() && "checkpoint restore must succeed (no GC ran)");
+    probe.instance->last_seq = SIZE_MAX;
+  }
+  if (!failure.ok()) return failure;
+  ++stats_.ic_violations;
+  return Status::ConstraintViolation(
+      StrCat("integrity constraint(s) violated by transaction ", txn, ": ",
+             Join(violated, ", ")));
+}
+
+}  // namespace ptldb::rules

@@ -1,0 +1,316 @@
+// The rule engine — the paper's "temporal component".
+//
+// Implements the CA rule model of §3 on top of the database substrate:
+//
+//   * Triggers: PTL condition + action. The engine listens to every appended
+//     system state (§8: "whenever an event occurs the DBMS invokes the
+//     temporal component"), evaluates each rule's condition incrementally,
+//     and runs the actions of fired rules.
+//   * Integrity constraints: rules whose action is abort(X), evaluated at
+//     attempts-to-commit (TCA coupling). The engine probes the constraint
+//     against the prospective commit state using evaluator checkpoints and
+//     vetoes the commit on violation.
+//   * Rule families (the paper's free-variable rules): a domain query
+//     enumerates parameter tuples; the engine lazily instantiates one
+//     incremental evaluator per tuple — the §6.1.1 "multiple database items,
+//     indexed with different values for the free variables" generalized to
+//     whole rules. Fired actions receive their instance's parameters.
+//   * The §7 `executed` machinery: every completed action is recorded in the
+//     queryable `__executed` table and announced with an `@executed(rule)`
+//     event, so composite/temporal actions are programmed as ordinary rules
+//     over that relation (see examples/composite_actions.cc).
+//   * The §8 event-relevance filter: a rule marked `event_filtered` is only
+//     stepped on states carrying one of the events its condition mentions.
+//     This is the paper's ECA-efficiency recovery; like the paper's, it is an
+//     approximation — conditions that must observe every state (Lasttime, or
+//     time-window formulas that expire silently) should leave it off, and the
+//     engine refuses it for conditions using Lasttime.
+//   * §6 aggregates: evaluated directly by default (in-evaluator machines) or
+//     via the §6.1.1 rewriting (`AggregateMode::kRewrite`), which materializes
+//     auxiliary items as real single-row tables and generated reset/accumulate
+//     system rules. Both modes observe identical values at every state.
+
+#ifndef PTLDB_RULES_ENGINE_H_
+#define PTLDB_RULES_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "agg/rewriter.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "eval/incremental.h"
+#include "ptl/analyzer.h"
+#include "ptl/parser.h"
+#include "rules/query_registry.h"
+
+namespace ptldb::rules {
+
+/// How temporal aggregates in a condition are processed.
+enum class AggregateMode {
+  kDirect,   // in-evaluator accumulator machines (default)
+  kRewrite,  // §6.1.1 auxiliary items + reset/accumulate rules
+};
+
+struct RuleOptions {
+  /// §8 relevance filter: step this rule only on states carrying one of the
+  /// events its condition mentions. Off by default (see header caveat).
+  bool event_filtered = false;
+
+  AggregateMode aggregate_mode = AggregateMode::kDirect;
+
+  /// Actions of rules fired at the same state run in ascending priority
+  /// (ties: registration order).
+  int priority = 0;
+
+  /// Record fired actions in `__executed` and raise `@executed(name)`.
+  /// On by default; heavy-traffic rules may opt out.
+  bool record_execution = true;
+
+  /// When false (default) the action runs only on a false->true transition of
+  /// the condition (edge-triggered). When true it runs at *every* state where
+  /// the condition is satisfied — beware: combined with record_execution this
+  /// re-enters the rule at the @executed state and loops if the condition is
+  /// still true (the engine cuts such loops off at a depth limit and reports
+  /// an error). Integrity constraints always veto at every violating commit.
+  bool level_triggered = false;
+};
+
+/// Everything an action may consult when it runs.
+class ActionContext {
+ public:
+  ActionContext(db::Database* database, std::string rule,
+                const std::map<std::string, Value>* params, Timestamp fired_at)
+      : database_(database),
+        rule_(std::move(rule)),
+        params_(params),
+        fired_at_(fired_at) {}
+
+  db::Database& database() const { return *database_; }
+  const std::string& rule() const { return rule_; }
+  /// Family parameters (empty for plain rules).
+  const std::map<std::string, Value>& params() const { return *params_; }
+  /// Binding for one parameter; Null when absent.
+  Value param(const std::string& name) const {
+    auto it = params_->find(name);
+    return it == params_->end() ? Value::Null() : it->second;
+  }
+  /// Timestamp of the state at which the condition was satisfied.
+  Timestamp fired_at() const { return fired_at_; }
+
+ private:
+  db::Database* database_;
+  std::string rule_;
+  const std::map<std::string, Value>* params_;
+  Timestamp fired_at_;
+};
+
+using ActionFn = std::function<Status(ActionContext&)>;
+
+/// One fired-rule record (also the shape of `__executed` rows).
+struct Firing {
+  std::string rule;
+  std::string params;  // canonical rendering, "" for plain rules
+  Timestamp time = 0;
+};
+
+struct EngineStats {
+  uint64_t states_processed = 0;
+  uint64_t rule_steps = 0;
+  uint64_t steps_skipped_by_filter = 0;
+  uint64_t queries_evaluated = 0;
+  uint64_t actions_executed = 0;
+  uint64_t ic_checks = 0;
+  uint64_t ic_violations = 0;
+  uint64_t instances_created = 0;
+};
+
+class RuleEngine : public db::Database::Listener {
+ public:
+  /// Attaches to `database` (becomes its listener) and creates the
+  /// `__executed` table. The database must outlive the engine.
+  explicit RuleEngine(db::Database* database);
+  ~RuleEngine() override;
+
+  RuleEngine(const RuleEngine&) = delete;
+  RuleEngine& operator=(const RuleEngine&) = delete;
+
+  QueryRegistry& queries() { return registry_; }
+
+  // ---- Rule registration ----
+
+  /// Adds a trigger with a PTL condition given as text.
+  Status AddTrigger(const std::string& name, std::string_view condition,
+                    ActionFn action, RuleOptions options = {});
+
+  /// Adds a trigger with an already-built condition.
+  Status AddTriggerFormula(const std::string& name, ptl::FormulaPtr condition,
+                           ActionFn action, RuleOptions options = {});
+
+  /// Adds a temporal integrity constraint: `constraint` must hold at every
+  /// commit point; a violating transaction is aborted (§3: a rule with
+  /// condition attempts_to_commit(X) AND NOT constraint, action abort(X)).
+  Status AddIntegrityConstraint(const std::string& name,
+                                std::string_view constraint);
+
+  /// Adds a rule family: `domain_sql` enumerates parameter tuples; its i-th
+  /// output column binds the parameter `param_names[i]` in `condition` (and
+  /// is visible to the action via ActionContext::params()). An instance's
+  /// history begins at the state where its tuple first appears in the domain.
+  Status AddTriggerFamily(const std::string& name, std::string_view domain_sql,
+                          std::vector<std::string> param_names,
+                          std::string_view condition, ActionFn action,
+                          RuleOptions options = {});
+
+  /// Removes a rule (and its instances / generated system rules).
+  Status RemoveRule(const std::string& name);
+
+  // ---- §8 batched invocation ----
+
+  /// With `batch_size` > 1, trigger evaluation is deferred: each state's
+  /// query slots are captured immediately (so conditions still observe the
+  /// correct database states) but evaluator stepping and action execution
+  /// happen once `batch_size` states have accumulated, or at Flush(). The
+  /// paper: "the temporal component invocation can be executed for multiple
+  /// events at the same time... trigger firing may be delayed, but not go
+  /// unrecognized." Integrity constraints are unaffected (they must veto the
+  /// committing transaction synchronously).
+  void SetBatching(size_t batch_size) { batch_size_ = batch_size; }
+
+  /// Evaluates all buffered states now. No-op when nothing is buffered.
+  Status Flush();
+
+  // ---- Introspection ----
+
+  /// A point-in-time description of one rule.
+  struct RuleInfo {
+    std::string name;
+    std::string condition;
+    bool is_ic = false;
+    bool is_system = false;
+    bool is_family = false;
+    size_t num_instances = 0;
+    std::vector<std::string> event_names;
+    /// Sum of retained graph nodes over instances (the §5 state).
+    size_t retained_nodes = 0;
+    /// Total evaluator steps over instances.
+    uint64_t steps = 0;
+  };
+
+  Result<RuleInfo> Describe(const std::string& name) const;
+
+  const EngineStats& stats() const { return stats_; }
+  /// Firings since the last call (actions that ran, in execution order).
+  std::vector<Firing> TakeFirings();
+  /// Action and internal errors since the last call.
+  std::vector<Status> TakeErrors();
+  /// Name of every registered rule (including generated system rules).
+  std::vector<std::string> RuleNames() const;
+
+  // ---- db::Database::Listener ----
+
+  Status OnCommitAttempt(const event::SystemState& prospective,
+                         int64_t txn) override;
+  void OnStateAppended(const event::SystemState& state) override;
+
+  /// Name of the §7 execution-log table.
+  static constexpr const char* kExecutedTable = "__executed";
+
+ private:
+  struct Instance {
+    std::map<std::string, Value> params;
+    std::string params_key;  // canonical rendering
+    eval::IncrementalEvaluator ev;
+    size_t last_seq = SIZE_MAX;
+
+    Instance(std::map<std::string, Value> p, std::string key,
+             eval::IncrementalEvaluator e)
+        : params(std::move(p)), params_key(std::move(key)), ev(std::move(e)) {}
+  };
+
+  struct Rule {
+    std::string name;
+    ptl::FormulaPtr condition;  // post-rewrite, pre-param-substitution
+    ActionFn action;            // null for ICs and system rules
+    RuleOptions options;
+    // Event names the condition mentions (drives the §8 relevance index).
+    std::set<std::string> event_names;
+    bool uses_lasttime = false;
+    bool is_ic = false;
+    bool is_system = false;
+    agg::SystemRule::Op sys_op{};
+    std::string sys_item;
+    ptl::QuerySpec sys_source;
+    bool is_family = false;
+    db::QueryPtr domain;
+    std::vector<std::string> param_names;
+    std::vector<std::unique_ptr<Instance>> instances;
+    std::map<std::string, size_t> instance_index;  // params_key -> index
+    size_t registration_order = 0;
+  };
+
+  struct PendingAction {
+    Rule* rule;
+    Instance* instance;
+    Timestamp fired_at;
+  };
+
+  // One deferred evaluation step (batched mode): the snapshot was captured
+  // when the state was appended.
+  struct QueuedStep {
+    Rule* rule;
+    Instance* instance;
+    ptl::StateSnapshot snapshot;
+  };
+
+  Status AddRuleInternal(std::string name, ptl::FormulaPtr condition,
+                         ActionFn action, RuleOptions options, bool is_ic,
+                         bool is_family, std::string_view domain_sql,
+                         std::vector<std::string> param_names);
+  Status MaterializeRewrite(const std::string& rule_name,
+                            const agg::RewriteResult& rewrite);
+  Result<Instance*> MakeInstance(Rule* rule,
+                                 std::map<std::string, Value> params);
+  Status RefreshFamily(Rule* rule);
+  Result<ptl::StateSnapshot> BuildSnapshot(const Instance& instance,
+                                           const event::SystemState& state);
+  /// Steps one instance over `state`; returns whether it fired.
+  Result<bool> StepInstance(Rule* rule, Instance* instance,
+                            const event::SystemState& state,
+                            bool allow_collect = true);
+  void ProcessState(const event::SystemState& state);
+  Status ApplySystemOp(const Rule& rule);
+  Status RecordExecution(const Rule& rule, const Instance& instance,
+                         Timestamp time);
+  void ReportError(Status status);
+
+  void RebuildEventIndex();
+
+  db::Database* database_;
+  QueryRegistry registry_;
+  std::vector<std::unique_ptr<Rule>> rules_;  // registration order
+  std::map<std::string, size_t> rule_index_;
+  // §8 relevance index: event name -> filtered rules mentioning it. Rules
+  // not subject to filtering are stepped on every state.
+  std::map<std::string, std::vector<Rule*>> event_index_;
+  EngineStats stats_;
+  std::vector<Firing> firings_;
+  std::vector<Status> errors_;
+  int dispatch_depth_ = 0;
+  size_t next_registration_order_ = 0;
+
+  // §8 batching (1 = synchronous).
+  size_t batch_size_ = 1;
+  size_t batched_states_ = 0;
+  bool flushing_ = false;
+  std::vector<QueuedStep> batch_queue_;
+
+  void RunPendingActions(std::vector<PendingAction> pending);
+};
+
+}  // namespace ptldb::rules
+
+#endif  // PTLDB_RULES_ENGINE_H_

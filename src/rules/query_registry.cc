@@ -1,0 +1,84 @@
+#include "rules/query_registry.h"
+
+#include "common/strings.h"
+#include "db/sql_parser.h"
+
+namespace ptldb::rules {
+
+Status QueryRegistry::Register(const std::string& name, std::string_view sql,
+                               std::vector<std::string> param_names) {
+  if (Has(name)) {
+    return Status::AlreadyExists(StrCat("query '", name, "' already registered"));
+  }
+  PTLDB_ASSIGN_OR_RETURN(db::QueryPtr plan, db::ParseSql(sql));
+  sql_queries_.emplace(name, SqlQuery{std::move(plan), std::move(param_names)});
+  return Status::OK();
+}
+
+Status QueryRegistry::RegisterComputed(const std::string& name,
+                                       ComputedQueryFn fn) {
+  if (Has(name)) {
+    return Status::AlreadyExists(StrCat("query '", name, "' already registered"));
+  }
+  computed_.emplace(name, std::move(fn));
+  return Status::OK();
+}
+
+bool QueryRegistry::Has(const std::string& name) const {
+  return sql_queries_.count(name) > 0 || computed_.count(name) > 0;
+}
+
+Result<db::ParamMap> QueryRegistry::BindArgs(const SqlQuery& q,
+                                             const std::vector<Value>& args,
+                                             const std::string& name) const {
+  if (args.size() != q.param_names.size()) {
+    return Status::InvalidArgument(
+        StrCat("query '", name, "' expects ", q.param_names.size(),
+               " argument(s), got ", args.size()));
+  }
+  db::ParamMap params;
+  for (size_t i = 0; i < args.size(); ++i) {
+    params.emplace(q.param_names[i], args[i]);
+  }
+  return params;
+}
+
+Result<Value> QueryRegistry::Eval(const ptl::QuerySpec& spec) const {
+  auto cit = computed_.find(spec.name);
+  if (cit != computed_.end()) return cit->second(spec.args);
+
+  auto it = sql_queries_.find(spec.name);
+  if (it == sql_queries_.end()) {
+    return Status::NotFound(
+        StrCat("no query registered for function symbol '", spec.name, "'"));
+  }
+  PTLDB_ASSIGN_OR_RETURN(db::ParamMap params,
+                         BindArgs(it->second, spec.args, spec.name));
+  PTLDB_ASSIGN_OR_RETURN(db::Relation rel,
+                         database_->Query(it->second.plan, &params));
+  if (rel.schema().num_columns() == 1 && rel.empty()) {
+    return Value::Null();  // "no such row"
+  }
+  auto scalar = rel.ScalarValue();
+  if (!scalar.ok()) {
+    return Status::TypeMismatch(
+        StrCat("query ", spec.ToString(), " used as a scalar but returned ",
+               rel.size(), " row(s) x ", rel.schema().num_columns(),
+               " column(s)"));
+  }
+  return scalar;
+}
+
+Result<db::Relation> QueryRegistry::EvalRelation(
+    const std::string& name, const std::vector<Value>& args) const {
+  auto it = sql_queries_.find(name);
+  if (it == sql_queries_.end()) {
+    return Status::NotFound(
+        StrCat("no relational query registered under '", name, "'"));
+  }
+  PTLDB_ASSIGN_OR_RETURN(db::ParamMap params,
+                         BindArgs(it->second, args, name));
+  return database_->Query(it->second.plan, &params);
+}
+
+}  // namespace ptldb::rules

@@ -1,0 +1,72 @@
+// Maps PTL function symbols to executable database queries.
+//
+// The paper treats n-ary function symbols as queries on the database (§4.1,
+// the OVERPRICED example). The registry resolves a ground QuerySpec —
+// `price("IBM")` — to a value of the *current* database state, either via a
+// registered SQL statement with named parameters or via a computed function
+// (used by the §6.1.1 rewriting for derived aggregate items).
+//
+// Result shaping: a 1x1 relation yields its value; an empty single-column
+// relation yields NULL (so "no such row" is representable in conditions);
+// anything else is an error — conditions compare scalars.
+
+#ifndef PTLDB_RULES_QUERY_REGISTRY_H_
+#define PTLDB_RULES_QUERY_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "ptl/snapshot.h"
+
+namespace ptldb::rules {
+
+/// Computed query: receives the ground argument values, returns a scalar.
+using ComputedQueryFn =
+    std::function<Result<Value>(const std::vector<Value>& args)>;
+
+class QueryRegistry {
+ public:
+  explicit QueryRegistry(db::Database* database) : database_(database) {}
+
+  /// Registers `name` as the SQL statement `sql`; the i-th PTL argument is
+  /// bound to the SQL parameter `$<param_names[i]>`. E.g.
+  ///   Register("price", "SELECT price FROM stock WHERE name = $sym", {"sym"})
+  /// makes `price('IBM')` usable in conditions.
+  Status Register(const std::string& name, std::string_view sql,
+                  std::vector<std::string> param_names = {});
+
+  /// Registers a computed scalar function of the argument values.
+  Status RegisterComputed(const std::string& name, ComputedQueryFn fn);
+
+  bool Has(const std::string& name) const;
+
+  /// Evaluates one ground query instance against the current database state.
+  Result<Value> Eval(const ptl::QuerySpec& spec) const;
+
+  /// Evaluates the full relation of a registered SQL query (used for rule
+  /// family domains and diagnostics). Computed queries are not relational.
+  Result<db::Relation> EvalRelation(const std::string& name,
+                                    const std::vector<Value>& args) const;
+
+ private:
+  struct SqlQuery {
+    db::QueryPtr plan;
+    std::vector<std::string> param_names;
+  };
+
+  Result<db::ParamMap> BindArgs(const SqlQuery& q,
+                                const std::vector<Value>& args,
+                                const std::string& name) const;
+
+  db::Database* database_;
+  std::unordered_map<std::string, SqlQuery> sql_queries_;
+  std::unordered_map<std::string, ComputedQueryFn> computed_;
+};
+
+}  // namespace ptldb::rules
+
+#endif  // PTLDB_RULES_QUERY_REGISTRY_H_

@@ -1,0 +1,93 @@
+// Unit tests for the §6.1.1 rewriting (the engine-level equivalence with
+// direct evaluation is covered in engine_test.cc).
+
+#include <gtest/gtest.h>
+
+#include "agg/rewriter.h"
+#include "ptl/parser.h"
+#include "testutil.h"
+
+namespace ptldb::agg {
+namespace {
+
+ptl::FormulaPtr MustParse(std::string_view text) {
+  auto f = ptl::ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return *f;
+}
+
+TEST(RewriterTest, PaperAvgConstruction) {
+  // The paper's rule r: Avg(price(IBM); time = 9AM; update_stocks) > 70 -> A.
+  RewriteResult r = *RewriteAggregates(
+      MustParse("avg(price('IBM'); time = 540; @update_stocks) > 70"), "r");
+  // One auxiliary item; the condition now reads it as a query.
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0].name, "__agg_r_0");
+  EXPECT_EQ(r.items[0].fn, ptl::TemporalAggFn::kAvg);
+  EXPECT_EQ(r.condition->ToString(), "__agg_r_0() > 70");
+  // Two generated rules: r1 (reset at time = 540) and r2 (accumulate at
+  // @update_stocks) — exactly the CUM_PRICE / TOTAL_UPDATES shape.
+  ASSERT_EQ(r.system_rules.size(), 2u);
+  EXPECT_EQ(r.system_rules[0].op, SystemRule::Op::kReset);
+  EXPECT_EQ(r.system_rules[0].condition->ToString(), "time = 540");
+  EXPECT_EQ(r.system_rules[1].op, SystemRule::Op::kAccumulate);
+  EXPECT_EQ(r.system_rules[1].condition->ToString(), "@update_stocks()");
+  EXPECT_EQ(r.system_rules[1].source.name, "price");
+  ASSERT_EQ(r.system_rules[1].source.args.size(), 1u);
+  EXPECT_EQ(r.system_rules[1].source.args[0], Value::Str("IBM"));
+}
+
+TEST(RewriterTest, MultipleAggregatesGetDistinctItems) {
+  RewriteResult r = *RewriteAggregates(
+      MustParse("sum(price('IBM'); time = 0; true) / "
+                "sum(one('IBM'); time = 0; true) > 70"),
+      "rule");
+  EXPECT_EQ(r.items.size(), 2u);
+  EXPECT_EQ(r.system_rules.size(), 4u);
+  EXPECT_NE(r.items[0].name, r.items[1].name);
+}
+
+TEST(RewriterTest, NestedAggregatesInnerFirst) {
+  RewriteResult r = *RewriteAggregates(
+      MustParse("sum(price('X'); count(price('X'); true; true) = 3; true) > 0"),
+      "n");
+  ASSERT_EQ(r.items.size(), 2u);
+  // Inner count gets item 0 (its rules run first), outer sum item 1.
+  EXPECT_EQ(r.items[0].fn, ptl::TemporalAggFn::kCount);
+  EXPECT_EQ(r.items[1].fn, ptl::TemporalAggFn::kSum);
+  // The outer reset rule's condition references the inner item.
+  EXPECT_EQ(r.system_rules[2].op, SystemRule::Op::kReset);
+  EXPECT_NE(r.system_rules[2].condition->ToString().find("__agg_n_0()"),
+            std::string::npos);
+}
+
+TEST(RewriterTest, WindowAggregatesLeftInPlace) {
+  RewriteResult r =
+      *RewriteAggregates(MustParse("wavg(price('X'), 20) > 50"), "w");
+  EXPECT_TRUE(r.items.empty());
+  EXPECT_TRUE(r.system_rules.empty());
+  EXPECT_NE(r.condition->ToString().find("wavg"), std::string::npos);
+}
+
+TEST(RewriterTest, NoAggregatesIsIdentity) {
+  ptl::FormulaPtr f = MustParse("price('X') > 3 SINCE @e");
+  RewriteResult r = *RewriteAggregates(f, "id");
+  EXPECT_EQ(r.condition->ToString(), f->ToString());
+  EXPECT_TRUE(r.items.empty());
+}
+
+TEST(RewriterTest, RejectsNonGroundAggregateArgs) {
+  // Unsubstituted parameter inside the aggregated query.
+  ptl::FormulaPtr f = MustParse("sum(price(sym); true; true) > 0");
+  EXPECT_FALSE(RewriteAggregates(f, "bad").ok());
+}
+
+TEST(RewriterTest, AggregateUnderTemporalOperator) {
+  RewriteResult r = *RewriteAggregates(
+      MustParse("PREVIOUSLY (sum(q('A'); @reset; true) >= 10)"), "t");
+  EXPECT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.condition->ToString(), "PREVIOUSLY (__agg_t_0() >= 10)");
+}
+
+}  // namespace
+}  // namespace ptldb::agg

@@ -1,0 +1,123 @@
+// Tests for the PTL static analyzer: scoping, groundness, slots, flags.
+
+#include <gtest/gtest.h>
+
+#include "ptl/analyzer.h"
+#include "ptl/parser.h"
+#include "testutil.h"
+
+namespace ptldb::ptl {
+namespace {
+
+Result<Analysis> AnalyzeText(std::string_view text) {
+  auto f = ParseFormula(text);
+  if (!f.ok()) return f.status();
+  return Analyze(*f);
+}
+
+TEST(AnalyzerTest, AcceptsClosedFormula) {
+  ASSERT_OK_AND_ASSIGN(
+      Analysis a,
+      AnalyzeText("[t := time][x := price('IBM')] "
+                  "PREVIOUSLY (price('IBM') <= 0.5 * x AND time <= t - 10)"));
+  EXPECT_EQ(a.slots.size(), 1u);  // price('IBM') deduplicated
+  EXPECT_EQ(a.slots[0].name, "price");
+  EXPECT_TRUE(a.time_vars.count("t"));
+  EXPECT_FALSE(a.time_vars.count("x"));
+  EXPECT_TRUE(a.refers_to_db);
+  EXPECT_TRUE(a.is_temporal);
+  EXPECT_FALSE(a.uses_lasttime);
+}
+
+TEST(AnalyzerTest, DistinctQueryInstancesGetDistinctSlots) {
+  ASSERT_OK_AND_ASSIGN(
+      Analysis a, AnalyzeText("price('IBM') > price('HP') AND price('IBM') > 0"));
+  EXPECT_EQ(a.slots.size(), 2u);
+  // Three query occurrences map onto two slots.
+  EXPECT_EQ(a.slot_of.size(), 3u);
+}
+
+TEST(AnalyzerTest, RejectsFreeVariable) {
+  Status s = AnalyzeText("x > 3").status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("free variable 'x'"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ParamsSubstituteThenAnalyze) {
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f, ParseFormula("price(sym) > limit"));
+  EXPECT_FALSE(Analyze(f).ok());  // free: sym, limit
+  FormulaPtr grounded = SubstituteParams(
+      f, {{"sym", Value::Str("IBM")}, {"limit", Value::Int(50)}});
+  ASSERT_OK_AND_ASSIGN(Analysis a, Analyze(grounded));
+  ASSERT_EQ(a.slots.size(), 1u);
+  EXPECT_EQ(a.slots[0].args[0], Value::Str("IBM"));
+}
+
+TEST(AnalyzerTest, RejectsDuplicateBinder) {
+  EXPECT_FALSE(AnalyzeText("[x := time][x := time] x > 3").ok());
+}
+
+TEST(AnalyzerTest, RejectsVariableQueryArgs) {
+  // Query args must be ground (constants / substituted parameters).
+  EXPECT_FALSE(AnalyzeText("[x := time] price(x) > 3").ok());
+}
+
+TEST(AnalyzerTest, RejectsVariableInBinderTerm) {
+  EXPECT_FALSE(AnalyzeText("[x := time][y := x + 1] y > 3").ok());
+}
+
+TEST(AnalyzerTest, RejectsOpenAggregateFormulas) {
+  // The aggregate's start formula references an outer binder -> rejected
+  // (§6.1.1 automatic processing requires closed start/sampling formulas).
+  EXPECT_FALSE(
+      AnalyzeText("[u := time] sum(price('IBM'); time >= u; true) > 3").ok());
+}
+
+TEST(AnalyzerTest, AcceptsClosedAggregate) {
+  ASSERT_OK_AND_ASSIGN(
+      Analysis a,
+      AnalyzeText(
+          "sum(price('IBM'); time = 540; @update_stocks) / "
+          "sum(one('IBM'); time = 540; @update_stocks) > 70"));
+  EXPECT_EQ(a.slots.size(), 2u);  // price('IBM') and one('IBM')
+  EXPECT_TRUE(a.event_names.count("update_stocks"));
+}
+
+TEST(AnalyzerTest, NestedAggregates) {
+  // Start formula of the outer aggregate contains an inner aggregate.
+  ASSERT_OK_AND_ASSIGN(
+      Analysis a,
+      AnalyzeText("sum(price('IBM'); count(price('IBM'); true; true) = 1; "
+                  "true) >= 0"));
+  EXPECT_EQ(a.slots.size(), 1u);
+}
+
+TEST(AnalyzerTest, CollectsEventNamesAndFlags) {
+  ASSERT_OK_AND_ASSIGN(Analysis a,
+                       AnalyzeText("LASTTIME @login('X') AND @logout('X')"));
+  EXPECT_TRUE(a.event_names.count("login"));
+  EXPECT_TRUE(a.event_names.count("logout"));
+  EXPECT_TRUE(a.uses_lasttime);
+  EXPECT_FALSE(a.refers_to_db);
+}
+
+TEST(AnalyzerTest, NonTemporalFormulaFlags) {
+  ASSERT_OK_AND_ASSIGN(Analysis a, AnalyzeText("price('IBM') > 50"));
+  EXPECT_FALSE(a.is_temporal);
+  EXPECT_TRUE(a.refers_to_db);
+  EXPECT_TRUE(a.event_names.empty());
+}
+
+TEST(AnalyzerTest, RejectsVariableEventArgs) {
+  EXPECT_FALSE(AnalyzeText("[x := time] @login(x)").ok());
+  // Constant event args are fine.
+  EXPECT_OK(AnalyzeText("@login('alice', 3)").status());
+}
+
+TEST(AnalyzerTest, SizeIsComputed) {
+  ASSERT_OK_AND_ASSIGN(Analysis a, AnalyzeText("@a AND @b"));
+  EXPECT_EQ(a.size, 3u);
+}
+
+}  // namespace
+}  // namespace ptldb::ptl

@@ -1,0 +1,148 @@
+// Tests for the §5 auxiliary relations: interval-stamped scalar series and
+// relation histories (R_x with T_start / T_end).
+
+#include <gtest/gtest.h>
+
+#include "eval/aux_store.h"
+#include "testutil.h"
+
+namespace ptldb::eval {
+namespace {
+
+TEST(ScalarSeriesTest, RecordAndAsOf) {
+  ScalarSeries s;
+  EXPECT_FALSE(s.AsOf(5).ok());
+  ASSERT_OK(s.Record(10, Value::Int(1)));
+  ASSERT_OK(s.Record(20, Value::Int(2)));
+  ASSERT_OK(s.Record(30, Value::Int(3)));
+  EXPECT_FALSE(s.AsOf(9).ok());  // before first record
+  ASSERT_OK_AND_ASSIGN(Value v, s.AsOf(10));
+  EXPECT_EQ(v, Value::Int(1));
+  ASSERT_OK_AND_ASSIGN(v, s.AsOf(19));
+  EXPECT_EQ(v, Value::Int(1));
+  ASSERT_OK_AND_ASSIGN(v, s.AsOf(20));
+  EXPECT_EQ(v, Value::Int(2));
+  ASSERT_OK_AND_ASSIGN(v, s.AsOf(1000));
+  EXPECT_EQ(v, Value::Int(3));
+  ASSERT_OK_AND_ASSIGN(v, s.Latest());
+  EXPECT_EQ(v, Value::Int(3));
+}
+
+TEST(ScalarSeriesTest, UnchangedValuesDoNotGrowTheSeries) {
+  ScalarSeries s;
+  ASSERT_OK(s.Record(1, Value::Int(7)));
+  ASSERT_OK(s.Record(2, Value::Int(7)));
+  ASSERT_OK(s.Record(3, Value::Int(7)));
+  EXPECT_EQ(s.num_intervals(), 1u);
+  ASSERT_OK(s.Record(4, Value::Int(8)));
+  EXPECT_EQ(s.num_intervals(), 2u);
+}
+
+TEST(ScalarSeriesTest, OutOfOrderRecordRejected) {
+  ScalarSeries s;
+  ASSERT_OK(s.Record(10, Value::Int(1)));
+  EXPECT_FALSE(s.Record(5, Value::Int(2)).ok());
+}
+
+TEST(ScalarSeriesTest, SameInstantOverwrite) {
+  ScalarSeries s;
+  ASSERT_OK(s.Record(10, Value::Int(1)));
+  ASSERT_OK(s.Record(10, Value::Int(2)));  // replaces the zero-length interval
+  ASSERT_OK_AND_ASSIGN(Value v, s.AsOf(10));
+  EXPECT_EQ(v, Value::Int(2));
+  EXPECT_EQ(s.num_intervals(), 1u);
+}
+
+TEST(ScalarSeriesTest, TrimBeforeBoundsMemory) {
+  ScalarSeries s;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(s.Record(i, Value::Int(i)));
+  }
+  s.TrimBefore(90);
+  EXPECT_LE(s.num_intervals(), 11u);
+  EXPECT_FALSE(s.AsOf(50).ok());  // trimmed
+  ASSERT_OK_AND_ASSIGN(Value v, s.AsOf(95));
+  EXPECT_EQ(v, Value::Int(95));
+}
+
+class RelationHistoryTest : public ::testing::Test {
+ protected:
+  RelationHistoryTest()
+      : schema_({{"name", ValueType::kString}, {"price", ValueType::kInt64}}),
+        history_(schema_) {}
+
+  db::Relation Rel(std::vector<db::Tuple> rows) {
+    return db::Relation(schema_, std::move(rows));
+  }
+
+  db::Schema schema_;
+  RelationHistory history_;
+};
+
+TEST_F(RelationHistoryTest, AsOfReconstructsPastContents) {
+  ASSERT_OK(history_.Record(
+      10, Rel({{Value::Str("IBM"), Value::Int(70)}})));
+  ASSERT_OK(history_.Record(
+      20, Rel({{Value::Str("IBM"), Value::Int(70)},
+               {Value::Str("HP"), Value::Int(30)}})));
+  ASSERT_OK(history_.Record(
+      30, Rel({{Value::Str("HP"), Value::Int(30)}})));
+
+  ASSERT_OK_AND_ASSIGN(db::Relation r5, history_.AsOf(5));
+  EXPECT_TRUE(r5.empty());  // before the first record anything was empty
+  ASSERT_OK_AND_ASSIGN(db::Relation r10, history_.AsOf(10));
+  EXPECT_EQ(r10.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(db::Relation r25, history_.AsOf(25));
+  EXPECT_EQ(r25.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(db::Relation r30, history_.AsOf(30));
+  ASSERT_EQ(r30.size(), 1u);
+  EXPECT_EQ(r30.row(0)[0], Value::Str("HP"));
+  // "The value of the query q at any previous time can be retrieved" — and
+  // the current value persists indefinitely.
+  ASSERT_OK_AND_ASSIGN(db::Relation now, history_.AsOf(1000));
+  EXPECT_TRUE(now.BagEquals(r30));
+}
+
+TEST_F(RelationHistoryTest, StoreExposesValidityIntervals) {
+  ASSERT_OK(history_.Record(10, Rel({{Value::Str("IBM"), Value::Int(70)}})));
+  ASSERT_OK(history_.Record(20, Rel({})));
+  db::Relation store = history_.Store();
+  ASSERT_EQ(store.size(), 1u);
+  // Columns: name, price, T_start, T_end.
+  EXPECT_EQ(store.row(0)[2], Value::Time(10));
+  EXPECT_EQ(store.row(0)[3], Value::Time(20));
+  ASSERT_OK_AND_ASSIGN(size_t ts, store.schema().IndexOf("T_start"));
+  EXPECT_EQ(ts, 2u);
+}
+
+TEST_F(RelationHistoryTest, DuplicateRowsTrackedAsBag) {
+  db::Tuple row{Value::Str("IBM"), Value::Int(70)};
+  ASSERT_OK(history_.Record(10, Rel({row, row})));
+  ASSERT_OK(history_.Record(20, Rel({row})));
+  ASSERT_OK_AND_ASSIGN(db::Relation r10, history_.AsOf(10));
+  EXPECT_EQ(r10.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(db::Relation r20, history_.AsOf(20));
+  EXPECT_EQ(r20.size(), 1u);
+}
+
+TEST_F(RelationHistoryTest, TrimBefore) {
+  ASSERT_OK(history_.Record(10, Rel({{Value::Str("IBM"), Value::Int(1)}})));
+  ASSERT_OK(history_.Record(20, Rel({{Value::Str("IBM"), Value::Int(2)}})));
+  ASSERT_OK(history_.Record(30, Rel({{Value::Str("IBM"), Value::Int(3)}})));
+  EXPECT_EQ(history_.num_rows(), 3u);
+  history_.TrimBefore(25);
+  EXPECT_EQ(history_.num_rows(), 2u);  // the [20,30) and [30,inf) rows remain
+}
+
+TEST_F(RelationHistoryTest, SchemaMismatchRejected) {
+  db::Relation wrong(db::Schema({{"x", ValueType::kInt64}}));
+  EXPECT_FALSE(history_.Record(10, wrong).ok());
+}
+
+TEST_F(RelationHistoryTest, OutOfOrderRejected) {
+  ASSERT_OK(history_.Record(10, Rel({})));
+  EXPECT_FALSE(history_.Record(5, Rel({})).ok());
+}
+
+}  // namespace
+}  // namespace ptldb::eval

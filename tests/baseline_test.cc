@@ -1,0 +1,165 @@
+// Tests for the event-expression baseline: regex canonicalization,
+// derivatives, DFA compilation, detection, and the determinization blowup
+// the §10 comparison relies on.
+
+#include <gtest/gtest.h>
+
+#include "baseline/automaton.h"
+#include "baseline/event_regex.h"
+#include "testutil.h"
+
+namespace ptldb::baseline {
+namespace {
+
+class RegexTest : public ::testing::Test {
+ protected:
+  RegexFactory f_;
+};
+
+TEST_F(RegexTest, SmartConstructorsSimplify) {
+  RegexId a = f_.Symbol("a");
+  RegexId b = f_.Symbol("b");
+  EXPECT_EQ(f_.Concat(f_.Empty(), a), f_.Empty());
+  EXPECT_EQ(f_.Concat(f_.Epsilon(), a), a);
+  EXPECT_EQ(f_.Union(a, a), a);
+  EXPECT_EQ(f_.Union(a, f_.Empty()), a);
+  EXPECT_EQ(f_.Union(a, b), f_.Union(b, a));  // commutativity via sorting
+  EXPECT_EQ(f_.Star(f_.Star(a)), f_.Star(a));
+  EXPECT_EQ(f_.Star(f_.Empty()), f_.Epsilon());
+  EXPECT_EQ(f_.Negation(f_.Negation(a)), a);
+  EXPECT_EQ(f_.Intersection(a, f_.SigmaStar()), a);
+  EXPECT_EQ(f_.Intersection(a, f_.Empty()), f_.Empty());
+}
+
+TEST_F(RegexTest, Nullable) {
+  RegexId a = f_.Symbol("a");
+  EXPECT_FALSE(f_.Nullable(a));
+  EXPECT_TRUE(f_.Nullable(f_.Epsilon()));
+  EXPECT_TRUE(f_.Nullable(f_.Star(a)));
+  EXPECT_FALSE(f_.Nullable(f_.Concat(a, f_.Star(a))));
+  EXPECT_TRUE(f_.Nullable(f_.Negation(a)));  // complement contains epsilon
+  EXPECT_FALSE(f_.Nullable(f_.Negation(f_.Star(a))));
+}
+
+TEST_F(RegexTest, Derivatives) {
+  RegexId a = f_.Symbol("a");
+  RegexId b = f_.Symbol("b");
+  EXPECT_EQ(f_.Derivative(a, "a"), f_.Epsilon());
+  EXPECT_EQ(f_.Derivative(a, "b"), f_.Empty());
+  EXPECT_EQ(f_.Derivative(a, "zzz"), f_.Empty());  // unknown symbol
+  // d_a(a.b) = b.
+  EXPECT_EQ(f_.Derivative(f_.Concat(a, b), "a"), b);
+  // d_a(a*) = a*.
+  EXPECT_EQ(f_.Derivative(f_.Star(a), "a"), f_.Star(a));
+}
+
+TEST_F(RegexTest, ParserRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(RegexId r, f_.Parse("(a|b)* . a . (a|b)"));
+  EXPECT_FALSE(f_.Nullable(r));
+  ASSERT_OK_AND_ASSIGN(RegexId r2, f_.Parse("!(a.b) & c*"));
+  EXPECT_TRUE(f_.Nullable(r2));
+  EXPECT_FALSE(f_.Parse("(a|b").ok());
+  EXPECT_FALSE(f_.Parse("a |").ok());
+  EXPECT_FALSE(f_.Parse("a $ b").ok());
+}
+
+TEST(DfaTest, MatchesSimpleLanguage) {
+  RegexFactory f;
+  // a.b*: an `a` followed by any number of `b`s.
+  ASSERT_OK_AND_ASSIGN(RegexId r, f.Parse("a . b*"));
+  ASSERT_OK_AND_ASSIGN(Dfa dfa, Dfa::Compile(&f, r));
+  EventExpressionDetector det(dfa);
+  EXPECT_TRUE(det.Observe("a"));
+  EXPECT_TRUE(det.Observe("b"));
+  EXPECT_TRUE(det.Observe("b"));
+  EXPECT_FALSE(det.Observe("a"));  // "abba" is not in the language
+  det.Reset();
+  EXPECT_FALSE(det.Observe("b"));
+  EXPECT_FALSE(det.Observe("a"));  // dead state; anchored semantics
+}
+
+TEST(DfaTest, NegationLanguage) {
+  RegexFactory f;
+  // "no b has occurred yet" == !( !∅ . b . !∅ ).
+  ASSERT_OK_AND_ASSIGN(RegexId r, f.Parse("!( !(%|%)* . b . !(%|%)* )"));
+  // Simpler: build programmatically.
+  RegexId direct = f.Negation(
+      f.Concat(f.SigmaStar(), f.Concat(f.Symbol("b"), f.SigmaStar())));
+  (void)r;
+  ASSERT_OK_AND_ASSIGN(Dfa dfa, Dfa::Compile(&f, direct));
+  EventExpressionDetector det(dfa);
+  EXPECT_TRUE(det.Observe("a"));
+  EXPECT_TRUE(det.Observe("c"));
+  EXPECT_FALSE(det.Observe("b"));
+  EXPECT_FALSE(det.Observe("a"));  // once b occurred, never matches again
+}
+
+TEST(DfaTest, UnknownSymbolsTakeOtherEdge) {
+  RegexFactory f;
+  ASSERT_OK_AND_ASSIGN(RegexId r, f.Parse("a . a"));
+  ASSERT_OK_AND_ASSIGN(Dfa dfa, Dfa::Compile(&f, r));
+  EventExpressionDetector det(dfa);
+  EXPECT_FALSE(det.Observe("a"));
+  EXPECT_FALSE(det.Observe("mystery"));
+  EXPECT_FALSE(det.Observe("a"));  // "a mystery a" is not "aa"
+}
+
+// The classic determinization witness: (a|b)* a (a|b)^k needs ~2^(k+1) DFA
+// states. This is the §10 automaton blowup that the PTL evaluator avoids
+// (the equivalent PTL condition is Lasttime^k @a, linear retained state).
+TEST(DfaTest, ExponentialBlowupFamily) {
+  auto dfa_states = [](int k) -> size_t {
+    RegexFactory f;
+    RegexId ab = f.Union(f.Symbol("a"), f.Symbol("b"));
+    RegexId r = f.Concat(f.Star(ab), f.Symbol("a"));
+    for (int i = 0; i < k; ++i) r = f.Concat(r, ab);
+    auto dfa = Dfa::Compile(&f, r);
+    EXPECT_TRUE(dfa.ok());
+    return dfa->num_states();
+  };
+  size_t s2 = dfa_states(2);
+  size_t s4 = dfa_states(4);
+  size_t s8 = dfa_states(8);
+  EXPECT_GE(s4, 2 * s2);
+  EXPECT_GE(s8, 8 * s4);     // doubling per k
+  EXPECT_GE(s8, 256u);       // ~2^(k+1)
+}
+
+TEST(DfaTest, CompileRespectsStateLimit) {
+  RegexFactory f;
+  RegexId ab = f.Union(f.Symbol("a"), f.Symbol("b"));
+  RegexId r = f.Concat(f.Star(ab), f.Symbol("a"));
+  for (int i = 0; i < 16; ++i) r = f.Concat(r, ab);
+  EXPECT_EQ(Dfa::Compile(&f, r, /*max_states=*/128).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(DfaTest, DetectorAgreesWithBruteForce) {
+  // Property: the DFA detector agrees with naive regex matching on all
+  // strings up to length 8 over {a,b}.
+  RegexFactory f;
+  const char* exprs[] = {"a.b*", "(a|b)*.a", "!(a*)&(a|b)*", "(a.b)*",
+                         "!( (a|b)*.b.a.(a|b)* )"};
+  for (const char* text : exprs) {
+    ASSERT_OK_AND_ASSIGN(RegexId r, f.Parse(text));
+    ASSERT_OK_AND_ASSIGN(Dfa dfa, Dfa::Compile(&f, r));
+    for (int len = 0; len <= 8; ++len) {
+      for (int mask = 0; mask < (1 << len); ++mask) {
+        // Walk the string through derivatives (ground truth) and the DFA.
+        RegexId d = r;
+        EventExpressionDetector det(dfa);
+        bool det_match = f.Nullable(r);
+        for (int i = 0; i < len; ++i) {
+          std::string sym = (mask >> i) & 1 ? "b" : "a";
+          d = f.Derivative(d, sym);
+          det_match = det.Observe(sym);
+        }
+        ASSERT_EQ(det_match, f.Nullable(d))
+            << "expr " << text << " len " << len << " mask " << mask;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptldb::baseline

@@ -1,0 +1,163 @@
+// Unit tests for src/common: Status/Result, Value, strings, clocks.
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/value.h"
+#include "testutil.h"
+
+namespace ptldb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arity");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arity");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  auto fails = []() -> Result<int> { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    PTLDB_ASSIGN_OR_RETURN(int x, fails());
+    (void)x;
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsDoubleExact(), 2.5);
+  EXPECT_EQ(Value::Str("hi").AsString(), "hi");
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);
+}
+
+TEST(ValueTest, StrictEqualityDoesNotCoerce) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Real(1.0));
+  EXPECT_NE(Value::Str("1"), Value::Int(1));
+}
+
+TEST(ValueTest, CompareCoercesNumerics) {
+  ASSERT_OK_AND_ASSIGN(int c, Value::Compare(Value::Int(1), Value::Real(1.0)));
+  EXPECT_EQ(c, 0);
+  ASSERT_OK_AND_ASSIGN(c, Value::Compare(Value::Int(2), Value::Real(2.5)));
+  EXPECT_LT(c, 0);
+  ASSERT_OK_AND_ASSIGN(c, Value::Compare(Value::Str("b"), Value::Str("a")));
+  EXPECT_GT(c, 0);
+}
+
+TEST(ValueTest, CompareNullOrdersFirst) {
+  ASSERT_OK_AND_ASSIGN(int c, Value::Compare(Value::Null(), Value::Int(0)));
+  EXPECT_LT(c, 0);
+  ASSERT_OK_AND_ASSIGN(c, Value::Compare(Value::Null(), Value::Null()));
+  EXPECT_EQ(c, 0);
+}
+
+TEST(ValueTest, CompareIncomparableIsError) {
+  EXPECT_FALSE(Value::Compare(Value::Str("a"), Value::Int(1)).ok());
+  EXPECT_FALSE(Value::Compare(Value::Bool(true), Value::Int(1)).ok());
+}
+
+TEST(ValueTest, Arithmetic) {
+  ASSERT_OK_AND_ASSIGN(Value v, Value::Add(Value::Int(2), Value::Int(3)));
+  EXPECT_EQ(v, Value::Int(5));
+  ASSERT_OK_AND_ASSIGN(v, Value::Add(Value::Int(2), Value::Real(0.5)));
+  EXPECT_EQ(v, Value::Real(2.5));
+  ASSERT_OK_AND_ASSIGN(v, Value::Add(Value::Str("a"), Value::Str("b")));
+  EXPECT_EQ(v, Value::Str("ab"));
+  ASSERT_OK_AND_ASSIGN(v, Value::Mul(Value::Int(4), Value::Int(5)));
+  EXPECT_EQ(v, Value::Int(20));
+  ASSERT_OK_AND_ASSIGN(v, Value::Div(Value::Int(7), Value::Int(2)));
+  EXPECT_EQ(v, Value::Int(3));  // integer division
+  ASSERT_OK_AND_ASSIGN(v, Value::Div(Value::Real(7), Value::Int(2)));
+  EXPECT_EQ(v, Value::Real(3.5));
+  ASSERT_OK_AND_ASSIGN(v, Value::Mod(Value::Int(7), Value::Int(3)));
+  EXPECT_EQ(v, Value::Int(1));
+  ASSERT_OK_AND_ASSIGN(v, Value::Neg(Value::Int(3)));
+  EXPECT_EQ(v, Value::Int(-3));
+}
+
+TEST(ValueTest, ArithmeticErrors) {
+  EXPECT_FALSE(Value::Div(Value::Int(1), Value::Int(0)).ok());
+  EXPECT_FALSE(Value::Div(Value::Real(1), Value::Real(0)).ok());
+  EXPECT_FALSE(Value::Mod(Value::Real(1), Value::Int(2)).ok());
+  EXPECT_FALSE(Value::Add(Value::Int(1), Value::Str("x")).ok());
+  EXPECT_FALSE(Value::Neg(Value::Str("x")).ok());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::Str("abc").Hash(), Value::Str("abc").Hash());
+  // Distinct types with the "same" number should not collide trivially.
+  EXPECT_NE(Value::Int(1).Hash(), Value::Bool(true).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Str("x").ToString(), "\"x\"");
+}
+
+TEST(StringsTest, StrCatAndJoin) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+}
+
+TEST(ClockTest, SimClockAdvances) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(5);
+  EXPECT_EQ(clock.Now(), 105);
+  clock.Set(200);
+  EXPECT_EQ(clock.Now(), 200);
+}
+
+TEST(ClockTest, SystemClockIsMonotonicEnough) {
+  SystemClock clock;
+  Timestamp a = clock.Now();
+  Timestamp b = clock.Now();
+  EXPECT_LE(a, b);
+  EXPECT_GT(a, 0);
+}
+
+}  // namespace
+}  // namespace ptldb

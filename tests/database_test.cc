@@ -1,0 +1,163 @@
+// Tests for the Database facade: transactions, undo, events, history, and
+// the commit-attempt listener protocol.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "db/database.h"
+#include "testutil.h"
+
+namespace ptldb::db {
+namespace {
+
+class RecordingListener : public Database::Listener {
+ public:
+  Status OnCommitAttempt(const event::SystemState& prospective,
+                         int64_t txn) override {
+    attempts.push_back(txn);
+    last_prospective = prospective;
+    return veto ? Status::ConstraintViolation("vetoed by test") : Status::OK();
+  }
+  void OnStateAppended(const event::SystemState& state) override {
+    states.push_back(state);
+  }
+
+  bool veto = false;
+  std::vector<int64_t> attempts;
+  std::vector<event::SystemState> states;
+  event::SystemState last_prospective;
+};
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() : db_(&clock_) {
+    PTLDB_CHECK_OK(db_.CreateTable(
+        "stock",
+        Schema({{"name", ValueType::kString}, {"price", ValueType::kDouble}}),
+        {"name"}));
+    db_.SetListener(&listener_);
+  }
+
+  size_t StockCount() {
+    auto rel = db_.QuerySql("SELECT * FROM stock");
+    PTLDB_CHECK(rel.ok());
+    return rel->size();
+  }
+
+  SimClock clock_;
+  Database db_;
+  RecordingListener listener_;
+};
+
+TEST_F(DatabaseTest, CommitAppliesAndEmitsEvents) {
+  clock_.Set(10);
+  ASSERT_OK_AND_ASSIGN(int64_t txn, db_.Begin());
+  ASSERT_OK(db_.Insert(txn, "stock", {Value::Str("IBM"), Value::Real(72)}));
+  ASSERT_OK(db_.Commit(txn));
+
+  EXPECT_EQ(StockCount(), 1u);
+  ASSERT_EQ(db_.history().size(), 2u);  // begin state + commit state
+  const event::SystemState& commit = db_.history().state(1);
+  EXPECT_TRUE(commit.HasEvent(event::kAttemptsToCommitEvent, {Value::Int(txn)}));
+  EXPECT_TRUE(commit.HasEvent(event::kCommitEvent, {Value::Int(txn)}));
+  EXPECT_TRUE(commit.HasEvent(event::kInsertEvent, {Value::Str("stock")}));
+  EXPECT_TRUE(commit.IsCommitPoint());
+  EXPECT_EQ(listener_.attempts.size(), 1u);
+  EXPECT_EQ(listener_.states.size(), 2u);
+}
+
+TEST_F(DatabaseTest, AbortRollsBackInserts) {
+  ASSERT_OK_AND_ASSIGN(int64_t txn, db_.Begin());
+  ASSERT_OK(db_.Insert(txn, "stock", {Value::Str("IBM"), Value::Real(72)}));
+  EXPECT_EQ(StockCount(), 1u);  // transaction reads its own writes
+  ASSERT_OK(db_.Abort(txn));
+  EXPECT_EQ(StockCount(), 0u);
+  EXPECT_TRUE(db_.history().back().HasEvent(event::kAbortEvent));
+  EXPECT_TRUE(listener_.attempts.empty());
+}
+
+TEST_F(DatabaseTest, VetoAbortsAndRollsBack) {
+  listener_.veto = true;
+  ASSERT_OK_AND_ASSIGN(int64_t txn, db_.Begin());
+  ASSERT_OK(db_.Insert(txn, "stock", {Value::Str("IBM"), Value::Real(72)}));
+  Status s = db_.Commit(txn);
+  EXPECT_EQ(s.code(), StatusCode::kTransactionAborted);
+  EXPECT_EQ(StockCount(), 0u);
+  EXPECT_TRUE(db_.history().back().HasEvent(event::kAbortEvent));
+  // The prospective state showed the commit the listener could veto.
+  EXPECT_TRUE(
+      listener_.last_prospective.HasEvent(event::kAttemptsToCommitEvent));
+}
+
+TEST_F(DatabaseTest, UpdateAndDeleteWithUndo) {
+  ASSERT_OK(db_.InsertRow("stock", {Value::Str("IBM"), Value::Real(72)}));
+  ASSERT_OK(db_.InsertRow("stock", {Value::Str("HP"), Value::Real(30)}));
+
+  ASSERT_OK_AND_ASSIGN(int64_t txn, db_.Begin());
+  ASSERT_OK_AND_ASSIGN(
+      size_t updated,
+      db_.Update(txn, "stock", {{"price", "price + 1"}}, "name = 'IBM'"));
+  EXPECT_EQ(updated, 1u);
+  ASSERT_OK_AND_ASSIGN(size_t deleted, db_.Delete(txn, "stock", "name = 'HP'"));
+  EXPECT_EQ(deleted, 1u);
+  EXPECT_EQ(StockCount(), 1u);
+  ASSERT_OK(db_.Abort(txn));
+
+  // Both changes rolled back.
+  EXPECT_EQ(StockCount(), 2u);
+  ASSERT_OK_AND_ASSIGN(Relation r,
+                       db_.QuerySql("SELECT price FROM stock WHERE name = 'IBM'"));
+  EXPECT_EQ(r.row(0)[0], Value::Real(72));
+}
+
+TEST_F(DatabaseTest, TimestampsStrictlyIncreaseEvenIfClockStalls) {
+  // Clock stays at 0 the whole time.
+  ASSERT_OK(db_.InsertRow("stock", {Value::Str("A"), Value::Real(1)}));
+  ASSERT_OK(db_.InsertRow("stock", {Value::Str("B"), Value::Real(2)}));
+  const auto& h = db_.history();
+  for (size_t i = 1; i < h.size(); ++i) {
+    EXPECT_GT(h.state(i).time, h.state(i - 1).time);
+  }
+}
+
+TEST_F(DatabaseTest, RaiseEventAppendsState) {
+  ASSERT_OK(db_.RaiseEvent(event::Event{"login", {Value::Str("alice")}}));
+  EXPECT_EQ(db_.history().size(), 1u);
+  EXPECT_TRUE(db_.history().back().HasEvent("login", {Value::Str("alice")}));
+}
+
+TEST_F(DatabaseTest, UnknownTransactionIsError) {
+  EXPECT_FALSE(db_.Commit(999).ok());
+  EXPECT_FALSE(db_.Abort(999).ok());
+  EXPECT_FALSE(db_.Insert(999, "stock", {Value::Str("X"), Value::Real(1)}).ok());
+}
+
+TEST_F(DatabaseTest, FailedAutoInsertLeavesCleanState) {
+  // Type error in a single-statement insert: auto-transaction aborts.
+  Status s = db_.InsertRow("stock", {Value::Int(3), Value::Real(1)});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(StockCount(), 0u);
+  EXPECT_TRUE(db_.history().back().HasEvent(event::kAbortEvent));
+}
+
+TEST_F(DatabaseTest, DeleteRowsConvenience) {
+  ASSERT_OK(db_.InsertRow("stock", {Value::Str("IBM"), Value::Real(72)}));
+  ASSERT_OK_AND_ASSIGN(size_t n, db_.DeleteRows("stock", "price > 50"));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(StockCount(), 0u);
+}
+
+TEST(HistoryTest, EventFactoriesAndMatching) {
+  event::SystemState s;
+  s.events = {event::TransactionCommit(7),
+              event::Event{"insert", {Value::Str("t"), Value::Int(1)}}};
+  EXPECT_TRUE(s.HasEvent("commit"));
+  EXPECT_TRUE(s.HasEvent("commit", {Value::Int(7)}));
+  EXPECT_FALSE(s.HasEvent("commit", {Value::Int(8)}));
+  EXPECT_TRUE(s.HasEvent("insert", {Value::Str("t")}));  // prefix match
+  EXPECT_FALSE(s.HasEvent("delete"));
+  EXPECT_TRUE(s.IsCommitPoint());
+}
+
+}  // namespace
+}  // namespace ptldb::db

@@ -1,0 +1,227 @@
+// Unit tests for the relational substrate: schemas, relations, expressions,
+// tables.
+
+#include <gtest/gtest.h>
+
+#include "db/expr.h"
+#include "db/relation.h"
+#include "db/schema.h"
+#include "db/table.h"
+#include "testutil.h"
+
+namespace ptldb::db {
+namespace {
+
+Schema StockSchema() {
+  return Schema({{"name", ValueType::kString},
+                 {"price", ValueType::kDouble},
+                 {"volume", ValueType::kInt64}});
+}
+
+TEST(SchemaTest, MakeRejectsDuplicates) {
+  EXPECT_FALSE(
+      Schema::Make({{"a", ValueType::kInt64}, {"a", ValueType::kString}}).ok());
+  EXPECT_FALSE(Schema::Make({{"", ValueType::kInt64}}).ok());
+  EXPECT_OK(Schema::Make({{"a", ValueType::kInt64}, {"b", ValueType::kString}})
+                .status());
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = StockSchema();
+  ASSERT_OK_AND_ASSIGN(size_t i, s.IndexOf("price"));
+  EXPECT_EQ(i, 1u);
+  EXPECT_FALSE(s.IndexOf("nope").ok());
+  EXPECT_TRUE(s.Contains("volume"));
+}
+
+TEST(RelationTest, AppendChecksArity) {
+  Relation r(StockSchema());
+  EXPECT_OK(r.Append({Value::Str("IBM"), Value::Real(72), Value::Int(100)}));
+  EXPECT_FALSE(r.Append({Value::Str("IBM")}).ok());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, ScalarValue) {
+  Relation r(Schema({{"x", ValueType::kInt64}}));
+  EXPECT_FALSE(r.ScalarValue().ok());  // zero rows
+  r.AppendUnchecked({Value::Int(5)});
+  ASSERT_OK_AND_ASSIGN(Value v, r.ScalarValue());
+  EXPECT_EQ(v, Value::Int(5));
+  r.AppendUnchecked({Value::Int(6)});
+  EXPECT_FALSE(r.ScalarValue().ok());  // two rows
+}
+
+TEST(RelationTest, BagEqualsIgnoresOrder) {
+  Relation a(Schema({{"x", ValueType::kInt64}}));
+  Relation b(Schema({{"x", ValueType::kInt64}}));
+  a.AppendUnchecked({Value::Int(1)});
+  a.AppendUnchecked({Value::Int(2)});
+  a.AppendUnchecked({Value::Int(1)});
+  b.AppendUnchecked({Value::Int(2)});
+  b.AppendUnchecked({Value::Int(1)});
+  b.AppendUnchecked({Value::Int(1)});
+  EXPECT_TRUE(a.BagEquals(b));
+  b.AppendUnchecked({Value::Int(1)});
+  EXPECT_FALSE(a.BagEquals(b));  // multiplicity differs
+}
+
+TEST(ExprTest, LiteralAndColumn) {
+  Schema s = StockSchema();
+  Tuple row{Value::Str("IBM"), Value::Real(72), Value::Int(100)};
+  ASSERT_OK_AND_ASSIGN(BoundExpr e, BoundExpr::Bind(Col("price"), s));
+  ASSERT_OK_AND_ASSIGN(Value v, e.Eval(row));
+  EXPECT_EQ(v, Value::Real(72));
+}
+
+TEST(ExprTest, ArithmeticAndComparison) {
+  Schema s = StockSchema();
+  Tuple row{Value::Str("IBM"), Value::Real(72), Value::Int(100)};
+  // price * 2 >= 144
+  ExprPtr e = Ge(Binary(BinaryOp::kMul, Col("price"), Lit(Value::Int(2))),
+                 Lit(Value::Int(144)));
+  ASSERT_OK_AND_ASSIGN(BoundExpr b, BoundExpr::Bind(e, s));
+  ASSERT_OK_AND_ASSIGN(bool match, b.EvalPredicate(row));
+  EXPECT_TRUE(match);
+}
+
+TEST(ExprTest, ShortCircuitAvoidsRhsError) {
+  Schema s = StockSchema();
+  Tuple row{Value::Str("IBM"), Value::Real(72), Value::Int(100)};
+  // false AND (name < 3)  -- rhs would be a type error if evaluated
+  ExprPtr e = And(Lit(Value::Bool(false)), Lt(Col("name"), Lit(Value::Int(3))));
+  ASSERT_OK_AND_ASSIGN(BoundExpr b, BoundExpr::Bind(e, s));
+  ASSERT_OK_AND_ASSIGN(bool match, b.EvalPredicate(row));
+  EXPECT_FALSE(match);
+}
+
+TEST(ExprTest, ParamsFoldAtBind) {
+  Schema s = StockSchema();
+  ParamMap params{{"limit", Value::Real(50)}};
+  ExprPtr e = Gt(Col("price"), Param("limit"));
+  ASSERT_OK_AND_ASSIGN(BoundExpr b, BoundExpr::Bind(e, s, &params));
+  Tuple row{Value::Str("IBM"), Value::Real(72), Value::Int(100)};
+  ASSERT_OK_AND_ASSIGN(bool match, b.EvalPredicate(row));
+  EXPECT_TRUE(match);
+  EXPECT_FALSE(BoundExpr::Bind(e, s).ok());  // unbound parameter
+}
+
+TEST(ExprTest, UnknownColumnIsBindError) {
+  EXPECT_FALSE(BoundExpr::Bind(Col("ghost"), StockSchema()).ok());
+}
+
+TEST(ExprTest, EqualityAcrossTypesIsFalseNotError) {
+  Schema s = StockSchema();
+  Tuple row{Value::Str("IBM"), Value::Real(72), Value::Int(100)};
+  ASSERT_OK_AND_ASSIGN(BoundExpr b,
+                       BoundExpr::Bind(Eq(Col("name"), Lit(Value::Int(3))), s));
+  ASSERT_OK_AND_ASSIGN(bool match, b.EvalPredicate(row));
+  EXPECT_FALSE(match);
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = Table::Make("stock", StockSchema(), {"name"});
+    ASSERT_TRUE(t.ok());
+    table_ = std::make_unique<Table>(std::move(t).value());
+    ASSERT_OK(table_->Insert({Value::Str("IBM"), Value::Real(72), Value::Int(10)}));
+    ASSERT_OK(
+        table_->Insert({Value::Str("HP"), Value::Real(30), Value::Int(20)}));
+  }
+
+  BoundExpr Pred(const ExprPtr& e) {
+    auto b = BoundExpr::Bind(e, table_->schema());
+    EXPECT_TRUE(b.ok());
+    return std::move(b).value();
+  }
+
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(TableTest, InsertEnforcesTypesAndKeys) {
+  // Duplicate key.
+  EXPECT_EQ(table_->Insert({Value::Str("IBM"), Value::Real(1), Value::Int(1)})
+                .code(),
+            StatusCode::kAlreadyExists);
+  // Wrong type.
+  EXPECT_EQ(
+      table_->Insert({Value::Int(3), Value::Real(1), Value::Int(1)}).code(),
+      StatusCode::kTypeMismatch);
+  // Int widens into double column.
+  EXPECT_OK(table_->Insert({Value::Str("SUN"), Value::Int(5), Value::Int(1)}));
+  const Tuple* row = table_->FindByKey({Value::Str("SUN")});
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1], Value::Real(5.0));
+}
+
+TEST_F(TableTest, FindByKey) {
+  const Tuple* row = table_->FindByKey({Value::Str("IBM")});
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1], Value::Real(72));
+  EXPECT_EQ(table_->FindByKey({Value::Str("NONE")}), nullptr);
+}
+
+TEST_F(TableTest, DeleteWhere) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> deleted,
+                       table_->DeleteWhere(Pred(Gt(Col("price"),
+                                                   Lit(Value::Int(50))))));
+  ASSERT_EQ(deleted.size(), 1u);
+  EXPECT_EQ(deleted[0][0], Value::Str("IBM"));
+  EXPECT_EQ(table_->size(), 1u);
+  EXPECT_EQ(table_->FindByKey({Value::Str("IBM")}), nullptr);
+}
+
+TEST_F(TableTest, UpdateWhere) {
+  std::vector<std::pair<size_t, BoundExpr>> set;
+  set.emplace_back(1, Pred(Binary(BinaryOp::kMul, Col("price"),
+                                  Lit(Value::Real(2)))));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<RowUpdate> ups,
+      table_->UpdateWhere(Pred(Eq(Col("name"), Lit(Value::Str("IBM")))), set));
+  ASSERT_EQ(ups.size(), 1u);
+  EXPECT_EQ(ups[0].old_row[1], Value::Real(72));
+  EXPECT_EQ(ups[0].new_row[1], Value::Real(144));
+  const Tuple* row = table_->FindByKey({Value::Str("IBM")});
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1], Value::Real(144));
+}
+
+TEST_F(TableTest, UpdateKeyCollisionRejected) {
+  std::vector<std::pair<size_t, BoundExpr>> set;
+  set.emplace_back(0, Pred(Lit(Value::Str("HP"))));
+  auto result = table_->UpdateWhere(
+      Pred(Eq(Col("name"), Lit(Value::Str("IBM")))), set);
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+  // Table unchanged.
+  EXPECT_NE(table_->FindByKey({Value::Str("IBM")}), nullptr);
+}
+
+TEST_F(TableTest, RemoveAndReplaceOne) {
+  Tuple ibm{Value::Str("IBM"), Value::Real(72), Value::Int(10)};
+  Tuple ibm2{Value::Str("IBM"), Value::Real(80), Value::Int(10)};
+  ASSERT_OK(table_->ReplaceOne(ibm, ibm2));
+  EXPECT_EQ((*table_->FindByKey({Value::Str("IBM")}))[1], Value::Real(80));
+  ASSERT_OK(table_->RemoveOne(ibm2));
+  EXPECT_EQ(table_->size(), 1u);
+  EXPECT_EQ(table_->RemoveOne(ibm2).code(), StatusCode::kNotFound);
+}
+
+TEST_F(TableTest, SwapRemoveKeepsIndexConsistent) {
+  ASSERT_OK(table_->Insert({Value::Str("SUN"), Value::Real(9), Value::Int(1)}));
+  // Delete the first row; SUN (last) is swapped into its slot.
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Tuple> deleted,
+      table_->DeleteWhere(Pred(Eq(Col("name"), Lit(Value::Str("IBM"))))));
+  EXPECT_EQ(deleted.size(), 1u);
+  const Tuple* sun = table_->FindByKey({Value::Str("SUN")});
+  ASSERT_NE(sun, nullptr);
+  EXPECT_EQ((*sun)[1], Value::Real(9));
+}
+
+TEST(TableMakeTest, RejectsBadKeyColumn) {
+  EXPECT_FALSE(Table::Make("t", StockSchema(), {"ghost"}).ok());
+  EXPECT_FALSE(Table::Make("", StockSchema()).ok());
+}
+
+}  // namespace
+}  // namespace ptldb::db

@@ -1,0 +1,165 @@
+// Random PTL formula and history generation for property tests.
+
+#ifndef PTLDB_TESTS_FORMULA_GEN_H_
+#define PTLDB_TESTS_FORMULA_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "ptl/analyzer.h"
+#include "ptl/ast.h"
+#include "testutil.h"
+
+namespace ptldb::testutil {
+
+using ptl::FormulaPtr;
+using ptl::TermPtr;
+
+// ---- Random formula generation ----------------------------------------------
+
+// Vocabulary: queries q0(), q1() (int-valued), events e0, e1, integers, time.
+class FormulaGen {
+ public:
+  explicit FormulaGen(Rng* rng) : rng_(rng) {}
+
+  FormulaPtr Gen(int depth) { return GenFormula(depth, {}); }
+
+ private:
+  FormulaPtr GenFormula(int depth, std::vector<std::string> scope) {
+    if (depth <= 0) return GenLeaf(scope);
+    switch (rng_->Below(10)) {
+      case 0:
+        return ptl::Not(GenFormula(depth - 1, scope));
+      case 1:
+        return ptl::And(GenFormula(depth - 1, scope),
+                        GenFormula(depth - 1, scope));
+      case 2:
+        return ptl::Or(GenFormula(depth - 1, scope),
+                       GenFormula(depth - 1, scope));
+      case 3:
+        return ptl::Since(GenFormula(depth - 1, scope),
+                          GenFormula(depth - 1, scope));
+      case 4:
+        return ptl::Lasttime(GenFormula(depth - 1, scope));
+      case 5:
+        return ptl::Previously(GenFormula(depth - 1, scope));
+      case 6:
+        return ptl::ThroughoutPast(GenFormula(depth - 1, scope));
+      case 7: {  // binder
+        std::string var = "v" + std::to_string(next_var_++);
+        TermPtr bound = rng_->Chance(0.5)
+                            ? ptl::TimeTerm()
+                            : ptl::QueryRef(QueryName(), {});
+        scope.push_back(var);
+        return ptl::Bind(var, bound, GenFormula(depth - 1, scope));
+      }
+      case 8:  // comparison over a deeper term
+        return ptl::Compare(RandomCmp(), GenTerm(depth - 1, scope),
+                            GenTerm(depth - 1, scope));
+      default:
+        return GenLeaf(scope);
+    }
+  }
+
+  FormulaPtr GenLeaf(const std::vector<std::string>& scope) {
+    switch (rng_->Below(5)) {
+      case 0:
+        return ptl::EventAtom(EventName());
+      case 1:
+        return rng_->Chance(0.5) ? ptl::True() : ptl::False();
+      default:
+        return ptl::Compare(RandomCmp(), GenTerm(0, scope), GenTerm(0, scope));
+    }
+  }
+
+  TermPtr GenTerm(int depth, const std::vector<std::string>& scope) {
+    if (depth > 0 && rng_->Chance(0.4)) {
+      ptl::ArithOp op = rng_->Chance(0.5)   ? ptl::ArithOp::kAdd
+                        : rng_->Chance(0.5) ? ptl::ArithOp::kSub
+                                            : ptl::ArithOp::kMul;
+      return ptl::Arith(op, {GenTerm(depth - 1, scope),
+                             GenTerm(depth - 1, scope)});
+    }
+    if (depth > 0 && rng_->Chance(0.15)) {
+      // A temporal aggregate with closed start/sample formulas. sum/count are
+      // total (0 on an empty sample set) so they may use sparse start/sample
+      // formulas; avg/min/max would be NULL on an empty set — which is a type
+      // error inside arithmetic — so generate them with total coverage.
+      ptl::TemporalAggFn fn = RandomAggFn();
+      bool nullable = fn != ptl::TemporalAggFn::kSum &&
+                      fn != ptl::TemporalAggFn::kCount;
+      FormulaPtr start = !nullable && rng_->Chance(0.5)
+                             ? ptl::EventAtom(EventName())
+                             : FormulaPtr(ptl::True());
+      FormulaPtr sample = !nullable && rng_->Chance(0.5)
+                              ? ptl::EventAtom(EventName())
+                              : FormulaPtr(ptl::True());
+      return ptl::AggTerm(fn, ptl::QueryRef(QueryName(), {}), start, sample);
+    }
+    if (depth > 0 && rng_->Chance(0.15)) {
+      return ptl::WindowAggTerm(RandomAggFn(), ptl::QueryRef(QueryName(), {}),
+                                1 + static_cast<Timestamp>(rng_->Below(12)));
+    }
+    switch (rng_->Below(4)) {
+      case 0:
+        return ptl::Const(Value::Int(rng_->Range(-5, 15)));
+      case 1:
+        return ptl::TimeTerm();
+      case 2:
+        if (!scope.empty()) {
+          return ptl::Var(scope[rng_->Below(scope.size())]);
+        }
+        [[fallthrough]];
+      default:
+        return ptl::QueryRef(QueryName(), {});
+    }
+  }
+
+  ptl::CmpOp RandomCmp() {
+    static const ptl::CmpOp kOps[] = {ptl::CmpOp::kEq, ptl::CmpOp::kNe,
+                                      ptl::CmpOp::kLt, ptl::CmpOp::kLe,
+                                      ptl::CmpOp::kGt, ptl::CmpOp::kGe};
+    return kOps[rng_->Below(6)];
+  }
+
+  ptl::TemporalAggFn RandomAggFn() {
+    static const ptl::TemporalAggFn kFns[] = {
+        ptl::TemporalAggFn::kSum, ptl::TemporalAggFn::kCount,
+        ptl::TemporalAggFn::kAvg, ptl::TemporalAggFn::kMin,
+        ptl::TemporalAggFn::kMax};
+    return kFns[rng_->Below(5)];
+  }
+
+  std::string QueryName() { return rng_->Chance(0.5) ? "q0" : "q1"; }
+  std::string EventName() { return rng_->Chance(0.5) ? "e0" : "e1"; }
+
+  Rng* rng_;
+  int next_var_ = 0;
+};
+
+// Random history: slot values are small-int random walks; events fire with
+// probability ~1/4 each; time advances by 1-3 ticks.
+inline std::vector<ptl::StateSnapshot> GenHistory(Rng* rng, const ptl::Analysis& analysis,
+                                      size_t length) {
+  std::vector<ptl::StateSnapshot> history;
+  Timestamp now = 0;
+  std::vector<int64_t> walk(analysis.slots.size(), 5);
+  for (size_t i = 0; i < length; ++i) {
+    now += rng->Range(1, 3);
+    std::vector<event::Event> events;
+    if (rng->Chance(0.25)) events.push_back(event::Event{"e0", {}});
+    if (rng->Chance(0.25)) events.push_back(event::Event{"e1", {}});
+    std::vector<Value> slots;
+    for (size_t s = 0; s < analysis.slots.size(); ++s) {
+      walk[s] += rng->Range(-2, 2);
+      slots.push_back(Value::Int(walk[s]));
+    }
+    history.push_back(Snap(i, now, std::move(events), std::move(slots)));
+  }
+  return history;
+}
+
+
+}  // namespace ptldb::testutil
+
+#endif  // PTLDB_TESTS_FORMULA_GEN_H_

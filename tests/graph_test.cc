@@ -1,0 +1,270 @@
+// Unit tests for the hash-consed and-or graph: simplification, substitution,
+// time-bound pruning, and collection.
+
+#include <gtest/gtest.h>
+
+#include "eval/graph.h"
+#include "testutil.h"
+
+namespace ptldb::eval {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  // Atom `x cmp c` over a fresh non-time variable.
+  NodeId VarAtom(ptl::CmpOp cmp, const std::string& var, int64_t c,
+                 bool time_var = false) {
+    VarId v = g_.InternVar(var, time_var);
+    auto n = g_.MakeAtom(cmp, g_.ExprVar(v), g_.ExprConst(Value::Int(c)));
+    EXPECT_TRUE(n.ok());
+    return *n;
+  }
+
+  Graph g_;
+};
+
+TEST_F(GraphTest, SentinelsAreFixed) {
+  EXPECT_EQ(g_.MakeBool(false), kFalseNode);
+  EXPECT_EQ(g_.MakeBool(true), kTrueNode);
+  EXPECT_EQ(g_.node(kFalseNode).kind, Node::Kind::kFalse);
+  EXPECT_EQ(g_.node(kTrueNode).kind, Node::Kind::kTrue);
+}
+
+TEST_F(GraphTest, GroundAtomsFold) {
+  ASSERT_OK_AND_ASSIGN(NodeId n,
+                       g_.MakeAtom(ptl::CmpOp::kLt, g_.ExprConst(Value::Int(1)),
+                                   g_.ExprConst(Value::Int(2))));
+  EXPECT_EQ(n, kTrueNode);
+  ASSERT_OK_AND_ASSIGN(n,
+                       g_.MakeAtom(ptl::CmpOp::kGe, g_.ExprConst(Value::Int(1)),
+                                   g_.ExprConst(Value::Int(2))));
+  EXPECT_EQ(n, kFalseNode);
+}
+
+TEST_F(GraphTest, ArithmeticConstFoldsAndErrors) {
+  ASSERT_OK_AND_ASSIGN(SymExprId e,
+                       g_.ExprArith(ptl::ArithOp::kMul,
+                                    g_.ExprConst(Value::Int(6)),
+                                    g_.ExprConst(Value::Int(7))));
+  EXPECT_EQ(g_.expr(e).constant, Value::Int(42));
+  EXPECT_FALSE(g_.ExprArith(ptl::ArithOp::kDiv, g_.ExprConst(Value::Int(1)),
+                            g_.ExprConst(Value::Int(0)))
+                   .ok());
+}
+
+TEST_F(GraphTest, HashConsingDeduplicates) {
+  NodeId a1 = VarAtom(ptl::CmpOp::kGt, "x", 5);
+  NodeId a2 = VarAtom(ptl::CmpOp::kGt, "x", 5);
+  EXPECT_EQ(a1, a2);
+  NodeId b = VarAtom(ptl::CmpOp::kGt, "x", 6);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(g_.MakeAnd({a1, b}), g_.MakeAnd({b, a1}));  // sorted children
+}
+
+TEST_F(GraphTest, BooleanSimplifications) {
+  NodeId a = VarAtom(ptl::CmpOp::kGt, "x", 5);
+  NodeId b = VarAtom(ptl::CmpOp::kLt, "y", 2);
+  EXPECT_EQ(g_.MakeAnd({a, kTrueNode}), a);            // identity
+  EXPECT_EQ(g_.MakeAnd({a, kFalseNode}), kFalseNode);  // absorbing
+  EXPECT_EQ(g_.MakeOr({a, kFalseNode}), a);
+  EXPECT_EQ(g_.MakeOr({a, kTrueNode}), kTrueNode);
+  EXPECT_EQ(g_.MakeAnd({a, a}), a);                    // dedup
+  EXPECT_EQ(g_.MakeAnd({}), kTrueNode);                // empty conjunction
+  EXPECT_EQ(g_.MakeOr({}), kFalseNode);
+  // Flattening: And(a, And(a, b)) == And(a, b).
+  EXPECT_EQ(g_.MakeAnd({a, g_.MakeAnd({a, b})}), g_.MakeAnd({a, b}));
+}
+
+TEST_F(GraphTest, NotSimplifications) {
+  NodeId a = VarAtom(ptl::CmpOp::kGt, "x", 5);
+  EXPECT_EQ(g_.MakeNot(kTrueNode), kFalseNode);
+  EXPECT_EQ(g_.MakeNot(kFalseNode), kTrueNode);
+  // NOT over an atom flips the comparison: NOT(x > 5) == x <= 5.
+  NodeId na = g_.MakeNot(a);
+  EXPECT_EQ(na, VarAtom(ptl::CmpOp::kLe, "x", 5));
+  EXPECT_EQ(g_.MakeNot(na), a);  // double negation via flip
+}
+
+TEST_F(GraphTest, ComplementAnnihilation) {
+  // The annihilation check sees x and NOT x as siblings. Use an Or inside an
+  // And (and vice versa) so the complemented child is not flattened away.
+  NodeId a = VarAtom(ptl::CmpOp::kGt, "x", 5);
+  NodeId b = VarAtom(ptl::CmpOp::kLt, "y", 2);
+  NodeId disj = g_.MakeOr({a, b});
+  EXPECT_EQ(g_.MakeAnd({disj, g_.MakeNot(disj)}), kFalseNode);
+  NodeId conj = g_.MakeAnd({a, b});
+  EXPECT_EQ(g_.MakeOr({conj, g_.MakeNot(conj)}), kTrueNode);
+}
+
+TEST_F(GraphTest, IntervalSubsumption) {
+  NodeId le5 = VarAtom(ptl::CmpOp::kLe, "x", 5);
+  NodeId le9 = VarAtom(ptl::CmpOp::kLe, "x", 9);
+  NodeId ge5 = VarAtom(ptl::CmpOp::kGe, "x", 5);
+  NodeId ge9 = VarAtom(ptl::CmpOp::kGe, "x", 9);
+  // Or keeps the weaker constraint, And the stronger.
+  EXPECT_EQ(g_.MakeOr({le5, le9}), le9);
+  EXPECT_EQ(g_.MakeAnd({le5, le9}), le5);
+  EXPECT_EQ(g_.MakeOr({ge5, ge9}), ge5);
+  EXPECT_EQ(g_.MakeAnd({ge5, ge9}), ge9);
+  // Different expressions do not subsume each other.
+  NodeId y_le5 = VarAtom(ptl::CmpOp::kLe, "y", 5);
+  EXPECT_EQ(g_.node(g_.MakeOr({le5, y_le5})).children.size(), 2u);
+  // Opposite directions do not subsume (they bound an interval).
+  EXPECT_EQ(g_.node(g_.MakeAnd({ge5, le9})).children.size(), 2u);
+  // Equalities are never subsumed.
+  NodeId eq5 = VarAtom(ptl::CmpOp::kEq, "x", 5);
+  NodeId eq9 = VarAtom(ptl::CmpOp::kEq, "x", 9);
+  EXPECT_EQ(g_.node(g_.MakeOr({eq5, eq9})).children.size(), 2u);
+}
+
+TEST_F(GraphTest, SubsumptionThroughArithmeticSides) {
+  // The paper's clause shape: constants compared against `t - 10`; the
+  // running extremum survives.
+  VarId t = g_.InternVar("t", true);
+  auto atom = [&](int64_t c) {
+    auto tm10 = g_.ExprArith(ptl::ArithOp::kSub, g_.ExprVar(t),
+                             g_.ExprConst(Value::Int(10)));
+    EXPECT_TRUE(tm10.ok());
+    auto a = g_.MakeAtom(ptl::CmpOp::kGe, g_.ExprConst(Value::Int(c)), *tm10);
+    EXPECT_TRUE(a.ok());
+    return *a;
+  };
+  // c >= t - 10 normalizes to (t - 10) <= c: the Or keeps the largest c.
+  NodeId merged = g_.MakeOr({atom(3), atom(7), atom(5)});
+  EXPECT_EQ(merged, atom(7));
+}
+
+TEST_F(GraphTest, SubsumptionCanBeDisabled) {
+  g_.set_subsumption(false);
+  NodeId le5 = VarAtom(ptl::CmpOp::kLe, "x", 5);
+  NodeId le9 = VarAtom(ptl::CmpOp::kLe, "x", 9);
+  EXPECT_EQ(g_.node(g_.MakeOr({le5, le9})).children.size(), 2u);
+}
+
+TEST_F(GraphTest, SubstitutionFoldsAtoms) {
+  VarId x = g_.InternVar("x", false);
+  ASSERT_OK_AND_ASSIGN(
+      NodeId atom,
+      g_.MakeAtom(ptl::CmpOp::kGt, g_.ExprVar(x), g_.ExprConst(Value::Int(5))));
+  ASSERT_OK_AND_ASSIGN(NodeId t, g_.Substitute(atom, x, Value::Int(9)));
+  EXPECT_EQ(t, kTrueNode);
+  ASSERT_OK_AND_ASSIGN(NodeId f, g_.Substitute(atom, x, Value::Int(3)));
+  EXPECT_EQ(f, kFalseNode);
+}
+
+TEST_F(GraphTest, SubstitutionThroughArithmeticAndConnectives) {
+  VarId x = g_.InternVar("x", false);
+  // (x * 2 >= 10) OR (y < 0): substitute x := 5 -> true absorbs the Or.
+  ASSERT_OK_AND_ASSIGN(SymExprId x2,
+                       g_.ExprArith(ptl::ArithOp::kMul, g_.ExprVar(x),
+                                    g_.ExprConst(Value::Int(2))));
+  ASSERT_OK_AND_ASSIGN(
+      NodeId a, g_.MakeAtom(ptl::CmpOp::kGe, x2, g_.ExprConst(Value::Int(10))));
+  NodeId b = VarAtom(ptl::CmpOp::kLt, "y", 0);
+  NodeId disj = g_.MakeOr({a, b});
+  ASSERT_OK_AND_ASSIGN(NodeId out, g_.Substitute(disj, x, Value::Int(5)));
+  EXPECT_EQ(out, kTrueNode);
+  ASSERT_OK_AND_ASSIGN(out, g_.Substitute(disj, x, Value::Int(4)));
+  EXPECT_EQ(out, b);  // false OR b == b
+}
+
+TEST_F(GraphTest, SubstituteLeavesOtherVarsAlone) {
+  VarId x = g_.InternVar("x", false);
+  NodeId a = VarAtom(ptl::CmpOp::kGt, "x", 5);
+  NodeId b = VarAtom(ptl::CmpOp::kLt, "y", 2);
+  NodeId conj = g_.MakeAnd({a, b});
+  ASSERT_OK_AND_ASSIGN(NodeId out, g_.Substitute(conj, x, Value::Int(9)));
+  EXPECT_EQ(out, b);  // true AND b == b
+}
+
+TEST_F(GraphTest, PruneTimeBounds) {
+  // t is a time variable: future bindings are >= now.
+  NodeId le = VarAtom(ptl::CmpOp::kLe, "t", 100, /*time_var=*/true);
+  NodeId ge = VarAtom(ptl::CmpOp::kGe, "t", 100, /*time_var=*/true);
+  NodeId lt = VarAtom(ptl::CmpOp::kLt, "t", 100, /*time_var=*/true);
+  NodeId gt = VarAtom(ptl::CmpOp::kGt, "t", 100, /*time_var=*/true);
+  NodeId eq = VarAtom(ptl::CmpOp::kEq, "t", 100, /*time_var=*/true);
+
+  // Before the bound nothing changes.
+  ASSERT_OK_AND_ASSIGN(NodeId n, g_.PruneTimeBounds(le, 99));
+  EXPECT_EQ(n, le);
+  // t <= 100 dead once now = 101; t < 100 dead at now = 100.
+  ASSERT_OK_AND_ASSIGN(n, g_.PruneTimeBounds(le, 101));
+  EXPECT_EQ(n, kFalseNode);
+  ASSERT_OK_AND_ASSIGN(n, g_.PruneTimeBounds(lt, 100));
+  EXPECT_EQ(n, kFalseNode);
+  // t >= 100 settled true at now = 100; t > 100 at now = 101.
+  ASSERT_OK_AND_ASSIGN(n, g_.PruneTimeBounds(ge, 100));
+  EXPECT_EQ(n, kTrueNode);
+  ASSERT_OK_AND_ASSIGN(n, g_.PruneTimeBounds(gt, 100));
+  EXPECT_EQ(n, gt);  // t = 100 still possible
+  ASSERT_OK_AND_ASSIGN(n, g_.PruneTimeBounds(gt, 101));
+  EXPECT_EQ(n, kTrueNode);
+  ASSERT_OK_AND_ASSIGN(n, g_.PruneTimeBounds(eq, 101));
+  EXPECT_EQ(n, kFalseNode);
+}
+
+TEST_F(GraphTest, PruneNormalizesOffsetAtoms) {
+  // The paper's clause shape: 5 >= t - 10, i.e. t <= 15.
+  VarId t = g_.InternVar("t", true);
+  ASSERT_OK_AND_ASSIGN(SymExprId tm10,
+                       g_.ExprArith(ptl::ArithOp::kSub, g_.ExprVar(t),
+                                    g_.ExprConst(Value::Int(10))));
+  ASSERT_OK_AND_ASSIGN(
+      NodeId atom, g_.MakeAtom(ptl::CmpOp::kGe, g_.ExprConst(Value::Int(5)), tm10));
+  ASSERT_OK_AND_ASSIGN(NodeId kept, g_.PruneTimeBounds(atom, 15));
+  EXPECT_EQ(kept, atom);
+  ASSERT_OK_AND_ASSIGN(NodeId dead, g_.PruneTimeBounds(atom, 16));
+  EXPECT_EQ(dead, kFalseNode);
+}
+
+TEST_F(GraphTest, PruneIgnoresNonTimeVars) {
+  NodeId a = VarAtom(ptl::CmpOp::kLe, "x", 100, /*time_var=*/false);
+  ASSERT_OK_AND_ASSIGN(NodeId n, g_.PruneTimeBounds(a, 1000));
+  EXPECT_EQ(n, a);
+}
+
+TEST_F(GraphTest, PrunePropagatesThroughConnectives) {
+  NodeId dead = VarAtom(ptl::CmpOp::kLe, "t", 10, /*time_var=*/true);
+  NodeId live = VarAtom(ptl::CmpOp::kGt, "x", 0);
+  NodeId disj = g_.MakeOr({g_.MakeAnd({dead, live}), live});
+  ASSERT_OK_AND_ASSIGN(NodeId n, g_.PruneTimeBounds(disj, 1000));
+  EXPECT_EQ(n, live);
+}
+
+TEST_F(GraphTest, CollectKeepsRootsAndRemaps) {
+  NodeId a = VarAtom(ptl::CmpOp::kGt, "x", 5);
+  NodeId b = VarAtom(ptl::CmpOp::kLt, "y", 2);
+  NodeId keep = g_.MakeAnd({a, b});
+  // Garbage nodes.
+  for (int i = 0; i < 100; ++i) VarAtom(ptl::CmpOp::kGt, "z", i);
+  size_t before = g_.num_nodes();
+  std::string printed = g_.ToString(keep);
+  uint64_t gen = g_.generation();
+
+  g_.Collect({&keep});
+  EXPECT_LT(g_.num_nodes(), before);
+  EXPECT_EQ(g_.generation(), gen + 1);
+  EXPECT_EQ(g_.ToString(keep), printed);
+  // The graph still works after collection (interning, folding).
+  NodeId a2 = VarAtom(ptl::CmpOp::kGt, "x", 5);
+  EXPECT_EQ(g_.MakeAnd({a2, VarAtom(ptl::CmpOp::kLt, "y", 2)}), keep);
+}
+
+TEST_F(GraphTest, CountReachable) {
+  NodeId a = VarAtom(ptl::CmpOp::kGt, "x", 5);
+  NodeId b = VarAtom(ptl::CmpOp::kLt, "y", 2);
+  NodeId conj = g_.MakeAnd({a, b});
+  EXPECT_EQ(g_.CountReachable({conj}), 3u);
+  EXPECT_EQ(g_.CountReachable({a}), 1u);
+  EXPECT_EQ(g_.CountReachable({}), 0u);
+}
+
+TEST_F(GraphTest, ToStringRendering) {
+  NodeId a = VarAtom(ptl::CmpOp::kGt, "x", 5);
+  EXPECT_EQ(g_.ToString(a), "x > 5");
+  EXPECT_EQ(g_.ToString(kTrueNode), "true");
+}
+
+}  // namespace
+}  // namespace ptldb::eval

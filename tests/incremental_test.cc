@@ -1,0 +1,233 @@
+// Tests for the incremental evaluator: paper examples, bounded state,
+// checkpointing, and collection.
+
+#include <gtest/gtest.h>
+
+#include "eval/incremental.h"
+#include "ptl/parser.h"
+#include "testutil.h"
+
+namespace ptldb::eval {
+namespace {
+
+using ptl::StateSnapshot;
+using testutil::Snap;
+
+ptl::Analysis MustAnalyze(std::string_view text) {
+  auto f = ptl::ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  auto a = ptl::Analyze(*f);
+  EXPECT_TRUE(a.ok()) << a.status().ToString();
+  return std::move(a).value();
+}
+
+IncrementalEvaluator MustMake(std::string_view text,
+                              IncrementalEvaluator::Options opts = {}) {
+  auto ev = IncrementalEvaluator::Make(MustAnalyze(text), opts);
+  EXPECT_TRUE(ev.ok()) << ev.status().ToString();
+  return std::move(ev).value();
+}
+
+event::Event Ev(const std::string& name) { return event::Event{name, {}}; }
+
+std::vector<bool> RunHistory(IncrementalEvaluator& ev,
+                      const std::vector<StateSnapshot>& history) {
+  std::vector<bool> out;
+  for (const StateSnapshot& s : history) {
+    auto fired = ev.Step(s);
+    EXPECT_TRUE(fired.ok()) << fired.status().ToString();
+    out.push_back(fired.ok() && *fired);
+  }
+  return out;
+}
+
+TEST(IncrementalTest, PaperSharpIncreaseFires) {
+  IncrementalEvaluator ev = MustMake(
+      "[t := time][x := price('IBM')] "
+      "PREVIOUSLY (price('IBM') <= 0.5 * x AND time >= t - 10)");
+  std::vector<bool> fired = RunHistory(
+      ev, {Snap(0, 1, {}, {Value::Int(10)}), Snap(1, 2, {}, {Value::Int(15)}),
+           Snap(2, 5, {}, {Value::Int(18)}), Snap(3, 8, {}, {Value::Int(25)})});
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, false, true}));
+}
+
+TEST(IncrementalTest, PaperOptimizationHistoryDoesNotFire) {
+  IncrementalEvaluator ev = MustMake(
+      "[t := time][x := price('IBM')] "
+      "PREVIOUSLY (price('IBM') <= 0.5 * x AND time >= t - 10)");
+  std::vector<bool> fired = RunHistory(
+      ev, {Snap(0, 1, {}, {Value::Int(10)}), Snap(1, 2, {}, {Value::Int(15)}),
+           Snap(2, 5, {}, {Value::Int(18)}), Snap(3, 20, {}, {Value::Int(11)})});
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, false, false}));
+  // After t=20 the paper's simplification leaves only the last clause: all
+  // earlier states are out of every future 10-tick window. With pruning the
+  // retained state stays small.
+  EXPECT_LE(ev.LiveNodeCount(), 8u);
+}
+
+TEST(IncrementalTest, BoundedFormulaKeepsBoundedState) {
+  IncrementalEvaluator ev = MustMake("WITHIN(price('X') >= 100, 16)");
+  // The full ablation: no pruning AND no subsumption (either alone keeps
+  // this condition's retained state bounded).
+  IncrementalEvaluator no_prune =
+      MustMake("WITHIN(price('X') >= 100, 16)",
+               {.time_pruning = false, .subsumption = false});
+  size_t max_live_pruned = 0, max_live_unpruned = 0;
+  for (int i = 0; i < 500; ++i) {
+    // Price crosses 100 on 2 of every 7 states: those states leave a residual
+    // time clause `t <= time_i + 16` in the retained disjunction.
+    StateSnapshot s = Snap(i, i + 1, {}, {Value::Int((i % 7) * 20)});
+    ASSERT_OK(ev.Step(s).status());
+    ASSERT_OK(no_prune.Step(s).status());
+    max_live_pruned = std::max(max_live_pruned, ev.LiveNodeCount());
+    max_live_unpruned = std::max(max_live_unpruned, no_prune.LiveNodeCount());
+  }
+  // Pruned: proportional to the window, not the history.
+  EXPECT_LE(max_live_pruned, 64u);
+  // Without pruning the retained disjunction grows with the history.
+  EXPECT_GT(max_live_unpruned, 100u);
+}
+
+TEST(IncrementalTest, ClosedFormulaStateIsConstantSize) {
+  // No binder variables: every F formula collapses to a sentinel.
+  IncrementalEvaluator ev = MustMake("NOT @logout SINCE @login");
+  for (int i = 0; i < 100; ++i) {
+    std::vector<event::Event> events;
+    if (i % 10 == 0) events.push_back(Ev("login"));
+    if (i % 21 == 0) events.push_back(Ev("logout"));
+    ASSERT_OK(ev.Step(Snap(i, i + 1, std::move(events), {})).status());
+    EXPECT_LE(ev.LiveNodeCount(), 2u);
+  }
+}
+
+TEST(IncrementalTest, FiringMatchesSinceSemantics) {
+  IncrementalEvaluator ev = MustMake("NOT @logout SINCE @login");
+  std::vector<bool> fired =
+      RunHistory(ev, {Snap(0, 1, {}, {}), Snap(1, 2, {Ev("login")}, {}),
+               Snap(2, 3, {}, {}), Snap(3, 4, {Ev("logout")}, {}),
+               Snap(4, 5, {}, {}), Snap(5, 6, {Ev("login")}, {})});
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, true, false, false, true}));
+}
+
+TEST(IncrementalTest, AggregateMachineMatchesPaperConstruction) {
+  IncrementalEvaluator ev =
+      MustMake("avg(price('IBM'); time = 540; @update_stocks) > 70");
+  std::vector<bool> fired = RunHistory(
+      ev, {Snap(0, 540, {}, {Value::Int(100)}),
+           Snap(1, 541, {Ev("update_stocks")}, {Value::Int(60)}),
+           Snap(2, 542, {Ev("update_stocks")}, {Value::Int(90)}),
+           Snap(3, 543, {}, {Value::Int(0)})});
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true}));
+}
+
+TEST(IncrementalTest, WindowAggregateO1State) {
+  IncrementalEvaluator ev = MustMake("wavg(price('X'), 8) >= 3");
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(ev.Step(Snap(i, i + 1, {}, {Value::Int(i % 5)})).status());
+    EXPECT_LE(ev.LiveNodeCount(), 2u);  // closed formula: sentinels only
+  }
+}
+
+TEST(IncrementalTest, CheckpointRestoreReplaysIdentically) {
+  IncrementalEvaluator ev = MustMake(
+      "[t := time] PREVIOUSLY (price('X') >= 10 AND time >= t - 50)");
+  std::vector<StateSnapshot> prefix, suffix;
+  for (int i = 0; i < 20; ++i) {
+    prefix.push_back(Snap(i, 2 * i + 1, {}, {Value::Int(i)}));
+  }
+  for (int i = 20; i < 40; ++i) {
+    suffix.push_back(Snap(i, 2 * i + 1, {}, {Value::Int(40 - i)}));
+  }
+  RunHistory(ev, prefix);
+  IncrementalEvaluator::Checkpoint cp = ev.Save();
+  std::vector<bool> first = RunHistory(ev, suffix);
+  ASSERT_OK(ev.Restore(cp));
+  std::vector<bool> second = RunHistory(ev, suffix);
+  EXPECT_EQ(first, second);
+}
+
+TEST(IncrementalTest, CheckpointInvalidAfterCollect) {
+  IncrementalEvaluator ev = MustMake("WITHIN(price('X') >= 100, 4)");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(ev.Step(Snap(i, i + 1, {}, {Value::Int(1)})).status());
+  }
+  IncrementalEvaluator::Checkpoint cp = ev.Save();
+  ev.MaybeCollect(/*threshold=*/1);  // force a collection
+  EXPECT_FALSE(ev.Restore(cp).ok());
+}
+
+TEST(IncrementalTest, CollectPreservesBehaviour) {
+  IncrementalEvaluator a = MustMake("WITHIN(price('X') >= 3, 10)");
+  IncrementalEvaluator b = MustMake("WITHIN(price('X') >= 3, 10)");
+  testutil::Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    StateSnapshot s =
+        Snap(i, i + 1, {}, {Value::Int(static_cast<int64_t>(rng.Below(6)))});
+    ASSERT_OK_AND_ASSIGN(bool fa, a.Step(s));
+    ASSERT_OK_AND_ASSIGN(bool fb, b.Step(s));
+    EXPECT_EQ(fa, fb) << "diverged at step " << i;
+    b.MaybeCollect(/*threshold=*/1);  // collect aggressively on one copy
+  }
+  EXPECT_LT(b.StoreNodeCount(), a.StoreNodeCount());
+}
+
+TEST(IncrementalTest, CollectKeepingCheckpointsPreservesRestore) {
+  IncrementalEvaluator ev = MustMake(
+      "[t := time] PREVIOUSLY (price('X') >= 10 AND time >= t - 50)");
+  std::vector<IncrementalEvaluator::Checkpoint> cps;
+  std::vector<StateSnapshot> history;
+  for (int i = 0; i < 30; ++i) {
+    history.push_back(Snap(i, 2 * i + 1, {}, {Value::Int(i % 13)}));
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(ev.Step(history[i]).status());
+    cps.push_back(ev.Save());
+  }
+  // Collect while keeping every checkpoint alive.
+  std::vector<IncrementalEvaluator::Checkpoint*> keep;
+  for (auto& cp : cps) keep.push_back(&cp);
+  ASSERT_OK(ev.CollectKeepingCheckpoints(keep));
+  // Checkpoints remain restorable and replay deterministically.
+  ASSERT_OK(ev.Restore(cps[10]));
+  std::vector<bool> first;
+  for (int i = 11; i < 30; ++i) {
+    ASSERT_OK_AND_ASSIGN(bool fired, ev.Step(history[i]));
+    first.push_back(fired);
+  }
+  ASSERT_OK(ev.Restore(cps[10]));
+  std::vector<bool> second;
+  for (int i = 11; i < 30; ++i) {
+    ASSERT_OK_AND_ASSIGN(bool fired, ev.Step(history[i]));
+    second.push_back(fired);
+  }
+  EXPECT_EQ(first, second);
+  // A stale checkpoint from before the collection fails cleanly.
+  IncrementalEvaluator::Checkpoint stale = cps[5];
+  stale.generation -= 1;
+  EXPECT_FALSE(ev.Restore(stale).ok());
+}
+
+TEST(IncrementalTest, LasttimeChain) {
+  IncrementalEvaluator ev = MustMake("LASTTIME LASTTIME @e");
+  std::vector<bool> fired =
+      RunHistory(ev, {Snap(0, 1, {Ev("e")}, {}), Snap(1, 2, {}, {}),
+               Snap(2, 3, {}, {}), Snap(3, 4, {}, {})});
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false}));
+}
+
+TEST(IncrementalTest, TypeErrorSurfacesAsStatus) {
+  IncrementalEvaluator ev = MustMake("price('X') > 3");
+  EXPECT_FALSE(ev.Step(Snap(0, 1, {}, {Value::Str("oops")})).ok());
+}
+
+TEST(IncrementalTest, DebugStringShowsRetainedFormulas) {
+  IncrementalEvaluator ev = MustMake(
+      "[t := time] PREVIOUSLY (price('X') >= 10 AND time >= t - 50)");
+  ASSERT_OK(ev.Step(Snap(0, 1, {}, {Value::Int(12)})).status());
+  std::string dump = ev.DebugString();
+  EXPECT_NE(dump.find("PREVIOUSLY"), std::string::npos);
+  EXPECT_NE(dump.find("live nodes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptldb::eval

@@ -1,0 +1,210 @@
+// Full-stack integration tests: database + engine + PTL + aggregates + the
+// executed machinery working together on the paper's scenarios, asserting
+// exact firing sequences.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "rules/engine.h"
+#include "testutil.h"
+
+namespace ptldb {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() : db_(&clock_), engine_(&db_) {
+    PTLDB_CHECK_OK(db_.CreateTable(
+        "stock",
+        db::Schema({{"name", ValueType::kString},
+                    {"price", ValueType::kDouble}}),
+        {"name"}));
+    PTLDB_CHECK_OK(engine_.queries().Register(
+        "price", "SELECT price FROM stock WHERE name = $sym", {"sym"}));
+    PTLDB_CHECK_OK(db_.InsertRow("stock", {Value::Str("IBM"), Value::Real(50)}));
+    PTLDB_CHECK_OK(db_.InsertRow("stock", {Value::Str("HP"), Value::Real(30)}));
+  }
+
+  // Sets the clock so the update's commit state lands exactly at `at`
+  // (the begin state takes at-1).
+  void SetPrice(Timestamp at, const char* sym, double price) {
+    clock_.Set(at - 1);
+    db::ParamMap params{{"p", Value::Real(price)}, {"n", Value::Str(sym)}};
+    auto n = db_.UpdateRows("stock", {{"price", "$p"}}, "name = $n", &params);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+  }
+
+  // Records "<rule>@<fired_at>" strings.
+  rules::ActionFn Recorder(std::vector<std::string>* log) {
+    return [log](rules::ActionContext& ctx) -> Status {
+      log->push_back(ctx.rule() + "@" + std::to_string(ctx.fired_at()) +
+                     (ctx.params().empty()
+                          ? ""
+                          : ":" + ctx.param("sym").ToString()));
+      return Status::OK();
+    };
+  }
+
+  SimClock clock_;
+  db::Database db_;
+  rules::RuleEngine engine_;
+};
+
+TEST_F(IntegrationTest, ExactFiringSequenceOfWindowTrigger) {
+  std::vector<std::string> log;
+  ASSERT_OK(engine_.AddTrigger("above80", "WITHIN(price('IBM') >= 80, 10)",
+                               Recorder(&log),
+                               rules::RuleOptions{.record_execution = false}));
+  SetPrice(10, "IBM", 85);  // enters at the commit state (t=10)
+  SetPrice(15, "IBM", 40);  // still within 10 ticks of the 85
+  SetPrice(25, "IBM", 40);  // window expired -> condition drops
+  SetPrice(30, "IBM", 90);  // re-enters
+  // Edge-triggered: exactly two rising edges.
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "above80@10");
+  EXPECT_EQ(log[1], "above80@30");
+}
+
+TEST_F(IntegrationTest, FamilyAndPlainRuleInterleave) {
+  std::vector<std::string> log;
+  ASSERT_OK(engine_.AddTriggerFamily(
+      "cheap", "SELECT name FROM stock", {"sym"}, "price(sym) < 25",
+      Recorder(&log), rules::RuleOptions{.record_execution = false}));
+  ASSERT_OK(engine_.AddTrigger("ibm_half", "price('IBM') <= 25",
+                               Recorder(&log),
+                               rules::RuleOptions{.record_execution = false}));
+  SetPrice(5, "HP", 20);    // cheap fires for HP only
+  SetPrice(8, "IBM", 20);   // cheap fires for IBM AND ibm_half fires
+  std::vector<std::string> expected{"cheap@5:\"HP\"", "cheap@8:\"IBM\"",
+                                    "ibm_half@8"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST_F(IntegrationTest, ActionPriorityOrdersExecutionWithinAState) {
+  std::vector<std::string> log;
+  auto tag = [&log](const char* what) {
+    return [&log, what](rules::ActionContext&) -> Status {
+      log.push_back(what);
+      return Status::OK();
+    };
+  };
+  ASSERT_OK(engine_.AddTrigger("late", "price('IBM') > 60", tag("late"),
+                               rules::RuleOptions{.priority = 5,
+                                                  .record_execution = false}));
+  ASSERT_OK(engine_.AddTrigger("early", "price('IBM') > 60", tag("early"),
+                               rules::RuleOptions{.priority = -5,
+                                                  .record_execution = false}));
+  SetPrice(3, "IBM", 70);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "early");
+  EXPECT_EQ(log[1], "late");
+}
+
+TEST_F(IntegrationTest, ChainedActionsCascadeThroughStates) {
+  // Rule A's action writes a row that rule B's condition watches.
+  ASSERT_OK(db_.CreateTable(
+      "alerts", db::Schema({{"level", ValueType::kInt64}})));
+  ASSERT_OK(engine_.queries().Register(
+      "alert_count", "SELECT COUNT(*) AS n FROM alerts"));
+  std::vector<std::string> log;
+  ASSERT_OK(engine_.AddTrigger(
+      "detector", "price('IBM') > 90",
+      [this](rules::ActionContext&) -> Status {
+        return db_.InsertRow("alerts", {Value::Int(1)});
+      },
+      rules::RuleOptions{.record_execution = false}));
+  ASSERT_OK(engine_.AddTrigger("escalation", "alert_count() >= 1",
+                               Recorder(&log),
+                               rules::RuleOptions{.record_execution = false}));
+  SetPrice(7, "IBM", 95);
+  // detector fired at the price commit; its insert produced new states at
+  // which escalation's condition became true.
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].rfind("escalation@", 0), 0u);
+  ASSERT_OK_AND_ASSIGN(db::Relation alerts, db_.QuerySql("SELECT * FROM alerts"));
+  EXPECT_EQ(alerts.size(), 1u);
+}
+
+TEST_F(IntegrationTest, IcAndTriggerOnSameCommit) {
+  // A trigger celebrates high prices; an IC caps them. A commit that violates
+  // the IC must be rolled back WITHOUT the trigger observing the vetoed state.
+  std::vector<std::string> log;
+  ASSERT_OK(engine_.AddTrigger("happy", "price('IBM') > 70", Recorder(&log),
+                               rules::RuleOptions{.record_execution = false}));
+  ASSERT_OK(engine_.AddIntegrityConstraint("cap", "price('IBM') <= 100"));
+  SetPrice(5, "IBM", 80);  // fine: happy fires
+  clock_.Set(10);
+  ASSERT_OK_AND_ASSIGN(int64_t txn, db_.Begin());
+  db::ParamMap params{{"p", Value::Real(500)}};
+  ASSERT_OK(
+      db_.Update(txn, "stock", {{"price", "$p"}}, "name = 'IBM'", &params)
+          .status());
+  EXPECT_EQ(db_.Commit(txn).code(), StatusCode::kTransactionAborted);
+  SetPrice(15, "IBM", 60);   // drops below: happy's condition resets
+  SetPrice(20, "IBM", 99);   // fine again: happy re-fires
+  std::vector<std::string> expected{"happy@5", "happy@20"};
+  EXPECT_EQ(log, expected);  // no firing for the vetoed 500
+}
+
+TEST_F(IntegrationTest, NestedAggregateEndToEnd) {
+  // Outer sum restarts whenever the (inner) count of samples reaches a
+  // multiple of 3 — nested aggregates per §6.
+  std::vector<std::string> log;
+  ASSERT_OK(engine_.AddTrigger(
+      "nested",
+      "sum(price('IBM'); count(price('IBM'); true; @s) % 3 = 0 AND "
+      "PREVIOUSLY @s; @s) >= 150",
+      Recorder(&log), rules::RuleOptions{.record_execution = false}));
+  for (int i = 0; i < 9; ++i) {
+    clock_.Advance(1);
+    ASSERT_OK(db_.RaiseEvent(event::Event{"s", {}}));
+  }
+  // Deterministic: no assertion on count beyond "no errors" — the property
+  // being tested is that nested aggregates evaluate without tripping
+  // internal checks and agree between machines (covered by equivalence
+  // tests); here we check the engine plumbs them.
+  for (const Status& s : engine_.TakeErrors()) {
+    ADD_FAILURE() << s.ToString();
+  }
+}
+
+TEST_F(IntegrationTest, ExecutedPredicateIsQueryableHistory) {
+  ASSERT_OK(engine_.AddTrigger("watch", "price('IBM') > 60",
+                               [](rules::ActionContext&) { return Status::OK(); }));
+  SetPrice(5, "IBM", 70);
+  SetPrice(8, "IBM", 40);
+  SetPrice(12, "IBM", 80);
+  ASSERT_OK_AND_ASSIGN(
+      db::Relation r,
+      db_.QuerySql("SELECT t FROM __executed WHERE rule = 'watch' ORDER BY t"));
+  ASSERT_EQ(r.size(), 2u);  // two rising edges
+  EXPECT_EQ(r.row(0)[0], Value::Int(5));
+  EXPECT_EQ(r.row(1)[0], Value::Int(12));
+}
+
+TEST_F(IntegrationTest, HundredRulesAllFireIndependently) {
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100; ++i) {
+    double threshold = i;  // thresholds 0..99
+    ASSERT_OK(engine_.AddTrigger(
+        "r" + std::to_string(i),
+        "price('IBM') > " + std::to_string(threshold),
+        [&counts, i](rules::ActionContext&) -> Status {
+          ++counts[i];
+          return Status::OK();
+        },
+        rules::RuleOptions{.record_execution = false}));
+  }
+  SetPrice(5, "IBM", 49.5);
+  // Rules with threshold < 49.5 fire (0..49): 50 rules... price started at 50
+  // so rules with threshold < 50 were already true at registration? No:
+  // instances start observing at the state AFTER registration; the first
+  // state they see is the begin state of this update (price still 50), so
+  // thresholds 0..49 are true at first observation -> edge -> fire.
+  int fired = 0;
+  for (int c : counts) fired += c > 0;
+  EXPECT_EQ(fired, 50);
+}
+
+}  // namespace
+}  // namespace ptldb

@@ -1,0 +1,203 @@
+// Semantics tests for the reference evaluator — these pin down the §4.2
+// satisfaction relation that the incremental evaluator is then tested against.
+
+#include <gtest/gtest.h>
+
+#include "ptl/analyzer.h"
+#include "ptl/naive_eval.h"
+#include "ptl/parser.h"
+#include "testutil.h"
+
+namespace ptldb::ptl {
+namespace {
+
+using testutil::Snap;
+
+// Builds an analysis for `text` or fails the test.
+Analysis MustAnalyze(std::string_view text) {
+  auto f = ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  auto a = Analyze(*f);
+  EXPECT_TRUE(a.ok()) << a.status().ToString();
+  return std::move(a).value();
+}
+
+// Evaluates `text` over a history of (time, events, slot values) states and
+// returns the per-state satisfaction bits.
+std::vector<bool> Satisfactions(const Analysis& a,
+                                const std::vector<StateSnapshot>& history) {
+  NaiveEvaluator ev(&a);
+  std::vector<bool> out;
+  for (const StateSnapshot& s : history) {
+    ev.Observe(s);
+    auto sat = ev.SatisfiedAtEnd();
+    EXPECT_TRUE(sat.ok()) << sat.status().ToString();
+    out.push_back(sat.ok() && *sat);
+  }
+  return out;
+}
+
+event::Event Ev(const std::string& name) { return event::Event{name, {}}; }
+
+TEST(NaiveEvalTest, EmptyHistoryIsUnsatisfied) {
+  Analysis a = MustAnalyze("true");
+  NaiveEvaluator ev(&a);
+  ASSERT_OK_AND_ASSIGN(bool sat, ev.SatisfiedAtEnd());
+  EXPECT_FALSE(sat);
+}
+
+TEST(NaiveEvalTest, PreviouslyLatchesForever) {
+  Analysis a = MustAnalyze("PREVIOUSLY @e");
+  std::vector<bool> sat = Satisfactions(
+      a, {Snap(0, 1, {}, {}), Snap(1, 2, {Ev("e")}, {}), Snap(2, 3, {}, {})});
+  EXPECT_EQ(sat, (std::vector<bool>{false, true, true}));
+}
+
+TEST(NaiveEvalTest, LasttimeShiftsByOneState) {
+  Analysis a = MustAnalyze("LASTTIME @e");
+  std::vector<bool> sat = Satisfactions(
+      a, {Snap(0, 1, {Ev("e")}, {}), Snap(1, 2, {}, {}), Snap(2, 3, {}, {})});
+  EXPECT_EQ(sat, (std::vector<bool>{false, true, false}));
+}
+
+TEST(NaiveEvalTest, SinceSemantics) {
+  // NOT @logout SINCE @login — §1's "while user X is logged in".
+  Analysis a = MustAnalyze("NOT @logout SINCE @login");
+  std::vector<bool> sat = Satisfactions(
+      a, {Snap(0, 1, {}, {}),                 // never logged in
+          Snap(1, 2, {Ev("login")}, {}),      // logs in -> holds
+          Snap(2, 3, {}, {}),                 // still in
+          Snap(3, 4, {Ev("logout")}, {}),     // logs out -> broken
+          Snap(4, 5, {}, {}),                 // still broken
+          Snap(5, 6, {Ev("login")}, {})});    // back in
+  EXPECT_EQ(sat, (std::vector<bool>{false, true, true, false, false, true}));
+}
+
+TEST(NaiveEvalTest, SinceRhsAtCurrentStateSuffices) {
+  Analysis a = MustAnalyze("false SINCE @e");
+  std::vector<bool> sat =
+      Satisfactions(a, {Snap(0, 1, {Ev("e")}, {}), Snap(1, 2, {}, {})});
+  // Witness j = i needs no lhs states; one state later the lhs (false) kills it.
+  EXPECT_EQ(sat, (std::vector<bool>{true, false}));
+}
+
+TEST(NaiveEvalTest, ThroughoutPastIsUniversal) {
+  Analysis a = MustAnalyze("THROUGHOUT_PAST price('X') > 0");
+  std::vector<bool> sat = Satisfactions(
+      a, {Snap(0, 1, {}, {Value::Int(5)}), Snap(1, 2, {}, {Value::Int(3)}),
+          Snap(2, 3, {}, {Value::Int(-1)}), Snap(3, 4, {}, {Value::Int(9)})});
+  EXPECT_EQ(sat, (std::vector<bool>{true, true, false, false}));
+}
+
+TEST(NaiveEvalTest, PaperSharpIncreaseExample) {
+  // §5's running example: "IBM doubled within 10 time units".
+  Analysis a = MustAnalyze(
+      "[t := time][x := price('IBM')] "
+      "PREVIOUSLY (price('IBM') <= 0.5 * x AND time >= t - 10)");
+  // History from the paper: (10,1) (15,2) (18,5) (25,8) -> fires at the 4th.
+  std::vector<bool> sat = Satisfactions(
+      a, {Snap(0, 1, {}, {Value::Int(10)}), Snap(1, 2, {}, {Value::Int(15)}),
+          Snap(2, 5, {}, {Value::Int(18)}), Snap(3, 8, {}, {Value::Int(25)})});
+  EXPECT_EQ(sat, (std::vector<bool>{false, false, false, true}));
+
+  // Second history from the paper: (10,1) (15,2) (18,5) (11,20) -> no fire.
+  std::vector<bool> sat2 = Satisfactions(
+      a, {Snap(0, 1, {}, {Value::Int(10)}), Snap(1, 2, {}, {Value::Int(15)}),
+          Snap(2, 5, {}, {Value::Int(18)}), Snap(3, 20, {}, {Value::Int(11)})});
+  EXPECT_EQ(sat2, (std::vector<bool>{false, false, false, false}));
+}
+
+TEST(NaiveEvalTest, BindCapturesAtEvaluationPosition) {
+  // [x := q] under PREVIOUSLY: x is captured at the *past* position.
+  Analysis a = MustAnalyze("PREVIOUSLY ([x := price('X')] x >= 100)");
+  std::vector<bool> sat = Satisfactions(
+      a, {Snap(0, 1, {}, {Value::Int(5)}), Snap(1, 2, {}, {Value::Int(100)}),
+          Snap(2, 3, {}, {Value::Int(7)})});
+  EXPECT_EQ(sat, (std::vector<bool>{false, true, true}));
+}
+
+TEST(NaiveEvalTest, WithinSugarExpires) {
+  Analysis a = MustAnalyze("WITHIN(@e, 10)");
+  std::vector<bool> sat = Satisfactions(
+      a, {Snap(0, 1, {Ev("e")}, {}), Snap(1, 5, {}, {}), Snap(2, 11, {}, {}),
+          Snap(3, 12, {}, {})});
+  // Event at t=1 is within 10 of t=1,5,11 but not of t=12.
+  EXPECT_EQ(sat, (std::vector<bool>{true, true, true, false}));
+}
+
+TEST(NaiveEvalTest, HeldForSugar) {
+  Analysis a = MustAnalyze("HELDFOR(price('X') > 0, 5)");
+  std::vector<bool> sat = Satisfactions(
+      a, {Snap(0, 1, {}, {Value::Int(-2)}), Snap(1, 4, {}, {Value::Int(3)}),
+          Snap(2, 7, {}, {Value::Int(3)}), Snap(3, 10, {}, {Value::Int(3)})});
+  // At t=4 the negative state (t=1) is inside the window [-1,4]; from t=7 on
+  // the window contains only positive states.
+  EXPECT_EQ(sat, (std::vector<bool>{false, false, true, true}));
+}
+
+TEST(NaiveEvalTest, HourlyAverageAggregate) {
+  // §6's construction: average price since "9AM" (time=540), sampled at
+  // @update_stocks events.
+  Analysis a = MustAnalyze(
+      "avg(price('IBM'); time = 540; @update_stocks) > 70");
+  std::vector<bool> sat = Satisfactions(
+      a, {Snap(0, 540, {}, {Value::Int(100)}),          // start; not a sample
+          Snap(1, 541, {Ev("update_stocks")}, {Value::Int(60)}),
+          Snap(2, 542, {Ev("update_stocks")}, {Value::Int(90)}),
+          Snap(3, 543, {}, {Value::Int(0)})});          // not a sample
+  // avg after state1 = 60 (not > 70); after state2 = 75; state3 unchanged.
+  EXPECT_EQ(sat, (std::vector<bool>{false, false, true, true}));
+}
+
+TEST(NaiveEvalTest, AggregateRestartsAtLatestStartPoint) {
+  Analysis a = MustAnalyze("sum(price('X'); @reset; true) = 5");
+  std::vector<bool> sat = Satisfactions(
+      a, {Snap(0, 1, {Ev("reset")}, {Value::Int(5)}),   // sum = 5
+          Snap(1, 2, {}, {Value::Int(2)}),              // sum = 7
+          Snap(2, 3, {Ev("reset")}, {Value::Int(5)}),   // restart: sum = 5
+          Snap(3, 4, {}, {Value::Int(0)})});            // sum = 5
+  EXPECT_EQ(sat, (std::vector<bool>{true, false, true, true}));
+}
+
+TEST(NaiveEvalTest, AggregateWithNoStartPointIsEmpty) {
+  Analysis a = MustAnalyze("count(price('X'); @never; true) = 0");
+  std::vector<bool> sat = Satisfactions(a, {Snap(0, 1, {}, {Value::Int(5)})});
+  EXPECT_EQ(sat, (std::vector<bool>{true}));
+}
+
+TEST(NaiveEvalTest, WindowAggregates) {
+  Analysis a = MustAnalyze("wmax(price('X'), 10) >= 8");
+  std::vector<bool> sat = Satisfactions(
+      a, {Snap(0, 1, {}, {Value::Int(8)}), Snap(1, 5, {}, {Value::Int(2)}),
+          Snap(2, 11, {}, {Value::Int(3)}), Snap(3, 20, {}, {Value::Int(1)})});
+  // max over last 10 ticks: 8, 8, 8 (t=1 still in [1,11]), then 3 & 1 -> 3.
+  EXPECT_EQ(sat, (std::vector<bool>{true, true, true, false}));
+}
+
+TEST(NaiveEvalTest, WindowAvg) {
+  Analysis a = MustAnalyze("wavg(price('X'), 5) = 4");
+  std::vector<bool> sat = Satisfactions(
+      a, {Snap(0, 1, {}, {Value::Int(2)}), Snap(1, 2, {}, {Value::Int(6)}),
+          Snap(2, 10, {}, {Value::Int(4)})});
+  // (2+6)/2 = 4 at state 1; at t=10 only the sample 4 remains -> 4.
+  EXPECT_EQ(sat, (std::vector<bool>{false, true, true}));
+}
+
+TEST(NaiveEvalTest, EventParamPrefixMatching) {
+  Analysis a = MustAnalyze("@insert('stock')");
+  std::vector<bool> sat = Satisfactions(
+      a, {Snap(0, 1, {event::Event{"insert", {Value::Str("stock"), Value::Int(7)}}},
+               {}),
+          Snap(1, 2, {event::Event{"insert", {Value::Str("other")}}}, {})});
+  EXPECT_EQ(sat, (std::vector<bool>{true, false}));
+}
+
+TEST(NaiveEvalTest, TypeErrorSurfacesAsStatus) {
+  Analysis a = MustAnalyze("price('X') > 3");
+  NaiveEvaluator ev(&a);
+  ev.Observe(Snap(0, 1, {}, {Value::Str("oops")}));
+  EXPECT_FALSE(ev.SatisfiedAtEnd().ok());
+}
+
+}  // namespace
+}  // namespace ptldb::ptl

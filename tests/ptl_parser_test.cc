@@ -1,0 +1,181 @@
+// Tests for the PTL lexer/parser and the AST printers.
+
+#include <gtest/gtest.h>
+
+#include "ptl/ast.h"
+#include "ptl/parser.h"
+#include "testutil.h"
+
+namespace ptldb::ptl {
+namespace {
+
+FormulaPtr MustParse(std::string_view text) {
+  auto f = ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status().ToString() << " for: " << text;
+  return f.ok() ? *f : nullptr;
+}
+
+TEST(PtlParserTest, Atoms) {
+  EXPECT_EQ(MustParse("true")->kind, Formula::Kind::kTrue);
+  EXPECT_EQ(MustParse("false")->kind, Formula::Kind::kFalse);
+  FormulaPtr f = MustParse("price('IBM') > 50");
+  ASSERT_EQ(f->kind, Formula::Kind::kCompare);
+  EXPECT_EQ(f->cmp_op, CmpOp::kGt);
+  EXPECT_EQ(f->lhs_term->kind, Term::Kind::kQuery);
+  EXPECT_EQ(f->lhs_term->name, "price");
+  ASSERT_EQ(f->lhs_term->operands.size(), 1u);
+  EXPECT_EQ(f->lhs_term->operands[0]->constant, Value::Str("IBM"));
+}
+
+TEST(PtlParserTest, EventAtoms) {
+  FormulaPtr f = MustParse("@commit(42)");
+  ASSERT_EQ(f->kind, Formula::Kind::kEvent);
+  EXPECT_EQ(f->event_name, "commit");
+  ASSERT_EQ(f->event_args.size(), 1u);
+  // Bare event without parens.
+  f = MustParse("@update_stocks");
+  EXPECT_EQ(f->kind, Formula::Kind::kEvent);
+  EXPECT_TRUE(f->event_args.empty());
+}
+
+TEST(PtlParserTest, PrecedenceOrAndSince) {
+  // a OR b AND c  ==  a OR (b AND c); SINCE binds tighter than AND.
+  FormulaPtr f = MustParse("@a OR @b AND @c SINCE @d");
+  ASSERT_EQ(f->kind, Formula::Kind::kOr);
+  EXPECT_EQ(f->right->kind, Formula::Kind::kAnd);
+  EXPECT_EQ(f->right->right->kind, Formula::Kind::kSince);
+}
+
+TEST(PtlParserTest, SinceLeftAssociative) {
+  FormulaPtr f = MustParse("@a SINCE @b SINCE @c");
+  ASSERT_EQ(f->kind, Formula::Kind::kSince);
+  EXPECT_EQ(f->left->kind, Formula::Kind::kSince);
+  EXPECT_EQ(f->right->event_name, "c");
+}
+
+TEST(PtlParserTest, UnaryTemporalOperators) {
+  EXPECT_EQ(MustParse("PREVIOUSLY @a")->kind, Formula::Kind::kPreviously);
+  EXPECT_EQ(MustParse("LASTTIME @a")->kind, Formula::Kind::kLasttime);
+  EXPECT_EQ(MustParse("THROUGHOUT_PAST @a")->kind,
+            Formula::Kind::kThroughoutPast);
+  EXPECT_EQ(MustParse("NOT NOT @a")->left->kind, Formula::Kind::kNot);
+}
+
+TEST(PtlParserTest, PaperSharpIncreaseFormula) {
+  // The running example of §5: IBM doubled within 10 time units.
+  FormulaPtr f = MustParse(
+      "[t := time][x := price('IBM')] "
+      "PREVIOUSLY (price('IBM') <= 0.5 * x AND time <= t - 10)");
+  ASSERT_EQ(f->kind, Formula::Kind::kBind);
+  EXPECT_EQ(f->var, "t");
+  EXPECT_EQ(f->bind_term->kind, Term::Kind::kTime);
+  ASSERT_EQ(f->left->kind, Formula::Kind::kBind);
+  EXPECT_EQ(f->left->var, "x");
+  EXPECT_EQ(f->left->left->kind, Formula::Kind::kPreviously);
+}
+
+TEST(PtlParserTest, PaperLoginCondition) {
+  // §4.3's login example: price stays high since X logged in.
+  FormulaPtr f = MustParse(
+      "price('IBM') > 50 AND (NOT @logout('X') SINCE @login('X'))");
+  ASSERT_EQ(f->kind, Formula::Kind::kAnd);
+  EXPECT_EQ(f->right->kind, Formula::Kind::kSince);
+  EXPECT_EQ(f->right->left->kind, Formula::Kind::kNot);
+}
+
+TEST(PtlParserTest, TemporalAggregate) {
+  FormulaPtr f = MustParse(
+      "avg(price('IBM'); time = 540; @update_stocks) > 70 SINCE time = 540");
+  ASSERT_EQ(f->kind, Formula::Kind::kSince);
+  const TermPtr& lhs = f->left->lhs_term;
+  ASSERT_EQ(lhs->kind, Term::Kind::kAgg);
+  EXPECT_EQ(lhs->agg_fn, TemporalAggFn::kAvg);
+  EXPECT_EQ(lhs->agg_query->name, "price");
+  EXPECT_EQ(lhs->agg_start->kind, Formula::Kind::kCompare);
+  EXPECT_EQ(lhs->agg_sample->kind, Formula::Kind::kEvent);
+}
+
+TEST(PtlParserTest, WindowAggregate) {
+  // The intro's moving average: 20-minute window above 50.
+  FormulaPtr f = MustParse("wavg(price('IBM'), 20) > 50");
+  const TermPtr& lhs = f->lhs_term;
+  ASSERT_EQ(lhs->kind, Term::Kind::kWindowAgg);
+  EXPECT_EQ(lhs->agg_fn, TemporalAggFn::kAvg);
+  EXPECT_EQ(lhs->window_width, 20);
+}
+
+TEST(PtlParserTest, WithinAndHeldForSugar) {
+  FormulaPtr f = MustParse("WITHIN(@a, 10)");
+  // Desugars to [t := time] PREVIOUSLY (@a AND time >= t - 10).
+  ASSERT_EQ(f->kind, Formula::Kind::kBind);
+  EXPECT_EQ(f->bind_term->kind, Term::Kind::kTime);
+  EXPECT_EQ(f->left->kind, Formula::Kind::kPreviously);
+  f = MustParse("HELDFOR(price('IBM') > 0, 7)");
+  ASSERT_EQ(f->kind, Formula::Kind::kBind);
+  EXPECT_EQ(f->left->kind, Formula::Kind::kThroughoutPast);
+}
+
+TEST(PtlParserTest, ParenthesizedTermVsFormula) {
+  // Term parens inside a comparison.
+  FormulaPtr f = MustParse("(price('IBM') + 1) * 2 >= 10");
+  EXPECT_EQ(f->kind, Formula::Kind::kCompare);
+  // Formula parens.
+  f = MustParse("(@a OR @b) AND @c");
+  EXPECT_EQ(f->kind, Formula::Kind::kAnd);
+  EXPECT_EQ(f->left->kind, Formula::Kind::kOr);
+}
+
+TEST(PtlParserTest, DollarParamsParseAsVariables) {
+  FormulaPtr f = MustParse("price($sym) > $limit");
+  EXPECT_EQ(f->lhs_term->operands[0]->kind, Term::Kind::kVar);
+  EXPECT_EQ(f->lhs_term->operands[0]->name, "sym");
+  EXPECT_EQ(f->rhs_term->name, "limit");
+}
+
+TEST(PtlParserTest, Errors) {
+  EXPECT_FALSE(ParseFormula("").ok());
+  EXPECT_FALSE(ParseFormula("price('IBM' > 3").ok());
+  EXPECT_FALSE(ParseFormula("@").ok());
+  EXPECT_FALSE(ParseFormula("[x = time] @a").ok());       // needs :=
+  EXPECT_FALSE(ParseFormula("[since := time] @a").ok());  // reserved word
+  EXPECT_FALSE(ParseFormula("x > 1 trailing").ok());
+  EXPECT_FALSE(ParseFormula("sum(price('IBM'); true)").ok());  // missing part
+  EXPECT_FALSE(ParseFormula("wavg(price('IBM'), 0.5)").ok());  // int width
+  EXPECT_FALSE(ParseFormula("time > 'abc").ok());  // unterminated string
+}
+
+TEST(PtlParserTest, RoundTripThroughToString) {
+  // ToString output re-parses to the same printed form (fixpoint).
+  const char* cases[] = {
+      "[t := time] PREVIOUSLY (price('IBM') <= 0.5 * t)",
+      "@a SINCE (@b AND NOT @c)",
+      "count(price('IBM'); time = 0; true) >= 3",
+      "LASTTIME (time % 60 = 0)",
+  };
+  for (const char* text : cases) {
+    FormulaPtr f1 = MustParse(text);
+    ASSERT_NE(f1, nullptr);
+    auto f2 = ParseFormula(f1->ToString());
+    ASSERT_TRUE(f2.ok()) << "re-parse failed for " << f1->ToString();
+    EXPECT_EQ(f1->ToString(), (*f2)->ToString());
+  }
+}
+
+TEST(PtlParserTest, FormulaSizeCountsNodes) {
+  FormulaPtr f = MustParse("@a AND @b");
+  EXPECT_EQ(FormulaSize(f), 3u);
+  f = MustParse("price('IBM') > 50");
+  EXPECT_EQ(FormulaSize(f), 4u);  // compare + query + query arg + const 50
+}
+
+TEST(PtlTermParserTest, BareTerms) {
+  ASSERT_OK_AND_ASSIGN(TermPtr t, ParseTerm("1 + 2 * x"));
+  EXPECT_EQ(t->ToString(), "(1 + (2 * x))");
+  ASSERT_OK_AND_ASSIGN(t, ParseTerm("-price('IBM')"));
+  EXPECT_EQ(t->kind, Term::Kind::kArith);
+  EXPECT_EQ(t->arith_op, ArithOp::kNeg);
+  EXPECT_FALSE(ParseTerm("1 +").ok());
+}
+
+}  // namespace
+}  // namespace ptldb::ptl

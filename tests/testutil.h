@@ -1,0 +1,82 @@
+// Shared helpers for ptldb tests.
+
+#ifndef PTLDB_TESTS_TESTUTIL_H_
+#define PTLDB_TESTS_TESTUTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "event/event.h"
+#include "ptl/snapshot.h"
+
+// Copies the status: `expr` may be `Result<T>(...).status()`, whose referent
+// dies at the end of the full expression.
+#define ASSERT_OK(expr)                                \
+  do {                                                 \
+    const ::ptldb::Status _s = (expr);                 \
+    ASSERT_TRUE(_s.ok()) << _s.ToString();             \
+  } while (0)
+
+#define EXPECT_OK(expr)                                \
+  do {                                                 \
+    const ::ptldb::Status _s = (expr);                 \
+    EXPECT_TRUE(_s.ok()) << _s.ToString();             \
+  } while (0)
+
+// Unwraps a Result<T> or fails the test.
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                        \
+  ASSERT_OK_AND_ASSIGN_IMPL(PTLDB_CONCAT(_res_, __LINE__), lhs, rexpr)
+#define ASSERT_OK_AND_ASSIGN_IMPL(res, lhs, rexpr)              \
+  auto res = (rexpr);                                           \
+  ASSERT_TRUE(res.ok()) << res.status().ToString();             \
+  lhs = std::move(res).value();
+
+namespace ptldb::testutil {
+
+/// Builds a snapshot with the given timestamp, events, and slot values.
+inline ptl::StateSnapshot Snap(size_t seq, Timestamp time,
+                               std::vector<event::Event> events,
+                               std::vector<Value> slots) {
+  ptl::StateSnapshot s;
+  s.seq = seq;
+  s.time = time;
+  s.events = std::move(events);
+  s.query_values = std::move(slots);
+  return s;
+}
+
+/// Deterministic xorshift RNG so property tests are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi].
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  bool Chance(double p) {
+    return static_cast<double>(Next() % 1000000) < p * 1000000;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace ptldb::testutil
+
+#endif  // PTLDB_TESTS_TESTUTIL_H_

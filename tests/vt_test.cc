@@ -1,0 +1,382 @@
+// Tests for the valid-time model (§9): retroactive updates, tentative vs
+// definite triggers, online vs offline IC satisfaction, and Theorem 2.
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "validtime/vt.h"
+
+namespace ptldb::validtime {
+namespace {
+
+// Commits `item := value` at `valid_time`, with the clock at `now`.
+void CommitUpdate(VtDatabase& db, SimClock& clock, Timestamp now,
+                  const std::string& item, Value value, Timestamp valid_time) {
+  clock.Set(now);
+  auto txn = db.Begin();
+  ASSERT_OK(txn.status());
+  ASSERT_OK(db.Update(*txn, item, std::move(value), valid_time));
+  ASSERT_OK(db.Commit(*txn));
+}
+
+TEST(VtDatabaseTest, MaxDelayEnforced) {
+  SimClock clock(100);
+  VtDatabase db(&clock, /*max_delay=*/10);
+  ASSERT_OK_AND_ASSIGN(int64_t txn, db.Begin());
+  EXPECT_OK(db.Update(txn, "IBM", Value::Int(72), 95));
+  EXPECT_EQ(db.Update(txn, "IBM", Value::Int(72), 85).code(),
+            StatusCode::kOutOfRange);  // older than now - delta
+  EXPECT_EQ(db.Update(txn, "IBM", Value::Int(72), 101).code(),
+            StatusCode::kInvalidArgument);  // future
+}
+
+TEST(VtDatabaseTest, AbortedUpdatesNeverEnterHistory) {
+  SimClock clock(10);
+  VtDatabase db(&clock, 0);
+  ASSERT_OK_AND_ASSIGN(int64_t txn, db.Begin());
+  ASSERT_OK(db.Update(txn, "IBM", Value::Int(72), 5));
+  ASSERT_OK(db.Abort(txn));
+  EXPECT_TRUE(db.current_history().empty());
+  EXPECT_TRUE(db.CommitPoints().empty());
+}
+
+TEST(VtDatabaseTest, RetroactiveUpdateRewritesHistory) {
+  SimClock clock(0);
+  VtDatabase db(&clock, /*max_delay=*/100);
+  CommitUpdate(db, clock, 10, "IBM", Value::Int(50), 10);
+  CommitUpdate(db, clock, 20, "IBM", Value::Int(60), 20);
+  // Retroactive: at time 30 we learn the price was 55 back at time 15.
+  CommitUpdate(db, clock, 30, "IBM", Value::Int(55), 15);
+
+  const VtHistory& h = db.current_history();
+  // States at valid times 10, 15 (retro), 20 and the third commit at 30;
+  // same-instant commits share the update's state (§2: simultaneous events
+  // produce a single new state).
+  std::vector<Timestamp> times;
+  for (const VtState& s : h) times.push_back(s.time);
+  EXPECT_EQ(times, (std::vector<Timestamp>{10, 15, 20, 30}));
+  // Value at the retro state and after.
+  EXPECT_EQ(h[1].values.at("IBM"), Value::Int(55));  // t=15
+  EXPECT_EQ(h[2].values.at("IBM"), Value::Int(60));  // t=20 still 60
+}
+
+TEST(VtDatabaseTest, TentativeTriggerFiresOnRetroactiveCondition) {
+  SimClock clock(0);
+  VtDatabase db(&clock, /*max_delay=*/100);
+  std::vector<Timestamp> firings;
+  // "The price dropped below 40 at some point."
+  ASSERT_OK(db.AddTentativeTrigger("drop", "PREVIOUSLY IBM() < 40",
+                                   [&firings](Timestamp at) {
+                                     firings.push_back(at);
+                                   }));
+  CommitUpdate(db, clock, 10, "IBM", Value::Int(50), 10);
+  CommitUpdate(db, clock, 20, "IBM", Value::Int(60), 20);
+  EXPECT_TRUE(firings.empty());
+  // Retroactively, the price was 30 at time 15: the condition becomes
+  // satisfied at past states; the tentative trigger fires.
+  CommitUpdate(db, clock, 30, "IBM", Value::Int(30), 15);
+  ASSERT_FALSE(firings.empty());
+  EXPECT_EQ(firings.front(), 15);
+}
+
+TEST(VtDatabaseTest, HeldForFiresOnValidTimeNotTransactionTime) {
+  // Focused version: price constant for >= 7 *valid-time* ticks although the
+  // posting transactions were only 3 transaction-time ticks apart.
+  SimClock clock(0);
+  VtDatabase db(&clock, /*max_delay=*/100);
+  std::vector<Timestamp> firings;
+  ASSERT_OK(db.AddTentativeTrigger(
+      "steady", "HELDFOR(IBM() = 50, 7) AND time >= 9",
+      [&firings](Timestamp at) { firings.push_back(at); }));
+  CommitUpdate(db, clock, 2, "IBM", Value::Int(50), 1);
+  // Posted at 4, but valid already at 3 — and nothing changes until the
+  // commit state at t=10 below.
+  CommitUpdate(db, clock, 4, "IBM", Value::Int(50), 3);
+  EXPECT_TRUE(firings.empty());  // only 4 transaction-ticks have passed
+  // A no-op touch at t=10 creates a state where the condition holds over
+  // valid time [3, 10].
+  CommitUpdate(db, clock, 10, "IBM", Value::Int(50), 10);
+  EXPECT_FALSE(firings.empty());
+}
+
+TEST(VtDatabaseTest, DefiniteTriggerDelaysFiring) {
+  SimClock clock(0);
+  VtDatabase db(&clock, /*max_delay=*/10);
+  std::vector<Timestamp> firings;
+  ASSERT_OK(db.AddDefiniteTrigger("spike", "IBM() > 100",
+                                  [&firings](Timestamp at) {
+                                    firings.push_back(at);
+                                  }));
+  CommitUpdate(db, clock, 5, "IBM", Value::Int(150), 5);
+  // The spike at t=5 is tentative until now - delta > 5.
+  EXPECT_TRUE(firings.empty());
+  clock.Set(14);
+  ASSERT_OK(db.AdvanceDefinite());
+  EXPECT_TRUE(firings.empty());  // 14 - 10 = 4 < 5: not definite yet
+  clock.Set(16);
+  ASSERT_OK(db.AdvanceDefinite());
+  ASSERT_EQ(firings.size(), 1u);
+  EXPECT_EQ(firings[0], 5);  // fired for the t=5 state, >= delta later
+}
+
+TEST(VtDatabaseTest, DefiniteTriggerNeverSeesRetractedValues) {
+  SimClock clock(0);
+  VtDatabase db(&clock, /*max_delay=*/10);
+  std::vector<Timestamp> firings;
+  ASSERT_OK(db.AddDefiniteTrigger("spike", "IBM() > 100",
+                                  [&firings](Timestamp at) {
+                                    firings.push_back(at);
+                                  }));
+  CommitUpdate(db, clock, 5, "IBM", Value::Int(150), 5);
+  // Before the spike becomes definite, a retro update corrects it downward
+  // at valid time 6 (within the delay window).
+  CommitUpdate(db, clock, 12, "IBM", Value::Int(90), 6);
+  clock.Set(30);
+  ASSERT_OK(db.AdvanceDefinite());
+  // The spike state at t=5 itself WAS 150 and is definite — it fires; but the
+  // corrected t=6 state (90) does not.
+  ASSERT_EQ(firings.size(), 1u);
+  EXPECT_EQ(firings[0], 5);
+}
+
+TEST(VtDatabaseTest, RequiresDeltaForDefiniteTriggers) {
+  SimClock clock(0);
+  VtDatabase db(&clock, /*max_delay=*/0);
+  EXPECT_FALSE(db.AddDefiniteTrigger("x", "IBM() > 0", nullptr).ok());
+}
+
+// The paper's §9.3 example: u1 by T1, u2 by T2; order u1, u2, commit-T2,
+// commit-T1. The constraint "whenever u2 occurs it is preceded by u1" is
+// offline-satisfied but not online-satisfied.
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  PaperExampleTest() : clock_(0), db_(&clock_, /*max_delay=*/100) {}
+
+  void BuildHistory() {
+    clock_.Set(10);
+    auto t1 = db_.Begin();
+    ASSERT_OK(t1.status());
+    auto t2 = db_.Begin();
+    ASSERT_OK(t2.status());
+    ASSERT_OK(db_.Update(*t1, "u1", Value::Int(1), 1));  // u1 at valid 1
+    ASSERT_OK(db_.Update(*t2, "u2", Value::Int(1), 2));  // u2 at valid 2
+    ASSERT_OK(db_.Commit(*t2));  // commit-T2 first
+    clock_.Set(20);
+    ASSERT_OK(db_.Commit(*t1));  // commit-T1 later
+  }
+
+  // "Whenever update u2 occurs, it is preceded (or accompanied) by u1":
+  // at every state, if u2 ever occurred then u1 occurred no later.
+  static constexpr const char* kConstraint =
+      "NOT PREVIOUSLY (@update('u2') AND "
+      "NOT PREVIOUSLY @update('u1'))";
+
+  SimClock clock_;
+  VtDatabase db_;
+};
+
+TEST_F(PaperExampleTest, OfflineSatisfiedButNotOnline) {
+  BuildHistory();
+  ASSERT_OK_AND_ASSIGN(bool online, db_.OnlineSatisfied(kConstraint));
+  ASSERT_OK_AND_ASSIGN(bool offline, db_.OfflineSatisfied(kConstraint));
+  EXPECT_FALSE(online);   // at commit-T2, u1 (uncommitted) is invisible
+  EXPECT_TRUE(offline);   // in the full history u1 precedes u2
+}
+
+TEST_F(PaperExampleTest, Theorem2OnCollapsedHistory) {
+  BuildHistory();
+  // On the collapsed committed history the two notions coincide. Re-ingest
+  // the collapse (updates at commit time) into a fresh valid-time database
+  // and compare the two checkers.
+  VtHistory collapsed = db_.CollapsedCommittedHistory();
+  SimClock clock2(0);
+  VtDatabase db2(&clock2, /*max_delay=*/0);
+  for (const VtState& s : collapsed) {
+    clock2.Set(s.time);
+    auto txn = db2.Begin();
+    ASSERT_OK(txn.status());
+    for (const auto& [item, value] : s.updates) {
+      ASSERT_OK(db2.Update(*txn, item, value, s.time));
+    }
+    ASSERT_OK(db2.Commit(*txn));
+  }
+  ASSERT_OK_AND_ASSIGN(bool online, db2.OnlineSatisfied(kConstraint));
+  ASSERT_OK_AND_ASSIGN(bool offline, db2.OfflineSatisfied(kConstraint));
+  EXPECT_EQ(online, offline);
+  // And in this particular story both are false: collapsed, u2 (commit-T2)
+  // precedes u1 (commit-T1).
+  EXPECT_FALSE(online);
+}
+
+// Property test for Theorem 2: random logs, random constraints — online and
+// offline satisfaction always coincide on the collapsed committed history.
+TEST(Theorem2PropertyTest, OnlineEqualsOfflineOnCollapsedHistories) {
+  testutil::Rng rng(42);
+  const char* constraints[] = {
+      "NOT PREVIOUSLY (@update('b') AND NOT PREVIOUSLY @update('a'))",
+      "THROUGHOUT_PAST (a() < 8)",
+      "PREVIOUSLY a() > b()",
+      "NOT @update('a') SINCE @update('b') OR NOT PREVIOUSLY @update('b')",
+      "WITHIN(a() >= 5, 12)",
+  };
+  for (int round = 0; round < 25; ++round) {
+    // Build a random interleaved log with retro updates.
+    SimClock clock(0);
+    VtDatabase db(&clock, /*max_delay=*/50);
+    Timestamp now = 10;
+    std::vector<int64_t> open;
+    for (int step = 0; step < 30; ++step) {
+      now += rng.Range(1, 4);
+      clock.Set(now);
+      double dice = static_cast<double>(rng.Below(100)) / 100.0;
+      if (open.empty() || dice < 0.4) {
+        auto txn = db.Begin();
+        ASSERT_OK(txn.status());
+        open.push_back(*txn);
+      } else if (dice < 0.8) {
+        int64_t txn = open[rng.Below(open.size())];
+        std::string item = rng.Chance(0.5) ? "a" : "b";
+        Timestamp valid = now - rng.Range(0, 9);
+        ASSERT_OK(db.Update(txn, item,
+                            Value::Int(rng.Range(0, 10)), valid));
+      } else {
+        size_t pick = rng.Below(open.size());
+        int64_t txn = open[pick];
+        open.erase(open.begin() + static_cast<ptrdiff_t>(pick));
+        if (rng.Chance(0.2)) {
+          ASSERT_OK(db.Abort(txn));
+        } else {
+          ASSERT_OK(db.Commit(txn));
+        }
+      }
+    }
+    // Re-ingest the collapse and check the theorem for every constraint.
+    VtHistory collapsed = db.CollapsedCommittedHistory();
+    SimClock clock2(0);
+    VtDatabase db2(&clock2, 0);
+    for (const VtState& s : collapsed) {
+      clock2.Set(s.time);
+      auto txn = db2.Begin();
+      ASSERT_OK(txn.status());
+      for (const auto& [item, value] : s.updates) {
+        ASSERT_OK(db2.Update(*txn, item, value, s.time));
+      }
+      ASSERT_OK(db2.Commit(*txn));
+    }
+    for (const char* c : constraints) {
+      ASSERT_OK_AND_ASSIGN(bool online, db2.OnlineSatisfied(c));
+      ASSERT_OK_AND_ASSIGN(bool offline, db2.OfflineSatisfied(c));
+      ASSERT_EQ(online, offline)
+          << "constraint: " << c << " round " << round;
+    }
+  }
+}
+
+TEST(VtDatabaseTest, CompactionBoundsMemoryAndPreservesBehaviour) {
+  SimClock clock(0);
+  VtDatabase db(&clock, /*max_delay=*/20);
+  db.SetAutoCompact(/*threshold=*/30);
+  std::vector<Timestamp> firings;
+  ASSERT_OK(db.AddTentativeTrigger("spike", "IBM() > 95",
+                                   [&firings](Timestamp at) {
+                                     firings.push_back(at);
+                                   }));
+  // A long stream of updates; a spike every 50th commit.
+  for (int i = 1; i <= 400; ++i) {
+    Timestamp now = i * 3;
+    int64_t price = (i % 50 == 0) ? 120 : 60;
+    CommitUpdate(db, clock, now, "IBM", Value::Int(price), now - (i % 5));
+  }
+  // Memory is bounded by the delta window, not by the stream length.
+  EXPECT_LE(db.live_states(), 64u);
+  // Every spike was caught exactly once.
+  EXPECT_EQ(firings.size(), 8u);
+  // Values survive compaction: the current history's first state sees the
+  // carried-over base values.
+  const VtHistory& h = db.current_history();
+  ASSERT_FALSE(h.empty());
+  EXPECT_TRUE(h.front().values.count("IBM") > 0);
+}
+
+TEST(VtDatabaseTest, CompactThenRetroUpdateAtBoundaryStillWorks) {
+  SimClock clock(0);
+  VtDatabase db(&clock, /*max_delay=*/10);
+  std::vector<Timestamp> firings;
+  ASSERT_OK(db.AddTentativeTrigger("watch", "PREVIOUSLY IBM() > 95",
+                                   [&firings](Timestamp at) {
+                                     firings.push_back(at);
+                                   }));
+  CommitUpdate(db, clock, 5, "IBM", Value::Int(60), 5);
+  CommitUpdate(db, clock, 30, "IBM", Value::Int(60), 30);
+  ASSERT_OK(db.Compact());  // drops everything before t=20
+  EXPECT_LE(db.live_states(), 2u);
+  // Retro update within the window (>= now - delta = 20): replay works
+  // against the compacted history.
+  CommitUpdate(db, clock, 32, "IBM", Value::Int(120), 25);
+  ASSERT_FALSE(firings.empty());
+  EXPECT_EQ(firings.front(), 25);
+}
+
+TEST(VtDatabaseTest, CompactRequiresDelta) {
+  SimClock clock(100);
+  VtDatabase db(&clock, 0);
+  EXPECT_FALSE(db.Compact().ok());
+}
+
+TEST(VtDatabaseTest, DefiniteTriggerSurvivesCompaction) {
+  SimClock clock(0);
+  VtDatabase db(&clock, /*max_delay=*/10);
+  std::vector<Timestamp> firings;
+  ASSERT_OK(db.AddDefiniteTrigger("spike", "IBM() > 95",
+                                  [&firings](Timestamp at) {
+                                    firings.push_back(at);
+                                  }));
+  CommitUpdate(db, clock, 5, "IBM", Value::Int(120), 5);
+  clock.Set(40);
+  // Compaction forces the definite frontier through the dropped prefix
+  // first, so the firing is not lost.
+  ASSERT_OK(db.Compact());
+  ASSERT_EQ(firings.size(), 1u);
+  EXPECT_EQ(firings[0], 5);
+  // And the frontier is consistent afterwards: no duplicate firing.
+  ASSERT_OK(db.AdvanceDefinite());
+  EXPECT_EQ(firings.size(), 1u);
+}
+
+TEST(VtDatabaseTest, CommittedHistoryAtExcludesLaterCommits) {
+  SimClock clock(0);
+  VtDatabase db(&clock, /*max_delay=*/100);
+  clock.Set(10);
+  auto t1 = db.Begin();
+  ASSERT_OK(t1.status());
+  ASSERT_OK(db.Update(*t1, "x", Value::Int(1), 5));
+  auto t2 = db.Begin();
+  ASSERT_OK(t2.status());
+  ASSERT_OK(db.Update(*t2, "x", Value::Int(2), 6));
+  ASSERT_OK(db.Commit(*t2));  // commits at ~10
+  clock.Set(20);
+  ASSERT_OK(db.Commit(*t1));  // commits at 20
+
+  std::vector<Timestamp> commits = db.CommitPoints();
+  ASSERT_EQ(commits.size(), 2u);
+  VtHistory at_first = db.CommittedHistoryAt(commits[0]);
+  // Only t2's update visible.
+  bool saw_1 = false, saw_2 = false;
+  for (const VtState& s : at_first) {
+    for (const auto& [item, v] : s.updates) {
+      (void)item;
+      saw_1 |= (v == Value::Int(1));
+      saw_2 |= (v == Value::Int(2));
+    }
+  }
+  EXPECT_FALSE(saw_1);
+  EXPECT_TRUE(saw_2);
+  // At infinity both are visible, and the retro one (valid 5) precedes.
+  VtHistory full = db.CommittedHistoryAtInfinity();
+  ASSERT_GE(full.size(), 2u);
+  EXPECT_EQ(full[0].time, 5);
+  EXPECT_EQ(full[1].time, 6);
+}
+
+}  // namespace
+}  // namespace ptldb::validtime
