@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_automaton_blowup.dir/bench_automaton_blowup.cc.o"
+  "CMakeFiles/bench_automaton_blowup.dir/bench_automaton_blowup.cc.o.d"
+  "bench_automaton_blowup"
+  "bench_automaton_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_automaton_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_automaton_blowup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounded_state.dir/bench_bounded_state.cc.o"
+  "CMakeFiles/bench_bounded_state.dir/bench_bounded_state.cc.o.d"
+  "bench_bounded_state"
+  "bench_bounded_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounded_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_formula_size.dir/bench_formula_size.cc.o"
+  "CMakeFiles/bench_formula_size.dir/bench_formula_size.cc.o.d"
+  "bench_formula_size"
+  "bench_formula_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_formula_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ic_overhead.dir/bench_ic_overhead.cc.o"
+  "CMakeFiles/bench_ic_overhead.dir/bench_ic_overhead.cc.o.d"
+  "bench_ic_overhead"
+  "bench_ic_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ic_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rule_scaling.dir/bench_rule_scaling.cc.o"
+  "CMakeFiles/bench_rule_scaling.dir/bench_rule_scaling.cc.o.d"
+  "bench_rule_scaling"
+  "bench_rule_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validtime.dir/bench_validtime.cc.o"
+  "CMakeFiles/bench_validtime.dir/bench_validtime.cc.o.d"
+  "bench_validtime"
+  "bench_validtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_actions.dir/composite_actions.cpp.o"
+  "CMakeFiles/composite_actions.dir/composite_actions.cpp.o.d"
+  "composite_actions"
+  "composite_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/login_audit.dir/login_audit.cpp.o"
+  "CMakeFiles/login_audit.dir/login_audit.cpp.o.d"
+  "login_audit"
+  "login_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/login_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

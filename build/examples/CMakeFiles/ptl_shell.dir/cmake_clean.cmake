@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptl_shell.dir/ptl_shell.cpp.o"
+  "CMakeFiles/ptl_shell.dir/ptl_shell.cpp.o.d"
+  "ptl_shell"
+  "ptl_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptl_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

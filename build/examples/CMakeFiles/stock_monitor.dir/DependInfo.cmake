@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/stock_monitor.cpp" "examples/CMakeFiles/stock_monitor.dir/stock_monitor.cpp.o" "gcc" "examples/CMakeFiles/stock_monitor.dir/stock_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/ptldb_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/validtime/CMakeFiles/ptldb_validtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ptldb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ptldb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptl/CMakeFiles/ptldb_ptl.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/ptldb_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ptldb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/ptldb_agg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valid_time_trading.dir/valid_time_trading.cpp.o"
+  "CMakeFiles/valid_time_trading.dir/valid_time_trading.cpp.o.d"
+  "valid_time_trading"
+  "valid_time_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valid_time_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for valid_time_trading.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for valid_time_trading.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptldb_agg.dir/rewriter.cc.o"
+  "CMakeFiles/ptldb_agg.dir/rewriter.cc.o.d"
+  "libptldb_agg.a"
+  "libptldb_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptldb_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

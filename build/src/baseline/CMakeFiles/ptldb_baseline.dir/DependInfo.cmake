@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/automaton.cc" "src/baseline/CMakeFiles/ptldb_baseline.dir/automaton.cc.o" "gcc" "src/baseline/CMakeFiles/ptldb_baseline.dir/automaton.cc.o.d"
+  "/root/repo/src/baseline/event_regex.cc" "src/baseline/CMakeFiles/ptldb_baseline.dir/event_regex.cc.o" "gcc" "src/baseline/CMakeFiles/ptldb_baseline.dir/event_regex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptldb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/ptldb_event.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

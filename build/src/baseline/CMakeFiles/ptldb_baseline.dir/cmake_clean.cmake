@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptldb_baseline.dir/automaton.cc.o"
+  "CMakeFiles/ptldb_baseline.dir/automaton.cc.o.d"
+  "CMakeFiles/ptldb_baseline.dir/event_regex.cc.o"
+  "CMakeFiles/ptldb_baseline.dir/event_regex.cc.o.d"
+  "libptldb_baseline.a"
+  "libptldb_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptldb_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptldb_common.dir/clock.cc.o"
+  "CMakeFiles/ptldb_common.dir/clock.cc.o.d"
+  "CMakeFiles/ptldb_common.dir/status.cc.o"
+  "CMakeFiles/ptldb_common.dir/status.cc.o.d"
+  "CMakeFiles/ptldb_common.dir/strings.cc.o"
+  "CMakeFiles/ptldb_common.dir/strings.cc.o.d"
+  "CMakeFiles/ptldb_common.dir/value.cc.o"
+  "CMakeFiles/ptldb_common.dir/value.cc.o.d"
+  "libptldb_common.a"
+  "libptldb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptldb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/catalog.cc" "src/db/CMakeFiles/ptldb_db.dir/catalog.cc.o" "gcc" "src/db/CMakeFiles/ptldb_db.dir/catalog.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/ptldb_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/ptldb_db.dir/database.cc.o.d"
+  "/root/repo/src/db/expr.cc" "src/db/CMakeFiles/ptldb_db.dir/expr.cc.o" "gcc" "src/db/CMakeFiles/ptldb_db.dir/expr.cc.o.d"
+  "/root/repo/src/db/query.cc" "src/db/CMakeFiles/ptldb_db.dir/query.cc.o" "gcc" "src/db/CMakeFiles/ptldb_db.dir/query.cc.o.d"
+  "/root/repo/src/db/relation.cc" "src/db/CMakeFiles/ptldb_db.dir/relation.cc.o" "gcc" "src/db/CMakeFiles/ptldb_db.dir/relation.cc.o.d"
+  "/root/repo/src/db/schema.cc" "src/db/CMakeFiles/ptldb_db.dir/schema.cc.o" "gcc" "src/db/CMakeFiles/ptldb_db.dir/schema.cc.o.d"
+  "/root/repo/src/db/sql_parser.cc" "src/db/CMakeFiles/ptldb_db.dir/sql_parser.cc.o" "gcc" "src/db/CMakeFiles/ptldb_db.dir/sql_parser.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/db/CMakeFiles/ptldb_db.dir/table.cc.o" "gcc" "src/db/CMakeFiles/ptldb_db.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptldb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/ptldb_event.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

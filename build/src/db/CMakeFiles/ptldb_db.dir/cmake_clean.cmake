@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptldb_db.dir/catalog.cc.o"
+  "CMakeFiles/ptldb_db.dir/catalog.cc.o.d"
+  "CMakeFiles/ptldb_db.dir/database.cc.o"
+  "CMakeFiles/ptldb_db.dir/database.cc.o.d"
+  "CMakeFiles/ptldb_db.dir/expr.cc.o"
+  "CMakeFiles/ptldb_db.dir/expr.cc.o.d"
+  "CMakeFiles/ptldb_db.dir/query.cc.o"
+  "CMakeFiles/ptldb_db.dir/query.cc.o.d"
+  "CMakeFiles/ptldb_db.dir/relation.cc.o"
+  "CMakeFiles/ptldb_db.dir/relation.cc.o.d"
+  "CMakeFiles/ptldb_db.dir/schema.cc.o"
+  "CMakeFiles/ptldb_db.dir/schema.cc.o.d"
+  "CMakeFiles/ptldb_db.dir/sql_parser.cc.o"
+  "CMakeFiles/ptldb_db.dir/sql_parser.cc.o.d"
+  "CMakeFiles/ptldb_db.dir/table.cc.o"
+  "CMakeFiles/ptldb_db.dir/table.cc.o.d"
+  "libptldb_db.a"
+  "libptldb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptldb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

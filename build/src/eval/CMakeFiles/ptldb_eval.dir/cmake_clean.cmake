@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptldb_eval.dir/aux_store.cc.o"
+  "CMakeFiles/ptldb_eval.dir/aux_store.cc.o.d"
+  "CMakeFiles/ptldb_eval.dir/graph.cc.o"
+  "CMakeFiles/ptldb_eval.dir/graph.cc.o.d"
+  "CMakeFiles/ptldb_eval.dir/incremental.cc.o"
+  "CMakeFiles/ptldb_eval.dir/incremental.cc.o.d"
+  "libptldb_eval.a"
+  "libptldb_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptldb_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptldb_event.dir/event.cc.o"
+  "CMakeFiles/ptldb_event.dir/event.cc.o.d"
+  "libptldb_event.a"
+  "libptldb_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptldb_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

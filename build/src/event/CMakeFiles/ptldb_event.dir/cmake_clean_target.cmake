@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libptldb_event.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptl/analyzer.cc" "src/ptl/CMakeFiles/ptldb_ptl.dir/analyzer.cc.o" "gcc" "src/ptl/CMakeFiles/ptldb_ptl.dir/analyzer.cc.o.d"
+  "/root/repo/src/ptl/ast.cc" "src/ptl/CMakeFiles/ptldb_ptl.dir/ast.cc.o" "gcc" "src/ptl/CMakeFiles/ptldb_ptl.dir/ast.cc.o.d"
+  "/root/repo/src/ptl/naive_eval.cc" "src/ptl/CMakeFiles/ptldb_ptl.dir/naive_eval.cc.o" "gcc" "src/ptl/CMakeFiles/ptldb_ptl.dir/naive_eval.cc.o.d"
+  "/root/repo/src/ptl/parser.cc" "src/ptl/CMakeFiles/ptldb_ptl.dir/parser.cc.o" "gcc" "src/ptl/CMakeFiles/ptldb_ptl.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptldb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/ptldb_event.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

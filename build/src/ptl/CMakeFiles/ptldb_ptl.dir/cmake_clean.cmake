@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptldb_ptl.dir/analyzer.cc.o"
+  "CMakeFiles/ptldb_ptl.dir/analyzer.cc.o.d"
+  "CMakeFiles/ptldb_ptl.dir/ast.cc.o"
+  "CMakeFiles/ptldb_ptl.dir/ast.cc.o.d"
+  "CMakeFiles/ptldb_ptl.dir/naive_eval.cc.o"
+  "CMakeFiles/ptldb_ptl.dir/naive_eval.cc.o.d"
+  "CMakeFiles/ptldb_ptl.dir/parser.cc.o"
+  "CMakeFiles/ptldb_ptl.dir/parser.cc.o.d"
+  "libptldb_ptl.a"
+  "libptldb_ptl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptldb_ptl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptldb_rules.dir/engine.cc.o"
+  "CMakeFiles/ptldb_rules.dir/engine.cc.o.d"
+  "CMakeFiles/ptldb_rules.dir/query_registry.cc.o"
+  "CMakeFiles/ptldb_rules.dir/query_registry.cc.o.d"
+  "libptldb_rules.a"
+  "libptldb_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptldb_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

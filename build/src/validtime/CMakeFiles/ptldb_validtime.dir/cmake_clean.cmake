@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptldb_validtime.dir/vt.cc.o"
+  "CMakeFiles/ptldb_validtime.dir/vt.cc.o.d"
+  "libptldb_validtime.a"
+  "libptldb_validtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptldb_validtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

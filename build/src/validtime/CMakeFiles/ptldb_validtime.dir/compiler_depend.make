@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ptldb_validtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptl_parser_test.dir/ptl_parser_test.cc.o"
+  "CMakeFiles/ptl_parser_test.dir/ptl_parser_test.cc.o.d"
+  "ptl_parser_test"
+  "ptl_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
