@@ -7,7 +7,18 @@
 // filter on/off. With the filter, cost per event is ~O(1) in R for the
 // evaluation phase; without it every rule is stepped on every state.
 
+// Invoked with `--threads [list]` the binary instead runs the sharded
+// evaluation sweep (E10): one rule family instantiated over N parameter
+// tuples, stepped on every state, at each requested pool size. Output is a
+// single JSON document with events/sec per thread count, for plotting the
+// parallel speedup and asserting it is monotone 1 -> 4 threads.
+
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
 
 #include "common/clock.h"
 #include "db/database.h"
@@ -77,7 +88,120 @@ BENCHMARK(BM_RuleScaling_Unfiltered)
     ->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 
+// ---- Sharded evaluation sweep (--threads) -----------------------------------
+
+// One timed run: a rule family with `instances` per-parameter evaluators, all
+// relevant to every state, processed by a pool of the given size. Returns
+// events per second.
+double SweepRun(size_t threads, size_t instances, size_t events) {
+  SimClock clock(0);
+  db::Database database(&clock);
+  rules::RuleEngine engine(&database);
+  if (!engine.SetThreads(threads).ok()) std::abort();
+
+  if (!database
+           .CreateTable("dom", db::Schema({{"p", ValueType::kInt64}}))
+           .ok()) {
+    std::abort();
+  }
+  for (size_t i = 0; i < instances; ++i) {
+    if (!database.InsertRow("dom", {Value::Int(static_cast<int64_t>(i))})
+             .ok()) {
+      std::abort();
+    }
+  }
+  if (!engine.queries().Register("total", "SELECT SUM(p) FROM dom", {}).ok()) {
+    std::abort();
+  }
+  // A WITHIN-shaped condition: each step does real symbolic work (binder
+  // substitution, time-bound pruning) in every instance's private graph.
+  Status s = engine.AddTriggerFamily(
+      "fam", "SELECT p FROM dom", {"p"},
+      "[t := time] PREVIOUSLY (total() >= 2 * $p AND time >= t - 8)",
+      [](rules::ActionContext&) -> Status { return Status::OK(); },
+      rules::RuleOptions{.record_execution = false});
+  if (!s.ok()) std::abort();
+
+  // Instantiate the family (and warm caches) before the timer starts.
+  clock.Advance(1);
+  if (!database.RaiseEvent(event::Event{"tick", {}}).ok()) std::abort();
+  (void)engine.TakeFirings();
+
+  auto start = std::chrono::steady_clock::now();
+  for (size_t e = 0; e < events; ++e) {
+    clock.Advance(1);
+    if (!database.RaiseEvent(event::Event{"tick", {}}).ok()) std::abort();
+    (void)engine.TakeFirings();
+  }
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (!engine.TakeErrors().empty()) std::abort();
+  return static_cast<double>(events) / elapsed.count();
+}
+
+int RunThreadSweep(const std::vector<size_t>& thread_counts, size_t instances,
+                   size_t events) {
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"sharded_rule_evaluation\",\n");
+  std::printf("  \"instances\": %zu,\n", instances);
+  std::printf("  \"events\": %zu,\n", events);
+  // Speedup is bounded by physical parallelism: on a 1-CPU host every
+  // thread count collapses to serial throughput minus dispatch overhead.
+  std::printf("  \"cpus_available\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"results\": [\n");
+  double base = 0;
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    size_t threads = thread_counts[i];
+    double rate = SweepRun(threads, instances, events);
+    if (i == 0) base = rate;
+    std::printf(
+        "    {\"threads\": %zu, \"events_per_sec\": %.1f, "
+        "\"speedup\": %.3f}%s\n",
+        threads, rate, base > 0 ? rate / base : 0.0,
+        i + 1 < thread_counts.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace ptldb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--threads [a,b,c]` selects the JSON sweep; everything else is standard
+  // Google Benchmark.
+  std::vector<size_t> thread_counts;
+  size_t instances = 1024, events = 64;
+  bool sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    auto int_arg = [&](const char* flag, int* idx) -> long {
+      if (std::strcmp(argv[*idx], flag) == 0 && *idx + 1 < argc) {
+        return std::atol(argv[++*idx]);
+      }
+      return -1;
+    };
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      sweep = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        for (char* tok = std::strtok(argv[++i], ","); tok != nullptr;
+             tok = std::strtok(nullptr, ",")) {
+          thread_counts.push_back(static_cast<size_t>(std::atol(tok)));
+        }
+      }
+    } else if (long v = int_arg("--instances", &i); v >= 0) {
+      instances = static_cast<size_t>(v);
+    } else if (long v = int_arg("--events", &i); v >= 0) {
+      events = static_cast<size_t>(v);
+    }
+  }
+  if (sweep) {
+    if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
+    return ptldb::RunThreadSweep(thread_counts, instances, events);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

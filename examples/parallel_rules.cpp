@@ -1,0 +1,83 @@
+// Sharded rule evaluation: many family instances, any thread count, one
+// deterministic firing order.
+//
+// A rule family instantiated over a 64-row domain gives the engine 64
+// independent evaluators per state. RuleEngine::SetThreads(n) fans their
+// stepping out over a pool of n threads; because fired results are merged
+// back in canonical (registration, instance) order, the observable firing
+// log is byte-identical at every thread count. This program runs the same
+// workload at 1 and 4 threads and diffs the logs to prove it.
+//
+// Run: ./build/examples/parallel_rules
+
+#include <cstdio>
+#include <string>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "db/database.h"
+#include "rules/engine.h"
+
+using namespace ptldb;
+
+namespace {
+
+// The whole scenario as a function of the thread count: returns the firing
+// log so runs can be compared.
+std::string Run(size_t threads) {
+  SimClock clock(0);
+  db::Database database(&clock);
+  rules::RuleEngine engine(&database);
+  PTLDB_CHECK_OK(engine.SetThreads(threads));
+
+  // A sensor per domain row; each family instance watches one threshold.
+  PTLDB_CHECK_OK(database.CreateTable(
+      "sensors", db::Schema({{"id", ValueType::kInt64}})));
+  for (int i = 0; i < 64; ++i) {
+    PTLDB_CHECK_OK(database.InsertRow("sensors", {Value::Int(i)}));
+  }
+  PTLDB_CHECK_OK(database.CreateTable(
+      "reading", db::Schema({{"v", ValueType::kInt64}})));
+  PTLDB_CHECK_OK(database.InsertRow("reading", {Value::Int(0)}));
+  PTLDB_CHECK_OK(
+      engine.queries().Register("level", "SELECT v FROM reading", {}));
+
+  std::string log;
+  // Instance `id` fires when the level first reached its personal threshold
+  // within the last 5 ticks.
+  PTLDB_CHECK_OK(engine.AddTriggerFamily(
+      "threshold", "SELECT id FROM sensors", {"id"},
+      "[t := time] PREVIOUSLY (level() >= 3 * $id AND time >= t - 5)",
+      [&log](rules::ActionContext& ctx) -> Status {
+        log += StrCat("t=", ctx.fired_at(), " threshold[id=",
+                      ctx.param("id").ToString(), "]\n");
+        return Status::OK();
+      },
+      rules::RuleOptions{.record_execution = false}));
+
+  // A rising-then-falling level sweeps across the thresholds.
+  for (int step = 1; step <= 24; ++step) {
+    clock.Advance(1);
+    int64_t level = step <= 12 ? step * 16 : (24 - step) * 16;
+    db::ParamMap params{{"v", Value::Int(level)}};
+    PTLDB_CHECK(
+        database.UpdateRows("reading", {{"v", "$v"}}, "v >= 0", &params).ok());
+  }
+  for (const Status& e : engine.TakeErrors()) {
+    log += StrCat("error ", e.ToString(), "\n");
+  }
+  return log;
+}
+
+}  // namespace
+
+int main() {
+  std::string serial = Run(1);
+  std::string sharded = Run(4);
+  std::printf("%s", serial.c_str());
+  std::printf("serial (1 thread) vs sharded (4 threads): %s\n",
+              serial == sharded ? "identical firing logs"
+                                : "LOGS DIVERGED (bug!)");
+  return serial == sharded ? 0 : 1;
+}

@@ -141,6 +141,7 @@ class Shell {
           "  drop <rule>\n"
           "  event <name> [literal...]\n"
           "  tick [n]         advance the clock\n"
+          "  set threads <n>  shard rule evaluation over n threads\n"
           "  describe <rule> | rules | stats | history | help | quit\n");
       return true;
     }
@@ -162,6 +163,19 @@ class Shell {
       clock_.Advance(n);
       // A clock tick is itself an event: time-based conditions advance.
       Report(database_.RaiseEvent(event::Event{"tick", {}}));
+      return true;
+    }
+    if (cmd == "set") {
+      auto [what, value] = Split(rest);
+      if (what == "threads" && !value.empty()) {
+        long n = std::atol(value.c_str());
+        Report(engine_.SetThreads(n <= 0 ? 1 : static_cast<size_t>(n)));
+        std::printf("threads = %zu (firing order is identical at any "
+                    "thread count)\n",
+                    engine_.threads());
+      } else {
+        std::printf("usage: set threads <n>\n");
+      }
       return true;
     }
     if (cmd == "describe") return CmdDescribe(rest);

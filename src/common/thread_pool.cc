@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+namespace ptldb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t workers = num_threads <= 1 ? 0 : num_threads - 1;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    remaining_.store(n, std::memory_order_relaxed);
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+  RunTasks();  // the caller is a shard worker too
+  // Wait for every index to have executed AND for every worker to have left
+  // RunTasks: a worker that merely finished claiming may still be about to
+  // read n_/body_, and the next ParallelFor will overwrite them.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return remaining_.load(std::memory_order_acquire) == 0 && in_flight_ == 0;
+  });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_job = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || job_id_ != seen_job; });
+    if (stop_) return;
+    seen_job = job_id_;
+    // A worker that wakes after the job already completed (the caller and the
+    // other workers drained it) must not enter RunTasks: the caller may have
+    // returned, and the next job's setup would race with our reads.
+    if (remaining_.load(std::memory_order_relaxed) == 0) continue;
+    ++in_flight_;
+    lock.unlock();
+    RunTasks();
+    lock.lock();
+    if (--in_flight_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunTasks() {
+  while (true) {
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    (*body_)(i);
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace ptldb

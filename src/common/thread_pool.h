@@ -1,0 +1,72 @@
+// A fixed-size thread pool exposing one primitive: a blocking ParallelFor.
+//
+// The pool exists for the rule engine's sharded evaluation (§8 batched
+// invocation parallelized across evaluator shards). Design constraints:
+//
+//   * The caller participates: ParallelFor(n, body) runs body(0..n-1) across
+//     the worker threads *and* the calling thread, and returns only when all
+//     indices have completed. A pool of size 1 therefore degenerates to a
+//     plain serial loop with no cross-thread traffic at all.
+//   * Indices are claimed from a shared atomic counter (work stealing at the
+//     granularity of one index), so uneven shard costs balance automatically.
+//   * No nesting: ParallelFor must not be called from inside a body. The rule
+//     engine guarantees this — actions (which may re-enter the engine) run
+//     strictly after the parallel region has completed.
+//   * body must not throw. Errors are returned as data (Status captured into
+//     per-index slots) and merged by the caller in canonical order, which is
+//     how the engine keeps error *reporting* deterministic too.
+
+#ifndef PTLDB_COMMON_THREAD_POOL_H_
+#define PTLDB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ptldb {
+
+class ThreadPool {
+ public:
+  /// `num_threads` is the total parallelism including the calling thread, so
+  /// the pool spawns num_threads - 1 workers. num_threads == 0 is treated
+  /// as 1 (fully serial, no workers).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs body(i) for every i in [0, n), distributing indices over the
+  /// workers and the calling thread; blocks until all n calls returned.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+  void RunTasks();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  uint64_t job_id_ = 0;  // bumped per ParallelFor; workers wait on it
+
+  // Current job; written under mu_ before the job is announced.
+  const std::function<void(size_t)>* body_ = nullptr;
+  size_t n_ = 0;
+  size_t in_flight_ = 0;  // workers currently inside RunTasks; guarded by mu_
+  std::atomic<size_t> next_{0};
+  std::atomic<size_t> remaining_{0};
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_THREAD_POOL_H_

@@ -98,10 +98,16 @@ Status RuleEngine::AddTriggerFormula(const std::string& name,
 Status RuleEngine::AddIntegrityConstraint(const std::string& name,
                                           std::string_view constraint) {
   PTLDB_ASSIGN_OR_RETURN(ptl::FormulaPtr c, ptl::ParseFormula(constraint));
+  return AddIntegrityConstraintFormula(name, std::move(c));
+}
+
+Status RuleEngine::AddIntegrityConstraintFormula(const std::string& name,
+                                                 ptl::FormulaPtr constraint) {
   // The rule's condition is the *negation* of the constraint; its action is
   // abort(X), realized by the commit-attempt veto.
-  return AddRuleInternal(name, ptl::Not(std::move(c)), nullptr, RuleOptions{},
-                         /*is_ic=*/true, /*is_family=*/false, "", {});
+  return AddRuleInternal(name, ptl::Not(std::move(constraint)), nullptr,
+                         RuleOptions{}, /*is_ic=*/true, /*is_family=*/false,
+                         "", {});
 }
 
 Status RuleEngine::AddTriggerFamily(const std::string& name,
@@ -109,11 +115,21 @@ Status RuleEngine::AddTriggerFamily(const std::string& name,
                                     std::vector<std::string> param_names,
                                     std::string_view condition, ActionFn action,
                                     RuleOptions options) {
+  PTLDB_ASSIGN_OR_RETURN(ptl::FormulaPtr f, ptl::ParseFormula(condition));
+  return AddTriggerFamilyFormula(name, domain_sql, std::move(param_names),
+                                 std::move(f), std::move(action), options);
+}
+
+Status RuleEngine::AddTriggerFamilyFormula(const std::string& name,
+                                           std::string_view domain_sql,
+                                           std::vector<std::string> param_names,
+                                           ptl::FormulaPtr condition,
+                                           ActionFn action,
+                                           RuleOptions options) {
   if (param_names.empty()) {
     return Status::InvalidArgument("rule family needs at least one parameter");
   }
-  PTLDB_ASSIGN_OR_RETURN(ptl::FormulaPtr f, ptl::ParseFormula(condition));
-  return AddRuleInternal(name, std::move(f), std::move(action), options,
+  return AddRuleInternal(name, std::move(condition), std::move(action), options,
                          /*is_ic=*/false, /*is_family=*/true, domain_sql,
                          std::move(param_names));
 }
@@ -349,7 +365,8 @@ Status RuleEngine::RefreshFamily(Rule* rule) {
 }
 
 Result<ptl::StateSnapshot> RuleEngine::BuildSnapshot(
-    const Instance& instance, const event::SystemState& state) {
+    const Instance& instance, const event::SystemState& state,
+    QueryMemo* memo) {
   ptl::StateSnapshot snapshot;
   snapshot.seq = state.seq;
   snapshot.time = state.time;
@@ -357,8 +374,16 @@ Result<ptl::StateSnapshot> RuleEngine::BuildSnapshot(
   const ptl::Analysis& analysis = instance.ev.analysis();
   snapshot.query_values.reserve(analysis.slots.size());
   for (const ptl::QuerySpec& spec : analysis.slots) {
+    if (memo != nullptr) {
+      auto it = memo->find(spec);
+      if (it != memo->end()) {
+        snapshot.query_values.push_back(it->second);
+        continue;
+      }
+    }
     PTLDB_ASSIGN_OR_RETURN(Value v, registry_.Eval(spec));
     ++stats_.queries_evaluated;
+    if (memo != nullptr) memo->emplace(spec, v);
     snapshot.query_values.push_back(std::move(v));
   }
   return snapshot;
@@ -380,6 +405,61 @@ Result<bool> RuleEngine::StepInstance(Rule* rule, Instance* instance,
   // Collection invalidates checkpoints, so the hypothetical IC path defers it.
   if (allow_collect) instance->ev.MaybeCollect();
   return fired;
+}
+
+Result<RuleEngine::StepTask> RuleEngine::GatherStepTask(
+    Rule* rule, Instance* instance, const event::SystemState& state,
+    bool allow_collect, QueryMemo* memo) {
+  StepTask task;
+  task.rule = rule;
+  task.instance = instance;
+  task.allow_collect = allow_collect;
+  if (instance->last_seq == state.seq) {
+    // Already advanced over this state (hypothetical IC check at commit);
+    // no snapshot needed, the outputs are the evaluator's current verdict.
+    task.resolved = true;
+    task.fired = instance->ev.last_fired();
+    task.was_satisfied = task.fired && instance->ev.steps() > 0;
+    return task;
+  }
+  PTLDB_ASSIGN_OR_RETURN(task.snapshot, BuildSnapshot(*instance, state, memo));
+  return task;
+}
+
+void RuleEngine::RunStepTasks(std::vector<StepTask>* tasks) {
+  auto run_one = [tasks](size_t i) {
+    StepTask& t = (*tasks)[i];
+    if (t.resolved) return;
+    eval::IncrementalEvaluator& ev = t.instance->ev;
+    t.was_satisfied = ev.last_fired() && ev.steps() > 0;
+    Result<bool> fired = ev.Step(t.snapshot);
+    if (!fired.ok()) {
+      t.status = fired.status();
+      return;
+    }
+    t.instance->last_seq = t.snapshot.seq;
+    t.stepped = true;
+    t.fired = *fired;
+    if (t.allow_collect) t.instance->ev.MaybeCollect();
+  };
+  if (pool_ != nullptr && tasks->size() > 1) {
+    ++stats_.parallel_dispatches;
+    pool_->ParallelFor(tasks->size(), run_one);
+  } else {
+    for (size_t i = 0; i < tasks->size(); ++i) run_one(i);
+  }
+}
+
+Status RuleEngine::SetThreads(size_t n) {
+  if (dispatch_depth_ > 0) {
+    return Status::InvalidArgument(
+        "thread count cannot be changed from within rule actions");
+  }
+  if (n == 0) n = 1;
+  if (n == num_threads_) return Status::OK();
+  num_threads_ = n;
+  pool_ = n > 1 ? std::make_unique<ThreadPool>(n) : nullptr;
+  return Status::OK();
 }
 
 Status RuleEngine::ApplySystemOp(const Rule& rule) {
@@ -471,7 +551,13 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
     for (Rule* r : it->second) relevant.insert(r);
   }
   const bool batching = batch_size_ > 1;
-  std::vector<PendingAction> pending;
+  // Gather (serial): snapshots are captured single-threaded so conditions
+  // observe the database exactly as in the serial engine, and tasks line up
+  // in canonical (registration order, instance-creation order). Ground query
+  // values are memoized across instances — the database cannot change within
+  // the gather pass (phase 1's aggregate mutations already happened).
+  QueryMemo memo;
+  std::vector<StepTask> tasks;
   for (const auto& rule : rules_) {
     if (rule->is_system) continue;
     if (rule->options.event_filtered && !rule->event_names.empty() &&
@@ -490,7 +576,7 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
       if (batching && !rule->is_ic) {
         // §8 batched invocation: capture the snapshot now (conditions must
         // observe this state's query values), defer stepping to Flush().
-        auto snapshot = BuildSnapshot(*instance, state);
+        auto snapshot = BuildSnapshot(*instance, state, &memo);
         if (!snapshot.ok()) {
           ReportError(snapshot.status());
           continue;
@@ -499,17 +585,33 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
             QueuedStep{rule.get(), instance.get(), std::move(*snapshot)});
         continue;
       }
-      bool was_satisfied = instance->ev.last_fired() && instance->ev.steps() > 0;
-      auto fired = StepInstance(rule.get(), instance.get(), state);
-      if (!fired.ok()) {
-        ReportError(fired.status());
+      auto task = GatherStepTask(rule.get(), instance.get(), state,
+                                 /*allow_collect=*/true, &memo);
+      if (!task.ok()) {
+        ReportError(task.status());
         continue;
       }
-      bool run_action =
-          *fired && (rule->options.level_triggered || !was_satisfied);
-      if (run_action && !rule->is_ic && rule->action != nullptr) {
-        pending.push_back(PendingAction{rule.get(), instance.get(), state.time});
-      }
+      tasks.push_back(std::move(*task));
+    }
+  }
+
+  // Step (sharded): pure evaluator work, fanned out when a pool is set.
+  RunStepTasks(&tasks);
+
+  // Merge (serial, canonical order): identical decisions and error reporting
+  // regardless of thread count.
+  std::vector<PendingAction> pending;
+  for (StepTask& task : tasks) {
+    if (task.stepped) ++stats_.rule_steps;
+    if (!task.status.ok()) {
+      ReportError(std::move(task.status));
+      continue;
+    }
+    bool run_action = task.fired && (task.rule->options.level_triggered ||
+                                     !task.was_satisfied);
+    if (run_action && !task.rule->is_ic && task.rule->action != nullptr) {
+      pending.push_back(
+          PendingAction{task.rule, task.instance, state.time});
     }
   }
 
@@ -558,22 +660,67 @@ Status RuleEngine::Flush() {
     std::vector<QueuedStep> queue;
     queue.swap(batch_queue_);
     batched_states_ = 0;
+
+    // Group the queue per instance, preserving each instance's state order:
+    // one shard replays an instance's whole snapshot sequence, so the same
+    // evaluator is never touched by two threads and the steps apply in
+    // history order.
+    struct StepOut {
+      bool stepped = false;
+      bool fired = false;
+      bool was_satisfied = false;
+      Status status = Status::OK();
+    };
+    std::vector<StepOut> outs(queue.size());
+    std::vector<std::vector<size_t>> groups;  // queue indices per instance
+    {
+      std::map<Instance*, size_t> group_of;
+      for (size_t i = 0; i < queue.size(); ++i) {
+        auto [it, inserted] =
+            group_of.emplace(queue[i].instance, groups.size());
+        if (inserted) groups.emplace_back();
+        groups[it->second].push_back(i);
+      }
+    }
+    auto run_group = [&queue, &outs, &groups](size_t g) {
+      for (size_t i : groups[g]) {
+        QueuedStep& qs = queue[i];
+        StepOut& out = outs[i];
+        if (qs.instance->last_seq == qs.snapshot.seq) continue;
+        out.was_satisfied =
+            qs.instance->ev.last_fired() && qs.instance->ev.steps() > 0;
+        Result<bool> fired = qs.instance->ev.Step(qs.snapshot);
+        if (!fired.ok()) {
+          out.status = fired.status();
+          continue;
+        }
+        qs.instance->last_seq = qs.snapshot.seq;
+        out.stepped = true;
+        out.fired = *fired;
+        qs.instance->ev.MaybeCollect();
+      }
+    };
+    if (pool_ != nullptr && groups.size() > 1) {
+      ++stats_.parallel_dispatches;
+      pool_->ParallelFor(groups.size(), run_group);
+    } else {
+      for (size_t g = 0; g < groups.size(); ++g) run_group(g);
+    }
+
+    // Merge in queue order (states in append order, rules in registration
+    // order within a state) — identical to the serial drain.
     std::vector<PendingAction> pending;
-    for (QueuedStep& qs : queue) {
-      if (qs.instance->last_seq == qs.snapshot.seq) continue;
-      bool was_satisfied =
-          qs.instance->ev.last_fired() && qs.instance->ev.steps() > 0;
-      auto fired = qs.instance->ev.Step(qs.snapshot);
-      qs.instance->last_seq = qs.snapshot.seq;
-      ++stats_.rule_steps;
-      qs.instance->ev.MaybeCollect();
-      if (!fired.ok()) {
-        ReportError(fired.status());
+    for (size_t i = 0; i < queue.size(); ++i) {
+      QueuedStep& qs = queue[i];
+      StepOut& out = outs[i];
+      if (out.stepped) ++stats_.rule_steps;
+      if (!out.status.ok()) {
+        ReportError(std::move(out.status));
         continue;
       }
-      bool run_action =
-          *fired && (qs.rule->options.level_triggered || !was_satisfied);
-      if (run_action && qs.rule->action != nullptr) {
+      bool run_action = out.fired && (qs.rule->options.level_triggered ||
+                                      !out.was_satisfied);
+      if (out.stepped && run_action && qs.rule->action != nullptr) {
         pending.push_back(
             PendingAction{qs.rule, qs.instance, qs.snapshot.time});
       }
@@ -625,19 +772,42 @@ Status RuleEngine::OnCommitAttempt(const event::SystemState& prospective,
   std::vector<std::string> violated;
   Status failure = Status::OK();
 
+  // Gather (serial): checkpoint every constraint's evaluator and capture its
+  // snapshot of the prospective commit state. Query values are memoized
+  // across constraints — they all probe the same prospective database.
+  QueryMemo memo;
+  std::vector<StepTask> tasks;
   for (const auto& rule : rules_) {
     if (!rule->is_ic) continue;
     Instance* instance = rule->instances[0].get();
-    ++stats_.ic_checks;
-    Probe probe{rule.get(), instance, instance->ev.Save()};
-    auto fired = StepInstance(rule.get(), instance, prospective,
-                              /*allow_collect=*/false);
-    probes.push_back(std::move(probe));
-    if (!fired.ok()) {
-      failure = fired.status();
+    probes.push_back(Probe{rule.get(), instance, instance->ev.Save()});
+    // Collection would invalidate the checkpoints just saved, so the
+    // hypothetical probe defers it.
+    auto task = GatherStepTask(rule.get(), instance, prospective,
+                               /*allow_collect=*/false, &memo);
+    if (!task.ok()) {
+      ++stats_.ic_checks;
+      failure = task.status();
       break;
     }
-    if (*fired) violated.push_back(rule->name);
+    tasks.push_back(std::move(*task));
+  }
+
+  // Probe (sharded): constraints step independently — each evaluator owns
+  // its graph and its saved checkpoint references only that graph.
+  if (failure.ok()) RunStepTasks(&tasks);
+
+  // Merge (serial, registration order): the violated list, the firing
+  // verdicts, and the first reported failure come out identical to the
+  // serial engine.
+  for (StepTask& task : tasks) {
+    ++stats_.ic_checks;
+    if (task.stepped) ++stats_.rule_steps;
+    if (!task.status.ok()) {
+      failure = std::move(task.status);
+      break;
+    }
+    if (task.fired) violated.push_back(task.rule->name);
   }
 
   if (violated.empty() && failure.ok()) return Status::OK();

@@ -37,10 +37,12 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "agg/rewriter.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "db/database.h"
 #include "eval/incremental.h"
 #include "ptl/analyzer.h"
@@ -126,6 +128,8 @@ struct EngineStats {
   uint64_t ic_checks = 0;
   uint64_t ic_violations = 0;
   uint64_t instances_created = 0;
+  /// Parallel regions actually fanned out over the shard pool.
+  uint64_t parallel_dispatches = 0;
 };
 
 class RuleEngine : public db::Database::Listener {
@@ -156,6 +160,10 @@ class RuleEngine : public db::Database::Listener {
   Status AddIntegrityConstraint(const std::string& name,
                                 std::string_view constraint);
 
+  /// Adds an integrity constraint with an already-built formula.
+  Status AddIntegrityConstraintFormula(const std::string& name,
+                                       ptl::FormulaPtr constraint);
+
   /// Adds a rule family: `domain_sql` enumerates parameter tuples; its i-th
   /// output column binds the parameter `param_names[i]` in `condition` (and
   /// is visible to the action via ActionContext::params()). An instance's
@@ -164,6 +172,13 @@ class RuleEngine : public db::Database::Listener {
                           std::vector<std::string> param_names,
                           std::string_view condition, ActionFn action,
                           RuleOptions options = {});
+
+  /// Adds a rule family with an already-built condition.
+  Status AddTriggerFamilyFormula(const std::string& name,
+                                 std::string_view domain_sql,
+                                 std::vector<std::string> param_names,
+                                 ptl::FormulaPtr condition, ActionFn action,
+                                 RuleOptions options = {});
 
   /// Removes a rule (and its instances / generated system rules).
   Status RemoveRule(const std::string& name);
@@ -182,6 +197,23 @@ class RuleEngine : public db::Database::Listener {
 
   /// Evaluates all buffered states now. No-op when nothing is buffered.
   Status Flush();
+
+  // ---- Sharded evaluation ----
+
+  /// Shards rule-instance stepping across `n` threads (1 = serial, the
+  /// default; 0 is treated as 1). Query snapshots are always captured
+  /// serially — conditions observe the database single-threaded — and only
+  /// evaluator stepping fans out: every instance's evaluator owns a private
+  /// and-or Graph, so a shard (the set of instances one pool thread claims)
+  /// never shares hash-consed nodes with another. Step results merge back in
+  /// canonical (registration order, instance-creation order), so an N-thread
+  /// engine produces the identical action sequence, `__executed` contents,
+  /// and IC commit/abort verdicts as the serial one. This also parallelizes
+  /// TCA probing (integrity constraints at commit attempts) and batched
+  /// Flush(), where each instance's buffered snapshots replay in state order
+  /// on a single shard. Cannot be called from within a rule action.
+  Status SetThreads(size_t n);
+  size_t threads() const { return num_threads_; }
 
   // ---- Introspection ----
 
@@ -266,6 +298,25 @@ class RuleEngine : public db::Database::Listener {
     ptl::StateSnapshot snapshot;
   };
 
+  // One instance-step prepared for sharded execution. The snapshot is built
+  // serially; Step runs on whichever shard claims the task (safe: each
+  // evaluator owns its graph); outputs merge back in task order, which the
+  // gather loops keep canonical — registration order, then instance-creation
+  // order — so firing decisions, action order, and error reporting are
+  // byte-identical to the serial engine regardless of thread count.
+  struct StepTask {
+    Rule* rule = nullptr;
+    Instance* instance = nullptr;
+    ptl::StateSnapshot snapshot;
+    bool allow_collect = true;
+    bool resolved = false;  // dedupe hit: outputs were filled at gather time
+    // Outputs:
+    bool stepped = false;
+    bool fired = false;
+    bool was_satisfied = false;
+    Status status = Status::OK();
+  };
+
   Status AddRuleInternal(std::string name, ptl::FormulaPtr condition,
                          ActionFn action, RuleOptions options, bool is_ic,
                          bool is_family, std::string_view domain_sql,
@@ -275,12 +326,28 @@ class RuleEngine : public db::Database::Listener {
   Result<Instance*> MakeInstance(Rule* rule,
                                  std::map<std::string, Value> params);
   Status RefreshFamily(Rule* rule);
+  /// Memo for ground query values within one gather pass. Valid only while
+  /// the database is not mutated — gather loops never run actions, but phase 1
+  /// system rules do mutate aggregate tables, so each pass uses a fresh memo
+  /// created after phase 1.
+  using QueryMemo =
+      std::unordered_map<ptl::QuerySpec, Value, ptl::QuerySpecHash>;
   Result<ptl::StateSnapshot> BuildSnapshot(const Instance& instance,
-                                           const event::SystemState& state);
+                                           const event::SystemState& state,
+                                           QueryMemo* memo = nullptr);
   /// Steps one instance over `state`; returns whether it fired.
   Result<bool> StepInstance(Rule* rule, Instance* instance,
                             const event::SystemState& state,
                             bool allow_collect = true);
+  /// Builds a dedupe-resolved or steppable task for one instance at `state`.
+  Result<StepTask> GatherStepTask(Rule* rule, Instance* instance,
+                                  const event::SystemState& state,
+                                  bool allow_collect = true,
+                                  QueryMemo* memo = nullptr);
+  /// Executes every unresolved task — across the shard pool when one is
+  /// configured, serially otherwise. Mutates only task outputs and the
+  /// tasks' own evaluators; engine-wide stats are updated by the caller.
+  void RunStepTasks(std::vector<StepTask>* tasks);
   void ProcessState(const event::SystemState& state);
   Status ApplySystemOp(const Rule& rule);
   Status RecordExecution(const Rule& rule, const Instance& instance,
@@ -301,6 +368,10 @@ class RuleEngine : public db::Database::Listener {
   std::vector<Status> errors_;
   int dispatch_depth_ = 0;
   size_t next_registration_order_ = 0;
+
+  // Sharded evaluation (1 = serial; pool_ is null then).
+  size_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
 
   // §8 batching (1 = synchronous).
   size_t batch_size_ = 1;

@@ -22,7 +22,13 @@ class FormulaGen {
  public:
   explicit FormulaGen(Rng* rng) : rng_(rng) {}
 
-  FormulaPtr Gen(int depth) { return GenFormula(depth, {}); }
+  FormulaPtr Gen(int depth) { return GenFormula(depth, params_); }
+
+  /// Names usable as free variables in generated formulas (rule-family
+  /// parameters, substituted by the engine before analysis).
+  void set_params(std::vector<std::string> params) {
+    params_ = std::move(params);
+  }
 
  private:
   FormulaPtr GenFormula(int depth, std::vector<std::string> scope) {
@@ -135,6 +141,112 @@ class FormulaGen {
 
   Rng* rng_;
   int next_var_ = 0;
+  std::vector<std::string> params_;
+};
+
+// ---- Random rule-set generation ---------------------------------------------
+
+// One generated rule, carrying everything needed to register it against any
+// RuleEngine — so a differential harness can configure two engines (e.g.
+// serial and sharded) with byte-identical rule sets. Conditions reference the
+// FormulaGen vocabulary (queries q0/q1, events e0/e1); families draw one int
+// parameter `p` from `domain_sql`; cascade rules watch the §7 `executed`
+// event of an earlier rule.
+struct RuleSpec {
+  enum class Kind { kTrigger, kFamily, kIc };
+  Kind kind = Kind::kTrigger;
+  std::string name;
+  FormulaPtr condition;
+  std::string domain_sql;                // kFamily
+  std::vector<std::string> param_names;  // kFamily
+  bool record_execution = true;
+  bool level_triggered = false;
+  bool event_filtered = false;
+  bool aggregate_rewrite = false;  // §6.1.1 rewriting instead of direct
+  int priority = 0;
+  bool wants_db_action = false;  // action should write to the database
+};
+
+// Generates a mixed rule set: plain triggers, rule families, integrity
+// constraints, and @executed cascade rules, with a sprinkle of the engine
+// options that cross shard boundaries (rewritten aggregates become serial
+// system rules, record_execution feeds cascades, event filtering skips
+// shards entirely).
+class RuleSetGen {
+ public:
+  RuleSetGen(Rng* rng, std::string domain_sql)
+      : rng_(rng), gen_(rng), domain_sql_(std::move(domain_sql)) {}
+
+  std::vector<RuleSpec> Gen(size_t num_rules) {
+    std::vector<RuleSpec> specs;
+    std::vector<std::string> cascade_targets;  // rules recorded in __executed
+    for (size_t i = 0; i < num_rules; ++i) {
+      RuleSpec spec;
+      spec.name = "r" + std::to_string(i);
+      uint64_t pick = rng_->Below(10);
+      if (pick < 2) {
+        spec.kind = RuleSpec::Kind::kIc;
+        // Shallow constraints: deep random ICs abort almost every
+        // transaction, which starves the trigger paths of commits.
+        gen_.set_params({});
+        spec.condition = gen_.Gen(1 + static_cast<int>(rng_->Below(2)));
+      } else if (pick < 4) {
+        spec.kind = RuleSpec::Kind::kFamily;
+        spec.domain_sql = domain_sql_;
+        spec.param_names = {"p"};
+        gen_.set_params({"p"});
+        spec.condition = gen_.Gen(2 + static_cast<int>(rng_->Below(2)));
+      } else if (pick < 6 && !cascade_targets.empty()) {
+        // §7 cascade: fire when an earlier rule's action is recorded.
+        spec.kind = RuleSpec::Kind::kTrigger;
+        const std::string& target =
+            cascade_targets[rng_->Below(cascade_targets.size())];
+        FormulaPtr executed = ptl::EventAtom(
+            event::kRuleExecutedEvent, MakeArgs(ptl::Const(Value::Str(target))));
+        gen_.set_params({});
+        spec.condition = rng_->Chance(0.5)
+                             ? std::move(executed)
+                             : ptl::And(std::move(executed),
+                                        gen_.Gen(1 + static_cast<int>(
+                                                         rng_->Below(2))));
+        spec.record_execution = rng_->Chance(0.3);
+      } else {
+        spec.kind = RuleSpec::Kind::kTrigger;
+        gen_.set_params({});
+        spec.condition = gen_.Gen(2 + static_cast<int>(rng_->Below(3)));
+        spec.record_execution = rng_->Chance(0.5);
+        spec.aggregate_rewrite = rng_->Chance(0.25);
+        // level_triggered + record_execution would re-enter at the @executed
+        // state and trip the dispatch-depth limit; only combine with a
+        // silent action.
+        spec.level_triggered = !spec.record_execution && rng_->Chance(0.25);
+        spec.event_filtered = rng_->Chance(0.25);
+        spec.priority = static_cast<int>(rng_->Below(3));
+      }
+      if (spec.kind == RuleSpec::Kind::kTrigger && spec.record_execution) {
+        cascade_targets.push_back(spec.name);
+      }
+      // A level-triggered rule whose action writes the database feeds itself:
+      // the action's commit appends a state, the still-satisfied condition
+      // fires again on it, and the history grows without bound. Only give
+      // database actions to edge-triggered rules.
+      spec.wants_db_action = spec.kind != RuleSpec::Kind::kIc &&
+                             !spec.level_triggered && rng_->Chance(0.3);
+      specs.push_back(std::move(spec));
+    }
+    return specs;
+  }
+
+ private:
+  static std::vector<TermPtr> MakeArgs(TermPtr a) {
+    std::vector<TermPtr> args;
+    args.push_back(std::move(a));
+    return args;
+  }
+
+  Rng* rng_;
+  FormulaGen gen_;
+  std::string domain_sql_;
 };
 
 // Random history: slot values are small-int random walks; events fire with

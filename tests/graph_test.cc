@@ -204,6 +204,56 @@ TEST_F(GraphTest, PruneTimeBounds) {
   EXPECT_EQ(n, kFalseNode);
 }
 
+TEST_F(GraphTest, PruneBoundariesExactlyAtBound) {
+  // A clock exactly equal to the bound is the last instant at which the
+  // upper-bounded atoms are satisfiable and the first at which the
+  // lower-bounded ones are settled. Off-by-one here silently changes WITHIN
+  // windows by a tick, so pin every operator at now == B and one tick around.
+  NodeId le = VarAtom(ptl::CmpOp::kLe, "t", 100, /*time_var=*/true);
+  NodeId lt = VarAtom(ptl::CmpOp::kLt, "t", 100, /*time_var=*/true);
+  NodeId ge = VarAtom(ptl::CmpOp::kGe, "t", 100, /*time_var=*/true);
+  NodeId eq = VarAtom(ptl::CmpOp::kEq, "t", 100, /*time_var=*/true);
+  NodeId ne = VarAtom(ptl::CmpOp::kNe, "t", 100, /*time_var=*/true);
+
+  // t <= 100 at now = 100: t = 100 is still an admissible binding.
+  ASSERT_OK_AND_ASSIGN(NodeId n, g_.PruneTimeBounds(le, 100));
+  EXPECT_EQ(n, le);
+  // t < 100 at now = 99: t = 99 is still admissible.
+  ASSERT_OK_AND_ASSIGN(n, g_.PruneTimeBounds(lt, 99));
+  EXPECT_EQ(n, lt);
+  // t >= 100 at now = 99: not settled yet — t = 99 would violate it.
+  ASSERT_OK_AND_ASSIGN(n, g_.PruneTimeBounds(ge, 99));
+  EXPECT_EQ(n, ge);
+  // t = 100 survives through now = 100 and dies at 101.
+  ASSERT_OK_AND_ASSIGN(n, g_.PruneTimeBounds(eq, 100));
+  EXPECT_EQ(n, eq);
+  // t != 100 is still falsifiable at now = 100, settled true at 101.
+  ASSERT_OK_AND_ASSIGN(n, g_.PruneTimeBounds(ne, 100));
+  EXPECT_EQ(n, ne);
+  ASSERT_OK_AND_ASSIGN(n, g_.PruneTimeBounds(ne, 101));
+  EXPECT_EQ(n, kTrueNode);
+}
+
+TEST_F(GraphTest, PruneBoundaryInsideSinceUnfolding) {
+  // The incremental Since recurrence retains nested disjunctions of the form
+  // Or(And(anchor, bound), And(live, prev)); prune at the exact boundary must
+  // keep the bounded branch intact and only collapse it one tick later.
+  NodeId tle = VarAtom(ptl::CmpOp::kLe, "t", 100, /*time_var=*/true);
+  NodeId tge = VarAtom(ptl::CmpOp::kGe, "t", 100, /*time_var=*/true);
+  NodeId a = VarAtom(ptl::CmpOp::kGt, "x", 0);
+  NodeId b = VarAtom(ptl::CmpOp::kGt, "y", 0);
+  NodeId inner = g_.MakeOr({g_.MakeAnd({a, tle}), g_.MakeAnd({b, tge})});
+  NodeId outer = g_.MakeOr({inner, g_.MakeAnd({a, b, tle})});
+
+  // now = 100: t <= 100 survives; t >= 100 settles true, freeing `b`.
+  ASSERT_OK_AND_ASSIGN(NodeId at_bound, g_.PruneTimeBounds(outer, 100));
+  EXPECT_EQ(at_bound,
+            g_.MakeOr({g_.MakeAnd({a, tle}), b, g_.MakeAnd({a, b, tle})}));
+  // now = 101: every t <= 100 branch is dead; only `b` remains.
+  ASSERT_OK_AND_ASSIGN(NodeId past_bound, g_.PruneTimeBounds(outer, 101));
+  EXPECT_EQ(past_bound, b);
+}
+
 TEST_F(GraphTest, PruneNormalizesOffsetAtoms) {
   // The paper's clause shape: 5 >= t - 10, i.e. t <= 15.
   VarId t = g_.InternVar("t", true);

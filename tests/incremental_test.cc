@@ -109,6 +109,52 @@ TEST(IncrementalTest, FiringMatchesSinceSemantics) {
   EXPECT_EQ(fired, (std::vector<bool>{false, true, true, false, false, true}));
 }
 
+TEST(IncrementalTest, WithinWindowFiresAtExactDeadline) {
+  // Spike at time 5: the retained clause is `t <= 15`. The window includes
+  // its deadline — a state at exactly time 15 still fires; 16 does not.
+  IncrementalEvaluator ev = MustMake(
+      "[t := time] PREVIOUSLY (price('X') >= 100 AND time >= t - 10)");
+  std::vector<bool> fired = RunHistory(
+      ev, {Snap(0, 5, {}, {Value::Int(100)}), Snap(1, 15, {}, {Value::Int(0)}),
+           Snap(2, 16, {}, {Value::Int(0)})});
+  EXPECT_EQ(fired, (std::vector<bool>{true, true, false}));
+}
+
+TEST(IncrementalTest, DelayBoundFiresAtExactThreshold) {
+  // The mirrored direction: "a spike at least 10 ticks ago" retains
+  // `t >= 15` after the time-5 spike, which settles true exactly at 15 and
+  // stays settled.
+  IncrementalEvaluator ev = MustMake(
+      "[t := time] PREVIOUSLY (price('X') >= 100 AND time <= t - 10)");
+  std::vector<bool> fired = RunHistory(
+      ev, {Snap(0, 5, {}, {Value::Int(100)}), Snap(1, 14, {}, {Value::Int(0)}),
+           Snap(2, 15, {}, {Value::Int(0)}), Snap(3, 30, {}, {Value::Int(0)})});
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true}));
+}
+
+TEST(IncrementalTest, SinceWithTimeBoundBoundary) {
+  // The bound sits on the continuation side of a Since: the chain survives a
+  // state at exactly time 20 and breaks at 21.
+  IncrementalEvaluator ev = MustMake("(time <= 20) SINCE @start");
+  std::vector<bool> fired = RunHistory(
+      ev, {Snap(0, 5, {Ev("start")}, {}), Snap(1, 20, {}, {}),
+           Snap(2, 21, {}, {}), Snap(3, 22, {Ev("start")}, {})});
+  EXPECT_EQ(fired, (std::vector<bool>{true, true, false, true}));
+}
+
+TEST(IncrementalTest, NestedSinceTimeBoundBoundary) {
+  // The bounded Since nested under another Since: the outer chain is only as
+  // healthy as the inner one, so it too flips exactly between 20 and 21 —
+  // and a fresh inner anchor alone cannot revive it without a new @outer.
+  IncrementalEvaluator ev =
+      MustMake("((time <= 20) SINCE @start) SINCE @outer");
+  std::vector<bool> fired = RunHistory(
+      ev, {Snap(0, 5, {Ev("start"), Ev("outer")}, {}), Snap(1, 20, {}, {}),
+           Snap(2, 21, {}, {}), Snap(3, 25, {Ev("start")}, {}),
+           Snap(4, 26, {Ev("outer")}, {})});
+  EXPECT_EQ(fired, (std::vector<bool>{true, true, false, false, true}));
+}
+
 TEST(IncrementalTest, AggregateMachineMatchesPaperConstruction) {
   IncrementalEvaluator ev =
       MustMake("avg(price('IBM'); time = 540; @update_stocks) > 70");

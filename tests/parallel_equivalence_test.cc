@@ -1,0 +1,273 @@
+// Differential harness for sharded rule evaluation: a seed fully determines
+// a database, a randomized rule set (plain triggers, rule families,
+// integrity constraints, rewritten aggregates, @executed cascades), and a
+// workload of events and transactions. The scenario runs on the serial
+// engine and on 2/4/8-thread sharded engines; every observable — the
+// fired-action log, the engine error stream, commit/abort verdicts, core
+// engine counters, and the final contents of every table (including
+// `__executed`) — must be byte-identical. This is the correctness anchor
+// for RuleEngine::SetThreads (see DESIGN.md §"Threading model").
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "db/database.h"
+#include "formula_gen.h"
+#include "rules/engine.h"
+#include "testutil.h"
+
+namespace ptldb::rules {
+namespace {
+
+using testutil::Rng;
+using testutil::RuleSetGen;
+using testutil::RuleSpec;
+
+struct Observed {
+  std::string log;  // firings, errors, and verdicts in arrival order
+  std::string db;   // final table dump
+};
+
+void DrainEngine(RuleEngine* engine, std::string* log) {
+  for (const Firing& f : engine->TakeFirings()) {
+    *log += StrCat("fired ", f.rule, "[", f.params, "] t=", f.time, "\n");
+  }
+  for (const Status& e : engine->TakeErrors()) {
+    *log += StrCat("error ", e.ToString(), "\n");
+  }
+}
+
+// Runs the seed's scenario at the given thread count / batch size and
+// returns everything observable about the run.
+Observed RunScenario(uint64_t seed, size_t threads, size_t batch_size) {
+  if (::getenv("PTLDB_TRACE_SEEDS") != nullptr) {
+    fprintf(stderr, "seed=%llu threads=%zu batch=%zu\n",
+            static_cast<unsigned long long>(seed), threads, batch_size);
+  }
+  Rng rng(seed);
+  SimClock clock(0);
+  db::Database db(&clock);
+  RuleEngine engine(&db);
+  PTLDB_CHECK_OK(engine.SetThreads(threads));
+  engine.SetBatching(batch_size);
+
+  Observed out;
+
+  // Substrate: two scalar queries over `data`, a family domain `dom`, and an
+  // `acts` row per rule for database-writing actions.
+  PTLDB_CHECK_OK(db.CreateTable(
+      "data",
+      db::Schema({{"k", ValueType::kString}, {"v", ValueType::kInt64}}),
+      {"k"}));
+  PTLDB_CHECK_OK(db.InsertRow("data", {Value::Str("q0"), Value::Int(5)}));
+  PTLDB_CHECK_OK(db.InsertRow("data", {Value::Str("q1"), Value::Int(7)}));
+  PTLDB_CHECK_OK(
+      db.CreateTable("dom", db::Schema({{"p", ValueType::kInt64}})));
+  PTLDB_CHECK_OK(db.CreateTable(
+      "acts",
+      db::Schema({{"rule", ValueType::kString}, {"n", ValueType::kInt64}}),
+      {"rule"}));
+  PTLDB_CHECK_OK(engine.queries().Register(
+      "q0", "SELECT v FROM data WHERE k = 'q0'", {}));
+  PTLDB_CHECK_OK(engine.queries().Register(
+      "q1", "SELECT v FROM data WHERE k = 'q1'", {}));
+
+  // Rule set. Registration rejects (malformed random conditions, unsupported
+  // option combinations) are logged, not fatal: both engines must reject the
+  // same rules with the same messages.
+  RuleSetGen gen(&rng, "SELECT p FROM dom");
+  std::vector<RuleSpec> specs = gen.Gen(3 + rng.Below(6));
+  {
+    auto acts = db.catalog().GetTable("acts");
+    PTLDB_CHECK(acts.ok());
+    for (const RuleSpec& spec : specs) {
+      PTLDB_CHECK_OK(
+          (*acts)->Insert({Value::Str(spec.name), Value::Int(0)}));
+    }
+  }
+  for (RuleSpec& spec : specs) {
+    ActionFn action;
+    if (spec.wants_db_action) {
+      std::string rule_name = spec.name;
+      action = [rule_name](ActionContext& ctx) -> Status {
+        db::ParamMap params{{"r", Value::Str(rule_name)}};
+        return ctx.database()
+            .UpdateRows("acts", {{"n", "n + 1"}}, "rule = $r", &params)
+            .status();
+      };
+    } else {
+      action = [](ActionContext&) -> Status { return Status::OK(); };
+    }
+    RuleOptions options;
+    options.record_execution = spec.record_execution;
+    options.level_triggered = spec.level_triggered;
+    options.event_filtered = spec.event_filtered;
+    options.priority = spec.priority;
+    options.aggregate_mode = spec.aggregate_rewrite ? AggregateMode::kRewrite
+                                                    : AggregateMode::kDirect;
+    Status s;
+    switch (spec.kind) {
+      case RuleSpec::Kind::kTrigger:
+        s = engine.AddTriggerFormula(spec.name, spec.condition,
+                                     std::move(action), options);
+        break;
+      case RuleSpec::Kind::kFamily:
+        s = engine.AddTriggerFamilyFormula(spec.name, spec.domain_sql,
+                                           spec.param_names, spec.condition,
+                                           std::move(action), options);
+        break;
+      case RuleSpec::Kind::kIc:
+        s = engine.AddIntegrityConstraintFormula(spec.name, spec.condition);
+        break;
+    }
+    if (!s.ok()) out.log += StrCat("reg-skip ", spec.name, ": ", s.ToString(), "\n");
+  }
+
+  // Workload: events, single-statement updates, domain growth (lazy family
+  // instantiation mid-history), and multi-statement transactions that the
+  // random ICs may veto.
+  size_t ops = 25 + rng.Below(15);
+  for (size_t op = 0; op < ops; ++op) {
+    clock.Advance(1 + static_cast<Timestamp>(rng.Below(3)));
+    switch (rng.Below(8)) {
+      case 0:
+      case 1: {
+        Status s =
+            db.RaiseEvent(event::Event{rng.Chance(0.5) ? "e0" : "e1", {}});
+        if (!s.ok()) out.log += StrCat("event-failed: ", s.ToString(), "\n");
+        break;
+      }
+      case 2:
+      case 3: {
+        db::ParamMap params{
+            {"v", Value::Int(rng.Range(-5, 15))},
+            {"k", Value::Str(rng.Chance(0.5) ? "q0" : "q1")}};
+        auto n = db.UpdateRows("data", {{"v", "$v"}}, "k = $k", &params);
+        if (!n.ok()) {
+          out.log += StrCat("update-rejected: ", n.status().ToString(), "\n");
+        }
+        break;
+      }
+      case 4: {
+        Status s = db.InsertRow("dom", {Value::Int(rng.Range(0, 5))});
+        if (!s.ok()) out.log += StrCat("dom-rejected: ", s.ToString(), "\n");
+        break;
+      }
+      case 5:
+      case 6: {
+        auto txn = db.Begin();
+        PTLDB_CHECK(txn.ok());
+        size_t stmts = 1 + rng.Below(3);
+        for (size_t i = 0; i < stmts; ++i) {
+          db::ParamMap params{
+              {"v", Value::Int(rng.Range(-5, 15))},
+              {"k", Value::Str(rng.Chance(0.5) ? "q0" : "q1")}};
+          auto n = db.Update(*txn, "data", {{"v", "$v"}}, "k = $k", &params);
+          if (!n.ok()) {
+            out.log += StrCat("stmt-failed: ", n.status().ToString(), "\n");
+          }
+        }
+        if (rng.Chance(0.2)) {
+          Status s = db.Abort(*txn);
+          out.log += StrCat("abort: ", s.ToString(), "\n");
+        } else {
+          Status s = db.Commit(*txn);
+          out.log += s.ok() ? "commit-ok\n"
+                            : StrCat("commit-rejected: ", s.ToString(), "\n");
+        }
+        break;
+      }
+      default: {
+        Status s = db.RaiseEvent(event::Event{"tick", {}});
+        if (!s.ok()) out.log += StrCat("tick-failed: ", s.ToString(), "\n");
+        break;
+      }
+    }
+    DrainEngine(&engine, &out.log);
+  }
+  PTLDB_CHECK_OK(engine.Flush());
+  DrainEngine(&engine, &out.log);
+
+  const EngineStats& st = engine.stats();
+  out.log += StrCat("steps=", st.rule_steps, " actions=", st.actions_executed,
+                    " ic_violations=", st.ic_violations,
+                    " history=", db.history().size(), "\n");
+
+  for (const std::string& name : db.catalog().TableNames()) {
+    auto r = db.QuerySql(StrCat("SELECT * FROM ", name));
+    out.db += StrCat("== ", name, "\n",
+                     r.ok() ? r->ToString() : r.status().ToString());
+  }
+  return out;
+}
+
+TEST(ParallelEquivalenceTest, TwoFourEightThreadsMatchSerial) {
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    Observed serial = RunScenario(seed, /*threads=*/1, /*batch_size=*/1);
+    for (size_t threads : {2, 4, 8}) {
+      Observed sharded = RunScenario(seed, threads, /*batch_size=*/1);
+      ASSERT_EQ(serial.log, sharded.log)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(serial.db, sharded.db)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// §8 batched invocation composed with sharding: the deferred queue replays
+// per instance on one shard; decisions still merge in queue order.
+TEST(ParallelEquivalenceTest, BatchedDispatchMatchesSerialBatched) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    Observed serial = RunScenario(seed, /*threads=*/1, /*batch_size=*/3);
+    for (size_t threads : {2, 8}) {
+      Observed sharded = RunScenario(seed, threads, /*batch_size=*/3);
+      ASSERT_EQ(serial.log, sharded.log)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(serial.db, sharded.db)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// A family with many instances must actually fan out over the pool (guards
+// against the parallel path silently degrading to serial) and still match.
+TEST(ParallelEquivalenceTest, ManyInstancesEngageThePool) {
+  auto run = [](size_t threads) {
+    SimClock clock(0);
+    db::Database db(&clock);
+    RuleEngine engine(&db);
+    PTLDB_CHECK_OK(engine.SetThreads(threads));
+    PTLDB_CHECK_OK(
+        db.CreateTable("dom", db::Schema({{"p", ValueType::kInt64}})));
+    PTLDB_CHECK_OK(engine.queries().Register(
+        "total", "SELECT SUM(p) FROM dom", {}));
+    for (int i = 0; i < 128; ++i) {
+      PTLDB_CHECK_OK(db.InsertRow("dom", {Value::Int(i)}));
+    }
+    PTLDB_CHECK_OK(engine.AddTriggerFamily(
+        "fam", "SELECT p FROM dom", {"p"},
+        "PREVIOUSLY (total() >= 2 * $p AND @bump)",
+        [](ActionContext&) -> Status { return Status::OK(); }));
+    std::string log;
+    for (int i = 0; i < 10; ++i) {
+      clock.Advance(1);
+      PTLDB_CHECK_OK(db.RaiseEvent(event::Event{"bump", {}}));
+      DrainEngine(&engine, &log);
+    }
+    return std::pair<std::string, uint64_t>(
+        log, engine.stats().parallel_dispatches);
+  };
+  auto [serial_log, serial_dispatches] = run(1);
+  auto [sharded_log, sharded_dispatches] = run(4);
+  EXPECT_EQ(serial_log, sharded_log);
+  EXPECT_EQ(serial_dispatches, 0u);
+  EXPECT_GT(sharded_dispatches, 0u);
+}
+
+}  // namespace
+}  // namespace ptldb::rules
