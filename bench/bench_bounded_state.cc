@@ -5,11 +5,25 @@
 // Series: max live graph nodes (and final per-update cost) vs update count,
 // pruning on/off, for a WITHIN window condition whose inner predicate stays
 // symbolic on ~2/7 of states.
+//
+// `--smoke [--metrics-out <file>]` instead runs a quick CI check through the
+// full RuleEngine with a metrics registry attached: a bounded-operator rule
+// over thousands of states with a small collection threshold. It writes the
+// Metrics::ToJson() snapshot and exits nonzero when the retained-node gauge
+// grows unboundedly or the collection policy never engaged.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "db/database.h"
 #include "eval/incremental.h"
 #include "ptl/parser.h"
+#include "rules/engine.h"
 #include "workloads.h"
 
 namespace ptldb {
@@ -76,7 +90,129 @@ BENCHMARK(BM_BoundedState_NoPruning)
     ->Arg(4000)
     ->Unit(benchmark::kMillisecond);
 
+// ---- CI smoke mode (--smoke [--metrics-out <file>]) -------------------------
+
+// Drives the full engine + metrics wiring over a bounded-operator workload
+// and asserts the §5 claim end-to-end: retained state stays bounded because
+// the collection policy engages. Returns a process exit code.
+int RunSmoke(const std::string& metrics_out) {
+  constexpr size_t kStates = 4000;
+  SimClock clock(0);
+  db::Database database(&clock);
+  // Declared before the engine: ~RuleEngine detaches from the registry.
+  Metrics metrics;
+  rules::RuleEngine engine(&database);
+  engine.SetMetrics(&metrics);
+  // A small threshold so the policy must engage many times within the run.
+  engine.SetCollectThreshold(256);
+
+  if (!database.CreateTable("stock", db::Schema({{"name", ValueType::kString},
+                                                 {"price", ValueType::kInt64}}))
+           .ok()) {
+    return 2;
+  }
+  if (!database.InsertRow("stock", {Value::Str("IBM"), Value::Int(0)}).ok()) {
+    return 2;
+  }
+  if (!engine.queries()
+           .Register("price", "SELECT price FROM stock WHERE name = $p1",
+                     {"p1"})
+           .ok()) {
+    return 2;
+  }
+  if (!engine
+           .AddTrigger("hot", kCondition,
+                       [](rules::ActionContext&) { return Status::OK(); },
+                       rules::RuleOptions{.record_execution = false})
+           .ok()) {
+    return 2;
+  }
+
+  size_t max_live_first_quarter = 0, max_live = 0, max_store = 0;
+  for (size_t i = 0; i < kStates; ++i) {
+    clock.Advance(1);
+    Value price = Value::Int(static_cast<int64_t>(i % 7) * 20);
+    if (!database
+             .UpdateRows("stock", {{"price", price.ToString()}},
+                         "name = 'IBM'")
+             .ok()) {
+      return 2;
+    }
+    (void)engine.TakeFirings();
+    auto info = engine.Describe("hot");
+    if (!info.ok()) return 2;
+    max_live = std::max(max_live, info->retained_nodes);
+    max_store = std::max(max_store, info->store_nodes);
+    if (i < kStates / 4) max_live_first_quarter = max_live;
+  }
+  if (!engine.TakeErrors().empty()) return 2;
+
+  uint64_t collections = engine.stats().collections;
+  // Bounded-operator workload: the late-run retained state must not dwarf the
+  // early-run state, and the collection policy must actually have fired.
+  bool bounded = max_live <= 2 * max_live_first_quarter + 32;
+  bool collected = collections > 0;
+
+  std::string json = metrics.ToJson();
+  std::printf(
+      "{\n  \"benchmark\": \"bounded_state_smoke\",\n"
+      "  \"states\": %zu,\n  \"max_live_nodes\": %zu,\n"
+      "  \"max_live_nodes_first_quarter\": %zu,\n  \"max_store_nodes\": %zu,\n"
+      "  \"collections\": %llu,\n  \"bounded\": %s,\n  \"collected\": %s,\n"
+      "  \"metrics\": %s\n}\n",
+      kStates, max_live, max_live_first_quarter, max_store,
+      static_cast<unsigned long long>(collections), bounded ? "true" : "false",
+      collected ? "true" : "false", json.c_str());
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 2;
+    }
+    std::fprintf(
+        f,
+        "{\n  \"benchmark\": \"bounded_state_smoke\",\n"
+        "  \"states\": %zu,\n  \"max_live_nodes\": %zu,\n"
+        "  \"max_live_nodes_first_quarter\": %zu,\n"
+        "  \"max_store_nodes\": %zu,\n  \"collections\": %llu,\n"
+        "  \"bounded\": %s,\n  \"collected\": %s,\n  \"metrics\": %s\n}\n",
+        kStates, max_live, max_live_first_quarter, max_store,
+        static_cast<unsigned long long>(collections),
+        bounded ? "true" : "false", collected ? "true" : "false",
+        json.c_str());
+    std::fclose(f);
+  }
+  if (!bounded) {
+    std::fprintf(stderr,
+                 "FAIL: retained nodes grew unboundedly (%zu late vs %zu "
+                 "early)\n",
+                 max_live, max_live_first_quarter);
+    return 1;
+  }
+  if (!collected) {
+    std::fprintf(stderr, "FAIL: the collection policy never engaged\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace ptldb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    }
+  }
+  if (smoke) return ptldb::RunSmoke(metrics_out);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

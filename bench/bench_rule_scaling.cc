@@ -13,14 +13,21 @@
 // single JSON document with events/sec per thread count, for plotting the
 // parallel speedup and asserting it is monotone 1 -> 4 threads.
 
+// `--smoke` shrinks the sweep to a CI-sized run, and `--metrics-out <file>`
+// additionally writes the sweep document with an embedded Metrics::ToJson()
+// snapshot (counters/histograms accumulated across every timed run).
+
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
+#include <string>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "db/database.h"
 #include "rules/engine.h"
 #include "workloads.h"
@@ -93,10 +100,12 @@ BENCHMARK(BM_RuleScaling_Unfiltered)
 // One timed run: a rule family with `instances` per-parameter evaluators, all
 // relevant to every state, processed by a pool of the given size. Returns
 // events per second.
-double SweepRun(size_t threads, size_t instances, size_t events) {
+double SweepRun(size_t threads, size_t instances, size_t events,
+                Metrics* metrics) {
   SimClock clock(0);
   db::Database database(&clock);
   rules::RuleEngine engine(&database);
+  engine.SetMetrics(metrics);  // null = detached (the default overhead mode)
   if (!engine.SetThreads(threads).ok()) std::abort();
 
   if (!database
@@ -140,28 +149,47 @@ double SweepRun(size_t threads, size_t instances, size_t events) {
 }
 
 int RunThreadSweep(const std::vector<size_t>& thread_counts, size_t instances,
-                   size_t events) {
-  std::printf("{\n");
-  std::printf("  \"benchmark\": \"sharded_rule_evaluation\",\n");
-  std::printf("  \"instances\": %zu,\n", instances);
-  std::printf("  \"events\": %zu,\n", events);
+                   size_t events, const std::string& metrics_out) {
+  // Metrics are attached only when a snapshot was requested, so the default
+  // sweep still measures the uninstrumented engine.
+  Metrics metrics;
+  Metrics* m = metrics_out.empty() ? nullptr : &metrics;
+  std::ostringstream doc;
+  doc << "{\n";
+  doc << "  \"benchmark\": \"sharded_rule_evaluation\",\n";
+  doc << "  \"instances\": " << instances << ",\n";
+  doc << "  \"events\": " << events << ",\n";
   // Speedup is bounded by physical parallelism: on a 1-CPU host every
   // thread count collapses to serial throughput minus dispatch overhead.
-  std::printf("  \"cpus_available\": %u,\n",
-              std::thread::hardware_concurrency());
-  std::printf("  \"results\": [\n");
+  doc << "  \"cpus_available\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  doc << "  \"results\": [\n";
   double base = 0;
   for (size_t i = 0; i < thread_counts.size(); ++i) {
     size_t threads = thread_counts[i];
-    double rate = SweepRun(threads, instances, events);
+    double rate = SweepRun(threads, instances, events, m);
     if (i == 0) base = rate;
-    std::printf(
-        "    {\"threads\": %zu, \"events_per_sec\": %.1f, "
-        "\"speedup\": %.3f}%s\n",
-        threads, rate, base > 0 ? rate / base : 0.0,
-        i + 1 < thread_counts.size() ? "," : "");
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "    {\"threads\": %zu, \"events_per_sec\": %.1f, "
+                  "\"speedup\": %.3f}%s\n",
+                  threads, rate, base > 0 ? rate / base : 0.0,
+                  i + 1 < thread_counts.size() ? "," : "");
+    doc << line;
   }
-  std::printf("  ]\n}\n");
+  doc << "  ]";
+  if (m != nullptr) doc << ",\n  \"metrics\": " << metrics.ToJson();
+  doc << "\n}\n";
+  std::printf("%s", doc.str().c_str());
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%s", doc.str().c_str());
+    std::fclose(f);
+  }
   return 0;
 }
 
@@ -169,11 +197,12 @@ int RunThreadSweep(const std::vector<size_t>& thread_counts, size_t instances,
 }  // namespace ptldb
 
 int main(int argc, char** argv) {
-  // `--threads [a,b,c]` selects the JSON sweep; everything else is standard
-  // Google Benchmark.
+  // `--threads [a,b,c]` (or `--smoke`) selects the JSON sweep; everything
+  // else is standard Google Benchmark.
   std::vector<size_t> thread_counts;
   size_t instances = 1024, events = 64;
   bool sweep = false;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     auto int_arg = [&](const char* flag, int* idx) -> long {
       if (std::strcmp(argv[*idx], flag) == 0 && *idx + 1 < argc) {
@@ -189,6 +218,14 @@ int main(int argc, char** argv) {
           thread_counts.push_back(static_cast<size_t>(std::atol(tok)));
         }
       }
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      // CI preset: small enough to finish in seconds on one core.
+      sweep = true;
+      thread_counts = {1, 2};
+      instances = 64;
+      events = 16;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else if (long v = int_arg("--instances", &i); v >= 0) {
       instances = static_cast<size_t>(v);
     } else if (long v = int_arg("--events", &i); v >= 0) {
@@ -197,7 +234,8 @@ int main(int argc, char** argv) {
   }
   if (sweep) {
     if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
-    return ptldb::RunThreadSweep(thread_counts, instances, events);
+    return ptldb::RunThreadSweep(thread_counts, instances, events,
+                                 metrics_out);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -28,6 +28,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "db/database.h"
 #include "rules/engine.h"
@@ -38,7 +39,9 @@ namespace {
 
 class Shell {
  public:
-  Shell() : clock_(0), database_(&clock_), engine_(&database_) {}
+  Shell() : clock_(0), database_(&clock_), engine_(&database_) {
+    engine_.SetMetrics(&metrics_);
+  }
 
   int Run() {
     std::string line;
@@ -142,7 +145,9 @@ class Shell {
           "  event <name> [literal...]\n"
           "  tick [n]         advance the clock\n"
           "  set threads <n>  shard rule evaluation over n threads\n"
-          "  describe <rule> | rules | stats | history | help | quit\n");
+          "  explain <rule>   retained F formulas + node accounting\n"
+          "  stats [json]     engine counters (json: full metrics snapshot)\n"
+          "  describe <rule> | rules | history | help | quit\n");
       return true;
     }
     if (cmd == "create") return CmdCreate(rest);
@@ -159,7 +164,17 @@ class Shell {
     }
     if (cmd == "event") return CmdEvent(rest);
     if (cmd == "tick") {
-      long n = rest.empty() ? 1 : std::atol(rest.c_str());
+      int64_t n = 1;
+      if (!rest.empty()) {
+        auto parsed = ParseInt64(rest);
+        if (!parsed.ok() || *parsed <= 0) {
+          std::printf("error: tick count must be a positive integer, got "
+                      "'%s'\n",
+                      rest.c_str());
+          return true;
+        }
+        n = *parsed;
+      }
       clock_.Advance(n);
       // A clock tick is itself an event: time-based conditions advance.
       Report(database_.RaiseEvent(event::Event{"tick", {}}));
@@ -168,8 +183,20 @@ class Shell {
     if (cmd == "set") {
       auto [what, value] = Split(rest);
       if (what == "threads" && !value.empty()) {
-        long n = std::atol(value.c_str());
-        Report(engine_.SetThreads(n <= 0 ? 1 : static_cast<size_t>(n)));
+        // Strict parse: `atol` would silently turn junk into 0 and a silent
+        // clamp would hide the mistake; reject anything but a positive count.
+        auto parsed = ParseInt64(value);
+        if (!parsed.ok()) {
+          std::printf("error: thread count must be an integer, got '%s'\n",
+                      value.c_str());
+          return true;
+        }
+        if (*parsed <= 0) {
+          std::printf("error: thread count must be >= 1, got %lld\n",
+                      static_cast<long long>(*parsed));
+          return true;
+        }
+        Report(engine_.SetThreads(static_cast<size_t>(*parsed)));
         std::printf("threads = %zu (firing order is identical at any "
                     "thread count)\n",
                     engine_.threads());
@@ -178,6 +205,7 @@ class Shell {
       }
       return true;
     }
+    if (cmd == "explain") return CmdExplain(rest);
     if (cmd == "describe") return CmdDescribe(rest);
     if (cmd == "rules") {
       for (const std::string& name : engine_.RuleNames()) {
@@ -185,7 +213,7 @@ class Shell {
       }
       return true;
     }
-    if (cmd == "stats") return CmdStats();
+    if (cmd == "stats") return CmdStats(rest);
     if (cmd == "history") {
       std::printf("%s", database_.history().ToString().c_str());
       return true;
@@ -387,22 +415,48 @@ class Shell {
     return true;
   }
 
-  bool CmdStats() {
+  bool CmdStats(const std::string& rest) {
+    if (Split(rest).first == "json") {
+      // The full registry snapshot: engine counters, latency histograms, and
+      // the provider-refreshed evaluator/per-rule gauges.
+      std::printf("%s\n", metrics_.ToJson().c_str());
+      return true;
+    }
     const rules::EngineStats& st = engine_.stats();
-    std::printf("states=%llu steps=%llu queries=%llu actions=%llu "
-                "ic_checks=%llu ic_violations=%llu skipped=%llu\n",
+    std::printf("states=%llu steps=%llu queries=%llu memo_hits=%llu "
+                "actions=%llu ic_checks=%llu ic_violations=%llu skipped=%llu "
+                "collections=%llu\n",
                 static_cast<unsigned long long>(st.states_processed),
                 static_cast<unsigned long long>(st.rule_steps),
                 static_cast<unsigned long long>(st.queries_evaluated),
+                static_cast<unsigned long long>(st.query_memo_hits),
                 static_cast<unsigned long long>(st.actions_executed),
                 static_cast<unsigned long long>(st.ic_checks),
                 static_cast<unsigned long long>(st.ic_violations),
-                static_cast<unsigned long long>(st.steps_skipped_by_filter));
+                static_cast<unsigned long long>(st.steps_skipped_by_filter),
+                static_cast<unsigned long long>(st.collections));
+    return true;
+  }
+
+  bool CmdExplain(const std::string& name) {
+    if (name.empty()) {
+      std::printf("usage: explain <rule>\n");
+      return true;
+    }
+    auto text = engine_.Explain(name);
+    if (!text.ok()) {
+      Report(text.status());
+      return true;
+    }
+    std::printf("%s", text->c_str());
     return true;
   }
 
   SimClock clock_;
   db::Database database_;
+  // Declared before the engine: the engine's destructor detaches from the
+  // registry, so the registry must outlive it.
+  Metrics metrics_;
   rules::RuleEngine engine_;
 };
 

@@ -1,0 +1,173 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+namespace ptldb {
+namespace {
+
+// The registry serializes with a minimal emitter rather than a JSON library:
+// instrument names are restricted to [A-Za-z0-9_.!<>$@-] in practice, but
+// escape defensively so arbitrary rule names stay valid JSON.
+void AppendJsonString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+size_t BucketIndex(uint64_t ns) {
+  size_t idx = static_cast<size_t>(std::bit_width(ns));
+  return idx < Metrics::Histogram::kBuckets
+             ? idx
+             : Metrics::Histogram::kBuckets - 1;
+}
+
+}  // namespace
+
+void Metrics::Histogram::Observe(uint64_t ns) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < ns &&
+         !max_.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+  }
+  buckets_[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Metrics::Histogram::mean_ns() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum_ns()) / static_cast<double>(n);
+}
+
+uint64_t Metrics::Histogram::QuantileUpperBoundNs(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Bucket i holds values with bit_width == i, i.e. < 2^i.
+      return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+    }
+  }
+  return max_ns();
+}
+
+Metrics::Counter& Metrics::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = name;
+  if (gauges_.count(key) != 0 || histograms_.count(key) != 0) {
+    key = "!conflict." + key;
+  }
+  auto& slot = counters_[key];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Metrics::Gauge& Metrics::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = name;
+  if (counters_.count(key) != 0 || histograms_.count(key) != 0) {
+    key = "!conflict." + key;
+  }
+  auto& slot = gauges_[key];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Metrics::Histogram& Metrics::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = name;
+  if (counters_.count(key) != 0 || gauges_.count(key) != 0) {
+    key = "!conflict." + key;
+  }
+  auto& slot = histograms_[key];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+uint64_t Metrics::AddProvider(ProviderFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_provider_id_++;
+  providers_[id] = std::move(fn);
+  return id;
+}
+
+void Metrics::RemoveProvider(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_.erase(id);
+}
+
+std::string Metrics::ToJson() {
+  // Run providers without holding the lock: they call back into
+  // counter()/gauge() to publish derived values.
+  std::vector<ProviderFn> fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fns.reserve(providers_.size());
+    for (const auto& [id, fn] : providers_) fns.push_back(fn);
+  }
+  for (const auto& fn : fns) fn(*this);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": " << c->Get();
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": " << g->Get();
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": {\"count\": " << h->count() << ", \"sum_ns\": " << h->sum_ns()
+        << ", \"mean_ns\": " << static_cast<uint64_t>(h->mean_ns())
+        << ", \"p50_ns\": " << h->QuantileUpperBoundNs(0.5)
+        << ", \"p99_ns\": " << h->QuantileUpperBoundNs(0.99)
+        << ", \"max_ns\": " << h->max_ns() << "}";
+  }
+  out << (first ? "" : "\n  ") << "}\n}";
+  return out.str();
+}
+
+}  // namespace ptldb

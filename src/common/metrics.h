@@ -1,0 +1,146 @@
+// Lightweight metrics registry for engine-wide observability.
+//
+// Production active-rule systems make rule execution inspectable first-class;
+// here every layer (RuleEngine, IncrementalEvaluator, the aux stores, the
+// query path) can publish counters, gauges, and latency histograms into one
+// named registry, snapshot as JSON by `Metrics::ToJson()` (the `stats` shell
+// command and the benches' `--metrics-out` flag).
+//
+// Design constraints:
+//
+//   * Near-zero overhead when unset. Components hold plain pointers to
+//     individual instruments (null when no registry is attached) and guard
+//     every update with a single branch; no instrument lookup, no clock read,
+//     no allocation happens on the hot path unless metrics are wired.
+//   * Instruments are owned by the registry and have stable addresses for its
+//     lifetime, so cached pointers never dangle while the registry lives.
+//   * Updates are atomic (relaxed): the engine's sharded step phase may bump
+//     counters from pool threads. Snapshots are not linearizable across
+//     instruments — ToJson reads each instrument atomically but the set is
+//     only consistent when taken from the engine's dispatch thread.
+//   * Expensive-to-maintain values (live node counts, per-rule aggregates)
+//     are not updated eagerly: a component registers a *provider* callback
+//     that refreshes its gauges only when a snapshot is taken.
+
+#ifndef PTLDB_COMMON_METRICS_H_
+#define PTLDB_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ptldb {
+
+class Metrics {
+ public:
+  /// Monotonically increasing event count.
+  class Counter {
+   public:
+    void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+    uint64_t Get() const { return v_.load(std::memory_order_relaxed); }
+
+   private:
+    std::atomic<uint64_t> v_{0};
+  };
+
+  /// Point-in-time signed value (queue depths, node counts, ...).
+  class Gauge {
+   public:
+    void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+    void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+    int64_t Get() const { return v_.load(std::memory_order_relaxed); }
+
+   private:
+    std::atomic<int64_t> v_{0};
+  };
+
+  /// Latency histogram over nanoseconds: power-of-two buckets (bucket i holds
+  /// observations with bit_width(ns) == i), plus exact count/sum/max.
+  class Histogram {
+   public:
+    static constexpr size_t kBuckets = 40;  // 2^39 ns ~ 9 minutes
+
+    void Observe(uint64_t ns);
+
+    uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    uint64_t sum_ns() const { return sum_.load(std::memory_order_relaxed); }
+    uint64_t max_ns() const { return max_.load(std::memory_order_relaxed); }
+    double mean_ns() const;
+    /// Upper bucket bound of the q-quantile (q in [0,1]); 0 when empty.
+    uint64_t QuantileUpperBoundNs(double q) const;
+
+   private:
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> max_{0};
+    std::atomic<uint64_t> buckets_[kBuckets] = {};
+  };
+
+  /// Finds or creates the named instrument. The returned reference is stable
+  /// for the registry's lifetime. Name collisions across kinds are an error
+  /// reported by returning a dedicated "invalid" instrument that still works
+  /// but is serialized under a "!conflict." prefix, keeping the hot path
+  /// assertion-free.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// A provider refreshes derived gauges right before a snapshot (it runs on
+  /// the thread calling ToJson and may call gauge()/counter() freely).
+  using ProviderFn = std::function<void(Metrics&)>;
+  uint64_t AddProvider(ProviderFn fn);
+  void RemoveProvider(uint64_t id);
+
+  /// JSON snapshot: runs every provider, then serializes all instruments as
+  ///   {"counters": {...}, "gauges": {...}, "histograms": {name: {count, ...}}}
+  /// with keys sorted, so successive snapshots diff cleanly.
+  std::string ToJson();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<uint64_t, ProviderFn> providers_;
+  uint64_t next_provider_id_ = 1;
+};
+
+/// Times a scope into a histogram; no clock is read when `h` is null.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Metrics::Histogram* h) : h_(h) {
+    if (h_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (h_ != nullptr) {
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_);
+      h_->Observe(static_cast<uint64_t>(ns.count()));
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Metrics::Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Null-safe increment helpers for cached instrument pointers.
+inline void MetricAdd(Metrics::Counter* c, uint64_t n = 1) {
+  if (c != nullptr) c->Add(n);
+}
+inline void MetricSet(Metrics::Gauge* g, int64_t v) {
+  if (g != nullptr) g->Set(v);
+}
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_METRICS_H_

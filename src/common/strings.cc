@@ -1,6 +1,8 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <charconv>
+#include <system_error>
 
 namespace ptldb {
 
@@ -21,6 +23,22 @@ std::string ToLower(std::string_view s) {
 
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("expected integer, got \"\"");
+  int64_t value = 0;
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::OutOfRange(StrCat("integer out of range: \"", s, "\""));
+  }
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument(
+        StrCat("expected integer, got \"", s, "\""));
+  }
+  return value;
 }
 
 }  // namespace ptldb

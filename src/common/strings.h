@@ -3,10 +3,13 @@
 #ifndef PTLDB_COMMON_STRINGS_H_
 #define PTLDB_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace ptldb {
 
@@ -35,6 +38,11 @@ std::string ToLower(std::string_view s);
 
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Strict base-10 integer parse: the entire string must be a valid (optionally
+/// signed) decimal number with no surrounding whitespace. Unlike `atol`, junk
+/// input is an InvalidArgument error rather than silently 0.
+Result<int64_t> ParseInt64(std::string_view s);
 
 }  // namespace ptldb
 

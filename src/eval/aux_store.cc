@@ -20,6 +20,10 @@ Status ScalarSeries::Record(Timestamp t, Value v) {
     last.end = t;
     if (last.start == last.end) intervals_.pop_back();  // zero-length interval
   }
+  if (!has_record_) {
+    first_start_ = t;
+    has_record_ = true;
+  }
   intervals_.push_back(Interval{t, kTimeMax, std::move(v)});
   return Status::OK();
 }
@@ -30,11 +34,24 @@ Result<Value> ScalarSeries::AsOf(Timestamp t) const {
       intervals_.begin(), intervals_.end(), t,
       [](Timestamp x, const Interval& iv) { return x < iv.start; });
   if (it == intervals_.begin()) {
-    return Status::NotFound(StrCat("no value recorded at or before time ", t));
+    // Two distinct failures: `t` may predate the series entirely (nothing was
+    // ever known at `t`), or the covering interval existed but TrimBefore
+    // dropped it (the answer is gone, not absent).
+    if (!has_record_ || t < first_start_) {
+      return Status::NotFound(
+          StrCat("no value recorded at or before time ", t));
+    }
+    return Status::OutOfRange(
+        StrCat("value history trimmed: time ", t,
+               " precedes the retained history (first retained interval "
+               "starts at ",
+               intervals_.front().start, ")"));
   }
   --it;
   if (t >= it->end) {
-    return Status::NotFound(StrCat("value history trimmed before time ", t));
+    // Recorded intervals are contiguous, so a gap can only come from a trim.
+    return Status::OutOfRange(
+        StrCat("value history trimmed: no retained interval covers time ", t));
   }
   return it->value;
 }
@@ -47,6 +64,7 @@ Result<Value> ScalarSeries::Latest() const {
 void ScalarSeries::TrimBefore(Timestamp horizon) {
   while (!intervals_.empty() && intervals_.front().end <= horizon) {
     intervals_.pop_front();
+    ++intervals_trimmed_;
   }
 }
 
@@ -63,7 +81,10 @@ Status RelationHistory::Record(Timestamp t, const db::Relation& rel) {
   for (const db::Tuple& row : rel.rows()) ++want[row];
 
   // Close intervals of rows that disappeared (or whose multiplicity dropped);
-  // keep rows still present.
+  // keep rows still present. A row opened at `t` and closed at `t` would have
+  // a zero-length [t, t) interval: `AsOf` can never observe it, so drop it
+  // outright instead of retaining a phantom row until the next TrimBefore.
+  bool any_phantom = false;
   for (StampedRow& sr : rows_) {
     if (sr.end != kTimeMax) continue;
     auto it = want.find(sr.row);
@@ -71,7 +92,17 @@ Status RelationHistory::Record(Timestamp t, const db::Relation& rel) {
       --it->second;  // still present: interval stays open
     } else {
       sr.end = t;
+      if (sr.start == t) any_phantom = true;
     }
+  }
+  if (any_phantom) {
+    size_t before = rows_.size();
+    rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                               [t](const StampedRow& sr) {
+                                 return sr.start == t && sr.end == t;
+                               }),
+                rows_.end());
+    phantom_rows_dropped_ += before - rows_.size();
   }
   // Open intervals for genuinely new rows.
   for (const auto& [row, count] : want) {
@@ -86,6 +117,11 @@ Status RelationHistory::Record(Timestamp t, const db::Relation& rel) {
 
 Result<db::Relation> RelationHistory::AsOf(Timestamp t) const {
   if (!has_record_) return Status::NotFound("empty relation history");
+  if (trimmed_ && t < trim_horizon_) {
+    return Status::OutOfRange(
+        StrCat("relation history trimmed before time ", trim_horizon_,
+               "; reconstruction at ", t, " would be incomplete"));
+  }
   db::Relation out(schema_);
   for (const StampedRow& sr : rows_) {
     if (sr.start <= t && t < sr.end) out.AppendUnchecked(sr.row);
@@ -108,11 +144,26 @@ db::Relation RelationHistory::Store() const {
 }
 
 void RelationHistory::TrimBefore(Timestamp horizon) {
+  size_t before = rows_.size();
   rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
                              [horizon](const StampedRow& sr) {
                                return sr.end <= horizon;
                              }),
               rows_.end());
+  if (rows_.size() != before) {
+    rows_trimmed_ += before - rows_.size();
+    trimmed_ = true;
+    if (horizon > trim_horizon_) trim_horizon_ = horizon;
+  }
+}
+
+void RelationHistory::ExportTo(Metrics& m, const std::string& prefix) const {
+  const std::string base = "aux." + prefix;
+  m.gauge(base + ".rows").Set(static_cast<int64_t>(rows_.size()));
+  m.gauge(base + ".bytes").Set(static_cast<int64_t>(EstimateBytes()));
+  m.gauge(base + ".rows_trimmed").Set(static_cast<int64_t>(rows_trimmed_));
+  m.gauge(base + ".phantom_rows_dropped")
+      .Set(static_cast<int64_t>(phantom_rows_dropped_));
 }
 
 }  // namespace ptldb::eval

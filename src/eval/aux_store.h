@@ -22,6 +22,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "db/relation.h"
@@ -38,7 +39,13 @@ class ScalarSeries {
   /// only when the value changed; `t` must be >= the last recorded time.
   Status Record(Timestamp t, Value v);
 
-  /// Value at time `t`. NotFound before the first record.
+  /// Value at time `t`. The two failure modes are distinct:
+  ///   * NotFound    — `t` precedes the first value ever recorded; the query
+  ///     is simply before the series began.
+  ///   * OutOfRange  — a value *was* recorded covering `t`, but `TrimBefore`
+  ///     has since dropped it; the answer existed and is gone.
+  /// Callers that treat "no value yet" as benign must not swallow OutOfRange:
+  /// it means their retention horizon is too tight.
   Result<Value> AsOf(Timestamp t) const;
 
   /// Latest recorded value. NotFound when empty.
@@ -51,6 +58,14 @@ class ScalarSeries {
   size_t num_intervals() const { return intervals_.size(); }
   bool empty() const { return intervals_.empty(); }
 
+  /// Total intervals dropped by TrimBefore over this series' lifetime.
+  uint64_t intervals_trimmed() const { return intervals_trimmed_; }
+
+  /// Rough retained-memory estimate (containers only, not string payloads).
+  size_t EstimateBytes() const {
+    return sizeof(*this) + intervals_.size() * sizeof(Interval);
+  }
+
  private:
   struct Interval {
     Timestamp start;
@@ -58,6 +73,9 @@ class ScalarSeries {
     Value value;
   };
   std::deque<Interval> intervals_;
+  Timestamp first_start_ = 0;   // start of the first interval ever recorded
+  bool has_record_ = false;
+  uint64_t intervals_trimmed_ = 0;
 };
 
 /// Interval-stamped history of a relation-valued query: the paper's R_x with
@@ -76,7 +94,8 @@ class RelationHistory {
 
   /// The relation as of time `t` (selection T_start <= t < T_end followed by
   /// a projection, exactly the paper's retrieval). NotFound before the first
-  /// record.
+  /// record; OutOfRange when `t` falls before a trim horizon that actually
+  /// dropped rows (the reconstruction would silently be incomplete).
   Result<db::Relation> AsOf(Timestamp t) const;
 
   /// The backing store as a relation with T_start / T_end columns appended —
@@ -88,6 +107,24 @@ class RelationHistory {
 
   size_t num_rows() const { return rows_.size(); }
 
+  /// Total rows dropped by TrimBefore over this history's lifetime.
+  uint64_t rows_trimmed() const { return rows_trimmed_; }
+
+  /// Rows discarded at record time because they would have had a zero-length
+  /// [t, t) validity interval (inserted and dropped at the same timestamp).
+  uint64_t phantom_rows_dropped() const { return phantom_rows_dropped_; }
+
+  /// Rough retained-memory estimate (containers only, not string payloads).
+  size_t EstimateBytes() const {
+    return sizeof(*this) +
+           rows_.size() *
+               (sizeof(StampedRow) + schema_.columns().size() * sizeof(Value));
+  }
+
+  /// Publishes interval/trim/bytes accounting into `m` under
+  /// `aux.<prefix>.{rows,rows_trimmed,phantom_rows_dropped,bytes}`.
+  void ExportTo(Metrics& m, const std::string& prefix) const;
+
  private:
   struct StampedRow {
     db::Tuple row;
@@ -98,6 +135,10 @@ class RelationHistory {
   std::vector<StampedRow> rows_;
   Timestamp last_time_ = std::numeric_limits<Timestamp>::min();
   bool has_record_ = false;
+  bool trimmed_ = false;
+  Timestamp trim_horizon_ = std::numeric_limits<Timestamp>::min();
+  uint64_t rows_trimmed_ = 0;
+  uint64_t phantom_rows_dropped_ = 0;
 };
 
 }  // namespace ptldb::eval

@@ -266,6 +266,7 @@ void Graph::SubsumeIntervalAtoms(bool is_and, std::vector<NodeId>* children) {
       drop[i] = true;
     }
     any_dropped = true;
+    ++subsume_hits_;
   }
   if (!any_dropped) return;
   std::vector<NodeId> kept;
@@ -502,6 +503,7 @@ Result<NodeId> Graph::PruneTimeBounds(NodeId root, Timestamp now) {
               }
             }
           }
+          if (out != id) ++g->prune_hits_;
           break;
         }
         case Node::Kind::kNot: {

@@ -127,6 +127,13 @@ class Graph {
 
   uint64_t generation() const { return generation_; }
 
+  /// Count of atoms rewritten to a sentinel by PruneTimeBounds (how often the
+  /// §5 time-bound optimization actually fires).
+  uint64_t prune_hits() const { return prune_hits_; }
+
+  /// Count of children dropped by the interval-subsumption simplification.
+  uint64_t subsume_hits() const { return subsume_hits_; }
+
   /// Debug rendering of a node.
   std::string ToString(NodeId id) const;
   std::string ExprToString(SymExprId id) const;
@@ -186,6 +193,8 @@ class Graph {
 
   uint64_t generation_ = 0;
   bool subsumption_ = true;
+  uint64_t prune_hits_ = 0;
+  uint64_t subsume_hits_ = 0;
 };
 
 }  // namespace ptldb::eval

@@ -419,12 +419,13 @@ size_t IncrementalEvaluator::LiveNodeCount() const {
   return graph_->CountReachable(mem_);
 }
 
-void IncrementalEvaluator::MaybeCollect(size_t threshold) {
-  if (graph_->num_nodes() <= threshold) return;
+bool IncrementalEvaluator::MaybeCollect(size_t threshold) {
+  if (graph_->num_nodes() <= threshold) return false;
   std::vector<NodeId*> roots;
   roots.reserve(mem_.size());
   for (NodeId& m : mem_) roots.push_back(&m);
   graph_->Collect(std::move(roots));
+  return true;
 }
 
 Status IncrementalEvaluator::CollectKeepingCheckpoints(

@@ -119,8 +119,17 @@ class IncrementalEvaluator {
   size_t StoreNodeCount() const { return graph_->num_nodes(); }
 
   /// Compacts the node store when it exceeds `threshold` nodes. Invalidates
-  /// outstanding Checkpoints (they fail Restore with a clear error).
-  void MaybeCollect(size_t threshold = 65536);
+  /// outstanding Checkpoints (they fail Restore with a clear error). Returns
+  /// whether a collection actually ran, so callers can account for it.
+  bool MaybeCollect(size_t threshold = 65536);
+
+  /// Number of collections this evaluator's store has undergone (equals the
+  /// graph generation counter).
+  uint64_t collections() const { return graph_->generation(); }
+
+  /// §5 optimization hit counters, forwarded from the backing graph.
+  uint64_t prune_hits() const { return graph_->prune_hits(); }
+  uint64_t subsume_hits() const { return graph_->subsume_hits(); }
 
   /// Compacts the node store while keeping `checkpoints` valid: their node
   /// ids are remapped in place and their generation updated. Used by

@@ -77,7 +77,77 @@ RuleEngine::RuleEngine(db::Database* database)
   database_->SetListener(this);
 }
 
-RuleEngine::~RuleEngine() { database_->SetListener(nullptr); }
+RuleEngine::~RuleEngine() {
+  if (metrics_ != nullptr) metrics_->RemoveProvider(metrics_provider_id_);
+  database_->SetListener(nullptr);
+}
+
+// ---- Observability ----------------------------------------------------------
+
+void RuleEngine::SetMetrics(Metrics* metrics) {
+  if (metrics_ != nullptr) metrics_->RemoveProvider(metrics_provider_id_);
+  metrics_ = metrics;
+  if (metrics_ == nullptr) {
+    ins_ = MetricSet{};
+    metrics_provider_id_ = 0;
+    return;
+  }
+  ins_.states_processed = &metrics_->counter("engine.states_processed");
+  ins_.rule_steps = &metrics_->counter("engine.rule_steps");
+  ins_.steps_skipped_by_filter =
+      &metrics_->counter("engine.steps_skipped_by_filter");
+  ins_.actions_executed = &metrics_->counter("engine.actions_executed");
+  ins_.ic_checks = &metrics_->counter("engine.ic_checks");
+  ins_.ic_violations = &metrics_->counter("engine.ic_violations");
+  ins_.instances_created = &metrics_->counter("engine.instances_created");
+  ins_.parallel_dispatches = &metrics_->counter("engine.parallel_dispatches");
+  ins_.collections = &metrics_->counter("engine.collections");
+  ins_.errors = &metrics_->counter("engine.errors");
+  ins_.query_evals = &metrics_->counter("query.evals");
+  ins_.query_memo_hits = &metrics_->counter("query.memo_hits");
+  ins_.gather_ns = &metrics_->histogram("engine.gather_ns");
+  ins_.step_ns = &metrics_->histogram("engine.step_ns");
+  ins_.merge_ns = &metrics_->histogram("engine.merge_ns");
+  ins_.action_ns = &metrics_->histogram("engine.action_ns");
+  metrics_provider_id_ =
+      metrics_->AddProvider([this](Metrics& m) { RefreshDerivedMetrics(m); });
+}
+
+void RuleEngine::RefreshDerivedMetrics(Metrics& m) {
+  m.gauge("engine.rules").Set(static_cast<int64_t>(rules_.size()));
+  m.gauge("engine.threads").Set(static_cast<int64_t>(num_threads_));
+  m.gauge("engine.batch_queue_depth")
+      .Set(static_cast<int64_t>(batch_queue_.size()));
+  size_t instances = 0, live = 0, store = 0;
+  uint64_t collections = 0, prune_hits = 0, subsume_hits = 0;
+  for (const auto& rule : rules_) {
+    size_t rule_live = 0, rule_store = 0;
+    uint64_t rule_steps = 0;
+    for (const auto& instance : rule->instances) {
+      rule_live += instance->ev.LiveNodeCount();
+      rule_store += instance->ev.StoreNodeCount();
+      rule_steps += instance->ev.steps();
+      collections += instance->ev.collections();
+      prune_hits += instance->ev.prune_hits();
+      subsume_hits += instance->ev.subsume_hits();
+    }
+    instances += rule->instances.size();
+    live += rule_live;
+    store += rule_store;
+    if (rule->is_system) continue;  // keep generated-rule cardinality out
+    const std::string base = StrCat("rule.", rule->name);
+    m.gauge(base + ".steps").Set(static_cast<int64_t>(rule_steps));
+    m.gauge(base + ".fires").Set(static_cast<int64_t>(rule->fires));
+    m.gauge(base + ".retained_nodes").Set(static_cast<int64_t>(rule_live));
+    m.gauge(base + ".store_nodes").Set(static_cast<int64_t>(rule_store));
+  }
+  m.gauge("engine.instances").Set(static_cast<int64_t>(instances));
+  m.gauge("evaluator.live_nodes").Set(static_cast<int64_t>(live));
+  m.gauge("evaluator.store_nodes").Set(static_cast<int64_t>(store));
+  m.gauge("evaluator.collections").Set(static_cast<int64_t>(collections));
+  m.gauge("evaluator.prune_hits").Set(static_cast<int64_t>(prune_hits));
+  m.gauge("evaluator.subsume_hits").Set(static_cast<int64_t>(subsume_hits));
+}
 
 // ---- Registration -----------------------------------------------------------
 
@@ -284,6 +354,7 @@ Result<RuleEngine::Instance*> RuleEngine::MakeInstance(
   rule->instance_index.emplace(ptr->params_key, rule->instances.size());
   rule->instances.push_back(std::move(instance));
   ++stats_.instances_created;
+  MetricAdd(ins_.instances_created);
   return ptr;
 }
 
@@ -336,6 +407,7 @@ std::vector<std::string> RuleEngine::RuleNames() const {
 }
 
 void RuleEngine::ReportError(Status status) {
+  MetricAdd(ins_.errors);
   errors_.push_back(std::move(status));
 }
 
@@ -344,6 +416,7 @@ void RuleEngine::ReportError(Status status) {
 Status RuleEngine::RefreshFamily(Rule* rule) {
   PTLDB_ASSIGN_OR_RETURN(db::Relation domain, database_->Query(rule->domain));
   ++stats_.queries_evaluated;
+  MetricAdd(ins_.query_evals);
   if (domain.schema().num_columns() < rule->param_names.size()) {
     return Status::InvalidArgument(
         StrCat("rule '", rule->name, "': domain query returns ",
@@ -377,12 +450,15 @@ Result<ptl::StateSnapshot> RuleEngine::BuildSnapshot(
     if (memo != nullptr) {
       auto it = memo->find(spec);
       if (it != memo->end()) {
+        ++stats_.query_memo_hits;
+        MetricAdd(ins_.query_memo_hits);
         snapshot.query_values.push_back(it->second);
         continue;
       }
     }
     PTLDB_ASSIGN_OR_RETURN(Value v, registry_.Eval(spec));
     ++stats_.queries_evaluated;
+    MetricAdd(ins_.query_evals);
     if (memo != nullptr) memo->emplace(spec, v);
     snapshot.query_values.push_back(std::move(v));
   }
@@ -402,8 +478,12 @@ Result<bool> RuleEngine::StepInstance(Rule* rule, Instance* instance,
   PTLDB_ASSIGN_OR_RETURN(bool fired, instance->ev.Step(snapshot));
   instance->last_seq = state.seq;
   ++stats_.rule_steps;
+  MetricAdd(ins_.rule_steps);
   // Collection invalidates checkpoints, so the hypothetical IC path defers it.
-  if (allow_collect) instance->ev.MaybeCollect();
+  if (allow_collect && instance->ev.MaybeCollect(collect_threshold_)) {
+    ++stats_.collections;
+    MetricAdd(ins_.collections);
+  }
   return fired;
 }
 
@@ -420,6 +500,14 @@ Result<RuleEngine::StepTask> RuleEngine::GatherStepTask(
     task.resolved = true;
     task.fired = instance->ev.last_fired();
     task.was_satisfied = task.fired && instance->ev.steps() > 0;
+    // This is the only path a constraint's evaluator routinely takes after
+    // its commit-time probe (which defers collection to keep its checkpoint
+    // valid), so collect here or the IC's node store grows without bound.
+    // Safe: gather runs serially and no checkpoint is outstanding once the
+    // probed state has committed.
+    if (allow_collect && instance->ev.MaybeCollect(collect_threshold_)) {
+      task.collected = true;
+    }
     return task;
   }
   PTLDB_ASSIGN_OR_RETURN(task.snapshot, BuildSnapshot(*instance, state, memo));
@@ -427,7 +515,7 @@ Result<RuleEngine::StepTask> RuleEngine::GatherStepTask(
 }
 
 void RuleEngine::RunStepTasks(std::vector<StepTask>* tasks) {
-  auto run_one = [tasks](size_t i) {
+  auto run_one = [this, tasks](size_t i) {
     StepTask& t = (*tasks)[i];
     if (t.resolved) return;
     eval::IncrementalEvaluator& ev = t.instance->ev;
@@ -440,10 +528,14 @@ void RuleEngine::RunStepTasks(std::vector<StepTask>* tasks) {
     t.instance->last_seq = t.snapshot.seq;
     t.stepped = true;
     t.fired = *fired;
-    if (t.allow_collect) t.instance->ev.MaybeCollect();
+    if (t.allow_collect &&
+        t.instance->ev.MaybeCollect(collect_threshold_)) {
+      t.collected = true;
+    }
   };
   if (pool_ != nullptr && tasks->size() > 1) {
     ++stats_.parallel_dispatches;
+    MetricAdd(ins_.parallel_dispatches);
     pool_->ParallelFor(tasks->size(), run_one);
   } else {
     for (size_t i = 0; i < tasks->size(); ++i) run_one(i);
@@ -523,6 +615,7 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
   }
   ++dispatch_depth_;
   ++stats_.states_processed;
+  MetricAdd(ins_.states_processed);
 
   // Phase 1: system rules (aggregate reset/accumulate), in registration
   // order, actions applied inline so user conditions at this state already
@@ -558,11 +651,14 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
   // the gather pass (phase 1's aggregate mutations already happened).
   QueryMemo memo;
   std::vector<StepTask> tasks;
+  {
+    ScopedTimer gather_timer(ins_.gather_ns);
   for (const auto& rule : rules_) {
     if (rule->is_system) continue;
     if (rule->options.event_filtered && !rule->event_names.empty() &&
         relevant.count(rule.get()) == 0) {
       stats_.steps_skipped_by_filter += rule->instances.size();
+      MetricAdd(ins_.steps_skipped_by_filter, rule->instances.size());
       continue;
     }
     if (rule->is_family) {
@@ -594,15 +690,28 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
       tasks.push_back(std::move(*task));
     }
   }
+  }  // gather_timer
 
   // Step (sharded): pure evaluator work, fanned out when a pool is set.
-  RunStepTasks(&tasks);
+  {
+    ScopedTimer step_timer(ins_.step_ns);
+    RunStepTasks(&tasks);
+  }
 
   // Merge (serial, canonical order): identical decisions and error reporting
   // regardless of thread count.
   std::vector<PendingAction> pending;
+  {
+    ScopedTimer merge_timer(ins_.merge_ns);
   for (StepTask& task : tasks) {
-    if (task.stepped) ++stats_.rule_steps;
+    if (task.stepped) {
+      ++stats_.rule_steps;
+      MetricAdd(ins_.rule_steps);
+    }
+    if (task.collected) {
+      ++stats_.collections;
+      MetricAdd(ins_.collections);
+    }
     if (!task.status.ok()) {
       ReportError(std::move(task.status));
       continue;
@@ -614,6 +723,7 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
           PendingAction{task.rule, task.instance, state.time});
     }
   }
+  }  // merge_timer
 
   // Phase 3: run actions, ascending (priority, registration order).
   RunPendingActions(std::move(pending));
@@ -639,8 +749,14 @@ void RuleEngine::RunPendingActions(std::vector<PendingAction> pending) {
   for (const PendingAction& pa : pending) {
     ActionContext ctx(database_, pa.rule->name, &pa.instance->params,
                       pa.fired_at);
-    Status s = pa.rule->action(ctx);
+    Status s;
+    {
+      ScopedTimer action_timer(ins_.action_ns);
+      s = pa.rule->action(ctx);
+    }
     ++stats_.actions_executed;
+    MetricAdd(ins_.actions_executed);
+    ++pa.rule->fires;
     if (!s.ok()) {
       ReportError(Status(s.code(), StrCat("action of rule '", pa.rule->name,
                                           "' failed: ", s.message())));
@@ -669,6 +785,7 @@ Status RuleEngine::Flush() {
       bool stepped = false;
       bool fired = false;
       bool was_satisfied = false;
+      bool collected = false;
       Status status = Status::OK();
     };
     std::vector<StepOut> outs(queue.size());
@@ -682,7 +799,7 @@ Status RuleEngine::Flush() {
         groups[it->second].push_back(i);
       }
     }
-    auto run_group = [&queue, &outs, &groups](size_t g) {
+    auto run_group = [this, &queue, &outs, &groups](size_t g) {
       for (size_t i : groups[g]) {
         QueuedStep& qs = queue[i];
         StepOut& out = outs[i];
@@ -697,11 +814,14 @@ Status RuleEngine::Flush() {
         qs.instance->last_seq = qs.snapshot.seq;
         out.stepped = true;
         out.fired = *fired;
-        qs.instance->ev.MaybeCollect();
+        if (qs.instance->ev.MaybeCollect(collect_threshold_)) {
+          out.collected = true;
+        }
       }
     };
     if (pool_ != nullptr && groups.size() > 1) {
       ++stats_.parallel_dispatches;
+      MetricAdd(ins_.parallel_dispatches);
       pool_->ParallelFor(groups.size(), run_group);
     } else {
       for (size_t g = 0; g < groups.size(); ++g) run_group(g);
@@ -713,7 +833,14 @@ Status RuleEngine::Flush() {
     for (size_t i = 0; i < queue.size(); ++i) {
       QueuedStep& qs = queue[i];
       StepOut& out = outs[i];
-      if (out.stepped) ++stats_.rule_steps;
+      if (out.stepped) {
+        ++stats_.rule_steps;
+        MetricAdd(ins_.rule_steps);
+      }
+      if (out.collected) {
+        ++stats_.collections;
+        MetricAdd(ins_.collections);
+      }
       if (!out.status.ok()) {
         ReportError(std::move(out.status));
         continue;
@@ -747,11 +874,43 @@ Result<RuleEngine::RuleInfo> RuleEngine::Describe(const std::string& name) const
   info.is_family = rule.is_family;
   info.num_instances = rule.instances.size();
   info.event_names.assign(rule.event_names.begin(), rule.event_names.end());
+  info.fires = rule.fires;
   for (const auto& instance : rule.instances) {
     info.retained_nodes += instance->ev.LiveNodeCount();
+    info.store_nodes += instance->ev.StoreNodeCount();
     info.steps += instance->ev.steps();
+    info.collections += instance->ev.collections();
   }
   return info;
+}
+
+Result<std::string> RuleEngine::Explain(const std::string& name) const {
+  auto it = rule_index_.find(name);
+  if (it == rule_index_.end()) {
+    return Status::NotFound(StrCat("no rule named '", name, "'"));
+  }
+  const Rule& rule = *rules_[it->second];
+  std::ostringstream out;
+  out << "rule " << rule.name;
+  if (rule.is_ic) out << "  [integrity constraint]";
+  if (rule.is_system) out << "  [system]";
+  if (rule.is_family) out << "  [family over " << Join(rule.param_names, ", ")
+                          << "]";
+  out << "\ncondition: " << rule.condition->ToString() << "\n";
+  out << "fires: " << rule.fires
+      << "  instances: " << rule.instances.size() << "\n";
+  for (const auto& instance : rule.instances) {
+    out << "\ninstance";
+    if (!instance->params_key.empty()) out << " [" << instance->params_key
+                                           << "]";
+    out << ": steps=" << instance->ev.steps()
+        << " live_nodes=" << instance->ev.LiveNodeCount()
+        << " store_nodes=" << instance->ev.StoreNodeCount()
+        << " collections=" << instance->ev.collections() << "\n";
+    // The retained F_{g,i} formula per temporal subformula, one per line.
+    out << instance->ev.DebugString();
+  }
+  return out.str();
 }
 
 void RuleEngine::OnStateAppended(const event::SystemState& state) {
@@ -787,6 +946,7 @@ Status RuleEngine::OnCommitAttempt(const event::SystemState& prospective,
                                /*allow_collect=*/false, &memo);
     if (!task.ok()) {
       ++stats_.ic_checks;
+      MetricAdd(ins_.ic_checks);
       failure = task.status();
       break;
     }
@@ -802,12 +962,19 @@ Status RuleEngine::OnCommitAttempt(const event::SystemState& prospective,
   // serial engine.
   for (StepTask& task : tasks) {
     ++stats_.ic_checks;
-    if (task.stepped) ++stats_.rule_steps;
+    MetricAdd(ins_.ic_checks);
+    if (task.stepped) {
+      ++stats_.rule_steps;
+      MetricAdd(ins_.rule_steps);
+    }
     if (!task.status.ok()) {
       failure = std::move(task.status);
       break;
     }
-    if (task.fired) violated.push_back(task.rule->name);
+    if (task.fired) {
+      violated.push_back(task.rule->name);
+      ++task.rule->fires;  // an IC "fires" by vetoing the commit
+    }
   }
 
   if (violated.empty() && failure.ok()) return Status::OK();
@@ -820,6 +987,7 @@ Status RuleEngine::OnCommitAttempt(const event::SystemState& prospective,
   }
   if (!failure.ok()) return failure;
   ++stats_.ic_violations;
+  MetricAdd(ins_.ic_violations);
   return Status::ConstraintViolation(
       StrCat("integrity constraint(s) violated by transaction ", txn, ": ",
              Join(violated, ", ")));

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "agg/rewriter.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "db/database.h"
@@ -130,6 +131,11 @@ struct EngineStats {
   uint64_t instances_created = 0;
   /// Parallel regions actually fanned out over the shard pool.
   uint64_t parallel_dispatches = 0;
+  /// Ground-query evaluations answered from the per-pass memo.
+  uint64_t query_memo_hits = 0;
+  /// Node-store collections across all rule instances (proves the
+  /// bounded-state policy engages on long runs).
+  uint64_t collections = 0;
 };
 
 class RuleEngine : public db::Database::Listener {
@@ -215,6 +221,31 @@ class RuleEngine : public db::Database::Listener {
   Status SetThreads(size_t n);
   size_t threads() const { return num_threads_; }
 
+  // ---- Retained-state collection policy ----
+
+  /// Node-store size above which an instance's and-or graph is compacted
+  /// after stepping. Collections run post-merge on paths where no evaluator
+  /// checkpoint is outstanding (the hypothetical IC probe defers; the commit
+  /// of the probed state collects instead). Lower values trade collection
+  /// work for a tighter memory bound.
+  void SetCollectThreshold(size_t nodes) { collect_threshold_ = nodes; }
+  size_t collect_threshold() const { return collect_threshold_; }
+
+  // ---- Observability ----
+
+  /// Attaches a metrics registry (nullptr detaches). The engine publishes
+  /// counters/histograms as it runs and registers a provider that refreshes
+  /// derived gauges (per-rule retained nodes, pool/queue state, evaluator
+  /// totals) whenever `metrics->ToJson()` snapshots. The registry must
+  /// outlive the engine or be detached first.
+  void SetMetrics(Metrics* metrics);
+  Metrics* metrics() const { return metrics_; }
+
+  /// Multi-line EXPLAIN of one rule: per instance, the retained F_{g,i}
+  /// formula of every temporal subformula (built on the evaluator's
+  /// DebugString) plus node/step/collection accounting.
+  Result<std::string> Explain(const std::string& name) const;
+
   // ---- Introspection ----
 
   /// A point-in-time description of one rule.
@@ -228,8 +259,15 @@ class RuleEngine : public db::Database::Listener {
     std::vector<std::string> event_names;
     /// Sum of retained graph nodes over instances (the §5 state).
     size_t retained_nodes = 0;
+    /// Sum of backing node-store sizes over instances (>= retained_nodes;
+    /// the gap is what a collection reclaims).
+    size_t store_nodes = 0;
     /// Total evaluator steps over instances.
     uint64_t steps = 0;
+    /// Node-store collections over instances.
+    uint64_t collections = 0;
+    /// Times this rule's action ran (ICs: times it vetoed a commit).
+    uint64_t fires = 0;
   };
 
   Result<RuleInfo> Describe(const std::string& name) const;
@@ -282,6 +320,9 @@ class RuleEngine : public db::Database::Listener {
     std::vector<std::unique_ptr<Instance>> instances;
     std::map<std::string, size_t> instance_index;  // params_key -> index
     size_t registration_order = 0;
+    // Per-rule accounting, published through the metrics provider. Mutated
+    // only on the serial merge/action paths.
+    uint64_t fires = 0;
   };
 
   struct PendingAction {
@@ -314,6 +355,7 @@ class RuleEngine : public db::Database::Listener {
     bool stepped = false;
     bool fired = false;
     bool was_satisfied = false;
+    bool collected = false;  // the post-step collection policy engaged
     Status status = Status::OK();
   };
 
@@ -356,6 +398,9 @@ class RuleEngine : public db::Database::Listener {
 
   void RebuildEventIndex();
 
+  /// Provider callback: refreshes derived gauges at snapshot time.
+  void RefreshDerivedMetrics(Metrics& m);
+
   db::Database* database_;
   QueryRegistry registry_;
   std::vector<std::unique_ptr<Rule>> rules_;  // registration order
@@ -372,6 +417,33 @@ class RuleEngine : public db::Database::Listener {
   // Sharded evaluation (1 = serial; pool_ is null then).
   size_t num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
+
+  // Retained-state collection policy (see SetCollectThreshold).
+  size_t collect_threshold_ = 65536;
+
+  // Observability: cached instrument pointers, null when detached, so the
+  // hot path pays one branch per update and nothing else.
+  Metrics* metrics_ = nullptr;
+  uint64_t metrics_provider_id_ = 0;
+  struct MetricSet {
+    Metrics::Counter* states_processed = nullptr;
+    Metrics::Counter* rule_steps = nullptr;
+    Metrics::Counter* steps_skipped_by_filter = nullptr;
+    Metrics::Counter* actions_executed = nullptr;
+    Metrics::Counter* ic_checks = nullptr;
+    Metrics::Counter* ic_violations = nullptr;
+    Metrics::Counter* instances_created = nullptr;
+    Metrics::Counter* parallel_dispatches = nullptr;
+    Metrics::Counter* collections = nullptr;
+    Metrics::Counter* errors = nullptr;
+    Metrics::Counter* query_evals = nullptr;
+    Metrics::Counter* query_memo_hits = nullptr;
+    Metrics::Histogram* gather_ns = nullptr;
+    Metrics::Histogram* step_ns = nullptr;
+    Metrics::Histogram* merge_ns = nullptr;
+    Metrics::Histogram* action_ns = nullptr;
+  };
+  MetricSet ins_;
 
   // §8 batching (1 = synchronous).
   size_t batch_size_ = 1;

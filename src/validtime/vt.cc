@@ -208,9 +208,16 @@ Status VtDatabase::Compact() {
       keep.reserve(m->checkpoints.size());
       for (auto& cp : m->checkpoints) keep.push_back(&cp);
       PTLDB_RETURN_IF_ERROR(m->ev.CollectKeepingCheckpoints(std::move(keep)));
+      ++collections_;
     }
   }
   return Status::OK();
+}
+
+size_t VtDatabase::monitor_store_nodes() const {
+  size_t total = 0;
+  for (const auto& m : monitors_) total += m->ev.StoreNodeCount();
+  return total;
 }
 
 Status VtDatabase::Abort(int64_t txn_id) {
@@ -298,6 +305,17 @@ Status VtDatabase::ReplayTentative(Monitor* m, size_t from) {
     m->checkpoints.push_back(m->ev.Save());
     if (fired && m->on_fire) m->on_fire(states_[i].time);
   }
+  // Replays never collected before, so a long-lived tentative monitor's node
+  // store grew without bound between (optional) Compact() calls. Collect
+  // checkpoint-safely once the store passes the threshold: every retained
+  // per-state checkpoint is remapped in place and stays restorable.
+  if (m->ev.StoreNodeCount() > collect_threshold_) {
+    std::vector<eval::IncrementalEvaluator::Checkpoint*> keep;
+    keep.reserve(m->checkpoints.size());
+    for (auto& cp : m->checkpoints) keep.push_back(&cp);
+    PTLDB_RETURN_IF_ERROR(m->ev.CollectKeepingCheckpoints(std::move(keep)));
+    ++collections_;
+  }
   return Status::OK();
 }
 
@@ -313,6 +331,8 @@ Status VtDatabase::StepDefinite(Monitor* m, Timestamp horizon) {
     if (fired && m->on_fire) m->on_fire(states_[m->frontier].time);
     ++m->frontier;
   }
+  // Definite monitors hold no checkpoints; a plain collection bounds them.
+  if (m->ev.MaybeCollect(collect_threshold_)) ++collections_;
   return Status::OK();
 }
 

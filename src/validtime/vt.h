@@ -103,6 +103,20 @@ class VtDatabase {
   /// the in-memory history exceeds `threshold` states.
   void SetAutoCompact(size_t threshold) { auto_compact_threshold_ = threshold; }
 
+  /// Node-store size above which a monitor's evaluator is compacted after a
+  /// replay/step pass. Tentative monitors hold per-state checkpoints, so
+  /// their collections go through CollectKeepingCheckpoints (checkpoint node
+  /// ids are remapped in place and stay restorable); definite monitors hold
+  /// none and collect directly.
+  void SetCollectThreshold(size_t nodes) { collect_threshold_ = nodes; }
+
+  /// Evaluator node-store collections across all monitors (proves the
+  /// bounded-state policy engages).
+  uint64_t collections() const { return collections_; }
+
+  /// Sum of evaluator store sizes across monitors (diagnostics).
+  size_t monitor_store_nodes() const;
+
   /// Number of states currently held in memory (diagnostics; bounded by the
   /// update rate within one delta window when compaction is on).
   size_t live_states() const { return states_.size(); }
@@ -210,6 +224,8 @@ class VtDatabase {
   int64_t next_txn_id_ = 1;
   size_t auto_compact_threshold_ = 0;  // 0 = manual only
   size_t compacted_states_ = 0;        // absolute seq offset of states_[0]
+  size_t collect_threshold_ = 65536;   // see SetCollectThreshold
+  uint64_t collections_ = 0;
 };
 
 }  // namespace ptldb::validtime

@@ -65,6 +65,35 @@ TEST(ScalarSeriesTest, TrimBeforeBoundsMemory) {
   EXPECT_EQ(v, Value::Int(95));
 }
 
+TEST(ScalarSeriesTest, NeverRecordedVsTrimmedAreDistinctErrors) {
+  ScalarSeries s;
+  // Nothing recorded yet: NotFound, not OutOfRange.
+  EXPECT_EQ(s.AsOf(5).status().code(), StatusCode::kNotFound);
+  for (int i = 10; i < 40; ++i) {
+    ASSERT_OK(s.Record(i, Value::Int(i)));
+  }
+  // Before the series ever began: still NotFound.
+  EXPECT_EQ(s.AsOf(3).status().code(), StatusCode::kNotFound);
+  s.TrimBefore(30);
+  EXPECT_GT(s.intervals_trimmed(), 0u);
+  // Inside the trimmed-away range: OutOfRange ("was recorded, now gone") so
+  // callers can tell a retention miss from a genuine absence.
+  EXPECT_EQ(s.AsOf(15).status().code(), StatusCode::kOutOfRange);
+  // The pre-series instant keeps reporting NotFound even after trimming.
+  EXPECT_EQ(s.AsOf(3).status().code(), StatusCode::kNotFound);
+  ASSERT_OK_AND_ASSIGN(Value v, s.AsOf(35));
+  EXPECT_EQ(v, Value::Int(35));
+}
+
+TEST(ScalarSeriesTest, EstimateBytesGrowsWithIntervals) {
+  ScalarSeries s;
+  size_t empty = s.EstimateBytes();
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_OK(s.Record(i, Value::Int(i)));
+  }
+  EXPECT_GT(s.EstimateBytes(), empty);
+}
+
 class RelationHistoryTest : public ::testing::Test {
  protected:
   RelationHistoryTest()
@@ -132,6 +161,63 @@ TEST_F(RelationHistoryTest, TrimBefore) {
   EXPECT_EQ(history_.num_rows(), 3u);
   history_.TrimBefore(25);
   EXPECT_EQ(history_.num_rows(), 2u);  // the [20,30) and [30,inf) rows remain
+}
+
+TEST_F(RelationHistoryTest, SameInstantRewriteLeavesNoPhantomRow) {
+  db::Tuple ibm{Value::Str("IBM"), Value::Int(70)};
+  db::Tuple hp{Value::Str("HP"), Value::Int(30)};
+  ASSERT_OK(history_.Record(10, Rel({ibm})));
+  // Recording again at the same instant without IBM used to leave a [10,10)
+  // row: closed at the same timestamp it opened, covering no instant, yet
+  // retained in the store forever.
+  ASSERT_OK(history_.Record(10, Rel({hp})));
+  EXPECT_EQ(history_.phantom_rows_dropped(), 1u);
+  db::Relation store = history_.Store();
+  for (size_t i = 0; i < store.size(); ++i) {
+    EXPECT_NE(store.row(i)[2], store.row(i)[3])
+        << "phantom [t,t) validity interval in row " << i;
+  }
+  ASSERT_OK_AND_ASSIGN(db::Relation r10, history_.AsOf(10));
+  ASSERT_EQ(r10.size(), 1u);
+  EXPECT_EQ(r10.row(0)[0], Value::Str("HP"));
+}
+
+TEST_F(RelationHistoryTest, TrimmedAsOfIsOutOfRangeNotSilentlyEmpty) {
+  ASSERT_OK(history_.Record(10, Rel({{Value::Str("IBM"), Value::Int(1)}})));
+  ASSERT_OK(history_.Record(20, Rel({{Value::Str("IBM"), Value::Int(2)}})));
+  ASSERT_OK(history_.Record(30, Rel({{Value::Str("IBM"), Value::Int(3)}})));
+  // Untrimmed, a pre-history instant is a legitimate empty relation.
+  ASSERT_OK_AND_ASSIGN(db::Relation r5, history_.AsOf(5));
+  EXPECT_TRUE(r5.empty());
+  history_.TrimBefore(25);
+  EXPECT_GT(history_.rows_trimmed(), 0u);
+  // After trimming, reconstruction below the horizon would be incomplete:
+  // that must be an error, not a plausible-looking partial relation.
+  auto r15 = history_.AsOf(15);
+  ASSERT_FALSE(r15.ok());
+  EXPECT_EQ(r15.status().code(), StatusCode::kOutOfRange);
+  // At or above the horizon reconstruction still works.
+  ASSERT_OK_AND_ASSIGN(db::Relation r25, history_.AsOf(25));
+  ASSERT_EQ(r25.size(), 1u);
+  EXPECT_EQ(r25.row(0)[1], Value::Int(2));
+}
+
+TEST_F(RelationHistoryTest, ExportToPublishesAccountingGauges) {
+  Metrics m;
+  ASSERT_OK(history_.Record(10, Rel({{Value::Str("IBM"), Value::Int(1)}})));
+  ASSERT_OK(history_.Record(20, Rel({{Value::Str("HP"), Value::Int(2)}})));
+  history_.TrimBefore(15);
+  history_.ExportTo(m, "price");
+  EXPECT_EQ(m.gauge("aux.price.rows").Get(),
+            static_cast<int64_t>(history_.num_rows()));
+  EXPECT_GT(m.gauge("aux.price.bytes").Get(), 0);
+  EXPECT_EQ(m.gauge("aux.price.rows_trimmed").Get(),
+            static_cast<int64_t>(history_.rows_trimmed()));
+  EXPECT_EQ(m.gauge("aux.price.phantom_rows_dropped").Get(), 0);
+  // The gauges land in the registry snapshot alongside everything else.
+  std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"aux.price.rows\""), std::string::npos);
+  EXPECT_NE(json.find("\"aux.price.bytes\""), std::string::npos);
 }
 
 TEST_F(RelationHistoryTest, SchemaMismatchRejected) {

@@ -142,6 +142,29 @@ TEST(StringsTest, StrCatAndJoin) {
   EXPECT_FALSE(StartsWith("pre", "prefix"));
 }
 
+TEST(StringsTest, ParseInt64AcceptsStrictDecimals) {
+  ASSERT_OK_AND_ASSIGN(int64_t v, ParseInt64("42"));
+  EXPECT_EQ(v, 42);
+  ASSERT_OK_AND_ASSIGN(v, ParseInt64("-7"));
+  EXPECT_EQ(v, -7);
+  ASSERT_OK_AND_ASSIGN(v, ParseInt64("0"));
+  EXPECT_EQ(v, 0);
+  ASSERT_OK_AND_ASSIGN(v, ParseInt64("9223372036854775807"));
+  EXPECT_EQ(v, INT64_MAX);
+}
+
+TEST(StringsTest, ParseInt64RejectsJunk) {
+  EXPECT_EQ(ParseInt64("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("abc").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("4x").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64(" 4").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("4 ").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("4.5").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("+4").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("99999999999999999999").status().code(),
+            StatusCode::kOutOfRange);
+}
+
 TEST(ClockTest, SimClockAdvances) {
   SimClock clock(100);
   EXPECT_EQ(clock.Now(), 100);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "rules/engine.h"
 #include "testutil.h"
 
@@ -401,6 +402,131 @@ TEST_F(EngineTest, StatsAccumulate) {
   EXPECT_GT(st.states_processed, 0u);
   EXPECT_GT(st.rule_steps, 0u);
   EXPECT_GT(st.queries_evaluated, 0u);
+}
+
+TEST_F(EngineTest, ExplainRendersRuleAndRetainedState) {
+  ASSERT_OK(engine_.AddTrigger(
+      "sharp", "[t := time] PREVIOUSLY (price('IBM') > 10 AND time >= t - 5)",
+      nullptr));
+  ASSERT_OK(engine_.AddIntegrityConstraint("cap", "price('IBM') <= 1000"));
+  SetPrice("IBM", 60);
+  ASSERT_OK_AND_ASSIGN(std::string text, engine_.Explain("sharp"));
+  EXPECT_NE(text.find("rule sharp"), std::string::npos);
+  EXPECT_NE(text.find("condition:"), std::string::npos);
+  EXPECT_NE(text.find("instance"), std::string::npos);
+  EXPECT_NE(text.find("steps="), std::string::npos);
+  EXPECT_NE(text.find("store_nodes="), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(std::string cap, engine_.Explain("cap"));
+  EXPECT_NE(cap.find("[integrity constraint]"), std::string::npos);
+  EXPECT_FALSE(engine_.Explain("ghost").ok());
+  ExpectNoErrors();
+}
+
+// Metrics tests share the fixture but must detach the registry in TearDown:
+// `metrics_` lives in the subclass and is destroyed before the engine (a base
+// member), which unregisters its provider on destruction.
+class EngineMetricsTest : public EngineTest {
+ protected:
+  // The fixture constructor already processed a few states (table setup), so
+  // counters — which start at attach time — are compared against stat deltas.
+  void SetUp() override {
+    baseline_ = engine_.stats();
+    engine_.SetMetrics(&metrics_);
+  }
+  void TearDown() override { engine_.SetMetrics(nullptr); }
+  Metrics metrics_;
+  EngineStats baseline_;
+};
+
+TEST_F(EngineMetricsTest, CountersMirrorEngineStats) {
+  int fired = 0;
+  ASSERT_OK(
+      engine_.AddTrigger("hot", "price('IBM') > 50", CountAction(&fired)));
+  SetPrice("IBM", 45);
+  SetPrice("IBM", 60);
+  SetPrice("IBM", 40);
+  ExpectNoErrors();
+  EXPECT_GT(fired, 0);
+  const EngineStats& st = engine_.stats();
+  EXPECT_GT(st.actions_executed, 0u);
+  EXPECT_EQ(metrics_.counter("engine.states_processed").Get(),
+            st.states_processed - baseline_.states_processed);
+  EXPECT_EQ(metrics_.counter("engine.rule_steps").Get(),
+            st.rule_steps - baseline_.rule_steps);
+  EXPECT_EQ(metrics_.counter("engine.actions_executed").Get(),
+            st.actions_executed - baseline_.actions_executed);
+  EXPECT_EQ(metrics_.counter("engine.instances_created").Get(),
+            st.instances_created - baseline_.instances_created);
+  EXPECT_EQ(metrics_.counter("query.evals").Get(),
+            st.queries_evaluated - baseline_.queries_evaluated);
+  // Phase latencies were timed.
+  EXPECT_GT(metrics_.histogram("engine.step_ns").count(), 0u);
+  EXPECT_GT(metrics_.histogram("engine.gather_ns").count(), 0u);
+  EXPECT_GT(metrics_.histogram("engine.action_ns").count(), 0u);
+  // The snapshot publishes per-rule derived gauges via the provider.
+  std::string json = metrics_.ToJson();
+  EXPECT_NE(json.find("\"rule.hot.steps\""), std::string::npos);
+  EXPECT_NE(json.find("\"evaluator.store_nodes\""), std::string::npos);
+  EXPECT_EQ(metrics_.gauge("rule.hot.fires").Get(),
+            static_cast<int64_t>(fired));
+}
+
+TEST_F(EngineMetricsTest, IcChecksAndViolationsCounted) {
+  ASSERT_OK(engine_.AddIntegrityConstraint("cap", "price('IBM') <= 100"));
+  SetPrice("IBM", 90);
+  clock_.Advance(1);
+  ASSERT_OK_AND_ASSIGN(int64_t txn, db_.Begin());
+  db::ParamMap params{{"p", Value::Real(150)}};
+  ASSERT_OK(
+      db_.Update(txn, "stock", {{"price", "$p"}}, "name = 'IBM'", &params)
+          .status());
+  EXPECT_EQ(db_.Commit(txn).code(), StatusCode::kTransactionAborted);
+  EXPECT_EQ(metrics_.counter("engine.ic_checks").Get(),
+            engine_.stats().ic_checks);
+  EXPECT_GT(metrics_.counter("engine.ic_checks").Get(), 0u);
+  EXPECT_EQ(metrics_.counter("engine.ic_violations").Get(), 1u);
+  ExpectNoErrors();
+}
+
+TEST_F(EngineMetricsTest, QueryMemoHitsCountedAcrossInstances) {
+  // Both family instances evaluate the same ground query per state: the
+  // second hit is answered from the per-pass memo.
+  ASSERT_OK(engine_.AddTriggerFamily("fam", "SELECT name FROM stock", {"n"},
+                                     "price('IBM') > 50", nullptr,
+                                     RuleOptions{}));
+  SetPrice("IBM", 60);
+  ExpectNoErrors();
+  EXPECT_GT(engine_.stats().query_memo_hits, 0u);
+  EXPECT_EQ(metrics_.counter("query.memo_hits").Get(),
+            engine_.stats().query_memo_hits);
+}
+
+TEST_F(EngineMetricsTest, LongRunRetainedStateBoundedWithCollections) {
+  engine_.SetCollectThreshold(64);
+  ASSERT_OK(engine_.AddTrigger("watch", "WITHIN(price('IBM') >= 1000, 16)",
+                               nullptr,
+                               RuleOptions{.record_execution = false}));
+  // Never violated, but its bounded operator does per-step bookkeeping. IC
+  // evaluators only step on the commit-probe + resolved paths — historically
+  // neither collected, so constraint node stores grew without bound.
+  ASSERT_OK(engine_.AddIntegrityConstraint(
+      "cap", "NOT WITHIN(price('IBM') >= 100000, 8)"));
+  size_t max_store = 0;
+  for (int i = 0; i < 400; ++i) {
+    SetPrice("IBM", static_cast<double>((i % 7) * 100));
+    ASSERT_OK_AND_ASSIGN(RuleEngine::RuleInfo watch, engine_.Describe("watch"));
+    ASSERT_OK_AND_ASSIGN(RuleEngine::RuleInfo cap, engine_.Describe("cap"));
+    max_store = std::max({max_store, watch.store_nodes, cap.store_nodes});
+  }
+  ExpectNoErrors();
+  // Store size may overshoot the threshold by one step's allocations, never
+  // by a multiple of the run length.
+  EXPECT_LE(max_store, 256u);
+  EXPECT_GT(engine_.stats().collections, 0u);
+  ASSERT_OK_AND_ASSIGN(RuleEngine::RuleInfo cap, engine_.Describe("cap"));
+  EXPECT_GT(cap.collections, 0u);  // the IC path itself collected
+  EXPECT_EQ(metrics_.counter("engine.collections").Get(),
+            engine_.stats().collections);
 }
 
 }  // namespace

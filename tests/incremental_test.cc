@@ -202,6 +202,31 @@ TEST(IncrementalTest, CheckpointInvalidAfterCollect) {
   EXPECT_FALSE(ev.Restore(cp).ok());
 }
 
+TEST(IncrementalTest, MaybeCollectReportsWhetherItRan) {
+  IncrementalEvaluator ev = MustMake("WITHIN(price('X') >= 100, 4)");
+  EXPECT_FALSE(ev.MaybeCollect(/*threshold=*/1u << 20));  // below threshold
+  EXPECT_EQ(ev.collections(), 0u);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(ev.Step(Snap(i, i + 1, {}, {Value::Int(1)})).status());
+  }
+  EXPECT_TRUE(ev.MaybeCollect(/*threshold=*/1));
+  EXPECT_EQ(ev.collections(), 1u);
+}
+
+TEST(IncrementalTest, StaleCheckpointErrorNamesTheCollection) {
+  IncrementalEvaluator ev = MustMake("WITHIN(price('X') >= 100, 4)");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(ev.Step(Snap(i, i + 1, {}, {Value::Int(1)})).status());
+  }
+  IncrementalEvaluator::Checkpoint cp = ev.Save();
+  ASSERT_TRUE(ev.MaybeCollect(/*threshold=*/1));
+  Status s = ev.Restore(cp);
+  ASSERT_FALSE(s.ok());
+  // The message must point at the collection, not look like a generic
+  // corruption error: callers (the vt replay path) rely on recognizing it.
+  EXPECT_NE(s.message().find("collection"), std::string::npos) << s.ToString();
+}
+
 TEST(IncrementalTest, CollectPreservesBehaviour) {
   IncrementalEvaluator a = MustMake("WITHIN(price('X') >= 3, 10)");
   IncrementalEvaluator b = MustMake("WITHIN(price('X') >= 3, 10)");

@@ -1,0 +1,130 @@
+// Unit tests for the metrics registry (counters, gauges, histograms,
+// providers, JSON snapshots) and the null-safe helpers components use on
+// their hot paths.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "testutil.h"
+
+namespace ptldb {
+namespace {
+
+TEST(MetricsTest, CounterFindOrCreateIsStable) {
+  Metrics m;
+  Metrics::Counter& c = m.counter("engine.steps");
+  c.Add();
+  c.Add(4);
+  EXPECT_EQ(m.counter("engine.steps").Get(), 5u);
+  EXPECT_EQ(&m.counter("engine.steps"), &c);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Metrics m;
+  Metrics::Gauge& g = m.gauge("queue.depth");
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(m.gauge("queue.depth").Get(), 7);
+}
+
+TEST(MetricsTest, HistogramTracksCountSumMax) {
+  Metrics m;
+  Metrics::Histogram& h = m.histogram("lat");
+  h.Observe(100);
+  h.Observe(300);
+  h.Observe(200);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_ns(), 600u);
+  EXPECT_EQ(h.max_ns(), 300u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 200.0);
+  // Quantile bounds are bucket upper bounds: every observation fits under the
+  // p100 bound, and the median bound covers at least the smallest value.
+  EXPECT_GE(h.QuantileUpperBoundNs(1.0), 300u);
+  EXPECT_GE(h.QuantileUpperBoundNs(0.5), 100u);
+  EXPECT_EQ(m.histogram("empty").QuantileUpperBoundNs(0.5), 0u);
+}
+
+TEST(MetricsTest, ConcurrentCounterUpdatesDoNotLoseIncrements) {
+  Metrics m;
+  Metrics::Counter& c = m.counter("c");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.Get(), 40000u);
+}
+
+TEST(MetricsTest, ToJsonSerializesAllKindsSorted) {
+  Metrics m;
+  m.counter("b.count").Add(2);
+  m.counter("a.count").Add(1);
+  m.gauge("depth").Set(-5);
+  m.histogram("lat").Observe(1000);
+  std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"a.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"b.count\": 2"), std::string::npos);
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"b.count\""));
+  EXPECT_NE(json.find("\"depth\": -5"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(MetricsTest, ProvidersRefreshGaugesAtSnapshotTime) {
+  Metrics m;
+  int refreshes = 0;
+  uint64_t id = m.AddProvider([&refreshes](Metrics& reg) {
+    reg.gauge("derived").Set(++refreshes);
+  });
+  EXPECT_EQ(m.gauge("derived").Get(), 0);  // lazy: no eager refresh
+  (void)m.ToJson();
+  EXPECT_EQ(m.gauge("derived").Get(), 1);
+  (void)m.ToJson();
+  EXPECT_EQ(m.gauge("derived").Get(), 2);
+  m.RemoveProvider(id);
+  (void)m.ToJson();
+  EXPECT_EQ(m.gauge("derived").Get(), 2);  // detached
+}
+
+TEST(MetricsTest, CrossKindNameCollisionIsQuarantined) {
+  Metrics m;
+  m.counter("x").Add(1);
+  Metrics::Gauge& g = m.gauge("x");  // wrong kind for an existing name
+  g.Set(9);
+  std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"x\": 1"), std::string::npos);
+  EXPECT_NE(json.find("!conflict.x"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonEscapesMetricNames) {
+  Metrics m;
+  m.counter("weird\"name\\with\nstuff").Add(1);
+  std::string json = m.ToJson();
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\n"), std::string::npos);
+}
+
+TEST(MetricsTest, NullSafeHelpersAreNoOps) {
+  MetricAdd(nullptr);
+  MetricAdd(nullptr, 5);
+  MetricSet(nullptr, 42);
+  { ScopedTimer t(nullptr); }  // must not read the clock or crash
+  Metrics m;
+  Metrics::Counter& c = m.counter("c");
+  MetricAdd(&c, 3);
+  EXPECT_EQ(c.Get(), 3u);
+}
+
+TEST(MetricsTest, ScopedTimerObservesElapsed) {
+  Metrics m;
+  Metrics::Histogram& h = m.histogram("t");
+  { ScopedTimer t(&h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace ptldb

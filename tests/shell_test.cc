@@ -1,0 +1,87 @@
+// Black-box tests for the ptl_shell binary: each case pipes a script into
+// the real executable (batch mode, path injected as PTL_SHELL_PATH at build
+// time) and checks the printed output — argument validation must reject junk
+// loudly, and the observability commands must render.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+std::string RunShell(const std::string& script) {
+  std::string path = ::testing::TempDir() + "ptl_shell_script.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    ADD_FAILURE() << "cannot write " << path;
+    return "";
+  }
+  std::fputs(script.c_str(), f);
+  std::fclose(f);
+  std::string cmd = std::string(PTL_SHELL_PATH) + " < " + path + " 2>&1";
+  std::FILE* p = popen(cmd.c_str(), "r");
+  if (p == nullptr) {
+    ADD_FAILURE() << "cannot run " << cmd;
+    return "";
+  }
+  std::string out;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), p) != nullptr) out += buf;
+  int rc = pclose(p);
+  EXPECT_EQ(rc, 0) << "shell exited nonzero; output:\n" << out;
+  return out;
+}
+
+TEST(ShellTest, SetThreadsRejectsNonNumericAndNonPositive) {
+  std::string out = RunShell(
+      "set threads abc\n"
+      "set threads 4x\n"
+      "set threads 0\n"
+      "set threads -2\n"
+      "set threads 2\n"
+      "quit\n");
+  EXPECT_NE(out.find("thread count must be an integer, got 'abc'"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("thread count must be an integer, got '4x'"),
+            std::string::npos);
+  EXPECT_NE(out.find("thread count must be >= 1, got 0"), std::string::npos);
+  EXPECT_NE(out.find("thread count must be >= 1, got -2"), std::string::npos);
+  EXPECT_NE(out.find("threads = 2"), std::string::npos) << out;
+}
+
+TEST(ShellTest, TickRejectsJunkCounts) {
+  std::string out = RunShell(
+      "tick x\n"
+      "tick 0\n"
+      "quit\n");
+  EXPECT_NE(out.find("tick count must be a positive integer"),
+            std::string::npos)
+      << out;
+}
+
+TEST(ShellTest, StatsAndExplainRender) {
+  std::string out = RunShell(
+      "create stock name:string key price:double\n"
+      "insert stock 'IBM' 40\n"
+      "query price SELECT price FROM stock WHERE name = $sym\n"
+      "trigger hot := price('IBM') > 50\n"
+      "update stock price 80 WHERE name = 'IBM'\n"
+      "explain hot\n"
+      "explain ghost\n"
+      "stats\n"
+      "stats json\n"
+      "quit\n");
+  EXPECT_NE(out.find("rule hot"), std::string::npos) << out;
+  EXPECT_NE(out.find("store_nodes="), std::string::npos);
+  EXPECT_NE(out.find("no rule named 'ghost'"), std::string::npos);
+  // Plain stats: one summary line from EngineStats.
+  EXPECT_NE(out.find("states="), std::string::npos);
+  EXPECT_NE(out.find("collections="), std::string::npos);
+  // JSON stats: the full registry snapshot with per-rule gauges.
+  EXPECT_NE(out.find("\"counters\""), std::string::npos);
+  EXPECT_NE(out.find("\"rule.hot.steps\""), std::string::npos);
+}
+
+}  // namespace

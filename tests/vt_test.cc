@@ -343,6 +343,43 @@ TEST(VtDatabaseTest, DefiniteTriggerSurvivesCompaction) {
   EXPECT_EQ(firings.size(), 1u);
 }
 
+TEST(VtDatabaseTest, MonitorCollectionBoundsStoresWithoutChangingFirings) {
+  // Two identical databases fed the same commit stream: one collects monitor
+  // node stores aggressively, the twin never does. Collection must not
+  // change any firing (checkpoints are kept restorable through
+  // CollectKeepingCheckpoints) while keeping the summed store bounded.
+  SimClock clock_a(0), clock_b(0);
+  VtDatabase collected(&clock_a, /*max_delay=*/20);
+  VtDatabase twin(&clock_b, /*max_delay=*/20);
+  collected.SetCollectThreshold(32);
+  std::vector<Timestamp> fires_a, fires_b;
+  // A bounded temporal condition so every replay does symbolic work.
+  const char* cond = "WITHIN(IBM() > 95, 12)";
+  ASSERT_OK(collected.AddTentativeTrigger(
+      "spike", cond, [&fires_a](Timestamp at) { fires_a.push_back(at); }));
+  ASSERT_OK(twin.AddTentativeTrigger(
+      "spike", cond, [&fires_b](Timestamp at) { fires_b.push_back(at); }));
+  size_t max_store = 0;
+  for (int i = 1; i <= 300; ++i) {
+    Timestamp now = i * 2;
+    int64_t price = (i % 40 == 0) ? 120 : 60;
+    // Retroactive by a few ticks: every commit restores a checkpoint and
+    // replays the suffix, the path that historically never collected.
+    Timestamp vt = now - (i % 5);
+    CommitUpdate(collected, clock_a, now, "IBM", Value::Int(price), vt);
+    CommitUpdate(twin, clock_b, now, "IBM", Value::Int(price), vt);
+    max_store = std::max(max_store, collected.monitor_store_nodes());
+  }
+  EXPECT_EQ(fires_a, fires_b);
+  EXPECT_FALSE(fires_a.empty());
+  EXPECT_GT(collected.collections(), 0u);
+  EXPECT_EQ(twin.collections(), 0u);
+  // Bounded by the threshold plus one replay pass's allocations — not by the
+  // length of the commit stream (the twin's store grows far past this).
+  EXPECT_LE(max_store, 256u);
+  EXPECT_GT(twin.monitor_store_nodes(), max_store);
+}
+
 TEST(VtDatabaseTest, CommittedHistoryAtExcludesLaterCommits) {
   SimClock clock(0);
   VtDatabase db(&clock, /*max_delay=*/100);
