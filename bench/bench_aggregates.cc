@@ -20,6 +20,7 @@
 #include "ptl/naive_eval.h"
 #include "ptl/parser.h"
 #include "rules/engine.h"
+#include "json_out.h"
 #include "workloads.h"
 
 namespace ptldb {
@@ -151,4 +152,6 @@ BENCHMARK(BM_Engine_AggRewrite)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace ptldb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ptldb::bench::BenchMain(argc, argv, "aggregates");
+}

@@ -16,6 +16,7 @@
 #include "baseline/event_regex.h"
 #include "eval/incremental.h"
 #include "ptl/parser.h"
+#include "json_out.h"
 #include "workloads.h"
 
 namespace ptldb {
@@ -94,4 +95,6 @@ BENCHMARK(BM_PtlEquivalent)
 }  // namespace
 }  // namespace ptldb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ptldb::bench::BenchMain(argc, argv, "automaton_blowup");
+}

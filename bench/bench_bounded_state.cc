@@ -22,6 +22,7 @@
 #include "common/metrics.h"
 #include "db/database.h"
 #include "eval/incremental.h"
+#include "json_out.h"
 #include "ptl/parser.h"
 #include "rules/engine.h"
 #include "workloads.h"
@@ -201,14 +202,21 @@ int RunSmoke(const std::string& metrics_out) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool json = false;
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     }
   }
+  // `--json` selects the shared-schema emitter over the BM_ functions;
+  // `--smoke` without it keeps the legacy CI check (bounded-state assertion +
+  // Metrics snapshot) that the bench-smoke job depends on.
+  if (json) return ptldb::bench::BenchMain(argc, argv, "bounded_state");
   if (smoke) return ptldb::RunSmoke(metrics_out);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -9,6 +9,7 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "db/database.h"
+#include "json_out.h"
 #include "workloads.h"
 
 namespace ptldb {
@@ -158,4 +159,6 @@ BENCHMARK(BM_TransactionalUpdate)->Arg(10000)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace ptldb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ptldb::bench::BenchMain(argc, argv, "db_core");
+}

@@ -10,6 +10,7 @@
 
 #include "eval/incremental.h"
 #include "ptl/parser.h"
+#include "json_out.h"
 #include "workloads.h"
 
 namespace ptldb {
@@ -87,4 +88,6 @@ BENCHMARK(BM_FormulaSize)
 }  // namespace
 }  // namespace ptldb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ptldb::bench::BenchMain(argc, argv, "formula_size");
+}

@@ -11,6 +11,7 @@
 #include "common/clock.h"
 #include "db/database.h"
 #include "rules/engine.h"
+#include "json_out.h"
 #include "workloads.h"
 
 namespace ptldb {
@@ -78,4 +79,6 @@ BENCHMARK(BM_IcOverhead)
 }  // namespace
 }  // namespace ptldb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ptldb::bench::BenchMain(argc, argv, "ic_overhead");
+}

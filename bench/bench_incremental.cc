@@ -14,6 +14,7 @@
 #include "eval/incremental.h"
 #include "ptl/naive_eval.h"
 #include "ptl/parser.h"
+#include "json_out.h"
 #include "workloads.h"
 
 namespace ptldb {
@@ -113,4 +114,6 @@ BENCHMARK(BM_Naive)->Apply(SweepNaive)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace ptldb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ptldb::bench::BenchMain(argc, argv, "incremental_eval");
+}

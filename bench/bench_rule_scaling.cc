@@ -28,7 +28,9 @@
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "db/database.h"
+#include "json_out.h"
 #include "rules/engine.h"
 #include "workloads.h"
 
@@ -101,11 +103,12 @@ BENCHMARK(BM_RuleScaling_Unfiltered)
 // relevant to every state, processed by a pool of the given size. Returns
 // events per second.
 double SweepRun(size_t threads, size_t instances, size_t events,
-                Metrics* metrics) {
+                Metrics* metrics, trace::Recorder* recorder) {
   SimClock clock(0);
   db::Database database(&clock);
   rules::RuleEngine engine(&database);
   engine.SetMetrics(metrics);  // null = detached (the default overhead mode)
+  engine.SetTrace(recorder);   // null = detached; enabled recorder = E11
   if (!engine.SetThreads(threads).ok()) std::abort();
 
   if (!database
@@ -149,16 +152,24 @@ double SweepRun(size_t threads, size_t instances, size_t events,
 }
 
 int RunThreadSweep(const std::vector<size_t>& thread_counts, size_t instances,
-                   size_t events, const std::string& metrics_out) {
+                   size_t events, const std::string& metrics_out,
+                   bool with_trace) {
   // Metrics are attached only when a snapshot was requested, so the default
-  // sweep still measures the uninstrumented engine.
+  // sweep still measures the uninstrumented engine. Same policy for tracing:
+  // `--trace` attaches an *enabled* recorder so the sweep pays the full
+  // span + update-record cost (the E11 overhead series); without it the
+  // engine runs with tracing detached.
   Metrics metrics;
   Metrics* m = metrics_out.empty() ? nullptr : &metrics;
+  trace::Recorder recorder;
+  if (with_trace) recorder.Enable();
+  trace::Recorder* rec = with_trace ? &recorder : nullptr;
   std::ostringstream doc;
   doc << "{\n";
   doc << "  \"benchmark\": \"sharded_rule_evaluation\",\n";
   doc << "  \"instances\": " << instances << ",\n";
   doc << "  \"events\": " << events << ",\n";
+  doc << "  \"trace\": " << (with_trace ? "true" : "false") << ",\n";
   // Speedup is bounded by physical parallelism: on a 1-CPU host every
   // thread count collapses to serial throughput minus dispatch overhead.
   doc << "  \"cpus_available\": " << std::thread::hardware_concurrency()
@@ -167,7 +178,7 @@ int RunThreadSweep(const std::vector<size_t>& thread_counts, size_t instances,
   double base = 0;
   for (size_t i = 0; i < thread_counts.size(); ++i) {
     size_t threads = thread_counts[i];
-    double rate = SweepRun(threads, instances, events, m);
+    double rate = SweepRun(threads, instances, events, m, rec);
     if (i == 0) base = rate;
     char line[160];
     std::snprintf(line, sizeof(line),
@@ -197,11 +208,13 @@ int RunThreadSweep(const std::vector<size_t>& thread_counts, size_t instances,
 }  // namespace ptldb
 
 int main(int argc, char** argv) {
-  // `--threads [a,b,c]` (or `--smoke`) selects the JSON sweep; everything
-  // else is standard Google Benchmark.
+  // `--threads [a,b,c]` (or `--smoke`) selects the JSON sweep, `--trace`
+  // attaches an enabled trace recorder to the sweep (the E11 overhead
+  // series), `--json` runs the BM_ functions under the shared-schema
+  // emitter; everything else is standard Google Benchmark.
   std::vector<size_t> thread_counts;
   size_t instances = 1024, events = 64;
-  bool sweep = false;
+  bool sweep = false, with_trace = false, json = false;
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     auto int_arg = [&](const char* flag, int* idx) -> long {
@@ -226,16 +239,24 @@ int main(int argc, char** argv) {
       events = 16;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      with_trace = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (long v = int_arg("--instances", &i); v >= 0) {
       instances = static_cast<size_t>(v);
     } else if (long v = int_arg("--events", &i); v >= 0) {
       events = static_cast<size_t>(v);
     }
   }
+  // `--json` wins over the sweep flags so `--json --smoke` means the same
+  // thing on every bench binary; the sweep's own smoke preset stays
+  // reachable as a plain `--smoke`.
+  if (json) return ptldb::bench::BenchMain(argc, argv, "rule_scaling");
   if (sweep) {
     if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
-    return ptldb::RunThreadSweep(thread_counts, instances, events,
-                                 metrics_out);
+    return ptldb::RunThreadSweep(thread_counts, instances, events, metrics_out,
+                                 with_trace);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

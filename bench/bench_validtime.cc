@@ -13,6 +13,7 @@
 
 #include "common/clock.h"
 #include "validtime/vt.h"
+#include "json_out.h"
 #include "workloads.h"
 
 namespace ptldb {
@@ -108,4 +109,6 @@ BENCHMARK(BM_DefiniteLatency)
 }  // namespace
 }  // namespace ptldb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ptldb::bench::BenchMain(argc, argv, "validtime");
+}

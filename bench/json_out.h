@@ -1,0 +1,175 @@
+// Shared --json reporting for the bench_* binaries.
+//
+// Every binary supports `--json [--smoke] [--out <file>]` and emits ONE
+// compact document in the schema bench_rule_scaling's thread sweep
+// established:
+//
+//   {"benchmark": "<name>", <config keys...>, "results": [{...}, ...]}
+//
+// "benchmark" first, flat config keys next, then a "results" array with one
+// object per measured run. Downstream tooling (BENCH_baseline.json, the CI
+// bench-smoke job) parses every binary's output with the same loader.
+//
+// `--smoke` shrinks the Google Benchmark min-time so a full sweep finishes in
+// CI seconds; `--out <file>` additionally writes the document to a file.
+
+#ifndef PTLDB_BENCH_JSON_OUT_H_
+#define PTLDB_BENCH_JSON_OUT_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace ptldb::bench {
+
+// Accumulates one document in the shared schema. json::Json arrays expose no
+// mutable element access, so result rows are buffered in a vector and the
+// document is assembled at Dump time.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  JsonReport& Config(const std::string& key, json::Json v) {
+    config_.emplace_back(key, std::move(v));
+    return *this;
+  }
+
+  json::Json& AddResult() {
+    rows_.push_back(json::Json::Object());
+    return rows_.back();
+  }
+
+  std::string Dump() const {
+    json::Json doc = json::Json::Object();
+    doc.Set("benchmark", json::Json::Str(name_));
+    for (const auto& [key, value] : config_) doc.Set(key, value);
+    json::Json results = json::Json::Array();
+    for (const json::Json& row : rows_) results.Add(row);
+    doc.Set("results", std::move(results));
+    return doc.Dump();
+  }
+
+  // Prints the document to stdout and, when `out_path` is non-empty, writes
+  // it to that file as well. Returns a process exit code.
+  int Emit(const std::string& out_path) const {
+    std::string text = Dump();
+    text.push_back('\n');
+    std::printf("%s", text.c_str());
+    if (!out_path.empty()) {
+      std::FILE* f = std::fopen(out_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 2;
+      }
+      std::fprintf(f, "%s", text.c_str());
+      std::fclose(f);
+    }
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, json::Json>> config_;
+  std::vector<json::Json> rows_;
+};
+
+// Captures every per-iteration run that Google Benchmark reports, so the
+// measurements can be re-emitted in the shared schema instead of the
+// library's own console/JSON formats.
+class CollectingReporter : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context&) override { return true; }
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      runs_.push_back(run);
+    }
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+// Runs the registered BM_ functions under a collecting reporter and emits the
+// shared-schema document. `argv` should contain only arguments meant for
+// Google Benchmark itself (binary-specific flags already stripped).
+inline int RunBenchmarksJson(const std::string& name, bool smoke,
+                             const std::string& out_path, int argc,
+                             char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  // Smoke preset: a single short repetition per benchmark — CI snapshots the
+  // schema and rough magnitudes, not statistically stable timings.
+  static std::string min_time = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time.data());
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  JsonReport report(name);
+  report.Config("smoke", json::Json::Bool(smoke))
+      .Config("cpus_available",
+              json::Json::UInt(std::thread::hardware_concurrency()));
+  for (const auto& run : reporter.runs()) {
+    json::Json& row = report.AddResult();
+    row.Set("name", json::Json::Str(run.benchmark_name()));
+    row.Set("iterations", json::Json::Int(run.iterations));
+    row.Set("real_time", json::Json::Real(run.GetAdjustedRealTime()));
+    row.Set("cpu_time", json::Json::Real(run.GetAdjustedCPUTime()));
+    row.Set("time_unit",
+            json::Json::Str(benchmark::GetTimeUnitString(run.time_unit)));
+    // User counters arrive already finalized (rates divided, inversions
+    // applied) — emit them verbatim.
+    for (const auto& [counter_name, counter] : run.counters) {
+      row.Set(counter_name, json::Json::Real(counter.value));
+    }
+  }
+  return report.Emit(out_path);
+}
+
+// Drop-in main body for a bench binary: `--json [--smoke] [--out <file>]`
+// selects the shared-schema emitter; anything else passes through to Google
+// Benchmark unchanged (`--smoke`/`--out` are ignored without `--json`).
+inline int BenchMain(int argc, char** argv, const char* name) {
+  bool json = false;
+  bool smoke = false;
+  std::string out;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  if (json) {
+    return RunBenchmarksJson(name, smoke, out, rest_argc, rest.data());
+  }
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ptldb::bench
+
+#endif  // PTLDB_BENCH_JSON_OUT_H_

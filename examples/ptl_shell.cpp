@@ -30,17 +30,42 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "db/database.h"
 #include "rules/engine.h"
+#include "rules/provenance.h"
 
 using namespace ptldb;
 
 namespace {
 
+// Crash sink: if a CHECK fails while tracing, the in-memory ring is the only
+// record of what the engine was doing — persist it before the abort.
+trace::Recorder* g_crash_recorder = nullptr;
+
+void CrashSink(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, message.c_str());
+  if (g_crash_recorder != nullptr && g_crash_recorder->enabled()) {
+    const char* path = "ptldb_crash_trace.jsonl";
+    if (g_crash_recorder->DumpJsonl(path).ok()) {
+      std::fprintf(stderr, "trace dumped to %s (%zu update record(s))\n", path,
+                   g_crash_recorder->update_count());
+    }
+  }
+}
+
 class Shell {
  public:
   Shell() : clock_(0), database_(&clock_), engine_(&database_) {
     engine_.SetMetrics(&metrics_);
+    engine_.SetTrace(&trace_);
+    g_crash_recorder = &trace_;
+    SetCheckFailureSink(&CrashSink);
+  }
+
+  ~Shell() {
+    SetCheckFailureSink(nullptr);
+    g_crash_recorder = nullptr;
   }
 
   int Run() {
@@ -147,6 +172,8 @@ class Shell {
           "  set threads <n>  shard rule evaluation over n threads\n"
           "  explain <rule>   retained F formulas + node accounting\n"
           "  stats [json]     engine counters (json: full metrics snapshot)\n"
+          "  trace on|off|clear | trace dump|chrome|replay <file>\n"
+          "  why <rule>       witness chain of the rule's last traced firing\n"
           "  describe <rule> | rules | history | help | quit\n");
       return true;
     }
@@ -206,6 +233,8 @@ class Shell {
       return true;
     }
     if (cmd == "explain") return CmdExplain(rest);
+    if (cmd == "trace") return CmdTrace(rest);
+    if (cmd == "why") return CmdWhy(rest);
     if (cmd == "describe") return CmdDescribe(rest);
     if (cmd == "rules") {
       for (const std::string& name : engine_.RuleNames()) {
@@ -438,6 +467,68 @@ class Shell {
     return true;
   }
 
+  bool CmdTrace(const std::string& rest) {
+    auto [sub, arg] = Split(rest);
+    if (sub == "on") {
+      trace_.Enable();
+      std::printf("tracing on\n");
+    } else if (sub == "off") {
+      trace_.Disable();
+      std::printf("tracing off (%zu span(s), %zu update record(s) "
+                  "retained)\n",
+                  trace_.span_count(), trace_.update_count());
+    } else if (sub == "clear") {
+      trace_.Clear();
+      std::printf("trace cleared\n");
+    } else if (sub == "dump" && !arg.empty()) {
+      Status s = trace_.DumpJsonl(arg);
+      if (s.ok()) {
+        std::printf("wrote %zu update record(s) to %s (%llu dropped)\n",
+                    trace_.update_count(), arg.c_str(),
+                    static_cast<unsigned long long>(trace_.dropped_updates()));
+      } else {
+        Report(s);
+      }
+    } else if (sub == "chrome" && !arg.empty()) {
+      Status s = trace_.DumpChromeTrace(arg);
+      if (s.ok()) {
+        std::printf("wrote %zu span(s) to %s (load in chrome://tracing)\n",
+                    trace_.span_count(), arg.c_str());
+      } else {
+        Report(s);
+      }
+    } else if (sub == "replay" && !arg.empty()) {
+      auto report = rules::TraceReplayFile(arg);
+      if (!report.ok()) {
+        Report(report.status());
+        return true;
+      }
+      std::printf("%s\n", report->Summary().c_str());
+      for (const std::string& line : report->details) {
+        std::printf("  %s\n", line.c_str());
+      }
+    } else {
+      std::printf(
+          "usage: trace on|off|clear | trace dump <file> | trace chrome "
+          "<file> | trace replay <file>\n");
+    }
+    return true;
+  }
+
+  bool CmdWhy(const std::string& name) {
+    if (name.empty()) {
+      std::printf("usage: why <rule>\n");
+      return true;
+    }
+    auto text = engine_.Why(name);
+    if (!text.ok()) {
+      Report(text.status());
+      return true;
+    }
+    std::printf("%s", text->c_str());
+    return true;
+  }
+
   bool CmdExplain(const std::string& name) {
     if (name.empty()) {
       std::printf("usage: explain <rule>\n");
@@ -457,6 +548,7 @@ class Shell {
   // Declared before the engine: the engine's destructor detaches from the
   // registry, so the registry must outlive it.
   Metrics metrics_;
+  trace::Recorder trace_;
   rules::RuleEngine engine_;
 };
 

@@ -1,0 +1,37 @@
+// trace_replay — offline differential validation of a trace dump.
+//
+//   trace_replay <trace.jsonl> [...more dumps]
+//
+// Re-evaluates every recorded rule-instance history against the naive PTL
+// evaluator (rules::TraceReplayFile) and exits nonzero when any recorded
+// verdict disagrees, any firing lacks a witness chain, or a dump is
+// malformed. This is the CI entry point: a dump produced by the shell's
+// `trace dump`, a test failure, or the crash sink can be checked anywhere,
+// with no access to the database that produced it.
+
+#include <cstdio>
+
+#include "rules/provenance.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.jsonl> [...more dumps]\n", argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    auto report = ptldb::rules::TraceReplayFile(argv[i]);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i],
+                   report.status().message().c_str());
+      rc = 2;
+      continue;
+    }
+    std::printf("%s: %s\n", argv[i], report->Summary().c_str());
+    for (const std::string& line : report->details) {
+      std::printf("  %s\n", line.c_str());
+    }
+    if (!report->ok() || report->fired_without_witness > 0) rc = 1;
+  }
+  return rc;
+}

@@ -1,0 +1,348 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace ptldb::json {
+
+Json Json::Int(int64_t v) { return RawNumber(std::to_string(v)); }
+
+Json Json::UInt(uint64_t v) { return RawNumber(std::to_string(v)); }
+
+Json Json::Real(double v) {
+  if (!std::isfinite(v)) return Json::Null();  // JSON has no Inf/NaN
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return RawNumber(buf);
+}
+
+Json Json::RawNumber(std::string text) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.str_ = std::move(text);
+  return j;
+}
+
+Json& Json::Add(Json v) {
+  PTLDB_CHECK(kind_ == Kind::kArray);
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::Set(std::string key, Json v) {
+  PTLDB_CHECK(kind_ == Kind::kObject);
+  for (auto& [k, existing] : fields_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  fields_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+double Json::AsDouble() const {
+  return kind_ == Kind::kNumber ? std::strtod(str_.c_str(), nullptr) : 0.0;
+}
+
+Result<int64_t> Json::AsInt64() const {
+  if (kind_ != Kind::kNumber) {
+    return Status::TypeMismatch("JSON value is not a number");
+  }
+  return ParseInt64(str_);
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<const Json*> Json::Get(std::string_view key) const {
+  const Json* v = Find(key);
+  if (v == nullptr) {
+    return Status::NotFound(StrCat("JSON object has no field '", key, "'"));
+  }
+  return v;
+}
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      *out += str_;
+      return;
+    case Kind::kString:
+      *out += '"';
+      *out += Escape(str_);
+      *out += '"';
+      return;
+    case Kind::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) *out += ',';
+        items_[i].DumpTo(out);
+      }
+      *out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      *out += '{';
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) *out += ',';
+        *out += '"';
+        *out += Escape(fields_[i].first);
+        *out += "\":";
+        fields_[i].second.DumpTo(out);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+// ---- Parser -----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> Run() {
+    PTLDB_ASSIGN_OR_RETURN(Json v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Err("trailing input after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(std::string_view what) const {
+    return Status::ParseError(StrCat("JSON: ", what, " at offset ", pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      PTLDB_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json::Str(std::move(s));
+    }
+    if (ConsumeWord("null")) return Json::Null();
+    if (ConsumeWord("true")) return Json::Bool(true);
+    if (ConsumeWord("false")) return Json::Bool(false);
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Err(StrCat("unexpected character '", std::string(1, c), "'"));
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Err("malformed number");
+    }
+    std::string raw(text_.substr(start, pos_ - start));
+    // Validate via strtod: the whole token must be consumed.
+    char* end = nullptr;
+    std::strtod(raw.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Err("malformed number");
+    return Json::RawNumber(std::move(raw));
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Err("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Err("bad \\u escape");
+            }
+            // Re-encode as UTF-8 (no surrogate-pair handling: the writer only
+            // emits \u for control characters).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Err("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<Json> ParseArray() {
+    if (!Consume('[')) return Err("expected '['");
+    Json arr = Json::Array();
+    SkipWs();
+    if (Consume(']')) return arr;
+    while (true) {
+      PTLDB_ASSIGN_OR_RETURN(Json v, ParseValue());
+      arr.Add(std::move(v));
+      SkipWs();
+      if (Consume(']')) return arr;
+      if (!Consume(',')) return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> ParseObject() {
+    if (!Consume('{')) return Err("expected '{'");
+    Json obj = Json::Object();
+    SkipWs();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWs();
+      PTLDB_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      PTLDB_ASSIGN_OR_RETURN(Json v, ParseValue());
+      obj.Set(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume('}')) return obj;
+      if (!Consume(',')) return Err("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Parse(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace ptldb::json

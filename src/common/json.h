@@ -1,0 +1,120 @@
+// Minimal JSON document model: an ordered tree of values with a compact
+// writer and a strict recursive-descent parser.
+//
+// This is deliberately tiny — just enough for the observability surfaces that
+// need *structured* (not string-pasted) JSON: the firing-provenance trace
+// exporter (trace.h) writes documents, `TraceReplay` and the golden
+// `stats json` tests parse them back. Numbers keep their original textual
+// rendering (`raw`), so int64 values round-trip without double-precision
+// loss — the trace format relies on this to replay query values exactly.
+
+#ifndef PTLDB_COMMON_JSON_H_
+#define PTLDB_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ptldb::json {
+
+class Json {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  // ---- Builders ----
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool b) {
+    Json j;
+    j.kind_ = Kind::kBool;
+    j.bool_ = b;
+    return j;
+  }
+  static Json Int(int64_t v);
+  static Json UInt(uint64_t v);
+  static Json Real(double v);
+  /// A pre-rendered numeric literal (kept verbatim by Dump).
+  static Json RawNumber(std::string text);
+  static Json Str(std::string s) {
+    Json j;
+    j.kind_ = Kind::kString;
+    j.str_ = std::move(s);
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  /// Appends to an array (PTLDB_CHECKs the kind); returns *this for chaining.
+  Json& Add(Json v);
+  /// Sets an object field, preserving insertion order; an existing key is
+  /// overwritten in place. Returns *this for chaining.
+  Json& Set(std::string key, Json v);
+
+  // ---- Introspection ----
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const;
+  /// Strict: errors unless the raw literal is an integer in int64 range.
+  Result<int64_t> AsInt64() const;
+  const std::string& AsString() const { return str_; }
+  /// The raw numeric literal text.
+  const std::string& raw_number() const { return str_; }
+
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& fields() const {
+    return fields_;
+  }
+  size_t size() const {
+    return kind_ == Kind::kObject ? fields_.size() : items_.size();
+  }
+
+  /// Object lookup; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+  /// Object lookup that errors with the key name when absent.
+  Result<const Json*> Get(std::string_view key) const;
+
+  // ---- Serialization ----
+
+  /// Compact single-line rendering (keys in insertion order).
+  std::string Dump() const;
+  void DumpTo(std::string* out) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string str_;  // kString payload or kNumber raw literal
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> fields_;
+};
+
+/// Parses one JSON document; trailing non-whitespace input is an error.
+Result<Json> Parse(std::string_view text);
+
+/// JSON string escaping (quotes not included).
+std::string Escape(std::string_view s);
+
+}  // namespace ptldb::json
+
+#endif  // PTLDB_COMMON_JSON_H_

@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ptldb {
+
+namespace {
+
+void DefaultSink(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+}
+
+std::atomic<CheckFailureSink> g_sink{&DefaultSink};
+
+}  // namespace
+
+CheckFailureSink SetCheckFailureSink(CheckFailureSink sink) {
+  if (sink == nullptr) sink = &DefaultSink;
+  return g_sink.exchange(sink);
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  g_sink.load()(file, line, message);
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace ptldb

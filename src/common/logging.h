@@ -4,28 +4,54 @@
 #ifndef PTLDB_COMMON_LOGGING_H_
 #define PTLDB_COMMON_LOGGING_H_
 
-#include <cstdio>
 #include <cstdlib>
+#include <string>
+
+// PTLDB_CHECK_OK consumes a ::ptldb::Status; pull in its definition instead of
+// relying on every includer having done so first.
+#include "common/status.h"
+
+namespace ptldb {
+
+/// Receives the formatted message of a failed CHECK just before abort().
+/// Installed process-wide; the default sink writes to stderr. Long-running
+/// frontends (the shell, CI harnesses) install a sink that also persists
+/// crash context — e.g. the in-flight trace ring — where a bare stderr line
+/// would be lost with the process.
+using CheckFailureSink = void (*)(const char* file, int line,
+                                  const std::string& message);
+
+/// Replaces the sink; passing nullptr restores the stderr default. Returns
+/// the previous sink so callers can chain. Not thread-safe against concurrent
+/// CHECK failures (the process is about to abort anyway).
+CheckFailureSink SetCheckFailureSink(CheckFailureSink sink);
+
+namespace internal {
+/// Runs the installed sink, then aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const std::string& message);
+}  // namespace internal
+
+}  // namespace ptldb
 
 /// Aborts with a message when `cond` is false. Enabled in all build types:
 /// an invariant violation in the rule engine must never be silently ignored.
-#define PTLDB_CHECK(cond)                                                   \
-  do {                                                                      \
-    if (!(cond)) {                                                          \
-      std::fprintf(stderr, "PTLDB_CHECK failed at %s:%d: %s\n", __FILE__,   \
-                   __LINE__, #cond);                                        \
-      std::abort();                                                         \
-    }                                                                       \
+#define PTLDB_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::ptldb::internal::CheckFailed(__FILE__, __LINE__,               \
+                                     "PTLDB_CHECK failed: " #cond);    \
+    }                                                                  \
   } while (0)
 
-#define PTLDB_CHECK_OK(status_expr)                                         \
-  do {                                                                      \
-    const ::ptldb::Status _s = (status_expr);                               \
-    if (!_s.ok()) {                                                         \
-      std::fprintf(stderr, "PTLDB_CHECK_OK failed at %s:%d: %s\n",          \
-                   __FILE__, __LINE__, _s.ToString().c_str());              \
-      std::abort();                                                         \
-    }                                                                       \
+#define PTLDB_CHECK_OK(status_expr)                                    \
+  do {                                                                 \
+    const ::ptldb::Status _s = (status_expr);                          \
+    if (!_s.ok()) {                                                    \
+      ::ptldb::internal::CheckFailed(                                  \
+          __FILE__, __LINE__,                                          \
+          "PTLDB_CHECK_OK failed: " + _s.ToString());                  \
+    }                                                                  \
   } while (0)
 
 #endif  // PTLDB_COMMON_LOGGING_H_

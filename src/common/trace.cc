@@ -1,0 +1,307 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace ptldb::trace {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kUpdate:
+      return "update";
+    case SpanKind::kGather:
+      return "gather";
+    case SpanKind::kStep:
+      return "step";
+    case SpanKind::kMerge:
+      return "merge";
+    case SpanKind::kAction:
+      return "action";
+    case SpanKind::kRuleStep:
+      return "rule_step";
+    case SpanKind::kRecurrence:
+      return "recurrence";
+    case SpanKind::kIcProbe:
+      return "ic_probe";
+    case SpanKind::kFlush:
+      return "flush";
+    case SpanKind::kVtReplay:
+      return "vt_replay";
+    case SpanKind::kVtDefinite:
+      return "vt_definite";
+  }
+  return "?";
+}
+
+uint64_t Recorder::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+std::atomic<uint64_t> g_next_recorder_id{1};
+}  // namespace
+
+Recorder::Recorder(size_t span_capacity_per_thread, size_t update_capacity)
+    : id_(g_next_recorder_id.fetch_add(1)),
+      span_cap_(span_capacity_per_thread == 0 ? 1 : span_capacity_per_thread),
+      update_cap_(update_capacity == 0 ? 1 : update_capacity) {}
+
+Recorder::ThreadLog* Recorder::GetThreadLog() {
+  // Single-entry cache: the common case is one recorder per process, so a
+  // pool thread resolves its log with two thread-local reads. A miss (first
+  // use, or a different recorder took the slot) registers a fresh log under
+  // the list mutex; the recorder id keys the cache so a recorder reallocated
+  // at the same address can never produce a false hit.
+  thread_local uint64_t cached_id = 0;
+  thread_local ThreadLog* cached_log = nullptr;
+  if (cached_id == id_ && cached_log != nullptr) return cached_log;
+  auto log = std::make_unique<ThreadLog>(span_cap_);
+  log->capacity = span_cap_;
+  ThreadLog* ptr = log.get();
+  {
+    std::lock_guard<std::mutex> lock(logs_mu_);
+    ptr->tid_hint = static_cast<uint32_t>(logs_.size());
+    logs_.push_back(std::move(log));
+  }
+  cached_id = id_;
+  cached_log = ptr;
+  return ptr;
+}
+
+void Recorder::RecordSpan(Span span) {
+  ThreadLog* log = GetThreadLog();
+  std::lock_guard<std::mutex> lock(log->mu);
+  span.tid = log->tid_hint;
+  ++log->total;
+  if (log->ring.size() < log->capacity) {
+    log->ring.push_back(std::move(span));
+    return;
+  }
+  // Ring full: overwrite the oldest.
+  log->ring[log->next] = std::move(span);
+  log->next = (log->next + 1) % log->capacity;
+}
+
+void Recorder::RecordUpdate(json::Json record) {
+  std::lock_guard<std::mutex> lock(updates_mu_);
+  ++updates_total_;
+  updates_.push_back(std::move(record));
+  while (updates_.size() > update_cap_) updates_.pop_front();
+}
+
+void Recorder::Clear() {
+  {
+    std::lock_guard<std::mutex> lock(logs_mu_);
+    for (auto& log : logs_) {
+      std::lock_guard<std::mutex> ll(log->mu);
+      log->ring.clear();
+      log->next = 0;
+      log->total = 0;
+    }
+  }
+  std::lock_guard<std::mutex> lock(updates_mu_);
+  updates_.clear();
+  updates_total_ = 0;
+}
+
+size_t Recorder::span_count() const {
+  size_t n = 0;
+  std::lock_guard<std::mutex> lock(logs_mu_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> ll(log->mu);
+    n += log->ring.size();
+  }
+  return n;
+}
+
+uint64_t Recorder::dropped_spans() const {
+  uint64_t dropped = 0;
+  std::lock_guard<std::mutex> lock(logs_mu_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> ll(log->mu);
+    dropped += log->total - log->ring.size();
+  }
+  return dropped;
+}
+
+size_t Recorder::update_count() const {
+  std::lock_guard<std::mutex> lock(updates_mu_);
+  return updates_.size();
+}
+
+uint64_t Recorder::dropped_updates() const {
+  std::lock_guard<std::mutex> lock(updates_mu_);
+  return updates_total_ - updates_.size();
+}
+
+std::vector<Span> Recorder::SortedSpans() const {
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lock(logs_mu_);
+    for (const auto& log : logs_) {
+      std::lock_guard<std::mutex> ll(log->mu);
+      // Ring order: [next, end) is the older half once wrapped.
+      for (size_t i = 0; i < log->ring.size(); ++i) {
+        out.push_back(log->ring[(log->next + i) % log->ring.size()]);
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Span& a, const Span& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+std::string Recorder::ToJsonl() const {
+  std::string out;
+  json::Json header = json::Json::Object();
+  header.Set("kind", json::Json::Str("trace_header"));
+  header.Set("updates", json::Json::UInt(update_count()));
+  header.Set("dropped_updates", json::Json::UInt(dropped_updates()));
+  header.Set("spans", json::Json::UInt(span_count()));
+  header.Set("dropped_spans", json::Json::UInt(dropped_spans()));
+  header.DumpTo(&out);
+  out += '\n';
+  std::lock_guard<std::mutex> lock(updates_mu_);
+  for (const json::Json& record : updates_) {
+    record.DumpTo(&out);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Recorder::ToChromeTrace() const {
+  json::Json events = json::Json::Array();
+  for (const Span& s : SortedSpans()) {
+    json::Json e = json::Json::Object();
+    e.Set("name", json::Json::Str(s.name.empty() ? SpanKindName(s.kind)
+                                                 : s.name));
+    e.Set("cat", json::Json::Str(SpanKindName(s.kind)));
+    e.Set("ph", json::Json::Str(s.instant ? "i" : "X"));
+    // trace_event timestamps are microseconds (doubles are fine: the steady
+    // clock origin keeps them small relative to double precision).
+    e.Set("ts", json::Json::Real(static_cast<double>(s.start_ns) / 1000.0));
+    if (!s.instant) {
+      e.Set("dur", json::Json::Real(static_cast<double>(s.dur_ns) / 1000.0));
+    } else {
+      e.Set("s", json::Json::Str("t"));
+    }
+    e.Set("pid", json::Json::Int(1));
+    e.Set("tid", json::Json::Int(static_cast<int64_t>(s.tid)));
+    json::Json args = json::Json::Object();
+    if (s.seq >= 0) args.Set("seq", json::Json::Int(s.seq));
+    if (!s.detail.empty()) args.Set("detail", json::Json::Str(s.detail));
+    if (args.size() > 0) e.Set("args", std::move(args));
+    events.Add(std::move(e));
+  }
+  json::Json doc = json::Json::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", json::Json::Str("ms"));
+  return doc.Dump();
+}
+
+namespace {
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument(StrCat("cannot open '", path,
+                                          "' for writing"));
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  int rc = std::fclose(f);
+  if (written != content.size() || rc != 0) {
+    return Status::Internal(StrCat("short write to '", path, "'"));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status Recorder::DumpJsonl(const std::string& path) const {
+  return WriteFile(path, ToJsonl());
+}
+
+Status Recorder::DumpChromeTrace(const std::string& path) const {
+  return WriteFile(path, ToChromeTrace());
+}
+
+// ---- Value encoding ---------------------------------------------------------
+
+json::Json EncodeValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return json::Json::Null();
+    case ValueType::kBool:
+      return json::Json::Bool(v.AsBool());
+    case ValueType::kString:
+      return json::Json::Str(v.AsString());
+    case ValueType::kInt64: {
+      json::Json j = json::Json::Object();
+      j.Set("i", json::Json::Str(std::to_string(v.AsInt())));
+      return j;
+    }
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDoubleExact());
+      json::Json j = json::Json::Object();
+      j.Set("r", json::Json::Str(buf));
+      return j;
+    }
+  }
+  return json::Json::Null();
+}
+
+Result<Value> DecodeValue(const json::Json& j) {
+  switch (j.kind()) {
+    case json::Json::Kind::kNull:
+      return Value::Null();
+    case json::Json::Kind::kBool:
+      return Value::Bool(j.AsBool());
+    case json::Json::Kind::kString:
+      return Value::Str(j.AsString());
+    case json::Json::Kind::kObject: {
+      if (const json::Json* i = j.Find("i"); i != nullptr) {
+        PTLDB_ASSIGN_OR_RETURN(int64_t v, ParseInt64(i->AsString()));
+        return Value::Int(v);
+      }
+      if (const json::Json* r = j.Find("r"); r != nullptr) {
+        char* end = nullptr;
+        double v = std::strtod(r->AsString().c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+          return Status::ParseError(
+              StrCat("bad real literal '", r->AsString(), "'"));
+        }
+        return Value::Real(v);
+      }
+      return Status::ParseError("value object has neither \"i\" nor \"r\"");
+    }
+    default:
+      return Status::ParseError("JSON value does not encode a ptldb::Value");
+  }
+}
+
+json::Json EncodeValues(const std::vector<Value>& values) {
+  json::Json arr = json::Json::Array();
+  for (const Value& v : values) arr.Add(EncodeValue(v));
+  return arr;
+}
+
+Result<std::vector<Value>> DecodeValues(const json::Json& j) {
+  if (!j.is_array()) return Status::ParseError("expected a JSON array");
+  std::vector<Value> out;
+  out.reserve(j.items().size());
+  for (const json::Json& item : j.items()) {
+    PTLDB_ASSIGN_OR_RETURN(Value v, DecodeValue(item));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace ptldb::trace

@@ -1,0 +1,195 @@
+// Firing-provenance tracing: bounded, per-thread span recording plus a ring
+// of per-update provenance records.
+//
+// Theorem 1 says the engine fires after update i iff the PTL condition holds
+// at state s_i; this module is the runtime's *account* of that decision. Two
+// kinds of data are recorded:
+//
+//   * Spans — timed (or instant) intervals tagged with a phase kind: the
+//     engine's gather/step/merge/action phases, per-shard rule steps under
+//     the thread pool, one instant span per F_{g,i} recurrence flip inside
+//     the incremental evaluator, IC probes, and valid-time monitor replays.
+//     Exported in Chrome trace_event format for flame-graph profiling.
+//   * Update records — one JSON document per processed system state,
+//     embedding each stepped rule instance's snapshot (events + query-slot
+//     values, losslessly encoded), its satisfaction verdict, and — when it
+//     fired — the witness chain extracted from the evaluator's retained
+//     recurrences. Exported as JSONL; `rules::TraceReplay` re-evaluates a
+//     dump against the naive (§4.2-literal) evaluator as a differential
+//     check.
+//
+// Cost model (mirrors metrics.h): components cache a `Recorder*` that is null
+// when tracing is detached, and additionally check `enabled()` (one relaxed
+// atomic load) so an attached-but-disabled recorder stays off the hot path.
+// Span recording is per-thread: each thread owns a fixed-capacity ring buffer
+// guarded by its own (uncontended) mutex, so shards never serialize against
+// each other; overflow overwrites the oldest spans and is counted. Update
+// records live in a bounded deque written only from the engine's serial
+// merge path. Exports should run while the traced components are quiescent.
+
+#ifndef PTLDB_COMMON_TRACE_H_
+#define PTLDB_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace ptldb::trace {
+
+enum class SpanKind : uint8_t {
+  kUpdate,      // one whole ProcessState dispatch
+  kGather,      // serial snapshot capture
+  kStep,        // sharded evaluator stepping (the parallel phase)
+  kMerge,       // serial canonical-order merge
+  kAction,      // one rule action
+  kRuleStep,    // one instance's evaluator Step (per shard)
+  kRecurrence,  // instant: one F_{g,i} recurrence flip
+  kIcProbe,     // commit-attempt constraint probing
+  kFlush,       // batched-mode drain
+  kVtReplay,    // valid-time tentative-monitor suffix replay
+  kVtDefinite,  // valid-time definite-monitor frontier advance
+};
+
+const char* SpanKindName(SpanKind kind);
+
+struct Span {
+  SpanKind kind = SpanKind::kUpdate;
+  bool instant = false;   // zero-duration marker (ph:"i" in Chrome format)
+  uint32_t tid = 0;       // thread-log index, assigned by the recorder
+  uint64_t start_ns = 0;  // steady-clock origin
+  uint64_t dur_ns = 0;
+  int64_t seq = -1;       // system-state sequence number when known
+  std::string name;       // rule / monitor / subformula
+  std::string detail;     // node flip, bindings, counts
+};
+
+class Recorder {
+ public:
+  explicit Recorder(size_t span_capacity_per_thread = 1 << 14,
+                    size_t update_capacity = 1 << 12);
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Toggles recording. Components keep their cached pointer either way and
+  /// re-check `enabled()` per dispatch, so flipping is cheap and immediate.
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one span from any thread (per-thread ring; oldest overwritten).
+  void RecordSpan(Span span);
+
+  /// Records one per-update provenance document (serial writers only).
+  void RecordUpdate(json::Json record);
+
+  /// Drops all recorded data (rings stay allocated).
+  void Clear();
+
+  // ---- Accounting ----
+
+  size_t span_count() const;
+  uint64_t dropped_spans() const;
+  size_t update_count() const;
+  uint64_t dropped_updates() const;
+
+  // ---- Export (call while traced components are quiescent) ----
+
+  /// One JSON document per line: a header (counts, drops), then every
+  /// retained update record in recording order.
+  std::string ToJsonl() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}): load into
+  /// chrome://tracing or Perfetto for a flame graph of the parallel phases.
+  std::string ToChromeTrace() const;
+
+  Status DumpJsonl(const std::string& path) const;
+  Status DumpChromeTrace(const std::string& path) const;
+
+  /// Steady-clock nanoseconds (span timestamps' origin).
+  static uint64_t NowNs();
+
+ private:
+  struct ThreadLog {
+    explicit ThreadLog(size_t capacity) { ring.reserve(capacity); }
+    mutable std::mutex mu;  // uncontended: one writing thread per log
+    std::vector<Span> ring;
+    size_t capacity = 0;
+    size_t next = 0;        // ring write cursor once full
+    uint64_t total = 0;     // spans ever recorded
+    uint32_t tid_hint = 0;  // stable per-log id used as the exported tid
+  };
+
+  ThreadLog* GetThreadLog();
+  std::vector<Span> SortedSpans() const;
+
+  std::atomic<bool> enabled_{false};
+  const uint64_t id_;  // distinguishes recorders for the thread-local cache
+  size_t span_cap_;
+  size_t update_cap_;
+
+  mutable std::mutex logs_mu_;  // guards the log list, not per-log rings
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+
+  mutable std::mutex updates_mu_;
+  std::deque<json::Json> updates_;
+  uint64_t updates_total_ = 0;
+};
+
+/// RAII span: records on destruction; no clock is read when the recorder is
+/// null or disabled (capture the decision once at construction).
+class ScopedSpan {
+ public:
+  ScopedSpan(Recorder* recorder, SpanKind kind, std::string name,
+             int64_t seq = -1)
+      : recorder_(recorder != nullptr && recorder->enabled() ? recorder
+                                                             : nullptr) {
+    if (recorder_ != nullptr) {
+      span_.kind = kind;
+      span_.name = std::move(name);
+      span_.seq = seq;
+      span_.start_ns = Recorder::NowNs();
+    }
+  }
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) {
+      span_.dur_ns = Recorder::NowNs() - span_.start_ns;
+      recorder_->RecordSpan(std::move(span_));
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return recorder_ != nullptr; }
+  void set_detail(std::string detail) {
+    if (recorder_ != nullptr) span_.detail = std::move(detail);
+  }
+
+ private:
+  Recorder* recorder_;
+  Span span_;
+};
+
+// ---- Value encoding ---------------------------------------------------------
+
+/// Lossless JSON encoding of a ptldb::Value, distinguishing int from double
+/// (JSON numbers alone cannot): null/bool/string map directly; Int(42) ->
+/// {"i":"42"}, Real(0.5) -> {"r":"0.5"} with %.17g rendering.
+json::Json EncodeValue(const Value& v);
+Result<Value> DecodeValue(const json::Json& j);
+
+json::Json EncodeValues(const std::vector<Value>& values);
+Result<std::vector<Value>> DecodeValues(const json::Json& j);
+
+}  // namespace ptldb::trace
+
+#endif  // PTLDB_COMMON_TRACE_H_

@@ -270,7 +270,85 @@ Result<SymExprId> IncrementalEvaluator::BuildTerm(
   return Status::Internal("unknown term kind");
 }
 
+const char* IncrementalEvaluator::TemporalOpName(Unit::Kind kind) {
+  switch (kind) {
+    case Unit::Kind::kSince:
+      return "since";
+    case Unit::Kind::kLasttime:
+      return "lasttime";
+    case Unit::Kind::kPreviously:
+      return "previously";
+    case Unit::Kind::kThroughoutPast:
+      return "throughout";
+    default:
+      return "?";
+  }
+}
+
+void IncrementalEvaluator::set_tracing(bool on) {
+  if (on == tracing_) return;
+  tracing_ = on;
+  step_trace_.flips.clear();
+  step_trace_.binds.clear();
+  if (on) {
+    prev_status_.assign(mem_.size(), -1);
+    anchors_.assign(mem_.size(), Anchor{});
+  }
+}
+
+void IncrementalEvaluator::TraceTemporalUnit(
+    const Unit& u, NodeId out, const ptl::StateSnapshot& snapshot) {
+  int8_t status = out == kTrueNode ? 1 : out == kFalseNode ? 0 : 2;
+  if (status == prev_status_[u.mem_slot]) return;
+  prev_status_[u.mem_slot] = status;
+  FlipEvent flip;
+  flip.subformula = u.ast->ToString();
+  flip.op = TemporalOpName(u.kind);
+  flip.transition = status == 1 ? "sat" : status == 0 ? "unsat" : "residual";
+  flip.seq = static_cast<int64_t>(snapshot.seq);
+  flip.mem_slot = u.mem_slot;
+  step_trace_.flips.push_back(std::move(flip));
+  if (status == 1) {
+    anchors_[u.mem_slot].seq = static_cast<int64_t>(snapshot.seq);
+    anchors_[u.mem_slot].time = snapshot.time;
+    // Bindings are attached at the end of Step — binder units run after the
+    // temporal units beneath them, so the step's binds are not complete yet.
+  }
+}
+
+std::vector<IncrementalEvaluator::WitnessLink>
+IncrementalEvaluator::WitnessChain() const {
+  std::vector<WitnessLink> chain;
+  for (const Unit& u : units_) {
+    if (u.mem_slot < 0) continue;
+    WitnessLink link;
+    link.op = TemporalOpName(u.kind);
+    link.subformula = u.ast->ToString();
+    link.retained = graph_->ToString(mem_[u.mem_slot]);
+    if (static_cast<size_t>(u.mem_slot) < anchors_.size()) {
+      const Anchor& a = anchors_[u.mem_slot];
+      link.anchor_seq = a.seq;
+      link.anchor_time = a.time;
+      link.bindings = a.binds;
+    }
+    if (link.anchor_seq < 0 && link.retained != "false" &&
+        !step_trace_.binds.empty()) {
+      // Binders outside the temporal scope (the §5.2 sharp-increase shape):
+      // the retained formula stays open in the bound variables, so the unit
+      // never flips to a sentinel and no anchor exists. The firing-state
+      // bindings are then the values that closed the formula — report them.
+      link.bindings = step_trace_.binds;
+    }
+    chain.push_back(std::move(link));
+  }
+  return chain;
+}
+
 Result<bool> IncrementalEvaluator::Step(const ptl::StateSnapshot& snapshot) {
+  if (tracing_) {
+    step_trace_.flips.clear();
+    step_trace_.binds.clear();
+  }
   for (size_t i = 0; i < units_.size(); ++i) {
     Unit& u = units_[i];
     NodeId out = kFalseNode;
@@ -334,6 +412,7 @@ Result<bool> IncrementalEvaluator::Step(const ptl::StateSnapshot& snapshot) {
             Value v, EvalGroundTerm(
                          // bind_term lives in the AST; wrap for the helper.
                          u.ast->bind_term, snapshot));
+        if (tracing_) step_trace_.binds.push_back(BindEvent{u.ast->var, v});
         PTLDB_ASSIGN_OR_RETURN(
             out, graph_->Substitute(outputs_[u.left], u.bind_var, v));
         break;
@@ -367,6 +446,15 @@ Result<bool> IncrementalEvaluator::Step(const ptl::StateSnapshot& snapshot) {
       }
     }
     outputs_[i] = out;
+    if (tracing_ && u.mem_slot >= 0) TraceTemporalUnit(u, out, snapshot);
+  }
+  if (tracing_) {
+    // Attach the step's full bind set to every subformula anchored here.
+    for (const FlipEvent& flip : step_trace_.flips) {
+      if (flip.transition[0] == 's') {  // "sat"
+        anchors_[flip.mem_slot].binds = step_trace_.binds;
+      }
+    }
   }
 
   // §5 optimization: prune time-bounded clauses that can no longer be
@@ -400,6 +488,10 @@ IncrementalEvaluator::Checkpoint IncrementalEvaluator::Save() const {
   cp.last_fired = last_fired_;
   cp.mem = mem_;
   cp.machines = machines_;
+  if (tracing_) {
+    cp.prev_status = prev_status_;
+    cp.anchors = anchors_;
+  }
   return cp;
 }
 
@@ -412,6 +504,18 @@ Status IncrementalEvaluator::Restore(const Checkpoint& cp) {
   last_fired_ = cp.last_fired;
   mem_ = cp.mem;
   machines_ = cp.machines;
+  if (tracing_) {
+    if (cp.prev_status.size() == mem_.size()) {
+      // Roll provenance back with the recurrences so a vetoed probe leaves
+      // no trace in the witness anchors.
+      prev_status_ = cp.prev_status;
+      anchors_ = cp.anchors;
+    } else {
+      // Checkpoint predates tracing: re-sync on the next Step.
+      prev_status_.assign(mem_.size(), -1);
+      anchors_.assign(mem_.size(), Anchor{});
+    }
+  }
   return Status::OK();
 }
 

@@ -95,6 +95,68 @@ class IncrementalEvaluator {
   /// Whether the last Step reported satisfaction.
   bool last_fired() const { return last_fired_; }
 
+  // ---- Firing-provenance tracing ----
+  //
+  // With tracing on, each Step additionally records which temporal
+  // subformulas' truth status flipped at that state (the F_{g,i} recurrence
+  // transitions) and which `[x := q]` values were bound, and maintains a
+  // per-subformula *anchor*: the most recent state at which its recurrence
+  // became satisfied, with the bindings observed there. The anchors form the
+  // witness chain a fired rule reports (rules/provenance.h). Off (the
+  // default) the only cost is one predictable branch per temporal/bind unit.
+
+  /// One `[x := q]` substitution observed during a Step.
+  struct BindEvent {
+    std::string var;
+    Value value;
+  };
+
+  /// One temporal subformula whose truth status changed at this Step.
+  struct FlipEvent {
+    std::string subformula;    // g's source rendering
+    const char* op = "";       // "since" | "lasttime" | ...
+    const char* transition = "";  // "sat" | "unsat" | "residual"
+    int64_t seq = -1;          // snapshot sequence of the flip
+    int mem_slot = -1;
+  };
+
+  struct StepTrace {
+    std::vector<FlipEvent> flips;
+    std::vector<BindEvent> binds;
+  };
+
+  /// The most recent state at which one temporal subformula's recurrence
+  /// became satisfied (one per mem slot; seq -1 until that happens).
+  struct Anchor {
+    int64_t seq = -1;
+    Timestamp time = 0;
+    std::vector<BindEvent> binds;
+  };
+
+  /// One link of the witness chain: a temporal subformula, its current
+  /// retained F_{g,i} formula, and the anchor state that last satisfied it.
+  struct WitnessLink {
+    std::string op;
+    std::string subformula;
+    std::string retained;      // rendered F_{g,i} after the last Step
+    int64_t anchor_seq = -1;   // -1: never satisfied while tracing
+    Timestamp anchor_time = 0;
+    std::vector<BindEvent> bindings;  // binds at the anchor state
+  };
+
+  /// Enables/disables provenance collection. Enabling (re)initializes the
+  /// per-subformula status so the next Step re-records every transition.
+  void set_tracing(bool on);
+  bool tracing() const { return tracing_; }
+
+  /// Flip/bind events of the most recent Step (empty when tracing is off).
+  const StepTrace& last_step_trace() const { return step_trace_; }
+
+  /// One link per temporal subformula, in compilation (bottom-up) order.
+  /// Meaningful after at least one traced Step; anchors are only tracked
+  /// while tracing is on.
+  std::vector<WitnessLink> WitnessChain() const;
+
   // ---- Checkpointing ----
 
   /// Opaque saved state. Valid until the next MaybeCollect() on this
@@ -105,6 +167,11 @@ class IncrementalEvaluator {
     bool last_fired = false;
     std::vector<NodeId> mem;
     std::vector<AggMachineState> machines;
+    // Provenance state, captured only while tracing so a rolled-back
+    // hypothetical probe (IC veto, valid-time replay) cannot pollute witness
+    // anchors with states that never materialized.
+    std::vector<int8_t> prev_status;
+    std::vector<Anchor> anchors;
   };
 
   Checkpoint Save() const;
@@ -192,6 +259,16 @@ class IncrementalEvaluator {
 
   uint64_t steps_ = 0;
   bool last_fired_ = false;
+
+  // Provenance tracing (see set_tracing). prev_status_/anchors_ are indexed
+  // by mem slot; -1 status means "unknown, record the next transition".
+  void TraceTemporalUnit(const Unit& u, NodeId out,
+                         const ptl::StateSnapshot& snapshot);
+  static const char* TemporalOpName(Unit::Kind kind);
+  bool tracing_ = false;
+  StepTrace step_trace_;
+  std::vector<int8_t> prev_status_;
+  std::vector<Anchor> anchors_;
 };
 
 

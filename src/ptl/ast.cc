@@ -277,8 +277,9 @@ FormulaPtr Bind(std::string var, TermPtr term, FormulaPtr body) {
 
 namespace {
 // Fresh variable names for desugared bounded operators. A process-wide
-// counter keeps them unique across formulas; the "#" prefix cannot collide
-// with parsed identifiers.
+// counter keeps them unique across formulas; the "#" prefix keeps them out
+// of the way of ordinary user identifiers (the lexer accepts a leading '#'
+// only so printed formulas re-parse for trace replay).
 std::string FreshTimeVar() {
   static std::atomic<uint64_t> counter{0};
   return StrCat("#t", counter.fetch_add(1));

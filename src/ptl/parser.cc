@@ -33,8 +33,12 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
     }
     Token t;
     t.pos = pos;
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    // A leading '#' admits the fresh variables of desugared bounded
+    // operators (ast.cc's "#t<N>"), so a printed formula re-parses — trace
+    // replay round-trips recorded conditions through ToString/ParseFormula.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '#') {
       size_t start = pos;
+      ++pos;  // consume the leading char; '#' is only valid here
       while (pos < input.size() &&
              (std::isalnum(static_cast<unsigned char>(input[pos])) ||
               input[pos] == '_')) {

@@ -149,6 +149,79 @@ void RuleEngine::RefreshDerivedMetrics(Metrics& m) {
   m.gauge("evaluator.subsume_hits").Set(static_cast<int64_t>(subsume_hits));
 }
 
+// ---- Firing-provenance tracing ----------------------------------------------
+
+json::Json RuleEngine::MakeUpdateRecord(const Rule& rule,
+                                        const Instance& instance,
+                                        const ptl::StateSnapshot& snapshot,
+                                        uint64_t step_no, bool satisfied,
+                                        bool was_satisfied, bool fired) {
+  json::Json rec = json::Json::Object();
+  rec.Set("kind", json::Json::Str("update"));
+  rec.Set("rule", json::Json::Str(rule.name));
+  if (!instance.params_key.empty()) {
+    rec.Set("params", json::Json::Str(instance.params_key));
+  }
+  // The grounded condition re-parses and re-analyzes to the same query-slot
+  // order, which is what lets TraceReplay line the recorded values back up.
+  rec.Set("condition",
+          json::Json::Str(instance.ev.analysis().root->ToString()));
+  rec.Set("step", json::Json::UInt(step_no));
+  rec.Set("seq", json::Json::Int(static_cast<int64_t>(snapshot.seq)));
+  rec.Set("time", json::Json::Int(snapshot.time));
+  rec.Set("events", EncodeSnapshotEvents(snapshot));
+  rec.Set("query_values", EncodeSnapshotQueryValues(snapshot));
+  rec.Set("satisfied", json::Json::Bool(satisfied));
+  rec.Set("was_satisfied", json::Json::Bool(was_satisfied));
+  rec.Set("fired", json::Json::Bool(fired));
+  return rec;
+}
+
+void RuleEngine::EmitRecurrenceSpans(const eval::IncrementalEvaluator& ev) {
+  for (const auto& flip : ev.last_step_trace().flips) {
+    trace::Span span;
+    span.kind = trace::SpanKind::kRecurrence;
+    span.instant = true;
+    span.start_ns = trace::Recorder::NowNs();
+    span.seq = flip.seq;
+    span.name = flip.subformula;
+    span.detail = StrCat(flip.op, " -> ", flip.transition);
+    trace_->RecordSpan(std::move(span));
+  }
+}
+
+void RuleEngine::CaptureWitness(
+    Rule* rule, const Instance& instance, const ptl::StateSnapshot& snapshot,
+    std::vector<eval::IncrementalEvaluator::WitnessLink> chain) {
+  Witness w;
+  w.rule = rule->name;
+  w.params = instance.params_key;
+  w.condition = instance.ev.analysis().root->ToString();
+  w.seq = static_cast<int64_t>(snapshot.seq);
+  w.time = snapshot.time;
+  w.chain = std::move(chain);
+  rule->last_witness = std::move(w);
+}
+
+Result<std::string> RuleEngine::Why(const std::string& name) const {
+  auto it = rule_index_.find(name);
+  if (it == rule_index_.end()) {
+    return Status::NotFound(StrCat("no rule named '", name, "'"));
+  }
+  const Rule& rule = *rules_[it->second];
+  if (rule.fires == 0) {
+    return Status::NotFound(
+        StrCat("rule '", name, "' has never fired",
+               rule.is_ic ? " (no commit has violated it)" : ""));
+  }
+  if (!rule.last_witness.has_value()) {
+    return StrCat("rule '", name, "' has fired ", rule.fires,
+                  " time(s), but no witness was captured — enable tracing "
+                  "before the next firing to record one");
+  }
+  return WitnessSummary(*rule.last_witness);
+}
+
 // ---- Registration -----------------------------------------------------------
 
 Status RuleEngine::AddTrigger(const std::string& name,
@@ -515,10 +588,19 @@ Result<RuleEngine::StepTask> RuleEngine::GatherStepTask(
 }
 
 void RuleEngine::RunStepTasks(std::vector<StepTask>* tasks) {
-  auto run_one = [this, tasks](size_t i) {
+  const bool tracing = trace_ != nullptr && trace_->enabled();
+  auto run_one = [this, tasks, tracing](size_t i) {
     StepTask& t = (*tasks)[i];
     if (t.resolved) return;
     eval::IncrementalEvaluator& ev = t.instance->ev;
+    trace::ScopedSpan step_span(
+        trace_, trace::SpanKind::kRuleStep,
+        tracing ? StrCat(t.rule->name,
+                         t.instance->params_key.empty() ? "" : "[",
+                         t.instance->params_key,
+                         t.instance->params_key.empty() ? "" : "]")
+                : std::string(),
+        static_cast<int64_t>(t.snapshot.seq));
     t.was_satisfied = ev.last_fired() && ev.steps() > 0;
     Result<bool> fired = ev.Step(t.snapshot);
     if (!fired.ok()) {
@@ -528,6 +610,7 @@ void RuleEngine::RunStepTasks(std::vector<StepTask>* tasks) {
     t.instance->last_seq = t.snapshot.seq;
     t.stepped = true;
     t.fired = *fired;
+    if (tracing) EmitRecurrenceSpans(ev);
     if (t.allow_collect &&
         t.instance->ev.MaybeCollect(collect_threshold_)) {
       t.collected = true;
@@ -616,6 +699,11 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
   ++dispatch_depth_;
   ++stats_.states_processed;
   MetricAdd(ins_.states_processed);
+  const bool tracing = trace_ != nullptr && trace_->enabled();
+  trace::ScopedSpan update_span(
+      trace_, trace::SpanKind::kUpdate,
+      tracing ? StrCat("state#", state.seq) : std::string(),
+      static_cast<int64_t>(state.seq));
 
   // Phase 1: system rules (aggregate reset/accumulate), in registration
   // order, actions applied inline so user conditions at this state already
@@ -653,6 +741,8 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
   std::vector<StepTask> tasks;
   {
     ScopedTimer gather_timer(ins_.gather_ns);
+    trace::ScopedSpan gather_span(trace_, trace::SpanKind::kGather, "gather",
+                                  static_cast<int64_t>(state.seq));
   for (const auto& rule : rules_) {
     if (rule->is_system) continue;
     if (rule->options.event_filtered && !rule->event_names.empty() &&
@@ -669,6 +759,7 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
       }
     }
     for (const auto& instance : rule->instances) {
+      instance->ev.set_tracing(tracing);
       if (batching && !rule->is_ic) {
         // §8 batched invocation: capture the snapshot now (conditions must
         // observe this state's query values), defer stepping to Flush().
@@ -695,6 +786,8 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
   // Step (sharded): pure evaluator work, fanned out when a pool is set.
   {
     ScopedTimer step_timer(ins_.step_ns);
+    trace::ScopedSpan step_span(trace_, trace::SpanKind::kStep, "step",
+                                static_cast<int64_t>(state.seq));
     RunStepTasks(&tasks);
   }
 
@@ -703,6 +796,8 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
   std::vector<PendingAction> pending;
   {
     ScopedTimer merge_timer(ins_.merge_ns);
+    trace::ScopedSpan merge_span(trace_, trace::SpanKind::kMerge, "merge",
+                                 static_cast<int64_t>(state.seq));
   for (StepTask& task : tasks) {
     if (task.stepped) {
       ++stats_.rule_steps;
@@ -718,7 +813,26 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
     }
     bool run_action = task.fired && (task.rule->options.level_triggered ||
                                      !task.was_satisfied);
-    if (run_action && !task.rule->is_ic && task.rule->action != nullptr) {
+    bool acts = run_action && !task.rule->is_ic &&
+                task.rule->action != nullptr;
+    if (tracing && task.stepped && !task.rule->is_system) {
+      // Each instance stepped at most once this pass, so its evaluator still
+      // holds this state's step count and witness anchors. System rules are
+      // skipped: their generated conditions use internal binder names that
+      // do not re-parse, so a replay could never consume them.
+      if (acts) {
+        CaptureWitness(task.rule, *task.instance, task.snapshot,
+                       task.instance->ev.WitnessChain());
+      }
+      json::Json rec = MakeUpdateRecord(
+          *task.rule, *task.instance, task.snapshot,
+          task.instance->ev.steps(), task.fired, task.was_satisfied, acts);
+      if (acts) {
+        rec.Set("witness", WitnessToJson(*task.rule->last_witness));
+      }
+      trace_->RecordUpdate(std::move(rec));
+    }
+    if (acts) {
       pending.push_back(
           PendingAction{task.rule, task.instance, state.time});
     }
@@ -752,6 +866,8 @@ void RuleEngine::RunPendingActions(std::vector<PendingAction> pending) {
     Status s;
     {
       ScopedTimer action_timer(ins_.action_ns);
+      trace::ScopedSpan action_span(trace_, trace::SpanKind::kAction,
+                                    pa.rule->name);
       s = pa.rule->action(ctx);
     }
     ++stats_.actions_executed;
@@ -772,6 +888,8 @@ void RuleEngine::RunPendingActions(std::vector<PendingAction> pending) {
 Status RuleEngine::Flush() {
   if (flushing_) return Status::OK();  // outer drain loop will pick it up
   flushing_ = true;
+  const bool tracing = trace_ != nullptr && trace_->enabled();
+  trace::ScopedSpan flush_span(trace_, trace::SpanKind::kFlush, "flush");
   while (!batch_queue_.empty()) {
     std::vector<QueuedStep> queue;
     queue.swap(batch_queue_);
@@ -787,6 +905,10 @@ Status RuleEngine::Flush() {
       bool was_satisfied = false;
       bool collected = false;
       Status status = Status::OK();
+      // Captured at step time — an instance steps several times per drain,
+      // so the evaluator's state at merge time belongs to its *last* step.
+      uint64_t step_no = 0;
+      std::vector<eval::IncrementalEvaluator::WitnessLink> witness_chain;
     };
     std::vector<StepOut> outs(queue.size());
     std::vector<std::vector<size_t>> groups;  // queue indices per instance
@@ -799,14 +921,18 @@ Status RuleEngine::Flush() {
         groups[it->second].push_back(i);
       }
     }
-    auto run_group = [this, &queue, &outs, &groups](size_t g) {
+    auto run_group = [this, &queue, &outs, &groups, tracing](size_t g) {
       for (size_t i : groups[g]) {
         QueuedStep& qs = queue[i];
         StepOut& out = outs[i];
         if (qs.instance->last_seq == qs.snapshot.seq) continue;
-        out.was_satisfied =
-            qs.instance->ev.last_fired() && qs.instance->ev.steps() > 0;
-        Result<bool> fired = qs.instance->ev.Step(qs.snapshot);
+        eval::IncrementalEvaluator& ev = qs.instance->ev;
+        trace::ScopedSpan step_span(
+            trace_, trace::SpanKind::kRuleStep,
+            tracing ? qs.rule->name : std::string(),
+            static_cast<int64_t>(qs.snapshot.seq));
+        out.was_satisfied = ev.last_fired() && ev.steps() > 0;
+        Result<bool> fired = ev.Step(qs.snapshot);
         if (!fired.ok()) {
           out.status = fired.status();
           continue;
@@ -814,7 +940,16 @@ Status RuleEngine::Flush() {
         qs.instance->last_seq = qs.snapshot.seq;
         out.stepped = true;
         out.fired = *fired;
-        if (qs.instance->ev.MaybeCollect(collect_threshold_)) {
+        if (tracing) {
+          EmitRecurrenceSpans(ev);
+          out.step_no = ev.steps();
+          bool run_action = out.fired && (qs.rule->options.level_triggered ||
+                                          !out.was_satisfied);
+          if (run_action && qs.rule->action != nullptr) {
+            out.witness_chain = ev.WitnessChain();
+          }
+        }
+        if (ev.MaybeCollect(collect_threshold_)) {
           out.collected = true;
         }
       }
@@ -847,7 +982,21 @@ Status RuleEngine::Flush() {
       }
       bool run_action = out.fired && (qs.rule->options.level_triggered ||
                                       !out.was_satisfied);
-      if (out.stepped && run_action && qs.rule->action != nullptr) {
+      bool acts = out.stepped && run_action && qs.rule->action != nullptr;
+      if (tracing && out.stepped && !qs.rule->is_system) {
+        if (acts) {
+          CaptureWitness(qs.rule, *qs.instance, qs.snapshot,
+                         std::move(out.witness_chain));
+        }
+        json::Json rec =
+            MakeUpdateRecord(*qs.rule, *qs.instance, qs.snapshot, out.step_no,
+                             out.fired, out.was_satisfied, acts);
+        if (acts) {
+          rec.Set("witness", WitnessToJson(*qs.rule->last_witness));
+        }
+        trace_->RecordUpdate(std::move(rec));
+      }
+      if (acts) {
         pending.push_back(
             PendingAction{qs.rule, qs.instance, qs.snapshot.time});
       }
@@ -930,6 +1079,10 @@ Status RuleEngine::OnCommitAttempt(const event::SystemState& prospective,
   std::vector<Probe> probes;
   std::vector<std::string> violated;
   Status failure = Status::OK();
+  const bool tracing = trace_ != nullptr && trace_->enabled();
+  trace::ScopedSpan probe_span(trace_, trace::SpanKind::kIcProbe,
+                               tracing ? StrCat("txn#", txn) : std::string(),
+                               static_cast<int64_t>(prospective.seq));
 
   // Gather (serial): checkpoint every constraint's evaluator and capture its
   // snapshot of the prospective commit state. Query values are memoized
@@ -939,6 +1092,7 @@ Status RuleEngine::OnCommitAttempt(const event::SystemState& prospective,
   for (const auto& rule : rules_) {
     if (!rule->is_ic) continue;
     Instance* instance = rule->instances[0].get();
+    instance->ev.set_tracing(tracing);
     probes.push_back(Probe{rule.get(), instance, instance->ev.Save()});
     // Collection would invalidate the checkpoints just saved, so the
     // hypothetical probe defers it.
@@ -960,6 +1114,7 @@ Status RuleEngine::OnCommitAttempt(const event::SystemState& prospective,
   // Merge (serial, registration order): the violated list, the firing
   // verdicts, and the first reported failure come out identical to the
   // serial engine.
+  std::vector<json::Json> probe_records;  // held until the verdict is known
   for (StepTask& task : tasks) {
     ++stats_.ic_checks;
     MetricAdd(ins_.ic_checks);
@@ -974,12 +1129,35 @@ Status RuleEngine::OnCommitAttempt(const event::SystemState& prospective,
     if (task.fired) {
       violated.push_back(task.rule->name);
       ++task.rule->fires;  // an IC "fires" by vetoing the commit
+      if (tracing && task.stepped) {
+        // Capture the veto's witness now — the rollback below rewinds the
+        // evaluator (and its anchors) to the pre-probe state.
+        CaptureWitness(task.rule, *task.instance, task.snapshot,
+                       task.instance->ev.WitnessChain());
+      }
+    }
+    if (tracing && task.stepped) {
+      json::Json rec = MakeUpdateRecord(
+          *task.rule, *task.instance, task.snapshot,
+          task.instance->ev.steps(), task.fired, task.was_satisfied,
+          /*fired=*/task.fired);
+      if (task.fired && task.rule->last_witness.has_value()) {
+        rec.Set("witness", WitnessToJson(*task.rule->last_witness));
+      }
+      probe_records.push_back(std::move(rec));
     }
   }
 
-  if (violated.empty() && failure.ok()) return Status::OK();
+  if (violated.empty() && failure.ok()) {
+    // The commit stands: the probed steps are now these constraints' real
+    // history, so their provenance records enter the replayable stream.
+    for (json::Json& rec : probe_records) trace_->RecordUpdate(std::move(rec));
+    return Status::OK();
+  }
 
-  // Roll the constraints back: the commit state will not materialize.
+  // Roll the constraints back: the commit state will not materialize. The
+  // probe records are dropped with it (the vetoed state is not history); an
+  // informational veto record — which TraceReplay ignores — marks the event.
   for (Probe& probe : probes) {
     Status s = probe.instance->ev.Restore(probe.checkpoint);
     PTLDB_CHECK(s.ok() && "checkpoint restore must succeed (no GC ran)");
@@ -988,6 +1166,17 @@ Status RuleEngine::OnCommitAttempt(const event::SystemState& prospective,
   if (!failure.ok()) return failure;
   ++stats_.ic_violations;
   MetricAdd(ins_.ic_violations);
+  if (tracing) {
+    json::Json veto = json::Json::Object();
+    veto.Set("kind", json::Json::Str("ic_veto"));
+    veto.Set("txn", json::Json::Int(txn));
+    veto.Set("seq", json::Json::Int(static_cast<int64_t>(prospective.seq)));
+    veto.Set("time", json::Json::Int(prospective.time));
+    json::Json names = json::Json::Array();
+    for (const std::string& name : violated) names.Add(json::Json::Str(name));
+    veto.Set("violated", std::move(names));
+    trace_->RecordUpdate(std::move(veto));
+  }
   return Status::ConstraintViolation(
       StrCat("integrity constraint(s) violated by transaction ", txn, ": ",
              Join(violated, ", ")));

@@ -35,6 +35,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -44,10 +45,12 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "db/database.h"
 #include "eval/incremental.h"
 #include "ptl/analyzer.h"
 #include "ptl/parser.h"
+#include "rules/provenance.h"
 #include "rules/query_registry.h"
 
 namespace ptldb::rules {
@@ -246,6 +249,21 @@ class RuleEngine : public db::Database::Listener {
   /// DebugString) plus node/step/collection accounting.
   Result<std::string> Explain(const std::string& name) const;
 
+  /// Attaches a trace recorder (nullptr detaches). While the recorder is
+  /// enabled the engine emits phase/rule-step/recurrence spans, one JSONL
+  /// update record per stepped instance (the replayable provenance stream),
+  /// and captures a firing witness per rule for `Why`. With the recorder
+  /// detached or disabled the per-update cost is a handful of branches. The
+  /// recorder must outlive the engine or be detached first.
+  void SetTrace(trace::Recorder* recorder) { trace_ = recorder; }
+  trace::Recorder* trace() const { return trace_; }
+
+  /// Human-readable account of the most recent firing of `name`: the state
+  /// it fired at and the witness chain through its temporal subformulas.
+  /// NotFound when no such rule exists or it has never fired; if it fired
+  /// without tracing enabled, explains how to capture a witness.
+  Result<std::string> Why(const std::string& name) const;
+
   // ---- Introspection ----
 
   /// A point-in-time description of one rule.
@@ -323,6 +341,8 @@ class RuleEngine : public db::Database::Listener {
     // Per-rule accounting, published through the metrics provider. Mutated
     // only on the serial merge/action paths.
     uint64_t fires = 0;
+    // Most recent firing's provenance; captured only while tracing (`Why`).
+    std::optional<Witness> last_witness;
   };
 
   struct PendingAction {
@@ -421,8 +441,25 @@ class RuleEngine : public db::Database::Listener {
   // Retained-state collection policy (see SetCollectThreshold).
   size_t collect_threshold_ = 65536;
 
+  /// Builds the JSONL provenance record for one stepped instance. `fired` is
+  /// the post-edge-trigger verdict (whether the action actually runs);
+  /// `step_no`/`witness_chain` must be captured at step time when an
+  /// instance steps more than once per pass (batched Flush).
+  json::Json MakeUpdateRecord(const Rule& rule, const Instance& instance,
+                              const ptl::StateSnapshot& snapshot,
+                              uint64_t step_no, bool satisfied,
+                              bool was_satisfied, bool fired);
+  /// Emits one instant span per recurrence flip of the instance's last Step.
+  void EmitRecurrenceSpans(const eval::IncrementalEvaluator& ev);
+  /// Captures a Witness for a firing and stores it on the rule for `Why`.
+  void CaptureWitness(Rule* rule, const Instance& instance,
+                      const ptl::StateSnapshot& snapshot,
+                      std::vector<eval::IncrementalEvaluator::WitnessLink>
+                          chain);
+
   // Observability: cached instrument pointers, null when detached, so the
   // hot path pays one branch per update and nothing else.
+  trace::Recorder* trace_ = nullptr;
   Metrics* metrics_ = nullptr;
   uint64_t metrics_provider_id_ = 0;
   struct MetricSet {

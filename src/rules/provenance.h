@@ -1,0 +1,77 @@
+// Firing provenance: the witness a fired rule reports, and the differential
+// replay of a trace dump.
+//
+// A `Witness` explains one firing: the state at which the grounded condition
+// was satisfied, plus one link per temporal subformula giving its retained
+// F_{g,i} formula and the *anchor* — the most recent state at which that
+// recurrence became satisfied, with the `[x := q]` values bound there. The
+// chain reaches back through Since/Lasttime history without replaying it:
+// the anchors are maintained incrementally by the evaluator while tracing.
+//
+// `TraceReplay` is the independent check: it re-reads a JSONL trace dump
+// (trace.h format), reconstructs each rule instance's snapshot history from
+// the recorded update documents, re-evaluates the recorded condition with the
+// naive (§4.2-literal) evaluator, and compares its verdict at every state
+// with what the engine recorded. A mismatch means either the incremental
+// evaluator or the trace itself is wrong — exactly the property Theorem 1
+// promises, checked from the outside on a production artifact.
+
+#ifndef PTLDB_RULES_PROVENANCE_H_
+#define PTLDB_RULES_PROVENANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "eval/incremental.h"
+#include "ptl/snapshot.h"
+
+namespace ptldb::rules {
+
+/// Why one rule instance fired at one state.
+struct Witness {
+  std::string rule;
+  std::string params;     // canonical params key, "" for plain rules
+  std::string condition;  // grounded condition text (re-parseable)
+  int64_t seq = -1;
+  Timestamp time = 0;
+  std::vector<eval::IncrementalEvaluator::WitnessLink> chain;
+};
+
+json::Json WitnessToJson(const Witness& w);
+
+/// Multi-line human rendering (the shell's `why <rule>` output).
+std::string WitnessSummary(const Witness& w);
+
+/// Lossless encoding of the parts of a snapshot a replay needs (events and
+/// query-slot values; seq/time are carried on the enclosing record).
+json::Json EncodeSnapshotEvents(const ptl::StateSnapshot& snapshot);
+json::Json EncodeSnapshotQueryValues(const ptl::StateSnapshot& snapshot);
+
+// ---- Differential replay ----------------------------------------------------
+
+struct ReplayReport {
+  size_t records = 0;            // update records consumed
+  size_t ignored = 0;            // non-update lines skipped (header, vetoes…)
+  size_t instances = 0;          // (rule, params) groups replayed
+  size_t partial_skipped = 0;    // groups whose history start was dropped
+  size_t steps = 0;              // states re-evaluated naively
+  size_t fired_with_witness = 0; // recorded firings carrying a witness chain
+  size_t fired_without_witness = 0;
+  size_t mismatches = 0;
+  std::vector<std::string> details;  // one line per mismatch (first 32)
+
+  bool ok() const { return mismatches == 0; }
+  std::string Summary() const;
+};
+
+/// Replays a JSONL trace dump against the naive evaluator. Returns an error
+/// only for malformed input; verdict disagreements are reported as
+/// `mismatches` so callers can print all of them.
+Result<ReplayReport> TraceReplay(std::string_view jsonl);
+Result<ReplayReport> TraceReplayFile(const std::string& path);
+
+}  // namespace ptldb::rules
+
+#endif  // PTLDB_RULES_PROVENANCE_H_

@@ -288,7 +288,46 @@ Result<ptl::StateSnapshot> VtDatabase::SnapshotFor(
   return snapshot;
 }
 
+void VtDatabase::RecordFire(const Monitor& m, size_t idx) {
+  // Mirrors the engine's witness encoding, but under its own "vt_fire" kind:
+  // TraceReplay skips it (valid-time replays revisit states, so the records
+  // are not a linear history), yet the chain still explains the firing.
+  json::Json doc = json::Json::Object();
+  doc.Set("kind", json::Json::Str("vt_fire"));
+  doc.Set("monitor", json::Json::Str(m.name));
+  doc.Set("mode", json::Json::Str(m.definite ? "definite" : "tentative"));
+  doc.Set("condition", json::Json::Str(m.ev.analysis().root->ToString()));
+  doc.Set("seq",
+          json::Json::Int(static_cast<int64_t>(compacted_states_ + idx)));
+  doc.Set("time", json::Json::Int(states_[idx].time));
+  json::Json chain = json::Json::Array();
+  for (const auto& link : m.ev.WitnessChain()) {
+    json::Json l = json::Json::Object();
+    l.Set("op", json::Json::Str(link.op));
+    l.Set("subformula", json::Json::Str(link.subformula));
+    l.Set("retained", json::Json::Str(link.retained));
+    l.Set("anchor_seq", json::Json::Int(link.anchor_seq));
+    l.Set("anchor_time", json::Json::Int(link.anchor_time));
+    if (!link.bindings.empty()) {
+      json::Json binds = json::Json::Array();
+      for (const auto& b : link.bindings) {
+        json::Json bj = json::Json::Object();
+        bj.Set("var", json::Json::Str(b.var));
+        bj.Set("value", trace::EncodeValue(b.value));
+        binds.Add(std::move(bj));
+      }
+      l.Set("bindings", std::move(binds));
+    }
+    chain.Add(std::move(l));
+  }
+  doc.Set("chain", std::move(chain));
+  trace_->RecordUpdate(std::move(doc));
+}
+
 Status VtDatabase::ReplayTentative(Monitor* m, size_t from) {
+  const bool tracing = trace_ != nullptr && trace_->enabled();
+  m->ev.set_tracing(tracing);
+  trace::ScopedSpan span(trace_, trace::SpanKind::kVtReplay, m->name);
   // Restore to the checkpoint taken before states_[from] and replay the
   // suffix (§9.2: "performs the evaluation algorithm for each state starting
   // with the oldest system state that was updated").
@@ -297,13 +336,20 @@ Status VtDatabase::ReplayTentative(Monitor* m, size_t from) {
     m->checkpoints.resize(from + 1);
   }
   size_t start = m->checkpoints.size() - 1;  // next state index to consume
+  if (span.active()) {
+    span.set_detail(StrCat("replay states ", compacted_states_ + start, "..",
+                           compacted_states_ + states_.size()));
+  }
   for (size_t i = start; i < states_.size(); ++i) {
     PTLDB_ASSIGN_OR_RETURN(
         ptl::StateSnapshot snapshot,
         SnapshotFor(m->ev.analysis(), states_[i], i));
     PTLDB_ASSIGN_OR_RETURN(bool fired, m->ev.Step(snapshot));
     m->checkpoints.push_back(m->ev.Save());
-    if (fired && m->on_fire) m->on_fire(states_[i].time);
+    if (fired && m->on_fire) {
+      if (tracing) RecordFire(*m, i);
+      m->on_fire(states_[i].time);
+    }
   }
   // Replays never collected before, so a long-lived tentative monitor's node
   // store grew without bound between (optional) Compact() calls. Collect
@@ -320,6 +366,10 @@ Status VtDatabase::ReplayTentative(Monitor* m, size_t from) {
 }
 
 Status VtDatabase::StepDefinite(Monitor* m, Timestamp horizon) {
+  const bool tracing = trace_ != nullptr && trace_->enabled();
+  m->ev.set_tracing(tracing);
+  trace::ScopedSpan span(trace_, trace::SpanKind::kVtDefinite, m->name);
+  size_t consumed = 0;
   // Only states strictly older than now - delta are final (an update at
   // valid time v may still arrive while now <= v + delta).
   while (m->frontier < states_.size() &&
@@ -328,8 +378,16 @@ Status VtDatabase::StepDefinite(Monitor* m, Timestamp horizon) {
         ptl::StateSnapshot snapshot,
         SnapshotFor(m->ev.analysis(), states_[m->frontier], m->frontier));
     PTLDB_ASSIGN_OR_RETURN(bool fired, m->ev.Step(snapshot));
-    if (fired && m->on_fire) m->on_fire(states_[m->frontier].time);
+    if (fired && m->on_fire) {
+      if (tracing) RecordFire(*m, m->frontier);
+      m->on_fire(states_[m->frontier].time);
+    }
     ++m->frontier;
+    ++consumed;
+  }
+  if (span.active()) {
+    span.set_detail(StrCat("advanced ", consumed, " state(s); frontier=",
+                           compacted_states_ + m->frontier));
   }
   // Definite monitors hold no checkpoints; a plain collection bounds them.
   if (m->ev.MaybeCollect(collect_threshold_)) ++collections_;

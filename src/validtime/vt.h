@@ -41,6 +41,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "eval/incremental.h"
 #include "event/event.h"
 #include "ptl/analyzer.h"
@@ -162,6 +163,15 @@ class VtDatabase {
   /// Current committed history (diagnostics).
   const VtHistory& current_history() const { return states_; }
 
+  // ---- Tracing ----
+
+  /// Attaches (or detaches, with nullptr) a trace recorder. While the
+  /// recorder is enabled, tentative replays and definite advances emit spans
+  /// and every trigger firing emits a "vt_fire" record carrying the
+  /// evaluator's witness chain. Near-zero cost while disabled.
+  void SetTrace(trace::Recorder* recorder) { trace_ = recorder; }
+  trace::Recorder* trace() const { return trace_; }
+
  private:
   struct Txn {
     int64_t id = 0;
@@ -207,6 +217,8 @@ class VtDatabase {
 
   Status ReplayTentative(Monitor* m, size_t from);
   Status StepDefinite(Monitor* m, Timestamp horizon);
+  /// Emits one "vt_fire" trace record for a monitor firing at states_[idx].
+  void RecordFire(const Monitor& m, size_t idx);
   static Result<ptl::StateSnapshot> SnapshotFor(const ptl::Analysis& analysis,
                                                 const VtState& state,
                                                 size_t seq);
@@ -226,6 +238,7 @@ class VtDatabase {
   size_t compacted_states_ = 0;        // absolute seq offset of states_[0]
   size_t collect_threshold_ = 65536;   // see SetCollectThreshold
   uint64_t collections_ = 0;
+  trace::Recorder* trace_ = nullptr;   // not owned; null = tracing detached
 };
 
 }  // namespace ptldb::validtime

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/strings.h"
 #include "rules/engine.h"
 #include "testutil.h"
 
@@ -527,6 +529,34 @@ TEST_F(EngineMetricsTest, LongRunRetainedStateBoundedWithCollections) {
   EXPECT_GT(cap.collections, 0u);  // the IC path itself collected
   EXPECT_EQ(metrics_.counter("engine.collections").Get(),
             engine_.stats().collections);
+}
+
+TEST_F(EngineMetricsTest, RetainedNodesGaugeMatchesDescribeAfterCollection) {
+  // Golden accounting check: the per-rule `retained_nodes` gauge the snapshot
+  // publishes and the live-node count Describe/Explain report must agree —
+  // also after the collector has rewritten the node store.
+  engine_.SetCollectThreshold(64);
+  ASSERT_OK(engine_.AddTrigger("watch", "WITHIN(price('IBM') >= 1000, 16)",
+                               nullptr,
+                               RuleOptions{.record_execution = false}));
+  for (int i = 0; i < 200; ++i) SetPrice("IBM", 40 + (i % 7));
+  ExpectNoErrors();
+  EXPECT_GT(engine_.stats().collections, 0u);
+
+  std::string snapshot = metrics_.ToJson();  // refreshes derived gauges
+  ASSERT_OK_AND_ASSIGN(json::Json doc, json::Parse(snapshot));
+  ASSERT_OK_AND_ASSIGN(const json::Json* gauges, doc.Get("gauges"));
+  const json::Json* retained = gauges->Find("rule.watch.retained_nodes");
+  ASSERT_NE(retained, nullptr) << snapshot;
+  ASSERT_OK_AND_ASSIGN(int64_t gauge_nodes, retained->AsInt64());
+
+  ASSERT_OK_AND_ASSIGN(RuleEngine::RuleInfo info, engine_.Describe("watch"));
+  EXPECT_EQ(gauge_nodes, static_cast<int64_t>(info.retained_nodes));
+  // Explain renders the same number.
+  ASSERT_OK_AND_ASSIGN(std::string text, engine_.Explain("watch"));
+  EXPECT_NE(text.find(StrCat("live_nodes=", info.retained_nodes)),
+            std::string::npos)
+      << text;
 }
 
 }  // namespace

@@ -8,6 +8,9 @@
 #include <cstdio>
 #include <string>
 
+#include "common/json.h"
+#include "rules/provenance.h"
+
 namespace {
 
 std::string RunShell(const std::string& script) {
@@ -82,6 +85,85 @@ TEST(ShellTest, StatsAndExplainRender) {
   // JSON stats: the full registry snapshot with per-rule gauges.
   EXPECT_NE(out.find("\"counters\""), std::string::npos);
   EXPECT_NE(out.find("\"rule.hot.steps\""), std::string::npos);
+}
+
+TEST(ShellTest, StatsJsonIsValidJson) {
+  std::string out = RunShell(
+      "create stock name:string key price:double\n"
+      "insert stock 'IBM' 40\n"
+      "query price SELECT price FROM stock WHERE name = $p1\n"
+      "trigger hot := price('IBM') > 50\n"
+      "update stock price 80 WHERE name = 'IBM'\n"
+      "stats json\n"
+      "quit\n");
+  // The snapshot is pretty-printed; it is the only braced region in the
+  // output, so the first '{' through the last '}' bound it.
+  size_t start = out.find('{');
+  size_t end = out.rfind('}');
+  ASSERT_NE(start, std::string::npos) << out;
+  ASSERT_NE(end, std::string::npos) << out;
+  ASSERT_LT(start, end);
+  std::string text = out.substr(start, end - start + 1);
+  auto doc = ptldb::json::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n" << text;
+  for (const char* key : {"counters", "gauges", "histograms"}) {
+    EXPECT_NE(doc->Find(key), nullptr) << key;
+  }
+}
+
+TEST(ShellTest, WhyExplainsFiringsAndRejectsUnknownOrNeverFired) {
+  std::string out = RunShell(
+      "create stock name:string key price:double\n"
+      "insert stock 'IBM' 40\n"
+      "query price SELECT price FROM stock WHERE name = $p1\n"
+      "trace on\n"
+      "trigger hot := price('IBM') > 50 since price('IBM') > 70\n"
+      "trigger cold := price('IBM') > 1000\n"
+      "update stock price 80 WHERE name = 'IBM'\n"
+      "why hot\n"
+      "why cold\n"
+      "why ghost\n"
+      "why\n"
+      "quit\n");
+  EXPECT_NE(out.find("rule 'hot' fired at state #"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("anchored at state #"), std::string::npos) << out;
+  // A never-fired rule is a loud NotFound, not empty output.
+  EXPECT_NE(out.find("rule 'cold' has never fired"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("no rule named 'ghost'"), std::string::npos);
+  EXPECT_NE(out.find("usage: why <rule>"), std::string::npos);
+}
+
+TEST(ShellTest, TraceCommandsRoundTrip) {
+  std::string dump = ::testing::TempDir() + "shell_trace_dump.jsonl";
+  std::string chrome = ::testing::TempDir() + "shell_trace_chrome.json";
+  std::string out = RunShell(
+      "create stock name:string key price:double\n"
+      "insert stock 'IBM' 40\n"
+      "query price SELECT price FROM stock WHERE name = $p1\n"
+      "trace on\n"
+      "trigger hot := price('IBM') > 50\n"
+      "update stock price 80 WHERE name = 'IBM'\n"
+      "trace dump " + dump + "\n"
+      "trace chrome " + chrome + "\n"
+      "trace off\n"
+      "trace bogus\n"
+      "quit\n");
+  EXPECT_NE(out.find("tracing on"), std::string::npos) << out;
+  EXPECT_NE(out.find("update record(s) to " + dump), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("span(s) to " + chrome), std::string::npos);
+  EXPECT_NE(out.find("tracing off"), std::string::npos);
+  EXPECT_NE(out.find("usage: trace"), std::string::npos);
+  // The dumped JSONL replays cleanly against the naive evaluator.
+  auto report = ptldb::rules::TraceReplayFile(dump);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->mismatches, 0u) << report->Summary();
+  EXPECT_GT(report->records, 0u);
+  EXPECT_GT(report->fired_with_witness, 0u);
+  std::remove(dump.c_str());
+  std::remove(chrome.c_str());
 }
 
 }  // namespace

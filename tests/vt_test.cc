@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/trace.h"
+#include "rules/provenance.h"
 #include "testutil.h"
 #include "validtime/vt.h"
 
@@ -413,6 +415,61 @@ TEST(VtDatabaseTest, CommittedHistoryAtExcludesLaterCommits) {
   ASSERT_GE(full.size(), 2u);
   EXPECT_EQ(full[0].time, 5);
   EXPECT_EQ(full[1].time, 6);
+}
+
+TEST(VtDatabaseTest, TraceRecordsReplaySpansAndFireWitnesses) {
+  SimClock clock(0);
+  VtDatabase db(&clock, /*max_delay=*/100);
+  trace::Recorder rec;
+  db.SetTrace(&rec);
+  rec.Enable();
+
+  int fired = 0;
+  ASSERT_OK(db.AddTentativeTrigger("high", "IBM() > 60",
+                                   [&fired](Timestamp) { ++fired; }));
+  CommitUpdate(db, clock, 10, "IBM", Value::Int(50), 10);
+  CommitUpdate(db, clock, 20, "IBM", Value::Int(70), 20);
+  // Retroactive change re-runs the suffix: another kVtReplay span.
+  CommitUpdate(db, clock, 30, "IBM", Value::Int(65), 15);
+  EXPECT_GT(fired, 0);
+
+  std::string jsonl = rec.ToJsonl();
+  EXPECT_NE(jsonl.find("\"vt_fire\""), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"monitor\":\"high\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"mode\":\"tentative\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"chain\""), std::string::npos);
+  std::string chrome = rec.ToChromeTrace();
+  EXPECT_NE(chrome.find("vt_replay"), std::string::npos) << chrome;
+
+  // vt_fire records are informational: a replay ignores them cleanly.
+  ASSERT_OK_AND_ASSIGN(rules::ReplayReport report, rules::TraceReplay(jsonl));
+  EXPECT_EQ(report.records, 0u);
+  EXPECT_GT(report.ignored, 0u);
+  EXPECT_EQ(report.mismatches, 0u);
+
+  // Definite monitors emit under their own kind and only past the horizon.
+  size_t before = rec.update_count();
+  ASSERT_OK(db.AddDefiniteTrigger("high_def", "IBM() > 60",
+                                  [&fired](Timestamp) { ++fired; }));
+  clock.Set(200);
+  ASSERT_OK(db.AdvanceDefinite());
+  EXPECT_GT(rec.update_count(), before);
+  EXPECT_NE(rec.ToJsonl().find("\"mode\":\"definite\""), std::string::npos);
+  EXPECT_NE(rec.ToChromeTrace().find("vt_definite"), std::string::npos);
+}
+
+TEST(VtDatabaseTest, TraceDetachedCostsNothing) {
+  SimClock clock(0);
+  VtDatabase db(&clock, /*max_delay=*/100);
+  trace::Recorder rec;
+  db.SetTrace(&rec);  // attached but never enabled
+  int fired = 0;
+  ASSERT_OK(db.AddTentativeTrigger("high", "IBM() > 60",
+                                   [&fired](Timestamp) { ++fired; }));
+  CommitUpdate(db, clock, 10, "IBM", Value::Int(70), 10);
+  EXPECT_GT(fired, 0);
+  EXPECT_EQ(rec.span_count(), 0u);
+  EXPECT_EQ(rec.update_count(), 0u);
 }
 
 }  // namespace
