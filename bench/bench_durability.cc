@@ -1,0 +1,134 @@
+// E10 — durability overhead: WAL-off vs attached (none / async / sync fsync).
+//
+// The acceptance bar is that an engine WITHOUT a DurabilityManager attached
+// pays only a null-check per state (mode 0 vs the seed must be noise), and
+// that the attached modes order none < async < sync, with sync dominated by
+// fsync latency rather than encoding. A second axis measures the
+// checkpoint-every-N amortization (serialize + WAL reset folded into the
+// commit loop).
+//
+// Mode encoding (first benchmark arg):
+//   0 = no manager attached        1 = attached, FsyncPolicy::kNone
+//   2 = attached, kAsync           3 = attached, kSync
+// Second arg = checkpoint_every_n_states (0 = manual/attach-only).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/clock.h"
+#include "db/database.h"
+#include "rules/engine.h"
+#include "storage/durability.h"
+#include "json_out.h"
+#include "workloads.h"
+
+namespace ptldb {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Distinct directory per iteration; the PID guard keeps concurrent bench
+// runs on a shared machine from colliding.
+std::string FreshDir() {
+  static std::atomic<uint64_t> counter{0};
+  return (fs::temp_directory_path() /
+          ("ptldb_bench_dur_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1))))
+      .string();
+}
+
+void BM_Durability(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const uint64_t every_n = static_cast<uint64_t>(state.range(1));
+  const size_t kCommits = 128;
+  size_t aborted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimClock clock(0);
+    db::Database database(&clock);
+    rules::RuleEngine engine(&database);
+    Status s = database.CreateTable(
+        "stock", db::Schema({{"name", ValueType::kString},
+                             {"price", ValueType::kDouble}}),
+        {"name"});
+    if (!s.ok()) std::abort();
+    s = database.InsertRow("stock", {Value::Str("IBM"), Value::Real(50)});
+    if (!s.ok()) std::abort();
+    s = engine.queries().Register(
+        "price", "SELECT price FROM stock WHERE name = $sym", {"sym"});
+    if (!s.ok()) std::abort();
+    // A representative retained-state mix: one binder rule, one bounded
+    // window, one IC — so checkpoints and WAL replay have real payloads.
+    s = engine.AddTrigger("jump",
+                       "[x := price('IBM')] PREVIOUSLY price('IBM') < x - 8",
+                       [](rules::ActionContext&) { return Status::OK(); });
+    if (!s.ok()) std::abort();
+    s = engine.AddTrigger(
+        "window", "[x := price('IBM')] WITHIN(price('IBM') >= 2 * x, 16)",
+        [](rules::ActionContext&) { return Status::OK(); });
+    if (!s.ok()) std::abort();
+    s = engine.AddIntegrityConstraint("cap", "NOT (price('IBM') > 100000)");
+    if (!s.ok()) std::abort();
+
+    std::string dir;
+    std::unique_ptr<storage::DurabilityManager> mgr;
+    if (mode > 0) {
+      dir = FreshDir();
+      storage::DurabilityOptions opts;
+      opts.dir = dir;
+      opts.fsync = mode == 1   ? storage::FsyncPolicy::kNone
+                   : mode == 2 ? storage::FsyncPolicy::kAsync
+                               : storage::FsyncPolicy::kSync;
+      opts.checkpoint_every_n_states = every_n;
+      storage::CheckpointTargets targets;
+      targets.db = &database;
+      targets.engine = &engine;
+      targets.clock = &clock;
+      auto attached = storage::DurabilityManager::Attach(opts, targets);
+      if (!attached.ok()) std::abort();
+      mgr = std::move(attached).value();
+    }
+    bench::Rng rng(31);
+    auto path = bench::PricePath(&rng, kCommits);
+    state.ResumeTiming();
+
+    for (size_t i = 0; i < kCommits; ++i) {
+      clock.Advance(2);
+      db::ParamMap params{{"p", Value::Real(static_cast<double>(path[i]))}};
+      auto n = database.UpdateRows("stock", {{"price", "$p"}}, "name = 'IBM'",
+                                   &params);
+      if (!n.ok()) ++aborted;
+    }
+
+    state.PauseTiming();
+    if (mgr != nullptr && !mgr->status().ok()) std::abort();
+    mgr.reset();  // detach + final flush before the directory goes away
+    if (!dir.empty()) fs::remove_all(dir);
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(aborted);
+  state.counters["sec_per_commit"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(kCommits),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+BENCHMARK(BM_Durability)
+    ->ArgNames({"mode", "ckpt_every"})
+    ->Args({0, 0})   // WAL off — must match the seed within noise
+    ->Args({1, 0})   // attached, no fsync: pure encode + write cost
+    ->Args({2, 0})   // async fsync (every 64 records)
+    ->Args({3, 0})   // sync fsync on every record
+    ->Args({2, 32})  // async + checkpoint every 32 states
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ptldb
+
+int main(int argc, char** argv) {
+  return ptldb::bench::BenchMain(argc, argv, "durability");
+}

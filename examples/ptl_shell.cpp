@@ -34,6 +34,8 @@
 #include "db/database.h"
 #include "rules/engine.h"
 #include "rules/provenance.h"
+#include "storage/durability.h"
+#include "storage/recovery.h"
 
 using namespace ptldb;
 
@@ -174,6 +176,12 @@ class Shell {
           "  stats [json]     engine counters (json: full metrics snapshot)\n"
           "  trace on|off|clear | trace dump|chrome|replay <file>\n"
           "  why <rule>       witness chain of the rule's last traced firing\n"
+          "  durable <dir> [sync|async|none] [every <N>]\n"
+          "                   attach WAL + checkpoints (async fsync default)\n"
+          "  checkpoint       serialize retained state now, reset the WAL\n"
+          "  recover <dir>    restore checkpoint + replay WAL tail into this\n"
+          "                   session (re-register rules first)\n"
+          "  wal stats        durable-store record/byte/sync counters\n"
           "  describe <rule> | rules | history | help | quit\n");
       return true;
     }
@@ -232,6 +240,10 @@ class Shell {
       }
       return true;
     }
+    if (cmd == "durable") return CmdDurable(rest);
+    if (cmd == "checkpoint") return CmdCheckpoint();
+    if (cmd == "recover") return CmdRecover(rest);
+    if (cmd == "wal") return CmdWal(rest);
     if (cmd == "explain") return CmdExplain(rest);
     if (cmd == "trace") return CmdTrace(rest);
     if (cmd == "why") return CmdWhy(rest);
@@ -529,6 +541,125 @@ class Shell {
     return true;
   }
 
+  storage::CheckpointTargets Targets() {
+    storage::CheckpointTargets t;
+    t.db = &database_;
+    t.engine = &engine_;
+    t.clock = &clock_;
+    t.metrics = &metrics_;
+    return t;
+  }
+
+  bool CmdDurable(const std::string& rest) {
+    if (durability_ != nullptr) {
+      std::printf("already durable (dir %s); restart the shell to detach\n",
+                  durability_->options().dir.c_str());
+      return true;
+    }
+    auto toks = Tokens(rest);
+    if (toks.empty()) {
+      std::printf("usage: durable <dir> [sync|async|none] [every <N>]\n");
+      return true;
+    }
+    storage::DurabilityOptions opts;
+    opts.dir = toks[0];
+    for (size_t i = 1; i < toks.size(); ++i) {
+      if (toks[i] == "sync") {
+        opts.fsync = storage::FsyncPolicy::kSync;
+      } else if (toks[i] == "async") {
+        opts.fsync = storage::FsyncPolicy::kAsync;
+      } else if (toks[i] == "none") {
+        opts.fsync = storage::FsyncPolicy::kNone;
+      } else if (toks[i] == "every" && i + 1 < toks.size()) {
+        auto n = ParseInt64(toks[++i]);
+        if (!n.ok() || *n <= 0) {
+          std::printf("error: 'every' needs a positive state count\n");
+          return true;
+        }
+        opts.checkpoint_every_n_states = static_cast<uint64_t>(*n);
+      } else {
+        std::printf("usage: durable <dir> [sync|async|none] [every <N>]\n");
+        return true;
+      }
+    }
+    auto mgr = storage::DurabilityManager::Attach(opts, Targets());
+    if (!mgr.ok()) {
+      Report(mgr.status());
+      return true;
+    }
+    durability_ = std::move(mgr).value();
+    std::printf("durable store at %s (checkpoint %llu written)\n",
+                opts.dir.c_str(),
+                static_cast<unsigned long long>(
+                    durability_->last_checkpoint_id()));
+    return true;
+  }
+
+  bool CmdCheckpoint() {
+    if (durability_ == nullptr) {
+      std::printf("no durable store attached (use 'durable <dir>')\n");
+      return true;
+    }
+    Status s = durability_->Checkpoint();
+    if (!s.ok()) {
+      Report(s);
+      return true;
+    }
+    std::printf("checkpoint %llu committed\n",
+                static_cast<unsigned long long>(
+                    durability_->last_checkpoint_id()));
+    return true;
+  }
+
+  bool CmdRecover(const std::string& dir) {
+    if (dir.empty()) {
+      std::printf("usage: recover <dir>\n");
+      return true;
+    }
+    if (durability_ != nullptr) {
+      std::printf("detach first: cannot recover while a durable store is "
+                  "attached\n");
+      return true;
+    }
+    auto report = storage::Recover(dir, Targets());
+    if (!report.ok()) {
+      Report(report.status());
+      return true;
+    }
+    std::printf("%s\n", report->ToString().c_str());
+    return true;
+  }
+
+  bool CmdWal(const std::string& rest) {
+    if (rest != "stats") {
+      std::printf("usage: wal stats\n");
+      return true;
+    }
+    if (durability_ == nullptr) {
+      std::printf("no durable store attached (use 'durable <dir>')\n");
+      return true;
+    }
+    storage::WalStats s = durability_->wal_stats();
+    std::printf(
+        "wal: %llu record(s) (%llu state, %llu firing, %llu veto), %llu "
+        "byte(s), %llu sync(s)\n"
+        "checkpoints: %llu taken, last id %llu, %llu state(s) since last\n"
+        "status: %s\n",
+        static_cast<unsigned long long>(s.records_appended),
+        static_cast<unsigned long long>(s.state_records),
+        static_cast<unsigned long long>(s.firing_records),
+        static_cast<unsigned long long>(s.veto_records),
+        static_cast<unsigned long long>(s.bytes_appended),
+        static_cast<unsigned long long>(s.syncs),
+        static_cast<unsigned long long>(durability_->checkpoints_taken()),
+        static_cast<unsigned long long>(durability_->last_checkpoint_id()),
+        static_cast<unsigned long long>(
+            durability_->states_since_checkpoint()),
+        durability_->status().ok() ? "ok"
+                                   : durability_->status().ToString().c_str());
+    return true;
+  }
+
   bool CmdExplain(const std::string& name) {
     if (name.empty()) {
       std::printf("usage: explain <rule>\n");
@@ -550,6 +681,9 @@ class Shell {
   Metrics metrics_;
   trace::Recorder trace_;
   rules::RuleEngine engine_;
+  // Declared after the engine/database it observes: destroyed first, so its
+  // destructor can detach and flush cleanly.
+  std::unique_ptr<storage::DurabilityManager> durability_;
 };
 
 }  // namespace

@@ -5,6 +5,7 @@
 #ifndef PTLDB_COMMON_CLOCK_H_
 #define PTLDB_COMMON_CLOCK_H_
 
+#include "common/status.h"
 #include "common/value.h"
 
 namespace ptldb {
@@ -15,6 +16,15 @@ class Clock {
   virtual ~Clock() = default;
   /// Current time in ticks. Must be monotonically non-decreasing.
   virtual Timestamp Now() const = 0;
+
+  /// Crash recovery: restores the logical time recorded in the WAL so that
+  /// time-bound clauses (`time <= c`, WITHIN deadlines) keep the truth value
+  /// they had before the restart. Only deterministic clocks support this;
+  /// wall clocks refuse (their time survives a restart by construction).
+  virtual Status Restore(Timestamp t) {
+    (void)t;
+    return Status::NotImplemented("this clock cannot restore logical time");
+  }
 };
 
 /// Deterministic clock driven by the test/benchmark harness.
@@ -29,6 +39,13 @@ class SimClock : public Clock {
 
   /// Jumps to an absolute time (must be >= Now()).
   void Set(Timestamp t) { now_ = t; }
+
+  /// Recovery restore: unlike Set, may move time backwards — the recovered
+  /// process starts at 0 and jumps to the logged pre-crash time.
+  Status Restore(Timestamp t) override {
+    now_ = t;
+    return Status::OK();
+  }
 
  private:
   Timestamp now_;

@@ -15,14 +15,15 @@ Status Database::CreateTable(std::string name, Schema schema,
 
 Timestamp Database::NextTimestamp() const {
   Timestamp t = clock_->Now();
-  if (!history_.empty() && t <= history_.back().time) {
-    t = history_.back().time + 1;
+  if (!history_.empty() && t <= history_.last_time()) {
+    t = history_.last_time() + 1;
   }
   return t;
 }
 
 void Database::AppendState(std::vector<event::Event> events) {
   history_.Append(NextTimestamp(), std::move(events));
+  if (wal_sink_ != nullptr) wal_sink_->OnStateAppended(history_.back());
   if (listener_ != nullptr) listener_->OnStateAppended(history_.back());
 }
 
@@ -89,6 +90,31 @@ Status Database::Commit(int64_t txn_id) {
       AppendState({event::TransactionAbort(txn_id)});
       return Status::TransactionAborted(
           StrCat("transaction ", txn_id, " aborted: ", verdict.message()));
+    }
+  }
+  // Hand the redo image of every write to the WAL before the commit state is
+  // appended (and before rules see it): the undo log holds exactly the
+  // old/new row pairs recovery needs to reproduce the table effects.
+  if (wal_sink_ != nullptr) {
+    for (const UndoRecord& u : txn->undo_log) {
+      RedoDelta d;
+      d.table = u.table;
+      switch (u.kind) {
+        case UndoRecord::Kind::kUndoInsert:
+          d.kind = RedoDelta::Kind::kInsert;
+          d.row = u.row;
+          break;
+        case UndoRecord::Kind::kUndoDelete:
+          d.kind = RedoDelta::Kind::kDelete;
+          d.row = u.row;
+          break;
+        case UndoRecord::Kind::kUndoUpdate:
+          d.kind = RedoDelta::Kind::kUpdate;
+          d.row = u.old_row;
+          d.new_row = u.row;
+          break;
+      }
+      wal_sink_->BufferDelta(std::move(d));
     }
   }
   open_txns_.erase(txn_id);
@@ -234,6 +260,120 @@ Result<Value> Database::QueryScalar(const QueryPtr& plan,
                                     const ParamMap* params) const {
   QueryExecutor exec(&catalog_);
   return exec.ExecuteScalar(plan, params);
+}
+
+Status Database::ReplayState(Timestamp time, std::vector<event::Event> events,
+                             const std::vector<RedoDelta>& deltas) {
+  if (!open_txns_.empty()) {
+    return Status::InvalidArgument("replay with open transactions");
+  }
+  if (!history_.empty() && time <= history_.last_time()) {
+    return Status::InvalidArgument(
+        StrCat("replayed timestamp ", time, " not after history time ",
+               history_.last_time()));
+  }
+  for (const RedoDelta& d : deltas) {
+    PTLDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(d.table));
+    switch (d.kind) {
+      case RedoDelta::Kind::kInsert:
+        PTLDB_RETURN_IF_ERROR(table->Insert(d.row));
+        break;
+      case RedoDelta::Kind::kDelete:
+        PTLDB_RETURN_IF_ERROR(table->RemoveOne(d.row));
+        break;
+      case RedoDelta::Kind::kUpdate:
+        PTLDB_RETURN_IF_ERROR(table->ReplaceOne(d.row, d.new_row));
+        break;
+    }
+  }
+  // Keep replayed begin/commit events consistent with the txn-id counter so
+  // transactions begun after recovery get fresh ids.
+  for (const event::Event& e : events) {
+    if (e.name == event::kBeginEvent && e.params.size() == 1 &&
+        e.params[0].is_int() && e.params[0].AsInt() >= next_txn_id_) {
+      next_txn_id_ = e.params[0].AsInt() + 1;
+    }
+  }
+  history_.Append(time, std::move(events));
+  if (listener_ != nullptr) listener_->OnStateAppended(history_.back());
+  return Status::OK();
+}
+
+Status Database::SerializeContents(codec::Writer* w) const {
+  if (!open_txns_.empty()) {
+    return Status::InvalidArgument("checkpoint with open transactions");
+  }
+  w->I64(next_txn_id_);
+  w->U64(history_.size());
+  w->I64(history_.last_time());
+  std::vector<std::string> names = catalog_.TableNames();
+  w->U32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    PTLDB_ASSIGN_OR_RETURN(const Table* table, catalog_.GetTable(name));
+    w->Str(name);
+    const Schema& schema = table->schema();
+    w->U32(static_cast<uint32_t>(schema.num_columns()));
+    for (const Column& c : schema.columns()) {
+      w->Str(c.name);
+      w->U8(static_cast<uint8_t>(c.type));
+    }
+    w->U32(static_cast<uint32_t>(table->primary_key().size()));
+    for (const std::string& k : table->primary_key()) w->Str(k);
+    w->U32(static_cast<uint32_t>(table->rows().size()));
+    for (const Tuple& row : table->rows()) w->ValVec(row);
+  }
+  return Status::OK();
+}
+
+Status Database::RestoreContents(codec::Reader* r) {
+  if (!open_txns_.empty()) {
+    return Status::InvalidArgument("restore with open transactions");
+  }
+  PTLDB_ASSIGN_OR_RETURN(next_txn_id_, r->I64());
+  PTLDB_ASSIGN_OR_RETURN(uint64_t history_size, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(Timestamp last_time, r->I64());
+  history_.Reset(history_size, last_time);
+  PTLDB_ASSIGN_OR_RETURN(uint32_t num_tables, r->U32());
+  for (uint32_t i = 0; i < num_tables; ++i) {
+    PTLDB_ASSIGN_OR_RETURN(std::string name, r->Str());
+    PTLDB_ASSIGN_OR_RETURN(uint32_t num_cols, r->U32());
+    std::vector<Column> cols;
+    cols.reserve(num_cols);
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      Column col;
+      PTLDB_ASSIGN_OR_RETURN(col.name, r->Str());
+      PTLDB_ASSIGN_OR_RETURN(uint8_t type, r->U8());
+      col.type = static_cast<ValueType>(type);
+      cols.push_back(std::move(col));
+    }
+    PTLDB_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(cols)));
+    PTLDB_ASSIGN_OR_RETURN(uint32_t num_keys, r->U32());
+    std::vector<std::string> pk;
+    pk.reserve(num_keys);
+    for (uint32_t k = 0; k < num_keys; ++k) {
+      PTLDB_ASSIGN_OR_RETURN(std::string key, r->Str());
+      pk.push_back(std::move(key));
+    }
+    // A live table of the same name was recreated by the application or the
+    // rule engine before recovery; replace it after checking the shapes
+    // agree (a schema change across restart is not recoverable).
+    if (catalog_.HasTable(name)) {
+      PTLDB_ASSIGN_OR_RETURN(const Table* live, catalog_.GetTable(name));
+      if (!(live->schema() == schema) || live->primary_key() != pk) {
+        return Status::InvalidArgument(
+            StrCat("table ", name, " schema differs from checkpoint"));
+      }
+      PTLDB_RETURN_IF_ERROR(catalog_.DropTable(name));
+    }
+    PTLDB_RETURN_IF_ERROR(catalog_.CreateTable(name, schema, pk));
+    PTLDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(name));
+    PTLDB_ASSIGN_OR_RETURN(uint32_t num_rows, r->U32());
+    for (uint32_t j = 0; j < num_rows; ++j) {
+      PTLDB_ASSIGN_OR_RETURN(Tuple row, r->ValVec());
+      PTLDB_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace ptldb::db

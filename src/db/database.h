@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/codec.h"
 #include "common/status.h"
 #include "db/catalog.h"
 #include "db/query.h"
@@ -58,6 +59,22 @@ class Database {
     }
   };
 
+  /// Hook the durability layer (src/storage) implements. Deltas and states
+  /// are handed over *before* the listener evaluates rules on them, so a
+  /// WAL record is durable before its triggers act — the classic
+  /// write-ahead discipline.
+  class WalSink {
+   public:
+    virtual ~WalSink() = default;
+
+    /// Buffers one row-level redo delta; it belongs to the next appended
+    /// state (the commit state of the transaction that produced it).
+    virtual void BufferDelta(RedoDelta delta) = 0;
+
+    /// A state entered the history; the listener has not yet seen it.
+    virtual void OnStateAppended(const event::SystemState& state) = 0;
+  };
+
   explicit Database(Clock* clock) : clock_(clock) {}
 
   Catalog& catalog() { return catalog_; }
@@ -67,6 +84,10 @@ class Database {
 
   /// At most one listener (the temporal component).
   void SetListener(Listener* listener) { listener_ = listener; }
+
+  /// At most one WAL sink (the durability manager). Null detaches.
+  void SetWalSink(WalSink* sink) { wal_sink_ = sink; }
+  WalSink* wal_sink() const { return wal_sink_; }
 
   // ---- DDL ----
   Status CreateTable(std::string name, Schema schema,
@@ -125,6 +146,25 @@ class Database {
   /// keeping history timestamps strictly increasing even if the clock stalls.
   Timestamp NextTimestamp() const;
 
+  // ---- Durability (src/storage) ----
+
+  /// WAL replay: applies the logged redo deltas to the tables, then appends
+  /// a state with the *logged* timestamp and events and dispatches the
+  /// listener normally. Bypasses NextTimestamp so replayed states carry
+  /// exactly the pre-crash timestamps. Does not notify the WAL sink.
+  Status ReplayState(Timestamp time, std::vector<event::Event> events,
+                     const std::vector<RedoDelta>& deltas);
+
+  /// Serializes the durable contents — every table (schema, primary key,
+  /// rows), the transaction-id counter, and the history position — into a
+  /// checkpoint blob. Requires no open transactions.
+  Status SerializeContents(codec::Writer* w) const;
+
+  /// Restores contents written by SerializeContents. Tables that already
+  /// exist (recreated by the application or the rule engine before recovery)
+  /// are replaced after a schema check; requires no open transactions.
+  Status RestoreContents(codec::Reader* r);
+
  private:
   Result<Transaction*> GetTxn(int64_t txn_id);
   void AppendState(std::vector<event::Event> events);
@@ -134,6 +174,7 @@ class Database {
   Catalog catalog_;
   event::History history_;
   Listener* listener_ = nullptr;
+  WalSink* wal_sink_ = nullptr;
   std::unordered_map<int64_t, Transaction> open_txns_;
   int64_t next_txn_id_ = 1;
 };

@@ -27,6 +27,18 @@ struct UndoRecord {
   Tuple old_row;  // kUndoUpdate: previous image (row holds the new image).
 };
 
+/// One row-level redo operation, derived from the undo log at commit time.
+/// The write-ahead log persists these with the commit state so recovery can
+/// reproduce the transaction's table effects without re-running its SQL
+/// (UpdateEvent carries no row images, so events alone are insufficient).
+struct RedoDelta {
+  enum class Kind : uint8_t { kInsert, kDelete, kUpdate };
+  Kind kind;
+  std::string table;
+  Tuple row;      // kInsert/kDelete: the row. kUpdate: the OLD image.
+  Tuple new_row;  // kUpdate: the new image.
+};
+
 /// State of an open transaction.
 struct Transaction {
   int64_t id = 0;

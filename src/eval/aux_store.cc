@@ -157,6 +157,88 @@ void RelationHistory::TrimBefore(Timestamp horizon) {
   }
 }
 
+void ScalarSeries::Serialize(codec::Writer* w) const {
+  w->Bool(has_record_);
+  w->I64(first_start_);
+  w->U64(intervals_trimmed_);
+  w->U32(static_cast<uint32_t>(intervals_.size()));
+  for (const Interval& iv : intervals_) {
+    w->I64(iv.start);
+    w->I64(iv.end);
+    w->Val(iv.value);
+  }
+}
+
+Status ScalarSeries::Deserialize(codec::Reader* r) {
+  PTLDB_ASSIGN_OR_RETURN(has_record_, r->Bool());
+  PTLDB_ASSIGN_OR_RETURN(first_start_, r->I64());
+  PTLDB_ASSIGN_OR_RETURN(intervals_trimmed_, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  intervals_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    Interval iv;
+    PTLDB_ASSIGN_OR_RETURN(iv.start, r->I64());
+    PTLDB_ASSIGN_OR_RETURN(iv.end, r->I64());
+    PTLDB_ASSIGN_OR_RETURN(iv.value, r->Val());
+    intervals_.push_back(std::move(iv));
+  }
+  return Status::OK();
+}
+
+void RelationHistory::Serialize(codec::Writer* w) const {
+  w->U32(static_cast<uint32_t>(schema_.num_columns()));
+  for (const db::Column& c : schema_.columns()) {
+    w->Str(c.name);
+    w->U8(static_cast<uint8_t>(c.type));
+  }
+  w->Bool(has_record_);
+  w->I64(last_time_);
+  w->Bool(trimmed_);
+  w->I64(trim_horizon_);
+  w->U64(rows_trimmed_);
+  w->U64(phantom_rows_dropped_);
+  w->U32(static_cast<uint32_t>(rows_.size()));
+  for (const StampedRow& sr : rows_) {
+    w->ValVec(sr.row);
+    w->I64(sr.start);
+    w->I64(sr.end);
+  }
+}
+
+Status RelationHistory::Deserialize(codec::Reader* r) {
+  PTLDB_ASSIGN_OR_RETURN(uint32_t num_cols, r->U32());
+  std::vector<db::Column> cols;
+  cols.reserve(num_cols);
+  for (uint32_t i = 0; i < num_cols; ++i) {
+    db::Column c;
+    PTLDB_ASSIGN_OR_RETURN(c.name, r->Str());
+    PTLDB_ASSIGN_OR_RETURN(uint8_t type, r->U8());
+    c.type = static_cast<ValueType>(type);
+    cols.push_back(std::move(c));
+  }
+  if (!(db::Schema(cols) == schema_)) {
+    return Status::InvalidArgument(
+        "relation history dump has a different schema");
+  }
+  PTLDB_ASSIGN_OR_RETURN(has_record_, r->Bool());
+  PTLDB_ASSIGN_OR_RETURN(last_time_, r->I64());
+  PTLDB_ASSIGN_OR_RETURN(trimmed_, r->Bool());
+  PTLDB_ASSIGN_OR_RETURN(trim_horizon_, r->I64());
+  PTLDB_ASSIGN_OR_RETURN(rows_trimmed_, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(phantom_rows_dropped_, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  rows_.clear();
+  rows_.reserve(n <= r->remaining() ? n : 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    StampedRow sr;
+    PTLDB_ASSIGN_OR_RETURN(sr.row, r->ValVec());
+    PTLDB_ASSIGN_OR_RETURN(sr.start, r->I64());
+    PTLDB_ASSIGN_OR_RETURN(sr.end, r->I64());
+    rows_.push_back(std::move(sr));
+  }
+  return Status::OK();
+}
+
 void RelationHistory::ExportTo(Metrics& m, const std::string& prefix) const {
   const std::string base = "aux." + prefix;
   m.gauge(base + ".rows").Set(static_cast<int64_t>(rows_.size()));

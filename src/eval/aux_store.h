@@ -22,6 +22,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/value.h"
@@ -65,6 +66,10 @@ class ScalarSeries {
   size_t EstimateBytes() const {
     return sizeof(*this) + intervals_.size() * sizeof(Interval);
   }
+
+  /// Durable serialization of the full series (intervals + trim accounting).
+  void Serialize(codec::Writer* w) const;
+  Status Deserialize(codec::Reader* r);
 
  private:
   struct Interval {
@@ -124,6 +129,11 @@ class RelationHistory {
   /// Publishes interval/trim/bytes accounting into `m` under
   /// `aux.<prefix>.{rows,rows_trimmed,phantom_rows_dropped,bytes}`.
   void ExportTo(Metrics& m, const std::string& prefix) const;
+
+  /// Durable serialization. The schema travels with the dump; Deserialize
+  /// rejects a dump whose schema differs from this history's.
+  void Serialize(codec::Writer* w) const;
+  Status Deserialize(codec::Reader* r);
 
  private:
   struct StampedRow {

@@ -674,6 +674,137 @@ std::string Graph::ExprToString(SymExprId id) const {
   return "?";
 }
 
+void Graph::Serialize(codec::Writer* w) const {
+  w->U64(generation_);
+  w->Bool(subsumption_);
+  w->U64(prune_hits_);
+  w->U64(subsume_hits_);
+  w->U32(static_cast<uint32_t>(var_names_.size()));
+  for (size_t i = 0; i < var_names_.size(); ++i) {
+    w->Str(var_names_[i]);
+    w->Bool(var_is_time_[i]);
+  }
+  w->U32(static_cast<uint32_t>(exprs_.size()));
+  for (const SymExpr& e : exprs_) {
+    w->U8(static_cast<uint8_t>(e.kind));
+    w->U8(static_cast<uint8_t>(e.op));
+    w->Val(e.constant);
+    w->U32(e.var);
+    w->U32(e.a);
+    w->U32(e.b);
+  }
+  w->U32(static_cast<uint32_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    w->U8(static_cast<uint8_t>(n.kind));
+    w->U8(static_cast<uint8_t>(n.cmp));
+    w->U32(n.lhs);
+    w->U32(n.rhs);
+    w->U32(static_cast<uint32_t>(n.children.size()));
+    for (NodeId c : n.children) w->U32(c);
+  }
+}
+
+Status Graph::Deserialize(codec::Reader* r) {
+  PTLDB_ASSIGN_OR_RETURN(generation_, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(subsumption_, r->Bool());
+  PTLDB_ASSIGN_OR_RETURN(prune_hits_, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(subsume_hits_, r->U64());
+
+  PTLDB_ASSIGN_OR_RETURN(uint32_t num_vars, r->U32());
+  var_names_.clear();
+  var_is_time_.clear();
+  var_index_.clear();
+  for (uint32_t i = 0; i < num_vars; ++i) {
+    PTLDB_ASSIGN_OR_RETURN(std::string name, r->Str());
+    PTLDB_ASSIGN_OR_RETURN(bool is_time, r->Bool());
+    var_names_.push_back(name);
+    var_is_time_.push_back(is_time);
+    var_index_.emplace(std::move(name), static_cast<VarId>(i));
+  }
+
+  PTLDB_ASSIGN_OR_RETURN(uint32_t num_exprs, r->U32());
+  exprs_.clear();
+  exprs_.reserve(num_exprs);
+  for (uint32_t i = 0; i < num_exprs; ++i) {
+    SymExpr e;
+    PTLDB_ASSIGN_OR_RETURN(uint8_t kind, r->U8());
+    if (kind > static_cast<uint8_t>(SymExpr::Kind::kArith)) {
+      return Status::InvalidArgument("graph dump: bad expr kind");
+    }
+    e.kind = static_cast<SymExpr::Kind>(kind);
+    PTLDB_ASSIGN_OR_RETURN(uint8_t op, r->U8());
+    e.op = static_cast<ptl::ArithOp>(op);
+    PTLDB_ASSIGN_OR_RETURN(e.constant, r->Val());
+    PTLDB_ASSIGN_OR_RETURN(e.var, r->U32());
+    PTLDB_ASSIGN_OR_RETURN(e.a, r->U32());
+    PTLDB_ASSIGN_OR_RETURN(e.b, r->U32());
+    // Operands precede users in the append-only store.
+    if (e.kind == SymExpr::Kind::kVar && e.var >= num_vars) {
+      return Status::InvalidArgument("graph dump: expr var out of range");
+    }
+    if (e.kind == SymExpr::Kind::kArith && (e.a >= i || e.b >= num_exprs)) {
+      return Status::InvalidArgument("graph dump: expr operand out of range");
+    }
+    exprs_.push_back(std::move(e));
+  }
+
+  PTLDB_ASSIGN_OR_RETURN(uint32_t num_nodes, r->U32());
+  if (num_nodes < 2) {
+    return Status::InvalidArgument("graph dump: missing sentinel nodes");
+  }
+  nodes_.clear();
+  nodes_.reserve(num_nodes);
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    Node n;
+    PTLDB_ASSIGN_OR_RETURN(uint8_t kind, r->U8());
+    if (kind > static_cast<uint8_t>(Node::Kind::kOr)) {
+      return Status::InvalidArgument("graph dump: bad node kind");
+    }
+    n.kind = static_cast<Node::Kind>(kind);
+    PTLDB_ASSIGN_OR_RETURN(uint8_t cmp, r->U8());
+    n.cmp = static_cast<ptl::CmpOp>(cmp);
+    PTLDB_ASSIGN_OR_RETURN(n.lhs, r->U32());
+    PTLDB_ASSIGN_OR_RETURN(n.rhs, r->U32());
+    if (n.kind == Node::Kind::kAtom &&
+        (n.lhs >= num_exprs || n.rhs >= num_exprs)) {
+      return Status::InvalidArgument("graph dump: atom expr out of range");
+    }
+    PTLDB_ASSIGN_OR_RETURN(uint32_t num_children, r->U32());
+    if (num_children > r->remaining() / 4) {
+      return Status::InvalidArgument("graph dump: child count too large");
+    }
+    n.children.reserve(num_children);
+    for (uint32_t c = 0; c < num_children; ++c) {
+      PTLDB_ASSIGN_OR_RETURN(NodeId child, r->U32());
+      // Children precede parents in construction order.
+      if (child >= i) {
+        return Status::InvalidArgument("graph dump: child out of range");
+      }
+      n.children.push_back(child);
+    }
+    nodes_.push_back(std::move(n));
+  }
+  if (nodes_[kFalseNode].kind != Node::Kind::kFalse ||
+      nodes_[kTrueNode].kind != Node::Kind::kTrue) {
+    return Status::InvalidArgument("graph dump: sentinels out of place");
+  }
+
+  // Rebuild the hash-cons indexes exactly as Collect does.
+  node_index_.clear();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    node_index_.emplace(NodeKey{n.kind, n.cmp, n.lhs, n.rhs, n.children},
+                        static_cast<NodeId>(i));
+  }
+  expr_index_.clear();
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    const SymExpr& e = exprs_[i];
+    expr_index_.emplace(ExprKey{e.kind, e.op, e.constant, e.var, e.a, e.b},
+                        static_cast<SymExprId>(i));
+  }
+  return Status::OK();
+}
+
 std::string Graph::ToString(NodeId id) const {
   const Node& n = nodes_[id];
   switch (n.kind) {

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "ptl/ast.h"
@@ -137,6 +138,17 @@ class Graph {
   /// Debug rendering of a node.
   std::string ToString(NodeId id) const;
   std::string ExprToString(SymExprId id) const;
+
+  // ---- Durable serialization ----
+
+  /// Raw dump of the node/expression/variable stores. NodeIds, SymExprIds,
+  /// and VarIds are preserved exactly — retained mem slots and checkpoints
+  /// reference them by value — so the dump is *not* re-interned on load.
+  void Serialize(codec::Writer* w) const;
+
+  /// Restores a dump into this (freshly constructed) graph, rebuilding the
+  /// hash-cons indexes. Validates sentinels and id ranges.
+  Status Deserialize(codec::Reader* r);
 
  private:
   struct NodeKey {

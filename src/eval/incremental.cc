@@ -549,6 +549,156 @@ Status IncrementalEvaluator::CollectKeepingCheckpoints(
   return Status::OK();
 }
 
+namespace {
+
+// Full (static + dynamic) dump of one aggregate machine. The static fields
+// travel with the dump so a restore into a differently compiled machine is
+// rejected instead of silently mis-wired.
+void SerializeMachine(const AggMachineState& m, codec::Writer* w) {
+  w->Bool(m.is_window);
+  w->I64(m.start_unit);
+  w->I64(m.sample_unit);
+  w->I64(m.query_slot);
+  w->U8(static_cast<uint8_t>(m.fn));
+  w->I64(m.width);
+  w->Bool(m.started);
+  m.acc.Serialize(w);
+  w->U32(static_cast<uint32_t>(m.window.size()));
+  for (const auto& [t, v] : m.window) {
+    w->I64(t);
+    w->F64(v);
+  }
+  w->U32(static_cast<uint32_t>(m.mono.size()));
+  for (const auto& [t, v] : m.mono) {
+    w->I64(t);
+    w->F64(v);
+  }
+  w->F64(m.running_sum);
+}
+
+// Restores a machine dump over `m`, which must carry the compiled static
+// configuration (the dump's statics are validated against it).
+Status DeserializeMachineInto(codec::Reader* r, AggMachineState* m) {
+  PTLDB_ASSIGN_OR_RETURN(bool is_window, r->Bool());
+  PTLDB_ASSIGN_OR_RETURN(int64_t start_unit, r->I64());
+  PTLDB_ASSIGN_OR_RETURN(int64_t sample_unit, r->I64());
+  PTLDB_ASSIGN_OR_RETURN(int64_t query_slot, r->I64());
+  PTLDB_ASSIGN_OR_RETURN(uint8_t fn, r->U8());
+  PTLDB_ASSIGN_OR_RETURN(Timestamp width, r->I64());
+  if (is_window != m->is_window || start_unit != m->start_unit ||
+      sample_unit != m->sample_unit || query_slot != m->query_slot ||
+      static_cast<ptl::TemporalAggFn>(fn) != m->fn || width != m->width) {
+    return Status::InvalidArgument(
+        "aggregate machine dump does not match the compiled machine");
+  }
+  PTLDB_ASSIGN_OR_RETURN(m->started, r->Bool());
+  PTLDB_RETURN_IF_ERROR(m->acc.Deserialize(r));
+  PTLDB_ASSIGN_OR_RETURN(uint32_t window_size, r->U32());
+  m->window.clear();
+  for (uint32_t i = 0; i < window_size; ++i) {
+    PTLDB_ASSIGN_OR_RETURN(Timestamp t, r->I64());
+    PTLDB_ASSIGN_OR_RETURN(double v, r->F64());
+    m->window.emplace_back(t, v);
+  }
+  PTLDB_ASSIGN_OR_RETURN(uint32_t mono_size, r->U32());
+  m->mono.clear();
+  for (uint32_t i = 0; i < mono_size; ++i) {
+    PTLDB_ASSIGN_OR_RETURN(Timestamp t, r->I64());
+    PTLDB_ASSIGN_OR_RETURN(double v, r->F64());
+    m->mono.emplace_back(t, v);
+  }
+  PTLDB_ASSIGN_OR_RETURN(m->running_sum, r->F64());
+  return Status::OK();
+}
+
+}  // namespace
+
+void IncrementalEvaluator::SerializeState(codec::Writer* w) const {
+  graph_->Serialize(w);
+  w->U64(steps_);
+  w->Bool(last_fired_);
+  w->U32(static_cast<uint32_t>(mem_.size()));
+  for (NodeId m : mem_) w->U32(m);
+  w->U32(static_cast<uint32_t>(machines_.size()));
+  for (const AggMachineState& m : machines_) SerializeMachine(m, w);
+}
+
+Status IncrementalEvaluator::RestoreState(codec::Reader* r) {
+  // The graph dump carries the interned variable table; because this
+  // evaluator was compiled from the same condition (validated by the
+  // caller), the compile-time VarIds the units reference line up with the
+  // dump's by construction order.
+  PTLDB_RETURN_IF_ERROR(graph_->Deserialize(r));
+  PTLDB_ASSIGN_OR_RETURN(steps_, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(last_fired_, r->Bool());
+  PTLDB_ASSIGN_OR_RETURN(uint32_t num_mem, r->U32());
+  if (num_mem != mem_.size()) {
+    return Status::InvalidArgument(
+        "evaluator dump has a different number of temporal subformulas");
+  }
+  for (NodeId& m : mem_) {
+    PTLDB_ASSIGN_OR_RETURN(m, r->U32());
+    if (m >= graph_->num_nodes()) {
+      return Status::InvalidArgument("evaluator dump: mem slot out of range");
+    }
+  }
+  PTLDB_ASSIGN_OR_RETURN(uint32_t num_machines, r->U32());
+  if (num_machines != machines_.size()) {
+    return Status::InvalidArgument(
+        "evaluator dump has a different number of aggregate machines");
+  }
+  for (AggMachineState& m : machines_) {
+    PTLDB_RETURN_IF_ERROR(DeserializeMachineInto(r, &m));
+  }
+  // Provenance does not survive a restart: re-sync on the next traced Step.
+  prev_status_.assign(prev_status_.size(), -1);
+  anchors_.assign(anchors_.size(), Anchor{});
+  return Status::OK();
+}
+
+void IncrementalEvaluator::SerializeCheckpoint(const Checkpoint& cp,
+                                               codec::Writer* w) const {
+  w->U64(cp.generation);
+  w->U64(cp.steps);
+  w->Bool(cp.last_fired);
+  w->U32(static_cast<uint32_t>(cp.mem.size()));
+  for (NodeId m : cp.mem) w->U32(m);
+  w->U32(static_cast<uint32_t>(cp.machines.size()));
+  for (const AggMachineState& m : cp.machines) SerializeMachine(m, w);
+}
+
+Result<IncrementalEvaluator::Checkpoint>
+IncrementalEvaluator::DeserializeCheckpoint(codec::Reader* r) const {
+  Checkpoint cp;
+  PTLDB_ASSIGN_OR_RETURN(cp.generation, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(cp.steps, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(cp.last_fired, r->Bool());
+  PTLDB_ASSIGN_OR_RETURN(uint32_t num_mem, r->U32());
+  if (num_mem != mem_.size()) {
+    return Status::InvalidArgument(
+        "checkpoint dump has a different number of temporal subformulas");
+  }
+  cp.mem.resize(num_mem);
+  for (NodeId& m : cp.mem) {
+    PTLDB_ASSIGN_OR_RETURN(m, r->U32());
+    if (m >= graph_->num_nodes()) {
+      return Status::InvalidArgument("checkpoint dump: mem slot out of range");
+    }
+  }
+  PTLDB_ASSIGN_OR_RETURN(uint32_t num_machines, r->U32());
+  if (num_machines != machines_.size()) {
+    return Status::InvalidArgument(
+        "checkpoint dump has a different number of aggregate machines");
+  }
+  // Seed each machine with the compiled static configuration so the dump's
+  // statics are validated against it.
+  cp.machines = machines_;
+  for (AggMachineState& m : cp.machines) {
+    PTLDB_RETURN_IF_ERROR(DeserializeMachineInto(r, &m));
+  }
+  return cp;
+}
+
 std::string IncrementalEvaluator::DebugString() const {
   std::string out = StrCat("IncrementalEvaluator after ", steps_, " steps:\n");
   for (const Unit& u : units_) {

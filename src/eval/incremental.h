@@ -177,6 +177,25 @@ class IncrementalEvaluator {
   Checkpoint Save() const;
   Status Restore(const Checkpoint& cp);
 
+  // ---- Durable serialization ----
+
+  /// Writes the retained state — the backing and-or graph (raw dump, NodeIds
+  /// preserved), per-subformula mem slots, step count, and the dynamic state
+  /// of every aggregate machine — for a durability checkpoint. Tracing state
+  /// is not serialized (provenance does not survive a restart).
+  void SerializeState(codec::Writer* w) const;
+
+  /// Restores state written by SerializeState into an evaluator freshly
+  /// compiled from the same condition: slot counts and machine shapes must
+  /// match, otherwise InvalidArgument.
+  Status RestoreState(codec::Reader* r);
+
+  /// Serializes one saved Checkpoint alongside the state of SerializeState
+  /// (its NodeIds reference the same graph dump). The valid-time monitors
+  /// persist their per-state checkpoints this way.
+  void SerializeCheckpoint(const Checkpoint& cp, codec::Writer* w) const;
+  Result<Checkpoint> DeserializeCheckpoint(codec::Reader* r) const;
+
   // ---- Introspection / GC ----
 
   /// Distinct graph nodes reachable from the retained state (experiment E2's

@@ -37,6 +37,18 @@ Event RuleExecuted(const std::string& rule) {
   return Event{kRuleExecutedEvent, {Value::Str(rule)}};
 }
 
+void SerializeEvent(const Event& e, codec::Writer* w) {
+  w->Str(e.name);
+  w->ValVec(e.params);
+}
+
+Result<Event> DeserializeEvent(codec::Reader* r) {
+  Event e;
+  PTLDB_ASSIGN_OR_RETURN(e.name, r->Str());
+  PTLDB_ASSIGN_OR_RETURN(e.params, r->ValVec());
+  return e;
+}
+
 bool SystemState::HasEvent(const std::string& name,
                            const std::vector<Value>& param_prefix) const {
   for (const Event& e : events) {
@@ -64,8 +76,8 @@ std::string SystemState::ToString() const {
 }
 
 void History::Append(Timestamp time, std::vector<Event> events) {
-  if (!states_.empty()) {
-    PTLDB_CHECK(time > states_.back().time &&
+  if (!empty()) {
+    PTLDB_CHECK(time > last_time_ &&
                 "system state timestamps must be strictly increasing");
   }
   int commits = 0;
@@ -74,10 +86,23 @@ void History::Append(Timestamp time, std::vector<Event> events) {
   }
   PTLDB_CHECK(commits <= 1 && "at most one transaction commit per state");
   SystemState s;
-  s.seq = states_.size();
+  s.seq = size();
   s.time = time;
   s.events = std::move(events);
   states_.push_back(std::move(s));
+  last_time_ = time;
+}
+
+const SystemState& History::state(size_t i) const {
+  PTLDB_CHECK(i >= base_seq_ &&
+              "state truncated by a checkpoint is no longer in memory");
+  return states_[i - base_seq_];
+}
+
+void History::Reset(size_t base_seq, Timestamp last_time) {
+  states_.clear();
+  base_seq_ = base_seq;
+  last_time_ = last_time;
 }
 
 std::string History::ToString() const {

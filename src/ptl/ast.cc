@@ -287,17 +287,27 @@ std::string FreshTimeVar() {
 }  // namespace
 
 FormulaPtr Within(FormulaPtr f, Timestamp w) {
-  std::string t = FreshTimeVar();
-  return Bind(t, TimeTerm(),
+  return Within(std::move(f), w, FreshTimeVar());
+}
+
+FormulaPtr Within(FormulaPtr f, Timestamp w, std::string fresh_var) {
+  TermPtr ref = Var(fresh_var);
+  return Bind(std::move(fresh_var), TimeTerm(),
               Previously(And(std::move(f),
-                             Ge(TimeTerm(), Sub(Var(t), Const(Value::Int(w)))))));
+                             Ge(TimeTerm(), Sub(std::move(ref),
+                                                Const(Value::Int(w)))))));
 }
 
 FormulaPtr HeldFor(FormulaPtr f, Timestamp w) {
-  std::string t = FreshTimeVar();
+  return HeldFor(std::move(f), w, FreshTimeVar());
+}
+
+FormulaPtr HeldFor(FormulaPtr f, Timestamp w, std::string fresh_var) {
   // ThroughoutPast(time < t - w OR f): every state in the window satisfies f.
-  return Bind(t, TimeTerm(),
-              ThroughoutPast(Or(Lt(TimeTerm(), Sub(Var(t), Const(Value::Int(w)))),
+  TermPtr ref = Var(fresh_var);
+  return Bind(std::move(fresh_var), TimeTerm(),
+              ThroughoutPast(Or(Lt(TimeTerm(), Sub(std::move(ref),
+                                                   Const(Value::Int(w)))),
                                 std::move(f))));
 }
 

@@ -154,11 +154,15 @@ inline FormulaPtr Gt(TermPtr a, TermPtr b) {
 /// (inclusive of now)". Desugars to the paper's §5 encoding
 /// `[t := time] (Previously (f AND time >= t - w))` with a fresh `t`.
 FormulaPtr Within(FormulaPtr f, Timestamp w);
+/// As above with a caller-chosen fresh variable name (the parser numbers
+/// them per parse so a condition's printed form is deterministic).
+FormulaPtr Within(FormulaPtr f, Timestamp w, std::string fresh_var);
 
 /// Sugar: `HeldFor(f, w)` — "f held throughout the last w ticks". Desugars to
 /// `[t := time] ThroughoutPast (time >= t - w IMPLIES f)` — i.e.
 /// `NOT Within(NOT f, w)`.
 FormulaPtr HeldFor(FormulaPtr f, Timestamp w);
+FormulaPtr HeldFor(FormulaPtr f, Timestamp w, std::string fresh_var);
 
 /// Counts AST nodes (terms and formulas), for complexity experiments.
 size_t FormulaSize(const FormulaPtr& f);

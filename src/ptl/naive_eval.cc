@@ -82,6 +82,27 @@ Result<Value> AggAccumulator::Current() const {
   return Status::Internal("unknown aggregate fn");
 }
 
+void AggAccumulator::Serialize(codec::Writer* w) const {
+  w->U8(static_cast<uint8_t>(fn_));
+  w->I64(count_);
+  w->Val(sum_);
+  w->Val(min_);
+  w->Val(max_);
+}
+
+Status AggAccumulator::Deserialize(codec::Reader* r) {
+  PTLDB_ASSIGN_OR_RETURN(uint8_t fn, r->U8());
+  if (static_cast<TemporalAggFn>(fn) != fn_) {
+    return Status::InvalidArgument(
+        "aggregate accumulator dump is for a different function");
+  }
+  PTLDB_ASSIGN_OR_RETURN(count_, r->I64());
+  PTLDB_ASSIGN_OR_RETURN(sum_, r->Val());
+  PTLDB_ASSIGN_OR_RETURN(min_, r->Val());
+  PTLDB_ASSIGN_OR_RETURN(max_, r->Val());
+  return Status::OK();
+}
+
 Result<bool> NaiveEvaluator::SatisfiedAtEnd() const {
   if (history_.empty()) return false;
   return SatisfiedAt(history_.size() - 1);

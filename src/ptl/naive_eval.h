@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/status.h"
 #include "ptl/analyzer.h"
 #include "ptl/snapshot.h"
@@ -69,6 +70,12 @@ class AggAccumulator {
   /// Current aggregate; Null for avg/min/max of an empty sample set.
   Result<Value> Current() const;
   int64_t count() const { return count_; }
+  TemporalAggFn fn() const { return fn_; }
+
+  /// Durable serialization of the running state (fn tag included, so a
+  /// restore into an accumulator compiled for a different function fails).
+  void Serialize(codec::Writer* w) const;
+  Status Deserialize(codec::Reader* r);
 
  private:
   TemporalAggFn fn_;

@@ -259,7 +259,9 @@ class Parser {
       PTLDB_RETURN_IF_ERROR(ExpectSym(","));
       PTLDB_ASSIGN_OR_RETURN(Timestamp w, ExpectIntLiteral());
       PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
-      return is_within ? Within(std::move(f), w) : HeldFor(std::move(f), w);
+      std::string t = StrCat("#t", fresh_vars_++);
+      return is_within ? Within(std::move(f), w, std::move(t))
+                       : HeldFor(std::move(f), w, std::move(t));
     }
     if (MatchSym("[")) {
       PTLDB_ASSIGN_OR_RETURN(std::string var, ExpectIdent());
@@ -483,6 +485,11 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  // Per-parse numbering of desugared bounded operators: parsing the same
+  // text always yields the same fresh variable names, so a condition's
+  // printed form is stable across process restarts (checkpoint restore
+  // validates re-registered conditions textually).
+  uint64_t fresh_vars_ = 0;
 };
 
 }  // namespace

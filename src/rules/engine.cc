@@ -680,6 +680,15 @@ Status RuleEngine::RecordExecution(const Rule& rule, const Instance& instance,
   PTLDB_RETURN_IF_ERROR(table->Insert(
       {Value::Str(rule.name), Value::Str(instance.params_key),
        Value::Time(time)}));
+  if (database_->wal_sink() != nullptr) {
+    // The insert bypasses the transaction path, so its redo delta is buffered
+    // by hand; it rides with the @executed state's WAL record.
+    database_->wal_sink()->BufferDelta(db::RedoDelta{
+        db::RedoDelta::Kind::kInsert, kExecutedTable,
+        {Value::Str(rule.name), Value::Str(instance.params_key),
+         Value::Time(time)},
+        {}});
+  }
   firings_.push_back(Firing{rule.name, instance.params_key, time});
   // Announce: `@executed(rule)` drives §7 composite/temporal actions. The
   // event appends a new system state, which recursively dispatches rules.
@@ -849,6 +858,9 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
     }
   }
   --dispatch_depth_;
+  // Top-level update complete: safe point for durability work (checkpoints
+  // must never capture a half-stepped engine).
+  if (dispatch_depth_ == 0 && post_update_hook_ != nullptr) post_update_hook_();
 }
 
 void RuleEngine::RunPendingActions(std::vector<PendingAction> pending) {
@@ -861,6 +873,25 @@ void RuleEngine::RunPendingActions(std::vector<PendingAction> pending) {
                             b.rule->registration_order;
                    });
   for (const PendingAction& pa : pending) {
+    if (firing_observer_ != nullptr) {
+      // The decision is persisted *before* the action runs, so its database
+      // effects land in the WAL after the record recovery compares against.
+      firing_observer_->OnFiring(
+          Firing{pa.rule->name, pa.instance->params_key, pa.fired_at});
+    }
+    ++stats_.actions_executed;
+    MetricAdd(ins_.actions_executed);
+    ++pa.rule->fires;
+    if (replay_mode_) {
+      // Replay recomputes the firing decision only: the action's database
+      // effects arrive as logged states/deltas from the WAL, and external
+      // side effects must not repeat across a recovery (exactly-once).
+      if (pa.rule->options.record_execution) {
+        firings_.push_back(
+            Firing{pa.rule->name, pa.instance->params_key, pa.fired_at});
+      }
+      continue;
+    }
     ActionContext ctx(database_, pa.rule->name, &pa.instance->params,
                       pa.fired_at);
     Status s;
@@ -870,9 +901,6 @@ void RuleEngine::RunPendingActions(std::vector<PendingAction> pending) {
                                     pa.rule->name);
       s = pa.rule->action(ctx);
     }
-    ++stats_.actions_executed;
-    MetricAdd(ins_.actions_executed);
-    ++pa.rule->fires;
     if (!s.ok()) {
       ReportError(Status(s.code(), StrCat("action of rule '", pa.rule->name,
                                           "' failed: ", s.message())));
@@ -1062,6 +1090,136 @@ Result<std::string> RuleEngine::Explain(const std::string& name) const {
   return out.str();
 }
 
+// ---- Durability -------------------------------------------------------------
+
+void RuleEngine::NoteReplayedIcVeto(
+    const std::vector<std::string>& violated_rules) {
+  for (const std::string& name : violated_rules) {
+    auto it = rule_index_.find(name);
+    if (it != rule_index_.end()) ++rules_[it->second]->fires;
+  }
+  ++stats_.ic_violations;
+  MetricAdd(ins_.ic_violations);
+}
+
+Status RuleEngine::SerializeRetainedState(codec::Writer* w) const {
+  if (dispatch_depth_ > 0) {
+    return Status::InvalidArgument(
+        "cannot serialize retained state from within rule dispatch");
+  }
+  if (!batch_queue_.empty() || flushing_) {
+    return Status::InvalidArgument(
+        "cannot serialize retained state with batched states pending; call "
+        "Flush() first");
+  }
+  w->U32(static_cast<uint32_t>(rules_.size()));
+  for (const auto& rule : rules_) {
+    w->Str(rule->name);
+    w->Str(rule->condition->ToString());
+    w->Bool(rule->is_family);
+    w->U64(rule->fires);
+    w->U32(static_cast<uint32_t>(rule->instances.size()));
+    for (const auto& instance : rule->instances) {
+      w->Str(instance->params_key);
+      w->U32(static_cast<uint32_t>(instance->params.size()));
+      for (const auto& [pname, pvalue] : instance->params) {
+        w->Str(pname);
+        w->Val(pvalue);
+      }
+      instance->ev.SerializeState(w);
+    }
+  }
+  w->U64(stats_.states_processed);
+  w->U64(stats_.rule_steps);
+  w->U64(stats_.steps_skipped_by_filter);
+  w->U64(stats_.queries_evaluated);
+  w->U64(stats_.actions_executed);
+  w->U64(stats_.ic_checks);
+  w->U64(stats_.ic_violations);
+  w->U64(stats_.instances_created);
+  w->U64(stats_.parallel_dispatches);
+  w->U64(stats_.query_memo_hits);
+  w->U64(stats_.collections);
+  return Status::OK();
+}
+
+Status RuleEngine::RestoreRetainedState(codec::Reader* r) {
+  if (dispatch_depth_ > 0) {
+    return Status::InvalidArgument(
+        "cannot restore retained state from within rule dispatch");
+  }
+  if (!batch_queue_.empty() || flushing_) {
+    return Status::InvalidArgument(
+        "cannot restore retained state with batched states pending");
+  }
+  PTLDB_ASSIGN_OR_RETURN(uint32_t num_rules, r->U32());
+  for (uint32_t i = 0; i < num_rules; ++i) {
+    PTLDB_ASSIGN_OR_RETURN(std::string name, r->Str());
+    PTLDB_ASSIGN_OR_RETURN(std::string condition, r->Str());
+    PTLDB_ASSIGN_OR_RETURN(bool is_family, r->Bool());
+    PTLDB_ASSIGN_OR_RETURN(uint64_t fires, r->U64());
+    PTLDB_ASSIGN_OR_RETURN(uint32_t num_instances, r->U32());
+    auto it = rule_index_.find(name);
+    if (it == rule_index_.end()) {
+      return Status::NotFound(
+          StrCat("checkpoint holds retained state for rule '", name,
+                 "', which is not registered — re-register every rule before "
+                 "restoring"));
+    }
+    Rule* rule = rules_[it->second].get();
+    if (rule->is_family != is_family) {
+      return Status::InvalidArgument(
+          StrCat("rule '", name,
+                 "': family/plain shape differs from the checkpoint"));
+    }
+    if (rule->condition->ToString() != condition) {
+      return Status::InvalidArgument(
+          StrCat("rule '", name, "': registered condition `",
+                 rule->condition->ToString(),
+                 "` differs from the checkpointed condition `", condition,
+                 "`"));
+    }
+    rule->fires = fires;
+    for (uint32_t j = 0; j < num_instances; ++j) {
+      PTLDB_ASSIGN_OR_RETURN(std::string params_key, r->Str());
+      PTLDB_ASSIGN_OR_RETURN(uint32_t num_params, r->U32());
+      std::map<std::string, Value> params;
+      for (uint32_t k = 0; k < num_params; ++k) {
+        PTLDB_ASSIGN_OR_RETURN(std::string pname, r->Str());
+        PTLDB_ASSIGN_OR_RETURN(Value pvalue, r->Val());
+        params.emplace(std::move(pname), std::move(pvalue));
+      }
+      Instance* instance = nullptr;
+      auto iit = rule->instance_index.find(params_key);
+      if (iit != rule->instance_index.end()) {
+        instance = rule->instances[iit->second].get();
+      } else if (rule->is_family) {
+        // Family instances are created lazily; materialize the checkpointed
+        // one now so its retained history survives the restart.
+        PTLDB_ASSIGN_OR_RETURN(instance, MakeInstance(rule, std::move(params)));
+      } else {
+        return Status::InvalidArgument(
+            StrCat("rule '", name, "': checkpoint instance '", params_key,
+                   "' does not exist and the rule is not a family"));
+      }
+      PTLDB_RETURN_IF_ERROR(instance->ev.RestoreState(r));
+      instance->last_seq = SIZE_MAX;
+    }
+  }
+  PTLDB_ASSIGN_OR_RETURN(stats_.states_processed, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(stats_.rule_steps, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(stats_.steps_skipped_by_filter, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(stats_.queries_evaluated, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(stats_.actions_executed, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(stats_.ic_checks, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(stats_.ic_violations, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(stats_.instances_created, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(stats_.parallel_dispatches, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(stats_.query_memo_hits, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(stats_.collections, r->U64());
+  return Status::OK();
+}
+
 void RuleEngine::OnStateAppended(const event::SystemState& state) {
   ProcessState(state);
 }
@@ -1166,6 +1324,9 @@ Status RuleEngine::OnCommitAttempt(const event::SystemState& prospective,
   if (!failure.ok()) return failure;
   ++stats_.ic_violations;
   MetricAdd(ins_.ic_violations);
+  if (firing_observer_ != nullptr) {
+    firing_observer_->OnIcVeto(txn, prospective.time, violated);
+  }
   if (tracing) {
     json::Json veto = json::Json::Object();
     veto.Set("kind", json::Json::Str("ic_veto"));

@@ -290,6 +290,51 @@ class RuleEngine : public db::Database::Listener {
 
   Result<RuleInfo> Describe(const std::string& name) const;
 
+  // ---- Durability (src/storage) ----
+
+  /// Observer of firing decisions. OnFiring is invoked for every action the
+  /// engine decides to run (before the action executes) and OnIcVeto for
+  /// every vetoed commit, both in execution order — the decision stream the
+  /// WAL persists and recovery compares against as a differential oracle.
+  class FiringObserver {
+   public:
+    virtual ~FiringObserver() = default;
+    virtual void OnFiring(const Firing& firing) = 0;
+    virtual void OnIcVeto(int64_t txn, Timestamp time,
+                          const std::vector<std::string>& violated_rules) = 0;
+  };
+  void SetFiringObserver(FiringObserver* observer) {
+    firing_observer_ = observer;
+  }
+
+  /// WAL replay mode: conditions are evaluated and firing decisions are
+  /// recorded exactly as live (observer, counters, TakeFirings), but actions
+  /// do not run and executions are not re-recorded — their database effects
+  /// arrive as logged states/deltas from the WAL, and external side effects
+  /// must not repeat across a recovery (exactly-once actions).
+  void SetReplayMode(bool on) { replay_mode_ = on; }
+  bool replay_mode() const { return replay_mode_; }
+
+  /// Accounting for an IC veto observed in the WAL during replay (no commit
+  /// attempt is re-issued, so Describe/stats fidelity needs the bump).
+  void NoteReplayedIcVeto(const std::vector<std::string>& violated_rules);
+
+  /// Invoked after every top-level update completes (dispatch depth back at
+  /// zero). The durability manager schedules checkpoint-every-N here —
+  /// serializing mid-dispatch would capture a half-stepped engine.
+  void SetPostUpdateHook(std::function<void()> hook) {
+    post_update_hook_ = std::move(hook);
+  }
+
+  /// Serializes every rule's retained evaluation state — per-instance
+  /// F_{g,i} graphs, aggregate machines, firing counters — keyed by rule
+  /// name and instance parameters. Rules themselves are code: the
+  /// application re-registers them before RestoreRetainedState, which
+  /// validates each rule's condition against the dump. Fails mid-dispatch
+  /// or with batched states pending (Flush first).
+  Status SerializeRetainedState(codec::Writer* w) const;
+  Status RestoreRetainedState(codec::Reader* r);
+
   const EngineStats& stats() const { return stats_; }
   /// Firings since the last call (actions that ran, in execution order).
   std::vector<Firing> TakeFirings();
@@ -433,6 +478,11 @@ class RuleEngine : public db::Database::Listener {
   std::vector<Status> errors_;
   int dispatch_depth_ = 0;
   size_t next_registration_order_ = 0;
+
+  // Durability wiring (see SetFiringObserver/SetReplayMode).
+  FiringObserver* firing_observer_ = nullptr;
+  bool replay_mode_ = false;
+  std::function<void()> post_update_hook_;
 
   // Sharded evaluation (1 = serial; pool_ is null then).
   size_t num_threads_ = 1;

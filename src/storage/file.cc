@@ -1,0 +1,146 @@
+#include "storage/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ptldb::storage {
+
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::Internal(StrCat(op, " '", path, "': ", std::strerror(errno)));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PosixWritableFile>> PosixWritableFile::Open(
+    const std::string& path, bool truncate) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Errno("open", path);
+  struct stat st;
+  uint64_t size = 0;
+  if (::fstat(fd, &st) == 0) size = static_cast<uint64_t>(st.st_size);
+  return std::unique_ptr<PosixWritableFile>(
+      new PosixWritableFile(path, fd, size));
+}
+
+PosixWritableFile::~PosixWritableFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PosixWritableFile::Append(std::string_view data) {
+  if (fd_ < 0) return Status::Internal(StrCat("file '", path_, "' is closed"));
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path_);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  size_ += data.size();
+  return Status::OK();
+}
+
+Status PosixWritableFile::Sync() {
+  if (fd_ < 0) return Status::Internal(StrCat("file '", path_, "' is closed"));
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+Status PosixWritableFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return Errno("close", path_);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> PosixFileFactory::OpenWritable(
+    const std::string& path, bool truncate) {
+  PTLDB_ASSIGN_OR_RETURN(std::unique_ptr<PosixWritableFile> f,
+                         PosixWritableFile::Open(path, truncate));
+  return std::unique_ptr<WritableFile>(std::move(f));
+}
+
+Status FaultInjectingFile::Append(std::string_view data) {
+  if (failed_) return Status::Internal("injected fault: file already dead");
+  if (written_ + data.size() > fail_at_byte_) {
+    // Write the prefix that fits — a crash mid-write persists partial data —
+    // then declare the file dead.
+    size_t fits = static_cast<size_t>(fail_at_byte_ - written_);
+    if (fits > 0) {
+      Status s = base_->Append(data.substr(0, fits));
+      if (!s.ok()) return s;
+      written_ += fits;
+    }
+    failed_ = true;
+    (void)base_->Sync();  // persist the torn prefix like a real crash would
+    return Status::Internal(
+        StrCat("injected fault: write stream killed at byte ", fail_at_byte_));
+  }
+  Status s = base_->Append(data);
+  if (s.ok()) written_ += data.size();
+  return s;
+}
+
+Status FaultInjectingFile::Sync() {
+  if (failed_) return Status::Internal("injected fault: file already dead");
+  return base_->Sync();
+}
+
+Status FaultInjectingFile::Close() { return base_->Close(); }
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFileFactory::OpenWritable(
+    const std::string& path, bool truncate) {
+  PTLDB_ASSIGN_OR_RETURN(std::unique_ptr<PosixWritableFile> base,
+                         PosixWritableFile::Open(path, truncate));
+  bool matches = path.size() >= suffix_.size() &&
+                 path.compare(path.size() - suffix_.size(), suffix_.size(),
+                              suffix_) == 0;
+  if (!matches) return std::unique_ptr<WritableFile>(std::move(base));
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectingFile(std::move(base), fail_at_byte_));
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound(StrCat("no such file: '", path, "'"));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::Internal(StrCat("read of '", path, "' failed"));
+  *out = std::move(buf).str();
+  return Status::OK();
+}
+
+Status WriteStringToFileAtomic(const std::string& path,
+                               std::string_view contents,
+                               FileFactory* factory) {
+  std::string tmp = path + ".tmp";
+  PTLDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                         factory->OpenWritable(tmp, /*truncate=*/true));
+  PTLDB_RETURN_IF_ERROR(f->Append(contents));
+  PTLDB_RETURN_IF_ERROR(f->Sync());
+  PTLDB_RETURN_IF_ERROR(f->Close());
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ptldb::storage

@@ -1,0 +1,118 @@
+// File abstraction for the durability layer.
+//
+// A thin seam between the WAL/checkpoint writers and the filesystem:
+// production code uses PosixWritableFile (buffered write + fsync);
+// crash tests wrap it in a FaultInjectingFile that kills the process's
+// write stream at an exact byte offset, producing precisely the torn
+// tails recovery must cope with.
+
+#ifndef PTLDB_STORAGE_FILE_H_
+#define PTLDB_STORAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ptldb::storage {
+
+/// Append-only output file. Not thread-safe (the engine is single-threaded).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  /// Flushes application and OS buffers to stable storage (fsync).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// POSIX implementation. `truncate` clears existing contents; otherwise
+/// writes append to the existing file.
+class PosixWritableFile : public WritableFile {
+ public:
+  static Result<std::unique_ptr<PosixWritableFile>> Open(
+      const std::string& path, bool truncate);
+  ~PosixWritableFile() override;
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override;
+
+  /// Bytes in the file (pre-existing + appended).
+  uint64_t size() const { return size_; }
+
+ private:
+  PosixWritableFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
+/// Creates WritableFiles; the durability manager routes every file open
+/// through one of these so tests can substitute fault-injecting files.
+class FileFactory {
+ public:
+  virtual ~FileFactory() = default;
+  virtual Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, bool truncate) = 0;
+};
+
+class PosixFileFactory : public FileFactory {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenWritable(const std::string& path,
+                                                     bool truncate) override;
+};
+
+/// Crash seam: forwards writes to `base` until the total byte count reaches
+/// `fail_at_byte`, writes the prefix that fits, then fails every subsequent
+/// operation — the on-disk image is exactly what a crash mid-write leaves.
+class FaultInjectingFile : public WritableFile {
+ public:
+  FaultInjectingFile(std::unique_ptr<WritableFile> base, uint64_t fail_at_byte)
+      : base_(std::move(base)), fail_at_byte_(fail_at_byte) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override;
+
+  bool failed() const { return failed_; }
+  uint64_t bytes_written() const { return written_; }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  uint64_t fail_at_byte_;
+  uint64_t written_ = 0;
+  bool failed_ = false;
+};
+
+/// Factory producing one FaultInjectingFile for the path matching `suffix`
+/// (others open normally) — "kill the WAL at byte k".
+class FaultInjectingFileFactory : public FileFactory {
+ public:
+  FaultInjectingFileFactory(std::string path_suffix, uint64_t fail_at_byte)
+      : suffix_(std::move(path_suffix)), fail_at_byte_(fail_at_byte) {}
+
+  Result<std::unique_ptr<WritableFile>> OpenWritable(const std::string& path,
+                                                     bool truncate) override;
+
+ private:
+  std::string suffix_;
+  uint64_t fail_at_byte_;
+};
+
+/// Reads a whole file into `out`. NotFound when the file does not exist.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Atomic small-file write: write `path`.tmp, fsync, rename over `path`
+/// (the LevelDB CURRENT-manifest idiom).
+Status WriteStringToFileAtomic(const std::string& path,
+                               std::string_view contents, FileFactory* factory);
+
+}  // namespace ptldb::storage
+
+#endif  // PTLDB_STORAGE_FILE_H_

@@ -1,0 +1,170 @@
+#include "storage/recovery.h"
+
+#include <deque>
+#include <filesystem>
+
+#include "common/strings.h"
+#include "storage/wal.h"
+
+namespace ptldb::storage {
+
+namespace {
+
+// Collects the replay-mode engine's firing decisions for comparison against
+// the logged stream. OnIcVeto never fires during replay (no commit attempts
+// are re-issued); vetoes are re-accounted straight from their WAL records.
+class FiringCollector : public rules::RuleEngine::FiringObserver {
+ public:
+  void OnFiring(const rules::Firing& firing) override {
+    ++total;
+    firings.push_back(firing);
+  }
+  void OnIcVeto(int64_t, Timestamp, const std::vector<std::string>&) override {}
+
+  std::deque<rules::Firing> firings;
+  uint64_t total = 0;
+};
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::string out = StrCat(
+      "recovered from checkpoint ", checkpoint_id, " (history size ",
+      checkpoint_history_size, "); replayed ", states_replayed,
+      " state(s), ", firings_replayed, " firing(s), ", ic_vetoes_replayed,
+      " IC veto(es); ", wal_records_read, " WAL record(s) read, ",
+      records_skipped, " skipped, ", torn_bytes, " torn byte(s) truncated; ",
+      firing_mismatches, " firing mismatch(es)");
+  for (const std::string& m : mismatches) out += StrCat("\n  mismatch: ", m);
+  return out;
+}
+
+Result<RecoveryReport> Recover(const std::string& dir,
+                               const CheckpointTargets& targets) {
+  RecoveryReport report;
+
+  // 1. Checkpoint.
+  std::string body;
+  PTLDB_ASSIGN_OR_RETURN(CheckpointInfo peek,
+                         ReadLatestValidCheckpoint(dir, &body));
+  (void)peek;
+  PTLDB_ASSIGN_OR_RETURN(CheckpointInfo info,
+                         RestoreCheckpoint(body, targets));
+  report.checkpoint_id = info.id;
+  report.checkpoint_history_size = info.history_size;
+
+  // 2. WAL tail.
+  std::string wal_path = StrCat(dir, "/", kWalFileName);
+  std::string contents;
+  Status read = ReadFileToString(wal_path, &contents);
+  if (read.code() == StatusCode::kNotFound) return report;  // no tail at all
+  PTLDB_RETURN_IF_ERROR(read);
+  if (contents.size() < kWalMagicLen) {
+    // The crash hit before even the magic was durable: an empty log.
+    report.torn_bytes = contents.size();
+    std::error_code ec;
+    std::filesystem::resize_file(wal_path, 0, ec);
+    return report;
+  }
+  PTLDB_ASSIGN_OR_RETURN(WalReader reader, WalReader::Open(std::move(contents)));
+
+  rules::RuleEngine& engine = *targets.engine;
+  FiringCollector collector;
+  engine.SetFiringObserver(&collector);
+  engine.SetReplayMode(true);
+  Status replay_status = Status::OK();
+  // Records before this history position were already absorbed by the
+  // checkpoint (a crash can land between checkpoint commit and WAL reset).
+  const uint64_t restored_size = targets.db->history().size();
+  bool replaying = false;
+  while (replay_status.ok()) {
+    auto next = reader.Next();
+    if (!next.ok()) {
+      replay_status = next.status();
+      break;
+    }
+    if (!next.value().has_value()) break;
+    const WalRecord& rec = **next;
+    ++report.wal_records_read;
+    switch (rec.type) {
+      case WalRecordType::kState: {
+        if (rec.state.seq < restored_size) {
+          ++report.records_skipped;
+          break;
+        }
+        if (rec.state.seq != targets.db->history().size()) {
+          replay_status = Status::Internal(
+              StrCat("WAL gap: next logged state has seq ", rec.state.seq,
+                     " but the history is at ", targets.db->history().size()));
+          break;
+        }
+        replaying = true;
+        replay_status = targets.clock->Restore(rec.state.clock_now);
+        if (!replay_status.ok()) break;
+        replay_status = targets.db->ReplayState(rec.state.time,
+                                                rec.state.events,
+                                                rec.state.deltas);
+        if (replay_status.ok()) ++report.states_replayed;
+        break;
+      }
+      case WalRecordType::kFiring: {
+        if (!replaying) {
+          ++report.records_skipped;  // decision absorbed by the checkpoint
+          break;
+        }
+        if (collector.firings.empty()) {
+          ++report.firing_mismatches;
+          report.mismatches.push_back(
+              StrCat("logged firing of '", rec.firing.rule, "' [",
+                     rec.firing.params, "] at t=", rec.firing.time,
+                     " was not reproduced by the replay"));
+          break;
+        }
+        rules::Firing got = std::move(collector.firings.front());
+        collector.firings.pop_front();
+        if (got.rule != rec.firing.rule || got.params != rec.firing.params ||
+            got.time != rec.firing.time) {
+          ++report.firing_mismatches;
+          report.mismatches.push_back(
+              StrCat("logged firing '", rec.firing.rule, "' [",
+                     rec.firing.params, "] t=", rec.firing.time,
+                     " but replay produced '", got.rule, "' [", got.params,
+                     "] t=", got.time));
+        }
+        break;
+      }
+      case WalRecordType::kIcVeto:
+        if (!replaying) {
+          ++report.records_skipped;
+          break;
+        }
+        engine.NoteReplayedIcVeto(rec.veto.violated);
+        ++report.ic_vetoes_replayed;
+        break;
+      case WalRecordType::kCheckpoint:
+        break;  // informational
+    }
+  }
+  report.firings_replayed = collector.total;
+  // Decisions still queued in the collector belong to the torn tail: the
+  // state record survived but its firing records did not. The replayed
+  // decisions are authoritative there — nothing to compare against.
+  engine.SetReplayMode(false);
+  engine.SetFiringObserver(nullptr);
+  if (!replay_status.ok()) return replay_status;
+
+  // 3. Truncate the torn tail so the next writer appends after a valid
+  // prefix (appending after garbage would hide it from every later reader).
+  report.torn_bytes = reader.torn_bytes();
+  if (report.torn_bytes > 0) {
+    std::error_code ec;
+    std::filesystem::resize_file(wal_path, reader.valid_prefix_bytes(), ec);
+    if (ec) {
+      return Status::Internal(StrCat("cannot truncate torn WAL tail of '",
+                                     wal_path, "': ", ec.message()));
+    }
+  }
+  return report;
+}
+
+}  // namespace ptldb::storage

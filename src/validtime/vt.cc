@@ -394,6 +394,182 @@ Status VtDatabase::StepDefinite(Monitor* m, Timestamp horizon) {
   return Status::OK();
 }
 
+// ---- Durability -------------------------------------------------------------
+
+namespace {
+
+void WriteValueMap(const std::map<std::string, Value>& m, codec::Writer* w) {
+  w->U32(static_cast<uint32_t>(m.size()));
+  for (const auto& [k, v] : m) {
+    w->Str(k);
+    w->Val(v);
+  }
+}
+
+Result<std::map<std::string, Value>> ReadValueMap(codec::Reader* r) {
+  PTLDB_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  std::map<std::string, Value> m;
+  for (uint32_t i = 0; i < n; ++i) {
+    PTLDB_ASSIGN_OR_RETURN(std::string k, r->Str());
+    PTLDB_ASSIGN_OR_RETURN(Value v, r->Val());
+    m.emplace(std::move(k), std::move(v));
+  }
+  return m;
+}
+
+}  // namespace
+
+Status VtDatabase::SerializeState(codec::Writer* w) const {
+  if (!open_txns_.empty()) {
+    return Status::InvalidArgument(
+        StrCat("cannot serialize a valid-time database with ",
+               open_txns_.size(), " open transaction(s)"));
+  }
+  w->I64(max_delay_);
+  w->I64(next_txn_id_);
+  w->U64(compacted_states_);
+  w->U64(collections_);
+  WriteValueMap(base_values_, w);
+  w->U32(static_cast<uint32_t>(states_.size()));
+  for (const VtState& s : states_) {
+    w->I64(s.time);
+    w->U32(static_cast<uint32_t>(s.events.size()));
+    for (const event::Event& e : s.events) event::SerializeEvent(e, w);
+    w->U32(static_cast<uint32_t>(s.updates.size()));
+    for (const auto& [item, value] : s.updates) {
+      w->Str(item);
+      w->Val(value);
+    }
+    WriteValueMap(s.values, w);
+  }
+  w->U32(static_cast<uint32_t>(log_.size()));
+  for (const CommittedTxn& txn : log_) {
+    w->I64(txn.id);
+    w->I64(txn.commit_time);
+    w->U32(static_cast<uint32_t>(txn.updates.size()));
+    for (const auto& [item, value, valid_time] : txn.updates) {
+      w->Str(item);
+      w->Val(value);
+      w->I64(valid_time);
+    }
+    w->U32(static_cast<uint32_t>(txn.events.size()));
+    for (const auto& [e, valid_time] : txn.events) {
+      event::SerializeEvent(e, w);
+      w->I64(valid_time);
+    }
+  }
+  w->U32(static_cast<uint32_t>(monitors_.size()));
+  for (const auto& m : monitors_) {
+    w->Str(m->name);
+    w->Bool(m->definite);
+    w->Str(m->ev.analysis().root->ToString());
+    w->U64(m->frontier);
+    m->ev.SerializeState(w);
+    w->U32(static_cast<uint32_t>(m->checkpoints.size()));
+    for (const auto& cp : m->checkpoints) m->ev.SerializeCheckpoint(cp, w);
+  }
+  return Status::OK();
+}
+
+Status VtDatabase::RestoreState(codec::Reader* r) {
+  if (!open_txns_.empty()) {
+    return Status::InvalidArgument(
+        "cannot restore into a valid-time database with open transactions");
+  }
+  PTLDB_ASSIGN_OR_RETURN(Timestamp max_delay, r->I64());
+  if (max_delay != max_delay_) {
+    return Status::InvalidArgument(
+        StrCat("checkpoint was taken with max_delay=", max_delay,
+               " but this database was built with max_delay=", max_delay_));
+  }
+  PTLDB_ASSIGN_OR_RETURN(next_txn_id_, r->I64());
+  PTLDB_ASSIGN_OR_RETURN(compacted_states_, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(collections_, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(base_values_, ReadValueMap(r));
+  PTLDB_ASSIGN_OR_RETURN(uint32_t num_states, r->U32());
+  states_.clear();
+  for (uint32_t i = 0; i < num_states; ++i) {
+    VtState s;
+    PTLDB_ASSIGN_OR_RETURN(s.time, r->I64());
+    PTLDB_ASSIGN_OR_RETURN(uint32_t num_events, r->U32());
+    for (uint32_t j = 0; j < num_events; ++j) {
+      PTLDB_ASSIGN_OR_RETURN(event::Event e, event::DeserializeEvent(r));
+      s.events.push_back(std::move(e));
+    }
+    PTLDB_ASSIGN_OR_RETURN(uint32_t num_updates, r->U32());
+    for (uint32_t j = 0; j < num_updates; ++j) {
+      PTLDB_ASSIGN_OR_RETURN(std::string item, r->Str());
+      PTLDB_ASSIGN_OR_RETURN(Value value, r->Val());
+      s.updates.emplace_back(std::move(item), std::move(value));
+    }
+    PTLDB_ASSIGN_OR_RETURN(s.values, ReadValueMap(r));
+    states_.push_back(std::move(s));
+  }
+  PTLDB_ASSIGN_OR_RETURN(uint32_t num_log, r->U32());
+  log_.clear();
+  for (uint32_t i = 0; i < num_log; ++i) {
+    CommittedTxn txn;
+    PTLDB_ASSIGN_OR_RETURN(txn.id, r->I64());
+    PTLDB_ASSIGN_OR_RETURN(txn.commit_time, r->I64());
+    PTLDB_ASSIGN_OR_RETURN(uint32_t num_updates, r->U32());
+    for (uint32_t j = 0; j < num_updates; ++j) {
+      PTLDB_ASSIGN_OR_RETURN(std::string item, r->Str());
+      PTLDB_ASSIGN_OR_RETURN(Value value, r->Val());
+      PTLDB_ASSIGN_OR_RETURN(Timestamp valid_time, r->I64());
+      txn.updates.emplace_back(std::move(item), std::move(value), valid_time);
+    }
+    PTLDB_ASSIGN_OR_RETURN(uint32_t num_events, r->U32());
+    for (uint32_t j = 0; j < num_events; ++j) {
+      PTLDB_ASSIGN_OR_RETURN(event::Event e, event::DeserializeEvent(r));
+      PTLDB_ASSIGN_OR_RETURN(Timestamp valid_time, r->I64());
+      txn.events.emplace_back(std::move(e), valid_time);
+    }
+    log_.push_back(std::move(txn));
+  }
+  PTLDB_ASSIGN_OR_RETURN(uint32_t num_monitors, r->U32());
+  for (uint32_t i = 0; i < num_monitors; ++i) {
+    PTLDB_ASSIGN_OR_RETURN(std::string name, r->Str());
+    PTLDB_ASSIGN_OR_RETURN(bool definite, r->Bool());
+    PTLDB_ASSIGN_OR_RETURN(std::string condition, r->Str());
+    PTLDB_ASSIGN_OR_RETURN(uint64_t frontier, r->U64());
+    Monitor* monitor = nullptr;
+    for (const auto& m : monitors_) {
+      if (m->name == name) {
+        monitor = m.get();
+        break;
+      }
+    }
+    if (monitor == nullptr) {
+      return Status::NotFound(
+          StrCat("checkpoint holds state for valid-time trigger '", name,
+                 "', which is not registered — re-register every trigger "
+                 "before restoring"));
+    }
+    if (monitor->definite != definite) {
+      return Status::InvalidArgument(
+          StrCat("trigger '", name,
+                 "': definite/tentative mode differs from the checkpoint"));
+    }
+    std::string live_condition = monitor->ev.analysis().root->ToString();
+    if (live_condition != condition) {
+      return Status::InvalidArgument(
+          StrCat("trigger '", name, "': registered condition `",
+                 live_condition, "` differs from the checkpointed condition `",
+                 condition, "`"));
+    }
+    monitor->frontier = frontier;
+    PTLDB_RETURN_IF_ERROR(monitor->ev.RestoreState(r));
+    PTLDB_ASSIGN_OR_RETURN(uint32_t num_checkpoints, r->U32());
+    monitor->checkpoints.clear();
+    for (uint32_t j = 0; j < num_checkpoints; ++j) {
+      PTLDB_ASSIGN_OR_RETURN(eval::IncrementalEvaluator::Checkpoint cp,
+                             monitor->ev.DeserializeCheckpoint(r));
+      monitor->checkpoints.push_back(std::move(cp));
+    }
+  }
+  return Status::OK();
+}
+
 // ---- Histories and satisfaction ----------------------------------------------
 
 VtHistory VtDatabase::CommittedHistoryAt(Timestamp t) const {

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/codec.h"
 #include "common/status.h"
 #include "common/trace.h"
 #include "eval/incremental.h"
@@ -162,6 +163,18 @@ class VtDatabase {
 
   /// Current committed history (diagnostics).
   const VtHistory& current_history() const { return states_; }
+
+  // ---- Durability ----
+
+  /// Serializes the full retained state: the in-memory committed history,
+  /// compaction base, durable transaction log, and every monitor's evaluator
+  /// state (including the tentative monitors' per-state checkpoints).
+  /// Triggers themselves are code: the application re-registers them before
+  /// RestoreState, which matches monitors by name and validates conditions.
+  /// Fails with open transactions (their buffered updates are volatile by
+  /// design — an aborted/unfinished txn never enters any history).
+  Status SerializeState(codec::Writer* w) const;
+  Status RestoreState(codec::Reader* r);
 
   // ---- Tracing ----
 

@@ -1,0 +1,323 @@
+// Unit tests for the durability layer's building blocks: CRC32C, WAL record
+// encoding, writer/reader framing, torn-tail handling at every byte offset,
+// fault injection, and checkpoint file framing + CURRENT fallback.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "storage/checkpoint.h"
+#include "storage/file.h"
+#include "storage/wal.h"
+#include "testutil.h"
+
+namespace ptldb::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch directory per test.
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           StrCat("ptldb_storage_",
+                  ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(StorageTest, Crc32cKnownVector) {
+  // The Castagnoli check value: CRC-32C("123456789") = 0xE3069283.
+  EXPECT_EQ(codec::Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(codec::Crc32c("", 0), 0u);
+  EXPECT_NE(codec::Crc32c("a", 1), codec::Crc32c("b", 1));
+}
+
+WalRecord SampleStateRecord() {
+  WalRecord rec;
+  rec.type = WalRecordType::kState;
+  rec.state.seq = 41;
+  rec.state.time = 1000;
+  rec.state.clock_now = 1001;
+  rec.state.events = {event::TransactionCommit(7),
+                      event::Event{"tick", {Value::Str("IBM"), Value::Real(2.5)}}};
+  db::RedoDelta ins{db::RedoDelta::Kind::kInsert, "stock",
+                    {Value::Str("IBM"), Value::Real(40)}, {}};
+  db::RedoDelta upd{db::RedoDelta::Kind::kUpdate, "stock",
+                    {Value::Str("IBM"), Value::Real(40)},
+                    {Value::Str("IBM"), Value::Real(55)}};
+  db::RedoDelta del{db::RedoDelta::Kind::kDelete, "stock",
+                    {Value::Str("HP"), Value::Real(20)}, {}};
+  rec.state.deltas = {ins, upd, del};
+  return rec;
+}
+
+TEST_F(StorageTest, WalRecordRoundTripAllTypes) {
+  WalRecord state = SampleStateRecord();
+  ASSERT_OK_AND_ASSIGN(WalRecord got, DecodeWalRecord(EncodeWalRecord(state)));
+  EXPECT_EQ(got.type, WalRecordType::kState);
+  EXPECT_EQ(got.state.seq, 41u);
+  EXPECT_EQ(got.state.time, 1000);
+  EXPECT_EQ(got.state.clock_now, 1001);
+  ASSERT_EQ(got.state.events.size(), 2u);
+  EXPECT_EQ(got.state.events[0], state.state.events[0]);
+  EXPECT_EQ(got.state.events[1], state.state.events[1]);
+  ASSERT_EQ(got.state.deltas.size(), 3u);
+  EXPECT_EQ(got.state.deltas[1].kind, db::RedoDelta::Kind::kUpdate);
+  EXPECT_EQ(got.state.deltas[1].new_row[1], Value::Real(55));
+  EXPECT_EQ(got.state.deltas[2].kind, db::RedoDelta::Kind::kDelete);
+
+  WalRecord firing;
+  firing.type = WalRecordType::kFiring;
+  firing.firing = {"sharp_increase", "sym=IBM", 1002};
+  ASSERT_OK_AND_ASSIGN(got, DecodeWalRecord(EncodeWalRecord(firing)));
+  EXPECT_EQ(got.firing.rule, "sharp_increase");
+  EXPECT_EQ(got.firing.params, "sym=IBM");
+  EXPECT_EQ(got.firing.time, 1002);
+
+  WalRecord veto;
+  veto.type = WalRecordType::kIcVeto;
+  veto.veto = {9, 55, 1003, {"cap", "no_crash"}};
+  ASSERT_OK_AND_ASSIGN(got, DecodeWalRecord(EncodeWalRecord(veto)));
+  EXPECT_EQ(got.veto.txn, 9);
+  EXPECT_EQ(got.veto.seq, 55u);
+  EXPECT_EQ(got.veto.violated, (std::vector<std::string>{"cap", "no_crash"}));
+
+  WalRecord ckpt;
+  ckpt.type = WalRecordType::kCheckpoint;
+  ckpt.checkpoint = {3, 120};
+  ASSERT_OK_AND_ASSIGN(got, DecodeWalRecord(EncodeWalRecord(ckpt)));
+  EXPECT_EQ(got.checkpoint.checkpoint_id, 3u);
+  EXPECT_EQ(got.checkpoint.history_size, 120u);
+}
+
+TEST_F(StorageTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeWalRecord("").ok());
+  EXPECT_FALSE(DecodeWalRecord(std::string(1, '\x09')).ok());  // bad type
+  // Trailing junk after a valid payload must be rejected (ExpectEnd).
+  WalRecord ckpt;
+  ckpt.type = WalRecordType::kCheckpoint;
+  std::string payload = EncodeWalRecord(ckpt) + "x";
+  EXPECT_FALSE(DecodeWalRecord(payload).ok());
+}
+
+// Writes a three-record WAL and returns its on-disk image.
+std::string WriteSampleWal(const std::string& path, FsyncPolicy policy) {
+  PosixFileFactory factory;
+  auto file = factory.OpenWritable(path, /*truncate=*/true);
+  PTLDB_CHECK_OK(file.status());
+  auto writer = WalWriter::Create(std::move(file).value(), 0, policy);
+  PTLDB_CHECK_OK(writer.status());
+  WalRecord state = SampleStateRecord();
+  PTLDB_CHECK_OK(writer->AppendState(state.state));
+  PTLDB_CHECK_OK(writer->AppendFiring({"r1", "", 1000}));
+  PTLDB_CHECK_OK(writer->AppendIcVeto({1, 42, 1001, {"cap"}}));
+  PTLDB_CHECK_OK(writer->Sync());
+  std::string image;
+  PTLDB_CHECK_OK(ReadFileToString(path, &image));
+  return image;
+}
+
+TEST_F(StorageTest, WalWriterReaderRoundTrip) {
+  std::string image = WriteSampleWal(Path("wal.log"), FsyncPolicy::kSync);
+  ASSERT_OK_AND_ASSIGN(WalReader reader, WalReader::Open(image));
+  std::vector<WalRecordType> types;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(auto rec, reader.Next());
+    if (!rec.has_value()) break;
+    types.push_back(rec->type);
+  }
+  EXPECT_EQ(types, (std::vector<WalRecordType>{WalRecordType::kState,
+                                               WalRecordType::kFiring,
+                                               WalRecordType::kIcVeto}));
+  EXPECT_EQ(reader.records_read(), 3u);
+  EXPECT_EQ(reader.valid_prefix_bytes(), image.size());
+  EXPECT_EQ(reader.torn_bytes(), 0u);
+}
+
+TEST_F(StorageTest, WalReaderRejectsBadMagic) {
+  EXPECT_FALSE(WalReader::Open("").ok());
+  EXPECT_FALSE(WalReader::Open("short").ok());
+  EXPECT_FALSE(WalReader::Open("NOTAWAL0trailing").ok());
+}
+
+TEST_F(StorageTest, TornTailAtEveryByteStopsAtLastRecordBoundary) {
+  std::string image = WriteSampleWal(Path("wal.log"), FsyncPolicy::kNone);
+  // Record boundaries: offsets after magic and after each complete record.
+  std::vector<size_t> boundaries;
+  {
+    ASSERT_OK_AND_ASSIGN(WalReader reader, WalReader::Open(image));
+    boundaries.push_back(kWalMagicLen);
+    while (true) {
+      ASSERT_OK_AND_ASSIGN(auto rec, reader.Next());
+      if (!rec.has_value()) break;
+      boundaries.push_back(reader.valid_prefix_bytes());
+    }
+  }
+  ASSERT_EQ(boundaries.size(), 4u);  // magic + 3 records
+  for (size_t cut = kWalMagicLen; cut <= image.size(); ++cut) {
+    ASSERT_OK_AND_ASSIGN(WalReader reader,
+                         WalReader::Open(image.substr(0, cut)));
+    uint64_t read = 0;
+    while (true) {
+      ASSERT_OK_AND_ASSIGN(auto rec, reader.Next());
+      if (!rec.has_value()) break;
+      ++read;
+    }
+    // The reader must stop exactly at the last boundary <= cut.
+    size_t expect_prefix = kWalMagicLen;
+    size_t expect_records = 0;
+    for (size_t i = 0; i < boundaries.size(); ++i) {
+      if (boundaries[i] <= cut) {
+        expect_prefix = boundaries[i];
+        expect_records = i;
+      }
+    }
+    EXPECT_EQ(reader.valid_prefix_bytes(), expect_prefix) << "cut=" << cut;
+    EXPECT_EQ(read, expect_records) << "cut=" << cut;
+    EXPECT_EQ(reader.torn_bytes(), cut - expect_prefix) << "cut=" << cut;
+  }
+}
+
+TEST_F(StorageTest, CorruptMiddleRecordStopsReader) {
+  std::string image = WriteSampleWal(Path("wal.log"), FsyncPolicy::kNone);
+  // Flip one byte inside the second record's payload.
+  ASSERT_OK_AND_ASSIGN(WalReader probe, WalReader::Open(image));
+  ASSERT_OK_AND_ASSIGN(auto r1, probe.Next());
+  ASSERT_TRUE(r1.has_value());
+  size_t second_at = probe.valid_prefix_bytes();
+  image[second_at + kWalFrameHeaderLen + 2] ^= 0xFF;
+  ASSERT_OK_AND_ASSIGN(WalReader reader, WalReader::Open(image));
+  ASSERT_OK_AND_ASSIGN(auto got, reader.Next());
+  EXPECT_TRUE(got.has_value());
+  ASSERT_OK_AND_ASSIGN(got, reader.Next());
+  EXPECT_FALSE(got.has_value());  // CRC mismatch: stop
+  EXPECT_EQ(reader.valid_prefix_bytes(), second_at);
+  EXPECT_GT(reader.torn_bytes(), 0u);
+}
+
+TEST_F(StorageTest, FaultInjectingFileWritesExactPrefix) {
+  for (uint64_t k : {0u, 1u, 5u, 17u}) {
+    std::string path = Path(StrCat("fault_", k));
+    FaultInjectingFileFactory factory(StrCat("fault_", k), k);
+    ASSERT_OK_AND_ASSIGN(auto file, factory.OpenWritable(path, true));
+    std::string payload = "0123456789ABCDEFGHIJ";  // 20 bytes > all k
+    Status s = file->Append(payload);
+    EXPECT_FALSE(s.ok()) << "k=" << k;
+    (void)file->Close();
+    std::string on_disk;
+    ASSERT_OK(ReadFileToString(path, &on_disk));
+    EXPECT_EQ(on_disk, payload.substr(0, k)) << "k=" << k;
+  }
+  // Non-matching paths open normal files.
+  FaultInjectingFileFactory factory("wal.log", 3);
+  ASSERT_OK_AND_ASSIGN(auto file, factory.OpenWritable(Path("other"), true));
+  EXPECT_TRUE(file->Append("longer than three bytes").ok());
+  ASSERT_OK(file->Close());
+}
+
+TEST_F(StorageTest, AtomicWriteAndReadBack) {
+  PosixFileFactory factory;
+  ASSERT_OK(WriteStringToFileAtomic(Path("CURRENT"), "checkpoint-7", &factory));
+  std::string got;
+  ASSERT_OK(ReadFileToString(Path("CURRENT"), &got));
+  EXPECT_EQ(got, "checkpoint-7");
+  ASSERT_OK(WriteStringToFileAtomic(Path("CURRENT"), "checkpoint-8", &factory));
+  ASSERT_OK(ReadFileToString(Path("CURRENT"), &got));
+  EXPECT_EQ(got, "checkpoint-8");
+  EXPECT_EQ(ReadFileToString(Path("missing"), &got).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StorageTest, CheckpointBodyFraming) {
+  PosixFileFactory factory;
+  std::string body = "retained state bytes \x00\x01\x02";
+  ASSERT_OK(CommitCheckpointFile(dir_.string(), 4, body, &factory));
+  std::string current;
+  ASSERT_OK(ReadFileToString(Path("CURRENT"), &current));
+  EXPECT_EQ(current, "checkpoint-4");
+  std::string image;
+  ASSERT_OK(ReadFileToString(Path("checkpoint-4"), &image));
+  ASSERT_OK_AND_ASSIGN(std::string got, ExtractCheckpointBody(image));
+  EXPECT_EQ(got, body);
+  // Corruptions are rejected.
+  EXPECT_FALSE(ExtractCheckpointBody("").ok());
+  EXPECT_FALSE(ExtractCheckpointBody(image.substr(0, image.size() - 1)).ok());
+  std::string flipped = image;
+  flipped.back() ^= 0xFF;
+  EXPECT_FALSE(ExtractCheckpointBody(flipped).ok());
+  std::string bad_magic = image;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(ExtractCheckpointBody(bad_magic).ok());
+}
+
+// Minimal body whose header fields decode (id, clock, history size).
+std::string MiniBody(uint64_t id) {
+  std::string body;
+  codec::Writer w(&body);
+  w.U64(id);
+  w.I64(static_cast<Timestamp>(100 + id));
+  w.U64(10 * id);
+  return body;
+}
+
+TEST_F(StorageTest, LatestCheckpointFallsBackWhenCurrentIsCorrupt) {
+  PosixFileFactory factory;
+  ASSERT_OK(CommitCheckpointFile(dir_.string(), 1, MiniBody(1), &factory));
+  ASSERT_OK(CommitCheckpointFile(dir_.string(), 2, MiniBody(2), &factory));
+
+  std::string body;
+  ASSERT_OK_AND_ASSIGN(CheckpointInfo info,
+                       ReadLatestValidCheckpoint(dir_.string(), &body));
+  EXPECT_EQ(info.id, 2u);
+  EXPECT_EQ(body, MiniBody(2));
+
+  // Corrupt the live checkpoint: the loader must fall back to id 1.
+  std::string image;
+  ASSERT_OK(ReadFileToString(Path("checkpoint-2"), &image));
+  image[image.size() / 2] ^= 0xFF;
+  ASSERT_OK(WriteStringToFileAtomic(Path("checkpoint-2"), image, &factory));
+  ASSERT_OK(ReadLatestValidCheckpoint(dir_.string(), &body).status());
+  EXPECT_EQ(body, MiniBody(1));
+
+  // A garbage CURRENT name also falls back to the scan.
+  ASSERT_OK(WriteStringToFileAtomic(Path("CURRENT"), "checkpoint-99", &factory));
+  ASSERT_OK(ReadLatestValidCheckpoint(dir_.string(), &body).status());
+  EXPECT_EQ(body, MiniBody(1));
+
+  // Nothing valid at all: NotFound.
+  fs::remove(Path("checkpoint-1"));
+  EXPECT_EQ(ReadLatestValidCheckpoint(dir_.string(), &body).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StorageTest, AsyncPolicySyncsEveryInterval) {
+  PosixFileFactory factory;
+  ASSERT_OK_AND_ASSIGN(auto file, factory.OpenWritable(Path("wal.log"), true));
+  ASSERT_OK_AND_ASSIGN(WalWriter writer,
+                       WalWriter::Create(std::move(file), 0, FsyncPolicy::kAsync));
+  for (uint64_t i = 0; i < kAsyncSyncInterval + 1; ++i) {
+    ASSERT_OK(writer.AppendFiring({"r", "", static_cast<Timestamp>(i)}));
+  }
+  EXPECT_EQ(writer.stats().syncs, 1u);
+  EXPECT_EQ(writer.stats().records_appended, kAsyncSyncInterval + 1);
+  EXPECT_EQ(writer.stats().firing_records, kAsyncSyncInterval + 1);
+}
+
+}  // namespace
+}  // namespace ptldb::storage
