@@ -1,0 +1,133 @@
+// E11 — static analysis: what does registration-time linting cost, and what
+// does constant folding buy back at evaluation time?
+//
+// Two series:
+//  - BM_LintCost/<n>: LintFormula over a parsed condition with n bounded
+//    clauses — the per-registration overhead (parse excluded; it is paid
+//    either way). Counters report formula size and diagnostics emitted.
+//  - BM_EvalFolded vs BM_EvalUnfolded/<n>: incremental evaluation of a
+//    condition that is 3/4 dead (contradictory time bounds and constant
+//    comparisons) with and without lint folding. The gap is the §5 state the
+//    evaluator never has to retain for provably-constant subformulas.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "eval/incremental.h"
+#include "json_out.h"
+#include "ptl/analyzer.h"
+#include "ptl/lint.h"
+#include "ptl/parser.h"
+#include "ptl/snapshot.h"
+
+namespace ptldb {
+namespace {
+
+ptl::FormulaPtr MustParse(const std::string& text) {
+  auto f = ptl::ParseFormula(text);
+  if (!f.ok()) std::abort();
+  return *f;
+}
+
+// n clauses; every 4th is live (a real bounded window), the rest are dead:
+// constant comparisons and contradictory time bounds the linter folds away.
+std::string MixedCondition(int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (!out.empty()) out += " OR ";
+    switch (i % 4) {
+      case 0:
+        out += "WITHIN(price('IBM') >= 100, 32)";
+        break;
+      case 1:
+        out += "(1 = 2 AND price('IBM') > 0)";
+        break;
+      case 2:
+        out += "[t := time] PREVIOUSLY (price('IBM') > 0 AND time >= t + 5)";
+        break;
+      default:
+        out += "(price('IBM') > 0 AND 1 + 1 = 3)";
+        break;
+    }
+  }
+  return out;
+}
+
+void BM_LintCost(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ptl::FormulaPtr f = MustParse(MixedCondition(n));
+  size_t diags = 0, folded = 0;
+  for (auto _ : state) {
+    ptl::LintReport rep = ptl::LintFormula(f);
+    diags = rep.diagnostics.size();
+    folded = rep.folded_nodes;
+    benchmark::DoNotOptimize(rep);
+  }
+  state.counters["formula_nodes"] =
+      benchmark::Counter(static_cast<double>(ptl::FormulaSize(f)));
+  state.counters["diagnostics"] = benchmark::Counter(static_cast<double>(diags));
+  state.counters["folded_nodes"] =
+      benchmark::Counter(static_cast<double>(folded));
+  state.counters["sec_per_lint"] = benchmark::Counter(
+      static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void RunEval(benchmark::State& state, bool fold) {
+  const int n = static_cast<int>(state.range(0));
+  constexpr size_t kStates = 2000;
+  ptl::FormulaPtr f = MustParse(MixedCondition(n));
+  if (fold) {
+    ptl::LintReport rep = ptl::LintFormula(f);
+    if (rep.folded != nullptr) f = rep.folded;
+  }
+  auto shape = ptl::Analyze(f);
+  if (!shape.ok()) std::abort();
+  const size_t num_slots = shape->slots.size();
+  size_t max_live = 0;
+  double fired = 0;
+  for (auto _ : state) {
+    auto a = ptl::Analyze(f);
+    if (!a.ok()) std::abort();
+    auto ev = eval::IncrementalEvaluator::Make(std::move(a).value());
+    if (!ev.ok()) std::abort();
+    Timestamp now = 0;
+    for (size_t i = 0; i < kStates; ++i) {
+      ptl::StateSnapshot s;
+      s.seq = i;
+      s.time = ++now;
+      // One slot per surviving query occurrence, same price series for all.
+      s.query_values.assign(num_slots,
+                            Value::Int(static_cast<int64_t>(i % 7) * 20));
+      auto r = ev->Step(s);
+      if (!r.ok()) std::abort();
+      fired += *r;
+      max_live = std::max(max_live, ev->LiveNodeCount());
+      ev->MaybeCollect();
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+  state.counters["formula_nodes"] =
+      benchmark::Counter(static_cast<double>(ptl::FormulaSize(f)));
+  state.counters["max_live_nodes"] =
+      benchmark::Counter(static_cast<double>(max_live));
+  state.counters["sec_per_update"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(kStates),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_EvalFolded(benchmark::State& state) { RunEval(state, true); }
+void BM_EvalUnfolded(benchmark::State& state) { RunEval(state, false); }
+
+BENCHMARK(BM_LintCost)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_EvalFolded)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvalUnfolded)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ptldb
+
+int main(int argc, char** argv) {
+  return ptldb::bench::BenchMain(argc, argv, "lint");
+}

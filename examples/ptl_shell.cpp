@@ -21,6 +21,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -32,6 +33,7 @@
 #include "common/strings.h"
 #include "common/trace.h"
 #include "db/database.h"
+#include "ptl/lint.h"
 #include "rules/engine.h"
 #include "rules/provenance.h"
 #include "storage/durability.h"
@@ -172,6 +174,11 @@ class Shell {
           "  event <name> [literal...]\n"
           "  tick [n]         advance the clock\n"
           "  set threads <n>  shard rule evaluation over n threads\n"
+          "  set strict on|off   reject unbounded/contradictory rules at\n"
+          "                   registration (strict mode)\n"
+          "  set fold on|off  constant-fold conditions at registration\n"
+          "  lint <rule|file> static analysis: boundedness, time-bound\n"
+          "                   satisfiability, dead subformulas (PTL0xx)\n"
           "  explain <rule>   retained F formulas + node accounting\n"
           "  stats [json]     engine counters (json: full metrics snapshot)\n"
           "  trace on|off|clear | trace dump|chrome|replay <file>\n"
@@ -235,11 +242,21 @@ class Shell {
         std::printf("threads = %zu (firing order is identical at any "
                     "thread count)\n",
                     engine_.threads());
+      } else if (what == "strict" && (value == "on" || value == "off")) {
+        engine_.SetStrictRegistration(value == "on");
+        std::printf("strict registration = %s\n", value.c_str());
+      } else if (what == "fold" && (value == "on" || value == "off")) {
+        engine_.SetLintFolding(value == "on");
+        std::printf("lint folding = %s (affects rules registered from "
+                    "now on)\n",
+                    value.c_str());
       } else {
-        std::printf("usage: set threads <n>\n");
+        std::printf(
+            "usage: set threads <n> | set strict on|off | set fold on|off\n");
       }
       return true;
     }
+    if (cmd == "lint") return CmdLint(rest);
     if (cmd == "durable") return CmdDurable(rest);
     if (cmd == "checkpoint") return CmdCheckpoint();
     if (cmd == "recover") return CmdRecover(rest);
@@ -449,6 +466,10 @@ class Shell {
                 info->is_family ? " [family]" : "");
     std::printf("condition  %s\n", info->condition.c_str());
     std::printf("instances  %zu\n", info->num_instances);
+    std::printf("bounded    %s (%zu lint diagnostic(s), %zu node(s) "
+                "folded)\n",
+                ptl::BoundednessToString(info->boundedness),
+                info->lint_diagnostics, info->folded_nodes);
     std::printf("events     %s\n", Join(info->event_names, ", ").c_str());
     std::printf("retained   %zu node(s)\n", info->retained_nodes);
     std::printf("steps      %llu\n",
@@ -657,6 +678,31 @@ class Shell {
             durability_->states_since_checkpoint()),
         durability_->status().ok() ? "ok"
                                    : durability_->status().ToString().c_str());
+    return true;
+  }
+
+  bool CmdLint(const std::string& target) {
+    if (target.empty()) {
+      std::printf("usage: lint <rule|file>\n");
+      return true;
+    }
+    // A registered rule name wins; otherwise treat the argument as a path
+    // to a rule file (one `name := condition` per line).
+    auto text = engine_.Lint(target);
+    if (text.ok()) {
+      std::printf("%s", text->c_str());
+      return true;
+    }
+    std::ifstream in{std::string(target)};
+    if (!in) {
+      std::printf("error: no rule named '%s' and no such file\n",
+                  target.c_str());
+      return true;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    ptl::FileLintResult res = ptl::LintRulesText(buf.str());
+    std::printf("%s\n", res.rendered.c_str());
     return true;
   }
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "ptl/lint.h"
 #include "ptl/naive_eval.h"
 
 namespace ptldb::eval {
@@ -477,28 +478,20 @@ Result<NodeId> Graph::PruneTimeBounds(NodeId root, Timestamp now) {
           ptl::CmpOp cmp;
           Value bound;
           if (g->NormalizeTimeAtom(n, &cmp, &bound)) {
-            // All future substitutions of a time variable are >= now.
+            // All future substitutions of a time variable are >= now. The
+            // decision table is shared with the linter's guard analysis
+            // (ptl::DecideTimeAtom) so static classification and runtime
+            // pruning cannot drift apart.
             auto c = Value::Compare(Value::Int(now), bound);
             if (c.ok()) {
-              int rel = c.value();  // now vs bound
-              switch (cmp) {
-                case ptl::CmpOp::kLe:  // t <= B: dead once now > B
-                  if (rel > 0) out = kFalseNode;
+              switch (ptl::DecideTimeAtom(cmp, c.value())) {
+                case ptl::TimeAtomFate::kSettlesFalse:
+                  out = kFalseNode;
                   break;
-                case ptl::CmpOp::kLt:  // t < B: dead once now >= B
-                  if (rel >= 0) out = kFalseNode;
+                case ptl::TimeAtomFate::kSettlesTrue:
+                  out = kTrueNode;
                   break;
-                case ptl::CmpOp::kGe:  // t >= B: settled once now >= B
-                  if (rel >= 0) out = kTrueNode;
-                  break;
-                case ptl::CmpOp::kGt:  // t > B: settled once now > B
-                  if (rel > 0) out = kTrueNode;
-                  break;
-                case ptl::CmpOp::kEq:  // t = B: dead once now > B
-                  if (rel > 0) out = kFalseNode;
-                  break;
-                case ptl::CmpOp::kNe:  // t != B: settled once now > B
-                  if (rel > 0) out = kTrueNode;
+                case ptl::TimeAtomFate::kUndecided:
                   break;
               }
             }

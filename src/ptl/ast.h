@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/value.h"
+#include "ptl/diagnostics.h"
 
 namespace ptldb::ptl {
 
@@ -66,6 +67,9 @@ struct Term {
   FormulaPtr agg_start;           // kAgg: start formula (phi)
   FormulaPtr agg_sample;          // kAgg: sampling formula (psi)
   Timestamp window_width = 0;     // kWindowAgg
+  // Byte range in the source this term was parsed from; invalid (0,0) for
+  // terms built programmatically or synthesized by desugaring/rewrites.
+  SourceSpan span;
 
   std::string ToString() const;
 };
@@ -94,6 +98,9 @@ struct Formula {
   std::string var;                 // kBind
   TermPtr bind_term;               // kBind
   FormulaPtr left, right;          // children (unary ops use `left`)
+  // Byte range in the source this formula was parsed from; invalid (0,0)
+  // for nodes built programmatically or synthesized by desugaring/rewrites.
+  SourceSpan span;
 
   std::string ToString() const;
 };

@@ -1,0 +1,98 @@
+#include "ptl/diagnostics.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ptldb::ptl {
+
+SourceSpan SourceSpan::Cover(SourceSpan a, SourceSpan b) {
+  if (!a.valid()) return b;
+  if (!b.valid()) return a;
+  return SourceSpan{std::min(a.begin, b.begin), std::max(a.end, b.end)};
+}
+
+const char* SeverityToString(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string DiagCodeName(DiagCode code) {
+  int n = static_cast<int>(code);
+  return StrCat("PTL", n / 100, (n / 10) % 10, n % 10);
+}
+
+const char* DiagCodeSummary(DiagCode code) {
+  switch (code) {
+    case DiagCode::kParseError:
+      return "syntax error";
+    case DiagCode::kUnboundedRetained:
+      return "retained state grows without bound (no prunable time guard)";
+    case DiagCode::kContradictoryBound:
+      return "time bound can never hold at this position";
+    case DiagCode::kTautologicalBound:
+      return "time bound always holds at this position";
+    case DiagCode::kConstantSubformula:
+      return "constant subformula folded out of the evaluation graph";
+    case DiagCode::kNeverFires:
+      return "condition is constant false: the rule can never fire";
+    case DiagCode::kAlwaysFires:
+      return "condition is constant true: the rule fires on every state";
+  }
+  return "?";
+}
+
+Severity DiagCodeSeverity(DiagCode code) {
+  switch (code) {
+    case DiagCode::kParseError:
+    case DiagCode::kNeverFires:
+      return Severity::kError;
+    case DiagCode::kConstantSubformula:
+      return Severity::kNote;
+    case DiagCode::kUnboundedRetained:
+    case DiagCode::kContradictoryBound:
+    case DiagCode::kTautologicalBound:
+    case DiagCode::kAlwaysFires:
+      return Severity::kWarning;
+  }
+  return Severity::kWarning;
+}
+
+std::string RenderCaret(std::string_view source, SourceSpan span) {
+  if (!span.valid() || span.begin >= source.size()) return "";
+  // Recover the line containing span.begin.
+  size_t line_start = source.rfind('\n', span.begin);
+  line_start = line_start == std::string_view::npos ? 0 : line_start + 1;
+  size_t line_end = source.find('\n', line_start);
+  if (line_end == std::string_view::npos) line_end = source.size();
+  std::string_view line = source.substr(line_start, line_end - line_start);
+  size_t col = span.begin - line_start;
+  size_t len = std::min(span.end, line_end) - span.begin;
+  if (len == 0) len = 1;
+  std::string out;
+  out.append("  ").append(line).append("\n  ");
+  out.append(col, ' ');
+  out.push_back('^');
+  out.append(len - 1, '~');
+  return out;
+}
+
+std::string RenderDiagnostic(const Diagnostic& d, std::string_view source) {
+  std::string out = StrCat(DiagCodeName(d.code), " ",
+                           SeverityToString(d.severity), ": ", d.message);
+  std::string caret = RenderCaret(source, d.span);
+  if (!caret.empty()) {
+    out.push_back('\n');
+    out += caret;
+  }
+  return out;
+}
+
+}  // namespace ptldb::ptl

@@ -1,0 +1,80 @@
+// Structured diagnostics for the PTL front end (lexer/parser/linter).
+//
+// Every diagnostic carries a stable PTL0xx code, a severity, a message, and a
+// half-open source span [begin, end) into the condition text it was produced
+// from. Rendering recovers the offending source line and underlines the span
+// with a caret (`^~~~`), the way mainstream compilers report errors:
+//
+//   rule 'hot' PTL002 warning: time bound can never hold here
+//     [t := time] PREVIOUSLY (p > 50 AND time >= t + 5)
+//                                        ^~~~~~~~~~~~~
+//
+// Spans are byte offsets. Nodes built programmatically (the C++ AST builders)
+// have no span; rendering degrades gracefully to the message alone.
+
+#ifndef PTLDB_PTL_DIAGNOSTICS_H_
+#define PTLDB_PTL_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptldb::ptl {
+
+/// Half-open byte range [begin, end) into a source string. A default
+/// constructed span (begin == end == 0) means "no source location".
+struct SourceSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool valid() const { return end > begin; }
+  /// Smallest span covering both inputs; invalid inputs are ignored.
+  static SourceSpan Cover(SourceSpan a, SourceSpan b);
+};
+
+enum class Severity { kNote, kWarning, kError };
+const char* SeverityToString(Severity s);
+
+/// Stable diagnostic codes. Codes are append-only: renumbering would break
+/// golden tests and any downstream tooling keyed on them.
+enum class DiagCode {
+  kParseError = 0,         // PTL000: syntax error (lexer/parser)
+  kUnboundedRetained = 1,  // PTL001: retained state grows with history
+  kContradictoryBound = 2, // PTL002: time bound can never hold
+  kTautologicalBound = 3,  // PTL003: time bound always holds
+  kConstantSubformula = 4, // PTL004: constant subformula folded out
+  kNeverFires = 5,         // PTL005: whole condition is constant false
+  kAlwaysFires = 6,        // PTL006: whole condition is constant true
+};
+
+/// "PTL001", "PTL002", ... (stable, zero-padded to three digits).
+std::string DiagCodeName(DiagCode code);
+/// One-line description of what the code means (for `ptldb-lint --codes`).
+const char* DiagCodeSummary(DiagCode code);
+/// Default severity a code is issued at (strict mode may upgrade).
+Severity DiagCodeSeverity(DiagCode code);
+
+struct Diagnostic {
+  DiagCode code = DiagCode::kParseError;
+  Severity severity = Severity::kWarning;
+  std::string message;
+  SourceSpan span;  // into the source the formula was parsed from
+};
+
+/// Renders the source line containing `span` with a caret underline:
+///
+///   "  <line>\n  <spaces>^~~~"
+///
+/// Multi-line sources are supported (the line containing span.begin is
+/// shown; the underline is clamped to that line). Returns "" when the span
+/// is invalid or out of range, so callers can append unconditionally.
+std::string RenderCaret(std::string_view source, SourceSpan span);
+
+/// "PTL002 warning: <message>" plus, when `source` is non-empty and the span
+/// is valid, the caret rendering on following lines.
+std::string RenderDiagnostic(const Diagnostic& d, std::string_view source);
+
+}  // namespace ptldb::ptl
+
+#endif  // PTLDB_PTL_DIAGNOSTICS_H_

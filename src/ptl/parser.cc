@@ -1,14 +1,22 @@
 #include "ptl/parser.h"
 
+#include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <optional>
 #include <vector>
 
 #include "common/strings.h"
+#include "ptl/diagnostics.h"
 
 namespace ptldb::ptl {
 
 namespace {
+
+// Recursion ceiling for the descent parser. Deeply nested input (thousands of
+// parentheses or NOTs) must come back as a ParseError, not a stack overflow —
+// the parser is exposed to untrusted rule text and to the fuzz harness.
+constexpr int kMaxParseDepth = 200;
 
 // ---- Lexer ------------------------------------------------------------------
 
@@ -20,7 +28,20 @@ struct Token {
   int64_t int_value = 0;
   double float_value = 0;
   size_t pos = 0;
+  size_t len = 0;
 };
+
+/// Error text shared by the lexer and parser: message, offset, and — when the
+/// span lands inside the source — the offending line with a caret underline.
+Status ErrorAt(std::string_view source, std::string_view msg, SourceSpan span) {
+  std::string out = StrCat(msg, " at offset ", span.begin);
+  std::string caret = RenderCaret(source, span);
+  if (!caret.empty()) {
+    out.push_back('\n');
+    out += caret;
+  }
+  return Status::ParseError(out);
+}
 
 Result<std::vector<Token>> Tokenize(std::string_view input) {
   std::vector<Token> out;
@@ -60,13 +81,22 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
         }
         ++pos;
       }
-      std::string num(input.substr(start, pos - start));
+      // std::from_chars reports overflow via an error code instead of
+      // throwing (std::stoll aborts the process on "9" * 40 under
+      // -fno-exceptions and throws otherwise — either way, not a Status).
+      const char* first = input.data() + start;
+      const char* last = input.data() + pos;
+      std::from_chars_result r{};
       if (is_float) {
         t.kind = Tok::kFloat;
-        t.float_value = std::stod(num);
+        r = std::from_chars(first, last, t.float_value);
       } else {
         t.kind = Tok::kInt;
-        t.int_value = std::stoll(num);
+        r = std::from_chars(first, last, t.int_value);
+      }
+      if (r.ec != std::errc() || r.ptr != last) {
+        return ErrorAt(input, "numeric literal out of range",
+                       SourceSpan{start, pos});
       }
     } else if (c == '\'' || c == '"') {
       const char quote = c;
@@ -74,8 +104,8 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       std::string s;
       while (pos < input.size() && input[pos] != quote) s += input[pos++];
       if (pos >= input.size()) {
-        return Status::ParseError(
-            StrCat("unterminated string literal at offset ", t.pos));
+        return ErrorAt(input, "unterminated string literal",
+                       SourceSpan{t.pos, input.size()});
       }
       ++pos;
       t.kind = Tok::kString;
@@ -93,9 +123,10 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       if (sym.empty()) {
         static const std::string kOneChar = "()[],;*+-/%=<>@$";
         if (kOneChar.find(c) == std::string::npos) {
-          return Status::ParseError(StrCat("unexpected character '",
-                                           std::string(1, c), "' at offset ",
-                                           pos));
+          return ErrorAt(input,
+                         StrCat("unexpected character '", std::string(1, c),
+                                "'"),
+                         SourceSpan{pos, pos + 1});
         }
         sym = std::string(1, c);
       }
@@ -103,6 +134,7 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       t.kind = Tok::kSymbol;
       t.text = sym;
     }
+    t.len = pos - t.pos;
     out.push_back(std::move(t));
   }
   Token end;
@@ -147,9 +179,26 @@ bool IsReservedWord(const std::string& ident) {
          WindowAggFnFromName(lower).has_value();
 }
 
+// Stamps a source span onto a freshly built AST node. The builders return
+// shared_ptr<const T>, but right after construction the parser is the sole
+// owner, so the cast cannot race or surprise an aliasing reader.
+FormulaPtr Spanned(FormulaPtr f, size_t begin, size_t end) {
+  if (f != nullptr && end > begin) {
+    const_cast<Formula*>(f.get())->span = SourceSpan{begin, end};
+  }
+  return f;
+}
+TermPtr Spanned(TermPtr t, size_t begin, size_t end) {
+  if (t != nullptr && end > begin) {
+    const_cast<Term*>(t.get())->span = SourceSpan{begin, end};
+  }
+  return t;
+}
+
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::string_view source, std::vector<Token> tokens)
+      : source_(source), tokens_(std::move(tokens)) {}
 
   Result<FormulaPtr> ParseTop() {
     PTLDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseOr());
@@ -168,14 +217,32 @@ class Parser {
   }
 
  private:
+  // Bumps the recursion depth for the lifetime of one recursive production.
+  struct DepthGuard {
+    explicit DepthGuard(int& depth) : depth_(depth) { ++depth_; }
+    ~DepthGuard() { --depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    int& depth_;
+  };
+
   const Token& Peek(size_t ahead = 0) const {
     size_t i = pos_ + ahead;
     return i < tokens_.size() ? tokens_[i] : tokens_.back();
   }
   const Token& Next() { return tokens_[pos_++]; }
+  /// Byte offset just past the most recently consumed token — the `end` of
+  /// any node whose parse finished here.
+  size_t PrevEnd() const {
+    if (pos_ == 0) return 0;
+    const Token& t = tokens_[pos_ - 1];
+    return t.pos + t.len;
+  }
 
   Status Error(std::string msg) const {
-    return Status::ParseError(StrCat(msg, " (at offset ", Peek().pos, ")"));
+    const Token& t = Peek();
+    return ErrorAt(source_, msg,
+                   SourceSpan{t.pos, t.pos + std::max<size_t>(t.len, 1)});
   }
 
   bool MatchKw(std::string_view kw) {
@@ -208,48 +275,56 @@ class Parser {
   // -- formulas --
 
   Result<FormulaPtr> ParseOr() {
+    DepthGuard guard(depth_);
+    if (depth_ > kMaxParseDepth) return Error("formula too deeply nested");
+    size_t begin = Peek().pos;
     PTLDB_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseAnd());
     while (MatchKw("OR")) {
       PTLDB_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseAnd());
-      lhs = Or(std::move(lhs), std::move(rhs));
+      lhs = Spanned(Or(std::move(lhs), std::move(rhs)), begin, PrevEnd());
     }
     return lhs;
   }
 
   Result<FormulaPtr> ParseAnd() {
+    size_t begin = Peek().pos;
     PTLDB_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseSince());
     while (MatchKw("AND")) {
       PTLDB_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseSince());
-      lhs = And(std::move(lhs), std::move(rhs));
+      lhs = Spanned(And(std::move(lhs), std::move(rhs)), begin, PrevEnd());
     }
     return lhs;
   }
 
   Result<FormulaPtr> ParseSince() {
+    size_t begin = Peek().pos;
     PTLDB_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseUnary());
     while (MatchKw("SINCE")) {
       PTLDB_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseUnary());
-      lhs = Since(std::move(lhs), std::move(rhs));
+      lhs = Spanned(Since(std::move(lhs), std::move(rhs)), begin, PrevEnd());
     }
     return lhs;
   }
 
   Result<FormulaPtr> ParseUnary() {
+    DepthGuard guard(depth_);
+    if (depth_ > kMaxParseDepth) return Error("formula too deeply nested");
+    size_t begin = Peek().pos;
     if (MatchKw("NOT")) {
       PTLDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
-      return Not(std::move(f));
+      return Spanned(Not(std::move(f)), begin, PrevEnd());
     }
     if (MatchKw("PREVIOUSLY")) {
       PTLDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
-      return Previously(std::move(f));
+      return Spanned(Previously(std::move(f)), begin, PrevEnd());
     }
     if (MatchKw("LASTTIME")) {
       PTLDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
-      return Lasttime(std::move(f));
+      return Spanned(Lasttime(std::move(f)), begin, PrevEnd());
     }
     if (MatchKw("THROUGHOUT_PAST")) {
       PTLDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
-      return ThroughoutPast(std::move(f));
+      return Spanned(ThroughoutPast(std::move(f)), begin, PrevEnd());
     }
     if (IsKw(Peek(), "WITHIN") || IsKw(Peek(), "HELDFOR")) {
       bool is_within = IsKw(Peek(), "WITHIN");
@@ -260,33 +335,41 @@ class Parser {
       PTLDB_ASSIGN_OR_RETURN(Timestamp w, ExpectIntLiteral());
       PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
       std::string t = StrCat("#t", fresh_vars_++);
-      return is_within ? Within(std::move(f), w, std::move(t))
-                       : HeldFor(std::move(f), w, std::move(t));
+      FormulaPtr sugar = is_within ? Within(std::move(f), w, std::move(t))
+                                   : HeldFor(std::move(f), w, std::move(t));
+      // The desugared tree is synthetic; the root span points diagnostics
+      // about the whole bounded operator at the source WITHIN/HELDFOR call.
+      return Spanned(std::move(sugar), begin, PrevEnd());
     }
     if (MatchSym("[")) {
+      size_t var_pos = Peek().pos;
       PTLDB_ASSIGN_OR_RETURN(std::string var, ExpectIdent());
       if (IsReservedWord(var)) {
-        return Error(StrCat("'", var, "' is reserved and cannot be a variable"));
+        return ErrorAt(
+            source_, StrCat("'", var, "' is reserved and cannot be a variable"),
+            SourceSpan{var_pos, var_pos + var.size()});
       }
       PTLDB_RETURN_IF_ERROR(ExpectSym(":="));
       PTLDB_ASSIGN_OR_RETURN(TermPtr term, ParseTermExpr());
       PTLDB_RETURN_IF_ERROR(ExpectSym("]"));
       PTLDB_ASSIGN_OR_RETURN(FormulaPtr body, ParseUnary());
-      return Bind(std::move(var), std::move(term), std::move(body));
+      return Spanned(Bind(std::move(var), std::move(term), std::move(body)),
+                     begin, PrevEnd());
     }
     return ParsePrimary();
   }
 
   Result<FormulaPtr> ParsePrimary() {
+    size_t begin = Peek().pos;
     if (IsKw(Peek(), "TRUE") && !(Peek(1).kind == Tok::kSymbol &&
                                   Peek(1).text == "(")) {
       ++pos_;
-      return True();
+      return Spanned(True(), begin, PrevEnd());
     }
     if (IsKw(Peek(), "FALSE") && !(Peek(1).kind == Tok::kSymbol &&
                                    Peek(1).text == "(")) {
       ++pos_;
-      return False();
+      return Spanned(False(), begin, PrevEnd());
     }
     if (MatchSym("@")) {
       PTLDB_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
@@ -300,25 +383,33 @@ class Parser {
           PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
         }
       }
-      return EventAtom(std::move(name), std::move(args));
+      return Spanned(EventAtom(std::move(name), std::move(args)), begin,
+                     PrevEnd());
     }
     // Either `term cmp term` or a parenthesized formula: try the comparison
     // first, backtracking on failure.
     size_t saved = pos_;
-    {
-      Result<FormulaPtr> cmp = TryParseComparison();
-      if (cmp.ok()) return cmp;
-    }
+    Result<FormulaPtr> cmp = TryParseComparison();
+    if (cmp.ok()) return cmp;
+    size_t cmp_pos = pos_;
     pos_ = saved;
     if (MatchSym("(")) {
       PTLDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseOr());
       PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
       return f;
     }
-    return Error(StrCat("expected formula, got '", Peek().text, "'"));
+    // The comparison attempt's error is the specific one whenever it
+    // consumed tokens before failing (e.g. `price(` or `1 +`).
+    if (cmp_pos > saved) return cmp.status();
+    const Token& t = Peek();
+    return Error(StrCat("expected formula, got ",
+                        t.kind == Tok::kEnd
+                            ? std::string("end of input")
+                            : StrCat("'", source_.substr(t.pos, t.len), "'")));
   }
 
   Result<FormulaPtr> TryParseComparison() {
+    size_t begin = Peek().pos;
     PTLDB_ASSIGN_OR_RETURN(TermPtr lhs, ParseTermExpr());
     std::optional<CmpOp> op;
     if (Peek().kind == Tok::kSymbol) {
@@ -333,7 +424,8 @@ class Parser {
     if (!op.has_value()) return Error("expected comparison operator");
     ++pos_;
     PTLDB_ASSIGN_OR_RETURN(TermPtr rhs, ParseTermExpr());
-    return Compare(*op, std::move(lhs), std::move(rhs));
+    return Spanned(Compare(*op, std::move(lhs), std::move(rhs)), begin,
+                   PrevEnd());
   }
 
   // -- terms --
@@ -341,17 +433,20 @@ class Parser {
   Result<TermPtr> ParseTermExpr() { return ParseAdditive(); }
 
   Result<TermPtr> ParseAdditive() {
+    size_t begin = Peek().pos;
     PTLDB_ASSIGN_OR_RETURN(TermPtr lhs, ParseMultiplicative());
     while (Peek().kind == Tok::kSymbol &&
            (Peek().text == "+" || Peek().text == "-")) {
       ArithOp op = Next().text == "+" ? ArithOp::kAdd : ArithOp::kSub;
       PTLDB_ASSIGN_OR_RETURN(TermPtr rhs, ParseMultiplicative());
-      lhs = Arith(op, {std::move(lhs), std::move(rhs)});
+      lhs = Spanned(Arith(op, {std::move(lhs), std::move(rhs)}), begin,
+                    PrevEnd());
     }
     return lhs;
   }
 
   Result<TermPtr> ParseMultiplicative() {
+    size_t begin = Peek().pos;
     PTLDB_ASSIGN_OR_RETURN(TermPtr lhs, ParseUnaryTerm());
     while (Peek().kind == Tok::kSymbol &&
            (Peek().text == "*" || Peek().text == "/" || Peek().text == "%")) {
@@ -360,49 +455,56 @@ class Parser {
                    : sym == "/" ? ArithOp::kDiv
                                 : ArithOp::kMod;
       PTLDB_ASSIGN_OR_RETURN(TermPtr rhs, ParseUnaryTerm());
-      lhs = Arith(op, {std::move(lhs), std::move(rhs)});
+      lhs = Spanned(Arith(op, {std::move(lhs), std::move(rhs)}), begin,
+                    PrevEnd());
     }
     return lhs;
   }
 
   Result<TermPtr> ParseUnaryTerm() {
+    DepthGuard guard(depth_);
+    if (depth_ > kMaxParseDepth) return Error("term too deeply nested");
+    size_t begin = Peek().pos;
     if (Peek().kind == Tok::kSymbol && Peek().text == "-") {
       ++pos_;
       // Fold a minus on a numeric literal into a negative constant (so the
       // printed form of negative constants round-trips).
       if (Peek().kind == Tok::kInt) {
-        return Const(Value::Int(-Next().int_value));
+        return Spanned(Const(Value::Int(-Next().int_value)), begin, PrevEnd());
       }
       if (Peek().kind == Tok::kFloat) {
-        return Const(Value::Real(-Next().float_value));
+        return Spanned(Const(Value::Real(-Next().float_value)), begin,
+                       PrevEnd());
       }
       PTLDB_ASSIGN_OR_RETURN(TermPtr t, ParseUnaryTerm());
-      return Arith(ArithOp::kNeg, {std::move(t)});
+      return Spanned(Arith(ArithOp::kNeg, {std::move(t)}), begin, PrevEnd());
     }
     return ParsePrimaryTerm();
   }
 
   Result<TermPtr> ParsePrimaryTerm() {
     const Token& t = Peek();
+    size_t begin = t.pos;
     switch (t.kind) {
       case Tok::kInt:
-        return Const(Value::Int(Next().int_value));
+        return Spanned(Const(Value::Int(Next().int_value)), begin, PrevEnd());
       case Tok::kFloat:
-        return Const(Value::Real(Next().float_value));
+        return Spanned(Const(Value::Real(Next().float_value)), begin,
+                       PrevEnd());
       case Tok::kString:
-        return Const(Value::Str(Next().text));
+        return Spanned(Const(Value::Str(Next().text)), begin, PrevEnd());
       case Tok::kIdent: {
         if (IsKw(t, "TIME")) {
           ++pos_;
-          return TimeTerm();
+          return Spanned(TimeTerm(), begin, PrevEnd());
         }
         if (IsKw(t, "TRUE")) {
           ++pos_;
-          return Const(Value::Bool(true));
+          return Spanned(Const(Value::Bool(true)), begin, PrevEnd());
         }
         if (IsKw(t, "FALSE")) {
           ++pos_;
-          return Const(Value::Bool(false));
+          return Spanned(Const(Value::Bool(false)), begin, PrevEnd());
         }
         // Aggregate call?
         bool applied =
@@ -431,15 +533,16 @@ class Parser {
             } while (MatchSym(","));
             PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
           }
-          return QueryRef(std::move(name), std::move(args));
+          return Spanned(QueryRef(std::move(name), std::move(args)), begin,
+                         PrevEnd());
         }
-        return Var(std::move(name));
+        return Spanned(Var(std::move(name)), begin, PrevEnd());
       }
       case Tok::kSymbol:
         if (t.text == "$") {
           ++pos_;
           PTLDB_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
-          return Var(std::move(name));
+          return Spanned(Var(std::move(name)), begin, PrevEnd());
         }
         if (t.text == "(") {
           ++pos_;
@@ -452,10 +555,14 @@ class Parser {
       default:
         break;
     }
-    return Error(StrCat("expected term, got '", t.text, "'"));
+    return Error(StrCat("expected term, got ",
+                        t.kind == Tok::kEnd
+                            ? std::string("end of input")
+                            : StrCat("'", source_.substr(t.pos, t.len), "'")));
   }
 
   Result<TermPtr> ParseAggCall(TemporalAggFn fn) {
+    size_t begin = Peek().pos;
     ++pos_;  // aggregate name
     PTLDB_RETURN_IF_ERROR(ExpectSym("("));
     PTLDB_ASSIGN_OR_RETURN(TermPtr query, ParsePrimaryTerm());
@@ -467,10 +574,13 @@ class Parser {
     PTLDB_RETURN_IF_ERROR(ExpectSym(";"));
     PTLDB_ASSIGN_OR_RETURN(FormulaPtr sample, ParseOr());
     PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
-    return AggTerm(fn, std::move(query), std::move(start), std::move(sample));
+    return Spanned(
+        AggTerm(fn, std::move(query), std::move(start), std::move(sample)),
+        begin, PrevEnd());
   }
 
   Result<TermPtr> ParseWindowAggCall(TemporalAggFn fn) {
+    size_t begin = Peek().pos;
     ++pos_;  // aggregate name
     PTLDB_RETURN_IF_ERROR(ExpectSym("("));
     PTLDB_ASSIGN_OR_RETURN(TermPtr query, ParsePrimaryTerm());
@@ -480,11 +590,14 @@ class Parser {
     PTLDB_RETURN_IF_ERROR(ExpectSym(","));
     PTLDB_ASSIGN_OR_RETURN(Timestamp width, ExpectIntLiteral());
     PTLDB_RETURN_IF_ERROR(ExpectSym(")"));
-    return WindowAggTerm(fn, std::move(query), width);
+    return Spanned(WindowAggTerm(fn, std::move(query), width), begin,
+                   PrevEnd());
   }
 
+  std::string_view source_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
   // Per-parse numbering of desugared bounded operators: parsing the same
   // text always yields the same fresh variable names, so a condition's
   // printed form is stable across process restarts (checkpoint restore
@@ -496,13 +609,13 @@ class Parser {
 
 Result<FormulaPtr> ParseFormula(std::string_view text) {
   PTLDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  Parser parser(std::move(tokens));
+  Parser parser(text, std::move(tokens));
   return parser.ParseTop();
 }
 
 Result<TermPtr> ParseTerm(std::string_view text) {
   PTLDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  Parser parser(std::move(tokens));
+  Parser parser(text, std::move(tokens));
   return parser.ParseTermTop();
 }
 

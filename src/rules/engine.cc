@@ -120,7 +120,12 @@ void RuleEngine::RefreshDerivedMetrics(Metrics& m) {
       .Set(static_cast<int64_t>(batch_queue_.size()));
   size_t instances = 0, live = 0, store = 0;
   uint64_t collections = 0, prune_hits = 0, subsume_hits = 0;
+  int64_t unbounded_rules = 0, folded_nodes = 0;
   for (const auto& rule : rules_) {
+    if (rule->lint.boundedness == ptl::Boundedness::kUnbounded) {
+      ++unbounded_rules;
+    }
+    folded_nodes += static_cast<int64_t>(rule->lint.folded_nodes);
     size_t rule_live = 0, rule_store = 0;
     uint64_t rule_steps = 0;
     for (const auto& instance : rule->instances) {
@@ -140,7 +145,11 @@ void RuleEngine::RefreshDerivedMetrics(Metrics& m) {
     m.gauge(base + ".fires").Set(static_cast<int64_t>(rule->fires));
     m.gauge(base + ".retained_nodes").Set(static_cast<int64_t>(rule_live));
     m.gauge(base + ".store_nodes").Set(static_cast<int64_t>(rule_store));
+    m.gauge(base + ".boundedness")
+        .Set(static_cast<int64_t>(rule->lint.boundedness));
   }
+  m.gauge("lint.unbounded_rules").Set(unbounded_rules);
+  m.gauge("lint.folded_nodes").Set(folded_nodes);
   m.gauge("engine.instances").Set(static_cast<int64_t>(instances));
   m.gauge("evaluator.live_nodes").Set(static_cast<int64_t>(live));
   m.gauge("evaluator.store_nodes").Set(static_cast<int64_t>(store));
@@ -228,7 +237,9 @@ Status RuleEngine::AddTrigger(const std::string& name,
                               std::string_view condition, ActionFn action,
                               RuleOptions options) {
   PTLDB_ASSIGN_OR_RETURN(ptl::FormulaPtr f, ptl::ParseFormula(condition));
-  return AddTriggerFormula(name, std::move(f), std::move(action), options);
+  return AddRuleInternal(name, std::move(f), std::move(action), options,
+                         /*is_ic=*/false, /*is_family=*/false, "", {},
+                         std::string(condition));
 }
 
 Status RuleEngine::AddTriggerFormula(const std::string& name,
@@ -241,7 +252,11 @@ Status RuleEngine::AddTriggerFormula(const std::string& name,
 Status RuleEngine::AddIntegrityConstraint(const std::string& name,
                                           std::string_view constraint) {
   PTLDB_ASSIGN_OR_RETURN(ptl::FormulaPtr c, ptl::ParseFormula(constraint));
-  return AddIntegrityConstraintFormula(name, std::move(c));
+  // The negation wrapper is synthesized (no span); inner spans still point
+  // into the constraint text, so diagnostics render against it.
+  return AddRuleInternal(name, ptl::Not(std::move(c)), nullptr, RuleOptions{},
+                         /*is_ic=*/true, /*is_family=*/false, "", {},
+                         std::string(constraint));
 }
 
 Status RuleEngine::AddIntegrityConstraintFormula(const std::string& name,
@@ -258,9 +273,13 @@ Status RuleEngine::AddTriggerFamily(const std::string& name,
                                     std::vector<std::string> param_names,
                                     std::string_view condition, ActionFn action,
                                     RuleOptions options) {
+  if (param_names.empty()) {
+    return Status::InvalidArgument("rule family needs at least one parameter");
+  }
   PTLDB_ASSIGN_OR_RETURN(ptl::FormulaPtr f, ptl::ParseFormula(condition));
-  return AddTriggerFamilyFormula(name, domain_sql, std::move(param_names),
-                                 std::move(f), std::move(action), options);
+  return AddRuleInternal(name, std::move(f), std::move(action), options,
+                         /*is_ic=*/false, /*is_family=*/true, domain_sql,
+                         std::move(param_names), std::string(condition));
 }
 
 Status RuleEngine::AddTriggerFamilyFormula(const std::string& name,
@@ -281,7 +300,8 @@ Status RuleEngine::AddRuleInternal(std::string name, ptl::FormulaPtr condition,
                                    ActionFn action, RuleOptions options,
                                    bool is_ic, bool is_family,
                                    std::string_view domain_sql,
-                                   std::vector<std::string> param_names) {
+                                   std::vector<std::string> param_names,
+                                   std::string source) {
   if (dispatch_depth_ > 0) {
     return Status::InvalidArgument(
         "rules cannot be added from within rule actions");
@@ -289,6 +309,24 @@ Status RuleEngine::AddRuleInternal(std::string name, ptl::FormulaPtr condition,
   if (rule_index_.count(name) > 0) {
     return Status::AlreadyExists(StrCat("rule '", name, "' already exists"));
   }
+
+  // Static analysis runs before the aggregate rewrite, so strict rejection
+  // leaves no generated system rules or auxiliary tables behind, and folding
+  // shrinks what both the rewriter and the evaluator see.
+  ptl::LintOptions lint_opts;
+  lint_opts.fold = lint_folding_;
+  ptl::LintReport lint = ptl::LintFormula(condition, lint_opts);
+  if (strict_registration_ &&
+      (lint.has_errors() ||
+       lint.boundedness == ptl::Boundedness::kUnbounded)) {
+    std::string rendered = lint.Render(source);
+    return Status::InvalidArgument(
+        StrCat("rule '", name, "' rejected by strict registration "
+               "(retained state: ",
+               ptl::BoundednessToString(lint.boundedness), ")",
+               rendered.empty() ? "" : "\n", rendered));
+  }
+  if (lint_folding_ && lint.folded != nullptr) condition = lint.folded;
 
   if (options.aggregate_mode == AggregateMode::kRewrite) {
     if (is_family) {
@@ -308,6 +346,8 @@ Status RuleEngine::AddRuleInternal(std::string name, ptl::FormulaPtr condition,
   rule->condition = std::move(condition);
   rule->action = std::move(action);
   rule->options = options;
+  rule->source = std::move(source);
+  rule->lint = std::move(lint);
   rule->is_ic = is_ic;
   rule->is_family = is_family;
   rule->param_names = std::move(param_names);
@@ -393,6 +433,11 @@ Status RuleEngine::MaterializeRewrite(const std::string& rule_name,
     auto rule = std::make_unique<Rule>();
     rule->name = sys.name;
     rule->condition = sys.condition;
+    // Classify (but never fold or reject) generated conditions so the
+    // boundedness gauges account for them too.
+    ptl::LintOptions lint_opts;
+    lint_opts.fold = false;
+    rule->lint = ptl::LintFormula(rule->condition, lint_opts);
     rule->is_system = true;
     rule->sys_op = sys.op;
     rule->sys_item = sys.item;
@@ -1037,6 +1082,25 @@ Status RuleEngine::Flush() {
   return Status::OK();
 }
 
+Result<std::string> RuleEngine::Lint(const std::string& name) const {
+  auto it = rule_index_.find(name);
+  if (it == rule_index_.end()) {
+    return Status::NotFound(StrCat("no rule named '", name, "'"));
+  }
+  const Rule& rule = *rules_[it->second];
+  std::ostringstream out;
+  out << "rule " << rule.name << "\n";
+  out << "boundedness: " << ptl::BoundednessToString(rule.lint.boundedness)
+      << "\n";
+  out << "folded nodes: " << rule.lint.folded_nodes << "\n";
+  if (rule.lint.diagnostics.empty()) {
+    out << "no diagnostics\n";
+  } else {
+    out << rule.lint.Render(rule.source) << "\n";
+  }
+  return out.str();
+}
+
 Result<RuleEngine::RuleInfo> RuleEngine::Describe(const std::string& name) const {
   auto it = rule_index_.find(name);
   if (it == rule_index_.end()) {
@@ -1052,6 +1116,9 @@ Result<RuleEngine::RuleInfo> RuleEngine::Describe(const std::string& name) const
   info.num_instances = rule.instances.size();
   info.event_names.assign(rule.event_names.begin(), rule.event_names.end());
   info.fires = rule.fires;
+  info.boundedness = rule.lint.boundedness;
+  info.lint_diagnostics = rule.lint.diagnostics.size();
+  info.folded_nodes = rule.lint.folded_nodes;
   for (const auto& instance : rule.instances) {
     info.retained_nodes += instance->ev.LiveNodeCount();
     info.store_nodes += instance->ev.StoreNodeCount();
@@ -1074,6 +1141,10 @@ Result<std::string> RuleEngine::Explain(const std::string& name) const {
   if (rule.is_family) out << "  [family over " << Join(rule.param_names, ", ")
                           << "]";
   out << "\ncondition: " << rule.condition->ToString() << "\n";
+  out << "boundedness: " << ptl::BoundednessToString(rule.lint.boundedness)
+      << "  lint: " << rule.lint.diagnostics.size() << " diagnostic"
+      << (rule.lint.diagnostics.size() == 1 ? "" : "s") << ", "
+      << rule.lint.folded_nodes << " nodes folded\n";
   out << "fires: " << rule.fires
       << "  instances: " << rule.instances.size() << "\n";
   for (const auto& instance : rule.instances) {

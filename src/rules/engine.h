@@ -49,6 +49,7 @@
 #include "db/database.h"
 #include "eval/incremental.h"
 #include "ptl/analyzer.h"
+#include "ptl/lint.h"
 #include "ptl/parser.h"
 #include "rules/provenance.h"
 #include "rules/query_registry.h"
@@ -224,6 +225,29 @@ class RuleEngine : public db::Database::Listener {
   Status SetThreads(size_t n);
   size_t threads() const { return num_threads_; }
 
+  // ---- Static analysis at registration ----
+
+  /// Strict registration: a rule whose lint report carries an error-severity
+  /// diagnostic (PTL000/PTL005) or whose retained state is classified
+  /// `unbounded` (PTL001) is rejected with InvalidArgument; the message
+  /// embeds the rendered report. Off by default. Only affects rules added
+  /// while the mode is on.
+  void SetStrictRegistration(bool on) { strict_registration_ = on; }
+  bool strict_registration() const { return strict_registration_; }
+
+  /// Constant folding of registered conditions: provably-constant
+  /// subformulas (decided time bounds, ground comparisons, degenerate
+  /// temporal operators) are rewritten out before the evaluator sees the
+  /// condition. On by default; turn off to evaluate conditions verbatim
+  /// (diagnostics are still produced either way). Only affects rules added
+  /// while the mode is set.
+  void SetLintFolding(bool on) { lint_folding_ = on; }
+  bool lint_folding() const { return lint_folding_; }
+
+  /// The registration-time lint report of one rule, rendered with carets
+  /// into the rule's source text (when it was registered from text).
+  Result<std::string> Lint(const std::string& name) const;
+
   // ---- Retained-state collection policy ----
 
   /// Node-store size above which an instance's and-or graph is compacted
@@ -286,6 +310,11 @@ class RuleEngine : public db::Database::Listener {
     uint64_t collections = 0;
     /// Times this rule's action ran (ICs: times it vetoed a commit).
     uint64_t fires = 0;
+    /// Registration-time lint results (see ptl/lint.h).
+    ptl::Boundedness boundedness = ptl::Boundedness::kConstant;
+    size_t lint_diagnostics = 0;
+    /// AST nodes the registration-time fold removed from the condition.
+    size_t folded_nodes = 0;
   };
 
   Result<RuleInfo> Describe(const std::string& name) const;
@@ -366,9 +395,14 @@ class RuleEngine : public db::Database::Listener {
 
   struct Rule {
     std::string name;
-    ptl::FormulaPtr condition;  // post-rewrite, pre-param-substitution
+    ptl::FormulaPtr condition;  // post-fold/rewrite, pre-param-substitution
     ActionFn action;            // null for ICs and system rules
     RuleOptions options;
+    // Condition source text when registered from text ("" for built ASTs);
+    // lint diagnostics render their carets into it.
+    std::string source;
+    // Registration-time static analysis of the (pre-rewrite) condition.
+    ptl::LintReport lint;
     // Event names the condition mentions (drives the §8 relevance index).
     std::set<std::string> event_names;
     bool uses_lasttime = false;
@@ -427,7 +461,8 @@ class RuleEngine : public db::Database::Listener {
   Status AddRuleInternal(std::string name, ptl::FormulaPtr condition,
                          ActionFn action, RuleOptions options, bool is_ic,
                          bool is_family, std::string_view domain_sql,
-                         std::vector<std::string> param_names);
+                         std::vector<std::string> param_names,
+                         std::string source = {});
   Status MaterializeRewrite(const std::string& rule_name,
                             const agg::RewriteResult& rewrite);
   Result<Instance*> MakeInstance(Rule* rule,
@@ -490,6 +525,10 @@ class RuleEngine : public db::Database::Listener {
 
   // Retained-state collection policy (see SetCollectThreshold).
   size_t collect_threshold_ = 65536;
+
+  // Static analysis at registration (see SetStrictRegistration).
+  bool strict_registration_ = false;
+  bool lint_folding_ = true;
 
   /// Builds the JSONL provenance record for one stepped instance. `fired` is
   /// the post-edge-trigger verdict (whether the action actually runs);

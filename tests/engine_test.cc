@@ -424,6 +424,87 @@ TEST_F(EngineTest, ExplainRendersRuleAndRetainedState) {
   ExpectNoErrors();
 }
 
+TEST_F(EngineTest, StrictRegistrationRejectsUnboundedRules) {
+  engine_.SetStrictRegistration(true);
+  // Equality atoms do not subsume and there is no time guard: the retained
+  // instance set grows without bound.
+  Status s = engine_.AddTrigger(
+      "leak", "[x := price('IBM')] PREVIOUSLY (price('IBM') = x)", nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("strict registration"), std::string::npos);
+  EXPECT_NE(s.message().find("unbounded"), std::string::npos);
+  EXPECT_NE(s.message().find("PTL001"), std::string::npos);
+  // Rejection leaves nothing behind: the name is free, lookups fail.
+  EXPECT_FALSE(engine_.Describe("leak").ok());
+  ASSERT_OK(engine_.AddTrigger("leak", "price('IBM') > 50", nullptr));
+
+  // Lint errors (a condition that can never fire) are also rejected.
+  Status never = engine_.AddTrigger(
+      "never", "[t := time] PREVIOUSLY (price('IBM') > 50 AND time >= t + 5)",
+      nullptr);
+  EXPECT_EQ(never.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(never.message().find("PTL002"), std::string::npos);
+
+  // Bounded rules still register under strict mode.
+  ASSERT_OK(engine_.AddTrigger("ok", "WITHIN(price('IBM') > 50, 5)", nullptr));
+  engine_.SetStrictRegistration(false);
+  ASSERT_OK(engine_.AddTrigger(
+      "leak2", "[x := price('IBM')] PREVIOUSLY (price('IBM') = x)", nullptr));
+}
+
+TEST_F(EngineTest, DescribeReportsBoundednessAndLint) {
+  ASSERT_OK(engine_.AddTrigger("win", "WITHIN(price('IBM') > 50, 5)", nullptr));
+  ASSERT_OK(engine_.AddTrigger(
+      "leak", "[x := price('IBM')] PREVIOUSLY (price('IBM') = x)", nullptr));
+  ASSERT_OK_AND_ASSIGN(rules::RuleEngine::RuleInfo win, engine_.Describe("win"));
+  EXPECT_EQ(win.boundedness, ptl::Boundedness::kTimeBounded);
+  EXPECT_EQ(win.lint_diagnostics, 0u);
+  ASSERT_OK_AND_ASSIGN(rules::RuleEngine::RuleInfo leak,
+                       engine_.Describe("leak"));
+  EXPECT_EQ(leak.boundedness, ptl::Boundedness::kUnbounded);
+  EXPECT_EQ(leak.lint_diagnostics, 1u);
+}
+
+TEST_F(EngineTest, LintAccessorRendersReport) {
+  ASSERT_OK(engine_.AddTrigger(
+      "leak", "[x := price('IBM')] PREVIOUSLY (price('IBM') = x)", nullptr));
+  ASSERT_OK_AND_ASSIGN(std::string text, engine_.Lint("leak"));
+  EXPECT_NE(text.find("rule leak"), std::string::npos);
+  EXPECT_NE(text.find("boundedness: unbounded"), std::string::npos);
+  EXPECT_NE(text.find("PTL001"), std::string::npos);
+  // The caret points into the original registration source.
+  EXPECT_NE(text.find("^~"), std::string::npos);
+  EXPECT_FALSE(engine_.Lint("ghost").ok());
+}
+
+TEST_F(EngineTest, RegistrationFoldsConstantSubformulas) {
+  int fired = 0;
+  ASSERT_OK(engine_.AddTrigger("folded", "1 = 1 AND price('IBM') > 50",
+                               CountAction(&fired)));
+  ASSERT_OK_AND_ASSIGN(rules::RuleEngine::RuleInfo info,
+                       engine_.Describe("folded"));
+  EXPECT_GT(info.folded_nodes, 0u);
+  // The engine evaluates the folded condition; firing is unchanged.
+  EXPECT_EQ(info.condition, "price(\"IBM\") > 50");
+  SetPrice("IBM", 60);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(EngineTest, SetLintFoldingOffKeepsConditionVerbatim) {
+  engine_.SetLintFolding(false);
+  ASSERT_OK(engine_.AddTrigger("raw", "1 = 1 AND price('IBM') > 50", nullptr));
+  ASSERT_OK_AND_ASSIGN(rules::RuleEngine::RuleInfo info,
+                       engine_.Describe("raw"));
+  EXPECT_EQ(info.folded_nodes, 0u);
+  EXPECT_NE(info.condition.find("1 = 1"), std::string::npos);
+}
+
+TEST_F(EngineTest, ExplainIncludesBoundednessLine) {
+  ASSERT_OK(engine_.AddTrigger("win", "WITHIN(price('IBM') > 50, 5)", nullptr));
+  ASSERT_OK_AND_ASSIGN(std::string text, engine_.Explain("win"));
+  EXPECT_NE(text.find("boundedness: time-bounded"), std::string::npos);
+}
+
 // Metrics tests share the fixture but must detach the registry in TearDown:
 // `metrics_` lives in the subclass and is destroyed before the engine (a base
 // member), which unregisters its provider on destruction.
@@ -471,6 +552,20 @@ TEST_F(EngineMetricsTest, CountersMirrorEngineStats) {
   EXPECT_NE(json.find("\"evaluator.store_nodes\""), std::string::npos);
   EXPECT_EQ(metrics_.gauge("rule.hot.fires").Get(),
             static_cast<int64_t>(fired));
+}
+
+TEST_F(EngineMetricsTest, LintGaugesPublished) {
+  ASSERT_OK(engine_.AddTrigger(
+      "leak", "[x := price('IBM')] PREVIOUSLY (price('IBM') = x)", nullptr));
+  ASSERT_OK(engine_.AddTrigger("folded", "1 = 1 AND price('IBM') > 50",
+                               nullptr));
+  SetPrice("IBM", 60);
+  std::string json = metrics_.ToJson();
+  EXPECT_NE(json.find("\"rule.leak.boundedness\""), std::string::npos);
+  EXPECT_EQ(metrics_.gauge("rule.leak.boundedness").Get(),
+            static_cast<int64_t>(ptl::Boundedness::kUnbounded));
+  EXPECT_EQ(metrics_.gauge("lint.unbounded_rules").Get(), 1);
+  EXPECT_GT(metrics_.gauge("lint.folded_nodes").Get(), 0);
 }
 
 TEST_F(EngineMetricsTest, IcChecksAndViolationsCounted) {

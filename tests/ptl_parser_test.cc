@@ -144,6 +144,45 @@ TEST(PtlParserTest, Errors) {
   EXPECT_FALSE(ParseFormula("time > 'abc").ok());  // unterminated string
 }
 
+std::string ErrorOf(std::string_view text) {
+  auto f = ParseFormula(text);
+  EXPECT_FALSE(f.ok()) << "unexpectedly parsed: " << text;
+  return f.ok() ? std::string() : f.status().message();
+}
+
+// Error messages carry the byte offset of the offending token; when the
+// span maps to a single source line they also embed a caret rendering.
+// Exact golden strings: these are user-facing output of ptldb-lint and the
+// shell, and regressions here are silent usability bugs.
+TEST(PtlParserTest, ErrorMessagesCarryPositions) {
+  EXPECT_EQ(ErrorOf("price("), "expected term, got end of input at offset 6");
+  EXPECT_EQ(ErrorOf("1 +"), "expected term, got end of input at offset 3");
+  EXPECT_EQ(ErrorOf("1 = (2"), "expected ')' at offset 6");
+  EXPECT_EQ(ErrorOf(""), "expected formula, got end of input at offset 0");
+  EXPECT_EQ(ErrorOf("q(1,"), "expected term, got end of input at offset 4");
+  EXPECT_EQ(ErrorOf("@"), "expected identifier at offset 1");
+}
+
+TEST(PtlParserTest, ErrorMessagesRenderCarets) {
+  EXPECT_EQ(ErrorOf("'oops"),
+            "unterminated string literal at offset 0\n"
+            "  'oops\n"
+            "  ^~~~~");
+  EXPECT_EQ(ErrorOf("99999999999999999999999999 > 0"),
+            "numeric literal out of range at offset 0\n"
+            "  99999999999999999999999999 > 0\n"
+            "  ^~~~~~~~~~~~~~~~~~~~~~~~~~");
+  EXPECT_EQ(ErrorOf("x > 1 trailing"),
+            "unexpected trailing input 'trailing' at offset 6\n"
+            "  x > 1 trailing\n"
+            "        ^~~~~~~~");
+  // The caret pins the reserved identifier itself, not the token after it.
+  EXPECT_EQ(ErrorOf("[since := time] @a()"),
+            "'since' is reserved and cannot be a variable at offset 1\n"
+            "  [since := time] @a()\n"
+            "   ^~~~~");
+}
+
 TEST(PtlParserTest, RoundTripThroughToString) {
   // ToString output re-parses to the same printed form (fixpoint).
   const char* cases[] = {

@@ -1,0 +1,138 @@
+// ptldb-lint: standalone static analysis for PTL rule conditions.
+//
+//   ptldb-lint [options] <rule-file>...     lint rule files
+//   ptldb-lint [options] -e '<condition>'   lint one condition from argv
+//   ptldb-lint --codes                      list the PTL0xx codes
+//   echo '<condition>' | ptldb-lint -       read rules from stdin
+//
+// A rule file holds one rule per line: `name := condition` (or a bare
+// condition); `#` comments and blank lines are skipped; a leading `trigger`
+// or `ic` keyword is accepted so shell scripts lint unmodified.
+//
+// Exit status: 0 clean, 1 any error-severity diagnostic (parse failures,
+// PTL005), 2 bad usage. With --strict, unbounded retained state (PTL001)
+// and warnings also fail with 1 — the same bar the engine's strict
+// registration mode enforces.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ptl/diagnostics.h"
+#include "ptl/lint.h"
+#include "ptl/parser.h"
+
+namespace {
+
+using ptldb::ptl::DiagCode;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ptldb-lint [--strict] [--no-fold] <rule-file>... | - \n"
+      "       ptldb-lint [--strict] [--no-fold] -e '<condition>'\n"
+      "       ptldb-lint --codes\n");
+  return 2;
+}
+
+void PrintCodes() {
+  for (int i = 0; i <= static_cast<int>(DiagCode::kAlwaysFires); ++i) {
+    DiagCode code = static_cast<DiagCode>(i);
+    std::printf("%s  %-7s  %s\n", ptldb::ptl::DiagCodeName(code).c_str(),
+                ptldb::ptl::SeverityToString(
+                    ptldb::ptl::DiagCodeSeverity(code)),
+                ptldb::ptl::DiagCodeSummary(code));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  ptldb::ptl::LintOptions opts;
+  std::vector<std::string> files;
+  std::string expr;
+  bool have_expr = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--codes") {
+      PrintCodes();
+      return 0;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--no-fold") {
+      opts.fold = false;
+    } else if (arg == "-e") {
+      if (i + 1 >= argc) return Usage();
+      expr = argv[++i];
+      have_expr = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return Usage();
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (!have_expr && files.empty()) return Usage();
+  if (have_expr && !files.empty()) return Usage();
+
+  size_t errors = 0, warnings = 0, unbounded = 0;
+
+  if (have_expr) {
+    auto parsed = ptldb::ptl::ParseFormula(expr);
+    if (!parsed.ok()) {
+      std::printf("%s error: %s\n",
+                  ptldb::ptl::DiagCodeName(DiagCode::kParseError).c_str(),
+                  parsed.status().message().c_str());
+      return 1;
+    }
+    ptldb::ptl::LintReport rep = ptldb::ptl::LintFormula(parsed.value(), opts);
+    std::printf("boundedness: %s\n",
+                ptldb::ptl::BoundednessToString(rep.boundedness));
+    if (rep.folded_nodes > 0) {
+      std::printf("folded: %zu node(s); condition is now: %s\n",
+                  rep.folded_nodes, rep.folded->ToString().c_str());
+    }
+    std::string rendered = rep.Render(expr);
+    if (!rendered.empty()) std::printf("%s\n", rendered.c_str());
+    errors = rep.Count(ptldb::ptl::Severity::kError);
+    warnings = rep.Count(ptldb::ptl::Severity::kWarning);
+    unbounded = rep.boundedness == ptldb::ptl::Boundedness::kUnbounded;
+  } else {
+    for (const std::string& path : files) {
+      std::string text;
+      if (path == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        text = buf.str();
+      } else {
+        std::ifstream in(path);
+        if (!in) {
+          std::fprintf(stderr, "ptldb-lint: cannot open '%s'\n", path.c_str());
+          return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+      }
+      ptldb::ptl::FileLintResult res = ptldb::ptl::LintRulesText(text, opts);
+      if (files.size() > 1) std::printf("== %s ==\n", path.c_str());
+      std::printf("%s\n", res.rendered.c_str());
+      errors += res.errors;
+      warnings += res.warnings;
+      unbounded += res.unbounded;
+    }
+  }
+
+  if (errors > 0) return 1;
+  if (strict && (warnings > 0 || unbounded > 0)) return 1;
+  return 0;
+}
