@@ -1,0 +1,285 @@
+// E14 — server ingestion: batched invocation + WAL group commit.
+//
+// Sweeps fsync policy {none, sync, group} x concurrent sessions {1, 4, 8}
+// over an in-process server (real loopback sockets, pipelined clients, the
+// same path tools/ptldb-loadgen drives). The acceptance bar: E12 showed
+// per-commit fsync costs ~3.5x over none; group commit must recover at
+// least half of that penalty once there are >= 4 concurrent sessions to
+// coalesce (one fsync amortized over a whole batch), without giving up the
+// acked-implies-durable contract (`sync` and `group` both ack only after
+// the WAL barrier).
+//
+// Unlike the other bench_* binaries this one measures a multi-threaded
+// client/server system, so it drives the sweep itself instead of using
+// Google Benchmark, and reports into the same JSON schema by hand.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "db/database.h"
+#include "json_out.h"
+#include "rules/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/durability.h"
+
+namespace ptldb {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir() {
+  static std::atomic<uint64_t> counter{0};
+  return (fs::temp_directory_path() /
+          ("ptldb_bench_srv_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1))))
+      .string();
+}
+
+// The demo world the server tools use: ticks ingest table + stock rules.
+struct World {
+  SimClock clock{0};
+  db::Database db{&clock};
+  rules::RuleEngine engine{&db};
+
+  World() {
+    PTLDB_CHECK_OK(db.CreateTable(
+        "ticks",
+        db::Schema({{"client", ValueType::kInt64},
+                    {"seq", ValueType::kInt64},
+                    {"price", ValueType::kDouble}}),
+        {"client", "seq"}));
+    PTLDB_CHECK_OK(db.CreateTable(
+        "stock",
+        db::Schema({{"name", ValueType::kString},
+                    {"price", ValueType::kDouble}}),
+        {"name"}));
+    PTLDB_CHECK_OK(db.InsertRow("stock", {Value::Str("IBM"), Value::Real(40)}));
+    PTLDB_CHECK_OK(db.InsertRow("stock", {Value::Str("HP"), Value::Real(20)}));
+    PTLDB_CHECK_OK(engine.queries().Register(
+        "price", "SELECT price FROM stock WHERE name = $sym", {"sym"}));
+    auto noop = [](rules::ActionContext&) -> Status { return Status::OK(); };
+    PTLDB_CHECK_OK(
+        engine.AddTrigger("window", "WITHIN(price('HP') > 30, 25)", noop));
+    PTLDB_CHECK_OK(
+        engine.AddIntegrityConstraint("cap", "price('IBM') <= 100"));
+  }
+
+  storage::CheckpointTargets Targets() {
+    storage::CheckpointTargets t;
+    t.db = &db;
+    t.engine = &engine;
+    t.clock = &clock;
+    return t;
+  }
+};
+
+struct RunResult {
+  uint64_t acked = 0;
+  uint64_t errors = 0;
+  double seconds = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+void ClientThread(uint16_t port, int client_id, int events, int pipeline,
+                  std::vector<double>* lat_us, uint64_t* acked,
+                  uint64_t* errors) {
+  using Clock = std::chrono::steady_clock;
+  server::Client client;
+  if (!client.Connect(port).ok()) {
+    *errors = static_cast<uint64_t>(events);
+    return;
+  }
+  std::map<uint32_t, Clock::time_point> in_flight;
+  lat_us->reserve(static_cast<size_t>(events));
+  int sent = 0;
+  while (sent < events || !in_flight.empty()) {
+    if (sent < events && in_flight.size() < static_cast<size_t>(pipeline)) {
+      server::Request req;
+      req.type = server::MsgType::kInsert;
+      req.table = "ticks";
+      req.row = {Value::Int(client_id), Value::Int(sent),
+                 Value::Real(10 + (sent % 50))};
+      auto start = Clock::now();
+      auto tag = client.Send(std::move(req));
+      if (!tag.ok()) {
+        ++*errors;
+        break;
+      }
+      in_flight[tag.value()] = start;
+      ++sent;
+      continue;
+    }
+    auto resp = client.Receive();
+    if (!resp.ok()) {
+      ++*errors;
+      break;
+    }
+    auto it = in_flight.find(resp->tag);
+    if (it != in_flight.end()) {
+      lat_us->push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - it->second)
+              .count());
+      in_flight.erase(it);
+    }
+    if (resp->code == StatusCode::kOk) {
+      ++*acked;
+    } else {
+      ++*errors;
+    }
+  }
+  client.Close();
+}
+
+double Percentile(std::vector<double>* v, double q) {
+  if (v->empty()) return 0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(v->size() - 1));
+  std::nth_element(v->begin(), v->begin() + static_cast<ptrdiff_t>(idx),
+                   v->end());
+  return (*v)[idx];
+}
+
+RunResult RunOnce(storage::FsyncPolicy fsync, int sessions, int events,
+                  int pipeline) {
+  World world;
+  std::string dir = FreshDir();
+  fs::create_directories(dir);
+  storage::DurabilityOptions dopts;
+  dopts.dir = dir;
+  dopts.fsync = fsync;
+  auto mgr = storage::DurabilityManager::Attach(dopts, world.Targets());
+  PTLDB_CHECK_OK(mgr.status());
+
+  server::ServerOptions opts;
+  opts.max_batch = 64;
+  opts.batch_delay_us = 200;
+  server::Server srv(opts, &world.db, &world.engine, mgr->get());
+  PTLDB_CHECK_OK(srv.Start());
+
+  std::vector<std::vector<double>> lats(static_cast<size_t>(sessions));
+  std::vector<uint64_t> acked(static_cast<size_t>(sessions), 0);
+  std::vector<uint64_t> errors(static_cast<size_t>(sessions), 0);
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < sessions; ++c) {
+    size_t i = static_cast<size_t>(c);
+    threads.emplace_back(ClientThread, srv.port(), c, events, pipeline,
+                         &lats[i], &acked[i], &errors[i]);
+  }
+  for (auto& t : threads) t.join();
+  RunResult out;
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  srv.Stop();
+  mgr->reset();
+  fs::remove_all(dir);
+
+  std::vector<double> all;
+  for (size_t i = 0; i < lats.size(); ++i) {
+    all.insert(all.end(), lats[i].begin(), lats[i].end());
+    out.acked += acked[i];
+    out.errors += errors[i];
+  }
+  out.p50_us = Percentile(&all, 0.50);
+  out.p99_us = Percentile(&all, 0.99);
+  return out;
+}
+
+const char* PolicyName(storage::FsyncPolicy p) {
+  switch (p) {
+    case storage::FsyncPolicy::kNone:
+      return "none";
+    case storage::FsyncPolicy::kAsync:
+      return "async";
+    case storage::FsyncPolicy::kSync:
+      return "sync";
+    case storage::FsyncPolicy::kGroup:
+      return "group";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  bool json = false, smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json] [--smoke] [--out FILE]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  const int events = smoke ? 200 : 1500;
+  const int pipeline = 16;
+  const storage::FsyncPolicy policies[] = {storage::FsyncPolicy::kNone,
+                                           storage::FsyncPolicy::kSync,
+                                           storage::FsyncPolicy::kGroup};
+  const int session_counts[] = {1, 4, 8};
+
+  bench::JsonReport report("server_ingest");
+  report.Config("events_per_session", json::Json::Int(events))
+      .Config("pipeline", json::Json::Int(pipeline))
+      .Config("max_batch", json::Json::Int(64))
+      .Config("batch_delay_us", json::Json::Int(200))
+      .Config("smoke", json::Json::Bool(smoke));
+
+  int rc = 0;
+  for (storage::FsyncPolicy policy : policies) {
+    for (int sessions : session_counts) {
+      RunResult r = RunOnce(policy, sessions, events, pipeline);
+      double eps = r.seconds > 0 ? static_cast<double>(r.acked) / r.seconds : 0;
+      if (!json) {
+        std::printf(
+            "fsync=%-5s sessions=%d acked=%llu errors=%llu %.3fs -> "
+            "%.0f events/s p50=%.0fus p99=%.0fus\n",
+            PolicyName(policy), sessions,
+            static_cast<unsigned long long>(r.acked),
+            static_cast<unsigned long long>(r.errors), r.seconds, eps,
+            r.p50_us, r.p99_us);
+      }
+      auto& row = report.AddResult();
+      row.Set("fsync", json::Json::Str(PolicyName(policy)));
+      row.Set("sessions", json::Json::Int(sessions));
+      row.Set("acked", json::Json::Int(static_cast<int64_t>(r.acked)));
+      row.Set("errors",
+              json::Json::Int(static_cast<int64_t>(r.errors)));
+      row.Set("seconds", json::Json::Real(r.seconds));
+      row.Set("events_per_sec", json::Json::Real(eps));
+      row.Set("p50_us", json::Json::Real(r.p50_us));
+      row.Set("p99_us", json::Json::Real(r.p99_us));
+      if (r.errors != 0) rc = 1;
+    }
+  }
+  if (json) {
+    int emit_rc = report.Emit(out_path);
+    if (emit_rc != 0) return emit_rc;
+  }
+  return rc;
+}
+
+}  // namespace ptldb
+
+int main(int argc, char** argv) { return ptldb::Main(argc, argv); }

@@ -1,0 +1,79 @@
+// libFuzzer harness for the server wire protocol: request and response
+// payload codecs (framing excluded — the length prefix is handled by
+// ReadFrame, whose bounds are covered in server_protocol_test).
+//
+// Invariants under fuzzing:
+//   * DecodeRequest/DecodeResponse NEVER crash, abort, or trip a sanitizer
+//     on any byte sequence — the decoders are strict, bounds-checked, and
+//     total (malformed input comes back as a Status).
+//   * Decoding is canonical: anything that decodes re-encodes to the exact
+//     input bytes (the codec has a single representation per message), so
+//     decode(encode(decode(x))) cannot diverge.
+//
+// Build modes mirror parser_fuzz.cc (fuzz/CMakeLists.txt): a real libFuzzer
+// binary under clang with -DPTLDB_FUZZERS=ON, and a standalone corpus-replay
+// runner everywhere else that doubles as a ctest regression gate.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+
+namespace {
+
+void CheckRequest(std::string_view input) {
+  auto req = ptldb::server::DecodeRequest(input);
+  if (req.ok()) {
+    std::string reencoded;
+    ptldb::server::EncodeRequest(req.value(), &reencoded);
+    if (reencoded != input) std::abort();  // non-canonical accept
+  } else {
+    (void)req.status().ToString();
+  }
+}
+
+void CheckResponse(std::string_view input) {
+  auto resp = ptldb::server::DecodeResponse(input);
+  if (resp.ok()) {
+    std::string reencoded;
+    ptldb::server::EncodeResponse(resp.value(), &reencoded);
+    if (reencoded != input) std::abort();
+  } else {
+    (void)resp.status().ToString();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  CheckRequest(input);
+  CheckResponse(input);
+  return 0;
+}
+
+#ifdef PTLDB_FUZZ_STANDALONE
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+  }
+  std::printf("ok: %d input(s) replayed\n", argc - 1);
+  return 0;
+}
+#endif

@@ -28,6 +28,7 @@ enum class StatusCode {
   kTransactionAborted,
   kNotImplemented,
   kInternal,
+  kUnavailable,
 };
 
 /// Human-readable name of a StatusCode ("InvalidArgument", ...).
@@ -74,6 +75,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Transient overload: the caller should back off and retry (the server's
+  /// admission-control rejection).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

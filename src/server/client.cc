@@ -1,0 +1,82 @@
+#include "server/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace ptldb::server {
+
+Status Client::Connect(uint16_t port) {
+  if (fd_ >= 0) return Status::InvalidArgument("already connected");
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::Internal(StrCat("socket: ", std::strerror(errno)));
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    Status s = Status::Internal(StrCat("connect: ", std::strerror(errno)));
+    Close();
+    return s;
+  }
+  Request hello;
+  hello.type = MsgType::kHello;
+  hello.version = kProtocolVersion;
+  PTLDB_ASSIGN_OR_RETURN(Response resp, Call(std::move(hello)));
+  if (resp.code != StatusCode::kOk) {
+    Close();
+    return Status(resp.code, resp.message);
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> Client::Send(Request req) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  req.tag = next_tag_++;
+  std::string payload;
+  EncodeRequest(req, &payload);
+  PTLDB_RETURN_IF_ERROR(WriteFrame(fd_, payload));
+  ++outstanding_;
+  return req.tag;
+}
+
+Result<Response> Client::Receive() {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  std::string payload;
+  PTLDB_RETURN_IF_ERROR(ReadFrame(fd_, &payload));
+  if (outstanding_ > 0) --outstanding_;
+  return DecodeResponse(payload);
+}
+
+Result<Response> Client::Call(Request req) {
+  if (outstanding_ != 0) {
+    return Status::InvalidArgument(
+        StrCat(outstanding_, " pipelined responses outstanding; drain with "
+                             "Receive() before Call()"));
+  }
+  PTLDB_ASSIGN_OR_RETURN(uint32_t tag, Send(std::move(req)));
+  PTLDB_ASSIGN_OR_RETURN(Response resp, Receive());
+  if (resp.tag != tag) {
+    return Status::Internal(
+        StrCat("response tag ", resp.tag, " does not match request ", tag));
+  }
+  return resp;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  outstanding_ = 0;
+}
+
+}  // namespace ptldb::server

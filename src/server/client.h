@@ -1,0 +1,54 @@
+// Minimal client for the ptldb wire protocol.
+//
+// Supports both call-and-wait (`Call`) and deep pipelining (`Send` many,
+// then `Receive` the responses in order) — the latter is what makes group
+// commit visible: a server fsync can only coalesce commits that are in
+// flight concurrently.
+
+#ifndef PTLDB_SERVER_CLIENT_H_
+#define PTLDB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace ptldb::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:`port` and performs the Hello handshake.
+  Status Connect(uint16_t port);
+
+  /// Sends one request without waiting; stamps and returns the tag to match
+  /// the response against.
+  Result<uint32_t> Send(Request req);
+
+  /// Receives the next response (in send order — the server answers one
+  /// session's requests in order).
+  Result<Response> Receive();
+
+  /// Send + Receive + verify the tag matches; requires no pipelined
+  /// responses outstanding.
+  Result<Response> Call(Request req);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  uint32_t next_tag_ = 1;
+  uint32_t outstanding_ = 0;
+};
+
+}  // namespace ptldb::server
+
+#endif  // PTLDB_SERVER_CLIENT_H_

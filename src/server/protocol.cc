@@ -1,0 +1,261 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/codec.h"
+#include "common/strings.h"
+
+namespace ptldb::server {
+
+namespace {
+
+void EncodeParamList(const std::vector<std::pair<std::string, Value>>& params,
+                     codec::Writer* w) {
+  w->U32(static_cast<uint32_t>(params.size()));
+  for (const auto& [name, value] : params) {
+    w->Str(name);
+    w->Val(value);
+  }
+}
+
+Result<std::vector<std::pair<std::string, Value>>> DecodeParamList(
+    codec::Reader* r) {
+  PTLDB_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  if (n > r->remaining()) {
+    return Status::InvalidArgument("param list arity exceeds payload");
+  }
+  std::vector<std::pair<std::string, Value>> params;
+  params.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PTLDB_ASSIGN_OR_RETURN(std::string name, r->Str());
+    PTLDB_ASSIGN_OR_RETURN(Value value, r->Val());
+    params.emplace_back(std::move(name), std::move(value));
+  }
+  return params;
+}
+
+}  // namespace
+
+void EncodeRequest(const Request& req, std::string* out) {
+  codec::Writer w(out);
+  w.U8(static_cast<uint8_t>(req.type));
+  w.U32(req.tag);
+  switch (req.type) {
+    case MsgType::kHello:
+      w.U32(req.version);
+      break;
+    case MsgType::kPing:
+    case MsgType::kTakeFirings:
+    case MsgType::kStats:
+    case MsgType::kFlush:
+    case MsgType::kCheckpoint:
+      break;
+    case MsgType::kRaiseEvent:
+      w.Str(req.event_name);
+      w.ValVec(req.event_params);
+      break;
+    case MsgType::kInsert:
+      w.Str(req.table);
+      w.ValVec(req.row);
+      break;
+    case MsgType::kUpdate:
+      w.Str(req.table);
+      w.U32(static_cast<uint32_t>(req.set.size()));
+      for (const auto& [col, expr] : req.set) {
+        w.Str(col);
+        w.Str(expr);
+      }
+      w.Str(req.where);
+      EncodeParamList(req.params, &w);
+      break;
+    case MsgType::kDelete:
+      w.Str(req.table);
+      w.Str(req.where);
+      EncodeParamList(req.params, &w);
+      break;
+    case MsgType::kQuery:
+      w.Str(req.sql);
+      EncodeParamList(req.params, &w);
+      break;
+  }
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  codec::Reader r(payload);
+  Request req;
+  PTLDB_ASSIGN_OR_RETURN(uint8_t type_byte, r.U8());
+  if (type_byte < static_cast<uint8_t>(MsgType::kHello) ||
+      type_byte > static_cast<uint8_t>(MsgType::kCheckpoint)) {
+    return Status::InvalidArgument(
+        StrCat("unknown request type ", static_cast<int>(type_byte)));
+  }
+  req.type = static_cast<MsgType>(type_byte);
+  PTLDB_ASSIGN_OR_RETURN(req.tag, r.U32());
+  switch (req.type) {
+    case MsgType::kHello: {
+      PTLDB_ASSIGN_OR_RETURN(req.version, r.U32());
+      break;
+    }
+    case MsgType::kPing:
+    case MsgType::kTakeFirings:
+    case MsgType::kStats:
+    case MsgType::kFlush:
+    case MsgType::kCheckpoint:
+      break;
+    case MsgType::kRaiseEvent: {
+      PTLDB_ASSIGN_OR_RETURN(req.event_name, r.Str());
+      PTLDB_ASSIGN_OR_RETURN(req.event_params, r.ValVec());
+      break;
+    }
+    case MsgType::kInsert: {
+      PTLDB_ASSIGN_OR_RETURN(req.table, r.Str());
+      PTLDB_ASSIGN_OR_RETURN(req.row, r.ValVec());
+      break;
+    }
+    case MsgType::kUpdate: {
+      PTLDB_ASSIGN_OR_RETURN(req.table, r.Str());
+      PTLDB_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+      if (n > r.remaining()) {
+        return Status::InvalidArgument("set list arity exceeds payload");
+      }
+      req.set.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        PTLDB_ASSIGN_OR_RETURN(std::string col, r.Str());
+        PTLDB_ASSIGN_OR_RETURN(std::string expr, r.Str());
+        req.set.emplace_back(std::move(col), std::move(expr));
+      }
+      PTLDB_ASSIGN_OR_RETURN(req.where, r.Str());
+      PTLDB_ASSIGN_OR_RETURN(req.params, DecodeParamList(&r));
+      break;
+    }
+    case MsgType::kDelete: {
+      PTLDB_ASSIGN_OR_RETURN(req.table, r.Str());
+      PTLDB_ASSIGN_OR_RETURN(req.where, r.Str());
+      PTLDB_ASSIGN_OR_RETURN(req.params, DecodeParamList(&r));
+      break;
+    }
+    case MsgType::kQuery: {
+      PTLDB_ASSIGN_OR_RETURN(req.sql, r.Str());
+      PTLDB_ASSIGN_OR_RETURN(req.params, DecodeParamList(&r));
+      break;
+    }
+  }
+  PTLDB_RETURN_IF_ERROR(r.ExpectEnd());
+  return req;
+}
+
+void EncodeResponse(const Response& resp, std::string* out) {
+  codec::Writer w(out);
+  w.U32(resp.tag);
+  w.U8(static_cast<uint8_t>(resp.code));
+  w.Str(resp.message);
+  w.U64(resp.applied_seq);
+  w.I64(resp.rows);
+  w.Str(resp.text);
+  w.U32(static_cast<uint32_t>(resp.firings.size()));
+  for (const rules::Firing& f : resp.firings) {
+    w.Str(f.rule);
+    w.Str(f.params);
+    w.I64(f.time);
+  }
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  codec::Reader r(payload);
+  Response resp;
+  PTLDB_ASSIGN_OR_RETURN(resp.tag, r.U32());
+  PTLDB_ASSIGN_OR_RETURN(uint8_t code_byte, r.U8());
+  if (code_byte > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::InvalidArgument(
+        StrCat("unknown status code ", static_cast<int>(code_byte)));
+  }
+  resp.code = static_cast<StatusCode>(code_byte);
+  PTLDB_ASSIGN_OR_RETURN(resp.message, r.Str());
+  PTLDB_ASSIGN_OR_RETURN(resp.applied_seq, r.U64());
+  PTLDB_ASSIGN_OR_RETURN(resp.rows, r.I64());
+  PTLDB_ASSIGN_OR_RETURN(resp.text, r.Str());
+  PTLDB_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  if (n > r.remaining()) {
+    return Status::InvalidArgument("firing list arity exceeds payload");
+  }
+  resp.firings.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    rules::Firing f;
+    PTLDB_ASSIGN_OR_RETURN(f.rule, r.Str());
+    PTLDB_ASSIGN_OR_RETURN(f.params, r.Str());
+    PTLDB_ASSIGN_OR_RETURN(f.time, r.I64());
+    resp.firings.push_back(std::move(f));
+  }
+  PTLDB_RETURN_IF_ERROR(r.ExpectEnd());
+  return resp;
+}
+
+namespace {
+
+/// Reads exactly `n` bytes. Returns the byte count actually read before a
+/// clean EOF (so the caller can distinguish boundary EOF from a torn frame)
+/// or Internal on a socket error.
+Result<size_t> ReadFull(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = recv(fd, buf + got, n - got, 0);
+    if (r == 0) return got;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrCat("recv: ", std::strerror(errno)));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return got;
+}
+
+}  // namespace
+
+Status ReadFrame(int fd, std::string* payload) {
+  char hdr[4];
+  PTLDB_ASSIGN_OR_RETURN(size_t got, ReadFull(fd, hdr, sizeof hdr));
+  if (got == 0) return Status::NotFound("connection closed");
+  if (got < sizeof hdr) {
+    return Status::InvalidArgument("torn frame: EOF inside length prefix");
+  }
+  uint32_t len;
+  std::memcpy(&len, hdr, sizeof len);
+  if (len == 0) return Status::InvalidArgument("zero-length frame");
+  if (len > kMaxFrameLen) {
+    return Status::InvalidArgument(
+        StrCat("frame length ", len, " exceeds limit ", kMaxFrameLen));
+  }
+  payload->resize(len);
+  PTLDB_ASSIGN_OR_RETURN(got, ReadFull(fd, payload->data(), len));
+  if (got < len) {
+    return Status::InvalidArgument("torn frame: EOF inside payload");
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.empty() || payload.size() > kMaxFrameLen) {
+    return Status::InvalidArgument("frame payload size out of range");
+  }
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string buf;
+  buf.reserve(sizeof len + payload.size());
+  buf.append(reinterpret_cast<const char*>(&len), sizeof len);
+  buf.append(payload);
+  size_t sent = 0;
+  while (sent < buf.size()) {
+    ssize_t w = send(fd, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrCat("send: ", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace ptldb::server

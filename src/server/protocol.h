@@ -1,0 +1,117 @@
+// Wire protocol of the ptldb event-ingestion server.
+//
+// The paper's §8 architecture has the DBMS invoke the temporal component
+// "whenever an event occurs"; the server front end turns that invocation
+// boundary into a network boundary. Clients stream events and updates over a
+// byte stream; the server applies them through the normal library path
+// (db::Database + rules::RuleEngine) and acknowledges once the effects are
+// durable.
+//
+// Framing (both directions):
+//
+//   [u32 len][payload]            len = payload byte count, little-endian,
+//                                 0 < len <= kMaxFrameLen
+//
+// Request payload:
+//
+//   [u8 MsgType][u32 tag][body]   tag is echoed verbatim in the response so
+//                                 clients may pipeline arbitrarily deep
+//
+// Response payload:
+//
+//   [u32 tag][u8 StatusCode][body]
+//
+// All multi-byte integers are little-endian via codec::Writer/Reader; strings
+// are u32-length-prefixed; Values carry their codec type tag. Decoders are
+// strict: every field is bounds-checked and trailing bytes are rejected, so
+// torn or fuzzed frames surface as InvalidArgument, never as a crash (the
+// server closes the connection, the store stays consistent).
+
+#ifndef PTLDB_SERVER_PROTOCOL_H_
+#define PTLDB_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "rules/engine.h"
+
+namespace ptldb::server {
+
+/// Protocol revision; Hello from a client speaking a different revision is
+/// rejected before any state is touched.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Upper bound on one frame's payload. A length prefix above this is a
+/// malformed or hostile frame — reject before allocating.
+inline constexpr uint32_t kMaxFrameLen = 1u << 20;
+
+enum class MsgType : uint8_t {
+  kHello = 1,        // body: u32 protocol version
+  kPing = 2,         // empty body; durability barrier + ack
+  kRaiseEvent = 3,   // body: str name, valvec params
+  kInsert = 4,       // body: str table, valvec row
+  kUpdate = 5,       // body: str table, set list, str where, param list
+  kDelete = 6,       // body: str table, str where, param list
+  kQuery = 7,        // body: str sql, param list
+  kTakeFirings = 8,  // empty body; drains the server-side firing log
+  kStats = 9,        // empty body; metrics JSON in response text
+  kFlush = 10,       // empty body; force batched evaluation now
+  kCheckpoint = 11,  // empty body; checkpoint the durability manager
+};
+
+/// One decoded client request. Which fields are meaningful depends on `type`
+/// (see MsgType comments); the codec only encodes the relevant ones.
+struct Request {
+  MsgType type = MsgType::kPing;
+  uint32_t tag = 0;
+
+  uint32_t version = 0;                       // kHello
+  std::string event_name;                     // kRaiseEvent
+  std::vector<Value> event_params;            // kRaiseEvent
+  std::string table;                          // kInsert/kUpdate/kDelete
+  std::vector<Value> row;                     // kInsert
+  std::vector<std::pair<std::string, std::string>> set;  // kUpdate
+  std::string where;                          // kUpdate/kDelete
+  std::string sql;                            // kQuery
+  std::vector<std::pair<std::string, Value>> params;  // kUpdate/kDelete/kQuery
+};
+
+/// One server response. `code` mirrors the Status of applying the request
+/// (kOk on success; kUnavailable = admission-control rejection, back off).
+struct Response {
+  uint32_t tag = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;       // Status message when code != kOk
+  uint64_t applied_seq = 0;  // history size after applying (ingest requests)
+  int64_t rows = 0;          // rows affected (kUpdate/kDelete), result rows
+                             // (kQuery)
+  std::string text;          // rendered relation (kQuery), metrics (kStats)
+  std::vector<rules::Firing> firings;  // kTakeFirings
+};
+
+// ---- Payload codecs (framing excluded) ----
+
+void EncodeRequest(const Request& req, std::string* out);
+Result<Request> DecodeRequest(std::string_view payload);
+
+void EncodeResponse(const Response& resp, std::string* out);
+Result<Response> DecodeResponse(std::string_view payload);
+
+// ---- Frame I/O over a connected socket (or any byte-stream fd) ----
+
+/// Reads one `[u32 len][payload]` frame. Returns NotFound on clean EOF at a
+/// frame boundary (peer closed), InvalidArgument on zero/oversized length or
+/// EOF mid-frame (torn stream), Internal on socket errors.
+Status ReadFrame(int fd, std::string* payload);
+
+/// Writes one frame. Internal on socket errors (EPIPE included — writes
+/// never raise SIGPIPE).
+Status WriteFrame(int fd, std::string_view payload);
+
+}  // namespace ptldb::server
+
+#endif  // PTLDB_SERVER_PROTOCOL_H_

@@ -1,0 +1,393 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace ptldb::server {
+
+namespace {
+
+/// Observes a value (not a duration) into a histogram — batch sizes reuse
+/// the nanosecond buckets as plain power-of-two counts.
+void ObserveValue(Metrics::Histogram* h, uint64_t v) {
+  if (h != nullptr) h->Observe(v);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options, db::Database* db,
+               rules::RuleEngine* engine, storage::DurabilityManager* mgr)
+    : options_(std::move(options)), db_(db), engine_(engine), mgr_(mgr) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.metrics != nullptr) {
+    Metrics& m = *options_.metrics;
+    g_queue_depth_ = &m.gauge("server.queue_depth");
+    g_sessions_ = &m.gauge("server.sessions_active");
+    c_requests_ = &m.counter("server.requests");
+    c_batches_ = &m.counter("server.batches");
+    c_rejections_ = &m.counter("server.busy_rejections");
+    h_batch_size_ = &m.histogram("server.batch_size");
+  }
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.exchange(true)) {
+    return Status::InvalidArgument("server already started");
+  }
+  int lfd = socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) {
+    return Status::Internal(StrCat("socket: ", std::strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    close(lfd);
+    return Status::Internal(StrCat("bind: ", std::strerror(errno)));
+  }
+  if (listen(lfd, 64) < 0) {
+    close(lfd);
+    return Status::Internal(StrCat("listen: ", std::strerror(errno)));
+  }
+  socklen_t addr_len = sizeof addr;
+  if (getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    close(lfd);
+    return Status::Internal(StrCat("getsockname: ", std::strerror(errno)));
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_.store(lfd);
+  if (options_.max_batch > 1) engine_->SetBatching(options_.max_batch);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  engine_thread_ = std::thread([this] { EngineLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  // Wake the accept thread: closing the listening socket fails its accept().
+  int lfd = listen_fd_.exchange(-1);
+  if (lfd >= 0) {
+    shutdown(lfd, SHUT_RDWR);
+    close(lfd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Wake readers blocked in recv (or in a blocked response send); those
+  // blocked on a full queue see stopping_ via the push predicate.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& s : sessions_) {
+      std::lock_guard<std::mutex> wlock(s->write_mu);
+      if (s->fd >= 0) shutdown(s->fd, SHUT_RDWR);
+    }
+  }
+  queue_nonfull_.notify_all();
+  for (auto& t : reader_threads_) {
+    if (t.joinable()) t.join();
+  }
+  // The engine thread drains whatever the readers admitted, then exits.
+  queue_nonempty_.notify_all();
+  if (engine_thread_.joinable()) engine_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& s : sessions_) CloseSession(s.get());
+    sessions_.clear();
+  }
+}
+
+std::vector<rules::Firing> Server::TakeFirings() {
+  std::lock_guard<std::mutex> lock(firings_mu_);
+  std::vector<rules::Firing> out = std::move(firing_log_);
+  firing_log_.clear();
+  return out;
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load()) {
+    int fd = accept(listen_fd_.load(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket closed (Stop) or fatal
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      if (stopping_.load()) {
+        close(fd);
+        break;
+      }
+      session->id = next_session_id_++;
+      sessions_.push_back(session);
+      reader_threads_.emplace_back(
+          [this, session] { ReaderLoop(session); });
+      if (g_sessions_ != nullptr) g_sessions_->Add(1);
+    }
+  }
+}
+
+void Server::ReaderLoop(std::shared_ptr<Session> session) {
+  std::string payload;
+  while (!stopping_.load() && !session->closed.load()) {
+    Status s = ReadFrame(session->fd, &payload);
+    if (!s.ok()) {
+      // Clean close (NotFound), torn stream, or malformed frame: a protocol
+      // error is answered best-effort, then the connection dies. The store
+      // is untouched — nothing was admitted.
+      if (s.code() != StatusCode::kNotFound && !stopping_.load()) {
+        Response err;
+        err.code = s.code();
+        err.message = s.message();
+        SendResponse(session.get(), err);
+      }
+      break;
+    }
+    Result<Request> req = DecodeRequest(payload);
+    if (!req.ok()) {
+      Response err;
+      err.code = req.status().code();
+      err.message = req.status().message();
+      SendResponse(session.get(), err);
+      break;
+    }
+    MetricAdd(c_requests_);
+    // Admission: block on the bounded queue (TCP backpressure) or reject.
+    // Handshakes are exempt from shedding — a client treats a failed kHello
+    // as a failed connection, not a retryable request, so under overload a
+    // hello waits (blocking path) rather than being bounced.
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (options_.reject_when_full && queue_.size() >= options_.queue_capacity &&
+        req.value().type != MsgType::kHello && !stopping_.load()) {
+      lock.unlock();
+      MetricAdd(c_rejections_);
+      Response busy;
+      busy.tag = req.value().tag;
+      busy.code = StatusCode::kUnavailable;
+      busy.message = "server overloaded, retry";
+      SendResponse(session.get(), busy);
+      continue;
+    }
+    queue_nonfull_.wait(lock, [&] {
+      return queue_.size() < options_.queue_capacity || stopping_.load();
+    });
+    queue_.push_back(Work{std::move(req).value(), session});
+    requests_admitted_.fetch_add(1, std::memory_order_relaxed);
+    MetricSet(g_queue_depth_, static_cast<int64_t>(queue_.size()));
+    lock.unlock();
+    queue_nonempty_.notify_one();
+  }
+  CloseSession(session.get());
+}
+
+bool Server::NextBatch(std::vector<Work>* batch) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_nonempty_.wait(lock,
+                       [&] { return !queue_.empty() || stopping_.load(); });
+  if (queue_.empty()) return false;  // stopping and fully drained
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(options_.batch_delay_us);
+  while (batch->size() < options_.max_batch) {
+    if (!queue_.empty()) {
+      batch->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      continue;
+    }
+    // Queue drained below max_batch: wait out the latency bound for
+    // stragglers so group commit has company, but never past the deadline.
+    if (options_.batch_delay_us <= 0 || stopping_.load()) break;
+    if (!queue_nonempty_.wait_until(lock, deadline, [&] {
+          return !queue_.empty() || stopping_.load();
+        })) {
+      break;  // deadline hit with nothing new
+    }
+    if (queue_.empty()) break;  // woken by stopping_
+  }
+  MetricSet(g_queue_depth_, static_cast<int64_t>(queue_.size()));
+  lock.unlock();
+  queue_nonfull_.notify_all();
+  return true;
+}
+
+void Server::EngineLoop() {
+  std::vector<Work> batch;
+  std::vector<Response> resps;
+  while (true) {
+    batch.clear();
+    resps.clear();
+    if (!NextBatch(&batch)) break;
+    resps.resize(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ApplyRequest(batch[i].req, &resps[i]);
+    }
+    FinishBatch(&batch, &resps);
+    MetricAdd(c_batches_);
+    ObserveValue(h_batch_size_, batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      SendResponse(batch[i].session.get(), resps[i]);
+    }
+  }
+}
+
+void Server::ApplyRequest(const Request& req, Response* resp) {
+  resp->tag = req.tag;
+  Status s = Status::OK();
+  switch (req.type) {
+    case MsgType::kHello:
+      if (req.version != kProtocolVersion) {
+        s = Status::InvalidArgument(StrCat("protocol version ", req.version,
+                                           " unsupported; server speaks ",
+                                           kProtocolVersion));
+      }
+      break;
+    case MsgType::kPing:
+      break;  // the batch barrier is the whole point
+    case MsgType::kRaiseEvent:
+      s = db_->RaiseEvent(event::Event{req.event_name, req.event_params});
+      break;
+    case MsgType::kInsert:
+      s = db_->InsertRow(req.table, req.row);
+      break;
+    case MsgType::kUpdate:
+    case MsgType::kDelete: {
+      db::ParamMap params;
+      for (const auto& [name, value] : req.params) params[name] = value;
+      Result<size_t> n =
+          req.type == MsgType::kUpdate
+              ? db_->UpdateRows(req.table, req.set, req.where, &params)
+              : db_->DeleteRows(req.table, req.where, &params);
+      if (n.ok()) {
+        resp->rows = static_cast<int64_t>(n.value());
+      } else {
+        s = n.status();
+      }
+      break;
+    }
+    case MsgType::kQuery: {
+      // Reads observe the engine mid-batch: flush deferred evaluation first
+      // so triggered actions' effects are visible, matching the unbatched
+      // library semantics request-for-request.
+      s = engine_->Flush();
+      if (s.ok()) {
+        db::ParamMap params;
+        for (const auto& [name, value] : req.params) params[name] = value;
+        Result<db::Relation> rel = db_->QuerySql(req.sql, &params);
+        if (rel.ok()) {
+          resp->rows = static_cast<int64_t>(rel.value().size());
+          resp->text = rel.value().ToString();
+        } else {
+          s = rel.status();
+        }
+      }
+      break;
+    }
+    case MsgType::kTakeFirings: {
+      s = engine_->Flush();
+      if (s.ok()) {
+        std::lock_guard<std::mutex> lock(firings_mu_);
+        auto fresh = engine_->TakeFirings();
+        firing_log_.insert(firing_log_.end(),
+                           std::make_move_iterator(fresh.begin()),
+                           std::make_move_iterator(fresh.end()));
+        resp->firings = std::move(firing_log_);
+        firing_log_.clear();
+      }
+      break;
+    }
+    case MsgType::kStats:
+      s = engine_->Flush();
+      if (s.ok()) {
+        resp->text =
+            options_.metrics != nullptr ? options_.metrics->ToJson() : "{}";
+      }
+      break;
+    case MsgType::kFlush:
+      s = engine_->Flush();
+      break;
+    case MsgType::kCheckpoint:
+      s = engine_->Flush();
+      if (s.ok()) {
+        s = mgr_ != nullptr
+                ? mgr_->Checkpoint()
+                : Status::InvalidArgument("server runs without durability");
+      }
+      break;
+  }
+  resp->applied_seq = db_->history().size();
+  if (!s.ok()) {
+    resp->code = s.code();
+    resp->message = s.message();
+  }
+}
+
+void Server::FinishBatch(std::vector<Work>* batch,
+                         std::vector<Response>* resps) {
+  Status s = engine_->Flush();
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(firings_mu_);
+    auto fresh = engine_->TakeFirings();
+    firing_log_.insert(firing_log_.end(),
+                       std::make_move_iterator(fresh.begin()),
+                       std::make_move_iterator(fresh.end()));
+  }
+  // Action errors are per-rule, not per-request (a batched action cannot be
+  // attributed to one frame); drain them so they don't accumulate.
+  (void)engine_->TakeErrors();
+  // One barrier retires every commit in the batch (group commit). A barrier
+  // failure poisons every OK ack in the batch: those writes applied in
+  // memory but their durability is unknown, and acking them would break the
+  // acked-implies-durable contract the soak test enforces.
+  if (s.ok() && mgr_ != nullptr) s = mgr_->WaitWalDurable();
+  if (!s.ok()) {
+    for (size_t i = 0; i < batch->size(); ++i) {
+      Response& r = (*resps)[i];
+      if (r.code == StatusCode::kOk) {
+        r.code = s.code();
+        r.message = StrCat("durability barrier failed: ", s.message());
+      }
+    }
+  }
+}
+
+void Server::SendResponse(Session* session, const Response& resp) {
+  if (session->closed.load()) return;
+  std::string payload;
+  EncodeResponse(resp, &payload);
+  std::lock_guard<std::mutex> lock(session->write_mu);
+  if (session->closed.load()) return;
+  // A dead peer (mid-stream disconnect) surfaces here; the session is torn
+  // down and remaining responses for it are dropped on the floor.
+  if (!WriteFrame(session->fd, payload).ok()) {
+    session->closed.store(true);
+    shutdown(session->fd, SHUT_RDWR);
+  }
+}
+
+void Server::CloseSession(Session* session) {
+  session->closed.store(true);
+  std::lock_guard<std::mutex> lock(session->write_mu);
+  if (session->fd >= 0) {
+    shutdown(session->fd, SHUT_RDWR);
+    close(session->fd);
+    session->fd = -1;
+    if (g_sessions_ != nullptr) g_sessions_->Add(-1);
+  }
+}
+
+}  // namespace ptldb::server

@@ -1,0 +1,180 @@
+// The event-ingestion server: the paper's §8 asynchronous invocation
+// architecture behind a socket.
+//
+// The paper observes that the DBMS need not invoke the temporal component
+// synchronously for every event: "the temporal component invocation can be
+// executed for multiple events at the same time... trigger firing may be
+// delayed, but not go unrecognized." The server realizes that architecture
+// across processes:
+//
+//   * N connection reader threads decode frames and push requests into one
+//     bounded MPSC queue. A full queue blocks the reader (TCP backpressure
+//     propagates to the client) or, with `reject_when_full`, answers
+//     kUnavailable immediately (admission control).
+//   * ONE engine thread owns the database and rule engine — the substrate is
+//     single-threaded by design (§2: commits serialize) and the queue is the
+//     serialization point. It drains requests into batches (up to
+//     `max_batch`, waiting at most `batch_delay_us` for stragglers), applies
+//     them through the normal library path with RuleEngine batching, flushes,
+//     then issues ONE durability barrier for the whole batch (WAL group
+//     commit under FsyncPolicy::kGroup) before acknowledging any of it:
+//     ack-after-durable, amortized.
+//
+// Because every request flows through the same engine APIs in queue order,
+// the firing log the server produces is byte-identical to a direct library
+// run of the same request sequence at any batch size (rules at default
+// priority) — tests/server_equivalence_test.cc holds it to that.
+
+#ifndef PTLDB_SERVER_SERVER_H_
+#define PTLDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "rules/engine.h"
+#include "server/protocol.h"
+#include "storage/durability.h"
+
+namespace ptldb::server {
+
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  uint16_t port = 0;
+
+  /// Largest request batch the engine thread applies between durability
+  /// barriers; also the RuleEngine batching window (§8). 1 = synchronous.
+  size_t max_batch = 64;
+
+  /// Latency bound: after the first request of a batch arrives, wait at most
+  /// this long for more before applying a partial batch. 0 = never wait.
+  int64_t batch_delay_us = 200;
+
+  /// Bounded request queue: readers pushing past this block (backpressure)
+  /// or get rejected (admission control, below).
+  size_t queue_capacity = 1024;
+
+  /// Full queue policy: false = block the reader thread, letting TCP flow
+  /// control slow the client; true = answer kUnavailable immediately.
+  bool reject_when_full = false;
+
+  /// Optional observability registry (not owned; may be null).
+  Metrics* metrics = nullptr;
+};
+
+/// Ties one engine stack (database + rules + optional durability) to a
+/// listening socket. Construction wires, Start() spawns threads, Stop()
+/// joins them. The components must outlive the server and must not be
+/// driven concurrently from outside while it runs.
+class Server {
+ public:
+  /// `mgr` may be null (no durability; acks mean "applied", not "durable").
+  Server(ServerOptions options, db::Database* db, rules::RuleEngine* engine,
+         storage::DurabilityManager* mgr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept + engine threads.
+  Status Start();
+
+  /// Stops accepting, drains the queue (responses for everything admitted
+  /// are still written), closes sessions, joins all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start; resolves port 0).
+  uint16_t port() const { return port_; }
+
+  /// Firings drained from the engine so far, in execution order — the
+  /// server-side firing log (kTakeFirings serves and clears it).
+  std::vector<rules::Firing> TakeFirings();
+
+  /// Total requests admitted into the queue so far.
+  uint64_t requests_admitted() const {
+    return requests_admitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One connected client. Reader-owned except `write_mu` (the engine
+  /// thread writes responses) and `closed`.
+  struct Session {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> closed{false};
+    uint64_t id = 0;
+  };
+
+  struct Work {
+    Request req;
+    std::shared_ptr<Session> session;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Session> session);
+  void EngineLoop();
+
+  /// Pops up to max_batch requests, honoring the latency bound. Returns
+  /// false when the server is stopping and the queue is empty.
+  bool NextBatch(std::vector<Work>* batch);
+
+  /// Applies one request against the engine stack (no durability barrier —
+  /// the caller batches those). Fills `resp`.
+  void ApplyRequest(const Request& req, Response* resp);
+
+  /// Runs Flush + firing-log drain + durability barrier; on barrier failure
+  /// rewrites every pending OK response to the barrier error (those commits
+  /// are not durable and must not be acked as such).
+  void FinishBatch(std::vector<Work>* batch, std::vector<Response>* resps);
+
+  void SendResponse(Session* session, const Response& resp);
+  void CloseSession(Session* session);
+
+  ServerOptions options_;
+  db::Database* db_;
+  rules::RuleEngine* engine_;
+  storage::DurabilityManager* mgr_;  // may be null
+
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::thread engine_thread_;
+  std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::vector<std::thread> reader_threads_;
+  uint64_t next_session_id_ = 1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_nonempty_;
+  std::condition_variable queue_nonfull_;
+  std::deque<Work> queue_;
+
+  std::mutex firings_mu_;
+  std::vector<rules::Firing> firing_log_;
+
+  std::atomic<uint64_t> requests_admitted_{0};
+
+  // Cached instruments (null when options_.metrics is null).
+  Metrics::Gauge* g_queue_depth_ = nullptr;
+  Metrics::Gauge* g_sessions_ = nullptr;
+  Metrics::Counter* c_requests_ = nullptr;
+  Metrics::Counter* c_batches_ = nullptr;
+  Metrics::Counter* c_rejections_ = nullptr;
+  Metrics::Histogram* h_batch_size_ = nullptr;
+};
+
+}  // namespace ptldb::server
+
+#endif  // PTLDB_SERVER_SERVER_H_

@@ -66,7 +66,27 @@ DurabilityManager::~DurabilityManager() {
     targets_.engine->SetFiringObserver(nullptr);
     targets_.engine->SetPostUpdateHook(nullptr);
   }
-  if (wal_ != nullptr && status_.ok()) (void)wal_->Sync();
+  if (wal_ != nullptr && status_.ok()) {
+    if (group_ != nullptr) {
+      (void)group_->SyncAll();
+    } else {
+      (void)wal_->Sync();
+    }
+  }
+}
+
+Status DurabilityManager::AppendRecord(
+    const std::function<Status(WalWriter*)>& append) {
+  if (group_ != nullptr) return group_->Append(append).status();
+  return append(wal_.get());
+}
+
+Status DurabilityManager::WaitWalDurable() {
+  if (!status_.ok()) return status_;
+  if (group_ == nullptr) return Status::OK();
+  Status s = group_->SyncAll();
+  if (!s.ok()) Fail(s);
+  return s;
 }
 
 Status DurabilityManager::OpenFreshWal() {
@@ -88,12 +108,20 @@ Status DurabilityManager::OpenFreshWal() {
       WalWriter writer,
       WalWriter::Create(std::move(file), /*existing_bytes=*/0, options_.fsync));
   wal_ = std::make_unique<WalWriter>(std::move(writer));
+  if (options_.fsync == FsyncPolicy::kGroup) {
+    if (group_ == nullptr) {
+      group_ = std::make_unique<GroupCommitter>(wal_.get());
+    } else {
+      group_->Rebind(wal_.get());
+    }
+  }
   // First record names the checkpoint this log extends — a reader can tell a
   // stale WAL (from before the crash-recover cycle) from the live one.
   WalCheckpointRecord marker;
   marker.checkpoint_id = checkpoint_id_;
   marker.history_size = targets_.db->history().size();
-  return wal_->AppendCheckpoint(marker);
+  return AppendRecord(
+      [&marker](WalWriter* wal) { return wal->AppendCheckpoint(marker); });
 }
 
 Status DurabilityManager::Checkpoint() {
@@ -114,7 +142,7 @@ Status DurabilityManager::Checkpoint() {
   }
   // Everything past this point touches the disk; failures are fatal.
   if (wal_ != nullptr) {
-    s = wal_->Sync();
+    s = group_ != nullptr ? group_->SyncAll() : wal_->Sync();
     if (!s.ok()) {
       in_checkpoint_ = false;
       Fail(s);
@@ -169,7 +197,8 @@ void DurabilityManager::OnStateAppended(const event::SystemState& state) {
   rec.clock_now = targets_.clock->Now();
   rec.events = state.events;
   rec.deltas = std::move(deltas);
-  Status s = wal_->AppendState(rec);
+  Status s =
+      AppendRecord([&rec](WalWriter* wal) { return wal->AppendState(rec); });
   if (!s.ok()) {
     Fail(std::move(s));
     return;
@@ -183,7 +212,8 @@ void DurabilityManager::OnFiring(const rules::Firing& firing) {
   rec.rule = firing.rule;
   rec.params = firing.params;
   rec.time = firing.time;
-  Status s = wal_->AppendFiring(rec);
+  Status s =
+      AppendRecord([&rec](WalWriter* wal) { return wal->AppendFiring(rec); });
   if (!s.ok()) Fail(std::move(s));
 }
 
@@ -199,7 +229,8 @@ void DurabilityManager::OnIcVeto(int64_t txn, Timestamp time,
   rec.seq = targets_.db->history().size();  // the rejected prospective seq
   rec.time = time;
   rec.violated = violated;
-  Status s = wal_->AppendIcVeto(rec);
+  Status s =
+      AppendRecord([&rec](WalWriter* wal) { return wal->AppendIcVeto(rec); });
   if (!s.ok()) Fail(std::move(s));
 }
 

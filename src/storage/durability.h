@@ -28,11 +28,13 @@
 #define PTLDB_STORAGE_DURABILITY_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "storage/checkpoint.h"
+#include "storage/group_commit.h"
 #include "storage/recovery.h"
 #include "storage/wal.h"
 
@@ -80,6 +82,18 @@ class DurabilityManager : public db::Database::WalSink,
   /// treat this as fatal (the log no longer covers the live state).
   const Status& status() const { return status_; }
 
+  /// Group commit (FsyncPolicy::kGroup only; null otherwise). Concurrent
+  /// sessions append through the manager's normal sink callbacks (engine
+  /// thread) and ack durability with WaitWalDurable/group()->WaitDurable.
+  GroupCommitter* group() { return group_.get(); }
+
+  /// Durability barrier for acknowledgement: under kGroup, blocks until the
+  /// whole WAL tail is on stable storage (one fsync retires every commit
+  /// appended since the last barrier). Under kSync it is a no-op (records
+  /// are already durable); under kNone/kAsync it is also a no-op — those
+  /// policies explicitly trade away the guarantee.
+  Status WaitWalDurable();
+
   /// Aggregate WAL statistics across checkpoints (WAL resets included).
   WalStats wal_stats() const;
   uint64_t last_checkpoint_id() const { return checkpoint_id_; }
@@ -103,6 +117,9 @@ class DurabilityManager : public db::Database::WalSink,
       : options_(std::move(options)), targets_(targets) {}
 
   Status OpenFreshWal();
+  /// Routes one record append through the group committer when one is
+  /// attached (kGroup), directly to the writer otherwise.
+  Status AppendRecord(const std::function<Status(WalWriter*)>& append);
   void Fail(Status s);
 
   DurabilityOptions options_;
@@ -110,6 +127,7 @@ class DurabilityManager : public db::Database::WalSink,
   FileFactory* factory_ = nullptr;  // options_.file_factory or &posix_
   PosixFileFactory posix_;
   std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<GroupCommitter> group_;  // non-null only under kGroup
   std::vector<db::RedoDelta> pending_deltas_;
   Status status_ = Status::OK();
   uint64_t checkpoint_id_ = 0;       // last committed checkpoint id

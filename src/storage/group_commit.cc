@@ -1,0 +1,103 @@
+#include "storage/group_commit.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ptldb::storage {
+
+Result<uint64_t> GroupCommitter::Append(
+    const std::function<Status(WalWriter*)>& append) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!status_.ok()) return status_;
+  Status s = append(wal_);
+  if (!s.ok()) {
+    status_ = s;
+    return status_;
+  }
+  ++stats_.appends;
+  return ++appended_lsn_;
+}
+
+void GroupCommitter::RecordAck(bool led_sync) {
+  ++stats_.commits_acked;
+  if (!led_sync) ++stats_.commits_coalesced;
+  ++batch_acks_;
+  stats_.max_batch = std::max(stats_.max_batch, batch_acks_);
+}
+
+Status GroupCommitter::WaitDurable(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!status_.ok()) return status_;
+  if (lsn > appended_lsn_) {
+    return Status::InvalidArgument(
+        StrCat("WaitDurable(", lsn, ") past the last appended LSN ",
+               appended_lsn_));
+  }
+  if (durable_lsn_ >= lsn) {
+    // Covered by a sync some earlier leader issued while we queued on the
+    // latch (or long before) — the amortized fast path.
+    RecordAck(/*led_sync=*/false);
+    return Status::OK();
+  }
+  // Lead: one fsync covers everything appended so far, not just our record.
+  // The latch is held across the fsync; committers piling up behind it form
+  // the next group.
+  const uint64_t target = appended_lsn_;
+  Status s = wal_->Sync();
+  if (!s.ok()) {
+    // Sticky: the tail's coverage is unknown, nothing may be acked anymore.
+    // Every queued and future waiter gets this same status.
+    status_ = s;
+    return status_;
+  }
+  durable_lsn_ = target;
+  ++stats_.sync_batches;
+  batch_acks_ = 0;
+  RecordAck(/*led_sync=*/true);
+  return Status::OK();
+}
+
+Status GroupCommitter::SyncAll() {
+  uint64_t end;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status_.ok()) return status_;
+    end = appended_lsn_;
+    if (end == durable_lsn_ && end == 0) return Status::OK();
+    if (durable_lsn_ >= end) return Status::OK();
+  }
+  return WaitDurable(end);
+}
+
+void GroupCommitter::Rebind(WalWriter* wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_ = wal;
+  // The checkpoint barrier synced the old log before the swap and the fresh
+  // log is superseded by the checkpoint itself, so every LSN handed out so
+  // far is durable by definition.
+  durable_lsn_ = appended_lsn_;
+  batch_acks_ = 0;
+}
+
+uint64_t GroupCommitter::appended_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_lsn_;
+}
+
+uint64_t GroupCommitter::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+GroupCommitStats GroupCommitter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status GroupCommitter::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+}  // namespace ptldb::storage

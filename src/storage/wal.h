@@ -42,6 +42,9 @@ enum class FsyncPolicy {
   kNone,   // never fsync (OS decides; fastest, weakest)
   kAsync,  // fsync every kAsyncSyncInterval records
   kSync,   // fsync after every record (strongest)
+  kGroup,  // never fsync at append; a GroupCommitter issues batched syncs
+           // on behalf of concurrent committers (same guarantee as kSync for
+           // acknowledged commits, amortized — see storage/group_commit.h)
 };
 
 inline constexpr uint64_t kAsyncSyncInterval = 64;

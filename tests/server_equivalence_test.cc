@@ -1,0 +1,398 @@
+// Differential harness for the server path: a seed fully determines a world
+// (random rule set over the q0/q1 substrate) and a workload of requests. The
+// workload runs once through the library directly (synchronous invocation,
+// batch size 1) and once through a real socket server at several batch
+// configurations — {1, 8, 64, latency-bound} — with deep pipelining so the
+// engine thread actually forms multi-request batches. Every observable must
+// be byte-identical: per-request outcome (status code, message, row count,
+// applied sequence number, query text), the firing log, and the final
+// contents of every table. This is the §8 "trigger firing may be delayed,
+// but not go unrecognized" guarantee, held to the byte.
+//
+// Rules run at default priority with record_execution=false and pure
+// actions: under those conditions deferred (batched) invocation commutes
+// with synchronous invocation — Flush merges decisions in queue order and
+// RunPendingActions orders by (priority, registration order), so the firing
+// log cannot depend on where the batch boundaries fell.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "db/database.h"
+#include "formula_gen.h"
+#include "rules/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "testutil.h"
+
+namespace ptldb::server {
+namespace {
+
+using testutil::Rng;
+using testutil::RuleSetGen;
+using testutil::RuleSpec;
+
+// One workload step, expressed as a wire request (the library run interprets
+// the same struct through direct API calls).
+struct Op {
+  Request req;
+};
+
+struct Scenario {
+  std::vector<std::vector<Op>> waves;  // ops between clock advances
+  std::vector<Timestamp> advances;     // advances[i] applied after waves[i]
+};
+
+// The workload generator is separate from the rule-set generator so both
+// runs can rebuild the identical rule set from the seed while sharing one
+// pre-generated op list.
+Scenario GenScenario(uint64_t seed) {
+  Rng rng(seed * 2654435761u + 17);
+  Scenario sc;
+  size_t waves = 3 + rng.Below(3);
+  for (size_t w = 0; w < waves; ++w) {
+    std::vector<Op> wave;
+    size_t n = 8 + rng.Below(12);
+    for (size_t i = 0; i < n; ++i) {
+      Op op;
+      switch (rng.Below(10)) {
+        case 0:
+        case 1:
+        case 2: {
+          op.req.type = MsgType::kRaiseEvent;
+          op.req.event_name = rng.Chance(0.5) ? "e0" : "e1";
+          if (rng.Chance(0.3)) op.req.event_params = {Value::Int(1)};
+          break;
+        }
+        case 3:
+        case 4:
+        case 5: {
+          op.req.type = MsgType::kUpdate;
+          op.req.table = "data";
+          op.req.set = {{"v", "$v"}};
+          op.req.where = "k = $k";
+          op.req.params = {
+              {"v", Value::Int(rng.Range(-5, 15))},
+              {"k", Value::Str(rng.Chance(0.5) ? "q0" : "q1")}};
+          break;
+        }
+        case 6: {
+          op.req.type = MsgType::kInsert;
+          op.req.table = "dom";
+          op.req.row = {Value::Int(rng.Range(0, 5))};
+          break;
+        }
+        case 7: {
+          op.req.type = MsgType::kQuery;
+          op.req.sql = "SELECT v FROM data WHERE k = $k";
+          op.req.params = {{"k", Value::Str(rng.Chance(0.5) ? "q0" : "q1")}};
+          break;
+        }
+        case 8: {
+          // Doomed delete: bad table name — error paths must match too.
+          op.req.type = MsgType::kDelete;
+          op.req.table = "nope";
+          op.req.where = "v = 0";
+          break;
+        }
+        default: {
+          op.req.type = MsgType::kPing;
+          break;
+        }
+      }
+      wave.push_back(std::move(op));
+    }
+    sc.waves.push_back(std::move(wave));
+    sc.advances.push_back(1 + static_cast<Timestamp>(rng.Below(4)));
+  }
+  return sc;
+}
+
+// The engine stack both runs share: q0/q1 substrate plus a seed-determined
+// rule set, constrained to the batching-commutative subset (priority 0, no
+// execution recording, pure actions).
+struct EqWorld {
+  SimClock clock{0};
+  db::Database db{&clock};
+  rules::RuleEngine engine{&db};
+  std::string reg_log;
+
+  explicit EqWorld(uint64_t seed) {
+    PTLDB_CHECK_OK(db.CreateTable(
+        "data",
+        db::Schema({{"k", ValueType::kString}, {"v", ValueType::kInt64}}),
+        {"k"}));
+    PTLDB_CHECK_OK(db.InsertRow("data", {Value::Str("q0"), Value::Int(5)}));
+    PTLDB_CHECK_OK(db.InsertRow("data", {Value::Str("q1"), Value::Int(7)}));
+    PTLDB_CHECK_OK(
+        db.CreateTable("dom", db::Schema({{"p", ValueType::kInt64}})));
+    PTLDB_CHECK_OK(engine.queries().Register(
+        "q0", "SELECT v FROM data WHERE k = 'q0'", {}));
+    PTLDB_CHECK_OK(engine.queries().Register(
+        "q1", "SELECT v FROM data WHERE k = 'q1'", {}));
+
+    Rng rng(seed);
+    RuleSetGen gen(&rng, "SELECT p FROM dom");
+    std::vector<RuleSpec> specs = gen.Gen(3 + rng.Below(5));
+    for (RuleSpec& spec : specs) {
+      rules::RuleOptions options;
+      options.level_triggered = spec.level_triggered;
+      options.event_filtered = spec.event_filtered;
+      // Deliberately NOT carried over — these make history itself depend on
+      // where batch boundaries fall: spec.priority (non-zero priorities
+      // reorder actions across batch boundaries), spec.record_execution
+      // (@executed states would land at batch-dependent positions), and
+      // spec.aggregate_rewrite (the §6.1.1 rewrite rules write aggregate
+      // item tables from deferred actions). kDirect evaluation is the
+      // batching-commutative mode.
+      options.aggregate_mode = rules::AggregateMode::kDirect;
+      options.record_execution = false;  // defaults on — must be forced off
+      auto noop = [](rules::ActionContext&) -> Status { return Status::OK(); };
+      Status s;
+      switch (spec.kind) {
+        case RuleSpec::Kind::kTrigger:
+          s = engine.AddTriggerFormula(spec.name, spec.condition, noop,
+                                       options);
+          break;
+        case RuleSpec::Kind::kFamily:
+          s = engine.AddTriggerFamilyFormula(spec.name, spec.domain_sql,
+                                             spec.param_names, spec.condition,
+                                             noop, options);
+          break;
+        case RuleSpec::Kind::kIc:
+          s = engine.AddIntegrityConstraintFormula(spec.name, spec.condition);
+          break;
+      }
+      if (!s.ok()) {
+        reg_log += StrCat("reg-skip ", spec.name, ": ", s.ToString(), "\n");
+      }
+    }
+  }
+
+  std::string DumpTables() {
+    std::string out;
+    for (const std::string& name : db.catalog().TableNames()) {
+      auto r = db.QuerySql(StrCat("SELECT * FROM ", name));
+      out += StrCat("== ", name, "\n",
+                    r.ok() ? r->ToString() : r.status().ToString());
+    }
+    return out;
+  }
+};
+
+struct Observed {
+  std::string reg_log;
+  std::string op_log;   // one line per request: outcome, rows, seq, text
+  std::string firings;  // the drained firing log, rendered
+  std::string db;       // final table dump
+};
+
+std::string RenderOutcome(size_t index, StatusCode code,
+                          const std::string& message, int64_t rows,
+                          uint64_t applied_seq, const std::string& text) {
+  return StrCat("op", index, " code=", static_cast<int>(code), " msg=", message,
+                " rows=", rows, " seq=", applied_seq, " text=[", text, "]\n");
+}
+
+std::string RenderFirings(const std::vector<rules::Firing>& firings) {
+  std::string out;
+  for (const rules::Firing& f : firings) {
+    out += StrCat("fired ", f.rule, "[", f.params, "] t=", f.time, "\n");
+  }
+  return out;
+}
+
+// Reference semantics: the same requests applied through the library, one at
+// a time, fully synchronous.
+Observed RunLibrary(uint64_t seed, const Scenario& sc) {
+  EqWorld w(seed);
+  Observed out;
+  out.reg_log = w.reg_log;
+  size_t index = 0;
+  for (size_t wave = 0; wave < sc.waves.size(); ++wave) {
+    for (const Op& op : sc.waves[wave]) {
+      const Request& req = op.req;
+      Status s = Status::OK();
+      int64_t rows = 0;  // Response::rows default; only row ops set it
+      std::string text;
+      switch (req.type) {
+        case MsgType::kPing:
+          break;
+        case MsgType::kRaiseEvent:
+          s = w.db.RaiseEvent(event::Event{req.event_name, req.event_params});
+          break;
+        case MsgType::kInsert:
+          s = w.db.InsertRow(req.table, req.row);
+          break;
+        case MsgType::kUpdate:
+        case MsgType::kDelete: {
+          db::ParamMap params;
+          for (const auto& [name, value] : req.params) params[name] = value;
+          Result<size_t> n =
+              req.type == MsgType::kUpdate
+                  ? w.db.UpdateRows(req.table, req.set, req.where, &params)
+                  : w.db.DeleteRows(req.table, req.where, &params);
+          if (n.ok()) {
+            rows = static_cast<int64_t>(n.value());
+          } else {
+            s = n.status();
+          }
+          break;
+        }
+        case MsgType::kQuery: {
+          db::ParamMap params;
+          for (const auto& [name, value] : req.params) params[name] = value;
+          Result<db::Relation> rel = w.db.QuerySql(req.sql, &params);
+          if (rel.ok()) {
+            rows = static_cast<int64_t>(rel.value().size());
+            text = rel.value().ToString();
+          } else {
+            s = rel.status();
+          }
+          break;
+        }
+        default:
+          PTLDB_CHECK(false);  // scenario generated an unexpected type
+      }
+      out.op_log += RenderOutcome(index++, s.ok() ? StatusCode::kOk : s.code(),
+                                  s.ok() ? "" : std::string(s.message()), rows,
+                                  w.db.history().size(), text);
+    }
+    w.clock.Advance(sc.advances[wave]);
+  }
+  PTLDB_CHECK_OK(w.engine.Flush());
+  out.firings = RenderFirings(w.engine.TakeFirings());
+  (void)w.engine.TakeErrors();  // pure actions: always empty
+  out.db = w.DumpTables();
+  return out;
+}
+
+// Server semantics: the same requests pushed through a real socket with deep
+// pipelining (a whole wave in flight at once), so the engine thread batches.
+Observed RunServer(uint64_t seed, const Scenario& sc, size_t max_batch,
+                   int64_t batch_delay_us) {
+  EqWorld w(seed);
+  ServerOptions opts;
+  opts.max_batch = max_batch;
+  opts.batch_delay_us = batch_delay_us;
+  Server srv(opts, &w.db, &w.engine, /*mgr=*/nullptr);
+  PTLDB_CHECK_OK(srv.Start());
+
+  Observed out;
+  out.reg_log = w.reg_log;
+  Client client;
+  PTLDB_CHECK_OK(client.Connect(srv.port()));
+
+  size_t index = 0;
+  for (size_t wave = 0; wave < sc.waves.size(); ++wave) {
+    // Pipeline the whole wave, then collect responses in send order. Only
+    // after every response is in (the engine thread is parked on an empty
+    // queue) is it safe to touch the shared clock.
+    for (const Op& op : sc.waves[wave]) {
+      PTLDB_CHECK_OK(client.Send(op.req).status());
+    }
+    for (size_t i = 0; i < sc.waves[wave].size(); ++i) {
+      auto resp = client.Receive();
+      PTLDB_CHECK_OK(resp.status());
+      out.op_log +=
+          RenderOutcome(index++, resp->code, resp->message, resp->rows,
+                        resp->applied_seq, resp->text);
+    }
+    w.clock.Advance(sc.advances[wave]);
+  }
+
+  // A final Flush request forces deferred evaluation before shutdown, same
+  // as the library run's trailing Flush.
+  Request flush;
+  flush.type = MsgType::kFlush;
+  auto resp = client.Call(std::move(flush));
+  PTLDB_CHECK_OK(resp.status());
+  PTLDB_CHECK(resp->code == StatusCode::kOk);
+
+  client.Close();
+  srv.Stop();
+  out.firings = RenderFirings(srv.TakeFirings());
+  out.db = w.DumpTables();
+  return out;
+}
+
+struct BatchConfig {
+  const char* name;
+  size_t max_batch;
+  int64_t delay_us;
+};
+
+// {1, 8, 64} pin the batch size; "latency-bound" leaves the size effectively
+// unbounded and lets the delay knob close batches, the intended production
+// configuration.
+const BatchConfig kConfigs[] = {
+    {"batch=1", 1, 0},
+    {"batch=8", 8, 0},
+    {"batch=64", 64, 200},
+    {"latency-bound", 1024, 2000},
+};
+
+TEST(ServerEquivalenceTest, ServerMatchesLibraryAtEveryBatchSize) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Scenario sc = GenScenario(seed);
+    Observed lib = RunLibrary(seed, sc);
+    for (const BatchConfig& cfg : kConfigs) {
+      Observed srv = RunServer(seed, sc, cfg.max_batch, cfg.delay_us);
+      ASSERT_EQ(lib.reg_log, srv.reg_log) << "seed " << seed << " " << cfg.name;
+      ASSERT_EQ(lib.op_log, srv.op_log) << "seed " << seed << " " << cfg.name;
+      ASSERT_EQ(lib.firings, srv.firings)
+          << "seed " << seed << " " << cfg.name;
+      ASSERT_EQ(lib.db, srv.db) << "seed " << seed << " " << cfg.name;
+    }
+  }
+}
+
+// The kTakeFirings request must serve exactly the firings accumulated so
+// far, in order, and clear them: two pipelined probes see a partition of the
+// total log.
+TEST(ServerEquivalenceTest, TakeFiringsServesAndClearsTheLog) {
+  uint64_t seed = 3;
+  Scenario sc = GenScenario(seed);
+  Observed lib = RunLibrary(seed, sc);
+
+  EqWorld w(seed);
+  ServerOptions opts;
+  opts.max_batch = 16;
+  opts.batch_delay_us = 200;
+  Server srv(opts, &w.db, &w.engine, nullptr);
+  PTLDB_CHECK_OK(srv.Start());
+  Client client;
+  PTLDB_CHECK_OK(client.Connect(srv.port()));
+
+  std::string firings;
+  for (size_t wave = 0; wave < sc.waves.size(); ++wave) {
+    for (const Op& op : sc.waves[wave]) {
+      PTLDB_CHECK_OK(client.Send(op.req).status());
+    }
+    for (size_t i = 0; i < sc.waves[wave].size(); ++i) {
+      PTLDB_CHECK_OK(client.Receive().status());
+    }
+    Request take;
+    take.type = MsgType::kTakeFirings;
+    auto resp = client.Call(std::move(take));
+    PTLDB_CHECK_OK(resp.status());
+    ASSERT_EQ(resp->code, StatusCode::kOk);
+    firings += RenderFirings(resp->firings);
+    w.clock.Advance(sc.advances[wave]);
+  }
+  client.Close();
+  srv.Stop();
+  // Everything was served through the wire; the server-side log is empty.
+  firings += RenderFirings(srv.TakeFirings());
+  EXPECT_EQ(lib.firings, firings);
+}
+
+}  // namespace
+}  // namespace ptldb::server

@@ -1,0 +1,249 @@
+// Wire-protocol battery: encode/decode roundtrips for every message type,
+// strict-prefix truncation (every byte boundary of every payload must fail
+// to decode, never crash or accept), oversized/zero/garbage frame rejection,
+// and frame I/O over a real socketpair including torn streams.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "server/protocol.h"
+#include "testutil.h"
+
+namespace ptldb::server {
+namespace {
+
+Request SampleRequest(MsgType type) {
+  Request req;
+  req.type = type;
+  req.tag = 0xDEADBEEF;
+  switch (type) {
+    case MsgType::kHello:
+      req.version = kProtocolVersion;
+      break;
+    case MsgType::kPing:
+    case MsgType::kTakeFirings:
+    case MsgType::kStats:
+    case MsgType::kFlush:
+    case MsgType::kCheckpoint:
+      break;
+    case MsgType::kRaiseEvent:
+      req.event_name = "tick";
+      req.event_params = {Value::Int(3), Value::Str("IBM"), Value::Real(2.5),
+                          Value::Bool(true), Value::Null()};
+      break;
+    case MsgType::kInsert:
+      req.table = "ticks";
+      req.row = {Value::Int(1), Value::Int(2), Value::Real(9.75)};
+      break;
+    case MsgType::kUpdate:
+      req.table = "stock";
+      req.set = {{"price", "$p"}, {"name", "name"}};
+      req.where = "name = $n";
+      req.params = {{"p", Value::Real(55)}, {"n", Value::Str("IBM")}};
+      break;
+    case MsgType::kDelete:
+      req.table = "stock";
+      req.where = "price < $p";
+      req.params = {{"p", Value::Real(10)}};
+      break;
+    case MsgType::kQuery:
+      req.sql = "SELECT price FROM stock WHERE name = $n";
+      req.params = {{"n", Value::Str("HP")}};
+      break;
+  }
+  return req;
+}
+
+const std::vector<MsgType> kAllTypes = {
+    MsgType::kHello,  MsgType::kPing,        MsgType::kRaiseEvent,
+    MsgType::kInsert, MsgType::kUpdate,      MsgType::kDelete,
+    MsgType::kQuery,  MsgType::kTakeFirings, MsgType::kStats,
+    MsgType::kFlush,  MsgType::kCheckpoint,
+};
+
+TEST(ServerProtocolTest, RequestRoundTripsEveryType) {
+  for (MsgType type : kAllTypes) {
+    Request req = SampleRequest(type);
+    std::string payload;
+    EncodeRequest(req, &payload);
+    ASSERT_OK_AND_ASSIGN(Request got, DecodeRequest(payload));
+    EXPECT_EQ(got.type, req.type);
+    EXPECT_EQ(got.tag, req.tag);
+    EXPECT_EQ(got.version, req.version);
+    EXPECT_EQ(got.event_name, req.event_name);
+    EXPECT_EQ(got.event_params, req.event_params);
+    EXPECT_EQ(got.table, req.table);
+    EXPECT_EQ(got.row, req.row);
+    EXPECT_EQ(got.set, req.set);
+    EXPECT_EQ(got.where, req.where);
+    EXPECT_EQ(got.sql, req.sql);
+    EXPECT_EQ(got.params, req.params);
+  }
+}
+
+TEST(ServerProtocolTest, ResponseRoundTrip) {
+  Response resp;
+  resp.tag = 77;
+  resp.code = StatusCode::kUnavailable;
+  resp.message = "busy";
+  resp.applied_seq = 123456789;
+  resp.rows = -3;
+  resp.text = std::string("a\nrendered\ttable\0with nul", 25);
+  resp.firings = {{"sharp_drop", "", 42}, {"cheap", "sym='HP'", 43}};
+  std::string payload;
+  EncodeResponse(resp, &payload);
+  ASSERT_OK_AND_ASSIGN(Response got, DecodeResponse(payload));
+  EXPECT_EQ(got.tag, resp.tag);
+  EXPECT_EQ(got.code, resp.code);
+  EXPECT_EQ(got.message, resp.message);
+  EXPECT_EQ(got.applied_seq, resp.applied_seq);
+  EXPECT_EQ(got.rows, resp.rows);
+  EXPECT_EQ(got.text, resp.text);
+  ASSERT_EQ(got.firings.size(), 2u);
+  EXPECT_EQ(got.firings[0].rule, "sharp_drop");
+  EXPECT_EQ(got.firings[1].params, "sym='HP'");
+  EXPECT_EQ(got.firings[1].time, 43);
+}
+
+TEST(ServerProtocolTest, EveryStrictPrefixOfEveryRequestFailsToDecode) {
+  for (MsgType type : kAllTypes) {
+    std::string payload;
+    EncodeRequest(SampleRequest(type), &payload);
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      auto got = DecodeRequest(payload.substr(0, cut));
+      EXPECT_FALSE(got.ok())
+          << "type " << static_cast<int>(type) << " decoded a " << cut
+          << "-byte prefix of a " << payload.size() << "-byte payload";
+    }
+  }
+}
+
+TEST(ServerProtocolTest, EveryStrictPrefixOfAResponseFailsToDecode) {
+  Response resp;
+  resp.tag = 9;
+  resp.message = "m";
+  resp.text = "t";
+  resp.firings = {{"r", "p", 1}};
+  std::string payload;
+  EncodeResponse(resp, &payload);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeResponse(payload.substr(0, cut)).ok()) << cut;
+  }
+}
+
+TEST(ServerProtocolTest, TrailingGarbageIsRejected) {
+  for (MsgType type : kAllTypes) {
+    std::string payload;
+    EncodeRequest(SampleRequest(type), &payload);
+    payload.push_back('\0');
+    EXPECT_FALSE(DecodeRequest(payload).ok())
+        << "type " << static_cast<int>(type);
+  }
+}
+
+TEST(ServerProtocolTest, GarbageHeadersAreRejected) {
+  EXPECT_FALSE(DecodeRequest("").ok());
+  EXPECT_FALSE(DecodeRequest(std::string(1, '\0')).ok());   // type 0
+  EXPECT_FALSE(DecodeRequest(std::string(1, '\x7f')).ok());  // unknown type
+  std::string huge_arity;
+  {
+    // Valid kUpdate prefix whose set-list arity claims 2^31 entries.
+    codec::Writer w(&huge_arity);
+    w.U8(static_cast<uint8_t>(MsgType::kUpdate));
+    w.U32(1);
+    w.Str("stock");
+    w.U32(1u << 31);
+  }
+  EXPECT_FALSE(DecodeRequest(huge_arity).ok());
+  std::string bad_code;
+  {
+    codec::Writer w(&bad_code);
+    w.U32(1);
+    w.U8(255);  // no such StatusCode
+  }
+  EXPECT_FALSE(DecodeResponse(bad_code).ok());
+}
+
+// ---- Frame I/O over a real byte stream ----
+
+class FramePipeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) close(fds_[0]);
+    if (fds_[1] >= 0) close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramePipeTest, FrameRoundTrip) {
+  ASSERT_OK(WriteFrame(fds_[0], "hello frame"));
+  ASSERT_OK(WriteFrame(fds_[0], std::string(3, '\0')));
+  std::string got;
+  ASSERT_OK(ReadFrame(fds_[1], &got));
+  EXPECT_EQ(got, "hello frame");
+  ASSERT_OK(ReadFrame(fds_[1], &got));
+  EXPECT_EQ(got, std::string(3, '\0'));
+}
+
+TEST_F(FramePipeTest, CleanCloseIsNotFound) {
+  close(fds_[0]);
+  fds_[0] = -1;
+  std::string got;
+  EXPECT_EQ(ReadFrame(fds_[1], &got).code(), StatusCode::kNotFound);
+}
+
+TEST_F(FramePipeTest, TornStreamAtEveryByteBoundary) {
+  std::string payload = "torn-frame-payload";
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string wire(reinterpret_cast<const char*>(&len), sizeof len);
+  wire += payload;
+  // Cut the wire bytes at every position: 0 is a clean close, anything else
+  // is a torn frame.
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_EQ(send(fds[0], wire.data(), cut, 0), static_cast<ssize_t>(cut));
+    close(fds[0]);
+    std::string got;
+    Status s = ReadFrame(fds[1], &got);
+    if (cut == 0) {
+      EXPECT_EQ(s.code(), StatusCode::kNotFound) << cut;
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << cut;
+    }
+    close(fds[1]);
+  }
+}
+
+TEST_F(FramePipeTest, OversizedAndZeroLengthFramesAreRejected) {
+  uint32_t len = kMaxFrameLen + 1;
+  ASSERT_EQ(send(fds_[0], &len, sizeof len, 0),
+            static_cast<ssize_t>(sizeof len));
+  std::string got;
+  EXPECT_EQ(ReadFrame(fds_[1], &got).code(), StatusCode::kInvalidArgument);
+
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  len = 0;
+  ASSERT_EQ(send(fds[0], &len, sizeof len, 0),
+            static_cast<ssize_t>(sizeof len));
+  EXPECT_EQ(ReadFrame(fds[1], &got).code(), StatusCode::kInvalidArgument);
+  close(fds[0]);
+  close(fds[1]);
+
+  // The writer enforces the same bound.
+  EXPECT_FALSE(WriteFrame(fds_[0], "").ok());
+  EXPECT_FALSE(WriteFrame(fds_[0], std::string(kMaxFrameLen + 1, 'x')).ok());
+}
+
+}  // namespace
+}  // namespace ptldb::server

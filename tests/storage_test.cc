@@ -4,16 +4,25 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/codec.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "db/database.h"
+#include "rules/engine.h"
 #include "storage/checkpoint.h"
+#include "storage/durability.h"
 #include "storage/file.h"
+#include "storage/group_commit.h"
+#include "storage/recovery.h"
 #include "storage/wal.h"
 #include "testutil.h"
 
@@ -317,6 +326,235 @@ TEST_F(StorageTest, AsyncPolicySyncsEveryInterval) {
   EXPECT_EQ(writer.stats().syncs, 1u);
   EXPECT_EQ(writer.stats().records_appended, kAsyncSyncInterval + 1);
   EXPECT_EQ(writer.stats().firing_records, kAsyncSyncInterval + 1);
+}
+
+// ---- Group commit ----------------------------------------------------------
+
+TEST_F(StorageTest, GroupPolicyNeverSyncsAtAppend) {
+  PosixFileFactory factory;
+  ASSERT_OK_AND_ASSIGN(auto file, factory.OpenWritable(Path("wal.log"), true));
+  ASSERT_OK_AND_ASSIGN(WalWriter writer,
+                       WalWriter::Create(std::move(file), 0, FsyncPolicy::kGroup));
+  for (uint64_t i = 0; i < kAsyncSyncInterval * 2; ++i) {
+    ASSERT_OK(writer.AppendFiring({"r", "", static_cast<Timestamp>(i)}));
+  }
+  EXPECT_EQ(writer.stats().syncs, 0u);
+}
+
+TEST_F(StorageTest, GroupCommitBatchBoundariesDeterministic) {
+  PosixFileFactory factory;
+  ASSERT_OK_AND_ASSIGN(auto file, factory.OpenWritable(Path("wal.log"), true));
+  ASSERT_OK_AND_ASSIGN(WalWriter writer,
+                       WalWriter::Create(std::move(file), 0, FsyncPolicy::kGroup));
+  GroupCommitter group(&writer);
+  auto append_one = [&]() {
+    auto lsn = group.Append([](WalWriter* w) {
+      return w->AppendFiring({"r", "", 0});
+    });
+    PTLDB_CHECK(lsn.ok());
+    return lsn.value();
+  };
+
+  // Five appends, then one waiter on the tail: exactly one fsync covers all
+  // five, and a late waiter on an older LSN rides it for free.
+  uint64_t lsns[5];
+  for (auto& lsn : lsns) lsn = append_one();
+  EXPECT_EQ(lsns[4], 5u);
+  EXPECT_EQ(group.durable_lsn(), 0u);
+  ASSERT_OK(group.WaitDurable(lsns[4]));
+  EXPECT_EQ(group.durable_lsn(), 5u);
+  EXPECT_EQ(writer.stats().syncs, 1u);
+  ASSERT_OK(group.WaitDurable(lsns[1]));  // already durable: no new sync
+  EXPECT_EQ(writer.stats().syncs, 1u);
+
+  GroupCommitStats stats = group.stats();
+  EXPECT_EQ(stats.appends, 5u);
+  EXPECT_EQ(stats.sync_batches, 1u);
+  EXPECT_EQ(stats.commits_acked, 2u);
+  EXPECT_EQ(stats.commits_coalesced, 1u);
+
+  // A sixth append starts the next batch; waiting past the appended tail is
+  // a caller bug, not a silent success.
+  uint64_t lsn6 = append_one();
+  EXPECT_EQ(group.WaitDurable(lsn6 + 1).code(), StatusCode::kInvalidArgument);
+  ASSERT_OK(group.WaitDurable(lsn6));
+  EXPECT_EQ(writer.stats().syncs, 2u);
+  ASSERT_OK(group.SyncAll());  // tail already durable: no-op
+  EXPECT_EQ(writer.stats().syncs, 2u);
+}
+
+TEST_F(StorageTest, GroupCommitConcurrentWaitersCoalesce) {
+  // A sync slow enough that waiters pile up behind the leader's latch: the
+  // fsync count must come out well below the commit count (that gap IS the
+  // group-commit win), and every acked commit must be covered.
+  class SlowSyncFile : public WritableFile {
+   public:
+    explicit SlowSyncFile(std::unique_ptr<WritableFile> base)
+        : base_(std::move(base)) {}
+    Status Append(std::string_view data) override {
+      return base_->Append(data);
+    }
+    Status Sync() override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return base_->Sync();
+    }
+    Status Close() override { return base_->Close(); }
+
+   private:
+    std::unique_ptr<WritableFile> base_;
+  };
+
+  PosixFileFactory factory;
+  ASSERT_OK_AND_ASSIGN(auto base, factory.OpenWritable(Path("wal.log"), true));
+  ASSERT_OK_AND_ASSIGN(
+      WalWriter writer,
+      WalWriter::Create(std::make_unique<SlowSyncFile>(std::move(base)), 0,
+                        FsyncPolicy::kGroup));
+  GroupCommitter group(&writer);
+
+  constexpr int kThreads = 8;
+  constexpr int kCommitsPerThread = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&group] {
+      for (int i = 0; i < kCommitsPerThread; ++i) {
+        auto lsn = group.Append([](WalWriter* w) {
+          return w->AppendFiring({"r", "", 0});
+        });
+        PTLDB_CHECK(lsn.ok());
+        PTLDB_CHECK_OK(group.WaitDurable(lsn.value()));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  constexpr uint64_t kTotal = kThreads * kCommitsPerThread;
+  EXPECT_EQ(group.appended_lsn(), kTotal);
+  EXPECT_EQ(group.durable_lsn(), kTotal);
+  GroupCommitStats stats = group.stats();
+  EXPECT_EQ(stats.appends, kTotal);
+  EXPECT_EQ(stats.commits_acked, kTotal);
+  EXPECT_EQ(stats.sync_batches + stats.commits_coalesced, kTotal);
+  EXPECT_LT(stats.sync_batches, kTotal);  // some fsyncs retired >1 commit
+  EXPECT_GT(stats.max_batch, 1u);
+  EXPECT_EQ(writer.stats().syncs, stats.sync_batches);
+}
+
+TEST_F(StorageTest, GroupCommitSyncFailureIsStickyForAllWaiters) {
+  // Sync fails from the N-th call on: the leader that hits it gets the
+  // error, and so does every later waiter and appender — after a failed
+  // fsync the tail's coverage is unknown and nothing may be acked.
+  class FailingSyncFile : public WritableFile {
+   public:
+    FailingSyncFile(std::unique_ptr<WritableFile> base, int ok_syncs)
+        : base_(std::move(base)), ok_syncs_(ok_syncs) {}
+    Status Append(std::string_view data) override {
+      return base_->Append(data);
+    }
+    Status Sync() override {
+      if (ok_syncs_-- <= 0) return Status::Internal("disk gone");
+      return base_->Sync();
+    }
+    Status Close() override { return base_->Close(); }
+
+   private:
+    std::unique_ptr<WritableFile> base_;
+    int ok_syncs_;
+  };
+
+  PosixFileFactory factory;
+  ASSERT_OK_AND_ASSIGN(auto base, factory.OpenWritable(Path("wal.log"), true));
+  ASSERT_OK_AND_ASSIGN(
+      WalWriter writer,
+      WalWriter::Create(std::make_unique<FailingSyncFile>(std::move(base), 1),
+                        0, FsyncPolicy::kGroup));
+  GroupCommitter group(&writer);
+
+  auto append_one = [&]() {
+    return group.Append(
+        [](WalWriter* w) { return w->AppendFiring({"r", "", 0}); });
+  };
+  ASSERT_OK_AND_ASSIGN(uint64_t lsn1, append_one());
+  ASSERT_OK(group.WaitDurable(lsn1));  // the one good sync
+
+  ASSERT_OK_AND_ASSIGN(uint64_t lsn2, append_one());
+  Status failed = group.WaitDurable(lsn2);
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+
+  // Sticky: the same first error comes back everywhere, including for LSNs
+  // that were durable before the failure (the committer is dead, not the
+  // history) and from further appends.
+  EXPECT_EQ(group.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(group.WaitDurable(lsn1).code(), StatusCode::kInternal);
+  EXPECT_EQ(group.SyncAll().code(), StatusCode::kInternal);
+  EXPECT_EQ(append_one().status().code(), StatusCode::kInternal);
+  EXPECT_EQ(group.stats().appends, 2u);  // the failed append did not count
+}
+
+TEST_F(StorageTest, GroupCommitCrashAtBoundaryPreservesAckedCommits) {
+  // Kill the WAL byte stream at assorted offsets while a kGroup manager is
+  // acking commits with WaitWalDurable. Every commit acked before the fault
+  // must survive recovery of the torn directory — acked means durable, at
+  // whatever byte the crash lands.
+  for (uint64_t fail_at : {400u, 733u, 1101u, 1850u}) {
+    fs::path dir = dir_ / StrCat("crash_", fail_at);
+    FaultInjectingFileFactory factory("wal.log", fail_at);
+
+    SimClock clock;
+    db::Database db(&clock);
+    rules::RuleEngine engine(&db);
+    ASSERT_OK(db.CreateTable(
+        "kv",
+        db::Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}}),
+        {"k"}));
+    CheckpointTargets targets;
+    targets.db = &db;
+    targets.engine = &engine;
+    targets.clock = &clock;
+    DurabilityOptions opts;
+    opts.dir = dir.string();
+    opts.fsync = FsyncPolicy::kGroup;
+    opts.file_factory = &factory;
+    ASSERT_OK_AND_ASSIGN(auto mgr, DurabilityManager::Attach(opts, targets));
+
+    int64_t last_acked = 0;
+    for (int64_t i = 1; i <= 200; ++i) {
+      clock.Advance(1);
+      Status s = db.InsertRow("kv", {Value::Int(i), Value::Int(i * 10)});
+      if (s.ok()) s = mgr->WaitWalDurable();
+      if (!s.ok()) break;
+      last_acked = i;
+    }
+    // 200 inserts always overrun every fault offset above.
+    EXPECT_FALSE(mgr->status().ok()) << "fault at " << fail_at << " not hit";
+    EXPECT_GT(last_acked, 0) << "fault at " << fail_at;
+    mgr.reset();  // crash: the manager dies with the torn file on disk
+
+    SimClock clock2;
+    db::Database db2(&clock2);
+    rules::RuleEngine engine2(&db2);
+    ASSERT_OK(db2.CreateTable(
+        "kv",
+        db::Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}}),
+        {"k"}));
+    CheckpointTargets targets2;
+    targets2.db = &db2;
+    targets2.engine = &engine2;
+    targets2.clock = &clock2;
+    ASSERT_OK_AND_ASSIGN(RecoveryReport report,
+                         Recover(dir.string(), targets2));
+    EXPECT_TRUE(report.clean()) << report.ToString();
+    for (int64_t i = 1; i <= last_acked; ++i) {
+      db::ParamMap params{{"k", Value::Int(i)}};
+      ASSERT_OK_AND_ASSIGN(
+          db::Relation rel,
+          db2.QuerySql("SELECT v FROM kv WHERE k = $k", &params));
+      ASSERT_EQ(rel.size(), 1u)
+          << "acked row " << i << " lost after crash at byte " << fail_at;
+      EXPECT_EQ(rel.row(0)[0], Value::Int(i * 10));
+    }
+  }
 }
 
 }  // namespace
