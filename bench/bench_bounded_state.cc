@@ -106,6 +106,11 @@ int RunSmoke(const std::string& metrics_out) {
   engine.SetMetrics(&metrics);
   // A small threshold so the policy must engage many times within the run.
   engine.SetCollectThreshold(256);
+  // §5 query history with a short retention window: the retained-bytes gate
+  // below checks that trimming keeps the aux store bounded (deep
+  // EstimateBytes, string payloads included).
+  engine.SetQueryHistory(true);
+  engine.SetQueryHistoryRetention(64);
 
   if (!database.CreateTable("stock", db::Schema({{"name", ValueType::kString},
                                                  {"price", ValueType::kInt64}}))
@@ -153,6 +158,11 @@ int RunSmoke(const std::string& metrics_out) {
   // early-run state, and the collection policy must actually have fired.
   bool bounded = max_live <= 2 * max_live_first_quarter + 32;
   bool collected = collections > 0;
+  // Retained-bytes gate: the query history must have recorded, and retention
+  // trimming must keep its deep footprint far below the unbounded size
+  // (kStates intervals would be ~100 KiB; the 64-tick window is a few KiB).
+  size_t history_bytes = engine.QueryHistoryBytes();
+  bool history_bounded = history_bytes > 0 && history_bytes <= 32 * 1024;
 
   std::string json = metrics.ToJson();
   std::printf(
@@ -160,10 +170,12 @@ int RunSmoke(const std::string& metrics_out) {
       "  \"states\": %zu,\n  \"max_live_nodes\": %zu,\n"
       "  \"max_live_nodes_first_quarter\": %zu,\n  \"max_store_nodes\": %zu,\n"
       "  \"collections\": %llu,\n  \"bounded\": %s,\n  \"collected\": %s,\n"
+      "  \"query_history_bytes\": %zu,\n  \"history_bounded\": %s,\n"
       "  \"metrics\": %s\n}\n",
       kStates, max_live, max_live_first_quarter, max_store,
       static_cast<unsigned long long>(collections), bounded ? "true" : "false",
-      collected ? "true" : "false", json.c_str());
+      collected ? "true" : "false", history_bytes,
+      history_bounded ? "true" : "false", json.c_str());
   if (!metrics_out.empty()) {
     std::FILE* f = std::fopen(metrics_out.c_str(), "w");
     if (f == nullptr) {
@@ -176,11 +188,13 @@ int RunSmoke(const std::string& metrics_out) {
         "  \"states\": %zu,\n  \"max_live_nodes\": %zu,\n"
         "  \"max_live_nodes_first_quarter\": %zu,\n"
         "  \"max_store_nodes\": %zu,\n  \"collections\": %llu,\n"
-        "  \"bounded\": %s,\n  \"collected\": %s,\n  \"metrics\": %s\n}\n",
+        "  \"bounded\": %s,\n  \"collected\": %s,\n"
+        "  \"query_history_bytes\": %zu,\n  \"history_bounded\": %s,\n"
+        "  \"metrics\": %s\n}\n",
         kStates, max_live, max_live_first_quarter, max_store,
         static_cast<unsigned long long>(collections),
         bounded ? "true" : "false", collected ? "true" : "false",
-        json.c_str());
+        history_bytes, history_bounded ? "true" : "false", json.c_str());
     std::fclose(f);
   }
   if (!bounded) {
@@ -192,6 +206,12 @@ int RunSmoke(const std::string& metrics_out) {
   }
   if (!collected) {
     std::fprintf(stderr, "FAIL: the collection policy never engaged\n");
+    return 1;
+  }
+  if (!history_bounded) {
+    std::fprintf(stderr,
+                 "FAIL: query-history retained bytes out of bounds (%zu)\n",
+                 history_bytes);
     return 1;
   }
   return 0;

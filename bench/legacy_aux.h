@@ -1,0 +1,176 @@
+// Row-oriented reference implementation of the §5 auxiliary stores, as they
+// existed before the columnar rewrite (DESIGN.md §14). Kept here — not in
+// src/ — purely as the "before" side of the E15 benchmark: one struct per
+// interval, AsOf by linear scan, no dictionary encoding, shallow byte
+// estimates. Semantics match the columnar stores on the happy path so the
+// benchmark can cross-check answers.
+
+#ifndef PTLDB_BENCH_LEGACY_AUX_H_
+#define PTLDB_BENCH_LEGACY_AUX_H_
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "db/relation.h"
+
+namespace ptldb::bench {
+
+inline constexpr Timestamp kLegacyTimeMax =
+    std::numeric_limits<Timestamp>::max();
+
+/// Pre-columnar ScalarSeries: deque of interval structs, linear-scan AsOf.
+class LegacyScalarSeries {
+ public:
+  Status Record(Timestamp t, Value v) {
+    if (!intervals_.empty()) {
+      Interval& last = intervals_.back();
+      if (t < last.start) {
+        return Status::InvalidArgument("record time regressed");
+      }
+      if (last.value == v) return Status::OK();
+      if (last.start == t) {
+        intervals_.pop_back();
+      } else {
+        last.end = t;
+      }
+    }
+    intervals_.push_back(Interval{t, kLegacyTimeMax, std::move(v)});
+    return Status::OK();
+  }
+
+  /// The original implementation: walk every interval.
+  Result<Value> AsOf(Timestamp t) const {
+    for (const Interval& iv : intervals_) {
+      ++probes_;
+      if (iv.start <= t && t < iv.end) return iv.value;
+    }
+    return Status::NotFound("no value at time");
+  }
+
+  void TrimBefore(Timestamp horizon) {
+    while (!intervals_.empty() && intervals_.front().end != kLegacyTimeMax &&
+           intervals_.front().end <= horizon) {
+      intervals_.pop_front();
+    }
+  }
+
+  size_t num_intervals() const { return intervals_.size(); }
+  uint64_t probes() const { return probes_; }
+
+  /// The old shallow estimate (no string payloads, no dictionary).
+  size_t EstimateBytes() const {
+    return sizeof(*this) + intervals_.size() * sizeof(Interval);
+  }
+
+  /// What the rows actually retain, for honest memory comparison: every
+  /// interval carries a full Value copy, payload included.
+  size_t DeepBytes() const {
+    size_t total = sizeof(*this);
+    for (const Interval& iv : intervals_) {
+      total += sizeof(Interval);
+      if (iv.value.type() == ValueType::kString) {
+        total += iv.value.AsString().size();
+      }
+    }
+    return total;
+  }
+
+ private:
+  struct Interval {
+    Timestamp start;
+    Timestamp end;
+    Value value;
+  };
+  std::deque<Interval> intervals_;
+  mutable uint64_t probes_ = 0;
+};
+
+/// Pre-columnar RelationHistory: one stamped row struct per (tuple, interval),
+/// full tuple copies, AsOf by scanning every row ever recorded.
+class LegacyRelationHistory {
+ public:
+  explicit LegacyRelationHistory(db::Schema schema)
+      : schema_(std::move(schema)) {}
+
+  Status Record(Timestamp t, const db::Relation& rel) {
+    // Close rows that disappeared.
+    std::vector<bool> still_present(rows_.size(), false);
+    for (const db::Tuple& want : rel.rows()) {
+      for (size_t i = 0; i < rows_.size(); ++i) {
+        if (rows_[i].end == kLegacyTimeMax && !still_present[i] &&
+            rows_[i].row == want) {
+          still_present[i] = true;
+          break;
+        }
+      }
+    }
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (rows_[i].end == kLegacyTimeMax && !still_present[i]) {
+        rows_[i].end = t;
+      }
+    }
+    // Open rows that appeared.
+    for (const db::Tuple& want : rel.rows()) {
+      bool have = false;
+      for (size_t i = 0; i < rows_.size() && !have; ++i) {
+        have = rows_[i].end == kLegacyTimeMax && rows_[i].row == want &&
+               still_present[i];
+        if (have) still_present[i] = false;  // consume one copy per duplicate
+      }
+      if (!have) rows_.push_back(StampedRow{want, t, kLegacyTimeMax});
+    }
+    return Status::OK();
+  }
+
+  /// The original retrieval: selection over every stamped row.
+  Result<db::Relation> AsOf(Timestamp t) const {
+    db::Relation out(schema_);
+    for (const StampedRow& r : rows_) {
+      ++probes_;
+      if (r.start <= t && t < r.end) out.AppendUnchecked(r.row);
+    }
+    return out;
+  }
+
+  void TrimBefore(Timestamp horizon) {
+    size_t out = 0;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (rows_[i].end != kLegacyTimeMax && rows_[i].end <= horizon) continue;
+      rows_[out++] = rows_[i];
+    }
+    rows_.resize(out);
+  }
+
+  size_t num_rows() const { return rows_.size(); }
+  uint64_t probes() const { return probes_; }
+
+  /// Honest retained bytes: every stamped row stores a full materialized
+  /// tuple (no dictionary sharing).
+  size_t DeepBytes() const {
+    size_t total = sizeof(*this);
+    for (const StampedRow& r : rows_) {
+      total += sizeof(StampedRow) + r.row.size() * sizeof(Value);
+      for (const Value& v : r.row) {
+        if (v.type() == ValueType::kString) total += v.AsString().size();
+      }
+    }
+    return total;
+  }
+
+ private:
+  struct StampedRow {
+    db::Tuple row;
+    Timestamp start;
+    Timestamp end;
+  };
+  db::Schema schema_;
+  std::vector<StampedRow> rows_;
+  mutable uint64_t probes_ = 0;
+};
+
+}  // namespace ptldb::bench
+
+#endif  // PTLDB_BENCH_LEGACY_AUX_H_

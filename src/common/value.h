@@ -88,6 +88,14 @@ class Value {
   /// evaluator's hash-consing).
   size_t Hash() const;
 
+  /// Deep retained-memory estimate: the in-place representation plus any
+  /// heap payload (string bytes). Memory-accounting gates compare runs, so
+  /// this uses size(), not capacity(), to stay deterministic across
+  /// allocators.
+  size_t EstimateBytes() const {
+    return sizeof(Value) + (is_string() ? AsString().size() : 0);
+  }
+
   /// Render for diagnostics and result printing, e.g. `"IBM"`, `42`, `3.5`.
   std::string ToString() const;
 

@@ -8,32 +8,54 @@
 
 namespace ptldb::eval {
 
+namespace {
+
+/// Wire version byte following kColumnarTag. Bump on layout changes and keep
+/// the old read path.
+constexpr uint8_t kColumnarVersion = 2;
+
+}  // namespace
+
+// ---- ScalarSeries -----------------------------------------------------------
+
 Status ScalarSeries::Record(Timestamp t, Value v) {
-  if (!intervals_.empty()) {
-    Interval& last = intervals_.back();
-    if (t < last.start) {
+  if (num_intervals() > 0) {
+    if (t < starts_.back()) {
       return Status::InvalidArgument(
           StrCat("record at time ", t, " precedes last interval start ",
-                 last.start));
+                 starts_.back()));
     }
-    if (last.value == v) return Status::OK();  // unchanged: extend implicitly
-    last.end = t;
-    if (last.start == last.end) intervals_.pop_back();  // zero-length interval
+    if (dict_.At(vids_.back()) == v) return Status::OK();  // extend implicitly
+    ends_.back() = t;
+    if (starts_.back() == t) {  // zero-length interval: replaced outright
+      starts_.pop_back();
+      ends_.pop_back();
+      vids_.pop_back();
+    }
   }
   if (!has_record_) {
     first_start_ = t;
     has_record_ = true;
   }
-  intervals_.push_back(Interval{t, kTimeMax, std::move(v)});
+  starts_.push_back(t);
+  ends_.push_back(kTimeMax);
+  vids_.push_back(dict_.Intern(v));
   return Status::OK();
 }
 
 Result<Value> ScalarSeries::AsOf(Timestamp t) const {
-  // Binary search for the interval containing t.
-  auto it = std::upper_bound(
-      intervals_.begin(), intervals_.end(), t,
-      [](Timestamp x, const Interval& iv) { return x < iv.start; });
-  if (it == intervals_.begin()) {
+  // Binary search over the start column for the first interval past `t`.
+  size_t lo = base_, hi = starts_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    ++asof_probes_;
+    if (starts_[mid] <= t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == base_) {
     // Two distinct failures: `t` may predate the series entirely (nothing was
     // ever known at `t`), or the covering interval existed but TrimBefore
     // dropped it (the answer is gone, not absent).
@@ -43,29 +65,192 @@ Result<Value> ScalarSeries::AsOf(Timestamp t) const {
     }
     return Status::OutOfRange(
         StrCat("value history trimmed: time ", t,
-               " precedes the retained history (first retained interval "
-               "starts at ",
-               intervals_.front().start, ")"));
+               " precedes the retained history"));
   }
-  --it;
-  if (t >= it->end) {
+  size_t idx = lo - 1;
+  if (t >= ends_[idx]) {
     // Recorded intervals are contiguous, so a gap can only come from a trim.
     return Status::OutOfRange(
         StrCat("value history trimmed: no retained interval covers time ", t));
   }
-  return it->value;
+  return dict_.At(vids_[idx]);
+}
+
+Status ScalarSeries::GatherAsOf(const std::vector<Timestamp>& ts,
+                                std::vector<Value>* out) const {
+  out->clear();
+  out->reserve(ts.size());
+  if (ts.empty()) return Status::OK();
+  // One binary search positions the cursor at the first timestamp; the rest
+  // of the batch resolves by merging forward over the start column.
+  size_t lo = base_, hi = starts_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    ++asof_probes_;
+    if (starts_[mid] <= ts.front()) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  size_t cursor = lo;  // first interval with start > ts[i], advanced in step
+  Timestamp prev = ts.front();
+  for (Timestamp t : ts) {
+    if (t < prev) {
+      return Status::InvalidArgument("GatherAsOf requires ascending times");
+    }
+    prev = t;
+    while (cursor < starts_.size() && starts_[cursor] <= t) {
+      ++cursor;
+      ++asof_probes_;
+    }
+    if (cursor == base_) {
+      if (!has_record_ || t < first_start_) {
+        return Status::NotFound(
+            StrCat("no value recorded at or before time ", t));
+      }
+      return Status::OutOfRange(
+          StrCat("value history trimmed: time ", t,
+                 " precedes the retained history"));
+    }
+    size_t idx = cursor - 1;
+    ++asof_probes_;
+    if (t >= ends_[idx]) {
+      return Status::OutOfRange(StrCat(
+          "value history trimmed: no retained interval covers time ", t));
+    }
+    out->push_back(dict_.At(vids_[idx]));
+  }
+  return Status::OK();
 }
 
 Result<Value> ScalarSeries::Latest() const {
-  if (intervals_.empty()) return Status::NotFound("empty series");
-  return intervals_.back().value;
+  if (num_intervals() == 0) return Status::NotFound("empty series");
+  return dict_.At(vids_.back());
 }
 
 void ScalarSeries::TrimBefore(Timestamp horizon) {
-  while (!intervals_.empty() && intervals_.front().end <= horizon) {
-    intervals_.pop_front();
+  // Never drop an interval that is still open: it covers the present no
+  // matter the horizon (including horizon == kTimeMax).
+  while (base_ < starts_.size() && ends_[base_] != kTimeMax &&
+         ends_[base_] <= horizon) {
+    ++base_;
     ++intervals_trimmed_;
   }
+  CompactIfWorthwhile();
+}
+
+void ScalarSeries::CompactIfWorthwhile() {
+  if (base_ == 0) return;
+  if (base_ == starts_.size()) {
+    starts_.clear();
+    ends_.clear();
+    vids_.clear();
+    std::vector<uint32_t> remap;
+    dict_.Rebuild(std::vector<bool>(dict_.size(), false), &remap);
+    base_ = 0;
+    return;
+  }
+  // Re-base once the dead prefix dominates; amortized O(1) per trimmed
+  // interval.
+  if (base_ < 64 || base_ < starts_.size() / 2) return;
+  starts_.erase(starts_.begin(), starts_.begin() + static_cast<long>(base_));
+  ends_.erase(ends_.begin(), ends_.begin() + static_cast<long>(base_));
+  vids_.erase(vids_.begin(), vids_.begin() + static_cast<long>(base_));
+  base_ = 0;
+  // Dictionary GC: entries only the dead prefix referenced are dropped.
+  std::vector<bool> live(dict_.size(), false);
+  for (uint32_t vid : vids_) live[vid] = true;
+  std::vector<uint32_t> remap;
+  dict_.Rebuild(live, &remap);
+  for (uint32_t& vid : vids_) vid = remap[vid];
+}
+
+void ScalarSeries::Serialize(codec::Writer* w) const {
+  w->U8(kColumnarTag);
+  w->U8(kColumnarVersion);
+  w->Bool(has_record_);
+  w->I64(first_start_);
+  w->U64(intervals_trimmed_);
+  dict_.Serialize(w);
+  w->U32(static_cast<uint32_t>(num_intervals()));
+  for (size_t i = base_; i < starts_.size(); ++i) {
+    w->I64(starts_[i]);
+    w->I64(ends_[i]);
+    w->U32(vids_[i]);
+  }
+}
+
+Status ScalarSeries::Deserialize(codec::Reader* r) {
+  starts_.clear();
+  ends_.clear();
+  vids_.clear();
+  base_ = 0;
+  {
+    std::vector<uint32_t> remap;
+    dict_.Rebuild(std::vector<bool>(dict_.size(), false), &remap);
+  }
+  PTLDB_ASSIGN_OR_RETURN(uint8_t first, r->PeekU8());
+  if (first == kColumnarTag) {
+    (void)r->U8();
+    PTLDB_ASSIGN_OR_RETURN(uint8_t version, r->U8());
+    if (version != kColumnarVersion) {
+      return Status::InvalidArgument(
+          StrCat("unknown scalar-series wire version ", version));
+    }
+    PTLDB_ASSIGN_OR_RETURN(has_record_, r->Bool());
+    PTLDB_ASSIGN_OR_RETURN(first_start_, r->I64());
+    PTLDB_ASSIGN_OR_RETURN(intervals_trimmed_, r->U64());
+    PTLDB_RETURN_IF_ERROR(dict_.Deserialize(r));
+    PTLDB_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+    starts_.reserve(n <= r->remaining() ? n : 0);
+    Timestamp prev_start = std::numeric_limits<Timestamp>::min();
+    for (uint32_t i = 0; i < n; ++i) {
+      PTLDB_ASSIGN_OR_RETURN(Timestamp s, r->I64());
+      PTLDB_ASSIGN_OR_RETURN(Timestamp e, r->I64());
+      PTLDB_ASSIGN_OR_RETURN(uint32_t vid, r->U32());
+      if (s < prev_start || vid >= dict_.size()) {
+        return Status::InvalidArgument("scalar-series dump is corrupt");
+      }
+      prev_start = s;
+      starts_.push_back(s);
+      ends_.push_back(e);
+      vids_.push_back(vid);
+    }
+    return Status::OK();
+  }
+  // Migration read path: v1 row-oriented dump (bool-first layout).
+  PTLDB_ASSIGN_OR_RETURN(has_record_, r->Bool());
+  PTLDB_ASSIGN_OR_RETURN(first_start_, r->I64());
+  PTLDB_ASSIGN_OR_RETURN(intervals_trimmed_, r->U64());
+  PTLDB_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  for (uint32_t i = 0; i < n; ++i) {
+    PTLDB_ASSIGN_OR_RETURN(Timestamp s, r->I64());
+    PTLDB_ASSIGN_OR_RETURN(Timestamp e, r->I64());
+    PTLDB_ASSIGN_OR_RETURN(Value v, r->Val());
+    starts_.push_back(s);
+    ends_.push_back(e);
+    vids_.push_back(dict_.Intern(v));
+  }
+  return Status::OK();
+}
+
+// ---- RelationHistory --------------------------------------------------------
+
+uint32_t RelationHistory::EncodeTuple(const db::Tuple& row) {
+  std::vector<uint32_t> cell_ids;
+  cell_ids.reserve(row.size());
+  for (const Value& v : row) cell_ids.push_back(values_.Intern(v));
+  return tuples_.Intern(cell_ids);
+}
+
+db::Tuple RelationHistory::DecodeTuple(uint32_t tid) const {
+  db::Tuple row;
+  uint32_t arity = tuples_.Arity(tid);
+  row.reserve(arity);
+  const uint32_t* cells = arity > 0 ? tuples_.Cells(tid) : nullptr;
+  for (uint32_t c = 0; c < arity; ++c) row.push_back(values_.At(cells[c]));
+  return row;
 }
 
 Status RelationHistory::Record(Timestamp t, const db::Relation& rel) {
@@ -76,39 +261,65 @@ Status RelationHistory::Record(Timestamp t, const db::Relation& rel) {
     return Status::InvalidArgument(
         StrCat("record at time ", t, " precedes last record at ", last_time_));
   }
-  // Multiset of the new contents.
-  std::unordered_map<db::Tuple, int64_t, db::TupleHash> want;
-  for (const db::Tuple& row : rel.rows()) ++want[row];
+  // Multiset of the new contents, dictionary-encoded.
+  std::unordered_map<uint32_t, int64_t> want;
+  std::vector<uint32_t> new_tids;
+  new_tids.reserve(rel.rows().size());
+  for (const db::Tuple& row : rel.rows()) {
+    uint32_t tid = EncodeTuple(row);
+    new_tids.push_back(tid);
+    ++want[tid];
+  }
 
-  // Close intervals of rows that disappeared (or whose multiplicity dropped);
-  // keep rows still present. A row opened at `t` and closed at `t` would have
-  // a zero-length [t, t) interval: `AsOf` can never observe it, so drop it
-  // outright instead of retaining a phantom row until the next TrimBefore.
+  // Close intervals of rows that disappeared (or whose multiplicity
+  // dropped); keep rows still present. A row opened at `t` and closed at `t`
+  // would have a zero-length [t, t) interval: `AsOf` can never observe it,
+  // so drop it outright instead of retaining a phantom row.
   bool any_phantom = false;
-  for (StampedRow& sr : rows_) {
-    if (sr.end != kTimeMax) continue;
-    auto it = want.find(sr.row);
+  size_t out_open = 0;
+  for (size_t k = 0; k < open_rows_.size(); ++k) {
+    const size_t i = open_rows_[k];
+    auto it = want.find(tids_[i]);
     if (it != want.end() && it->second > 0) {
       --it->second;  // still present: interval stays open
+      open_rows_[out_open++] = i;
     } else {
-      sr.end = t;
-      if (sr.start == t) any_phantom = true;
+      ends_[i] = t;
+      if (starts_[i] == t) {
+        any_phantom = true;
+      } else if (t > max_closed_end_) {
+        max_closed_end_ = t;
+      }
     }
   }
+  open_rows_.resize(out_open);
   if (any_phantom) {
-    size_t before = rows_.size();
-    rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
-                               [t](const StampedRow& sr) {
-                                 return sr.start == t && sr.end == t;
-                               }),
-                rows_.end());
-    phantom_rows_dropped_ += before - rows_.size();
-  }
-  // Open intervals for genuinely new rows.
-  for (const auto& [row, count] : want) {
-    for (int64_t i = 0; i < count; ++i) {
-      rows_.push_back(StampedRow{row, t, kTimeMax});
+    size_t out = 0;
+    open_rows_.clear();
+    for (size_t i = 0; i < starts_.size(); ++i) {
+      if (starts_[i] == t && ends_[i] == t) continue;
+      starts_[out] = starts_[i];
+      ends_[out] = ends_[i];
+      tids_[out] = tids_[i];
+      if (ends_[out] == kTimeMax) open_rows_.push_back(out);
+      ++out;
     }
+    phantom_rows_dropped_ += starts_.size() - out;
+    starts_.resize(out);
+    ends_.resize(out);
+    tids_.resize(out);
+  }
+  // Open intervals for genuinely new rows, preserving the relation's row
+  // order (deterministic, unlike iterating the count map). Appends keep
+  // open_rows_ sorted: new indices are the largest so far.
+  for (uint32_t tid : new_tids) {
+    auto it = want.find(tid);
+    if (it->second <= 0) continue;
+    --it->second;
+    open_rows_.push_back(starts_.size());
+    starts_.push_back(t);
+    ends_.push_back(kTimeMax);
+    tids_.push_back(tid);
   }
   last_time_ = t;
   has_record_ = true;
@@ -123,8 +334,32 @@ Result<db::Relation> RelationHistory::AsOf(Timestamp t) const {
                "; reconstruction at ", t, " would be incomplete"));
   }
   db::Relation out(schema_);
-  for (const StampedRow& sr : rows_) {
-    if (sr.start <= t && t < sr.end) out.AppendUnchecked(sr.row);
+  if (t >= last_time_ && t >= max_closed_end_) {
+    // Current-time fast path: no closed interval can cover `t`, so only open
+    // rows qualify — O(live relation) via the open-row index, independent of
+    // how much closed history is retained. open_rows_ ascends, so the output
+    // order matches the historical path's store order.
+    for (size_t i : open_rows_) {
+      ++asof_probes_;
+      out.AppendUnchecked(DecodeTuple(tids_[i]));
+    }
+    return out;
+  }
+  // Historical read: binary search the start column for the candidate
+  // prefix (start <= t), then filter by end.
+  size_t lo = 0, hi = starts_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    ++asof_probes_;
+    if (starts_[mid] <= t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (size_t i = 0; i < lo; ++i) {
+    ++asof_probes_;
+    if (t < ends_[i]) out.AppendUnchecked(DecodeTuple(tids_[i]));
   }
   return out;
 }
@@ -134,58 +369,76 @@ db::Relation RelationHistory::Store() const {
   cols.push_back(db::Column{"T_start", ValueType::kInt64});
   cols.push_back(db::Column{"T_end", ValueType::kInt64});
   db::Relation out{db::Schema(std::move(cols))};
-  for (const StampedRow& sr : rows_) {
-    db::Tuple row = sr.row;
-    row.push_back(Value::Time(sr.start));
-    row.push_back(Value::Time(sr.end));
+  for (size_t i = 0; i < starts_.size(); ++i) {
+    db::Tuple row = DecodeTuple(tids_[i]);
+    row.push_back(Value::Time(starts_[i]));
+    row.push_back(Value::Time(ends_[i]));
     out.AppendUnchecked(std::move(row));
   }
   return out;
 }
 
 void RelationHistory::TrimBefore(Timestamp horizon) {
-  size_t before = rows_.size();
-  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
-                             [horizon](const StampedRow& sr) {
-                               return sr.end <= horizon;
-                             }),
-              rows_.end());
-  if (rows_.size() != before) {
-    rows_trimmed_ += before - rows_.size();
+  size_t out = 0;
+  Timestamp new_max_closed = std::numeric_limits<Timestamp>::min();
+  Timestamp max_dropped_end = std::numeric_limits<Timestamp>::min();
+  std::vector<size_t> new_open;
+  new_open.reserve(open_rows_.size());
+  for (size_t i = 0; i < starts_.size(); ++i) {
+    // Open rows are never trimmed (they cover the present even when the
+    // horizon is kTimeMax); closed rows go once their validity has ended at
+    // or before the horizon.
+    if (ends_[i] != kTimeMax && ends_[i] <= horizon) {
+      if (ends_[i] > max_dropped_end) max_dropped_end = ends_[i];
+      continue;
+    }
+    if (ends_[i] != kTimeMax && ends_[i] > new_max_closed) {
+      new_max_closed = ends_[i];
+    }
+    starts_[out] = starts_[i];
+    ends_[out] = ends_[i];
+    tids_[out] = tids_[i];
+    if (ends_[out] == kTimeMax) new_open.push_back(out);
+    ++out;
+  }
+  if (out != starts_.size()) {
+    rows_trimmed_ += starts_.size() - out;
+    starts_.resize(out);
+    ends_.resize(out);
+    tids_.resize(out);
+    open_rows_ = std::move(new_open);
+    max_closed_end_ = new_max_closed;
     trimmed_ = true;
-    if (horizon > trim_horizon_) trim_horizon_ = horizon;
+    // Reconstruction at t is incomplete only if a dropped row could have been
+    // live at t, i.e. t < its end. The tight bound is the max dropped end,
+    // not the requested horizon (a TrimBefore(kTimeMax) that only sheds
+    // long-dead rows must not poison probes of the still-covered present).
+    if (max_dropped_end > trim_horizon_) trim_horizon_ = max_dropped_end;
+    CompactDictionaries();
   }
 }
 
-void ScalarSeries::Serialize(codec::Writer* w) const {
-  w->Bool(has_record_);
-  w->I64(first_start_);
-  w->U64(intervals_trimmed_);
-  w->U32(static_cast<uint32_t>(intervals_.size()));
-  for (const Interval& iv : intervals_) {
-    w->I64(iv.start);
-    w->I64(iv.end);
-    w->Val(iv.value);
+void RelationHistory::CompactDictionaries() {
+  std::vector<bool> live_tuples(tuples_.size(), false);
+  for (uint32_t tid : tids_) live_tuples[tid] = true;
+  std::vector<bool> live_values(values_.size(), false);
+  for (size_t tid = 0; tid < tuples_.size(); ++tid) {
+    if (!live_tuples[tid]) continue;
+    uint32_t arity = tuples_.Arity(static_cast<uint32_t>(tid));
+    const uint32_t* cells =
+        arity > 0 ? tuples_.Cells(static_cast<uint32_t>(tid)) : nullptr;
+    for (uint32_t c = 0; c < arity; ++c) live_values[cells[c]] = true;
   }
-}
-
-Status ScalarSeries::Deserialize(codec::Reader* r) {
-  PTLDB_ASSIGN_OR_RETURN(has_record_, r->Bool());
-  PTLDB_ASSIGN_OR_RETURN(first_start_, r->I64());
-  PTLDB_ASSIGN_OR_RETURN(intervals_trimmed_, r->U64());
-  PTLDB_ASSIGN_OR_RETURN(uint32_t n, r->U32());
-  intervals_.clear();
-  for (uint32_t i = 0; i < n; ++i) {
-    Interval iv;
-    PTLDB_ASSIGN_OR_RETURN(iv.start, r->I64());
-    PTLDB_ASSIGN_OR_RETURN(iv.end, r->I64());
-    PTLDB_ASSIGN_OR_RETURN(iv.value, r->Val());
-    intervals_.push_back(std::move(iv));
-  }
-  return Status::OK();
+  std::vector<uint32_t> value_remap;
+  values_.Rebuild(live_values, &value_remap);
+  std::vector<uint32_t> tuple_remap;
+  tuples_.Rebuild(live_tuples, value_remap, &tuple_remap);
+  for (uint32_t& tid : tids_) tid = tuple_remap[tid];
 }
 
 void RelationHistory::Serialize(codec::Writer* w) const {
+  w->U8(kColumnarTag);
+  w->U8(kColumnarVersion);
   w->U32(static_cast<uint32_t>(schema_.num_columns()));
   for (const db::Column& c : schema_.columns()) {
     w->Str(c.name);
@@ -197,18 +450,43 @@ void RelationHistory::Serialize(codec::Writer* w) const {
   w->I64(trim_horizon_);
   w->U64(rows_trimmed_);
   w->U64(phantom_rows_dropped_);
-  w->U32(static_cast<uint32_t>(rows_.size()));
-  for (const StampedRow& sr : rows_) {
-    w->ValVec(sr.row);
-    w->I64(sr.start);
-    w->I64(sr.end);
+  values_.Serialize(w);
+  tuples_.Serialize(w);
+  w->U32(static_cast<uint32_t>(starts_.size()));
+  for (size_t i = 0; i < starts_.size(); ++i) {
+    w->U32(tids_[i]);
+    w->I64(starts_[i]);
+    w->I64(ends_[i]);
   }
 }
 
 Status RelationHistory::Deserialize(codec::Reader* r) {
+  starts_.clear();
+  ends_.clear();
+  tids_.clear();
+  open_rows_.clear();
+  max_closed_end_ = std::numeric_limits<Timestamp>::min();
+  {
+    std::vector<uint32_t> value_remap, tuple_remap;
+    tuples_.Rebuild(std::vector<bool>(tuples_.size(), false), {}, &tuple_remap);
+    values_.Rebuild(std::vector<bool>(values_.size(), false), &value_remap);
+  }
+  PTLDB_ASSIGN_OR_RETURN(uint8_t first, r->PeekU8());
+  // v1 dumps start with the u32 schema arity; its low byte equals the
+  // columnar tag only for a 194-column schema, which the guard excludes.
+  const bool columnar =
+      first == kColumnarTag && schema_.num_columns() != kColumnarTag;
+  if (columnar) {
+    (void)r->U8();
+    PTLDB_ASSIGN_OR_RETURN(uint8_t version, r->U8());
+    if (version != kColumnarVersion) {
+      return Status::InvalidArgument(
+          StrCat("unknown relation-history wire version ", version));
+    }
+  }
   PTLDB_ASSIGN_OR_RETURN(uint32_t num_cols, r->U32());
   std::vector<db::Column> cols;
-  cols.reserve(num_cols);
+  cols.reserve(num_cols <= r->remaining() ? num_cols : 0);
   for (uint32_t i = 0; i < num_cols; ++i) {
     db::Column c;
     PTLDB_ASSIGN_OR_RETURN(c.name, r->Str());
@@ -226,26 +504,51 @@ Status RelationHistory::Deserialize(codec::Reader* r) {
   PTLDB_ASSIGN_OR_RETURN(trim_horizon_, r->I64());
   PTLDB_ASSIGN_OR_RETURN(rows_trimmed_, r->U64());
   PTLDB_ASSIGN_OR_RETURN(phantom_rows_dropped_, r->U64());
+  if (columnar) {
+    PTLDB_RETURN_IF_ERROR(values_.Deserialize(r));
+    PTLDB_RETURN_IF_ERROR(tuples_.Deserialize(r));
+    PTLDB_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+    starts_.reserve(n <= r->remaining() ? n : 0);
+    Timestamp prev_start = std::numeric_limits<Timestamp>::min();
+    for (uint32_t i = 0; i < n; ++i) {
+      PTLDB_ASSIGN_OR_RETURN(uint32_t tid, r->U32());
+      PTLDB_ASSIGN_OR_RETURN(Timestamp s, r->I64());
+      PTLDB_ASSIGN_OR_RETURN(Timestamp e, r->I64());
+      if (tid >= tuples_.size() || s < prev_start) {
+        return Status::InvalidArgument("relation-history dump is corrupt");
+      }
+      prev_start = s;
+      if (e == kTimeMax) open_rows_.push_back(starts_.size());
+      tids_.push_back(tid);
+      starts_.push_back(s);
+      ends_.push_back(e);
+      if (e != kTimeMax && e > max_closed_end_) max_closed_end_ = e;
+    }
+    return Status::OK();
+  }
+  // Migration read path: v1 row-oriented dump.
   PTLDB_ASSIGN_OR_RETURN(uint32_t n, r->U32());
-  rows_.clear();
-  rows_.reserve(n <= r->remaining() ? n : 0);
   for (uint32_t i = 0; i < n; ++i) {
-    StampedRow sr;
-    PTLDB_ASSIGN_OR_RETURN(sr.row, r->ValVec());
-    PTLDB_ASSIGN_OR_RETURN(sr.start, r->I64());
-    PTLDB_ASSIGN_OR_RETURN(sr.end, r->I64());
-    rows_.push_back(std::move(sr));
+    PTLDB_ASSIGN_OR_RETURN(db::Tuple row, r->ValVec());
+    PTLDB_ASSIGN_OR_RETURN(Timestamp s, r->I64());
+    PTLDB_ASSIGN_OR_RETURN(Timestamp e, r->I64());
+    if (e == kTimeMax) open_rows_.push_back(starts_.size());
+    tids_.push_back(EncodeTuple(row));
+    starts_.push_back(s);
+    ends_.push_back(e);
+    if (e != kTimeMax && e > max_closed_end_) max_closed_end_ = e;
   }
   return Status::OK();
 }
 
 void RelationHistory::ExportTo(Metrics& m, const std::string& prefix) const {
   const std::string base = "aux." + prefix;
-  m.gauge(base + ".rows").Set(static_cast<int64_t>(rows_.size()));
+  m.gauge(base + ".rows").Set(static_cast<int64_t>(num_rows()));
   m.gauge(base + ".bytes").Set(static_cast<int64_t>(EstimateBytes()));
   m.gauge(base + ".rows_trimmed").Set(static_cast<int64_t>(rows_trimmed_));
   m.gauge(base + ".phantom_rows_dropped")
       .Set(static_cast<int64_t>(phantom_rows_dropped_));
+  m.gauge(base + ".dict").Set(static_cast<int64_t>(tuples_.size()));
 }
 
 }  // namespace ptldb::eval

@@ -6,19 +6,27 @@
 // This module provides both flavors:
 //
 //   * ScalarSeries  — interval-stamped history of a scalar query value
-//     (one row per distinct consecutive value). Used by the valid-time layer
-//     to rebuild StateSnapshots when re-evaluating after retroactive updates,
-//     and by anything needing "value of q as of t".
+//     (one row per distinct consecutive value). The rule engine's query
+//     history records every evaluated ground query here, and anything
+//     needing "value of q as of t" reads it back.
 //   * RelationHistory — interval-stamped history of a full relation, stored
-//     exactly as the paper describes: one row per (tuple, validity interval).
+//     as the paper describes: one row per (tuple, validity interval).
 //
-// Both support retention trimming: the §5 observation that bounded temporal
-// operators only need a bounded window of the past.
+// Layout (DESIGN.md §14): both stores are *columnar*. Intervals live in
+// parallel T_start / T_end column vectors kept in interval-start order, and
+// values are dictionary-encoded — the value column holds packed 32-bit ids
+// into a ValueDict (scalars) or TupleDict over a ValueDict (rows). AsOf is a
+// binary search over the start column instead of a scan; a sorted batch of
+// timestamps resolves in one merge pass (GatherAsOf). Retention trimming
+// (TrimBefore) advances a base offset and compacts — columns and dictionary —
+// amortized O(1) per dropped interval.
+//
+// Both stores serialize with a columnar v2 wire tag and retain a migration
+// read path for row-oriented v1 dumps, so pre-columnar checkpoints restore.
 
 #ifndef PTLDB_EVAL_AUX_STORE_H_
 #define PTLDB_EVAL_AUX_STORE_H_
 
-#include <deque>
 #include <limits>
 #include <vector>
 
@@ -27,11 +35,19 @@
 #include "common/status.h"
 #include "common/value.h"
 #include "db/relation.h"
+#include "eval/value_dict.h"
 
 namespace ptldb::eval {
 
 /// Sentinel for "still valid" (the paper's T_end = MAX).
 inline constexpr Timestamp kTimeMax = std::numeric_limits<Timestamp>::max();
+
+/// Wire tag prefixing columnar (v2) dumps. v1 row-oriented ScalarSeries dumps
+/// begin with a bool byte (0/1) and v1 RelationHistory dumps with a u32
+/// column count, so the tag is unambiguous in practice (a RelationHistory
+/// schema of exactly 0xC2 = 194 columns would collide; Deserialize guards on
+/// the known schema arity).
+inline constexpr uint8_t kColumnarTag = 0xC2;
 
 /// Interval-stamped history of one scalar value.
 class ScalarSeries {
@@ -40,7 +56,8 @@ class ScalarSeries {
   /// only when the value changed; `t` must be >= the last recorded time.
   Status Record(Timestamp t, Value v);
 
-  /// Value at time `t`. The two failure modes are distinct:
+  /// Value at time `t`, by binary search over the start column. The two
+  /// failure modes are distinct:
   ///   * NotFound    — `t` precedes the first value ever recorded; the query
   ///     is simply before the series began.
   ///   * OutOfRange  — a value *was* recorded covering `t`, but `TrimBefore`
@@ -49,38 +66,65 @@ class ScalarSeries {
   /// it means their retention horizon is too tight.
   Result<Value> AsOf(Timestamp t) const;
 
+  /// Batched AsOf: answers every timestamp of the ascending-sorted `ts` in
+  /// one merge pass over the interval columns (O(ts.size() + log n) probes
+  /// instead of ts.size() independent binary searches). Error semantics per
+  /// element match AsOf; the first failing element aborts the gather.
+  /// InvalidArgument when `ts` is not sorted.
+  Status GatherAsOf(const std::vector<Timestamp>& ts,
+                    std::vector<Value>* out) const;
+
   /// Latest recorded value. NotFound when empty.
   Result<Value> Latest() const;
 
-  /// Drops intervals that ended before `horizon` (bounded-operator GC).
-  /// The interval covering `horizon` is always kept.
+  /// Drops intervals that ended at or before `horizon` (bounded-operator GC).
+  /// The interval covering `horizon` is always kept, and an interval that is
+  /// still open (end == kTimeMax) is never dropped — even when `horizon` is
+  /// kTimeMax itself.
   void TrimBefore(Timestamp horizon);
 
-  size_t num_intervals() const { return intervals_.size(); }
-  bool empty() const { return intervals_.empty(); }
+  size_t num_intervals() const { return starts_.size() - base_; }
+  bool empty() const { return num_intervals() == 0; }
 
   /// Total intervals dropped by TrimBefore over this series' lifetime.
   uint64_t intervals_trimmed() const { return intervals_trimmed_; }
 
-  /// Rough retained-memory estimate (containers only, not string payloads).
+  /// Distinct values in the dictionary (diagnostics; bounded by the value
+  /// domain, not the interval count).
+  size_t dict_size() const { return dict_.size(); }
+
+  /// Interval-column probes made by AsOf/GatherAsOf over this series'
+  /// lifetime (comparator invocations). The sublinearity regression test
+  /// asserts a 100k-interval lookup stays within O(log n) probes.
+  uint64_t asof_probes() const { return asof_probes_; }
+
+  /// Deep retained-memory estimate: columns plus the dictionary including
+  /// string payload bytes (satellite fix: the old estimate ignored payloads,
+  /// so the bounded-retained-state gate undercounted).
   size_t EstimateBytes() const {
-    return sizeof(*this) + intervals_.size() * sizeof(Interval);
+    return sizeof(*this) +
+           starts_.capacity() * 2 * sizeof(Timestamp) +
+           vids_.capacity() * sizeof(uint32_t) + dict_.EstimateBytes();
   }
 
-  /// Durable serialization of the full series (intervals + trim accounting).
+  /// Durable serialization (columnar v2; reads v1 row dumps too).
   void Serialize(codec::Writer* w) const;
   Status Deserialize(codec::Reader* r);
 
  private:
-  struct Interval {
-    Timestamp start;
-    Timestamp end;  // exclusive; kTimeMax while current
-    Value value;
-  };
-  std::deque<Interval> intervals_;
-  Timestamp first_start_ = 0;   // start of the first interval ever recorded
+  void CompactIfWorthwhile();
+
+  // Parallel interval columns, ascending by start; [base_, starts_.size())
+  // is the live window (TrimBefore advances base_, compaction re-bases).
+  std::vector<Timestamp> starts_;
+  std::vector<Timestamp> ends_;  // exclusive; kTimeMax while current
+  std::vector<uint32_t> vids_;   // dictionary ids, parallel to starts_
+  ValueDict dict_;
+  size_t base_ = 0;
+  Timestamp first_start_ = 0;  // start of the first interval ever recorded
   bool has_record_ = false;
   uint64_t intervals_trimmed_ = 0;
+  mutable uint64_t asof_probes_ = 0;
 };
 
 /// Interval-stamped history of a relation-valued query: the paper's R_x with
@@ -98,19 +142,23 @@ class RelationHistory {
   Status Record(Timestamp t, const db::Relation& rel);
 
   /// The relation as of time `t` (selection T_start <= t < T_end followed by
-  /// a projection, exactly the paper's retrieval). NotFound before the first
-  /// record; OutOfRange when `t` falls before a trim horizon that actually
-  /// dropped rows (the reconstruction would silently be incomplete).
+  /// a projection, exactly the paper's retrieval). Reads at or past the last
+  /// record time take a fast path over only the open rows; historical reads
+  /// binary-search the start column for the candidate prefix. NotFound
+  /// before the first record; OutOfRange when `t` falls before a trim
+  /// horizon that actually dropped rows (the reconstruction would silently
+  /// be incomplete).
   Result<db::Relation> AsOf(Timestamp t) const;
 
   /// The backing store as a relation with T_start / T_end columns appended —
   /// i.e. R_x itself, inspectable and queryable.
   db::Relation Store() const;
 
-  /// Drops rows whose validity ended before `horizon`.
+  /// Drops rows whose validity ended at or before `horizon`. Open rows
+  /// (end == kTimeMax) are never dropped, even for horizon == kTimeMax.
   void TrimBefore(Timestamp horizon);
 
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_rows() const { return starts_.size(); }
 
   /// Total rows dropped by TrimBefore over this history's lifetime.
   uint64_t rows_trimmed() const { return rows_trimmed_; }
@@ -119,36 +167,58 @@ class RelationHistory {
   /// [t, t) validity interval (inserted and dropped at the same timestamp).
   uint64_t phantom_rows_dropped() const { return phantom_rows_dropped_; }
 
-  /// Rough retained-memory estimate (containers only, not string payloads).
+  /// Distinct tuples in the row dictionary.
+  size_t dict_size() const { return tuples_.size(); }
+
+  /// Row-column probes made by AsOf over this history's lifetime.
+  uint64_t asof_probes() const { return asof_probes_; }
+
+  /// Deep retained-memory estimate: columns plus both dictionaries,
+  /// including string payload bytes.
   size_t EstimateBytes() const {
-    return sizeof(*this) +
-           rows_.size() *
-               (sizeof(StampedRow) + schema_.columns().size() * sizeof(Value));
+    return sizeof(*this) + starts_.capacity() * 2 * sizeof(Timestamp) +
+           tids_.capacity() * sizeof(uint32_t) +
+           open_rows_.capacity() * sizeof(size_t) + values_.EstimateBytes() +
+           tuples_.EstimateBytes();
   }
 
   /// Publishes interval/trim/bytes accounting into `m` under
-  /// `aux.<prefix>.{rows,rows_trimmed,phantom_rows_dropped,bytes}`.
+  /// `aux.<prefix>.{rows,rows_trimmed,phantom_rows_dropped,bytes,dict}`.
   void ExportTo(Metrics& m, const std::string& prefix) const;
 
-  /// Durable serialization. The schema travels with the dump; Deserialize
-  /// rejects a dump whose schema differs from this history's.
+  /// Durable serialization (columnar v2 with both dictionaries; reads v1
+  /// row dumps too). The schema travels with the dump; Deserialize rejects
+  /// a dump whose schema differs from this history's.
   void Serialize(codec::Writer* w) const;
   Status Deserialize(codec::Reader* r);
 
  private:
-  struct StampedRow {
-    db::Tuple row;
-    Timestamp start;
-    Timestamp end;  // exclusive; kTimeMax while current
-  };
+  db::Tuple DecodeTuple(uint32_t tid) const;
+  uint32_t EncodeTuple(const db::Tuple& row);
+  void CompactDictionaries();
+
   db::Schema schema_;
-  std::vector<StampedRow> rows_;
+  // Parallel stamped-row columns, ascending by start.
+  std::vector<Timestamp> starts_;
+  std::vector<Timestamp> ends_;  // exclusive; kTimeMax while current
+  std::vector<uint32_t> tids_;   // tuple-dictionary ids, parallel to starts_
+  // Indices of open rows (end == kTimeMax), ascending, so Record closes
+  // disappeared rows and the current-time AsOf path reads the live relation
+  // in O(open rows) instead of scanning the whole history. Derived state:
+  // rebuilt on deserialize/compaction, never serialized.
+  std::vector<size_t> open_rows_;
+  ValueDict values_;
+  TupleDict tuples_;
+  // Largest closed end among retained rows: reads at or past both this and
+  // the last record time only ever see open rows (the hot current-time path).
+  Timestamp max_closed_end_ = std::numeric_limits<Timestamp>::min();
   Timestamp last_time_ = std::numeric_limits<Timestamp>::min();
   bool has_record_ = false;
   bool trimmed_ = false;
   Timestamp trim_horizon_ = std::numeric_limits<Timestamp>::min();
   uint64_t rows_trimmed_ = 0;
   uint64_t phantom_rows_dropped_ = 0;
+  mutable uint64_t asof_probes_ = 0;
 };
 
 }  // namespace ptldb::eval

@@ -28,6 +28,19 @@ size_t Graph::ExprKeyHash::operator()(const ExprKey& k) const {
   return seed;
 }
 
+size_t Graph::SubstKeyHash::operator()(const SubstKey& k) const {
+  size_t seed = k.root;
+  seed = HashCombine(seed, k.var);
+  seed = HashCombine(seed, k.value.Hash());
+  return seed;
+}
+
+namespace {
+// Bound on the persistent substitution cache; reached only by pathological
+// workloads (the cache is also dropped wholesale on every Collect).
+constexpr size_t kSubstCacheCap = 1u << 16;
+}  // namespace
+
 namespace {
 // Swaps the sides of a comparison: `a cmp b` == `b Swap(cmp) a`.
 ptl::CmpOp SwapCmpForSubsume(ptl::CmpOp op) {
@@ -59,13 +72,17 @@ Graph::Graph() {
 VarId Graph::InternVar(const std::string& name, bool is_time_var) {
   auto it = var_index_.find(name);
   if (it != var_index_.end()) {
-    if (is_time_var) var_is_time_[it->second] = true;
+    if (is_time_var) {
+      var_is_time_[it->second] = true;
+      time_var_bits_ |= VarBit(it->second);
+    }
     return it->second;
   }
   VarId id = static_cast<VarId>(var_names_.size());
   var_names_.push_back(name);
   var_is_time_.push_back(is_time_var);
   var_index_.emplace(name, id);
+  if (is_time_var) time_var_bits_ |= VarBit(id);
   return id;
 }
 
@@ -79,7 +96,15 @@ NodeId Graph::InternNode(NodeKey key) {
   n.lhs = key.lhs;
   n.rhs = key.rhs;
   n.children = key.children;
+  // Var mask: union of the parts (children/operands always precede the new
+  // node, so their masks exist).
+  uint64_t mask = 0;
+  if (n.kind == Node::Kind::kAtom) {
+    mask = expr_masks_[n.lhs] | expr_masks_[n.rhs];
+  }
+  for (NodeId c : n.children) mask |= node_masks_[c];
   nodes_.push_back(std::move(n));
+  node_masks_.push_back(mask);
   node_index_.emplace(std::move(key), id);
   return id;
 }
@@ -95,7 +120,20 @@ SymExprId Graph::InternExpr(ExprKey key) {
   e.var = key.var;
   e.a = key.a;
   e.b = key.b;
+  uint64_t mask = 0;
+  switch (e.kind) {
+    case SymExpr::Kind::kConst:
+      break;
+    case SymExpr::Kind::kVar:
+      mask = VarBit(e.var);
+      break;
+    case SymExpr::Kind::kArith:
+      mask = expr_masks_[e.a];
+      if (e.op != ptl::ArithOp::kNeg) mask |= expr_masks_[e.b];
+      break;
+  }
   exprs_.push_back(std::move(e));
+  expr_masks_.push_back(mask);
   expr_index_.emplace(std::move(key), id);
   return id;
 }
@@ -289,6 +327,10 @@ NodeId Graph::MakeOr(std::vector<NodeId> children) {
 Result<SymExprId> Graph::SubstituteExpr(
     SymExprId id, VarId var, const Value& value,
     std::unordered_map<SymExprId, SymExprId>* memo) {
+  if ((expr_masks_[id] & VarBit(var)) == 0) {
+    ++mask_skips_;
+    return id;
+  }
   auto it = memo->find(id);
   if (it != memo->end()) return it->second;
   const SymExpr& e = exprs_[id];
@@ -324,6 +366,22 @@ Result<SymExprId> Graph::SubstituteExpr(
 }
 
 Result<NodeId> Graph::Substitute(NodeId root, VarId var, const Value& value) {
+  const uint64_t vbit = VarBit(var);
+  // Mask early-out: a clear bit proves `var` does not occur under `root`.
+  if ((node_masks_[root] & vbit) == 0) {
+    ++mask_skips_;
+    return root;
+  }
+  // Persistent cross-call cache. Hash-consing makes NodeIds canonical for
+  // structure, so structurally equal retained formulas — including those of
+  // *other* rules sharing this graph — hit the same entry.
+  SubstKey cache_key{root, var, value};
+  if (auto it = subst_cache_.find(cache_key); it != subst_cache_.end()) {
+    ++subst_cache_hits_;
+    return it->second;
+  }
+  ++subst_cache_misses_;
+
   std::unordered_map<NodeId, NodeId> memo;
   std::unordered_map<SymExprId, SymExprId> expr_memo;
 
@@ -331,11 +389,16 @@ Result<NodeId> Graph::Substitute(NodeId root, VarId var, const Value& value) {
   struct Rec {
     Graph* g;
     VarId var;
+    uint64_t vbit;
     const Value& value;
     std::unordered_map<NodeId, NodeId>* memo;
     std::unordered_map<SymExprId, SymExprId>* expr_memo;
 
     Result<NodeId> operator()(NodeId id) {
+      if ((g->node_masks_[id] & vbit) == 0) {
+        ++g->mask_skips_;
+        return id;
+      }
       auto it = memo->find(id);
       if (it != memo->end()) return it->second;
       const Node n = g->nodes_[id];  // copy: vector may reallocate
@@ -376,8 +439,11 @@ Result<NodeId> Graph::Substitute(NodeId root, VarId var, const Value& value) {
       memo->emplace(id, out);
       return out;
     }
-  } rec{this, var, value, &memo, &expr_memo};
-  return rec(root);
+  } rec{this, var, vbit, value, &memo, &expr_memo};
+  PTLDB_ASSIGN_OR_RETURN(NodeId out, rec(root));
+  if (subst_cache_.size() >= kSubstCacheCap) subst_cache_.clear();
+  subst_cache_.emplace(std::move(cache_key), out);
+  return out;
 }
 
 namespace {
@@ -459,6 +525,12 @@ bool Graph::NormalizeTimeAtom(const Node& atom, ptl::CmpOp* out_cmp,
 }
 
 Result<NodeId> Graph::PruneTimeBounds(NodeId root, Timestamp now) {
+  // A subtree whose mask shares no bit with the time variables cannot hold a
+  // prunable atom; skip it without walking.
+  if ((node_masks_[root] & time_var_bits_) == 0) {
+    ++mask_skips_;
+    return root;
+  }
   std::unordered_map<NodeId, NodeId> memo;
   struct Rec {
     Graph* g;
@@ -466,6 +538,10 @@ Result<NodeId> Graph::PruneTimeBounds(NodeId root, Timestamp now) {
     std::unordered_map<NodeId, NodeId>* memo;
 
     Result<NodeId> operator()(NodeId id) {
+      if ((g->node_masks_[id] & g->time_var_bits_) == 0) {
+        ++g->mask_skips_;
+        return id;
+      }
       auto it = memo->find(id);
       if (it != memo->end()) return it->second;
       const Node n = g->nodes_[id];  // copy: vector may reallocate
@@ -639,7 +715,44 @@ void Graph::Collect(std::vector<NodeId*> roots) {
   }
 
   for (NodeId* r : roots) *r = node_remap[*r];
+  RebuildMasks();
   ++generation_;
+}
+
+void Graph::RebuildMasks() {
+  // NodeIds just changed (compaction or load): every cached substitution
+  // result is stale.
+  subst_cache_.clear();
+  time_var_bits_ = 0;
+  for (size_t i = 0; i < var_is_time_.size(); ++i) {
+    if (var_is_time_[i]) time_var_bits_ |= VarBit(static_cast<VarId>(i));
+  }
+  expr_masks_.assign(exprs_.size(), 0);
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    const SymExpr& e = exprs_[i];
+    switch (e.kind) {
+      case SymExpr::Kind::kConst:
+        break;
+      case SymExpr::Kind::kVar:
+        expr_masks_[i] = VarBit(e.var);
+        break;
+      case SymExpr::Kind::kArith:
+        // Operands precede users in the append-only store.
+        expr_masks_[i] = expr_masks_[e.a];
+        if (e.op != ptl::ArithOp::kNeg) expr_masks_[i] |= expr_masks_[e.b];
+        break;
+    }
+  }
+  node_masks_.assign(nodes_.size(), 0);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    uint64_t mask = 0;
+    if (n.kind == Node::Kind::kAtom) {
+      mask = expr_masks_[n.lhs] | expr_masks_[n.rhs];
+    }
+    for (NodeId c : n.children) mask |= node_masks_[c];
+    node_masks_[i] = mask;
+  }
 }
 
 Result<Value> Graph::EvalGroundExpr(SymExprId id) const {
@@ -795,6 +908,7 @@ Status Graph::Deserialize(codec::Reader* r) {
     expr_index_.emplace(ExprKey{e.kind, e.op, e.constant, e.var, e.a, e.b},
                         static_cast<SymExprId>(i));
   }
+  RebuildMasks();
   return Status::OK();
 }
 

@@ -135,6 +135,23 @@ class Graph {
   /// Count of children dropped by the interval-subsumption simplification.
   uint64_t subsume_hits() const { return subsume_hits_; }
 
+  /// Variable-occurrence bitmask of a node (bit = var id mod 64, the union
+  /// over the whole subformula). A clear bit *proves* the variable is absent,
+  /// so Substitute/PruneTimeBounds skip the subtree without walking it; a set
+  /// bit is only "may occur" (ids can collide mod 64).
+  uint64_t NodeVarMask(NodeId id) const { return node_masks_[id]; }
+
+  /// Subtrees skipped outright by the var/time bitmask early-outs.
+  uint64_t mask_skips() const { return mask_skips_; }
+
+  /// Hits in the persistent cross-call substitution cache. Because nodes are
+  /// hash-consed, two rules whose retained formulas share structure share
+  /// NodeIds — so the cache is a cross-rule common-subformula cache keyed on
+  /// the folded condition structure, not on which rule asked.
+  uint64_t subst_cache_hits() const { return subst_cache_hits_; }
+  uint64_t subst_cache_misses() const { return subst_cache_misses_; }
+  size_t subst_cache_size() const { return subst_cache_.size(); }
+
   /// Debug rendering of a node.
   std::string ToString(NodeId id) const;
   std::string ExprToString(SymExprId id) const;
@@ -173,8 +190,31 @@ class Graph {
     size_t operator()(const ExprKey& k) const;
   };
 
+  /// Persistent substitution-cache key: (retained formula, variable, value).
+  /// NodeIds are stable between Collect() calls, so entries survive across
+  /// Steps and across every evaluator sharing this graph; Collect and
+  /// Deserialize invalidate ids and clear the cache.
+  struct SubstKey {
+    NodeId root;
+    VarId var;
+    Value value;
+    bool operator==(const SubstKey& other) const {
+      return root == other.root && var == other.var && value == other.value;
+    }
+  };
+  struct SubstKeyHash {
+    size_t operator()(const SubstKey& k) const;
+  };
+
+  static uint64_t VarBit(VarId v) { return uint64_t{1} << (v % 64); }
+
   NodeId InternNode(NodeKey key);
   SymExprId InternExpr(ExprKey key);
+
+  /// Recomputes expr/node var masks and the time-var bit set bottom-up
+  /// (operands and children precede users in the append-only stores), and
+  /// drops the substitution cache. Called after Collect and Deserialize.
+  void RebuildMasks();
   NodeId MakeNary(Node::Kind kind, std::vector<NodeId> children);
   /// §5 simplification: collapses one-sided atoms over the same expression
   /// ((E <= 5 OR E <= 9) -> E <= 9, and the And/>= duals) in place.
@@ -199,6 +239,13 @@ class Graph {
   std::unordered_map<NodeKey, NodeId, NodeKeyHash> node_index_;
   std::unordered_map<ExprKey, SymExprId, ExprKeyHash> expr_index_;
 
+  // Var-occurrence masks, parallel to nodes_/exprs_ (see NodeVarMask).
+  std::vector<uint64_t> node_masks_;
+  std::vector<uint64_t> expr_masks_;
+  // Union of VarBit over variables marked as time variables.
+  uint64_t time_var_bits_ = 0;
+  std::unordered_map<SubstKey, NodeId, SubstKeyHash> subst_cache_;
+
   std::vector<std::string> var_names_;
   std::vector<bool> var_is_time_;
   std::unordered_map<std::string, VarId> var_index_;
@@ -207,6 +254,9 @@ class Graph {
   bool subsumption_ = true;
   uint64_t prune_hits_ = 0;
   uint64_t subsume_hits_ = 0;
+  uint64_t mask_skips_ = 0;
+  uint64_t subst_cache_hits_ = 0;
+  uint64_t subst_cache_misses_ = 0;
 };
 
 }  // namespace ptldb::eval

@@ -217,6 +217,13 @@ class IncrementalEvaluator {
   uint64_t prune_hits() const { return graph_->prune_hits(); }
   uint64_t subsume_hits() const { return graph_->subsume_hits(); }
 
+  /// Structural-cache counters, forwarded from the backing graph: subtrees
+  /// skipped by the var/time bitmasks, and hits in the persistent
+  /// common-subformula substitution cache.
+  uint64_t mask_skips() const { return graph_->mask_skips(); }
+  uint64_t subst_cache_hits() const { return graph_->subst_cache_hits(); }
+  uint64_t subst_cache_misses() const { return graph_->subst_cache_misses(); }
+
   /// Compacts the node store while keeping `checkpoints` valid: their node
   /// ids are remapped in place and their generation updated. Used by
   /// long-running holders of checkpoints (the valid-time monitors).

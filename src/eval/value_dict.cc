@@ -1,0 +1,159 @@
+#include "eval/value_dict.h"
+
+#include <cstring>
+
+namespace ptldb::eval {
+
+uint32_t ValueDict::Intern(const Value& v) {
+  auto it = index_.find(v);
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(values_.size());
+  values_.push_back(v);
+  index_.emplace(v, id);
+  return id;
+}
+
+size_t ValueDict::EstimateBytes() const {
+  size_t total = sizeof(*this);
+  for (const Value& v : values_) total += v.EstimateBytes();
+  // Reverse index: one bucket pointer per entry plus a node holding the key
+  // copy and the id. Structural estimate, deterministic across runs.
+  for (const Value& v : values_) {
+    total += sizeof(void*) + v.EstimateBytes() + sizeof(uint32_t);
+  }
+  return total;
+}
+
+void ValueDict::Rebuild(const std::vector<bool>& live,
+                        std::vector<uint32_t>* remap) {
+  remap->assign(values_.size(), UINT32_MAX);
+  std::vector<Value> kept;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (!live[i]) continue;
+    (*remap)[i] = static_cast<uint32_t>(kept.size());
+    kept.push_back(std::move(values_[i]));
+  }
+  values_ = std::move(kept);
+  index_.clear();
+  for (size_t i = 0; i < values_.size(); ++i) {
+    index_.emplace(values_[i], static_cast<uint32_t>(i));
+  }
+}
+
+void ValueDict::Serialize(codec::Writer* w) const {
+  w->U32(static_cast<uint32_t>(values_.size()));
+  for (const Value& v : values_) w->Val(v);
+}
+
+Status ValueDict::Deserialize(codec::Reader* r) {
+  PTLDB_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  values_.clear();
+  index_.clear();
+  values_.reserve(n <= r->remaining() ? n : 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    PTLDB_ASSIGN_OR_RETURN(Value v, r->Val());
+    if (index_.count(v) > 0) {
+      return Status::InvalidArgument("value dictionary has duplicate entries");
+    }
+    index_.emplace(v, i);
+    values_.push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::string SpanKey(const uint32_t* ids, size_t n) {
+  std::string key(n * sizeof(uint32_t), '\0');
+  if (n > 0) std::memcpy(key.data(), ids, n * sizeof(uint32_t));
+  return key;
+}
+
+}  // namespace
+
+uint32_t TupleDict::Intern(const std::vector<uint32_t>& ids) {
+  std::string key = SpanKey(ids.data(), ids.size());
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(offsets_.size());
+  offsets_.push_back(static_cast<uint32_t>(flat_.size()));
+  arities_.push_back(static_cast<uint32_t>(ids.size()));
+  flat_.insert(flat_.end(), ids.begin(), ids.end());
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+size_t TupleDict::EstimateBytes() const {
+  size_t total = sizeof(*this) + flat_.size() * sizeof(uint32_t) +
+                 offsets_.size() * sizeof(uint32_t) +
+                 arities_.size() * sizeof(uint32_t);
+  // Index: bucket pointer + key bytes + id per tuple.
+  total += offsets_.size() * (sizeof(void*) + sizeof(uint32_t));
+  total += flat_.size() * sizeof(uint32_t);  // key byte copies
+  return total;
+}
+
+void TupleDict::Rebuild(const std::vector<bool>& live,
+                        const std::vector<uint32_t>& value_remap,
+                        std::vector<uint32_t>* remap) {
+  remap->assign(offsets_.size(), UINT32_MAX);
+  std::vector<uint32_t> new_flat, new_offsets, new_arities;
+  for (size_t i = 0; i < offsets_.size(); ++i) {
+    if (!live[i]) continue;
+    (*remap)[i] = static_cast<uint32_t>(new_offsets.size());
+    new_offsets.push_back(static_cast<uint32_t>(new_flat.size()));
+    new_arities.push_back(arities_[i]);
+    for (uint32_t c = 0; c < arities_[i]; ++c) {
+      new_flat.push_back(value_remap[flat_[offsets_[i] + c]]);
+    }
+  }
+  flat_ = std::move(new_flat);
+  offsets_ = std::move(new_offsets);
+  arities_ = std::move(new_arities);
+  RebuildIndex();
+}
+
+void TupleDict::RebuildIndex() {
+  index_.clear();
+  for (size_t i = 0; i < offsets_.size(); ++i) {
+    const uint32_t* cells =
+        arities_[i] > 0 ? &flat_[offsets_[i]] : nullptr;
+    index_.emplace(SpanKey(cells, arities_[i]), static_cast<uint32_t>(i));
+  }
+}
+
+void TupleDict::Serialize(codec::Writer* w) const {
+  w->U32(static_cast<uint32_t>(offsets_.size()));
+  for (size_t i = 0; i < offsets_.size(); ++i) {
+    w->U32(arities_[i]);
+    for (uint32_t c = 0; c < arities_[i]; ++c) {
+      w->U32(flat_[offsets_[i] + c]);
+    }
+  }
+}
+
+Status TupleDict::Deserialize(codec::Reader* r) {
+  PTLDB_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  flat_.clear();
+  offsets_.clear();
+  arities_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    PTLDB_ASSIGN_OR_RETURN(uint32_t arity, r->U32());
+    if (static_cast<size_t>(arity) * sizeof(uint32_t) > r->remaining()) {
+      return Status::InvalidArgument("tuple dictionary truncated");
+    }
+    offsets_.push_back(static_cast<uint32_t>(flat_.size()));
+    arities_.push_back(arity);
+    for (uint32_t c = 0; c < arity; ++c) {
+      PTLDB_ASSIGN_OR_RETURN(uint32_t vid, r->U32());
+      flat_.push_back(vid);
+    }
+  }
+  RebuildIndex();
+  if (index_.size() != offsets_.size()) {
+    return Status::InvalidArgument("tuple dictionary has duplicate entries");
+  }
+  return Status::OK();
+}
+
+}  // namespace ptldb::eval

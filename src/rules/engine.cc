@@ -105,6 +105,8 @@ void RuleEngine::SetMetrics(Metrics* metrics) {
   ins_.errors = &metrics_->counter("engine.errors");
   ins_.query_evals = &metrics_->counter("query.evals");
   ins_.query_memo_hits = &metrics_->counter("query.memo_hits");
+  ins_.snapshot_layout_hits = &metrics_->counter("query.snapshot_layout_hits");
+  ins_.query_history_records = &metrics_->counter("aux.query_history.records");
   ins_.gather_ns = &metrics_->histogram("engine.gather_ns");
   ins_.step_ns = &metrics_->histogram("engine.step_ns");
   ins_.merge_ns = &metrics_->histogram("engine.merge_ns");
@@ -120,6 +122,7 @@ void RuleEngine::RefreshDerivedMetrics(Metrics& m) {
       .Set(static_cast<int64_t>(batch_queue_.size()));
   size_t instances = 0, live = 0, store = 0;
   uint64_t collections = 0, prune_hits = 0, subsume_hits = 0;
+  uint64_t mask_skips = 0, subst_hits = 0, subst_misses = 0;
   int64_t unbounded_rules = 0, folded_nodes = 0;
   for (const auto& rule : rules_) {
     if (rule->lint.boundedness == ptl::Boundedness::kUnbounded) {
@@ -135,6 +138,9 @@ void RuleEngine::RefreshDerivedMetrics(Metrics& m) {
       collections += instance->ev.collections();
       prune_hits += instance->ev.prune_hits();
       subsume_hits += instance->ev.subsume_hits();
+      mask_skips += instance->ev.mask_skips();
+      subst_hits += instance->ev.subst_cache_hits();
+      subst_misses += instance->ev.subst_cache_misses();
     }
     instances += rule->instances.size();
     live += rule_live;
@@ -156,6 +162,26 @@ void RuleEngine::RefreshDerivedMetrics(Metrics& m) {
   m.gauge("evaluator.collections").Set(static_cast<int64_t>(collections));
   m.gauge("evaluator.prune_hits").Set(static_cast<int64_t>(prune_hits));
   m.gauge("evaluator.subsume_hits").Set(static_cast<int64_t>(subsume_hits));
+  m.gauge("evaluator.mask_skips").Set(static_cast<int64_t>(mask_skips));
+  m.gauge("evaluator.subst_cache_hits").Set(static_cast<int64_t>(subst_hits));
+  m.gauge("evaluator.subst_cache_misses")
+      .Set(static_cast<int64_t>(subst_misses));
+  if (query_history_enabled_ || !query_history_.empty()) {
+    size_t intervals = 0, dict = 0;
+    uint64_t trimmed = 0;
+    for (const auto& [spec, series] : query_history_) {
+      intervals += series.num_intervals();
+      dict += series.dict_size();
+      trimmed += series.intervals_trimmed();
+    }
+    m.gauge("aux.query_history.series")
+        .Set(static_cast<int64_t>(query_history_.size()));
+    m.gauge("aux.query_history.intervals").Set(static_cast<int64_t>(intervals));
+    m.gauge("aux.query_history.dict").Set(static_cast<int64_t>(dict));
+    m.gauge("aux.query_history.trimmed").Set(static_cast<int64_t>(trimmed));
+    m.gauge("aux.query_history.bytes")
+        .Set(static_cast<int64_t>(QueryHistoryBytes()));
+  }
 }
 
 // ---- Firing-provenance tracing ----------------------------------------------
@@ -555,6 +581,15 @@ Status RuleEngine::RefreshFamily(Rule* rule) {
   return Status::OK();
 }
 
+namespace {
+size_t SlotFingerprint(const std::vector<ptl::QuerySpec>& slots) {
+  size_t seed = slots.size();
+  ptl::QuerySpecHash h;
+  for (const ptl::QuerySpec& s : slots) seed = HashCombine(seed, h(s));
+  return seed;
+}
+}  // namespace
+
 Result<ptl::StateSnapshot> RuleEngine::BuildSnapshot(
     const Instance& instance, const event::SystemState& state,
     QueryMemo* memo) {
@@ -563,11 +598,30 @@ Result<ptl::StateSnapshot> RuleEngine::BuildSnapshot(
   snapshot.time = state.time;
   snapshot.events = state.events;
   const ptl::Analysis& analysis = instance.ev.analysis();
+  // Layout tier: another instance in this pass with an identical slot vector
+  // already computed the whole query_values vector — reuse it outright.
+  size_t fingerprint = 0;
+  std::vector<QueryMemo::Layout>* bucket = nullptr;
+  if (memo != nullptr && !analysis.slots.empty()) {
+    fingerprint = SlotFingerprint(analysis.slots);
+    bucket = &memo->layouts[fingerprint];
+    for (const QueryMemo::Layout& layout : *bucket) {
+      if (*layout.slots == analysis.slots) {
+        ++stats_.snapshot_layout_hits;
+        MetricAdd(ins_.snapshot_layout_hits);
+        // A layout hit answers every slot from the memo at once.
+        stats_.query_memo_hits += analysis.slots.size();
+        MetricAdd(ins_.query_memo_hits, analysis.slots.size());
+        snapshot.query_values = layout.query_values;
+        return snapshot;
+      }
+    }
+  }
   snapshot.query_values.reserve(analysis.slots.size());
   for (const ptl::QuerySpec& spec : analysis.slots) {
     if (memo != nullptr) {
-      auto it = memo->find(spec);
-      if (it != memo->end()) {
+      auto it = memo->values.find(spec);
+      if (it != memo->values.end()) {
         ++stats_.query_memo_hits;
         MetricAdd(ins_.query_memo_hits);
         snapshot.query_values.push_back(it->second);
@@ -577,10 +631,74 @@ Result<ptl::StateSnapshot> RuleEngine::BuildSnapshot(
     PTLDB_ASSIGN_OR_RETURN(Value v, registry_.Eval(spec));
     ++stats_.queries_evaluated;
     MetricAdd(ins_.query_evals);
-    if (memo != nullptr) memo->emplace(spec, v);
+    if (memo != nullptr) memo->values.emplace(spec, v);
     snapshot.query_values.push_back(std::move(v));
   }
+  if (bucket != nullptr) {
+    bucket->push_back(
+        QueryMemo::Layout{&analysis.slots, snapshot.query_values});
+  }
   return snapshot;
+}
+
+void RuleEngine::RecordQueryHistory(Timestamp t, const QueryMemo& memo) {
+  for (const auto& [spec, value] : memo.values) {
+    eval::ScalarSeries& series = query_history_[spec];
+    Status s = series.Record(t, value);
+    if (!s.ok()) {
+      // Out-of-order state times (valid-time retroactive replay) cannot be
+      // appended to an interval history; skip rather than poison the pass.
+      continue;
+    }
+    ++stats_.query_history_records;
+    MetricAdd(ins_.query_history_records);
+  }
+  if (query_history_retention_ > 0 && t >= query_history_retention_) {
+    const Timestamp horizon = t - query_history_retention_;
+    for (auto& [spec, series] : query_history_) series.TrimBefore(horizon);
+  }
+}
+
+Result<Value> RuleEngine::QueryValueAsOf(const ptl::QuerySpec& spec,
+                                         Timestamp t) const {
+  auto it = query_history_.find(spec);
+  if (it == query_history_.end()) {
+    return Status::NotFound(
+        StrCat("no recorded history for query ", spec.ToString(),
+               query_history_enabled_
+                   ? ""
+                   : " (query history is disabled; SetQueryHistory(true))"));
+  }
+  return it->second.AsOf(t);
+}
+
+Status RuleEngine::GatherQueryValuesAsOf(const ptl::QuerySpec& spec,
+                                         const std::vector<Timestamp>& ts,
+                                         std::vector<Value>* out) const {
+  auto it = query_history_.find(spec);
+  if (it == query_history_.end()) {
+    return Status::NotFound(
+        StrCat("no recorded history for query ", spec.ToString()));
+  }
+  return it->second.GatherAsOf(ts, out);
+}
+
+std::vector<std::string> RuleEngine::QueryHistoryKeys() const {
+  std::vector<std::string> keys;
+  keys.reserve(query_history_.size());
+  for (const auto& [spec, series] : query_history_) {
+    keys.push_back(spec.ToString());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+size_t RuleEngine::QueryHistoryBytes() const {
+  size_t total = 0;
+  for (const auto& [spec, series] : query_history_) {
+    total += series.EstimateBytes();
+  }
+  return total;
 }
 
 Result<bool> RuleEngine::StepInstance(Rule* rule, Instance* instance,
@@ -836,6 +954,11 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
     }
   }
   }  // gather_timer
+
+  // §5 aux relations: persist every ground query value this pass observed.
+  // Runs only for real states — hypothetical IC probes (OnCommitAttempt)
+  // never record, so a vetoed commit leaves no trace in the history.
+  if (query_history_enabled_) RecordQueryHistory(state.time, memo);
 
   // Step (sharded): pure evaluator work, fanned out when a pool is set.
   {

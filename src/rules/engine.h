@@ -47,6 +47,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "db/database.h"
+#include "eval/aux_store.h"
 #include "eval/incremental.h"
 #include "ptl/analyzer.h"
 #include "ptl/lint.h"
@@ -137,6 +138,11 @@ struct EngineStats {
   uint64_t parallel_dispatches = 0;
   /// Ground-query evaluations answered from the per-pass memo.
   uint64_t query_memo_hits = 0;
+  /// Whole query_values vectors reused because another instance in the same
+  /// pass had an identical slot layout (cross-rule snapshot sharing).
+  uint64_t snapshot_layout_hits = 0;
+  /// Ground query values recorded into the §5 query-history aux store.
+  uint64_t query_history_records = 0;
   /// Node-store collections across all rule instances (proves the
   /// bounded-state policy engages on long runs).
   uint64_t collections = 0;
@@ -247,6 +253,43 @@ class RuleEngine : public db::Database::Listener {
   /// The registration-time lint report of one rule, rendered with carets
   /// into the rule's source text (when it was registered from text).
   Result<std::string> Lint(const std::string& name) const;
+
+  // ---- §5 query history (auxiliary relations) ----
+
+  /// Enables recording of every ground query value the engine evaluates
+  /// during update processing into per-query interval-stamped histories —
+  /// the paper's auxiliary relation R_q, backed by the columnar
+  /// eval::ScalarSeries. Recording is read-only with respect to rule
+  /// evaluation: firing decisions, action order, and IC verdicts are
+  /// unchanged (hypothetical IC probes are never recorded). Off by default.
+  void SetQueryHistory(bool on) { query_history_enabled_ = on; }
+  bool query_history() const { return query_history_enabled_; }
+
+  /// Retention window for recorded histories: after each update at time t,
+  /// intervals that ended at or before t - `window` are trimmed (the
+  /// bounded-operator GC of §5). 0 (the default) retains everything.
+  void SetQueryHistoryRetention(Timestamp window) {
+    query_history_retention_ = window;
+  }
+  Timestamp query_history_retention() const { return query_history_retention_; }
+
+  /// Value the ground query `spec` had at time `t`, answered from the
+  /// recorded history by binary search over its interval columns (the §5
+  /// retrieval). NotFound when the query has no history or `t` precedes it;
+  /// OutOfRange when the covering interval was trimmed.
+  Result<Value> QueryValueAsOf(const ptl::QuerySpec& spec, Timestamp t) const;
+
+  /// Batched retrieval over an ascending timestamp vector: one merge pass
+  /// over the columnar history instead of per-timestamp searches.
+  Status GatherQueryValuesAsOf(const ptl::QuerySpec& spec,
+                               const std::vector<Timestamp>& ts,
+                               std::vector<Value>* out) const;
+
+  /// Rendered specs with recorded history, sorted (introspection).
+  std::vector<std::string> QueryHistoryKeys() const;
+
+  /// Deep retained bytes across all recorded histories.
+  size_t QueryHistoryBytes() const;
 
   // ---- Retained-state collection policy ----
 
@@ -471,9 +514,20 @@ class RuleEngine : public db::Database::Listener {
   /// Memo for ground query values within one gather pass. Valid only while
   /// the database is not mutated — gather loops never run actions, but phase 1
   /// system rules do mutate aggregate tables, so each pass uses a fresh memo
-  /// created after phase 1.
-  using QueryMemo =
-      std::unordered_map<ptl::QuerySpec, Value, ptl::QuerySpecHash>;
+  /// created after phase 1. Two tiers: per-spec values, and whole snapshot
+  /// layouts shared across instances whose analyses resolve to an identical
+  /// slot vector (family instances, structurally equal rules).
+  struct QueryMemo {
+    std::unordered_map<ptl::QuerySpec, Value, ptl::QuerySpecHash> values;
+    struct Layout {
+      const std::vector<ptl::QuerySpec>* slots;  // points into an Analysis
+      std::vector<Value> query_values;
+    };
+    // Keyed on a fingerprint of the slot vector; candidates are verified by
+    // full equality before reuse, so a fingerprint collision costs a compare,
+    // never a wrong snapshot.
+    std::unordered_map<size_t, std::vector<Layout>> layouts;
+  };
   Result<ptl::StateSnapshot> BuildSnapshot(const Instance& instance,
                                            const event::SystemState& state,
                                            QueryMemo* memo = nullptr);
@@ -526,6 +580,16 @@ class RuleEngine : public db::Database::Listener {
   // Retained-state collection policy (see SetCollectThreshold).
   size_t collect_threshold_ = 65536;
 
+  // §5 query-history substrate (see SetQueryHistory). Mutated only on the
+  // serial post-gather path of ProcessState.
+  bool query_history_enabled_ = false;
+  Timestamp query_history_retention_ = 0;
+  std::unordered_map<ptl::QuerySpec, eval::ScalarSeries, ptl::QuerySpecHash>
+      query_history_;
+  /// Records every memoized query value of the pass at time `t`, then
+  /// applies the retention window.
+  void RecordQueryHistory(Timestamp t, const QueryMemo& memo);
+
   // Static analysis at registration (see SetStrictRegistration).
   bool strict_registration_ = false;
   bool lint_folding_ = true;
@@ -564,6 +628,8 @@ class RuleEngine : public db::Database::Listener {
     Metrics::Counter* errors = nullptr;
     Metrics::Counter* query_evals = nullptr;
     Metrics::Counter* query_memo_hits = nullptr;
+    Metrics::Counter* snapshot_layout_hits = nullptr;
+    Metrics::Counter* query_history_records = nullptr;
     Metrics::Histogram* gather_ns = nullptr;
     Metrics::Histogram* step_ns = nullptr;
     Metrics::Histogram* merge_ns = nullptr;

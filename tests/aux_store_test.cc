@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/strings.h"
 #include "eval/aux_store.h"
 #include "testutil.h"
 
@@ -92,6 +93,146 @@ TEST(ScalarSeriesTest, EstimateBytesGrowsWithIntervals) {
     ASSERT_OK(s.Record(i, Value::Int(i)));
   }
   EXPECT_GT(s.EstimateBytes(), empty);
+}
+
+TEST(ScalarSeriesTest, EstimateBytesCountsStringPayloads) {
+  // Satellite regression: the estimate must be *deep*. A series holding one
+  // large string must report far more than one holding a small int, even
+  // though both have a single interval.
+  ScalarSeries ints;
+  ASSERT_OK(ints.Record(1, Value::Int(7)));
+  ScalarSeries strings;
+  ASSERT_OK(strings.Record(1, Value::Str(std::string(100000, 'x'))));
+  EXPECT_GT(strings.EstimateBytes(), ints.EstimateBytes() + 90000);
+}
+
+TEST(ScalarSeriesTest, AsOfIsSublinearInHistoryLength) {
+  // 100k-interval history: a lookup must binary-search the start column, not
+  // visit every interval. The probe counter counts comparator probes.
+  ScalarSeries s;
+  constexpr int kIntervals = 100000;
+  for (int i = 0; i < kIntervals; ++i) {
+    ASSERT_OK(s.Record(i, Value::Int(i % 97)));
+  }
+  ASSERT_EQ(s.num_intervals(), static_cast<size_t>(kIntervals));
+  uint64_t before = s.asof_probes();
+  ASSERT_OK_AND_ASSIGN(Value v, s.AsOf(kIntervals / 2));
+  EXPECT_EQ(v, Value::Int((kIntervals / 2) % 97));
+  uint64_t probes = s.asof_probes() - before;
+  // ceil(log2(100000)) = 17; leave generous slack but stay decisively
+  // sublinear (a scan would be ~50000 probes).
+  EXPECT_LE(probes, 64u);
+  EXPECT_GT(probes, 0u);
+}
+
+TEST(ScalarSeriesTest, DictionaryDeduplicatesRepeatedValues) {
+  ScalarSeries s;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_OK(s.Record(i, Value::Int(i % 2)));  // alternating two values
+  }
+  EXPECT_EQ(s.num_intervals(), 1000u);
+  EXPECT_EQ(s.dict_size(), 2u);
+}
+
+TEST(ScalarSeriesTest, GatherAsOfMatchesIndividualAsOf) {
+  ScalarSeries s;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(s.Record(10 * i, Value::Int(i)));
+  }
+  std::vector<Timestamp> ts;
+  for (int i = 0; i < 200; ++i) ts.push_back(7 * i + 5);
+  std::vector<Value> got;
+  ASSERT_OK(s.GatherAsOf(ts, &got));
+  ASSERT_EQ(got.size(), ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(Value want, s.AsOf(ts[i]));
+    EXPECT_EQ(got[i], want) << "ts " << ts[i];
+  }
+}
+
+TEST(ScalarSeriesTest, GatherAsOfIsOneMergePass) {
+  // A sorted batch resolves by merging, not by independent binary searches:
+  // probes stay O(batch + log n), far below batch * log n.
+  ScalarSeries s;
+  constexpr int kIntervals = 50000;
+  for (int i = 0; i < kIntervals; ++i) {
+    ASSERT_OK(s.Record(i, Value::Int(i % 13)));
+  }
+  std::vector<Timestamp> ts;
+  for (int i = 0; i < 1000; ++i) ts.push_back(20000 + i * 10);
+  uint64_t before = s.asof_probes();
+  std::vector<Value> got;
+  ASSERT_OK(s.GatherAsOf(ts, &got));
+  uint64_t probes = s.asof_probes() - before;
+  // Merge cost: one binary search (~17) plus ~1 advance per covered interval
+  // (10k range) plus ~2 per element. Independent searches would be ~17000.
+  EXPECT_LE(probes, 14000u);
+  ASSERT_EQ(got.size(), ts.size());
+}
+
+TEST(ScalarSeriesTest, GatherAsOfRejectsUnsortedInput) {
+  ScalarSeries s;
+  ASSERT_OK(s.Record(10, Value::Int(1)));
+  std::vector<Value> out;
+  Status st = s.GatherAsOf({30, 20}, &out);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScalarSeriesTest, TrimBoundaryCases) {
+  // Intervals: [10,20) [20,30) [30,kTimeMax). Horizons probe every boundary.
+  auto make = [] {
+    ScalarSeries s;
+    EXPECT_OK(s.Record(10, Value::Int(1)));
+    EXPECT_OK(s.Record(20, Value::Int(2)));
+    EXPECT_OK(s.Record(30, Value::Int(3)));
+    return s;
+  };
+  {
+    ScalarSeries s = make();
+    s.TrimBefore(9);  // start-1: nothing ends at or before 9
+    EXPECT_EQ(s.num_intervals(), 3u);
+  }
+  {
+    ScalarSeries s = make();
+    s.TrimBefore(10);  // first interval's start: it ends at 20 > 10, kept
+    EXPECT_EQ(s.num_intervals(), 3u);
+  }
+  {
+    ScalarSeries s = make();
+    s.TrimBefore(19);  // end-1 of the first interval: still covers 19, kept
+    EXPECT_EQ(s.num_intervals(), 3u);
+    ASSERT_OK_AND_ASSIGN(Value v, s.AsOf(19));
+    EXPECT_EQ(v, Value::Int(1));
+  }
+  {
+    ScalarSeries s = make();
+    s.TrimBefore(20);  // exactly the first interval's end: dropped
+    EXPECT_EQ(s.num_intervals(), 2u);
+    EXPECT_EQ(s.AsOf(15).status().code(), StatusCode::kOutOfRange);
+    ASSERT_OK_AND_ASSIGN(Value v, s.AsOf(20));
+    EXPECT_EQ(v, Value::Int(2));
+  }
+}
+
+TEST(ScalarSeriesTest, OpenIntervalNeverTrimmed) {
+  // Satellite bugfix: the sole open interval (end == kTimeMax) must survive
+  // any horizon — the old deque code dropped it for horizon == kTimeMax
+  // because kTimeMax <= kTimeMax.
+  ScalarSeries s;
+  ASSERT_OK(s.Record(10, Value::Int(42)));
+  s.TrimBefore(kTimeMax);
+  EXPECT_EQ(s.num_intervals(), 1u);
+  ASSERT_OK_AND_ASSIGN(Value v, s.AsOf(kTimeMax - 1));
+  EXPECT_EQ(v, Value::Int(42));
+
+  // Same with closed predecessors: they go, the open interval stays.
+  ScalarSeries s2;
+  ASSERT_OK(s2.Record(10, Value::Int(1)));
+  ASSERT_OK(s2.Record(20, Value::Int(2)));
+  s2.TrimBefore(kTimeMax);
+  EXPECT_EQ(s2.num_intervals(), 1u);
+  ASSERT_OK_AND_ASSIGN(Value v2, s2.Latest());
+  EXPECT_EQ(v2, Value::Int(2));
 }
 
 class RelationHistoryTest : public ::testing::Test {
@@ -228,6 +369,118 @@ TEST_F(RelationHistoryTest, SchemaMismatchRejected) {
 TEST_F(RelationHistoryTest, OutOfOrderRejected) {
   ASSERT_OK(history_.Record(10, Rel({})));
   EXPECT_FALSE(history_.Record(5, Rel({})).ok());
+}
+
+TEST_F(RelationHistoryTest, TrimBoundaryCases) {
+  // Row intervals: [10,20) [20,30) [30,kTimeMax).
+  auto fill = [this](RelationHistory* h) {
+    EXPECT_OK(h->Record(10, Rel({{Value::Str("A"), Value::Int(1)}})));
+    EXPECT_OK(h->Record(20, Rel({{Value::Str("A"), Value::Int(2)}})));
+    EXPECT_OK(h->Record(30, Rel({{Value::Str("A"), Value::Int(3)}})));
+  };
+  {
+    RelationHistory h(schema_);
+    fill(&h);
+    h.TrimBefore(9);  // start-1
+    EXPECT_EQ(h.num_rows(), 3u);
+    EXPECT_EQ(h.rows_trimmed(), 0u);
+  }
+  {
+    RelationHistory h(schema_);
+    fill(&h);
+    h.TrimBefore(10);  // first row's start; its end is 20 > 10
+    EXPECT_EQ(h.num_rows(), 3u);
+  }
+  {
+    RelationHistory h(schema_);
+    fill(&h);
+    h.TrimBefore(19);  // end-1: row still covers 19
+    EXPECT_EQ(h.num_rows(), 3u);
+    ASSERT_OK_AND_ASSIGN(db::Relation r, h.AsOf(19));
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.row(0)[1], Value::Int(1));
+  }
+  {
+    RelationHistory h(schema_);
+    fill(&h);
+    h.TrimBefore(20);  // exactly the first row's end: dropped
+    EXPECT_EQ(h.num_rows(), 2u);
+    EXPECT_EQ(h.AsOf(15).status().code(), StatusCode::kOutOfRange);
+    ASSERT_OK_AND_ASSIGN(db::Relation r, h.AsOf(20));
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.row(0)[1], Value::Int(2));
+  }
+}
+
+TEST_F(RelationHistoryTest, OpenRowsNeverTrimmed) {
+  ASSERT_OK(history_.Record(10, Rel({{Value::Str("A"), Value::Int(1)},
+                                     {Value::Str("B"), Value::Int(2)}})));
+  ASSERT_OK(history_.Record(20, Rel({{Value::Str("B"), Value::Int(2)}})));
+  // A's row closed at 20; B's row is open. The maximal horizon drops only A.
+  history_.TrimBefore(kTimeMax);
+  EXPECT_EQ(history_.num_rows(), 1u);
+  ASSERT_OK_AND_ASSIGN(db::Relation now, history_.AsOf(kTimeMax - 1));
+  ASSERT_EQ(now.size(), 1u);
+  EXPECT_EQ(now.row(0)[0], Value::Str("B"));
+}
+
+TEST_F(RelationHistoryTest, CurrentTimeAsOfSkipsClosedHistory) {
+  // Long history of closed rows plus a small live set: a current-time read
+  // must cost the live size, not the history length.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_OK(history_.Record(
+        i, Rel({{Value::Str("tick"), Value::Int(i)}})));
+  }
+  uint64_t before = history_.asof_probes();
+  ASSERT_OK_AND_ASSIGN(db::Relation now, history_.AsOf(5000));
+  ASSERT_EQ(now.size(), 1u);
+  uint64_t probes = history_.asof_probes() - before;
+  EXPECT_LE(probes, history_.num_rows())
+      << "current-time read scanned beyond the row store";
+  // Historical reads binary-search the prefix instead of scanning from both
+  // ends; they stay bounded by prefix + log.
+  before = history_.asof_probes();
+  ASSERT_OK_AND_ASSIGN(db::Relation past, history_.AsOf(1000));
+  ASSERT_EQ(past.size(), 1u);
+  EXPECT_GT(history_.asof_probes(), before);
+}
+
+TEST_F(RelationHistoryTest, DictionariesDeduplicateAcrossRecords) {
+  // The same two tuples flap in and out 200 times: the tuple dictionary must
+  // hold 2 entries, not 400.
+  db::Tuple a{Value::Str("A"), Value::Int(1)};
+  db::Tuple b{Value::Str("B"), Value::Int(2)};
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(history_.Record(2 * i, Rel({a})));
+    ASSERT_OK(history_.Record(2 * i + 1, Rel({b})));
+  }
+  EXPECT_EQ(history_.dict_size(), 2u);
+  EXPECT_GT(history_.num_rows(), 300u);
+}
+
+TEST_F(RelationHistoryTest, EstimateBytesCountsStringPayloads) {
+  RelationHistory small(schema_);
+  ASSERT_OK(small.Record(1, Rel({{Value::Str("x"), Value::Int(1)}})));
+  RelationHistory big(schema_);
+  ASSERT_OK(big.Record(
+      1, Rel({{Value::Str(std::string(100000, 'y')), Value::Int(1)}})));
+  EXPECT_GT(big.EstimateBytes(), small.EstimateBytes() + 90000);
+}
+
+TEST_F(RelationHistoryTest, TrimCompactsDictionaries) {
+  // Rows referencing early-only tuples must release their dictionary entries
+  // once trimmed, or retained bytes grow with the value domain forever.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(history_.Record(
+        i, Rel({{Value::Str(StrCat("sym", i)), Value::Int(i)}})));
+  }
+  size_t dict_before = history_.dict_size();
+  history_.TrimBefore(95);
+  EXPECT_LT(history_.dict_size(), dict_before);
+  // Untouched reconstruction above the horizon still works.
+  ASSERT_OK_AND_ASSIGN(db::Relation r, history_.AsOf(97));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.row(0)[1], Value::Int(97));
 }
 
 }  // namespace
