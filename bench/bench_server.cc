@@ -1,4 +1,7 @@
 // E14 — server ingestion: batched invocation + WAL group commit.
+// E16 — serving-path observability overhead: extra rows rerun the group
+// rows with stats (and stats+trace) attached and report the server's own
+// stage decomposition next to the client-observed latency.
 //
 // Sweeps fsync policy {none, sync, group} x concurrent sessions {1, 4, 8}
 // over an in-process server (real loopback sockets, pipelined clients, the
@@ -28,6 +31,8 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "db/database.h"
 #include "json_out.h"
 #include "rules/engine.h"
@@ -86,12 +91,37 @@ struct World {
   }
 };
 
+/// Observability configurations for the E16 overhead rows: off is the PR 7
+/// serving path (no stamps, no clock reads); kStats attaches a Metrics
+/// registry (stage histograms live); kStatsTrace additionally records
+/// per-batch trace spans.
+enum class Observe { kOff, kStats, kStatsTrace };
+
+const char* ObserveName(Observe o) {
+  switch (o) {
+    case Observe::kOff:
+      return "off";
+    case Observe::kStats:
+      return "stats";
+    case Observe::kStatsTrace:
+      return "stats_trace";
+  }
+  return "?";
+}
+
 struct RunResult {
   uint64_t acked = 0;
   uint64_t errors = 0;
   double seconds = 0;
+  double mean_us = 0;  // client-observed wire-to-ack mean
   double p50_us = 0;
   double p99_us = 0;
+  // Server-side decomposition (observe != off): the sum of per-stage means
+  // and the server's own wire-to-ack mean. E16 cross-checks all three
+  // against each other (stage_sum == server mean exactly by tiling; client
+  // mean within +-10% of both).
+  double stage_sum_us = 0;
+  double server_mean_us = 0;
 };
 
 void ClientThread(uint16_t port, int client_id, int events, int pipeline,
@@ -153,7 +183,7 @@ double Percentile(std::vector<double>* v, double q) {
 }
 
 RunResult RunOnce(storage::FsyncPolicy fsync, int sessions, int events,
-                  int pipeline) {
+                  int pipeline, Observe observe) {
   World world;
   std::string dir = FreshDir();
   fs::create_directories(dir);
@@ -163,9 +193,20 @@ RunResult RunOnce(storage::FsyncPolicy fsync, int sessions, int events,
   auto mgr = storage::DurabilityManager::Attach(dopts, world.Targets());
   PTLDB_CHECK_OK(mgr.status());
 
+  Metrics metrics;
+  trace::Recorder recorder;
   server::ServerOptions opts;
   opts.max_batch = 64;
   opts.batch_delay_us = 200;
+  if (observe != Observe::kOff) {
+    world.engine.SetMetrics(&metrics);
+    opts.metrics = &metrics;
+  }
+  if (observe == Observe::kStatsTrace) {
+    recorder.Enable();
+    world.engine.SetTrace(&recorder);
+    opts.trace = &recorder;
+  }
   server::Server srv(opts, &world.db, &world.engine, mgr->get());
   PTLDB_CHECK_OK(srv.Start());
 
@@ -185,6 +226,23 @@ RunResult RunOnce(storage::FsyncPolicy fsync, int sessions, int events,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   srv.Stop();
+  if (observe != Observe::kOff) {
+    MetricsSnapshot snap = metrics.TakeSnapshot();
+    for (const char* stage : {"read", "queue", "batch", "apply", "eval",
+                              "commit", "ack"}) {
+      auto it = snap.histograms.find(std::string("server.stage.") + stage +
+                                     "_ns");
+      if (it != snap.histograms.end()) {
+        out.stage_sum_us += it->second.mean_ns() / 1000.0;
+      }
+    }
+    auto it = snap.histograms.find("server.wire_to_ack_ns");
+    if (it != snap.histograms.end()) {
+      out.server_mean_us = it->second.mean_ns() / 1000.0;
+    }
+    world.engine.SetMetrics(nullptr);
+    world.engine.SetTrace(nullptr);
+  }
   mgr->reset();
   fs::remove_all(dir);
 
@@ -194,6 +252,9 @@ RunResult RunOnce(storage::FsyncPolicy fsync, int sessions, int events,
     out.acked += acked[i];
     out.errors += errors[i];
   }
+  double sum = 0;
+  for (double us : all) sum += us;
+  out.mean_us = all.empty() ? 0 : sum / static_cast<double>(all.size());
   out.p50_us = Percentile(&all, 0.50);
   out.p99_us = Percentile(&all, 0.99);
   return out;
@@ -247,30 +308,51 @@ int Main(int argc, char** argv) {
       .Config("smoke", json::Json::Bool(smoke));
 
   int rc = 0;
+  auto run_row = [&](storage::FsyncPolicy policy, int sessions,
+                     Observe observe) {
+    RunResult r = RunOnce(policy, sessions, events, pipeline, observe);
+    double eps = r.seconds > 0 ? static_cast<double>(r.acked) / r.seconds : 0;
+    if (!json) {
+      std::printf(
+          "fsync=%-5s sessions=%d observe=%-11s acked=%llu errors=%llu "
+          "%.3fs -> %.0f events/s mean=%.0fus p50=%.0fus p99=%.0fus",
+          PolicyName(policy), sessions, ObserveName(observe),
+          static_cast<unsigned long long>(r.acked),
+          static_cast<unsigned long long>(r.errors), r.seconds, eps,
+          r.mean_us, r.p50_us, r.p99_us);
+      if (observe != Observe::kOff) {
+        std::printf(" server_mean=%.0fus stage_sum=%.0fus", r.server_mean_us,
+                    r.stage_sum_us);
+      }
+      std::printf("\n");
+    }
+    auto& row = report.AddResult();
+    row.Set("fsync", json::Json::Str(PolicyName(policy)));
+    row.Set("sessions", json::Json::Int(sessions));
+    row.Set("observe", json::Json::Str(ObserveName(observe)));
+    row.Set("acked", json::Json::Int(static_cast<int64_t>(r.acked)));
+    row.Set("errors", json::Json::Int(static_cast<int64_t>(r.errors)));
+    row.Set("seconds", json::Json::Real(r.seconds));
+    row.Set("events_per_sec", json::Json::Real(eps));
+    row.Set("mean_us", json::Json::Real(r.mean_us));
+    row.Set("p50_us", json::Json::Real(r.p50_us));
+    row.Set("p99_us", json::Json::Real(r.p99_us));
+    if (observe != Observe::kOff) {
+      row.Set("server_mean_us", json::Json::Real(r.server_mean_us));
+      row.Set("stage_sum_us", json::Json::Real(r.stage_sum_us));
+    }
+    if (r.errors != 0) rc = 1;
+  };
   for (storage::FsyncPolicy policy : policies) {
     for (int sessions : session_counts) {
-      RunResult r = RunOnce(policy, sessions, events, pipeline);
-      double eps = r.seconds > 0 ? static_cast<double>(r.acked) / r.seconds : 0;
-      if (!json) {
-        std::printf(
-            "fsync=%-5s sessions=%d acked=%llu errors=%llu %.3fs -> "
-            "%.0f events/s p50=%.0fus p99=%.0fus\n",
-            PolicyName(policy), sessions,
-            static_cast<unsigned long long>(r.acked),
-            static_cast<unsigned long long>(r.errors), r.seconds, eps,
-            r.p50_us, r.p99_us);
-      }
-      auto& row = report.AddResult();
-      row.Set("fsync", json::Json::Str(PolicyName(policy)));
-      row.Set("sessions", json::Json::Int(sessions));
-      row.Set("acked", json::Json::Int(static_cast<int64_t>(r.acked)));
-      row.Set("errors",
-              json::Json::Int(static_cast<int64_t>(r.errors)));
-      row.Set("seconds", json::Json::Real(r.seconds));
-      row.Set("events_per_sec", json::Json::Real(eps));
-      row.Set("p50_us", json::Json::Real(r.p50_us));
-      row.Set("p99_us", json::Json::Real(r.p99_us));
-      if (r.errors != 0) rc = 1;
+      run_row(policy, sessions, Observe::kOff);
+    }
+  }
+  // E16: observability overhead + self-consistency. Same workload as the
+  // group-commit rows; the off rows above are the baseline.
+  for (Observe observe : {Observe::kStats, Observe::kStatsTrace}) {
+    for (int sessions : {4, 8}) {
+      run_row(storage::FsyncPolicy::kGroup, sessions, observe);
     }
   }
   if (json) {

@@ -5,6 +5,11 @@
 #include <sstream>
 
 namespace ptldb {
+
+namespace internal {
+std::atomic<uint64_t> scoped_timer_clock_reads{0};
+}  // namespace internal
+
 namespace {
 
 // The registry serializes with a minimal emitter rather than a JSON library:
@@ -46,7 +51,161 @@ size_t BucketIndex(uint64_t ns) {
              : Metrics::Histogram::kBuckets - 1;
 }
 
+// Prometheus metric names admit [a-zA-Z0-9_:]; everything the registry allows
+// beyond that (dots, the "!conflict." quarantine, rule names) flattens to '_'.
+void AppendPromName(std::ostringstream& out, const std::string& name) {
+  out << "ptldb_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out << (ok ? c : '_');
+  }
+}
+
+uint64_t QuantileFromBuckets(const uint64_t* buckets, size_t n_buckets,
+                             uint64_t count, uint64_t max_ns, double q) {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < n_buckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Bucket i holds values with bit_width == i, i.e. < 2^i.
+      return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+    }
+  }
+  return max_ns;
+}
+
+void AppendHistogramJson(std::ostringstream& out, const HistogramSnapshot& h) {
+  out << "{\"count\": " << h.count << ", \"sum_ns\": " << h.sum_ns
+      << ", \"mean_ns\": " << static_cast<uint64_t>(h.mean_ns())
+      << ", \"p50_ns\": " << h.QuantileUpperBoundNs(0.5)
+      << ", \"p99_ns\": " << h.QuantileUpperBoundNs(0.99)
+      << ", \"max_ns\": " << h.max_ns << "}";
+}
+
 }  // namespace
+
+// ---- HistogramSnapshot ------------------------------------------------------
+
+double HistogramSnapshot::mean_ns() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum_ns) / static_cast<double>(count);
+}
+
+uint64_t HistogramSnapshot::QuantileUpperBoundNs(double q) const {
+  return QuantileFromBuckets(buckets.data(), kBuckets, count, max_ns, q);
+}
+
+// ---- MetricsSnapshot --------------------------------------------------------
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& earlier) const {
+  auto sub = [](uint64_t now, uint64_t then) {
+    return now > then ? now - then : 0;
+  };
+  MetricsSnapshot d;
+  for (const auto& [name, v] : counters) {
+    auto it = earlier.counters.find(name);
+    d.counters[name] = it == earlier.counters.end() ? v : sub(v, it->second);
+  }
+  d.gauges = gauges;  // levels, not flows
+  for (const auto& [name, h] : histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) {
+      d.histograms[name] = h;
+      continue;
+    }
+    HistogramSnapshot dh;
+    dh.count = sub(h.count, it->second.count);
+    dh.sum_ns = sub(h.sum_ns, it->second.sum_ns);
+    dh.max_ns = h.max_ns;  // lifetime max; a windowed max is not recoverable
+    for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      dh.buckets[i] = sub(h.buckets[i], it->second.buckets[i]);
+    }
+    d.histograms[name] = dh;
+  }
+  return d;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": " << v;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": " << v;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": ";
+    AppendHistogramJson(out, h);
+  }
+  out << (first ? "" : "\n  ") << "}\n}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::ostringstream out;
+  for (const auto& [name, v] : counters) {
+    out << "# TYPE ";
+    AppendPromName(out, name);
+    out << " counter\n";
+    AppendPromName(out, name);
+    out << ' ' << v << '\n';
+  }
+  for (const auto& [name, v] : gauges) {
+    out << "# TYPE ";
+    AppendPromName(out, name);
+    out << " gauge\n";
+    AppendPromName(out, name);
+    out << ' ' << v << '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    out << "# TYPE ";
+    AppendPromName(out, name);
+    out << " histogram\n";
+    uint64_t cum = 0;
+    size_t highest = 0;
+    for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (h.buckets[i] != 0) highest = i;
+    }
+    for (size_t i = 0; i <= highest; ++i) {
+      cum += h.buckets[i];
+      AppendPromName(out, name);
+      // Bucket i holds bit_width(ns) == i, so its inclusive upper bound is
+      // 2^i - 1 (bucket 0 is exactly the value 0).
+      uint64_t le = i == 0 ? 0 : (uint64_t{1} << i) - 1;
+      out << "_bucket{le=\"" << le << "\"} " << cum << '\n';
+    }
+    AppendPromName(out, name);
+    out << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    AppendPromName(out, name);
+    out << "_sum " << h.sum_ns << '\n';
+    AppendPromName(out, name);
+    out << "_count " << h.count << '\n';
+  }
+  return out.str();
+}
+
+// ---- Metrics ----------------------------------------------------------------
 
 void Metrics::Histogram::Observe(uint64_t ns) {
   count_.fetch_add(1, std::memory_order_relaxed);
@@ -64,20 +223,22 @@ double Metrics::Histogram::mean_ns() const {
 }
 
 uint64_t Metrics::Histogram::QuantileUpperBoundNs(double q) const {
-  uint64_t n = count();
-  if (n == 0) return 0;
-  if (q < 0) q = 0;
-  if (q > 1) q = 1;
-  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
-  uint64_t seen = 0;
+  uint64_t local[kBuckets];
   for (size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen >= rank) {
-      // Bucket i holds values with bit_width == i, i.e. < 2^i.
-      return i == 0 ? 0 : (uint64_t{1} << i) - 1;
-    }
+    local[i] = buckets_[i].load(std::memory_order_relaxed);
   }
-  return max_ns();
+  return QuantileFromBuckets(local, kBuckets, count(), max_ns(), q);
+}
+
+HistogramSnapshot Metrics::Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count();
+  s.sum_ns = sum_ns();
+  s.max_ns = max_ns();
+  for (size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
 }
 
 Metrics::Counter& Metrics::counter(const std::string& name) {
@@ -125,7 +286,7 @@ void Metrics::RemoveProvider(uint64_t id) {
   providers_.erase(id);
 }
 
-std::string Metrics::ToJson() {
+MetricsSnapshot Metrics::TakeSnapshot() {
   // Run providers without holding the lock: they call back into
   // counter()/gauge() to publish derived values.
   std::vector<ProviderFn> fns;
@@ -137,37 +298,17 @@ std::string Metrics::ToJson() {
   for (const auto& fn : fns) fn(*this);
 
   std::lock_guard<std::mutex> lock(mu_);
-  std::ostringstream out;
-  out << "{\n  \"counters\": {";
-  bool first = true;
-  for (const auto& [name, c] : counters_) {
-    out << (first ? "\n    " : ",\n    ");
-    first = false;
-    AppendJsonString(out, name);
-    out << ": " << c->Get();
-  }
-  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
-  first = true;
-  for (const auto& [name, g] : gauges_) {
-    out << (first ? "\n    " : ",\n    ");
-    first = false;
-    AppendJsonString(out, name);
-    out << ": " << g->Get();
-  }
-  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
-  first = true;
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Get();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Get();
   for (const auto& [name, h] : histograms_) {
-    out << (first ? "\n    " : ",\n    ");
-    first = false;
-    AppendJsonString(out, name);
-    out << ": {\"count\": " << h->count() << ", \"sum_ns\": " << h->sum_ns()
-        << ", \"mean_ns\": " << static_cast<uint64_t>(h->mean_ns())
-        << ", \"p50_ns\": " << h->QuantileUpperBoundNs(0.5)
-        << ", \"p99_ns\": " << h->QuantileUpperBoundNs(0.99)
-        << ", \"max_ns\": " << h->max_ns() << "}";
+    snap.histograms[name] = h->Snapshot();
   }
-  out << (first ? "" : "\n  ") << "}\n}";
-  return out.str();
+  return snap;
 }
+
+std::string Metrics::ToJson() { return TakeSnapshot().ToJson(); }
+
+std::string Metrics::ToPrometheus() { return TakeSnapshot().ToPrometheus(); }
 
 }  // namespace ptldb

@@ -2,9 +2,11 @@
 //
 // Production active-rule systems make rule execution inspectable first-class;
 // here every layer (RuleEngine, IncrementalEvaluator, the aux stores, the
-// query path) can publish counters, gauges, and latency histograms into one
-// named registry, snapshot as JSON by `Metrics::ToJson()` (the `stats` shell
-// command and the benches' `--metrics-out` flag).
+// query path, the ingestion server) can publish counters, gauges, and latency
+// histograms into one named registry, snapshot as JSON by `Metrics::ToJson()`
+// (the `stats` shell command, the benches' `--metrics-out` flag, and the
+// server's STATS request) or as Prometheus-style text exposition
+// (`ToPrometheus()`, the server's scrape format).
 //
 // Design constraints:
 //
@@ -16,15 +18,20 @@
 //     lifetime, so cached pointers never dangle while the registry lives.
 //   * Updates are atomic (relaxed): the engine's sharded step phase may bump
 //     counters from pool threads. Snapshots are not linearizable across
-//     instruments — ToJson reads each instrument atomically but the set is
-//     only consistent when taken from the engine's dispatch thread.
+//     instruments — a snapshot reads each instrument atomically but the set
+//     is only consistent when taken from the engine's dispatch thread.
 //   * Expensive-to-maintain values (live node counts, per-rule aggregates)
 //     are not updated eagerly: a component registers a *provider* callback
 //     that refreshes its gauges only when a snapshot is taken.
+//   * Snapshots are plain values (MetricsSnapshot). Two snapshots diff into a
+//     delta (`DeltaSince`) so a poller — the server's STATS_DELTA request,
+//     `ptldb-top` — sees rates and per-window latency distributions instead
+//     of lifetime aggregates.
 
 #ifndef PTLDB_COMMON_METRICS_H_
 #define PTLDB_COMMON_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -36,6 +43,53 @@
 #include <vector>
 
 namespace ptldb {
+
+class Metrics;
+
+/// Point-in-time copy of one histogram's state. Also the unit of histogram
+/// arithmetic: deltas subtract counts/sums/buckets bucket-wise, and the
+/// quantile estimator works identically on totals and deltas.
+struct HistogramSnapshot {
+  static constexpr size_t kBuckets = 40;  // mirrors Metrics::Histogram
+
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t max_ns = 0;  // lifetime max; not diffable (kept verbatim in deltas)
+  std::array<uint64_t, kBuckets> buckets = {};
+
+  double mean_ns() const;
+  /// Upper bucket bound of the q-quantile (q in [0,1]); 0 when empty.
+  uint64_t QuantileUpperBoundNs(double q) const;
+};
+
+/// A consistent-enough copy of every instrument, taken under the registry
+/// lock after running providers. Serializable as JSON or Prometheus text and
+/// subtractable for delta polling.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// The change since `earlier`: counters and histogram counts/sums/buckets
+  /// subtract (clamped at zero, so a registry swap or counter reset yields an
+  /// empty delta rather than underflow); gauges keep their *current* value
+  /// (a gauge is a level, not a flow); histogram max_ns stays the lifetime
+  /// max. Instruments absent from `earlier` keep their full value.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+
+  /// Serializes as
+  ///   {"counters": {...}, "gauges": {...}, "histograms": {name: {count, ...}}}
+  /// with keys sorted, so successive snapshots diff cleanly. Byte-identical
+  /// to the historical Metrics::ToJson() format.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition (one scrape format for external collectors):
+  /// names are sanitized to [a-zA-Z0-9_] and prefixed "ptldb_", counters and
+  /// gauges emit one sample each under a `# TYPE` header, histograms emit
+  /// cumulative `_bucket{le="..."}` samples over the power-of-two bounds plus
+  /// `_sum` and `_count`.
+  std::string ToPrometheus() const;
+};
 
 class Metrics {
  public:
@@ -64,7 +118,7 @@ class Metrics {
   /// observations with bit_width(ns) == i), plus exact count/sum/max.
   class Histogram {
    public:
-    static constexpr size_t kBuckets = 40;  // 2^39 ns ~ 9 minutes
+    static constexpr size_t kBuckets = HistogramSnapshot::kBuckets;
 
     void Observe(uint64_t ns);
 
@@ -74,6 +128,8 @@ class Metrics {
     double mean_ns() const;
     /// Upper bucket bound of the q-quantile (q in [0,1]); 0 when empty.
     uint64_t QuantileUpperBoundNs(double q) const;
+
+    HistogramSnapshot Snapshot() const;
 
    private:
     std::atomic<uint64_t> count_{0};
@@ -92,15 +148,20 @@ class Metrics {
   Histogram& histogram(const std::string& name);
 
   /// A provider refreshes derived gauges right before a snapshot (it runs on
-  /// the thread calling ToJson and may call gauge()/counter() freely).
+  /// the thread calling TakeSnapshot/ToJson and may call gauge()/counter()
+  /// freely).
   using ProviderFn = std::function<void(Metrics&)>;
   uint64_t AddProvider(ProviderFn fn);
   void RemoveProvider(uint64_t id);
 
-  /// JSON snapshot: runs every provider, then serializes all instruments as
-  ///   {"counters": {...}, "gauges": {...}, "histograms": {name: {count, ...}}}
-  /// with keys sorted, so successive snapshots diff cleanly.
+  /// Runs every provider, then copies all instruments into a plain value.
+  MetricsSnapshot TakeSnapshot();
+
+  /// TakeSnapshot().ToJson() — the `stats json` / STATS wire format.
   std::string ToJson();
+
+  /// TakeSnapshot().ToPrometheus() — the scrape exposition format.
+  std::string ToPrometheus();
 
  private:
   mutable std::mutex mu_;
@@ -111,18 +172,32 @@ class Metrics {
   uint64_t next_provider_id_ = 1;
 };
 
-/// Times a scope into a histogram; no clock is read when `h` is null.
+namespace internal {
+/// Counts every steady-clock read ScopedTimer performs. The increment rides
+/// only on paths that already pay a clock read (one relaxed add next to a
+/// ~20ns vDSO call); its purpose is the regression test pinning that the
+/// null fast path stays clock-free on both the constructor and destructor
+/// ends.
+extern std::atomic<uint64_t> scoped_timer_clock_reads;
+
+inline uint64_t TimerNowNs() {
+  scoped_timer_clock_reads.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace internal
+
+/// Times a scope into a histogram. The null fast path (detached metrics) is
+/// one branch on each end: no clock read, no allocation, no atomic traffic —
+/// metrics_test pins this via internal::scoped_timer_clock_reads.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(Metrics::Histogram* h) : h_(h) {
-    if (h_ != nullptr) start_ = std::chrono::steady_clock::now();
-  }
+  explicit ScopedTimer(Metrics::Histogram* h)
+      : h_(h), start_ns_(h == nullptr ? 0 : internal::TimerNowNs()) {}
   ~ScopedTimer() {
-    if (h_ != nullptr) {
-      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - start_);
-      h_->Observe(static_cast<uint64_t>(ns.count()));
-    }
+    if (h_ != nullptr) h_->Observe(internal::TimerNowNs() - start_ns_);
   }
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -130,7 +205,7 @@ class ScopedTimer {
 
  private:
   Metrics::Histogram* h_;
-  std::chrono::steady_clock::time_point start_;
+  uint64_t start_ns_;
 };
 
 /// Null-safe increment helpers for cached instrument pointers.
@@ -139,6 +214,9 @@ inline void MetricAdd(Metrics::Counter* c, uint64_t n = 1) {
 }
 inline void MetricSet(Metrics::Gauge* g, int64_t v) {
   if (g != nullptr) g->Set(v);
+}
+inline void MetricObserve(Metrics::Histogram* h, uint64_t v) {
+  if (h != nullptr) h->Observe(v);
 }
 
 }  // namespace ptldb

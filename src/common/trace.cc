@@ -33,6 +33,14 @@ const char* SpanKindName(SpanKind kind) {
       return "vt_replay";
     case SpanKind::kVtDefinite:
       return "vt_definite";
+    case SpanKind::kServerBatch:
+      return "server_batch";
+    case SpanKind::kServerApply:
+      return "server_apply";
+    case SpanKind::kServerCommit:
+      return "server_commit";
+    case SpanKind::kServerAck:
+      return "server_ack";
   }
   return "?";
 }

@@ -56,6 +56,10 @@ enum class SpanKind : uint8_t {
   kFlush,       // batched-mode drain
   kVtReplay,    // valid-time tentative-monitor suffix replay
   kVtDefinite,  // valid-time definite-monitor frontier advance
+  kServerBatch,   // one server ingest batch: dequeue -> last ack
+  kServerApply,   // the batch's request-apply phase (all requests)
+  kServerCommit,  // the batch's durability barrier (group-commit fsync)
+  kServerAck,     // the batch's response-write phase
 };
 
 const char* SpanKindName(SpanKind kind);

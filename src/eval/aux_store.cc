@@ -549,6 +549,17 @@ void RelationHistory::ExportTo(Metrics& m, const std::string& prefix) const {
   m.gauge(base + ".phantom_rows_dropped")
       .Set(static_cast<int64_t>(phantom_rows_dropped_));
   m.gauge(base + ".dict").Set(static_cast<int64_t>(tuples_.size()));
+  m.gauge(base + ".values_dict").Set(static_cast<int64_t>(values_.size()));
+  m.gauge(base + ".asof_probes").Set(static_cast<int64_t>(asof_probes_));
+}
+
+void ScalarSeries::ExportTo(Metrics& m, const std::string& prefix) const {
+  const std::string base = "aux." + prefix;
+  m.gauge(base + ".intervals").Set(static_cast<int64_t>(num_intervals()));
+  m.gauge(base + ".bytes").Set(static_cast<int64_t>(EstimateBytes()));
+  m.gauge(base + ".trimmed").Set(static_cast<int64_t>(intervals_trimmed_));
+  m.gauge(base + ".dict").Set(static_cast<int64_t>(dict_.size()));
+  m.gauge(base + ".asof_probes").Set(static_cast<int64_t>(asof_probes_));
 }
 
 }  // namespace ptldb::eval

@@ -107,6 +107,11 @@ class ScalarSeries {
            vids_.capacity() * sizeof(uint32_t) + dict_.EstimateBytes();
   }
 
+  /// Publishes interval/dictionary/probe accounting into `m` under
+  /// `aux.<prefix>.{intervals,bytes,trimmed,dict,asof_probes}` — the
+  /// per-store half of the serving-path stats surface (DESIGN.md §15).
+  void ExportTo(Metrics& m, const std::string& prefix) const;
+
   /// Durable serialization (columnar v2; reads v1 row dumps too).
   void Serialize(codec::Writer* w) const;
   Status Deserialize(codec::Reader* r);
@@ -183,7 +188,10 @@ class RelationHistory {
   }
 
   /// Publishes interval/trim/bytes accounting into `m` under
-  /// `aux.<prefix>.{rows,rows_trimmed,phantom_rows_dropped,bytes,dict}`.
+  /// `aux.<prefix>.{rows,rows_trimmed,phantom_rows_dropped,bytes,dict,
+  /// values_dict,asof_probes}` — both dictionaries' cardinalities and the
+  /// AsOf probe counter ride along so a STATS poll sees the columnar
+  /// internals without touching the store.
   void ExportTo(Metrics& m, const std::string& prefix) const;
 
   /// Durable serialization (columnar v2 with both dictionaries; reads v1

@@ -168,17 +168,19 @@ void RuleEngine::RefreshDerivedMetrics(Metrics& m) {
       .Set(static_cast<int64_t>(subst_misses));
   if (query_history_enabled_ || !query_history_.empty()) {
     size_t intervals = 0, dict = 0;
-    uint64_t trimmed = 0;
+    uint64_t trimmed = 0, probes = 0;
     for (const auto& [spec, series] : query_history_) {
       intervals += series.num_intervals();
       dict += series.dict_size();
       trimmed += series.intervals_trimmed();
+      probes += series.asof_probes();
     }
     m.gauge("aux.query_history.series")
         .Set(static_cast<int64_t>(query_history_.size()));
     m.gauge("aux.query_history.intervals").Set(static_cast<int64_t>(intervals));
     m.gauge("aux.query_history.dict").Set(static_cast<int64_t>(dict));
     m.gauge("aux.query_history.trimmed").Set(static_cast<int64_t>(trimmed));
+    m.gauge("aux.query_history.asof_probes").Set(static_cast<int64_t>(probes));
     m.gauge("aux.query_history.bytes")
         .Set(static_cast<int64_t>(QueryHistoryBytes()));
   }

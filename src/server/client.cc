@@ -51,7 +51,9 @@ Result<uint32_t> Client::Send(Request req) {
 Result<Response> Client::Receive() {
   if (fd_ < 0) return Status::InvalidArgument("not connected");
   std::string payload;
-  PTLDB_RETURN_IF_ERROR(ReadFrame(fd_, &payload));
+  // Responses use the looser bound: stats snapshots and trace dumps are
+  // larger than any request frame.
+  PTLDB_RETURN_IF_ERROR(ReadFrame(fd_, &payload, kMaxResponseFrameLen));
   if (outstanding_ > 0) --outstanding_;
   return DecodeResponse(payload);
 }

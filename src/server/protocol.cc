@@ -50,9 +50,19 @@ void EncodeRequest(const Request& req, std::string* out) {
       break;
     case MsgType::kPing:
     case MsgType::kTakeFirings:
-    case MsgType::kStats:
     case MsgType::kFlush:
     case MsgType::kCheckpoint:
+    case MsgType::kStatsDelta:
+      break;
+    case MsgType::kStats:
+      w.U8(static_cast<uint8_t>(req.stats_format));
+      break;
+    case MsgType::kTraceDump:
+      w.U8(static_cast<uint8_t>(req.trace_format));
+      w.Bool(req.trace_clear);
+      break;
+    case MsgType::kTraceCtl:
+      w.U8(static_cast<uint8_t>(req.trace_op));
       break;
     case MsgType::kRaiseEvent:
       w.Str(req.event_name);
@@ -89,7 +99,7 @@ Result<Request> DecodeRequest(std::string_view payload) {
   Request req;
   PTLDB_ASSIGN_OR_RETURN(uint8_t type_byte, r.U8());
   if (type_byte < static_cast<uint8_t>(MsgType::kHello) ||
-      type_byte > static_cast<uint8_t>(MsgType::kCheckpoint)) {
+      type_byte > static_cast<uint8_t>(MsgType::kTraceCtl)) {
     return Status::InvalidArgument(
         StrCat("unknown request type ", static_cast<int>(type_byte)));
   }
@@ -102,10 +112,42 @@ Result<Request> DecodeRequest(std::string_view payload) {
     }
     case MsgType::kPing:
     case MsgType::kTakeFirings:
-    case MsgType::kStats:
     case MsgType::kFlush:
     case MsgType::kCheckpoint:
+    case MsgType::kStatsDelta:
       break;
+    case MsgType::kStats: {
+      PTLDB_ASSIGN_OR_RETURN(uint8_t fmt, r.U8());
+      if (fmt > static_cast<uint8_t>(StatsFormat::kPrometheus)) {
+        return Status::InvalidArgument(
+            StrCat("unknown stats format ", static_cast<int>(fmt)));
+      }
+      req.stats_format = static_cast<StatsFormat>(fmt);
+      break;
+    }
+    case MsgType::kTraceDump: {
+      PTLDB_ASSIGN_OR_RETURN(uint8_t fmt, r.U8());
+      if (fmt > static_cast<uint8_t>(TraceFormat::kChrome)) {
+        return Status::InvalidArgument(
+            StrCat("unknown trace format ", static_cast<int>(fmt)));
+      }
+      req.trace_format = static_cast<TraceFormat>(fmt);
+      PTLDB_ASSIGN_OR_RETURN(uint8_t clear, r.U8());
+      if (clear > 1) {
+        return Status::InvalidArgument("trace clear flag must be 0 or 1");
+      }
+      req.trace_clear = clear != 0;
+      break;
+    }
+    case MsgType::kTraceCtl: {
+      PTLDB_ASSIGN_OR_RETURN(uint8_t op, r.U8());
+      if (op > static_cast<uint8_t>(TraceOp::kClear)) {
+        return Status::InvalidArgument(
+            StrCat("unknown trace op ", static_cast<int>(op)));
+      }
+      req.trace_op = static_cast<TraceOp>(op);
+      break;
+    }
     case MsgType::kRaiseEvent: {
       PTLDB_ASSIGN_OR_RETURN(req.event_name, r.Str());
       PTLDB_ASSIGN_OR_RETURN(req.event_params, r.ValVec());
@@ -215,7 +257,7 @@ Result<size_t> ReadFull(int fd, char* buf, size_t n) {
 
 }  // namespace
 
-Status ReadFrame(int fd, std::string* payload) {
+Status ReadFrame(int fd, std::string* payload, uint32_t max_len) {
   char hdr[4];
   PTLDB_ASSIGN_OR_RETURN(size_t got, ReadFull(fd, hdr, sizeof hdr));
   if (got == 0) return Status::NotFound("connection closed");
@@ -225,9 +267,9 @@ Status ReadFrame(int fd, std::string* payload) {
   uint32_t len;
   std::memcpy(&len, hdr, sizeof len);
   if (len == 0) return Status::InvalidArgument("zero-length frame");
-  if (len > kMaxFrameLen) {
+  if (len > max_len) {
     return Status::InvalidArgument(
-        StrCat("frame length ", len, " exceeds limit ", kMaxFrameLen));
+        StrCat("frame length ", len, " exceeds limit ", max_len));
   }
   payload->resize(len);
   PTLDB_ASSIGN_OR_RETURN(got, ReadFull(fd, payload->data(), len));
@@ -237,8 +279,8 @@ Status ReadFrame(int fd, std::string* payload) {
   return Status::OK();
 }
 
-Status WriteFrame(int fd, std::string_view payload) {
-  if (payload.empty() || payload.size() > kMaxFrameLen) {
+Status WriteFrame(int fd, std::string_view payload, uint32_t max_len) {
+  if (payload.empty() || payload.size() > max_len) {
     return Status::InvalidArgument("frame payload size out of range");
   }
   uint32_t len = static_cast<uint32_t>(payload.size());
@@ -256,6 +298,40 @@ Status WriteFrame(int fd, std::string_view payload) {
     sent += static_cast<size_t>(w);
   }
   return Status::OK();
+}
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kHello:
+      return "hello";
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kRaiseEvent:
+      return "raise_event";
+    case MsgType::kInsert:
+      return "insert";
+    case MsgType::kUpdate:
+      return "update";
+    case MsgType::kDelete:
+      return "delete";
+    case MsgType::kQuery:
+      return "query";
+    case MsgType::kTakeFirings:
+      return "take_firings";
+    case MsgType::kStats:
+      return "stats";
+    case MsgType::kFlush:
+      return "flush";
+    case MsgType::kCheckpoint:
+      return "checkpoint";
+    case MsgType::kStatsDelta:
+      return "stats_delta";
+    case MsgType::kTraceDump:
+      return "trace_dump";
+    case MsgType::kTraceCtl:
+      return "trace_ctl";
+  }
+  return "?";
 }
 
 }  // namespace ptldb::server

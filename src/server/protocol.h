@@ -42,12 +42,20 @@
 namespace ptldb::server {
 
 /// Protocol revision; Hello from a client speaking a different revision is
-/// rejected before any state is touched.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// rejected before any state is touched. Revision 2 added the admin
+/// introspection surface: a format byte on kStats, and the kStatsDelta /
+/// kTraceDump / kTraceCtl requests.
+inline constexpr uint32_t kProtocolVersion = 2;
 
-/// Upper bound on one frame's payload. A length prefix above this is a
-/// malformed or hostile frame — reject before allocating.
+/// Upper bound on one *request* frame's payload. A length prefix above this
+/// is a malformed or hostile frame — reject before allocating.
 inline constexpr uint32_t kMaxFrameLen = 1u << 20;
+
+/// Upper bound on one *response* frame's payload. Responses are larger than
+/// requests by design — a TRACE_DUMP ships the whole span ring, a STATS
+/// snapshot grows with the rule count — and the peer is the server we just
+/// chose to talk to, so the anti-hostile bound is looser.
+inline constexpr uint32_t kMaxResponseFrameLen = 1u << 26;
 
 enum class MsgType : uint8_t {
   kHello = 1,        // body: u32 protocol version
@@ -58,9 +66,33 @@ enum class MsgType : uint8_t {
   kDelete = 6,       // body: str table, str where, param list
   kQuery = 7,        // body: str sql, param list
   kTakeFirings = 8,  // empty body; drains the server-side firing log
-  kStats = 9,        // empty body; metrics JSON in response text
+  kStats = 9,        // body: u8 StatsFormat; metrics snapshot in resp text
   kFlush = 10,       // empty body; force batched evaluation now
   kCheckpoint = 11,  // empty body; checkpoint the durability manager
+  kStatsDelta = 12,  // empty body; metrics delta since this session's last
+                     // poll as {"window_ns": N, "stats": {...}} in resp text
+  kTraceDump = 13,   // body: u8 TraceFormat, u8 clear(0/1); dump in resp text
+  kTraceCtl = 14,    // body: u8 TraceOp; recorder status JSON in resp text
+};
+
+/// Serialization of a kStats response.
+enum class StatsFormat : uint8_t {
+  kJson = 0,        // Metrics::ToJson()
+  kPrometheus = 1,  // Metrics::ToPrometheus() text exposition (scrapers)
+};
+
+/// Serialization of a kTraceDump response.
+enum class TraceFormat : uint8_t {
+  kJsonl = 0,   // trace::Recorder::ToJsonl()
+  kChrome = 1,  // trace::Recorder::ToChromeTrace() (chrome://tracing)
+};
+
+/// kTraceCtl operations against the server's trace recorder.
+enum class TraceOp : uint8_t {
+  kStatus = 0,   // report only
+  kEnable = 1,   // start recording spans/updates
+  kDisable = 2,  // stop recording (ring retained)
+  kClear = 3,    // drop recorded data
 };
 
 /// One decoded client request. Which fields are meaningful depends on `type`
@@ -78,6 +110,10 @@ struct Request {
   std::string where;                          // kUpdate/kDelete
   std::string sql;                            // kQuery
   std::vector<std::pair<std::string, Value>> params;  // kUpdate/kDelete/kQuery
+  StatsFormat stats_format = StatsFormat::kJson;      // kStats
+  TraceFormat trace_format = TraceFormat::kJsonl;     // kTraceDump
+  bool trace_clear = false;                   // kTraceDump: drain the ring
+  TraceOp trace_op = TraceOp::kStatus;        // kTraceCtl
 };
 
 /// One server response. `code` mirrors the Status of applying the request
@@ -105,12 +141,20 @@ Result<Response> DecodeResponse(std::string_view payload);
 
 /// Reads one `[u32 len][payload]` frame. Returns NotFound on clean EOF at a
 /// frame boundary (peer closed), InvalidArgument on zero/oversized length or
-/// EOF mid-frame (torn stream), Internal on socket errors.
-Status ReadFrame(int fd, std::string* payload);
+/// EOF mid-frame (torn stream), Internal on socket errors. `max_len` is the
+/// acceptance bound: the server reads requests with the default, clients
+/// read responses with kMaxResponseFrameLen.
+Status ReadFrame(int fd, std::string* payload,
+                 uint32_t max_len = kMaxFrameLen);
 
 /// Writes one frame. Internal on socket errors (EPIPE included — writes
-/// never raise SIGPIPE).
-Status WriteFrame(int fd, std::string_view payload);
+/// never raise SIGPIPE). `max_len` mirrors ReadFrame's bound.
+Status WriteFrame(int fd, std::string_view payload,
+                  uint32_t max_len = kMaxFrameLen);
+
+/// Human-readable request-type name ("insert", "stats_delta", ...) for logs
+/// and the slow-event records.
+const char* MsgTypeName(MsgType type);
 
 }  // namespace ptldb::server
 

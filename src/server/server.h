@@ -31,6 +31,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -40,6 +41,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "db/database.h"
 #include "rules/engine.h"
 #include "server/protocol.h"
@@ -67,8 +69,24 @@ struct ServerOptions {
   /// control slow the client; true = answer kUnavailable immediately.
   bool reject_when_full = false;
 
-  /// Optional observability registry (not owned; may be null).
+  /// Optional observability registry (not owned; may be null). When set, the
+  /// serving path stamps every request at frame read and threads the
+  /// timestamp through the pipeline, decomposing wire-to-ack latency into
+  /// per-stage histograms (`server.stage.*_ns`, DESIGN.md §15).
   Metrics* metrics = nullptr;
+
+  /// Optional trace recorder (not owned; may be null). When attached and
+  /// enabled, the engine thread records per-batch spans (batch size, queue
+  /// depth at dequeue, admission outcome, group-commit role) alongside
+  /// whatever the engine itself records into the same recorder. kTraceDump /
+  /// kTraceCtl serve and control this recorder over the wire.
+  trace::Recorder* trace = nullptr;
+
+  /// Slow-event log: a request whose wire-to-ack latency reaches this bound
+  /// appends one JSONL record with the full stage breakdown to
+  /// `slow_log_path`. 0 disables (no clock reads unless metrics are wired).
+  int64_t slow_threshold_us = 0;
+  std::string slow_log_path;
 };
 
 /// Ties one engine stack (database + rules + optional durability) to a
@@ -106,17 +124,25 @@ class Server {
 
  private:
   /// One connected client. Reader-owned except `write_mu` (the engine
-  /// thread writes responses) and `closed`.
+  /// thread writes responses) and `closed`. `last_stats*` is the session's
+  /// STATS_DELTA cursor, touched only by the engine thread.
   struct Session {
     int fd = -1;
     std::mutex write_mu;
     std::atomic<bool> closed{false};
     uint64_t id = 0;
+    std::unique_ptr<MetricsSnapshot> last_stats;
+    uint64_t last_stats_ns = 0;
   };
 
+  /// One admitted request plus its pipeline timestamps (steady-clock ns; 0
+  /// when observability is off — see observe_).
   struct Work {
     Request req;
     std::shared_ptr<Session> session;
+    uint64_t t_read_ns = 0;  // stamped right after the frame was read
+    uint64_t t_enq_ns = 0;   // after decode + admission (queue push)
+    uint64_t t_deq_ns = 0;   // popped by the engine thread
   };
 
   void AcceptLoop();
@@ -124,17 +150,38 @@ class Server {
   void EngineLoop();
 
   /// Pops up to max_batch requests, honoring the latency bound. Returns
-  /// false when the server is stopping and the queue is empty.
+  /// false when the server is stopping and the queue is empty. Stamps each
+  /// item's t_deq_ns and records the queue depth left behind in
+  /// `queue_depth_after_batch_`.
   bool NextBatch(std::vector<Work>* batch);
 
   /// Applies one request against the engine stack (no durability barrier —
-  /// the caller batches those). Fills `resp`.
-  void ApplyRequest(const Request& req, Response* resp);
+  /// the caller batches those). Fills `resp`. Takes the whole Work because
+  /// the admin requests (STATS_DELTA) keep per-session cursor state.
+  void ApplyRequest(Work& work, Response* resp);
+
+  Status ApplyStatsDelta(Work& work, Response* resp);
+  Status ApplyTraceDump(const Request& req, Response* resp);
+  Status ApplyTraceCtl(const Request& req, Response* resp);
 
   /// Runs Flush + firing-log drain + durability barrier; on barrier failure
   /// rewrites every pending OK response to the barrier error (those commits
-  /// are not durable and must not be acked as such).
-  void FinishBatch(std::vector<Work>* batch, std::vector<Response>* resps);
+  /// are not durable and must not be acked as such). When observing, splits
+  /// its own time against the caller's `apply_end_ns` stamp into `eval_ns`
+  /// (engine evaluation) and `commit_ns` (durability barrier) so that
+  /// apply_end + eval + commit is exactly the commit-end boundary.
+  void FinishBatch(std::vector<Work>* batch, std::vector<Response>* resps,
+                   uint64_t apply_end_ns, uint64_t* eval_ns,
+                   uint64_t* commit_ns);
+
+  /// Observes one finished request into the stage histograms and, past the
+  /// slow threshold, the slow-event log. All boundary stamps are engine-
+  /// thread local; the stages tile [t_read, t_ack] exactly.
+  void ObserveRequest(const Work& work, const Response& resp,
+                      uint64_t t_batch_ns, uint64_t t_apply_end_ns,
+                      uint64_t eval_ns, uint64_t commit_ns,
+                      uint64_t commit_end_ns, uint64_t t_ack_ns,
+                      size_t batch_size);
 
   void SendResponse(Session* session, const Response& resp);
   void CloseSession(Session* session);
@@ -166,13 +213,44 @@ class Server {
 
   std::atomic<uint64_t> requests_admitted_{0};
 
+  /// Admission-control rejections, tracked unconditionally (cheap, cold
+  /// path) so trace spans can report shed counts without a metrics registry.
+  std::atomic<uint64_t> rejections_total_{0};
+  uint64_t last_rejections_seen_ = 0;  // engine-thread only
+
   // Cached instruments (null when options_.metrics is null).
   Metrics::Gauge* g_queue_depth_ = nullptr;
   Metrics::Gauge* g_sessions_ = nullptr;
   Metrics::Counter* c_requests_ = nullptr;
   Metrics::Counter* c_batches_ = nullptr;
   Metrics::Counter* c_rejections_ = nullptr;
+  Metrics::Counter* c_acked_ = nullptr;
+  Metrics::Counter* c_slow_ = nullptr;
   Metrics::Histogram* h_batch_size_ = nullptr;
+
+  // Wire-to-ack decomposition: the seven stages tile [t_read, t_ack]
+  // exactly, so per-event stage sums equal the total (DESIGN.md §15).
+  Metrics::Histogram* h_stage_read_ = nullptr;    // frame read -> enqueue
+  Metrics::Histogram* h_stage_queue_ = nullptr;   // enqueue -> dequeue
+  Metrics::Histogram* h_stage_batch_ = nullptr;   // dequeue -> batch formed
+  Metrics::Histogram* h_stage_apply_ = nullptr;   // batch formed -> applied
+  Metrics::Histogram* h_stage_eval_ = nullptr;    // flush + firings drain
+  Metrics::Histogram* h_stage_commit_ = nullptr;  // durability barrier
+  Metrics::Histogram* h_stage_ack_ = nullptr;     // barrier done -> ack sent
+  Metrics::Histogram* h_wire_to_ack_ = nullptr;   // t_read -> t_ack
+
+  /// True when any per-event stamping is wanted (metrics wired or a slow
+  /// threshold set). When false the serving path makes zero clock reads per
+  /// request — observability off must stay within noise of PR 7 (E16).
+  bool observe_ = false;
+
+  int64_t slow_threshold_ns_ = 0;
+  std::FILE* slow_log_ = nullptr;  // engine-thread only after Start
+  uint64_t start_ns_ = 0;          // Start() stamp, slow-log relative times
+
+  /// Queue depth left behind by the latest NextBatch pop (engine-thread
+  /// only); feeds the per-batch trace span detail.
+  size_t last_queue_depth_ = 0;
 };
 
 }  // namespace ptldb::server

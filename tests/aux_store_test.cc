@@ -125,6 +125,29 @@ TEST(ScalarSeriesTest, AsOfIsSublinearInHistoryLength) {
   EXPECT_GT(probes, 0u);
 }
 
+TEST(ScalarSeriesTest, ExportToPublishesAccountingGauges) {
+  ScalarSeries s;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(s.Record(i, Value::Int(i % 5)));
+  }
+  s.TrimBefore(20);
+  ASSERT_OK(s.AsOf(30).status());
+  Metrics m;
+  s.ExportTo(m, "query_history.q1");
+  const std::string base = "aux.query_history.q1";
+  EXPECT_EQ(m.gauge(base + ".intervals").Get(),
+            static_cast<int64_t>(s.num_intervals()));
+  EXPECT_GT(m.gauge(base + ".bytes").Get(), 0);
+  EXPECT_EQ(m.gauge(base + ".trimmed").Get(),
+            static_cast<int64_t>(s.intervals_trimmed()));
+  EXPECT_EQ(m.gauge(base + ".dict").Get(),
+            static_cast<int64_t>(s.dict_size()));
+  EXPECT_EQ(m.gauge(base + ".dict").Get(), 5);  // i % 5 -> 5 distinct values
+  EXPECT_EQ(m.gauge(base + ".asof_probes").Get(),
+            static_cast<int64_t>(s.asof_probes()));
+  EXPECT_GT(s.asof_probes(), 0u);
+}
+
 TEST(ScalarSeriesTest, DictionaryDeduplicatesRepeatedValues) {
   ScalarSeries s;
   for (int i = 0; i < 1000; ++i) {
@@ -348,6 +371,7 @@ TEST_F(RelationHistoryTest, ExportToPublishesAccountingGauges) {
   ASSERT_OK(history_.Record(10, Rel({{Value::Str("IBM"), Value::Int(1)}})));
   ASSERT_OK(history_.Record(20, Rel({{Value::Str("HP"), Value::Int(2)}})));
   history_.TrimBefore(15);
+  ASSERT_OK(history_.AsOf(20).status());  // make some probes to account for
   history_.ExportTo(m, "price");
   EXPECT_EQ(m.gauge("aux.price.rows").Get(),
             static_cast<int64_t>(history_.num_rows()));
@@ -355,10 +379,18 @@ TEST_F(RelationHistoryTest, ExportToPublishesAccountingGauges) {
   EXPECT_EQ(m.gauge("aux.price.rows_trimmed").Get(),
             static_cast<int64_t>(history_.rows_trimmed()));
   EXPECT_EQ(m.gauge("aux.price.phantom_rows_dropped").Get(), 0);
+  // Dictionary internals: two distinct tuples, three distinct values
+  // ("IBM", "HP", 1, 2 — value ids are shared across columns, minus dups).
+  EXPECT_EQ(m.gauge("aux.price.dict").Get(), 2);
+  EXPECT_GT(m.gauge("aux.price.values_dict").Get(), 0);
+  EXPECT_EQ(m.gauge("aux.price.asof_probes").Get(),
+            static_cast<int64_t>(history_.asof_probes()));
+  EXPECT_GT(history_.asof_probes(), 0u);
   // The gauges land in the registry snapshot alongside everything else.
   std::string json = m.ToJson();
   EXPECT_NE(json.find("\"aux.price.rows\""), std::string::npos);
   EXPECT_NE(json.find("\"aux.price.bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"aux.price.values_dict\""), std::string::npos);
 }
 
 TEST_F(RelationHistoryTest, SchemaMismatchRejected) {

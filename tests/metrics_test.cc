@@ -112,6 +112,7 @@ TEST(MetricsTest, NullSafeHelpersAreNoOps) {
   MetricAdd(nullptr);
   MetricAdd(nullptr, 5);
   MetricSet(nullptr, 42);
+  MetricObserve(nullptr, 7);
   { ScopedTimer t(nullptr); }  // must not read the clock or crash
   Metrics m;
   Metrics::Counter& c = m.counter("c");
@@ -124,6 +125,113 @@ TEST(MetricsTest, ScopedTimerObservesElapsed) {
   Metrics::Histogram& h = m.histogram("t");
   { ScopedTimer t(&h); }
   EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(MetricsTest, ScopedTimerNullFastPathReadsNoClock) {
+  // The null fast path must be branch-only on BOTH ends — no clock read in
+  // the constructor or the destructor. Every clock read ScopedTimer makes
+  // goes through internal::TimerNowNs, which counts itself.
+  uint64_t before = internal::scoped_timer_clock_reads.load();
+  for (int i = 0; i < 1000; ++i) {
+    ScopedTimer t(nullptr);
+  }
+  EXPECT_EQ(internal::scoped_timer_clock_reads.load(), before);
+  // The live path pays exactly two reads (start + stop).
+  Metrics m;
+  before = internal::scoped_timer_clock_reads.load();
+  { ScopedTimer t(&m.histogram("h")); }
+  EXPECT_EQ(internal::scoped_timer_clock_reads.load(), before + 2);
+}
+
+// ---- Snapshots, deltas, exposition ------------------------------------------
+
+TEST(MetricsSnapshotTest, SnapshotCapturesAllInstruments) {
+  Metrics m;
+  m.counter("c").Add(7);
+  m.gauge("g").Set(-4);
+  m.histogram("h").Observe(100);
+  m.histogram("h").Observe(3000);
+  MetricsSnapshot s = m.TakeSnapshot();
+  EXPECT_EQ(s.counters.at("c"), 7u);
+  EXPECT_EQ(s.gauges.at("g"), -4);
+  EXPECT_EQ(s.histograms.at("h").count, 2u);
+  EXPECT_EQ(s.histograms.at("h").sum_ns, 3100u);
+  EXPECT_EQ(s.histograms.at("h").max_ns, 3000u);
+  // Snapshot serialization is byte-identical to the live registry's.
+  EXPECT_EQ(s.ToJson(), m.ToJson());
+}
+
+TEST(MetricsSnapshotTest, DeltaSubtractsCountersAndHistograms) {
+  Metrics m;
+  m.counter("c").Add(10);
+  m.gauge("g").Set(5);
+  m.histogram("h").Observe(100);
+  MetricsSnapshot t0 = m.TakeSnapshot();
+  m.counter("c").Add(3);
+  m.gauge("g").Set(8);
+  m.histogram("h").Observe(100);
+  m.histogram("h").Observe(200);
+  MetricsSnapshot t1 = m.TakeSnapshot();
+  MetricsSnapshot d = t1.DeltaSince(t0);
+  EXPECT_EQ(d.counters.at("c"), 3u);
+  EXPECT_EQ(d.gauges.at("g"), 8);  // gauges are levels, not flows
+  EXPECT_EQ(d.histograms.at("h").count, 2u);
+  EXPECT_EQ(d.histograms.at("h").sum_ns, 300u);
+  // Windowed quantiles come from the bucket deltas, not lifetime buckets.
+  uint64_t total = 0;
+  for (uint64_t b : d.histograms.at("h").buckets) total += b;
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(MetricsSnapshotTest, DeltaClampsAtZeroAndKeepsNewInstruments) {
+  Metrics m;
+  m.counter("c").Add(5);
+  MetricsSnapshot later = m.TakeSnapshot();
+  MetricsSnapshot earlier;
+  earlier.counters["c"] = 100;  // as if from a different registry
+  MetricsSnapshot d = later.DeltaSince(earlier);
+  EXPECT_EQ(d.counters.at("c"), 0u);  // clamped, not underflowed
+  // An instrument absent from `earlier` keeps its full value.
+  Metrics m2;
+  m2.counter("fresh").Add(9);
+  EXPECT_EQ(m2.TakeSnapshot().DeltaSince(earlier).counters.at("fresh"), 9u);
+}
+
+TEST(MetricsSnapshotTest, PrometheusExpositionShape) {
+  Metrics m;
+  m.counter("server.acked").Add(12);
+  m.gauge("server.queue_depth").Set(3);
+  m.histogram("server.stage.read_ns").Observe(5);  // bucket 3 (bit_width 3)
+  std::string text = m.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE ptldb_server_acked counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptldb_server_acked 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ptldb_server_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptldb_server_queue_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ptldb_server_stage_read_ns histogram"),
+            std::string::npos);
+  // Cumulative buckets: the observation of 5ns lands at le="7" (2^3 - 1).
+  EXPECT_NE(text.find("ptldb_server_stage_read_ns_bucket{le=\"7\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptldb_server_stage_read_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptldb_server_stage_read_ns_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("ptldb_server_stage_read_ns_count 1"),
+            std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, QuantileWorksOnDeltas) {
+  Metrics m;
+  Metrics::Histogram& h = m.histogram("h");
+  for (int i = 0; i < 100; ++i) h.Observe(10);  // fast old regime
+  MetricsSnapshot t0 = m.TakeSnapshot();
+  for (int i = 0; i < 100; ++i) h.Observe(100000);  // slow new regime
+  MetricsSnapshot d = m.TakeSnapshot().DeltaSince(t0);
+  // The lifetime p50 straddles both regimes; the window p50 sees only the
+  // slow one.
+  EXPECT_GE(d.histograms.at("h").QuantileUpperBoundNs(0.5), 100000u);
+  EXPECT_LE(t0.histograms.at("h").QuantileUpperBoundNs(0.5), 15u);
 }
 
 }  // namespace

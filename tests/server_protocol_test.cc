@@ -28,9 +28,19 @@ Request SampleRequest(MsgType type) {
       break;
     case MsgType::kPing:
     case MsgType::kTakeFirings:
-    case MsgType::kStats:
     case MsgType::kFlush:
     case MsgType::kCheckpoint:
+    case MsgType::kStatsDelta:
+      break;
+    case MsgType::kStats:
+      req.stats_format = StatsFormat::kPrometheus;
+      break;
+    case MsgType::kTraceDump:
+      req.trace_format = TraceFormat::kChrome;
+      req.trace_clear = true;
+      break;
+    case MsgType::kTraceCtl:
+      req.trace_op = TraceOp::kEnable;
       break;
     case MsgType::kRaiseEvent:
       req.event_name = "tick";
@@ -61,10 +71,11 @@ Request SampleRequest(MsgType type) {
 }
 
 const std::vector<MsgType> kAllTypes = {
-    MsgType::kHello,  MsgType::kPing,        MsgType::kRaiseEvent,
-    MsgType::kInsert, MsgType::kUpdate,      MsgType::kDelete,
-    MsgType::kQuery,  MsgType::kTakeFirings, MsgType::kStats,
-    MsgType::kFlush,  MsgType::kCheckpoint,
+    MsgType::kHello,      MsgType::kPing,        MsgType::kRaiseEvent,
+    MsgType::kInsert,     MsgType::kUpdate,      MsgType::kDelete,
+    MsgType::kQuery,      MsgType::kTakeFirings, MsgType::kStats,
+    MsgType::kFlush,      MsgType::kCheckpoint,  MsgType::kStatsDelta,
+    MsgType::kTraceDump,  MsgType::kTraceCtl,
 };
 
 TEST(ServerProtocolTest, RequestRoundTripsEveryType) {
@@ -84,7 +95,37 @@ TEST(ServerProtocolTest, RequestRoundTripsEveryType) {
     EXPECT_EQ(got.where, req.where);
     EXPECT_EQ(got.sql, req.sql);
     EXPECT_EQ(got.params, req.params);
+    EXPECT_EQ(got.stats_format, req.stats_format);
+    EXPECT_EQ(got.trace_format, req.trace_format);
+    EXPECT_EQ(got.trace_clear, req.trace_clear);
+    EXPECT_EQ(got.trace_op, req.trace_op);
   }
+}
+
+TEST(ServerProtocolTest, AdminEnumBytesAreStrictlyValidated) {
+  // Each admin body byte is range-checked so that decode(encode(x)) stays
+  // canonical for the fuzzer: an out-of-range byte must never decode.
+  auto corrupt_last = [](MsgType type, uint8_t value) {
+    Request req;
+    req.type = type;
+    std::string payload;
+    EncodeRequest(req, &payload);
+    payload.back() = static_cast<char>(value);
+    return DecodeRequest(payload);
+  };
+  EXPECT_FALSE(corrupt_last(MsgType::kStats, 2).ok());      // > kPrometheus
+  EXPECT_FALSE(corrupt_last(MsgType::kTraceDump, 9).ok());  // clear not 0/1
+  EXPECT_FALSE(corrupt_last(MsgType::kTraceCtl, 4).ok());   // > kClear
+  EXPECT_TRUE(corrupt_last(MsgType::kStats, 1).ok());
+  EXPECT_TRUE(corrupt_last(MsgType::kTraceDump, 1).ok());
+  EXPECT_TRUE(corrupt_last(MsgType::kTraceCtl, 3).ok());
+}
+
+TEST(ServerProtocolTest, MsgTypeNamesAreStable) {
+  EXPECT_STREQ(MsgTypeName(MsgType::kInsert), "insert");
+  EXPECT_STREQ(MsgTypeName(MsgType::kStatsDelta), "stats_delta");
+  EXPECT_STREQ(MsgTypeName(MsgType::kTraceDump), "trace_dump");
+  EXPECT_STREQ(MsgTypeName(MsgType::kTraceCtl), "trace_ctl");
 }
 
 TEST(ServerProtocolTest, ResponseRoundTrip) {

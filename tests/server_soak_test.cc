@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/strings.h"
@@ -378,6 +379,116 @@ TEST_F(ServerSoakTest, RejectWhenFullShedsLoadWithoutCorruption) {
   }
   EXPECT_GT(acked, 0u);
   EXPECT_EQ(metrics.counter("server.busy_rejections").Get(), rejected);
+}
+
+// Observability under load: STATS_DELTA pollers run concurrently with
+// pipelined ingest sessions — some of which vanish mid-stream — and one
+// poller disconnects with a poll in flight. The admin path must never
+// corrupt the serving path: every ingest session still gets one verdict per
+// request, every poll response stays parseable with a positive window, and
+// the server's gauges return to rest.
+TEST_F(ServerSoakTest, StatsPollingRidesAlongsidePipelinedIngest) {
+  SoakWorld world;
+  world.Seed();
+
+  Metrics metrics;
+  ServerOptions opts;
+  opts.max_batch = 16;
+  opts.batch_delay_us = 200;
+  opts.queue_capacity = 64;
+  opts.metrics = &metrics;
+  Server srv(opts, &world.db, &world.engine, /*mgr=*/nullptr);
+  ASSERT_OK(srv.Start());
+
+  constexpr int kClients = 4;
+  constexpr int kEvents = 150;
+  std::vector<SessionLog> logs(kClients);
+  struct PollLog {
+    int polls = 0;
+    std::vector<std::string> errors;
+  };
+  std::vector<PollLog> poll_logs(3);
+
+  // A poller issues repeated STATS_DELTA calls; `abandon_after >= 0` drops
+  // the socket with that many polls done (and possibly one in flight).
+  auto run_poller = [&srv](int rounds, int abandon_after, PollLog* out) {
+    Client client;
+    Status s = client.Connect(srv.port());
+    if (!s.ok()) {
+      out->errors.push_back(s.ToString());
+      return;
+    }
+    for (int i = 0; i < rounds; ++i) {
+      if (abandon_after >= 0 && out->polls >= abandon_after) {
+        Request req;
+        req.type = MsgType::kStatsDelta;
+        (void)client.Send(std::move(req));  // leave the response in flight
+        client.Close();
+        return;
+      }
+      Request req;
+      req.type = MsgType::kStatsDelta;
+      auto resp = client.Call(std::move(req));
+      if (!resp.ok()) {
+        out->errors.push_back(resp.status().ToString());
+        return;
+      }
+      if (resp->code != StatusCode::kOk) {
+        out->errors.push_back(resp->message);
+        return;
+      }
+      auto doc = json::Parse(resp->text);
+      if (!doc.ok()) {
+        out->errors.push_back(doc.status().ToString());
+        return;
+      }
+      auto window = doc->Get("window_ns").value()->AsInt64();
+      if (!window.ok() || window.value() <= 0) {
+        out->errors.push_back(StrCat("bad window in ", resp->text));
+        return;
+      }
+      ++out->polls;
+    }
+    client.Close();
+  };
+
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      // Client 3 abandons its connection a third of the way through.
+      int abandon = c == 3 ? kEvents / 3 : -1;
+      threads.emplace_back(RunInsertSession, srv.port(), c, /*first_seq=*/0,
+                           kEvents, /*depth=*/8, abandon, &logs[c]);
+    }
+    threads.emplace_back(run_poller, 40, -1, &poll_logs[0]);
+    threads.emplace_back(run_poller, 40, -1, &poll_logs[1]);
+    threads.emplace_back(run_poller, 40, /*abandon_after=*/10, &poll_logs[2]);
+    for (auto& t : threads) t.join();
+  }
+
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(logs[c].errors.empty())
+        << "client " << c << ": " << logs[c].errors.front();
+  }
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(logs[c].acked.size(), static_cast<size_t>(kEvents)) << c;
+    for (int seq : logs[c].acked) ExpectTickOnce(&world.db, c, seq);
+  }
+  EXPECT_GE(logs[3].acked.size(), static_cast<size_t>(kEvents / 3));
+  for (size_t p = 0; p < poll_logs.size(); ++p) {
+    EXPECT_TRUE(poll_logs[p].errors.empty())
+        << "poller " << p << ": " << poll_logs[p].errors.front();
+  }
+  EXPECT_EQ(poll_logs[0].polls, 40);
+  EXPECT_EQ(poll_logs[1].polls, 40);
+  EXPECT_EQ(poll_logs[2].polls, 10);
+
+  srv.Stop();
+  EXPECT_EQ(metrics.gauge("server.sessions_active").Get(), 0);
+  EXPECT_EQ(metrics.gauge("server.queue_depth").Get(), 0);
+  // Every stage observation matches an ack, polls included.
+  EXPECT_EQ(metrics.histogram("server.wire_to_ack_ns").count(),
+            metrics.counter("server.acked").Get());
 }
 
 // A session that sends garbage gets a protocol error and a closed

@@ -404,41 +404,53 @@ TEST_F(StorageTest, GroupCommitConcurrentWaitersCoalesce) {
     std::unique_ptr<WritableFile> base_;
   };
 
-  PosixFileFactory factory;
-  ASSERT_OK_AND_ASSIGN(auto base, factory.OpenWritable(Path("wal.log"), true));
-  ASSERT_OK_AND_ASSIGN(
-      WalWriter writer,
-      WalWriter::Create(std::make_unique<SlowSyncFile>(std::move(base)), 0,
-                        FsyncPolicy::kGroup));
-  GroupCommitter group(&writer);
-
+  // Coalescing requires the waiter threads to actually overlap the leader's
+  // fsync; on a loaded machine the scheduler can serialize them so every
+  // commit gets its own sync. The accounting invariants must hold on every
+  // attempt; the coalescing property only has to show up on one.
   constexpr int kThreads = 8;
   constexpr int kCommitsPerThread = 25;
-  std::vector<std::thread> threads;
-  threads.reserve(kThreads);
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&group] {
-      for (int i = 0; i < kCommitsPerThread; ++i) {
-        auto lsn = group.Append([](WalWriter* w) {
-          return w->AppendFiring({"r", "", 0});
-        });
-        PTLDB_CHECK(lsn.ok());
-        PTLDB_CHECK_OK(group.WaitDurable(lsn.value()));
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-
   constexpr uint64_t kTotal = kThreads * kCommitsPerThread;
-  EXPECT_EQ(group.appended_lsn(), kTotal);
-  EXPECT_EQ(group.durable_lsn(), kTotal);
-  GroupCommitStats stats = group.stats();
-  EXPECT_EQ(stats.appends, kTotal);
-  EXPECT_EQ(stats.commits_acked, kTotal);
-  EXPECT_EQ(stats.sync_batches + stats.commits_coalesced, kTotal);
+  constexpr int kAttempts = 5;
+  GroupCommitStats stats;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    PosixFileFactory factory;
+    ASSERT_OK_AND_ASSIGN(
+        auto base,
+        factory.OpenWritable(Path("wal" + std::to_string(attempt) + ".log"),
+                             true));
+    ASSERT_OK_AND_ASSIGN(
+        WalWriter writer,
+        WalWriter::Create(std::make_unique<SlowSyncFile>(std::move(base)), 0,
+                          FsyncPolicy::kGroup));
+    GroupCommitter group(&writer);
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&group] {
+        for (int i = 0; i < kCommitsPerThread; ++i) {
+          auto lsn = group.Append([](WalWriter* w) {
+            return w->AppendFiring({"r", "", 0});
+          });
+          PTLDB_CHECK(lsn.ok());
+          PTLDB_CHECK_OK(group.WaitDurable(lsn.value()));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    EXPECT_EQ(group.appended_lsn(), kTotal);
+    EXPECT_EQ(group.durable_lsn(), kTotal);
+    stats = group.stats();
+    EXPECT_EQ(stats.appends, kTotal);
+    EXPECT_EQ(stats.commits_acked, kTotal);
+    EXPECT_EQ(stats.sync_batches + stats.commits_coalesced, kTotal);
+    EXPECT_EQ(writer.stats().syncs, stats.sync_batches);
+    if (stats.max_batch > 1u) break;
+  }
   EXPECT_LT(stats.sync_batches, kTotal);  // some fsyncs retired >1 commit
   EXPECT_GT(stats.max_batch, 1u);
-  EXPECT_EQ(writer.stats().syncs, stats.sync_batches);
 }
 
 TEST_F(StorageTest, GroupCommitSyncFailureIsStickyForAllWaiters) {

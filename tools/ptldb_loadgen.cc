@@ -8,6 +8,11 @@
 //   ptldb-loadgen --port-file=/tmp/port --sessions=8 --events=500 \
 //                 --pipeline=16 --mode=insert --json
 //
+// --latency-out=PATH additionally dumps the client-observed wire-to-ack
+// distribution as one JSON document (count, mean, quantiles, log2-of-us
+// buckets) — the client half of the E16 cross-check against the server's
+// `server.wire_to_ack_ns` stage decomposition.
+//
 // Modes: `insert` appends unique (client, seq) rows to `ticks` (each row
 // carries its session id, so a recovered store can be audited for lost or
 // duplicated acked events); `mixed` interleaves stock-price updates and
@@ -125,6 +130,44 @@ double Percentile(std::vector<double>* v, double q) {
   return (*v)[idx];
 }
 
+/// Writes the latency sample set as one JSON histogram document. Buckets are
+/// log2 of whole microseconds (bucket i counts samples with bit_width == i),
+/// mirroring the server histograms' power-of-two scheme at us granularity.
+bool WriteLatencyJson(const std::string& path, std::vector<double>* lat_us) {
+  constexpr int kBuckets = 32;
+  std::vector<uint64_t> buckets(kBuckets, 0);
+  double sum = 0, max = 0;
+  for (double us : *lat_us) {
+    sum += us;
+    if (us > max) max = us;
+    auto n = static_cast<uint64_t>(us < 0 ? 0 : us);
+    int b = 0;
+    while (n != 0 && b < kBuckets - 1) {
+      n >>= 1;
+      ++b;
+    }
+    ++buckets[b];
+  }
+  int top = kBuckets;
+  while (top > 0 && buckets[static_cast<size_t>(top) - 1] == 0) --top;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\"count\": %zu, \"mean_us\": %.2f, \"p50_us\": %.1f, "
+               "\"p90_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f, "
+               "\"buckets_log2_us\": [",
+               lat_us->size(),
+               lat_us->empty() ? 0 : sum / static_cast<double>(lat_us->size()),
+               Percentile(lat_us, 0.50), Percentile(lat_us, 0.90),
+               Percentile(lat_us, 0.99), max);
+  for (int i = 0; i < top; ++i) {
+    std::fprintf(f, "%s%llu", i == 0 ? "" : ", ",
+                 static_cast<unsigned long long>(buckets[static_cast<size_t>(i)]));
+  }
+  std::fprintf(f, "]}\n");
+  return std::fclose(f) == 0;
+}
+
 }  // namespace
 
 int Main(int argc, char** argv) {
@@ -192,6 +235,13 @@ int Main(int argc, char** argv) {
   double eps = secs > 0 ? static_cast<double>(ok) / secs : 0;
   double p50 = Percentile(&all, 0.50);
   double p99 = Percentile(&all, 0.99);
+
+  std::string latency_out = flag("latency-out", "");
+  if (!latency_out.empty() && !WriteLatencyJson(latency_out, &all)) {
+    std::fprintf(stderr, "cannot write --latency-out=%s\n",
+                 latency_out.c_str());
+    return 1;
+  }
 
   if (json) {
     std::printf(

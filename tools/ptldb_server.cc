@@ -29,6 +29,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "db/database.h"
 #include "rules/engine.h"
 #include "server/server.h"
@@ -97,7 +98,7 @@ int Usage(const char* argv0) {
       "usage: %s [--port=N] [--port-file=PATH] [--dir=PATH]\n"
       "          [--fsync=none|async|sync|group] [--batch=N] [--delay-us=N]\n"
       "          [--queue=N] [--reject-when-full] [--checkpoint-every=N]\n"
-      "          [--recover]\n",
+      "          [--recover] [--trace] [--slow-us=N] [--slow-log=PATH]\n",
       argv0);
   return 1;
 }
@@ -178,6 +179,13 @@ int Main(int argc, char** argv) {
   Metrics metrics;
   world.engine.SetMetrics(&metrics);
 
+  // The recorder is always attached so TRACE_CTL can enable recording on a
+  // live server; --trace starts it enabled. Attached-but-disabled costs one
+  // relaxed load per dispatch.
+  trace::Recorder recorder;
+  world.engine.SetTrace(&recorder);
+  if (flags.count("trace") != 0) recorder.Enable();
+
   server::ServerOptions opts;
   opts.port = static_cast<uint16_t>(std::atoi(flag("port", "0").c_str()));
   opts.max_batch =
@@ -187,6 +195,9 @@ int Main(int argc, char** argv) {
       std::strtoull(flag("queue", "1024").c_str(), nullptr, 10));
   opts.reject_when_full = flags.count("reject-when-full") != 0;
   opts.metrics = &metrics;
+  opts.trace = &recorder;
+  opts.slow_threshold_us = std::atoll(flag("slow-us", "0").c_str());
+  opts.slow_log_path = flag("slow-log", "");
 
   server::Server srv(opts, &world.db, &world.engine, mgr.get());
   Status s = srv.Start();
@@ -209,6 +220,7 @@ int Main(int argc, char** argv) {
   }
   srv.Stop();
   world.engine.SetMetrics(nullptr);
+  world.engine.SetTrace(nullptr);
   std::printf("STOPPED\n");
   return 0;
 }
