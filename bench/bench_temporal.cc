@@ -1,0 +1,214 @@
+// E17 — system-period temporal tables (src/temporal, DESIGN.md §16). Three
+// costs the subsystem introduces:
+//
+//   * commit-path archival overhead: transactional updates against the same
+//     table with versioning off vs on (VersionStore::OnCommit groups the
+//     redo deltas and appends interval records);
+//   * AS OF reconstruction latency vs archive depth, both at the store API
+//     (TableAsOf — binary-search gather over the columnar history) and over
+//     the full SQL serving path (QuerySqlAsOf — parse + plan + gather);
+//   * offline integrity-checker throughput (§9): OfflineCheck re-evaluating
+//     trigger conditions over an N-point collapsed committed history.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "db/database.h"
+#include "json_out.h"
+#include "rules/engine.h"
+#include "rules/offline_check.h"
+#include "temporal/versioning.h"
+#include "workloads.h"
+
+namespace ptldb::bench {
+namespace {
+
+constexpr size_t kSymbols = 16;
+
+std::string Sym(size_t i) { return "S" + std::to_string(i); }
+
+/// A stock database; `versioned` attaches a VersionStore archiving every
+/// commit from before the first row.
+struct Fixture {
+  SimClock clock;
+  db::Database db{&clock};
+  std::unique_ptr<temporal::VersionStore> store;
+
+  /// `seed_rows = false` defers the seed inserts so a rule engine can attach
+  /// first and observe the whole history (the offline oracle requires it).
+  explicit Fixture(bool versioned, bool seed_rows = true) {
+    if (!db.CreateTable("stock",
+                        db::Schema({{"name", ValueType::kString},
+                                    {"price", ValueType::kDouble}}),
+                        {"name"})
+             .ok()) {
+      std::abort();
+    }
+    if (versioned) {
+      store = std::make_unique<temporal::VersionStore>(&db);
+      if (!store->SetVersioned("stock").ok()) std::abort();
+    }
+    if (seed_rows) SeedRows();
+  }
+
+  void SeedRows() {
+    for (size_t i = 0; i < kSymbols; ++i) {
+      if (!db.InsertRow("stock", {Value::Str(Sym(i)), Value::Real(50)}).ok()) {
+        std::abort();
+      }
+    }
+  }
+
+  void RandomUpdate(Rng* rng) {
+    clock.Advance(1);
+    db::ParamMap params{
+        {"n", Value::Str(Sym(rng->Below(kSymbols)))},
+        {"p", Value::Real(static_cast<double>(1 + rng->Below(100)))}};
+    if (!db.UpdateRows("stock", {{"price", "$p"}}, "name = $n", &params)
+             .ok()) {
+      std::abort();
+    }
+  }
+};
+
+void RunUpdates(benchmark::State& state, bool versioned) {
+  Fixture f(versioned);
+  Rng rng(17);
+  for (auto _ : state) {
+    f.RandomUpdate(&rng);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (f.store != nullptr) {
+    state.counters["rows_archived"] =
+        benchmark::Counter(static_cast<double>(f.store->rows_archived()));
+    state.counters["retained_bytes"] =
+        benchmark::Counter(static_cast<double>(f.store->EstimateBytes()));
+  }
+}
+
+void BM_CommitPath_Plain(benchmark::State& state) {
+  RunUpdates(state, /*versioned=*/false);
+}
+
+void BM_CommitPath_Versioned(benchmark::State& state) {
+  RunUpdates(state, /*versioned=*/true);
+}
+
+/// Builds `n` committed updates of archive depth, then probes instants spread
+/// over the whole span.
+std::unique_ptr<Fixture> BuildArchive(size_t n) {
+  auto f = std::make_unique<Fixture>(/*versioned=*/true);
+  Rng rng(23);
+  for (size_t i = 0; i < n; ++i) f->RandomUpdate(&rng);
+  return f;
+}
+
+void BM_TableAsOf(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto f = BuildArchive(n);
+  const Timestamp span = f->clock.Now();
+  Rng rng(31);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = f->store->TableAsOf(
+        "stock", static_cast<Timestamp>(rng.Below(
+                     static_cast<uint64_t>(span))) +
+                     1);
+    if (r.ok()) rows += r->size();
+  }
+  benchmark::DoNotOptimize(rows);
+  state.counters["retained_bytes"] =
+      benchmark::Counter(static_cast<double>(f->store->EstimateBytes()));
+}
+
+void BM_SqlAsOf(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto f = BuildArchive(n);
+  const Timestamp span = f->clock.Now();
+  Rng rng(31);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = f->db.QuerySqlAsOf(
+        "SELECT name, price FROM stock WHERE price > 40",
+        static_cast<Timestamp>(rng.Below(static_cast<uint64_t>(span))) + 1);
+    if (r.ok()) rows += r->size();
+  }
+  benchmark::DoNotOptimize(rows);
+}
+
+/// Online firing stream tap for the offline run (TakeFirings only surfaces
+/// record_execution rules, which these benchmarks keep off so the @executed
+/// echo states do not inflate the commit log being measured).
+struct FiringCollector : rules::RuleEngine::FiringObserver {
+  std::vector<rules::Firing> firings;
+  void OnFiring(const rules::Firing& f) override { firings.push_back(f); }
+  void OnIcVeto(int64_t, Timestamp, const std::vector<std::string>&) override {}
+};
+
+void BM_OfflineCheck(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Fixture f(/*versioned=*/true, /*seed_rows=*/false);
+  rules::RuleEngine engine(&f.db);
+  FiringCollector collector;
+  engine.SetFiringObserver(&collector);
+  if (!engine.queries()
+           .Register("price", "SELECT price FROM stock WHERE name = $sym",
+                     {"sym"})
+           .ok()) {
+    std::abort();
+  }
+  auto noop = [](rules::ActionContext&) { return Status::OK(); };
+  rules::RuleOptions quiet;
+  quiet.record_execution = false;
+  rules::RuleOptions level = quiet;
+  level.level_triggered = true;
+  if (!engine.AddTrigger("spike", "price('S0') > 80", noop, quiet).ok() ||
+      !engine.AddTrigger("cheap", "price('S1') < 20", noop, level).ok() ||
+      !engine.AddTrigger("was_low", "PREVIOUSLY price('S2') < 10", noop, quiet)
+           .ok()) {
+    std::abort();
+  }
+  f.SeedRows();
+  Rng rng(41);
+  for (size_t i = 0; i < n; ++i) f.RandomUpdate(&rng);
+
+  uint64_t states = 0;
+  for (auto _ : state) {
+    auto report = rules::OfflineCheck(*f.store, engine, collector.firings);
+    if (!report.ok() || !report->agreed()) std::abort();
+    states = report->retained_states;
+  }
+  state.counters["retained_states"] =
+      benchmark::Counter(static_cast<double>(states));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(states));
+}
+
+BENCHMARK(BM_CommitPath_Plain)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CommitPath_Versioned)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TableAsOf)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SqlAsOf)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_OfflineCheck)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ptldb::bench
+
+int main(int argc, char** argv) {
+  return ptldb::bench::BenchMain(argc, argv, "temporal");
+}

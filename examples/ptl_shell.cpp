@@ -35,9 +35,11 @@
 #include "db/database.h"
 #include "ptl/lint.h"
 #include "rules/engine.h"
+#include "rules/offline_check.h"
 #include "rules/provenance.h"
 #include "storage/durability.h"
 #include "storage/recovery.h"
+#include "temporal/versioning.h"
 
 using namespace ptldb;
 
@@ -149,6 +151,7 @@ class Shell {
       std::printf(">>> fired %s%s%s at t=%lld\n", f.rule.c_str(),
                   f.params.empty() ? "" : " ", f.params.c_str(),
                   static_cast<long long>(f.time));
+      firing_log_.push_back(f);  // retained for 'offline'
     }
     for (const Status& e : engine_.TakeErrors()) {
       std::printf("engine error: %s\n", e.ToString().c_str());
@@ -189,6 +192,13 @@ class Shell {
           "  recover <dir>    restore checkpoint + replay WAL tail into this\n"
           "                   session (re-register rules first)\n"
           "  wal stats        durable-store record/byte/sync counters\n"
+          "  versioned [<table> | drop <table> | history <table>]\n"
+          "                   declare/undeclare system-period versioning,\n"
+          "                   list versioned tables, dump a history table\n"
+          "  asof <t> <SELECT ...>   run the query AS OF time t\n"
+          "  trim <t>         drop archived history ending at or before t\n"
+          "  offline          re-check all rules over the committed history\n"
+          "                   and diff the verdicts against the online run\n"
           "  describe <rule> | rules | history | help | quit\n");
       return true;
     }
@@ -256,6 +266,10 @@ class Shell {
       }
       return true;
     }
+    if (cmd == "versioned") return CmdVersioned(rest);
+    if (cmd == "asof") return CmdAsOf(rest);
+    if (cmd == "trim") return CmdTrim(rest);
+    if (cmd == "offline") return CmdOffline();
     if (cmd == "lint") return CmdLint(rest);
     if (cmd == "durable") return CmdDurable(rest);
     if (cmd == "checkpoint") return CmdCheckpoint();
@@ -562,12 +576,102 @@ class Shell {
     return true;
   }
 
+  bool CmdVersioned(const std::string& rest) {
+    auto [sub, arg] = Split(rest);
+    if (sub.empty()) {
+      auto tables = temporal_.VersionedTables();
+      if (tables.empty()) {
+        std::printf("no versioned tables (use 'versioned <table>')\n");
+      }
+      for (const std::string& name : tables) {
+        std::printf("  %s\n", name.c_str());
+      }
+      return true;
+    }
+    if (sub == "drop") {
+      if (arg.empty()) {
+        std::printf("usage: versioned drop <table>\n");
+        return true;
+      }
+      Report(temporal_.DropVersioned(arg));
+      return true;
+    }
+    if (sub == "history") {
+      if (arg.empty()) {
+        std::printf("usage: versioned history <table>\n");
+        return true;
+      }
+      auto rel = temporal_.HistoryRelation(arg);
+      if (!rel.ok()) {
+        Report(rel.status());
+        return true;
+      }
+      std::printf("%s(%zu archived interval(s))\n", rel->ToString().c_str(),
+                  rel->size());
+      return true;
+    }
+    Status s = temporal_.SetVersioned(sub);
+    if (s.ok()) {
+      std::printf("%s is versioned from t=%lld on\n", sub.c_str(),
+                  static_cast<long long>(clock_.Now()));
+    } else {
+      Report(s);
+    }
+    return true;
+  }
+
+  bool CmdAsOf(const std::string& rest) {
+    auto [t_str, sql] = Split(rest);
+    auto t = ParseInt64(t_str);
+    if (!t.ok() || sql.empty()) {
+      std::printf("usage: asof <t> <SELECT ...>\n");
+      return true;
+    }
+    auto r = database_.QuerySqlAsOf(sql, *t);
+    if (!r.ok()) {
+      Report(r.status());
+      return true;
+    }
+    std::printf("%s", r->ToString().c_str());
+    std::printf("(%zu row(s) as of t=%lld)\n", r->size(),
+                static_cast<long long>(*t));
+    return true;
+  }
+
+  bool CmdTrim(const std::string& rest) {
+    auto t = ParseInt64(rest);
+    if (!t.ok()) {
+      std::printf("usage: trim <t>\n");
+      return true;
+    }
+    Status s = temporal_.TrimHistoryBefore(*t);
+    if (s.ok()) {
+      std::printf("history trimmed below t=%lld\n",
+                  static_cast<long long>(*t));
+    } else {
+      Report(s);
+    }
+    return true;
+  }
+
+  bool CmdOffline() {
+    DrainEngineOutput();  // fold any still-buffered firings into the log
+    auto report = rules::OfflineCheck(temporal_, engine_, firing_log_);
+    if (!report.ok()) {
+      Report(report.status());
+      return true;
+    }
+    std::printf("%s", report->ToString().c_str());
+    return true;
+  }
+
   storage::CheckpointTargets Targets() {
     storage::CheckpointTargets t;
     t.db = &database_;
     t.engine = &engine_;
     t.clock = &clock_;
     t.metrics = &metrics_;
+    t.temporal = &temporal_;
     return t;
   }
 
@@ -727,6 +831,12 @@ class Shell {
   Metrics metrics_;
   trace::Recorder trace_;
   rules::RuleEngine engine_;
+  // Attaches to the database as its temporal sink; declared after it so the
+  // destructor detaches while the database is still alive.
+  temporal::VersionStore temporal_{&database_};
+  // Every firing drained to the screen, retained as the online half of the
+  // 'offline' differential check.
+  std::vector<rules::Firing> firing_log_;
   // Declared after the engine/database it observes: destroyed first, so its
   // destructor can detach and flush cleanly.
   std::unique_ptr<storage::DurabilityManager> durability_;

@@ -21,10 +21,40 @@ Timestamp Database::NextTimestamp() const {
   return t;
 }
 
-void Database::AppendState(std::vector<event::Event> events) {
+void Database::AppendState(std::vector<event::Event> events,
+                           const std::vector<RedoDelta>* deltas) {
   history_.Append(NextTimestamp(), std::move(events));
   if (wal_sink_ != nullptr) wal_sink_->OnStateAppended(history_.back());
+  NotifyTemporalSink(history_.back(), deltas);
   if (listener_ != nullptr) listener_->OnStateAppended(history_.back());
+}
+
+void Database::NotifyTemporalSink(const event::SystemState& state,
+                                  const std::vector<RedoDelta>* deltas) {
+  if (temporal_sink_ == nullptr) return;
+  Status s = Status::OK();
+  if (state.IsCommitPoint()) {
+    static const std::vector<RedoDelta> kNoDeltas;
+    s = temporal_sink_->OnCommit(state, deltas != nullptr ? *deltas
+                                                          : kNoDeltas);
+  } else {
+    // The collapsed committed history (§9) keeps commit states and user-event
+    // states; begin/abort/attempt-only states are dropped. A state qualifies
+    // as a user-event state when it carries any non-transaction-control
+    // event.
+    bool user_event = false;
+    for (const event::Event& e : state.events) {
+      if (e.name != event::kBeginEvent && e.name != event::kAbortEvent &&
+          e.name != event::kAttemptsToCommitEvent) {
+        user_event = true;
+        break;
+      }
+    }
+    if (user_event) s = temporal_sink_->OnEventState(state);
+  }
+  // Archival can only fail on a broken invariant (schema drift, time going
+  // backwards): that is a bug, not an operational condition.
+  PTLDB_CHECK(s.ok() && "temporal archival must succeed");
 }
 
 Result<int64_t> Database::Begin() {
@@ -92,10 +122,14 @@ Status Database::Commit(int64_t txn_id) {
           StrCat("transaction ", txn_id, " aborted: ", verdict.message()));
     }
   }
-  // Hand the redo image of every write to the WAL before the commit state is
-  // appended (and before rules see it): the undo log holds exactly the
-  // old/new row pairs recovery needs to reproduce the table effects.
-  if (wal_sink_ != nullptr) {
+  // Build the redo image of every write from the undo log: the WAL needs it
+  // to reproduce the table effects on recovery, and the version store needs
+  // it to archive superseded rows. The WAL sink is handed the deltas before
+  // the commit state is appended (and before rules see it) — the classic
+  // write-ahead discipline.
+  std::vector<RedoDelta> deltas;
+  if (wal_sink_ != nullptr || temporal_sink_ != nullptr) {
+    deltas.reserve(txn->undo_log.size());
     for (const UndoRecord& u : txn->undo_log) {
       RedoDelta d;
       d.table = u.table;
@@ -114,11 +148,14 @@ Status Database::Commit(int64_t txn_id) {
           d.new_row = u.row;
           break;
       }
-      wal_sink_->BufferDelta(std::move(d));
+      deltas.push_back(std::move(d));
     }
   }
+  if (wal_sink_ != nullptr) {
+    for (const RedoDelta& d : deltas) wal_sink_->BufferDelta(d);
+  }
   open_txns_.erase(txn_id);
-  AppendState(std::move(events));
+  AppendState(std::move(events), &deltas);
   return Status::OK();
 }
 
@@ -246,7 +283,7 @@ Status Database::RaiseEvent(event::Event e) {
 
 Result<Relation> Database::Query(const QueryPtr& plan,
                                  const ParamMap* params) const {
-  QueryExecutor exec(&catalog_);
+  QueryExecutor exec(&catalog_, temporal_sink_);
   return exec.Execute(plan, params);
 }
 
@@ -258,8 +295,19 @@ Result<Relation> Database::QuerySql(std::string_view sql,
 
 Result<Value> Database::QueryScalar(const QueryPtr& plan,
                                     const ParamMap* params) const {
-  QueryExecutor exec(&catalog_);
+  QueryExecutor exec(&catalog_, temporal_sink_);
   return exec.ExecuteScalar(plan, params);
+}
+
+Result<Relation> Database::QuerySqlAsOf(std::string_view sql, Timestamp t,
+                                        const ParamMap* params) const {
+  if (temporal_sink_ == nullptr) {
+    return Status::InvalidArgument(
+        "AS OF query requires a version store (none attached)");
+  }
+  PTLDB_ASSIGN_OR_RETURN(QueryPtr plan, ParseSql(sql));
+  QueryExecutor exec(&catalog_, temporal_sink_, t);
+  return exec.Execute(plan, params);
 }
 
 Status Database::ReplayState(Timestamp time, std::vector<event::Event> events,
@@ -295,6 +343,9 @@ Status Database::ReplayState(Timestamp time, std::vector<event::Event> events,
     }
   }
   history_.Append(time, std::move(events));
+  // The version store rebuilds its post-checkpoint archive from replayed
+  // deltas, exactly as it would have seen them live.
+  NotifyTemporalSink(history_.back(), &deltas);
   if (listener_ != nullptr) listener_->OnStateAppended(history_.back());
   return Status::OK();
 }

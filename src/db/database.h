@@ -75,6 +75,24 @@ class Database {
     virtual void OnStateAppended(const event::SystemState& state) = 0;
   };
 
+  /// Hook the system-period version store (src/temporal) implements: archival
+  /// of superseded rows at commit points plus reconstruction of past states
+  /// for `AS OF` reads. Notified after the WAL sink (the archival is
+  /// recomputable from the log) and before the listener, so rule actions —
+  /// which may run nested transactions with later timestamps — observe a
+  /// history that already contains their triggering commit.
+  class TemporalSink : public AsOfProvider {
+   public:
+    /// A commit state entered the history; `deltas` carries the redo image
+    /// of every row the transaction wrote, in write order.
+    virtual Status OnCommit(const event::SystemState& state,
+                            const std::vector<RedoDelta>& deltas) = 0;
+
+    /// A non-transactional user-event state entered the history (part of the
+    /// collapsed committed history the offline checker replays).
+    virtual Status OnEventState(const event::SystemState& state) = 0;
+  };
+
   explicit Database(Clock* clock) : clock_(clock) {}
 
   Catalog& catalog() { return catalog_; }
@@ -88,6 +106,11 @@ class Database {
   /// At most one WAL sink (the durability manager). Null detaches.
   void SetWalSink(WalSink* sink) { wal_sink_ = sink; }
   WalSink* wal_sink() const { return wal_sink_; }
+
+  /// At most one temporal sink (the version store). Null detaches. The sink
+  /// doubles as the AsOfProvider behind `AS OF` scans in Query/QuerySql.
+  void SetTemporalSink(TemporalSink* sink) { temporal_sink_ = sink; }
+  TemporalSink* temporal_sink() const { return temporal_sink_; }
 
   // ---- DDL ----
   Status CreateTable(std::string name, Schema schema,
@@ -142,6 +165,13 @@ class Database {
   Result<Value> QueryScalar(const QueryPtr& plan,
                             const ParamMap* params = nullptr) const;
 
+  /// Time-travel query: every table scanned by `sql` is read as of time `t`
+  /// (committed state only). Requires a temporal sink and that each scanned
+  /// table is versioned; an explicit `AS OF` inside the statement overrides
+  /// `t` for that scan. This is what QUERY_ASOF wire frames execute.
+  Result<Relation> QuerySqlAsOf(std::string_view sql, Timestamp t,
+                                const ParamMap* params = nullptr) const;
+
   /// The timestamp the next appended state would carry: max(clock, last+1),
   /// keeping history timestamps strictly increasing even if the clock stalls.
   Timestamp NextTimestamp() const;
@@ -167,7 +197,12 @@ class Database {
 
  private:
   Result<Transaction*> GetTxn(int64_t txn_id);
-  void AppendState(std::vector<event::Event> events);
+  /// Appends a state and fans it out: WAL sink, then temporal sink (`deltas`
+  /// is the commit's redo image, null for non-commit states), then listener.
+  void AppendState(std::vector<event::Event> events,
+                   const std::vector<RedoDelta>* deltas = nullptr);
+  void NotifyTemporalSink(const event::SystemState& state,
+                          const std::vector<RedoDelta>* deltas);
   Status UndoAll(Transaction* txn);
 
   Clock* clock_;
@@ -175,6 +210,7 @@ class Database {
   event::History history_;
   Listener* listener_ = nullptr;
   WalSink* wal_sink_ = nullptr;
+  TemporalSink* temporal_sink_ = nullptr;
   std::unordered_map<int64_t, Transaction> open_txns_;
   int64_t next_txn_id_ = 1;
 };

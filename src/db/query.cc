@@ -27,9 +27,14 @@ const char* AggFnToString(AggFn fn) {
 
 std::string Query::ToString() const {
   switch (kind) {
-    case Kind::kScan:
-      return alias.empty() ? StrCat("Scan(", table, ")")
-                           : StrCat("Scan(", table, " AS ", alias, ")");
+    case Kind::kScan: {
+      std::string inner = table;
+      if (!alias.empty()) inner = StrCat(inner, " AS ", alias);
+      if (asof != nullptr) {
+        inner = StrCat(inner, " AS OF ", asof->ToString());
+      }
+      return StrCat("Scan(", inner, ")");
+    }
     case Kind::kFilter:
       return StrCat("Filter(", predicate->ToString(), ")(", input->ToString(),
                     ")");
@@ -80,6 +85,14 @@ QueryPtr Scan(std::string table, std::string alias) {
   auto q = NewNode(Query::Kind::kScan);
   q->table = std::move(table);
   q->alias = std::move(alias);
+  return q;
+}
+
+QueryPtr ScanAsOf(std::string table, ExprPtr asof, std::string alias) {
+  auto q = NewNode(Query::Kind::kScan);
+  q->table = std::move(table);
+  q->alias = std::move(alias);
+  q->asof = std::move(asof);
   return q;
 }
 
@@ -140,7 +153,7 @@ Result<Relation> QueryExecutor::Execute(const QueryPtr& query,
   if (query == nullptr) return Status::InvalidArgument("null query plan");
   switch (query->kind) {
     case Query::Kind::kScan:
-      return ExecScan(*query);
+      return ExecScan(*query, params);
     case Query::Kind::kFilter:
       return ExecFilter(*query, params);
     case Query::Kind::kProject:
@@ -165,7 +178,56 @@ Result<Value> QueryExecutor::ExecuteScalar(const QueryPtr& query,
   return rel.ScalarValue();
 }
 
-Result<Relation> QueryExecutor::ExecScan(const Query& q) const {
+namespace {
+
+// Renames a relation's columns to "alias.col" (scan output convention).
+Relation AliasRelation(const std::string& alias, Relation rel) {
+  std::vector<Column> cols;
+  cols.reserve(rel.schema().num_columns());
+  for (const Column& c : rel.schema().columns()) {
+    cols.push_back(Column{StrCat(alias, ".", c.name), c.type});
+  }
+  return Relation(Schema(std::move(cols)), rel.rows());
+}
+
+// Evaluates an `AS OF` expression (no column references; literals, params,
+// arithmetic) to a timestamp.
+Result<Timestamp> EvalAsOfExpr(const ExprPtr& expr, const ParamMap* params) {
+  PTLDB_ASSIGN_OR_RETURN(
+      BoundExpr bound,
+      BoundExpr::Bind(expr, Schema(std::vector<Column>{}), params));
+  PTLDB_ASSIGN_OR_RETURN(Value v, bound.Eval(Tuple{}));
+  if (!v.is_int()) {
+    return Status::TypeMismatch(
+        StrCat("AS OF expression must evaluate to an integer timestamp, got ",
+               v.ToString()));
+  }
+  return v.AsInt();
+}
+
+}  // namespace
+
+Result<Relation> QueryExecutor::ExecScan(const Query& q,
+                                         const ParamMap* params) const {
+  // `AS OF` reads resolve through the version store instead of the live
+  // table: an explicit per-scan expression wins over the executor-wide
+  // default (the QUERY_ASOF whole-query mode).
+  std::optional<Timestamp> asof_time = default_asof_;
+  if (q.asof != nullptr) {
+    PTLDB_ASSIGN_OR_RETURN(Timestamp t, EvalAsOfExpr(q.asof, params));
+    asof_time = t;
+  }
+  if (asof_time.has_value()) {
+    if (asof_provider_ == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("AS OF scan of '", q.table,
+                 "' requires a version store (none attached)"));
+    }
+    PTLDB_ASSIGN_OR_RETURN(Relation rel,
+                           asof_provider_->TableAsOf(q.table, *asof_time));
+    if (q.alias.empty()) return rel;
+    return AliasRelation(q.alias, std::move(rel));
+  }
   PTLDB_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(q.table));
   if (q.alias.empty()) return table->Snapshot();
   std::vector<Column> cols;
@@ -219,8 +281,11 @@ bool FindPkEquality(const ExprPtr& pred, const std::string& pk_name,
 Result<Relation> QueryExecutor::ExecFilter(const Query& q,
                                            const ParamMap* params) const {
   // Point-lookup fast path: Filter(pk = const)(Scan(t)) on a single-column
-  // primary key uses the hash index instead of scanning.
-  if (q.input->kind == Query::Kind::kScan) {
+  // primary key uses the hash index instead of scanning. Time-traveling
+  // scans (explicit AS OF or an executor-wide default) must reconstruct the
+  // past state instead, so they take the general path.
+  if (q.input->kind == Query::Kind::kScan && q.input->asof == nullptr &&
+      !default_asof_.has_value()) {
     auto table_or = catalog_->GetTable(q.input->table);
     if (table_or.ok()) {
       const Table* table = *table_or;

@@ -22,6 +22,22 @@
 
 namespace ptldb::db {
 
+/// Supplies reconstructed past table states for `AS OF` scans. Implemented by
+/// the system-period version store (src/temporal); the query layer only knows
+/// the interface so db does not depend on the temporal subsystem.
+class AsOfProvider {
+ public:
+  virtual ~AsOfProvider() = default;
+
+  /// Whether `table` is declared versioned (has a queryable past).
+  virtual bool IsVersioned(const std::string& table) const = 0;
+
+  /// The committed contents of `table` as of time `t`. Errors when the table
+  /// is not versioned or `t` falls behind the retention horizon.
+  virtual Result<Relation> TableAsOf(const std::string& table,
+                                     Timestamp t) const = 0;
+};
+
 /// Aggregate function selector for Aggregate nodes.
 enum class AggFn { kCount, kSum, kMin, kMax, kAvg };
 
@@ -56,6 +72,11 @@ struct Query {
   // kScan
   std::string table;
   std::string alias;  // When set, output columns are named "alias.col".
+  // kScan, optional: `AS OF <expr>` — read the table's committed state at
+  // the timestamp the expression evaluates to (an integer literal, `$param`,
+  // or arithmetic over them) instead of the present. Requires an
+  // AsOfProvider at execution time.
+  ExprPtr asof;
 
   // kFilter: predicate over input schema. kJoin: predicate over the
   // concatenated (left ++ right) schema.
@@ -84,6 +105,8 @@ struct Query {
 // ---- Plan builders ----------------------------------------------------------
 
 QueryPtr Scan(std::string table, std::string alias = "");
+/// Scan of `table`'s committed state at the time `asof` evaluates to.
+QueryPtr ScanAsOf(std::string table, ExprPtr asof, std::string alias = "");
 QueryPtr Filter(QueryPtr input, ExprPtr predicate);
 QueryPtr Project(QueryPtr input,
                  std::vector<std::pair<std::string, ExprPtr>> projections);
@@ -100,7 +123,17 @@ QueryPtr Distinct(QueryPtr input);
 /// Evaluates plans against a catalog. Stateless; cheap to construct.
 class QueryExecutor {
  public:
-  explicit QueryExecutor(const Catalog* catalog) : catalog_(catalog) {}
+  /// `asof` (optional) resolves `AS OF` scans; plans containing them fail
+  /// without one. `default_asof`, when set, reads *every* scanned table as of
+  /// that time — the whole-query time-travel mode behind QUERY_ASOF frames —
+  /// and requires each scanned table to be versioned (a silent fallback to
+  /// the present would misreport history).
+  explicit QueryExecutor(const Catalog* catalog,
+                         const AsOfProvider* asof = nullptr,
+                         std::optional<Timestamp> default_asof = std::nullopt)
+      : catalog_(catalog),
+        asof_provider_(asof),
+        default_asof_(default_asof) {}
 
   /// Runs the plan; `params` supplies values for `$param` expressions.
   Result<Relation> Execute(const QueryPtr& query,
@@ -111,7 +144,7 @@ class QueryExecutor {
                               const ParamMap* params = nullptr) const;
 
  private:
-  Result<Relation> ExecScan(const Query& q) const;
+  Result<Relation> ExecScan(const Query& q, const ParamMap* params) const;
   Result<Relation> ExecFilter(const Query& q, const ParamMap* params) const;
   Result<Relation> ExecProject(const Query& q, const ParamMap* params) const;
   Result<Relation> ExecJoin(const Query& q, const ParamMap* params) const;
@@ -121,6 +154,8 @@ class QueryExecutor {
   Result<Relation> ExecDistinct(const Query& q, const ParamMap* params) const;
 
   const Catalog* catalog_;
+  const AsOfProvider* asof_provider_ = nullptr;
+  std::optional<Timestamp> default_asof_;
 };
 
 }  // namespace ptldb::db

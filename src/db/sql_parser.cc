@@ -10,6 +10,48 @@ namespace ptldb::db {
 
 namespace {
 
+// ---- Diagnostics ------------------------------------------------------------
+//
+// SQL errors mirror the PTL front end's diagnostic style (ptl/diagnostics.h):
+// every message carries the byte offset of the offending token and, when the
+// offset lands inside the source, a caret rendering of the line:
+//
+//   expected FROM at offset 9
+//     SELECT x FORM t
+//              ^~~~
+//
+// The rendering format is kept byte-identical to ptl::RenderCaret so shell
+// and lint output look the same for both languages.
+
+std::string RenderSqlCaret(std::string_view source, size_t begin, size_t end) {
+  if (end < begin || begin >= source.size()) return "";
+  size_t line_start = source.rfind('\n', begin);
+  line_start = line_start == std::string_view::npos ? 0 : line_start + 1;
+  size_t line_end = source.find('\n', line_start);
+  if (line_end == std::string_view::npos) line_end = source.size();
+  std::string_view line = source.substr(line_start, line_end - line_start);
+  size_t col = begin - line_start;
+  size_t len = std::min(end, line_end) - begin;
+  if (len == 0) len = 1;
+  std::string out;
+  out.append("  ").append(line).append("\n  ");
+  out.append(col, ' ');
+  out.push_back('^');
+  out.append(len - 1, '~');
+  return out;
+}
+
+Status SqlErrorAt(std::string_view source, std::string_view msg, size_t begin,
+                  size_t end) {
+  std::string text = StrCat(msg, " at offset ", begin);
+  std::string caret = RenderSqlCaret(source, begin, end);
+  if (!caret.empty()) {
+    text.push_back('\n');
+    text += caret;
+  }
+  return Status::ParseError(std::move(text));
+}
+
 // ---- Lexer ------------------------------------------------------------------
 
 enum class Tok {
@@ -27,7 +69,8 @@ struct Token {
   std::string text;       // identifier / symbol text
   int64_t int_value = 0;
   double float_value = 0;
-  size_t pos = 0;         // byte offset, for error messages
+  size_t pos = 0;         // byte offset of the token start
+  size_t end = 0;         // byte offset one past the token (caret span)
 };
 
 class Lexer {
@@ -79,8 +122,7 @@ class Lexer {
           s += input_[pos_++];
         }
         if (pos_ >= input_.size()) {
-          return Status::ParseError(
-              StrCat("unterminated string literal at offset ", start));
+          return SqlErrorAt(input_, "unterminated string literal", start, pos_);
         }
         ++pos_;  // closing quote
         t.kind = Tok::kString;
@@ -94,8 +136,8 @@ class Lexer {
           ++pos_;
         }
         if (pos_ == name_start) {
-          return Status::ParseError(
-              StrCat("expected parameter name after '$' at offset ", start));
+          return SqlErrorAt(input_, "expected parameter name after '$'", start,
+                            start + 1);
         }
         t.kind = Tok::kParam;
         t.text = std::string(input_.substr(name_start, pos_ - name_start));
@@ -113,9 +155,9 @@ class Lexer {
         if (sym.empty()) {
           static const std::string kOneChar = "(),*+-/%=<>.";
           if (kOneChar.find(c) == std::string::npos) {
-            return Status::ParseError(
-                StrCat("unexpected character '", std::string(1, c),
-                       "' at offset ", start));
+            return SqlErrorAt(
+                input_, StrCat("unexpected character '", std::string(1, c), "'"),
+                start, start + 1);
           }
           sym = std::string(1, c);
         }
@@ -123,11 +165,13 @@ class Lexer {
         t.kind = Tok::kSymbol;
         t.text = sym;
       }
+      t.end = pos_;
       out.push_back(std::move(t));
     }
     Token end;
     end.kind = Tok::kEnd;
     end.pos = input_.size();
+    end.end = input_.size();
     out.push_back(end);
     return out;
   }
@@ -162,7 +206,8 @@ std::optional<AggFn> AggFnFromName(const std::string& name) {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::string_view source, std::vector<Token> tokens)
+      : source_(source), tokens_(std::move(tokens)) {}
 
   Result<QueryPtr> ParseSelect() {
     PTLDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
@@ -249,8 +294,10 @@ class Parser {
   }
   const Token& Next() { return tokens_[pos_++]; }
 
-  Status Error(std::string msg) const {
-    return Status::ParseError(StrCat(msg, " (at offset ", Peek().pos, ")"));
+  // Pins the error to the current token's span (caret rendering included).
+  Status Error(std::string_view msg) const {
+    const Token& t = Peek();
+    return SqlErrorAt(source_, msg, t.pos, t.end);
   }
 
   bool MatchKeyword(std::string_view kw) {
@@ -412,13 +459,28 @@ class Parser {
     return true;
   }
 
+  // <table> [AS alias | alias] [AS OF <expr>]
+  // `AS OF` after the table name is time travel, not an alias named "of";
+  // a table aliased `of` must write the bare-identifier form (`FROM t of`).
   Result<QueryPtr> ParseTableRef() {
     PTLDB_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
     std::string alias;
+    ExprPtr asof;
     if (MatchKeyword("AS")) {
-      PTLDB_ASSIGN_OR_RETURN(alias, ExpectIdent());
+      if (MatchKeyword("OF")) {
+        PTLDB_ASSIGN_OR_RETURN(asof, ParseAdditive());
+      } else {
+        PTLDB_ASSIGN_OR_RETURN(alias, ExpectIdent());
+      }
     } else if (Peek().kind == Tok::kIdent && !IsReservedAfterTable(Peek())) {
       alias = Next().text;
+    }
+    if (asof == nullptr && MatchKeyword("AS")) {
+      PTLDB_RETURN_IF_ERROR(ExpectKeyword("OF"));
+      PTLDB_ASSIGN_OR_RETURN(asof, ParseAdditive());
+    }
+    if (asof != nullptr) {
+      return ScanAsOf(std::move(table), std::move(asof), std::move(alias));
     }
     return Scan(std::move(table), std::move(alias));
   }
@@ -557,6 +619,7 @@ class Parser {
     return Error(StrCat("unexpected token '", t.text, "' in expression"));
   }
 
+  std::string_view source_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
   bool distinct_ = false;
@@ -568,14 +631,14 @@ class Parser {
 Result<QueryPtr> ParseSql(std::string_view sql) {
   Lexer lexer(sql);
   PTLDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens));
+  Parser parser(sql, std::move(tokens));
   return parser.ParseSelect();
 }
 
 Result<ExprPtr> ParseSqlExpr(std::string_view text) {
   Lexer lexer(text);
   PTLDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens));
+  Parser parser(text, std::move(tokens));
   return parser.ParseBareExpr();
 }
 

@@ -1,13 +1,21 @@
 // A small SQL dialect for the substrate, sufficient for the queries the paper
 // embeds in PTL conditions (the OVERPRICED example of §4.1 and friends):
 //
-//   SELECT <item, ...> FROM <table> [AS a] [JOIN <table> [AS b] ON <expr>]*
+//   SELECT <item, ...> FROM <table> [AS a] [AS OF <expr>]
+//     [JOIN <table> [AS b] [AS OF <expr>] ON <expr>]*
 //     [WHERE <expr>] [GROUP BY col, ...] [ORDER BY col [ASC|DESC], ...]
 //     [LIMIT n]
 //
 // Items are expressions (with optional `AS name`), `*`, or aggregate calls
 // COUNT/SUM/MIN/MAX/AVG. `$name` denotes a named parameter supplied at
 // execution time — this is how rule parameters reach embedded queries.
+// `AS OF <expr>` (a constant/parameter expression evaluating to a system
+// time) reads the table as of that instant from the attached version store
+// (temporal/versioning.h).
+//
+// Parse errors carry the byte offset of the offending token and a caret
+// rendering of the source line, in the same format as the PTL parser's
+// diagnostics (ptl/diagnostics.h).
 //
 // `ParseSql` produces a logical plan (db/query.h); `ParseSqlExpr` parses a
 // bare scalar expression (used for UPDATE ... SET and rule actions).

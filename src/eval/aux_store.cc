@@ -323,6 +323,128 @@ Status RelationHistory::Record(Timestamp t, const db::Relation& rel) {
   }
   last_time_ = t;
   has_record_ = true;
+  open_index_dirty_ = true;
+  return Status::OK();
+}
+
+void RelationHistory::RebuildOpenIndex() {
+  open_by_tid_.clear();
+  for (size_t i : open_rows_) open_by_tid_[tids_[i]].push_back(i);
+  open_index_dirty_ = false;
+}
+
+Status RelationHistory::ApplyDelta(Timestamp t,
+                                   const std::vector<db::Tuple>& removed,
+                                   const std::vector<db::Tuple>& added) {
+  if (has_record_ && t < last_time_) {
+    return Status::InvalidArgument(
+        StrCat("delta at time ", t, " precedes last record at ", last_time_));
+  }
+  for (const std::vector<db::Tuple>* side : {&removed, &added}) {
+    for (const db::Tuple& row : *side) {
+      if (row.size() != schema_.num_columns()) {
+        return Status::InvalidArgument(
+            "delta row arity does not match history schema");
+      }
+    }
+  }
+  // Dictionary-encode both sides and cancel tuples present in both: a row
+  // deleted and re-inserted (or updated to itself) within one commit never
+  // left the relation, so its interval stays open — the same multiset diff
+  // Record computes from a full snapshot.
+  std::vector<uint32_t> rm_tids, add_tids;
+  rm_tids.reserve(removed.size());
+  add_tids.reserve(added.size());
+  for (const db::Tuple& row : removed) rm_tids.push_back(EncodeTuple(row));
+  for (const db::Tuple& row : added) add_tids.push_back(EncodeTuple(row));
+  {
+    std::unordered_map<uint32_t, int64_t> add_count;
+    for (uint32_t tid : add_tids) ++add_count[tid];
+    std::unordered_map<uint32_t, int64_t> common;
+    for (uint32_t tid : rm_tids) {
+      auto it = add_count.find(tid);
+      if (it != add_count.end() && it->second > 0) {
+        --it->second;
+        ++common[tid];
+      }
+    }
+    auto cancel = [&common](std::vector<uint32_t>* tids) {
+      std::unordered_map<uint32_t, int64_t> budget = common;
+      size_t out = 0;
+      for (uint32_t tid : *tids) {
+        auto it = budget.find(tid);
+        if (it != budget.end() && it->second > 0) {
+          --it->second;
+          continue;
+        }
+        (*tids)[out++] = tid;
+      }
+      tids->resize(out);
+    };
+    cancel(&rm_tids);
+    cancel(&add_tids);
+  }
+  if (open_index_dirty_) RebuildOpenIndex();
+  // Validate liveness up front so the store is never left half-mutated.
+  {
+    std::unordered_map<uint32_t, int64_t> need;
+    for (uint32_t tid : rm_tids) ++need[tid];
+    for (const auto& [tid, n] : need) {
+      auto it = open_by_tid_.find(tid);
+      if (it == open_by_tid_.end() ||
+          static_cast<int64_t>(it->second.size()) < n) {
+        return Status::InvalidArgument(
+            StrCat("delta at time ", t, " removes a row that is not live"));
+      }
+    }
+  }
+  bool any_phantom = false;
+  for (uint32_t tid : rm_tids) {
+    std::vector<size_t>& bucket = open_by_tid_[tid];
+    const size_t i = bucket.back();
+    bucket.pop_back();
+    ends_[i] = t;
+    if (starts_[i] == t) {
+      any_phantom = true;
+    } else if (t > max_closed_end_) {
+      max_closed_end_ = t;
+    }
+  }
+  if (!rm_tids.empty()) {
+    size_t out = 0;
+    for (size_t i : open_rows_) {
+      if (ends_[i] == kTimeMax) open_rows_[out++] = i;
+    }
+    open_rows_.resize(out);
+  }
+  if (any_phantom) {
+    // Same compaction as Record: a [t, t) row is unobservable, drop it.
+    size_t out = 0;
+    open_rows_.clear();
+    for (size_t i = 0; i < starts_.size(); ++i) {
+      if (starts_[i] == t && ends_[i] == t) continue;
+      starts_[out] = starts_[i];
+      ends_[out] = ends_[i];
+      tids_[out] = tids_[i];
+      if (ends_[out] == kTimeMax) open_rows_.push_back(out);
+      ++out;
+    }
+    phantom_rows_dropped_ += starts_.size() - out;
+    starts_.resize(out);
+    ends_.resize(out);
+    tids_.resize(out);
+    open_index_dirty_ = true;  // row indices shifted
+  }
+  for (uint32_t tid : add_tids) {
+    const size_t i = starts_.size();
+    open_rows_.push_back(i);
+    if (!open_index_dirty_) open_by_tid_[tid].push_back(i);
+    starts_.push_back(t);
+    ends_.push_back(kTimeMax);
+    tids_.push_back(tid);
+  }
+  last_time_ = t;
+  has_record_ = true;
   return Status::OK();
 }
 
@@ -415,6 +537,7 @@ void RelationHistory::TrimBefore(Timestamp horizon) {
     // long-dead rows must not poison probes of the still-covered present).
     if (max_dropped_end > trim_horizon_) trim_horizon_ = max_dropped_end;
     CompactDictionaries();
+    open_index_dirty_ = true;  // tuple ids remapped, row indices shifted
   }
 }
 
@@ -465,6 +588,8 @@ Status RelationHistory::Deserialize(codec::Reader* r) {
   ends_.clear();
   tids_.clear();
   open_rows_.clear();
+  open_by_tid_.clear();
+  open_index_dirty_ = true;
   max_closed_end_ = std::numeric_limits<Timestamp>::min();
   {
     std::vector<uint32_t> value_remap, tuple_remap;

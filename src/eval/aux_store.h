@@ -28,6 +28,7 @@
 #define PTLDB_EVAL_AUX_STORE_H_
 
 #include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "common/codec.h"
@@ -146,6 +147,22 @@ class RelationHistory {
   /// >= the last recorded time. Rows are compared as bags.
   Status Record(Timestamp t, const db::Relation& rel);
 
+  /// Applies an incremental delta at time `t`: closes the validity interval
+  /// of each row in `removed` (the most recently opened instance first when a
+  /// row has duplicates) and opens intervals for each row in `added` —
+  /// O(|delta| + |open rows|) instead of Record's O(|relation|) snapshot
+  /// interning, which is what makes per-commit archival of a versioned table
+  /// affordable. Tuples appearing in both `removed` and `added` cancel (the
+  /// row never left the relation, so its interval stays open), matching
+  /// Record's multiset diff. A row both opened and closed at `t` would carry
+  /// a zero-length [t, t) interval that no AsOf can observe; it is dropped
+  /// outright and counted in phantom_rows_dropped() rather than archived.
+  /// InvalidArgument when `t` precedes the last recorded time, a removed row
+  /// is not currently live, or a row's arity mismatches the schema; the
+  /// store is unchanged on error.
+  Status ApplyDelta(Timestamp t, const std::vector<db::Tuple>& removed,
+                    const std::vector<db::Tuple>& added);
+
   /// The relation as of time `t` (selection T_start <= t < T_end followed by
   /// a projection, exactly the paper's retrieval). Reads at or past the last
   /// record time take a fast path over only the open rows; historical reads
@@ -204,6 +221,7 @@ class RelationHistory {
   db::Tuple DecodeTuple(uint32_t tid) const;
   uint32_t EncodeTuple(const db::Tuple& row);
   void CompactDictionaries();
+  void RebuildOpenIndex();
 
   db::Schema schema_;
   // Parallel stamped-row columns, ascending by start.
@@ -215,6 +233,12 @@ class RelationHistory {
   // in O(open rows) instead of scanning the whole history. Derived state:
   // rebuilt on deserialize/compaction, never serialized.
   std::vector<size_t> open_rows_;
+  // Open rows grouped by tuple id (each bucket ascends like open_rows_), so
+  // ApplyDelta closes a removed row in O(1) instead of scanning the open set.
+  // Derived state with lazy upkeep: Record/TrimBefore/Deserialize mark it
+  // dirty instead of maintaining it, and ApplyDelta rebuilds on first use.
+  std::unordered_map<uint32_t, std::vector<size_t>> open_by_tid_;
+  bool open_index_dirty_ = true;
   ValueDict values_;
   TupleDict tuples_;
   // Largest closed end among retained rows: reads at or past both this and

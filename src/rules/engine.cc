@@ -1238,6 +1238,7 @@ Result<RuleEngine::RuleInfo> RuleEngine::Describe(const std::string& name) const
   info.is_ic = rule.is_ic;
   info.is_system = rule.is_system;
   info.is_family = rule.is_family;
+  info.level_triggered = rule.options.level_triggered;
   info.num_instances = rule.instances.size();
   info.event_names.assign(rule.event_names.begin(), rule.event_names.end());
   info.fires = rule.fires;

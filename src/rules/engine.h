@@ -159,6 +159,7 @@ class RuleEngine : public db::Database::Listener {
   RuleEngine& operator=(const RuleEngine&) = delete;
 
   QueryRegistry& queries() { return registry_; }
+  const QueryRegistry& queries() const { return registry_; }
 
   // ---- Rule registration ----
 
@@ -340,6 +341,8 @@ class RuleEngine : public db::Database::Listener {
     bool is_ic = false;
     bool is_system = false;
     bool is_family = false;
+    /// The rule's RuleOptions::level_triggered (offline checker semantics).
+    bool level_triggered = false;
     size_t num_instances = 0;
     std::vector<std::string> event_names;
     /// Sum of retained graph nodes over instances (the §5 state).

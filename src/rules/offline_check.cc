@@ -1,0 +1,378 @@
+#include "rules/offline_check.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+#include "event/event.h"
+#include "ptl/analyzer.h"
+#include "ptl/naive_eval.h"
+#include "ptl/parser.h"
+#include "ptl/snapshot.h"
+
+namespace ptldb::rules {
+
+namespace {
+
+bool TermHasAggregate(const ptl::TermPtr& t);
+
+bool FormulaHasAggregate(const ptl::FormulaPtr& f) {
+  if (f == nullptr) return false;
+  if (TermHasAggregate(f->lhs_term) || TermHasAggregate(f->rhs_term) ||
+      TermHasAggregate(f->bind_term)) {
+    return true;
+  }
+  return FormulaHasAggregate(f->left) || FormulaHasAggregate(f->right);
+}
+
+bool TermHasAggregate(const ptl::TermPtr& t) {
+  if (t == nullptr) return false;
+  if (t->kind == ptl::Term::Kind::kAgg ||
+      t->kind == ptl::Term::Kind::kWindowAgg) {
+    return true;
+  }
+  for (const ptl::TermPtr& op : t->operands) {
+    if (TermHasAggregate(op)) return true;
+  }
+  return false;
+}
+
+/// True when some event atom occurs under an odd number of negations.
+/// (ThroughoutPast f == NOT Previously NOT f cancels out; Since and the other
+/// operators preserve the polarity of both operands.)
+bool HasNegatedEventAtom(const ptl::FormulaPtr& f, bool negated) {
+  if (f == nullptr) return false;
+  switch (f->kind) {
+    case ptl::Formula::Kind::kEvent:
+      return negated;
+    case ptl::Formula::Kind::kNot:
+      return HasNegatedEventAtom(f->left, !negated);
+    default:
+      return HasNegatedEventAtom(f->left, negated) ||
+             HasNegatedEventAtom(f->right, negated);
+  }
+}
+
+/// Eligibility that needs only the rule descriptor — checked before the
+/// condition is re-parsed (a family's condition has free parameters and does
+/// not even analyze standalone). Empty string = eligible so far.
+std::string IneligibleBeforeAnalysis(const RuleEngine::RuleInfo& info) {
+  if (info.is_system) return "generated system rule";
+  if (info.is_family) return "rule family: free variables are unbound offline";
+  return "";
+}
+
+/// Eligibility under Theorem 2; empty string = eligible.
+std::string IneligibleReason(const ptl::Analysis& analysis,
+                             const QueryRegistry& registry) {
+  if (analysis.uses_lasttime) {
+    return "Lasttime must observe every state, including dropped ones";
+  }
+  if (!analysis.time_vars.empty()) {
+    return "real-time bound: satisfaction can change at dropped states";
+  }
+  for (const std::string& ev : analysis.event_names) {
+    if (ev == event::kBeginEvent || ev == event::kAbortEvent ||
+        ev == event::kAttemptsToCommitEvent) {
+      return StrCat("transaction-control event atom @", ev,
+                    " is invisible in the collapsed history");
+    }
+  }
+  if (FormulaHasAggregate(analysis.root)) {
+    return "temporal aggregate sums over all states, dropped ones included";
+  }
+  for (const ptl::QuerySpec& spec : analysis.slots) {
+    if (registry.IsComputed(spec.name)) {
+      return StrCat("computed query '", spec.name,
+                    "' has no historical reconstruction");
+    }
+  }
+  return "";
+}
+
+void Disagree(OfflineRuleReport* rep, uint64_t* total, std::string msg) {
+  rep->disagreements.push_back(std::move(msg));
+  ++*total;
+}
+
+}  // namespace
+
+std::string OfflineCheckReport::ToString() const {
+  std::ostringstream out;
+  out << "offline check over " << retained_states << " retained state(s) ("
+      << commit_points << " commit point(s)): " << rules_checked
+      << " rule(s) checked, " << rules_skipped << " skipped, " << disagreements
+      << " disagreement(s)\n";
+  for (const OfflineRuleReport& r : rules) {
+    out << "  " << (r.is_ic ? "ic " : "rule ") << r.rule << ": ";
+    if (!r.checked) {
+      out << "skipped (" << r.skip_reason << ")\n";
+      continue;
+    }
+    out << r.offline_satisfied << "/" << r.points_evaluated
+        << " state(s) satisfied, offline predicts " << r.offline_firings
+        << " firing(s), online recorded " << r.online_firings;
+    if (r.partial) out << " [partial: negated event atom]";
+    out << (r.disagreements.empty() ? " — agree" : " — DISAGREE") << "\n";
+    for (const std::string& d : r.disagreements) {
+      out << "    " << d << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<OfflineCheckReport> OfflineCheck(
+    const temporal::VersionStore& store, const RuleEngine& engine,
+    const std::vector<Firing>& online_firings) {
+  const std::vector<temporal::CommitPoint>& log = store.commit_log();
+  OfflineCheckReport report;
+  report.retained_states = log.size();
+  for (const temporal::CommitPoint& p : log) {
+    if (p.is_commit) ++report.commit_points;
+  }
+
+  for (const std::string& name : engine.RuleNames()) {
+    PTLDB_ASSIGN_OR_RETURN(RuleEngine::RuleInfo info, engine.Describe(name));
+    OfflineRuleReport rep;
+    rep.rule = name;
+    rep.is_ic = info.is_ic;
+
+    rep.skip_reason = IneligibleBeforeAnalysis(info);
+    if (!rep.skip_reason.empty()) {
+      ++report.rules_skipped;
+      report.rules.push_back(std::move(rep));
+      continue;
+    }
+
+    // Conditions round-trip through their canonical rendering: the engine
+    // stores the post-fold AST, whose ToString re-parses to the same formula.
+    auto parsed = ptl::ParseFormula(info.condition);
+    if (!parsed.ok()) {
+      return Status::Internal(StrCat("condition of rule '", name,
+                                     "' failed to re-parse: ",
+                                     parsed.status().message()));
+    }
+    auto analyzed = ptl::Analyze(std::move(parsed).value());
+    if (!analyzed.ok()) {
+      return Status::Internal(StrCat("condition of rule '", name,
+                                     "' failed to re-analyze: ",
+                                     analyzed.status().message()));
+    }
+    const ptl::Analysis analysis = std::move(analyzed).value();
+
+    rep.skip_reason = IneligibleReason(analysis, engine.queries());
+    if (!rep.skip_reason.empty()) {
+      ++report.rules_skipped;
+      report.rules.push_back(std::move(rep));
+      continue;
+    }
+
+    // Re-evaluate the condition over the collapsed history, with every query
+    // slot answered from the version store at the retained state's instant.
+    //
+    // The collapsed log names only commit points and user-event states, but
+    // the online engine also stepped the states *before* the first commit —
+    // the initial, pre-transaction contents — and past operators latch on
+    // them (PREVIOUSLY q(...) stays true forever once true). So the
+    // evaluator is seeded with a synthetic initial state one tick before the
+    // first retained instant, answered from the archive like any retained
+    // read. If trimming made that instant unanswerable the seed is skipped
+    // and the first retained state is treated as the beginning of time.
+    ptl::NaiveEvaluator nev(&analysis);
+    std::vector<bool> sat;  // extended sequence: [synthetic initial,] log...
+    sat.reserve(log.size() + 1);
+    size_t base = 0;  // 1 when sat[0] is the synthetic initial state
+    Timestamp t_init = 0;
+    Status eval_error = Status::OK();
+    if (!log.empty()) {
+      t_init = log.front().time - 1;
+      ptl::StateSnapshot snap;
+      snap.seq = 0;
+      snap.time = t_init;
+      snap.query_values.reserve(analysis.slots.size());
+      bool answerable = true;
+      for (const ptl::QuerySpec& spec : analysis.slots) {
+        auto v = engine.queries().EvalAsOf(spec, t_init);
+        if (!v.ok()) {
+          answerable = false;
+          break;
+        }
+        snap.query_values.push_back(std::move(v).value());
+      }
+      if (answerable) {
+        nev.Observe(std::move(snap));
+        auto s = nev.SatisfiedAt(0);
+        if (!s.ok()) {
+          eval_error = s.status();
+        } else {
+          sat.push_back(s.value());
+          base = 1;
+        }
+      }
+    }
+    for (size_t i = 0; i < log.size() && eval_error.ok(); ++i) {
+      ptl::StateSnapshot snap;
+      snap.seq = base + i;
+      snap.time = log[i].time;
+      snap.events = log[i].events;
+      snap.query_values.reserve(analysis.slots.size());
+      for (const ptl::QuerySpec& spec : analysis.slots) {
+        auto v = engine.queries().EvalAsOf(spec, log[i].time);
+        if (!v.ok()) {
+          eval_error = v.status();
+          break;
+        }
+        snap.query_values.push_back(std::move(v).value());
+      }
+      if (!eval_error.ok()) break;
+      nev.Observe(std::move(snap));
+      auto s = nev.SatisfiedAt(base + i);
+      if (!s.ok()) {
+        eval_error = s.status();
+        break;
+      }
+      sat.push_back(s.value());
+      ++rep.points_evaluated;
+      if (sat[base + i]) ++rep.offline_satisfied;
+    }
+    if (!eval_error.ok()) {
+      rep.skip_reason = StrCat("evaluation failed: ", eval_error.message());
+      rep.points_evaluated = 0;
+      ++report.rules_skipped;
+      report.rules.push_back(std::move(rep));
+      continue;
+    }
+
+    if (info.is_ic) {
+      // An IC is stored as its violation form (the engine negates the
+      // constraint so it can fire on @attempts_to_commit), so `sat[i]` here
+      // means "violated at state i". The online engine vetoed every violating
+      // transaction, so no retained commit point may satisfy the violation.
+      for (size_t i = 0; i < log.size(); ++i) {
+        if (log[i].is_commit && sat[base + i]) {
+          Disagree(&rep, &report.disagreements,
+                   StrCat("constraint violated at committed state seq=",
+                          log[i].seq, " time=", log[i].time,
+                          " — the online engine let this commit through"));
+        }
+      }
+      ++report.rules_checked;
+      rep.checked = true;
+      report.rules.push_back(std::move(rep));
+      continue;
+    }
+
+    // Trigger: diff predicted firings against the recorded stream. The
+    // online engine stepped *every* state — the begin/abort/attempt states
+    // the collapsed history drops included — so its stream can carry firings
+    // at timestamps no retained state owns. Those are handled per semantics
+    // below, not blindly flagged.
+    std::map<Timestamp, int64_t> online;  // time -> count
+    for (const Firing& f : online_firings) {
+      if (f.rule == name && f.params.empty()) {
+        ++online[f.time];
+        ++rep.online_firings;
+      }
+    }
+    // Predicted firings at retained states. For edges the synthetic initial
+    // state participates as the baseline (index base-1) and, when satisfied,
+    // as its own predicted firing covering the pre-first-commit prefix; for
+    // level rules it stands for *many* online states and is not comparable,
+    // so it contributes nothing.
+    std::map<Timestamp, int64_t> offline;
+    for (size_t i = 0; i < log.size(); ++i) {
+      const size_t e = base + i;
+      bool fires = info.level_triggered ? sat[e] : (sat[e] && (e == 0 || !sat[e - 1]));
+      if (fires) {
+        ++offline[log[i].time];
+        ++rep.offline_firings;
+      }
+    }
+    rep.partial = !info.level_triggered &&
+                  HasNegatedEventAtom(analysis.root, /*negated=*/false);
+
+    std::map<Timestamp, size_t> retained;  // time -> log index (times unique)
+    for (size_t i = 0; i < log.size(); ++i) retained[log[i].time] = i;
+
+    if (info.level_triggered) {
+      // Exact count equality at every retained time. Firings at dropped
+      // states are invisible to the collapsed history by construction and
+      // are not comparable — Theorem 2 speaks only to the retained states.
+      for (const auto& [t, n] : online) {
+        if (retained.find(t) == retained.end()) continue;  // dropped state
+        int64_t want = offline.count(t) ? offline.at(t) : 0;
+        if (n != want) {
+          Disagree(&rep, &report.disagreements,
+                   StrCat("online fired ", n, "x at time=", t,
+                          " but offline predicts ", want));
+        }
+      }
+      for (const auto& [t, n] : offline) {
+        if (online.find(t) != online.end()) continue;  // compared above
+        Disagree(&rep, &report.disagreements,
+                 StrCat("offline predicts ", n, " firing(s) at time=", t,
+                        " but online recorded 0"));
+      }
+    } else {
+      // Edge-triggered: an online edge may land on a dropped state just
+      // before the retained state whose offline verdict flipped (PREVIOUSLY
+      // shifts satisfaction by one state, and the collapsed sequence has
+      // fewer states). So each offline edge at retained state i is matched
+      // against one online firing anywhere in the window (T_{i-1}, T_i] —
+      // the span of full-history states that collapse onto state i.
+      std::vector<Timestamp> pool;  // unmatched online firing times, sorted
+      for (const auto& [t, n] : online) {
+        for (int64_t k = 0; k < n; ++k) pool.push_back(t);
+      }
+      for (size_t e = 0; e < sat.size(); ++e) {
+        bool edge = sat[e] && (e == 0 || !sat[e - 1]);
+        if (!edge) continue;
+        // The synthetic initial state's window is the whole prefix up to and
+        // including its own instant.
+        const Timestamp hi = (e < base) ? t_init : log[e - base].time;
+        const bool open_low = (e == 0);
+        Timestamp lo = 0;  // exclusive
+        if (!open_low) lo = (e - 1 < base) ? t_init : log[e - 1 - base].time;
+        if (e < base) ++rep.offline_firings;  // synthetic edge, counted here
+        // Latest unmatched online firing in the window.
+        auto it = std::upper_bound(pool.begin(), pool.end(), hi);
+        if (it != pool.begin() && (open_low || *(it - 1) > lo)) {
+          pool.erase(it - 1);
+        } else if (!rep.partial) {
+          Disagree(&rep, &report.disagreements,
+                   StrCat("offline edge at time=", hi,
+                          " with no online firing in (",
+                          open_low ? "-inf" : StrCat(lo), ", ", hi, "]"));
+        }
+      }
+      // Leftover online firings: on a retained state they are consistent as
+      // long as the state satisfies the condition (the online edge structure
+      // can differ when satisfaction flipped at a dropped state in between);
+      // on a dropped state with no offline edge to absorb them they are a
+      // disagreement — unless the rule is only partially checkable.
+      for (Timestamp t : pool) {
+        auto it = retained.find(t);
+        if (it != retained.end()) {
+          if (!sat[base + it->second]) {
+            Disagree(&rep, &report.disagreements,
+                     StrCat("online fired at time=", t, " but the retained ",
+                            "state there does not satisfy the condition"));
+          }
+        } else if (!rep.partial) {
+          Disagree(&rep, &report.disagreements,
+                   StrCat("online fired at dropped-state time=", t,
+                          " with no matching offline edge"));
+        }
+      }
+    }
+
+    ++report.rules_checked;
+    rep.checked = true;
+    report.rules.push_back(std::move(rep));
+  }
+  return report;
+}
+
+}  // namespace ptldb::rules

@@ -1,0 +1,105 @@
+// Offline integrity checking over committed history — the §9 experiment.
+//
+// Theorem 2 of the paper: for conditions that cannot distinguish the states
+// an aborted or in-flight transaction contributes (no transaction-control
+// event atoms, no real-time bounds, no Lasttime), evaluating over the
+// *collapsed committed history* — commit points plus user-event states, with
+// begin/abort/attempt-only states dropped — yields the same verdicts as the
+// online engine that observed every state as it happened.
+//
+// `OfflineCheck` re-runs that evaluation after the fact, from durable data
+// only: the version store supplies the collapsed state sequence
+// (VersionStore::commit_log) and, through `QueryRegistry::EvalAsOf`, the
+// value every condition query had at each retained instant (a binary-search
+// gather over the columnar histories — no live tables are consulted). Each
+// eligible rule's condition is re-parsed and fed to the reference
+// ptl::NaiveEvaluator — seeded with a synthetic initial state one tick before
+// the first retained instant, because past operators latch on the
+// pre-first-commit states the online engine also observed — then the offline
+// verdicts are diffed against the online engine's recorded firing stream:
+//
+//   * Integrity constraints must hold at every retained commit point — the
+//     online engine vetoed violating transactions, so a single offline
+//     violation is a disagreement. (Vetoed attempts are consistent by
+//     absence: they never reached the committed history.)
+//   * Level-triggered rules must have fired exactly at the retained states
+//     the offline evaluation satisfies. Online firings at *dropped* states
+//     (begin/abort/attempt-only) are invisible to the collapsed history by
+//     construction and are not comparable, so they are ignored.
+//   * Edge-triggered rules: the online edge can land on a dropped state one
+//     step before the retained state whose offline verdict flips (PREVIOUSLY
+//     shifts satisfaction by one state, and the collapsed sequence is
+//     shorter). Each offline false->true edge at retained state T_i is
+//     therefore matched against one online firing in the window
+//     (T_{i-1}, T_i] — the span of full-history instants that collapse onto
+//     state i. An unmatched offline edge is a disagreement; a leftover
+//     online firing is consistent on a retained state that satisfies the
+//     condition, and a disagreement on a dropped state otherwise. The
+//     offline->online direction is skipped (the rule is reported `partial`)
+//     when the condition mentions an event atom under negation — such
+//     conditions can flip at dropped states, where online edges are
+//     invisible to the collapsed history.
+//
+// Rules the theorem does not cover are skipped, with the reason recorded:
+// Lasttime, real-time bounds, begin/abort/attempts_to_commit atoms, temporal
+// aggregates (they sum over *all* states, dropped ones included), rule
+// families (free variables), generated system rules, and computed queries.
+
+#ifndef PTLDB_RULES_OFFLINE_CHECK_H_
+#define PTLDB_RULES_OFFLINE_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rules/engine.h"
+#include "temporal/versioning.h"
+
+namespace ptldb::rules {
+
+/// Per-rule outcome of the offline re-evaluation.
+struct OfflineRuleReport {
+  std::string rule;
+  bool is_ic = false;
+  bool checked = false;      // false: skipped, see skip_reason
+  std::string skip_reason;
+  /// Edge-triggered rule with a negated event atom: only the online->offline
+  /// direction was verified (see header).
+  bool partial = false;
+  uint64_t points_evaluated = 0;   // retained states observed
+  // Retained states where the stored condition held. For an IC the stored
+  // condition is the violation form (the engine negates the constraint), so
+  // any nonzero count here is a violation of the constraint itself.
+  uint64_t offline_satisfied = 0;
+  uint64_t offline_firings = 0;    // firings the offline semantics predicts
+  uint64_t online_firings = 0;     // firings the online engine recorded
+  std::vector<std::string> disagreements;
+};
+
+struct OfflineCheckReport {
+  uint64_t retained_states = 0;  // commit points + user-event states
+  uint64_t commit_points = 0;
+  uint64_t rules_checked = 0;
+  uint64_t rules_skipped = 0;
+  uint64_t disagreements = 0;
+  std::vector<OfflineRuleReport> rules;
+
+  /// Theorem 2 held on this history.
+  bool agreed() const { return disagreements == 0; }
+
+  /// Multi-line human-readable rendering (ptldb-top / shell `offline`).
+  std::string ToString() const;
+};
+
+/// Re-evaluates every registered rule over the collapsed committed history in
+/// `store` and diffs the verdicts against `online_firings` (the accumulated
+/// Firing stream of `engine`, in execution order). The store must be attached
+/// to the same database as the engine and must have been versioning every
+/// table the rule conditions query for the whole span of its commit log.
+Result<OfflineCheckReport> OfflineCheck(const temporal::VersionStore& store,
+                                        const RuleEngine& engine,
+                                        const std::vector<Firing>& online_firings);
+
+}  // namespace ptldb::rules
+
+#endif  // PTLDB_RULES_OFFLINE_CHECK_H_

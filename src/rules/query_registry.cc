@@ -1,6 +1,9 @@
 #include "rules/query_registry.h"
 
+#include <utility>
+
 #include "common/strings.h"
+#include "db/query.h"
 #include "db/sql_parser.h"
 
 namespace ptldb::rules {
@@ -56,6 +59,42 @@ Result<Value> QueryRegistry::Eval(const ptl::QuerySpec& spec) const {
                          BindArgs(it->second, spec.args, spec.name));
   PTLDB_ASSIGN_OR_RETURN(db::Relation rel,
                          database_->Query(it->second.plan, &params));
+  if (rel.schema().num_columns() == 1 && rel.empty()) {
+    return Value::Null();  // "no such row"
+  }
+  auto scalar = rel.ScalarValue();
+  if (!scalar.ok()) {
+    return Status::TypeMismatch(
+        StrCat("query ", spec.ToString(), " used as a scalar but returned ",
+               rel.size(), " row(s) x ", rel.schema().num_columns(),
+               " column(s)"));
+  }
+  return scalar;
+}
+
+Result<Value> QueryRegistry::EvalAsOf(const ptl::QuerySpec& spec,
+                                      Timestamp t) const {
+  if (IsComputed(spec.name)) {
+    return Status::NotImplemented(
+        StrCat("computed query '", spec.name,
+               "' cannot be evaluated against a historical state"));
+  }
+  auto it = sql_queries_.find(spec.name);
+  if (it == sql_queries_.end()) {
+    return Status::NotFound(
+        StrCat("no query registered for function symbol '", spec.name, "'"));
+  }
+  if (database_->temporal_sink() == nullptr) {
+    return Status::InvalidArgument(
+        StrCat("AS OF evaluation of '", spec.name,
+               "' requires a version store (none attached)"));
+  }
+  PTLDB_ASSIGN_OR_RETURN(db::ParamMap params,
+                         BindArgs(it->second, spec.args, spec.name));
+  db::QueryExecutor exec(&std::as_const(*database_).catalog(),
+                         database_->temporal_sink(), t);
+  PTLDB_ASSIGN_OR_RETURN(db::Relation rel,
+                         exec.Execute(it->second.plan, &params));
   if (rel.schema().num_columns() == 1 && rel.empty()) {
     return Value::Null();  // "no such row"
   }

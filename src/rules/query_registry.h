@@ -47,6 +47,21 @@ class QueryRegistry {
   /// Evaluates one ground query instance against the current database state.
   Result<Value> Eval(const ptl::QuerySpec& spec) const;
 
+  /// Evaluates one ground query instance against the database *as of* `t`:
+  /// every table the query scans is read from the attached version store at
+  /// that instant (db::Database::TemporalSink). The offline integrity checker
+  /// (rules/offline_check.h) uses this to re-create the query values each
+  /// condition observed at historical commit points. Fails when the database
+  /// has no version store or a scanned table is not versioned; computed
+  /// queries are NotImplemented (they close over live state).
+  Result<Value> EvalAsOf(const ptl::QuerySpec& spec, Timestamp t) const;
+
+  /// True when `name` is a computed (non-SQL) query, which EvalAsOf cannot
+  /// reconstruct historically.
+  bool IsComputed(const std::string& name) const {
+    return computed_.count(name) > 0;
+  }
+
   /// Evaluates the full relation of a registered SQL query (used for rule
   /// family domains and diagnostics). Computed queries are not relational.
   Result<db::Relation> EvalRelation(const std::string& name,

@@ -91,6 +91,11 @@ void EncodeRequest(const Request& req, std::string* out) {
       w.Str(req.sql);
       EncodeParamList(req.params, &w);
       break;
+    case MsgType::kQueryAsOf:
+      w.Str(req.sql);
+      EncodeParamList(req.params, &w);
+      w.I64(req.asof_time);
+      break;
   }
 }
 
@@ -99,7 +104,7 @@ Result<Request> DecodeRequest(std::string_view payload) {
   Request req;
   PTLDB_ASSIGN_OR_RETURN(uint8_t type_byte, r.U8());
   if (type_byte < static_cast<uint8_t>(MsgType::kHello) ||
-      type_byte > static_cast<uint8_t>(MsgType::kTraceCtl)) {
+      type_byte > static_cast<uint8_t>(MsgType::kQueryAsOf)) {
     return Status::InvalidArgument(
         StrCat("unknown request type ", static_cast<int>(type_byte)));
   }
@@ -183,6 +188,12 @@ Result<Request> DecodeRequest(std::string_view payload) {
     case MsgType::kQuery: {
       PTLDB_ASSIGN_OR_RETURN(req.sql, r.Str());
       PTLDB_ASSIGN_OR_RETURN(req.params, DecodeParamList(&r));
+      break;
+    }
+    case MsgType::kQueryAsOf: {
+      PTLDB_ASSIGN_OR_RETURN(req.sql, r.Str());
+      PTLDB_ASSIGN_OR_RETURN(req.params, DecodeParamList(&r));
+      PTLDB_ASSIGN_OR_RETURN(req.asof_time, r.I64());
       break;
     }
   }
@@ -330,6 +341,8 @@ const char* MsgTypeName(MsgType type) {
       return "trace_dump";
     case MsgType::kTraceCtl:
       return "trace_ctl";
+    case MsgType::kQueryAsOf:
+      return "query_asof";
   }
   return "?";
 }

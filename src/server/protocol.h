@@ -44,8 +44,9 @@ namespace ptldb::server {
 /// Protocol revision; Hello from a client speaking a different revision is
 /// rejected before any state is touched. Revision 2 added the admin
 /// introspection surface: a format byte on kStats, and the kStatsDelta /
-/// kTraceDump / kTraceCtl requests.
-inline constexpr uint32_t kProtocolVersion = 2;
+/// kTraceDump / kTraceCtl requests. Revision 3 added kQueryAsOf (time-travel
+/// reads against versioned tables).
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// Upper bound on one *request* frame's payload. A length prefix above this
 /// is a malformed or hostile frame — reject before allocating.
@@ -73,6 +74,8 @@ enum class MsgType : uint8_t {
                      // poll as {"window_ns": N, "stats": {...}} in resp text
   kTraceDump = 13,   // body: u8 TraceFormat, u8 clear(0/1); dump in resp text
   kTraceCtl = 14,    // body: u8 TraceOp; recorder status JSON in resp text
+  kQueryAsOf = 15,   // body: str sql, param list, i64 asof time; every table
+                     // in the statement is read AS OF that time
 };
 
 /// Serialization of a kStats response.
@@ -108,8 +111,10 @@ struct Request {
   std::vector<Value> row;                     // kInsert
   std::vector<std::pair<std::string, std::string>> set;  // kUpdate
   std::string where;                          // kUpdate/kDelete
-  std::string sql;                            // kQuery
-  std::vector<std::pair<std::string, Value>> params;  // kUpdate/kDelete/kQuery
+  std::string sql;                            // kQuery/kQueryAsOf
+  std::vector<std::pair<std::string, Value>> params;  // kUpdate/kDelete/
+                                                      // kQuery/kQueryAsOf
+  Timestamp asof_time = 0;                    // kQueryAsOf
   StatsFormat stats_format = StatsFormat::kJson;      // kStats
   TraceFormat trace_format = TraceFormat::kJsonl;     // kTraceDump
   bool trace_clear = false;                   // kTraceDump: drain the ring

@@ -364,15 +364,21 @@ void Server::ApplyRequest(Work& work, Response* resp) {
       }
       break;
     }
-    case MsgType::kQuery: {
+    case MsgType::kQuery:
+    case MsgType::kQueryAsOf: {
       // Reads observe the engine mid-batch: flush deferred evaluation first
       // so triggered actions' effects are visible, matching the unbatched
-      // library semantics request-for-request.
+      // library semantics request-for-request. (An AS OF read needs the
+      // flush too: the target time may be the current commit point, whose
+      // history rows materialize only once the batch lands.)
       s = engine_->Flush();
       if (s.ok()) {
         db::ParamMap params;
         for (const auto& [name, value] : req.params) params[name] = value;
-        Result<db::Relation> rel = db_->QuerySql(req.sql, &params);
+        Result<db::Relation> rel =
+            req.type == MsgType::kQueryAsOf
+                ? db_->QuerySqlAsOf(req.sql, req.asof_time, &params)
+                : db_->QuerySql(req.sql, &params);
         if (rel.ok()) {
           resp->rows = static_cast<int64_t>(rel.value().size());
           resp->text = rel.value().ToString();

@@ -27,6 +27,12 @@ Status EncodeCheckpoint(uint64_t id, const CheckpointTargets& targets,
     PTLDB_RETURN_IF_ERROR(targets.vt->SerializeState(&w));
   }
   w.Str(targets.metrics != nullptr ? targets.metrics->ToJson() : std::string());
+  // Temporal section last: bodies written before the subsystem existed simply
+  // end here, and the restore side treats "no bytes left" as "no store".
+  w.Bool(targets.temporal != nullptr);
+  if (targets.temporal != nullptr) {
+    targets.temporal->Serialize(&w);
+  }
   return Status::OK();
 }
 
@@ -161,6 +167,16 @@ Result<CheckpointInfo> RestoreCheckpoint(const std::string& body,
     PTLDB_RETURN_IF_ERROR(targets.vt->RestoreState(&r));
   }
   PTLDB_ASSIGN_OR_RETURN(info.metrics_json, r.Str());
+  if (r.remaining() > 0) {  // dumps predating the temporal subsystem end here
+    PTLDB_ASSIGN_OR_RETURN(bool has_temporal, r.Bool());
+    if (has_temporal) {
+      if (targets.temporal == nullptr) {
+        return Status::InvalidArgument(
+            "checkpoint holds a version store but none was supplied");
+      }
+      PTLDB_RETURN_IF_ERROR(targets.temporal->Deserialize(&r));
+    }
+  }
   PTLDB_RETURN_IF_ERROR(r.ExpectEnd());
   return info;
 }

@@ -29,6 +29,7 @@
 #include "db/database.h"
 #include "rules/engine.h"
 #include "storage/file.h"
+#include "temporal/versioning.h"
 #include "validtime/vt.h"
 
 namespace ptldb::storage {
@@ -39,13 +40,17 @@ inline constexpr char kCurrentFileName[] = "CURRENT";
 inline constexpr char kWalFileName[] = "wal.log";
 inline constexpr char kCheckpointFilePrefix[] = "checkpoint-";
 
-/// The components a checkpoint covers. `vt` and `metrics` may be null.
+/// The components a checkpoint covers. `vt`, `metrics` and `temporal` may be
+/// null.
 struct CheckpointTargets {
   db::Database* db = nullptr;
   rules::RuleEngine* engine = nullptr;
   Clock* clock = nullptr;
   validtime::VtDatabase* vt = nullptr;
   Metrics* metrics = nullptr;
+  /// System-period version store; serialized last in the body so dumps from
+  /// before the temporal subsystem restore unchanged.
+  temporal::VersionStore* temporal = nullptr;
 };
 
 /// Summary of a loaded checkpoint.

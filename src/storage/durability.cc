@@ -42,6 +42,7 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Attach(
   PTLDB_RETURN_IF_ERROR(mgr->Checkpoint());
   targets.db->SetWalSink(mgr.get());
   targets.engine->SetFiringObserver(mgr.get());
+  if (targets.temporal != nullptr) targets.temporal->SetDdlSink(mgr.get());
   if (mgr->options_.checkpoint_every_n_states > 0) {
     DurabilityManager* self = mgr.get();
     targets.engine->SetPostUpdateHook([self]() {
@@ -66,6 +67,7 @@ DurabilityManager::~DurabilityManager() {
     targets_.engine->SetFiringObserver(nullptr);
     targets_.engine->SetPostUpdateHook(nullptr);
   }
+  if (targets_.temporal != nullptr) targets_.temporal->SetDdlSink(nullptr);
   if (wal_ != nullptr && status_.ok()) {
     if (group_ != nullptr) {
       (void)group_->SyncAll();
@@ -98,6 +100,7 @@ Status DurabilityManager::OpenFreshWal() {
     stats_snapshot_.state_records += s.state_records;
     stats_snapshot_.firing_records += s.firing_records;
     stats_snapshot_.veto_records += s.veto_records;
+    stats_snapshot_.temporal_records += s.temporal_records;
     wal_.reset();
   }
   PTLDB_ASSIGN_OR_RETURN(
@@ -178,6 +181,7 @@ WalStats DurabilityManager::wal_stats() const {
     total.state_records += s.state_records;
     total.firing_records += s.firing_records;
     total.veto_records += s.veto_records;
+    total.temporal_records += s.temporal_records;
   }
   return total;
 }
@@ -232,6 +236,18 @@ void DurabilityManager::OnIcVeto(int64_t txn, Timestamp time,
   Status s =
       AppendRecord([&rec](WalWriter* wal) { return wal->AppendIcVeto(rec); });
   if (!s.ok()) Fail(std::move(s));
+}
+
+Status DurabilityManager::OnTemporalOp(const temporal::TemporalOp& op) {
+  if (!status_.ok()) return status_;
+  if (wal_ == nullptr) return Status::OK();
+  WalTemporalRecord rec;
+  rec.seq = targets_.db->history().size();
+  rec.op = op;
+  Status s = AppendRecord(
+      [&rec](WalWriter* wal) { return wal->AppendTemporal(rec); });
+  if (!s.ok()) Fail(s);
+  return s;
 }
 
 void DurabilityManager::Fail(Status s) {

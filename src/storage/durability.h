@@ -57,12 +57,14 @@ struct DurabilityOptions {
 };
 
 class DurabilityManager : public db::Database::WalSink,
-                          public rules::RuleEngine::FiringObserver {
+                          public rules::RuleEngine::FiringObserver,
+                          public temporal::VersionStore::DdlSink {
  public:
   /// Attaches durability to live components. Writes a checkpoint of the
   /// current state (id 0 on a fresh directory, last+1 on an existing one —
-  /// e.g. right after Recover) and starts a fresh WAL. `vt`/`metrics` in
-  /// `targets` may be null; `db`, `engine`, `clock` are required.
+  /// e.g. right after Recover) and starts a fresh WAL.
+  /// `vt`/`metrics`/`temporal` in `targets` may be null; `db`, `engine`,
+  /// `clock` are required.
   static Result<std::unique_ptr<DurabilityManager>> Attach(
       DurabilityOptions options, CheckpointTargets targets);
 
@@ -111,6 +113,12 @@ class DurabilityManager : public db::Database::WalSink,
   void OnFiring(const rules::Firing& firing) override;
   void OnIcVeto(int64_t txn, Timestamp time,
                 const std::vector<std::string>& violated_rules) override;
+
+  // ---- temporal::VersionStore::DdlSink ----
+  /// Journals a versioning declare/undeclare/trim before it takes effect
+  /// (write-ahead, like row deltas). Attach() wires this automatically when
+  /// `targets.temporal` is set.
+  Status OnTemporalOp(const temporal::TemporalOp& op) override;
 
  private:
   DurabilityManager(DurabilityOptions options, CheckpointTargets targets)

@@ -32,7 +32,8 @@ std::string RecoveryReport::ToString() const {
       "recovered from checkpoint ", checkpoint_id, " (history size ",
       checkpoint_history_size, "); replayed ", states_replayed,
       " state(s), ", firings_replayed, " firing(s), ", ic_vetoes_replayed,
-      " IC veto(es); ", wal_records_read, " WAL record(s) read, ",
+      " IC veto(es), ", temporal_ops_replayed, " temporal op(s); ",
+      wal_records_read, " WAL record(s) read, ",
       records_skipped, " skipped, ", torn_bytes, " torn byte(s) truncated; ",
       firing_mismatches, " firing mismatch(es)");
   for (const std::string& m : mismatches) out += StrCat("\n  mismatch: ", m);
@@ -140,6 +141,22 @@ Result<RecoveryReport> Recover(const std::string& dir,
         }
         engine.NoteReplayedIcVeto(rec.veto.violated);
         ++report.ic_vetoes_replayed;
+        break;
+      case WalRecordType::kTemporal:
+        // Ops the checkpoint already absorbed are skipped by position;
+        // ApplyOp is idempotent at the `==` boundary (an op journaled at the
+        // same history size the checkpoint captured).
+        if (rec.temporal.seq < restored_size) {
+          ++report.records_skipped;
+          break;
+        }
+        if (targets.temporal == nullptr) {
+          replay_status = Status::InvalidArgument(
+              "WAL holds versioning ops but no version store was supplied");
+          break;
+        }
+        replay_status = targets.temporal->ApplyOp(rec.temporal.op);
+        if (replay_status.ok()) ++report.temporal_ops_replayed;
         break;
       case WalRecordType::kCheckpoint:
         break;  // informational

@@ -48,6 +48,8 @@ struct RecoveryReport {
   uint64_t firing_mismatches = 0;
   /// IC vetoes re-accounted from the log.
   uint64_t ic_vetoes_replayed = 0;
+  /// Versioning DDL ops (declare/undeclare/trim) re-applied from the log.
+  uint64_t temporal_ops_replayed = 0;
   uint64_t wal_records_read = 0;
   /// Bytes cut off the WAL tail (torn final write).
   uint64_t torn_bytes = 0;

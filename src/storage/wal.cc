@@ -62,6 +62,10 @@ std::string EncodeWalRecord(const WalRecord& rec) {
       w.U64(rec.checkpoint.checkpoint_id);
       w.U64(rec.checkpoint.history_size);
       break;
+    case WalRecordType::kTemporal:
+      w.U64(rec.temporal.seq);
+      temporal::SerializeTemporalOp(rec.temporal.op, &w);
+      break;
   }
   return payload;
 }
@@ -71,7 +75,7 @@ Result<WalRecord> DecodeWalRecord(std::string_view payload) {
   WalRecord rec;
   PTLDB_ASSIGN_OR_RETURN(uint8_t type, r.U8());
   if (type < static_cast<uint8_t>(WalRecordType::kState) ||
-      type > static_cast<uint8_t>(WalRecordType::kCheckpoint)) {
+      type > static_cast<uint8_t>(WalRecordType::kTemporal)) {
     return Status::ParseError(StrCat("bad WAL record type ", type));
   }
   rec.type = static_cast<WalRecordType>(type);
@@ -113,6 +117,11 @@ Result<WalRecord> DecodeWalRecord(std::string_view payload) {
     case WalRecordType::kCheckpoint: {
       PTLDB_ASSIGN_OR_RETURN(rec.checkpoint.checkpoint_id, r.U64());
       PTLDB_ASSIGN_OR_RETURN(rec.checkpoint.history_size, r.U64());
+      break;
+    }
+    case WalRecordType::kTemporal: {
+      PTLDB_ASSIGN_OR_RETURN(rec.temporal.seq, r.U64());
+      PTLDB_ASSIGN_OR_RETURN(rec.temporal.op, temporal::DeserializeTemporalOp(&r));
       break;
     }
   }
@@ -187,6 +196,14 @@ Status WalWriter::AppendCheckpoint(const WalCheckpointRecord& rec) {
   WalRecord r;
   r.type = WalRecordType::kCheckpoint;
   r.checkpoint = rec;
+  return AppendFramed(EncodeWalRecord(r));
+}
+
+Status WalWriter::AppendTemporal(const WalTemporalRecord& rec) {
+  ++stats_.temporal_records;
+  WalRecord r;
+  r.type = WalRecordType::kTemporal;
+  r.temporal = rec;
   return AppendFramed(EncodeWalRecord(r));
 }
 

@@ -30,6 +30,7 @@
 #include "db/transaction.h"
 #include "event/event.h"
 #include "storage/file.h"
+#include "temporal/versioning.h"
 
 namespace ptldb::storage {
 
@@ -54,6 +55,7 @@ enum class WalRecordType : uint8_t {
   kFiring = 2,      // one firing decision (action about to run)
   kIcVeto = 3,      // one integrity-constraint veto (commit rejected)
   kCheckpoint = 4,  // checkpoint committed (id + history position)
+  kTemporal = 5,    // one versioning DDL op (declare/undeclare/trim)
 };
 
 struct WalStateRecord {
@@ -82,6 +84,14 @@ struct WalCheckpointRecord {
   uint64_t history_size = 0;
 };
 
+struct WalTemporalRecord {
+  /// History size when the op ran, ordering it against state records:
+  /// recovery skips ops a checkpoint already absorbed (seq < restored size;
+  /// VersionStore::ApplyOp is idempotent at the boundary).
+  uint64_t seq = 0;
+  temporal::TemporalOp op;
+};
+
 /// One decoded record; `type` selects which member is meaningful.
 struct WalRecord {
   WalRecordType type = WalRecordType::kState;
@@ -89,6 +99,7 @@ struct WalRecord {
   WalFiringRecord firing;
   WalIcVetoRecord veto;
   WalCheckpointRecord checkpoint;
+  WalTemporalRecord temporal;
 };
 
 struct WalStats {
@@ -98,6 +109,7 @@ struct WalStats {
   uint64_t state_records = 0;
   uint64_t firing_records = 0;
   uint64_t veto_records = 0;
+  uint64_t temporal_records = 0;
 };
 
 class WalWriter {
@@ -112,6 +124,7 @@ class WalWriter {
   Status AppendFiring(const WalFiringRecord& rec);
   Status AppendIcVeto(const WalIcVetoRecord& rec);
   Status AppendCheckpoint(const WalCheckpointRecord& rec);
+  Status AppendTemporal(const WalTemporalRecord& rec);
 
   /// Forces an fsync regardless of policy (checkpoint barrier).
   Status Sync();

@@ -145,6 +145,54 @@ TEST_F(QueryTest, ParseErrors) {
   EXPECT_FALSE(ParseSql("SELECT 'unterminated FROM stock").ok());
 }
 
+TEST_F(QueryTest, ParseErrorsCarryCaretSpans) {
+  // Diagnostics mirror the PTL front end: byte offset in the message plus a
+  // caret rendering of the offending line underneath.
+  Status s = ParseSql("SELECT name FROM stock WHERE price >").status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("at offset"), std::string::npos) << s.ToString();
+
+  // "GROOP" parses as a bare table alias, so the parser trips over "BY".
+  s = ParseSql("SELECT name FROM stock GROOP BY name").status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(
+      s.message().find("unexpected trailing input 'BY' at offset 29"),
+      std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("  SELECT name FROM stock GROOP BY name\n"
+                             "                               ^~"),
+            std::string::npos)
+      << s.ToString();
+
+  // The caret spans the whole offending token, not just its first byte.
+  s = ParseSql("SELECT 'oops FROM stock").status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unterminated string literal at offset 7"),
+            std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("^~~~"), std::string::npos) << s.ToString();
+}
+
+TEST_F(QueryTest, AsOfParsesIntoTheScanNode) {
+  ASSERT_OK_AND_ASSIGN(QueryPtr plan,
+                       ParseSql("SELECT name FROM stock AS OF 42"));
+  EXPECT_EQ(plan->ToString(),
+            "Project(name AS name)(Scan(stock AS OF 42))");
+  // Alias and AS OF compose; the expression may be a parameter.
+  ASSERT_OK_AND_ASSIGN(plan,
+                       ParseSql("SELECT s.name FROM stock AS s AS OF $t "
+                                "WHERE s.price > 10"));
+  EXPECT_NE(plan->ToString().find("Scan(stock AS s AS OF $t)"),
+            std::string::npos)
+      << plan->ToString();
+  // `AS OF` needs an expression.
+  EXPECT_FALSE(ParseSql("SELECT name FROM stock AS OF").ok());
+  // Executing without a version store attached is a clean error.
+  ASSERT_OK_AND_ASSIGN(plan, ParseSql("SELECT * FROM stock AS OF 1"));
+  QueryExecutor exec(&catalog_);
+  EXPECT_EQ(exec.Execute(plan).status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(QueryTest, MissingTableIsExecutionError) {
   ASSERT_OK_AND_ASSIGN(QueryPtr plan, ParseSql("SELECT * FROM ghost"));
   QueryExecutor exec(&catalog_);

@@ -66,6 +66,11 @@ Request SampleRequest(MsgType type) {
       req.sql = "SELECT price FROM stock WHERE name = $n";
       req.params = {{"n", Value::Str("HP")}};
       break;
+    case MsgType::kQueryAsOf:
+      req.sql = "SELECT name, price FROM stock WHERE price > $p";
+      req.params = {{"p", Value::Real(15)}};
+      req.asof_time = 123456789;
+      break;
   }
   return req;
 }
@@ -75,7 +80,7 @@ const std::vector<MsgType> kAllTypes = {
     MsgType::kInsert,     MsgType::kUpdate,      MsgType::kDelete,
     MsgType::kQuery,      MsgType::kTakeFirings, MsgType::kStats,
     MsgType::kFlush,      MsgType::kCheckpoint,  MsgType::kStatsDelta,
-    MsgType::kTraceDump,  MsgType::kTraceCtl,
+    MsgType::kTraceDump,  MsgType::kTraceCtl,    MsgType::kQueryAsOf,
 };
 
 TEST(ServerProtocolTest, RequestRoundTripsEveryType) {
@@ -95,6 +100,7 @@ TEST(ServerProtocolTest, RequestRoundTripsEveryType) {
     EXPECT_EQ(got.where, req.where);
     EXPECT_EQ(got.sql, req.sql);
     EXPECT_EQ(got.params, req.params);
+    EXPECT_EQ(got.asof_time, req.asof_time);
     EXPECT_EQ(got.stats_format, req.stats_format);
     EXPECT_EQ(got.trace_format, req.trace_format);
     EXPECT_EQ(got.trace_clear, req.trace_clear);
@@ -126,6 +132,7 @@ TEST(ServerProtocolTest, MsgTypeNamesAreStable) {
   EXPECT_STREQ(MsgTypeName(MsgType::kStatsDelta), "stats_delta");
   EXPECT_STREQ(MsgTypeName(MsgType::kTraceDump), "trace_dump");
   EXPECT_STREQ(MsgTypeName(MsgType::kTraceCtl), "trace_ctl");
+  EXPECT_STREQ(MsgTypeName(MsgType::kQueryAsOf), "query_asof");
 }
 
 TEST(ServerProtocolTest, ResponseRoundTrip) {

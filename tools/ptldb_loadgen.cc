@@ -17,6 +17,12 @@
 // carries its session id, so a recovered store can be audited for lost or
 // duplicated acked events); `mixed` interleaves stock-price updates and
 // user events so temporal rules and the IC exercise under load.
+//
+// --probe-sql=SQL --probe-asof=T [--probe-out=PATH] additionally issues one
+// QUERY_ASOF after the load drains and writes the rendered relation to PATH
+// (stdout when omitted). The crash-recovery smoke captures the bytes before
+// kill -9 and diffs them against the recovered server's answer; --events=0
+// turns the run into a pure probe.
 
 #include <algorithm>
 #include <chrono>
@@ -235,6 +241,42 @@ int Main(int argc, char** argv) {
   double eps = secs > 0 ? static_cast<double>(ok) / secs : 0;
   double p50 = Percentile(&all, 0.50);
   double p99 = Percentile(&all, 0.99);
+
+  std::string probe_sql = flag("probe-sql", "");
+  if (!probe_sql.empty()) {
+    server::Client probe;
+    Status s = probe.Connect(static_cast<uint16_t>(port));
+    if (!s.ok()) {
+      std::fprintf(stderr, "probe connect failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    server::Request req;
+    req.type = server::MsgType::kQueryAsOf;
+    req.sql = probe_sql;
+    req.asof_time = std::atoll(flag("probe-asof", "0").c_str());
+    auto resp = probe.Call(std::move(req));
+    if (!resp.ok()) {
+      std::fprintf(stderr, "probe failed: %s\n",
+                   resp.status().ToString().c_str());
+      return 1;
+    }
+    if (resp->code != StatusCode::kOk) {
+      std::fprintf(stderr, "probe rejected: %s\n", resp->message.c_str());
+      return 1;
+    }
+    std::string probe_out = flag("probe-out", "");
+    if (probe_out.empty()) {
+      std::printf("%s", resp->text.c_str());
+    } else {
+      std::ofstream out(probe_out, std::ios::binary);
+      out << resp->text;
+      if (!out) {
+        std::fprintf(stderr, "cannot write --probe-out=%s\n",
+                     probe_out.c_str());
+        return 1;
+      }
+    }
+  }
 
   std::string latency_out = flag("latency-out", "");
   if (!latency_out.empty() && !WriteLatencyJson(latency_out, &all)) {

@@ -35,6 +35,7 @@
 #include "server/server.h"
 #include "storage/durability.h"
 #include "storage/recovery.h"
+#include "temporal/versioning.h"
 
 namespace ptldb {
 namespace {
@@ -48,6 +49,7 @@ struct World {
   SimClock clock;
   db::Database db{&clock};
   rules::RuleEngine engine{&db};
+  temporal::VersionStore temporal{&db};
 
   World() {
     PTLDB_CHECK_OK(db.CreateTable(
@@ -74,6 +76,10 @@ struct World {
     PTLDB_CHECK_OK(engine.AddTriggerFamily(
         "cheap", "SELECT name FROM stock", {"sym"}, "price(sym) < 25", noop));
     PTLDB_CHECK_OK(engine.AddIntegrityConstraint("cap", "price('IBM') <= 100"));
+    // stock is versioned from the start, so QUERY_ASOF works out of the box
+    // (ticks stays unversioned — the ingest hot path pays no archival cost).
+    // On recovery the checkpointed store replaces this empty declaration.
+    PTLDB_CHECK_OK(temporal.SetVersioned("stock"));
   }
 
   /// Initial contents; applied only on a fresh start (recovery restores the
@@ -88,6 +94,7 @@ struct World {
     t.db = &db;
     t.engine = &engine;
     t.clock = &clock;
+    t.temporal = &temporal;
     return t;
   }
 };
@@ -178,6 +185,8 @@ int Main(int argc, char** argv) {
 
   Metrics metrics;
   world.engine.SetMetrics(&metrics);
+  metrics.AddProvider(
+      [&world](Metrics& m) { world.temporal.ExportTo(m); });
 
   // The recorder is always attached so TRACE_CTL can enable recording on a
   // live server; --trace starts it enabled. Attached-but-disabled costs one
