@@ -182,6 +182,8 @@ class Shell {
           "  set fold on|off  constant-fold conditions at registration\n"
           "  lint <rule|file> static analysis: boundedness, time-bound\n"
           "                   satisfiability, dead subformulas (PTL0xx)\n"
+          "  analyze [json|dot]  whole-rule-set analysis: triggering graph,\n"
+          "                   termination, confluence partition (PTL2xx)\n"
           "  explain <rule>   retained F formulas + node accounting\n"
           "  stats [json]     engine counters (json: full metrics snapshot)\n"
           "  trace on|off|clear | trace dump|chrome|replay <file>\n"
@@ -271,6 +273,7 @@ class Shell {
     if (cmd == "trim") return CmdTrim(rest);
     if (cmd == "offline") return CmdOffline();
     if (cmd == "lint") return CmdLint(rest);
+    if (cmd == "analyze") return CmdAnalyze(rest);
     if (cmd == "durable") return CmdDurable(rest);
     if (cmd == "checkpoint") return CmdCheckpoint();
     if (cmd == "recover") return CmdRecover(rest);
@@ -807,6 +810,20 @@ class Shell {
     buf << in.rdbuf();
     ptl::FileLintResult res = ptl::LintRulesText(buf.str());
     std::printf("%s\n", res.rendered.c_str());
+    return true;
+  }
+
+  bool CmdAnalyze(const std::string& mode) {
+    const analysis::SetReport& report = engine_.AnalyzeRuleSet();
+    if (mode == "json") {
+      std::printf("%s\n", report.ToJson().Dump().c_str());
+    } else if (mode == "dot") {
+      std::printf("%s", report.ToDot().c_str());
+    } else if (mode.empty()) {
+      std::printf("%s", report.ToText().c_str());
+    } else {
+      std::printf("usage: analyze [json|dot]\n");
+    }
     return true;
   }
 

@@ -1,0 +1,71 @@
+// libFuzzer harness for the rule-set analyzer front end.
+//
+// Invariant under fuzzing: ParseRuleSetText + AnalyzeRuleSet and all three
+// renderers (text, JSON, DOT) are total — malformed rule files come back as
+// per-line rendered errors, never a crash, abort, or sanitizer report. The
+// analyzer itself must tolerate arbitrary condition shapes, effect clauses,
+// priorities, and name collisions the parser lets through.
+//
+// The decl count is capped before analysis: the triggering graph is
+// quadratic in rules, and a fuzzer-generated file of thousands of one-byte
+// lines would turn a semantic fuzz run into a perf test of the SCC pass.
+//
+// Two build modes (fuzz/CMakeLists.txt):
+//   * with clang and -DPTLDB_FUZZERS=ON: a real libFuzzer binary
+//     (-fsanitize=fuzzer,address,undefined);
+//   * everywhere else: PTLDB_FUZZ_STANDALONE defines a main() that replays
+//     files (the seed corpus) through the same entry point, so the corpus
+//     doubles as a regression test under plain compilers.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "analysis/ruleset.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  ptldb::analysis::ParsedRuleSet parsed =
+      ptldb::analysis::ParseRuleSetText(input);
+  // Error paths must have rendered cleanly (carets index into each line by
+  // the spans the PTL lexer produced); force the strings to materialize.
+  for (const std::string& e : parsed.errors) (void)e.size();
+
+  constexpr size_t kMaxDecls = 50;
+  if (parsed.decls.size() > kMaxDecls) parsed.decls.resize(kMaxDecls);
+
+  ptldb::analysis::SetReport report =
+      ptldb::analysis::AnalyzeRuleSet(std::move(parsed.decls));
+  (void)report.ToText();
+  (void)report.ToJson().Dump();
+  (void)report.ToDot();
+  for (const ptldb::analysis::RuleDecl& d : report.decls) {
+    (void)report.Find(d.name);
+  }
+  return 0;
+}
+
+#ifdef PTLDB_FUZZ_STANDALONE
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+  }
+  std::printf("ok: %d input(s) replayed\n", argc - 1);
+  return 0;
+}
+#endif

@@ -1,0 +1,80 @@
+// Declared action effects for rule registration.
+//
+// An `EffectSet` is a rule author's contract about what an action may do:
+// which relations/scalars it writes, which user events it raises, and
+// whether it vetoes commits (the integrity-constraint shape). The rule-set
+// analyzer (analysis/ruleset.h) intersects these with condition read sets to
+// build the triggering graph; the engine's runtime effect recorder validates
+// actual writes against the declaration in debug builds.
+//
+// This header is dependency-free on purpose: `rules::RuleOptions` carries an
+// `EffectSet` without pulling the analyzer into the engine's headers.
+
+#ifndef PTLDB_ANALYSIS_EFFECTS_H_
+#define PTLDB_ANALYSIS_EFFECTS_H_
+
+#include <set>
+#include <string>
+
+namespace ptldb::analysis {
+
+struct EffectSet {
+  /// Relations and scalar items the action may write (insert/update/delete).
+  std::set<std::string> writes = {};
+  /// User event names the action may raise.
+  std::set<std::string> raises = {};
+  /// The action may veto the transaction (integrity-constraint shape).
+  bool aborts = false;
+
+  bool empty() const { return writes.empty() && raises.empty() && !aborts; }
+
+  void MergeFrom(const EffectSet& o) {
+    writes.insert(o.writes.begin(), o.writes.end());
+    raises.insert(o.raises.begin(), o.raises.end());
+    aborts = aborts || o.aborts;
+  }
+
+  /// True when every effect in `o` is covered by this declaration.
+  bool Covers(const EffectSet& o) const {
+    for (const auto& w : o.writes) {
+      if (writes.count(w) == 0) return false;
+    }
+    for (const auto& r : o.raises) {
+      if (raises.count(r) == 0) return false;
+    }
+    return aborts || !o.aborts;
+  }
+
+  bool operator==(const EffectSet& o) const {
+    return writes == o.writes && raises == o.raises && aborts == o.aborts;
+  }
+
+  /// "writes(a, b) raises(e) abort" — "pure" when empty.
+  std::string ToString() const {
+    if (empty()) return "pure";
+    std::string out;
+    auto list = [&out](const char* label, const std::set<std::string>& xs) {
+      if (xs.empty()) return;
+      if (!out.empty()) out.push_back(' ');
+      out.append(label).push_back('(');
+      bool first = true;
+      for (const auto& x : xs) {
+        if (!first) out.append(", ");
+        first = false;
+        out.append(x);
+      }
+      out.push_back(')');
+    };
+    list("writes", writes);
+    list("raises", raises);
+    if (aborts) {
+      if (!out.empty()) out.push_back(' ');
+      out.append("abort");
+    }
+    return out;
+  }
+};
+
+}  // namespace ptldb::analysis
+
+#endif  // PTLDB_ANALYSIS_EFFECTS_H_

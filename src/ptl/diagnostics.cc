@@ -45,6 +45,13 @@ const char* DiagCodeSummary(DiagCode code) {
       return "condition is constant false: the rule can never fire";
     case DiagCode::kAlwaysFires:
       return "condition is constant true: the rule fires on every state";
+    case DiagCode::kRuleCycle:
+      return "triggering cycle whose termination cannot be proved";
+    case DiagCode::kRuleCycleBounded:
+      return "triggering cycle proved terminating by a finite time bound";
+    case DiagCode::kUndeclaredEffects:
+      return "action effects undeclared: analysis assumes it may write "
+             "anything";
   }
   return "?";
 }
@@ -55,14 +62,28 @@ Severity DiagCodeSeverity(DiagCode code) {
     case DiagCode::kNeverFires:
       return Severity::kError;
     case DiagCode::kConstantSubformula:
+    case DiagCode::kRuleCycleBounded:
+    case DiagCode::kUndeclaredEffects:
       return Severity::kNote;
     case DiagCode::kUnboundedRetained:
     case DiagCode::kContradictoryBound:
     case DiagCode::kTautologicalBound:
     case DiagCode::kAlwaysFires:
+    case DiagCode::kRuleCycle:
       return Severity::kWarning;
   }
   return Severity::kWarning;
+}
+
+const std::vector<DiagCode>& AllDiagCodes() {
+  static const std::vector<DiagCode> kCodes = {
+      DiagCode::kParseError,         DiagCode::kUnboundedRetained,
+      DiagCode::kContradictoryBound, DiagCode::kTautologicalBound,
+      DiagCode::kConstantSubformula, DiagCode::kNeverFires,
+      DiagCode::kAlwaysFires,        DiagCode::kRuleCycle,
+      DiagCode::kRuleCycleBounded,   DiagCode::kUndeclaredEffects,
+  };
+  return kCodes;
 }
 
 std::string RenderCaret(std::string_view source, SourceSpan span) {
@@ -82,6 +103,19 @@ std::string RenderCaret(std::string_view source, SourceSpan span) {
   out.push_back('^');
   out.append(len - 1, '~');
   return out;
+}
+
+json::Json DiagnosticToJson(const Diagnostic& d) {
+  json::Json j = json::Json::Object();
+  j.Set("code", json::Json::Str(DiagCodeName(d.code)));
+  j.Set("severity", json::Json::Str(SeverityToString(d.severity)));
+  j.Set("message", json::Json::Str(d.message));
+  if (d.span.valid()) {
+    j.Set("span", json::Json::Object()
+                      .Set("begin", json::Json::UInt(d.span.begin))
+                      .Set("end", json::Json::UInt(d.span.end)));
+  }
+  return j;
 }
 
 std::string RenderDiagnostic(const Diagnostic& d, std::string_view source) {

@@ -20,6 +20,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/json.h"
+
 namespace ptldb::ptl {
 
 /// Half-open byte range [begin, end) into a source string. A default
@@ -37,7 +39,9 @@ enum class Severity { kNote, kWarning, kError };
 const char* SeverityToString(Severity s);
 
 /// Stable diagnostic codes. Codes are append-only: renumbering would break
-/// golden tests and any downstream tooling keyed on them.
+/// golden tests and any downstream tooling keyed on them. The 0xx block is
+/// per-rule (lexer/parser/linter); the 2xx block is whole-rule-set analysis
+/// (analysis::AnalyzeRuleSet over the triggering graph).
 enum class DiagCode {
   kParseError = 0,         // PTL000: syntax error (lexer/parser)
   kUnboundedRetained = 1,  // PTL001: retained state grows with history
@@ -46,7 +50,14 @@ enum class DiagCode {
   kConstantSubformula = 4, // PTL004: constant subformula folded out
   kNeverFires = 5,         // PTL005: whole condition is constant false
   kAlwaysFires = 6,        // PTL006: whole condition is constant true
+  kRuleCycle = 200,        // PTL200: triggering cycle, termination unproven
+  kRuleCycleBounded = 201, // PTL201: triggering cycle proved terminating
+  kUndeclaredEffects = 202,// PTL202: action effects undeclared (worst case)
 };
+
+/// The codes `ptldb-lint --codes` / docs enumerate, in numeric order. The
+/// enum is sparse (0xx vs 2xx blocks), so tools must not iterate the range.
+const std::vector<DiagCode>& AllDiagCodes();
 
 /// "PTL001", "PTL002", ... (stable, zero-padded to three digits).
 std::string DiagCodeName(DiagCode code);
@@ -74,6 +85,11 @@ std::string RenderCaret(std::string_view source, SourceSpan span);
 /// "PTL002 warning: <message>" plus, when `source` is non-empty and the span
 /// is valid, the caret rendering on following lines.
 std::string RenderDiagnostic(const Diagnostic& d, std::string_view source);
+
+/// Machine-readable form shared by `ptldb-lint --json` and `ptldb-analyze
+/// --json`: {"code": "PTL002", "severity": "warning", "message": ...,
+/// "span": {"begin": B, "end": E}} (span omitted when invalid).
+json::Json DiagnosticToJson(const Diagnostic& d);
 
 }  // namespace ptldb::ptl
 

@@ -1022,9 +1022,16 @@ FileLintResult LintRulesText(std::string_view text, const LintOptions& opts) {
     std::string label =
         name.empty() ? StrCat("<line ", line_no, ">") : name;
 
+    FileLintResult::RuleLint entry_rec;
+    entry_rec.name = label;
+    entry_rec.line = line_no;
+    entry_rec.condition = std::string(cond);
+
     Result<FormulaPtr> parsed = ParseFormula(cond);
     if (!parsed.ok()) {
       ++out.errors;
+      entry_rec.parse_error = parsed.status().message();
+      out.entries.push_back(std::move(entry_rec));
       rendered.push_back(StrCat(
           label, " (line ", line_no, "): parse failed\n",
           Indent(StrCat(DiagCodeName(DiagCode::kParseError), " error: ",
@@ -1035,6 +1042,8 @@ FileLintResult LintRulesText(std::string_view text, const LintOptions& opts) {
     out.errors += rep.Count(Severity::kError);
     out.warnings += rep.Count(Severity::kWarning);
     if (rep.boundedness == Boundedness::kUnbounded) ++out.unbounded;
+    entry_rec.report = rep;
+    out.entries.push_back(std::move(entry_rec));
     std::string entry =
         StrCat(label, " (line ", line_no,
                "): boundedness: ", BoundednessToString(rep.boundedness), ", ",

@@ -93,7 +93,19 @@ LintReport LintFormula(const FormulaPtr& f, const LintOptions& opts = {});
 /// keyword before the name is accepted (and ignored) so trigger definitions
 /// paste directly.
 struct FileLintResult {
+  /// One structured entry per rule line, for machine-readable output
+  /// (`ptldb-lint --json`). `parse_error` is non-empty when the condition
+  /// failed to parse (and `report` is empty).
+  struct RuleLint {
+    std::string name;       // declared name or "<line N>"
+    size_t line = 0;        // 1-based line number in the input
+    std::string condition;  // condition source text (diagnostic spans)
+    std::string parse_error;
+    LintReport report;
+  };
+
   std::string rendered;
+  std::vector<RuleLint> entries;
   size_t rules = 0;
   size_t errors = 0;    // parse errors + error-severity diagnostics
   size_t warnings = 0;

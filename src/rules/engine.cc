@@ -156,6 +156,19 @@ void RuleEngine::RefreshDerivedMetrics(Metrics& m) {
   }
   m.gauge("lint.unbounded_rules").Set(unbounded_rules);
   m.gauge("lint.folded_nodes").Set(folded_nodes);
+  {
+    // Rule-set analysis certificates (cached; recomputed only after the
+    // population changed).
+    const analysis::SetReport& rep = AnalyzeRuleSet();
+    m.gauge("analysis.edges").Set(static_cast<int64_t>(rep.edges.size()));
+    m.gauge("analysis.partitions").Set(static_cast<int64_t>(rep.partitions));
+    m.gauge("analysis.commutative_rules")
+        .Set(static_cast<int64_t>(rep.commutative_rules));
+    m.gauge("analysis.flagged_cycles")
+        .Set(static_cast<int64_t>(rep.flagged_cycles));
+    m.gauge("analysis.proven_cycles")
+        .Set(static_cast<int64_t>(rep.proven_cycles));
+  }
   m.gauge("engine.instances").Set(static_cast<int64_t>(instances));
   m.gauge("evaluator.live_nodes").Set(static_cast<int64_t>(live));
   m.gauge("evaluator.store_nodes").Set(static_cast<int64_t>(store));
@@ -337,6 +350,10 @@ Status RuleEngine::AddRuleInternal(std::string name, ptl::FormulaPtr condition,
   if (rule_index_.count(name) > 0) {
     return Status::AlreadyExists(StrCat("rule '", name, "' already exists"));
   }
+  // Any mutation attempt invalidates the cached rule-set analysis, even on
+  // failure paths (the aggregate rewrite may have registered system rules
+  // before a later step failed).
+  set_report_dirty_ = true;
 
   // Static analysis runs before the aggregate rewrite, so strict rejection
   // leaves no generated system rules or auxiliary tables behind, and folding
@@ -399,6 +416,26 @@ Status RuleEngine::AddRuleInternal(std::string name, ptl::FormulaPtr condition,
   rule_index_.emplace(rule->name, rules_.size());
   rules_.push_back(std::move(rule));
   RebuildEventIndex();
+
+  // Strict registration, rule-set tier: reject a rule whose addition closes
+  // a triggering cycle the termination analysis cannot prove finite. The
+  // rule (and any system rules its rewrite generated) is rolled back so
+  // strict mode never leaves a flagged population behind.
+  if (strict_registration_) {
+    const analysis::SetReport& report = AnalyzeRuleSet();
+    const analysis::RuleReport* rr = report.Find(name);
+    if (rr != nullptr && rr->in_flagged_cycle) {
+      std::vector<std::string> rendered;
+      for (const ptl::Diagnostic& d : rr->diagnostics) {
+        if (d.code == ptl::DiagCode::kRuleCycle) rendered.push_back(d.message);
+      }
+      PTLDB_CHECK_OK(RemoveRule(name));
+      return Status::InvalidArgument(StrCat(
+          "rule '", name, "' rejected by strict registration (",
+          ptl::DiagCodeName(ptl::DiagCode::kRuleCycle),
+          " unproven triggering cycle): ", Join(rendered, "; ")));
+    }
+  }
   return Status::OK();
 }
 
@@ -511,6 +548,7 @@ Status RuleEngine::RemoveRule(const std::string& name) {
   }
   // Deferred steps hold instance pointers; evaluate them before removal.
   PTLDB_RETURN_IF_ERROR(Flush());
+  set_report_dirty_ = true;
   auto it = rule_index_.find(name);
   if (it == rule_index_.end()) {
     return Status::NotFound(StrCat("no rule named '", name, "'"));
@@ -531,6 +569,80 @@ Status RuleEngine::RemoveRule(const std::string& name) {
   }
   RebuildEventIndex();
   return Status::OK();
+}
+
+// ---- Whole-rule-set static analysis -----------------------------------------
+
+std::vector<analysis::RuleDecl> RuleEngine::BuildRuleDecls() const {
+  std::vector<analysis::RuleDecl> decls;
+  decls.reserve(rules_.size());
+  for (const auto& rule : rules_) {
+    analysis::RuleDecl d;
+    d.name = rule->name;
+    d.condition = rule->condition;
+    d.source = rule->source;
+    d.is_ic = rule->is_ic;
+    d.is_system = rule->is_system;
+    d.level_triggered = rule->options.level_triggered;
+    d.priority = rule->options.priority;
+    d.boundedness = rule->lint.boundedness;
+    // Execution is only recorded for actions that actually run.
+    d.record_execution = !rule->is_ic && !rule->is_system &&
+                         rule->action != nullptr &&
+                         rule->options.record_execution;
+    if (rule->is_system) {
+      // Generated reset/accumulate rules write exactly their aggregate item.
+      d.effects.writes.insert(rule->sys_item);
+      d.effects_declared = true;
+    } else if (rule->options.effects.has_value()) {
+      d.effects = *rule->options.effects;
+      d.effects_declared = true;
+    } else if (rule->action == nullptr) {
+      // No action at all (ICs, observe-only triggers): provably effect-free.
+      d.effects_declared = true;
+    }
+    decls.push_back(std::move(d));
+  }
+  return decls;
+}
+
+const analysis::SetReport& RuleEngine::AnalyzeRuleSet() const {
+  if (set_report_dirty_ || !set_report_.has_value()) {
+    analysis::AnalyzeOptions opts;
+    opts.tables_of = [this](const std::string& query) {
+      return registry_.ScannedTables(query);
+    };
+    set_report_ = analysis::AnalyzeRuleSet(BuildRuleDecls(), opts);
+    set_report_dirty_ = false;
+  }
+  return *set_report_;
+}
+
+std::vector<std::pair<std::string, std::string>> RuleEngine::TakeCascades() {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.swap(cascades_);
+  return out;
+}
+
+void RuleEngine::AttributeStateToAction(const event::SystemState& state) {
+  analysis::EffectSet& observed = action_frames_.back().observed;
+  for (const event::Event& e : state.events) {
+    if (e.name == event::kInsertEvent || e.name == event::kDeleteEvent ||
+        e.name == event::kUpdateEvent) {
+      if (!e.params.empty() && e.params[0].is_string()) {
+        const std::string table = e.params[0].AsString();
+        // The __executed append is the engine's own (derived) effect.
+        if (table != kExecutedTable) observed.writes.insert(table);
+      }
+    } else if (e.name == event::kRuleExecutedEvent ||
+               e.name == event::kBeginEvent ||
+               e.name == event::kAttemptsToCommitEvent ||
+               e.name == event::kCommitEvent || e.name == event::kAbortEvent) {
+      // Derived (@executed) or transaction control — not action effects.
+    } else {
+      observed.raises.insert(e.name);
+    }
+  }
 }
 
 std::vector<Firing> RuleEngine::TakeFirings() {
@@ -873,6 +985,12 @@ void RuleEngine::ProcessState(const event::SystemState& state) {
   ++dispatch_depth_;
   ++stats_.states_processed;
   MetricAdd(ins_.states_processed);
+  // Effect recorder: a state appended while an action is on the dispatch
+  // stack is that action's doing — charge its row events and raised events
+  // to the innermost frame for validation against the declaration.
+  if (validate_effects_ && !action_frames_.empty()) {
+    AttributeStateToAction(state);
+  }
   const bool tracing = trace_ != nullptr && trace_->enabled();
   trace::ScopedSpan update_span(
       trace_, trace::SpanKind::kUpdate,
@@ -1062,6 +1180,14 @@ void RuleEngine::RunPendingActions(std::vector<PendingAction> pending) {
       }
       continue;
     }
+    // Cascade ground truth: this action was reached while another rule's
+    // action was still running — the static triggering graph must carry the
+    // corresponding edge (property-tested against TakeCascades()).
+    if (track_cascades_ && !action_frames_.empty()) {
+      cascades_.emplace_back(action_frames_.back().rule->name, pa.rule->name);
+    }
+    const bool recording = validate_effects_ || track_cascades_;
+    if (recording) action_frames_.push_back(ActionFrame{pa.rule, {}});
     ActionContext ctx(database_, pa.rule->name, &pa.instance->params,
                       pa.fired_at);
     Status s;
@@ -1071,14 +1197,27 @@ void RuleEngine::RunPendingActions(std::vector<PendingAction> pending) {
                                     pa.rule->name);
       s = pa.rule->action(ctx);
     }
+    if (s.ok() && pa.rule->options.record_execution) {
+      Status rec = RecordExecution(*pa.rule, *pa.instance, pa.fired_at);
+      if (!rec.ok()) ReportError(std::move(rec));
+    }
+    if (recording) {
+      analysis::EffectSet observed = std::move(action_frames_.back().observed);
+      action_frames_.pop_back();
+      if (validate_effects_ && s.ok() &&
+          pa.rule->options.effects.has_value() &&
+          !pa.rule->options.effects->Covers(observed)) {
+        internal::CheckFailed(
+            __FILE__, __LINE__,
+            StrCat("rule '", pa.rule->name,
+                   "': action exceeded its declared effects: declared ",
+                   pa.rule->options.effects->ToString(), ", observed ",
+                   observed.ToString()));
+      }
+    }
     if (!s.ok()) {
       ReportError(Status(s.code(), StrCat("action of rule '", pa.rule->name,
                                           "' failed: ", s.message())));
-      continue;
-    }
-    if (pa.rule->options.record_execution) {
-      Status rec = RecordExecution(*pa.rule, *pa.instance, pa.fired_at);
-      if (!rec.ok()) ReportError(std::move(rec));
     }
   }
 }
@@ -1271,6 +1410,23 @@ Result<std::string> RuleEngine::Explain(const std::string& name) const {
       << "  lint: " << rule.lint.diagnostics.size() << " diagnostic"
       << (rule.lint.diagnostics.size() == 1 ? "" : "s") << ", "
       << rule.lint.folded_nodes << " nodes folded\n";
+  const analysis::SetReport& report = AnalyzeRuleSet();
+  const analysis::RuleReport* rr = report.Find(rule.name);
+  if (rr != nullptr) {
+    out << "effects: "
+        << (rr->effects_declared ? rr->effects.ToString() : "undeclared")
+        << "\n";
+    out << "confluence: partition " << rr->partition;
+    if (rr->commutative) {
+      out << "  [certified batching-commutative]";
+    } else if (!rr->commutative_reason.empty()) {
+      out << "  (not commutative: " << rr->commutative_reason << ")";
+    }
+    out << "\n";
+    if (rr->in_flagged_cycle) {
+      out << "termination: member of an UNPROVEN triggering cycle (PTL200)\n";
+    }
+  }
   out << "fires: " << rule.fires
       << "  instances: " << rule.instances.size() << "\n";
   for (const auto& instance : rule.instances) {
@@ -1315,6 +1471,22 @@ Status RuleEngine::SerializeRetainedState(codec::Writer* w) const {
     w->Str(rule->condition->ToString());
     w->Bool(rule->is_family);
     w->U64(rule->fires);
+    // The registration-time lint report travels with the retained state:
+    // the restoring process re-registers the *folded* condition (that is
+    // what the dump validates against), so re-linting there would lose the
+    // diagnostics and fold accounting of the original registration.
+    // Lint/Describe/Explain must not change their answers across a restore.
+    w->U8(static_cast<uint8_t>(rule->lint.boundedness));
+    w->U64(rule->lint.folded_nodes);
+    w->Str(rule->source);
+    w->U32(static_cast<uint32_t>(rule->lint.diagnostics.size()));
+    for (const ptl::Diagnostic& d : rule->lint.diagnostics) {
+      w->U32(static_cast<uint32_t>(d.code));
+      w->U8(static_cast<uint8_t>(d.severity));
+      w->Str(d.message);
+      w->U64(d.span.begin);
+      w->U64(d.span.end);
+    }
     w->U32(static_cast<uint32_t>(rule->instances.size()));
     for (const auto& instance : rule->instances) {
       w->Str(instance->params_key);
@@ -1355,6 +1527,31 @@ Status RuleEngine::RestoreRetainedState(codec::Reader* r) {
     PTLDB_ASSIGN_OR_RETURN(std::string condition, r->Str());
     PTLDB_ASSIGN_OR_RETURN(bool is_family, r->Bool());
     PTLDB_ASSIGN_OR_RETURN(uint64_t fires, r->U64());
+    PTLDB_ASSIGN_OR_RETURN(uint8_t boundedness, r->U8());
+    if (boundedness > static_cast<uint8_t>(ptl::Boundedness::kUnbounded)) {
+      return Status::ParseError(
+          StrCat("rule '", name, "': bad boundedness class in checkpoint"));
+    }
+    PTLDB_ASSIGN_OR_RETURN(uint64_t folded_nodes, r->U64());
+    PTLDB_ASSIGN_OR_RETURN(std::string source, r->Str());
+    PTLDB_ASSIGN_OR_RETURN(uint32_t num_diags, r->U32());
+    std::vector<ptl::Diagnostic> diagnostics;
+    diagnostics.reserve(num_diags);
+    for (uint32_t d = 0; d < num_diags; ++d) {
+      ptl::Diagnostic diag;
+      PTLDB_ASSIGN_OR_RETURN(uint32_t code, r->U32());
+      diag.code = static_cast<ptl::DiagCode>(code);
+      PTLDB_ASSIGN_OR_RETURN(uint8_t severity, r->U8());
+      if (severity > static_cast<uint8_t>(ptl::Severity::kError)) {
+        return Status::ParseError(
+            StrCat("rule '", name, "': bad diagnostic severity in checkpoint"));
+      }
+      diag.severity = static_cast<ptl::Severity>(severity);
+      PTLDB_ASSIGN_OR_RETURN(diag.message, r->Str());
+      PTLDB_ASSIGN_OR_RETURN(diag.span.begin, r->U64());
+      PTLDB_ASSIGN_OR_RETURN(diag.span.end, r->U64());
+      diagnostics.push_back(std::move(diag));
+    }
     PTLDB_ASSIGN_OR_RETURN(uint32_t num_instances, r->U32());
     auto it = rule_index_.find(name);
     if (it == rule_index_.end()) {
@@ -1377,6 +1574,14 @@ Status RuleEngine::RestoreRetainedState(codec::Reader* r) {
                  "`"));
     }
     rule->fires = fires;
+    // Reinstate the original registration's lint verdict and source text
+    // (the folded condition registered here lints clean — see the
+    // serialization comment). `lint.folded` stays as registered: it is the
+    // live condition, not a report artifact.
+    rule->lint.boundedness = static_cast<ptl::Boundedness>(boundedness);
+    rule->lint.folded_nodes = folded_nodes;
+    rule->lint.diagnostics = std::move(diagnostics);
+    rule->source = std::move(source);
     for (uint32_t j = 0; j < num_instances; ++j) {
       PTLDB_ASSIGN_OR_RETURN(std::string params_key, r->Str());
       PTLDB_ASSIGN_OR_RETURN(uint32_t num_params, r->U32());

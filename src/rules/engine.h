@@ -39,9 +39,11 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "agg/rewriter.h"
+#include "analysis/ruleset.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -85,6 +87,16 @@ struct RuleOptions {
   /// still true (the engine cuts such loops off at a depth limit and reports
   /// an error). Integrity constraints always veto at every violating commit.
   bool level_triggered = false;
+
+  /// Declared action effects (analysis/ruleset.h): the relations the action
+  /// writes, the events it raises. Feeds the whole-rule-set triggering graph
+  /// — an undeclared action is analyzed as a worst-case writer (PTL202) that
+  /// edges into every rule. Declarations are trusted by the analyzer and
+  /// therefore validated at runtime while effect validation is on (debug
+  /// default): an action observed writing or raising outside its declaration
+  /// aborts the process. The `__executed` write and `@executed` raise of
+  /// record_execution are derived automatically — do not declare them.
+  std::optional<analysis::EffectSet> effects = std::nullopt;
 };
 
 /// Everything an action may consult when it runs.
@@ -253,7 +265,45 @@ class RuleEngine : public db::Database::Listener {
 
   /// The registration-time lint report of one rule, rendered with carets
   /// into the rule's source text (when it was registered from text).
+  /// RestoreRetainedState overwrites the stored report with the one
+  /// persisted at original registration, so the rendering is stable across
+  /// a checkpoint/restore even when the restoring process registered an
+  /// already-folded condition.
   Result<std::string> Lint(const std::string& name) const;
+
+  // ---- Whole-rule-set static analysis (analysis/ruleset.h) ----
+
+  /// Analyzes the registered population: declared/derived action effects,
+  /// the triggering graph (edges where one rule's effects intersect
+  /// another's condition read set), termination verdicts over its cycles
+  /// (PTL200 flagged / PTL201 proven), and the confluence partition with
+  /// batching-commutativity certificates. Query symbols resolve to the
+  /// relations their registered plans scan; family conditions are analyzed
+  /// with their parameters free (the read-set walk ignores them). The
+  /// report is cached and recomputed after the rule set changes.
+  ///
+  /// Under strict registration (SetStrictRegistration) a rule whose
+  /// addition creates a flagged cycle — one the termination analysis cannot
+  /// prove finite — is rolled back and rejected with InvalidArgument, in
+  /// addition to the per-rule lint bar.
+  const analysis::SetReport& AnalyzeRuleSet() const;
+
+  /// Runtime validation of declared action effects: while on, every state
+  /// appended during an action is attributed to the innermost running
+  /// action, and when a rule that declared effects finishes, the observed
+  /// writes/raises are CHECKed against the declaration — the process aborts
+  /// on a lie, because a wrong declaration silently poisons the triggering
+  /// graph. On by default in debug builds (assert-style), off in NDEBUG.
+  void SetEffectValidation(bool on) { validate_effects_ = on; }
+  bool effect_validation() const { return validate_effects_; }
+
+  /// Cascade tracking: while on, records a (triggering rule, fired rule)
+  /// pair whenever an action runs with another rule's action on the
+  /// dispatch stack — the runtime ground truth the triggering graph must
+  /// over-approximate (property-tested). Off by default.
+  void SetCascadeTracking(bool on) { track_cascades_ = on; }
+  /// Recorded cascade pairs since the last call.
+  std::vector<std::pair<std::string, std::string>> TakeCascades();
 
   // ---- §5 query history (auxiliary relations) ----
 
@@ -558,6 +608,12 @@ class RuleEngine : public db::Database::Listener {
   /// Provider callback: refreshes derived gauges at snapshot time.
   void RefreshDerivedMetrics(Metrics& m);
 
+  /// Maps the registered population to analyzer inputs (AnalyzeRuleSet).
+  std::vector<analysis::RuleDecl> BuildRuleDecls() const;
+  /// Charges `state`'s events to the innermost running action's observed
+  /// effect set (effect validation / cascade attribution).
+  void AttributeStateToAction(const event::SystemState& state);
+
   db::Database* database_;
   QueryRegistry registry_;
   std::vector<std::unique_ptr<Rule>> rules_;  // registration order
@@ -596,6 +652,28 @@ class RuleEngine : public db::Database::Listener {
   // Static analysis at registration (see SetStrictRegistration).
   bool strict_registration_ = false;
   bool lint_folding_ = true;
+
+  // Whole-rule-set analysis cache; dirtied by registration changes and
+  // rebuilt lazily on AnalyzeRuleSet() (also from const paths: Explain,
+  // the metrics provider).
+  mutable std::optional<analysis::SetReport> set_report_;
+  mutable bool set_report_dirty_ = true;
+
+  // Runtime effect recorder (see SetEffectValidation/SetCascadeTracking).
+  // One frame per action currently on the dispatch stack; states appended
+  // while a frame is live are attributed to the innermost one.
+  struct ActionFrame {
+    const Rule* rule;
+    analysis::EffectSet observed;
+  };
+  std::vector<ActionFrame> action_frames_;
+#ifdef NDEBUG
+  bool validate_effects_ = false;
+#else
+  bool validate_effects_ = true;
+#endif
+  bool track_cascades_ = false;
+  std::vector<std::pair<std::string, std::string>> cascades_;
 
   /// Builds the JSONL provenance record for one stepped instance. `fired` is
   /// the post-edge-trigger verdict (whether the action actually runs);

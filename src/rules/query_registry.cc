@@ -1,5 +1,6 @@
 #include "rules/query_registry.h"
 
+#include <set>
 #include <utility>
 
 #include "common/strings.h"
@@ -118,6 +119,27 @@ Result<db::Relation> QueryRegistry::EvalRelation(
   PTLDB_ASSIGN_OR_RETURN(db::ParamMap params,
                          BindArgs(it->second, args, name));
   return database_->Query(it->second.plan, &params);
+}
+
+namespace {
+void CollectScans(const db::QueryPtr& q, std::set<std::string>* out) {
+  if (q == nullptr) return;
+  if (q->kind == db::Query::Kind::kScan) out->insert(q->table);
+  CollectScans(q->input, out);
+  CollectScans(q->right, out);
+}
+}  // namespace
+
+std::vector<std::string> QueryRegistry::ScannedTables(
+    const std::string& name) const {
+  auto it = sql_queries_.find(name);
+  if (it != sql_queries_.end()) {
+    std::set<std::string> tables;
+    CollectScans(it->second.plan, &tables);
+    return {tables.begin(), tables.end()};
+  }
+  if (computed_.count(name) > 0) return {name};
+  return {};
 }
 
 }  // namespace ptldb::rules

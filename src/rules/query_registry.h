@@ -67,6 +67,15 @@ class QueryRegistry {
   Result<db::Relation> EvalRelation(const std::string& name,
                                     const std::vector<Value>& args) const;
 
+  /// The tables a registered SQL query's plan scans (sorted, deduplicated) —
+  /// the read footprint the rule-set analyzer charges to conditions using
+  /// the symbol. A computed query closes over live state the registry cannot
+  /// see into; its own name is returned as an opaque resource label (the
+  /// aggregate-rewrite items follow this convention: the computed query
+  /// `__agg_r_0` reads the single-row table `__agg_r_0`). Unknown names
+  /// yield an empty vector.
+  std::vector<std::string> ScannedTables(const std::string& name) const;
+
  private:
   struct SqlQuery {
     db::QueryPtr plan;

@@ -1,0 +1,372 @@
+// Engine-level tests for the whole-rule-set analyzer (analysis/ruleset.h):
+// triggering-graph construction over declared effects, termination verdicts
+// on seeded trigger loops, strict-mode rejection of unprovable cycles, the
+// runtime effect recorder, and the over-approximation property the graph
+// must satisfy: every runtime-observed cascade is an analyzer edge.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/ruleset.h"
+#include "common/logging.h"
+#include "db/database.h"
+#include "event/event.h"
+#include "formula_gen.h"
+#include "ptl/diagnostics.h"
+#include "rules/engine.h"
+#include "testutil.h"
+
+namespace ptldb::rules {
+namespace {
+
+using analysis::EffectSet;
+
+ActionFn Noop() {
+  return [](ActionContext&) -> Status { return Status::OK(); };
+}
+
+ActionFn RaiseAction(std::string event_name) {
+  return [event_name = std::move(event_name)](ActionContext& ctx) -> Status {
+    return ctx.database().RaiseEvent(event::Event{event_name, {}});
+  };
+}
+
+bool HasDiag(const analysis::RuleReport& r, ptl::DiagCode code) {
+  for (const ptl::Diagnostic& d : r.diagnostics) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  AnalysisTest() : db_(&clock_), engine_(&db_) {
+    PTLDB_CHECK_OK(db_.CreateTable(
+        "data",
+        db::Schema({{"k", ValueType::kString}, {"v", ValueType::kInt64}}),
+        {"k"}));
+    PTLDB_CHECK_OK(db_.InsertRow("data", {Value::Str("q0"), Value::Int(5)}));
+    PTLDB_CHECK_OK(db_.InsertRow("data", {Value::Str("q1"), Value::Int(7)}));
+    PTLDB_CHECK_OK(engine_.queries().Register(
+        "q0", "SELECT v FROM data WHERE k = 'q0'"));
+    PTLDB_CHECK_OK(engine_.queries().Register(
+        "q1", "SELECT v FROM data WHERE k = 'q1'"));
+  }
+
+  // Options for a rule whose action only raises `event_name`.
+  static RuleOptions Raiser(const std::string& event_name) {
+    RuleOptions o;
+    o.record_execution = false;
+    o.effects = EffectSet{.raises = {event_name}};
+    return o;
+  }
+
+  static RuleOptions Pure() {
+    RuleOptions o;
+    o.record_execution = false;
+    o.effects = EffectSet{};
+    return o;
+  }
+
+  // Edge list by rule name.
+  static std::set<std::pair<std::string, std::string>> EdgeNames(
+      const analysis::SetReport& rep) {
+    std::set<std::pair<std::string, std::string>> out;
+    for (const analysis::Edge& e : rep.edges) {
+      out.insert({rep.decls[e.from].name, rep.decls[e.to].name});
+    }
+    return out;
+  }
+
+  void ExpectNoErrors() {
+    for (const Status& s : engine_.TakeErrors()) {
+      ADD_FAILURE() << s.ToString();
+    }
+  }
+
+  SimClock clock_;
+  db::Database db_;
+  RuleEngine engine_;
+};
+
+TEST_F(AnalysisTest, TwoRuleEventLoopFlaggedAsUnprovableCycle) {
+  // The ISSUE's seeded loop: ping fires on @pong_ev and raises ping_ev;
+  // pong fires on @ping_ev and raises pong_ev. No time bound cuts either
+  // edge, so the cascade could run forever.
+  ASSERT_OK(engine_.AddTrigger("ping", "@pong_ev", RaiseAction("ping_ev"),
+                               Raiser("ping_ev")));
+  ASSERT_OK(engine_.AddTrigger("pong", "@ping_ev", RaiseAction("pong_ev"),
+                               Raiser("pong_ev")));
+  const analysis::SetReport& rep = engine_.AnalyzeRuleSet();
+  EXPECT_EQ(rep.flagged_cycles, 1u);
+  EXPECT_EQ(rep.proven_cycles, 0u);
+  auto edges = EdgeNames(rep);
+  EXPECT_TRUE(edges.count({"ping", "pong"}));
+  EXPECT_TRUE(edges.count({"pong", "ping"}));
+  for (const char* name : {"ping", "pong"}) {
+    const analysis::RuleReport* rr = rep.Find(name);
+    ASSERT_NE(rr, nullptr) << name;
+    EXPECT_TRUE(rr->in_flagged_cycle) << name;
+    EXPECT_TRUE(HasDiag(*rr, ptl::DiagCode::kRuleCycle)) << name;
+    // Declared effects: no PTL202.
+    EXPECT_FALSE(HasDiag(*rr, ptl::DiagCode::kUndeclaredEffects)) << name;
+  }
+}
+
+TEST_F(AnalysisTest, StrictRegistrationRejectsCycleClosingRule) {
+  engine_.SetStrictRegistration(true);
+  // The first half of the loop is fine on its own.
+  int ping_fired = 0;
+  ASSERT_OK(engine_.AddTrigger(
+      "ping", "@pong_ev",
+      [&ping_fired](ActionContext& ctx) -> Status {
+        ++ping_fired;
+        return ctx.database().RaiseEvent(event::Event{"ping_ev", {}});
+      },
+      Raiser("ping_ev")));
+  // Closing the loop is rejected and rolled back.
+  Status s = engine_.AddTrigger("pong", "@ping_ev", RaiseAction("pong_ev"),
+                                Raiser("pong_ev"));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("PTL200"), std::string::npos) << s.ToString();
+  std::vector<std::string> names = engine_.RuleNames();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "pong"), 0);
+  EXPECT_EQ(engine_.AnalyzeRuleSet().flagged_cycles, 0u);
+  // The surviving rule still evaluates.
+  clock_.Advance(1);
+  ASSERT_OK(db_.RaiseEvent(event::Event{"pong_ev", {}}));
+  EXPECT_EQ(ping_fired, 1);
+  ExpectNoErrors();
+}
+
+TEST_F(AnalysisTest, FiniteTimeBoundProvesTheLoopTerminates) {
+  // Same loop, but both conditions carry a conjunctive `time < 100` guard:
+  // timestamps strictly increase along the history, so only finitely many
+  // states can satisfy either condition and the cascade must die out.
+  // Strict registration accepts the pair.
+  engine_.SetStrictRegistration(true);
+  ASSERT_OK(engine_.AddTrigger("ping", "@pong_ev AND time < 100",
+                               RaiseAction("ping_ev"), Raiser("ping_ev")));
+  ASSERT_OK(engine_.AddTrigger("pong", "@ping_ev AND time < 100",
+                               RaiseAction("pong_ev"), Raiser("pong_ev")));
+  const analysis::SetReport& rep = engine_.AnalyzeRuleSet();
+  EXPECT_EQ(rep.flagged_cycles, 0u);
+  EXPECT_EQ(rep.proven_cycles, 1u);
+  for (const char* name : {"ping", "pong"}) {
+    const analysis::RuleReport* rr = rep.Find(name);
+    ASSERT_NE(rr, nullptr) << name;
+    EXPECT_FALSE(rr->in_flagged_cycle) << name;
+    EXPECT_TRUE(HasDiag(*rr, ptl::DiagCode::kRuleCycleBounded)) << name;
+  }
+  // Both edges are cut.
+  for (const analysis::Edge& e : rep.edges) {
+    EXPECT_TRUE(e.cut) << rep.decls[e.from].name << " -> "
+                       << rep.decls[e.to].name;
+  }
+}
+
+TEST_F(AnalysisTest, WriteEffectEdgesIntoQueryReadSet) {
+  // writer's declared writes(data) must edge into a condition reading q0,
+  // whose registered plan scans `data` — the query-symbol resolution path.
+  engine_.SetEffectValidation(true);
+  engine_.SetCascadeTracking(true);
+  RuleOptions w = Pure();
+  w.effects = EffectSet{.writes = {"data"}};
+  ASSERT_OK(engine_.AddTrigger(
+      "writer", "@go",
+      [](ActionContext& ctx) -> Status {
+        db::ParamMap params{{"p", Value::Int(20)}};
+        return ctx.database()
+            .UpdateRows("data", {{"v", "$p"}}, "k = 'q0'", &params)
+            .status();
+      },
+      w));
+  ASSERT_OK(engine_.AddTriggerFormula(
+      "reader",
+      ptl::Compare(ptl::CmpOp::kGt, ptl::QueryRef("q0", {}),
+                   ptl::Const(Value::Int(10))),
+      Noop(), Pure()));
+  const analysis::SetReport& rep = engine_.AnalyzeRuleSet();
+  EXPECT_TRUE(EdgeNames(rep).count({"writer", "reader"}));
+  const analysis::RuleReport* reader = rep.Find("reader");
+  ASSERT_NE(reader, nullptr);
+  EXPECT_TRUE(reader->reads.tables.count("data"));
+  EXPECT_EQ(rep.flagged_cycles, 0u);
+
+  // Drive it: the runtime cascade (writer, reader) must be recorded and be
+  // covered by the edge, and the effect recorder must accept the declared
+  // write.
+  clock_.Advance(1);
+  ASSERT_OK(db_.RaiseEvent(event::Event{"go", {}}));
+  auto pairs = engine_.TakeCascades();
+  bool seen = false;
+  for (const auto& p : pairs) {
+    seen = seen || (p.first == "writer" && p.second == "reader");
+  }
+  EXPECT_TRUE(seen);
+  ExpectNoErrors();
+}
+
+TEST_F(AnalysisTest, EffectValidationAbortsOnUndeclaredWrite) {
+  engine_.SetEffectValidation(true);
+  RuleOptions o = Pure();
+  // Declares a write to some other relation, then writes `data`: the
+  // declaration poisons the triggering graph, so the recorder aborts.
+  o.effects = EffectSet{.writes = {"somewhere_else"}};
+  ASSERT_OK(engine_.AddTrigger(
+      "liar", "@go",
+      [](ActionContext& ctx) -> Status {
+        db::ParamMap params{{"p", Value::Int(9)}};
+        return ctx.database()
+            .UpdateRows("data", {{"v", "$p"}}, "k = 'q0'", &params)
+            .status();
+      },
+      o));
+  clock_.Advance(1);
+  EXPECT_DEATH((void)db_.RaiseEvent(event::Event{"go", {}}),
+               "exceeded its declared effects");
+}
+
+// The property the triggering graph must satisfy: analyzer edges are an
+// over-approximation of runtime cascades. 100 random rules (conditions from
+// the FormulaGen vocabulary, @event and @executed shapes mixed in) with
+// declared raising/writing actions; every (triggering rule, fired rule)
+// pair the effect recorder observes must appear as a graph edge.
+TEST_F(AnalysisTest, TriggeringGraphOverapproximatesRuntimeCascades) {
+  testutil::Rng rng(0xA11A5E5u);
+  testutil::FormulaGen gen(&rng);
+  engine_.SetEffectValidation(true);
+  engine_.SetCascadeTracking(true);
+  std::vector<std::string> recorded;  // cascade targets (record_execution)
+  for (int i = 0; i < 100; ++i) {
+    std::string name = "r" + std::to_string(i);
+    ptl::FormulaPtr cond;
+    gen.set_params({});
+    uint64_t cpick = rng.Below(10);
+    if (cpick < 3) {
+      cond = ptl::EventAtom(rng.Chance(0.5) ? "e0" : "e1");
+    } else if (cpick < 5 && !recorded.empty()) {
+      std::vector<ptl::TermPtr> args;
+      args.push_back(
+          ptl::Const(Value::Str(recorded[rng.Below(recorded.size())])));
+      cond = ptl::EventAtom(event::kRuleExecutedEvent, std::move(args));
+    } else {
+      cond = gen.Gen(1 + static_cast<int>(rng.Below(3)));
+    }
+    RuleOptions opts;
+    opts.record_execution = rng.Chance(0.25);
+    EffectSet fx;
+    ActionFn action;
+    uint64_t apick = rng.Below(10);
+    if (apick < 3) {
+      // Raise a declared event, at most 3 times (caps cascade blow-up
+      // without weakening the property: fewer raises, fewer cascades).
+      std::string ev = rng.Chance(0.5) ? "e0" : "e1";
+      fx.raises.insert(ev);
+      auto budget = std::make_shared<int>(3);
+      action = [ev, budget](ActionContext& ctx) -> Status {
+        if (--*budget < 0) return Status::OK();
+        return ctx.database().RaiseEvent(event::Event{ev, {}});
+      };
+    } else if (apick < 5) {
+      // Write the declared relation, at most 3 times.
+      fx.writes.insert("data");
+      std::string key = rng.Chance(0.5) ? "q0" : "q1";
+      int64_t val = rng.Range(0, 12);
+      auto budget = std::make_shared<int>(3);
+      action = [key, val, budget](ActionContext& ctx) -> Status {
+        if (--*budget < 0) return Status::OK();
+        db::ParamMap params{{"p", Value::Int(val)}, {"n", Value::Str(key)}};
+        return ctx.database()
+            .UpdateRows("data", {{"v", "$p"}}, "k = $n", &params)
+            .status();
+      };
+    } else {
+      action = Noop();
+    }
+    opts.effects = fx;
+    if (opts.record_execution) recorded.push_back(name);
+    ASSERT_OK(engine_.AddTriggerFormula(name, std::move(cond),
+                                        std::move(action), opts));
+  }
+
+  for (int op = 0; op < 40; ++op) {
+    clock_.Advance(rng.Range(1, 3));
+    if (rng.Chance(0.5)) {
+      ASSERT_OK(db_.RaiseEvent(
+          event::Event{rng.Chance(0.5) ? "e0" : "e1", {}}));
+    } else {
+      db::ParamMap params{{"p", Value::Int(rng.Range(0, 12))},
+                          {"n", Value::Str(rng.Chance(0.5) ? "q0" : "q1")}};
+      ASSERT_OK(db_.UpdateRows("data", {{"v", "$p"}}, "k = $n", &params)
+                    .status());
+    }
+  }
+  // Dispatch-depth cutoffs are acceptable in this storm; the property is
+  // about the cascades that did happen.
+  (void)engine_.TakeErrors();
+  auto pairs = engine_.TakeCascades();
+  ASSERT_FALSE(pairs.empty());  // seed chosen so cascades actually occur
+  auto edges = EdgeNames(engine_.AnalyzeRuleSet());
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(edges.count(p) > 0)
+        << p.first << " -> " << p.second
+        << " observed at runtime but absent from the triggering graph";
+  }
+}
+
+// Read-set extraction unit coverage for the shapes the engine-level tests
+// above exercise only indirectly: @executed refinements and aggregates.
+TEST(ReadSetTest, ExecutedAtomShapes) {
+  analysis::AnalyzeOptions opts;  // query name == relation (file mode)
+  auto exec_const = ptl::EventAtom(event::kRuleExecutedEvent, [] {
+    std::vector<ptl::TermPtr> args;
+    args.push_back(ptl::Const(Value::Str("watch")));
+    return args;
+  }());
+  analysis::ReadSet rs =
+      analysis::ExtractReadSet(exec_const, opts, /*level_triggered=*/false);
+  EXPECT_TRUE(rs.executed_rules.count("watch"));
+  EXPECT_FALSE(rs.executed_any);
+
+  // No refinement argument: any recorded execution can wake the rule.
+  analysis::ReadSet any = analysis::ExtractReadSet(
+      ptl::EventAtom(event::kRuleExecutedEvent), opts, false);
+  EXPECT_TRUE(any.executed_any);
+  EXPECT_TRUE(any.executed_rules.empty());
+}
+
+TEST(ReadSetTest, AggregateConditionsReadTheirSourceQueries) {
+  analysis::AnalyzeOptions opts;
+  // sum(q0; @open; @tick) > 3 — the aggregate reads q0 at every state and
+  // watches the start/sampling events; aggregates are clock-sensitive, so
+  // the condition can rise at any appended state.
+  auto agg = ptl::Compare(
+      ptl::CmpOp::kGt,
+      ptl::AggTerm(ptl::TemporalAggFn::kSum, ptl::QueryRef("q0", {}),
+                   ptl::EventAtom("open"), ptl::EventAtom("tick")),
+      ptl::Const(Value::Int(3)));
+  analysis::ReadSet rs = analysis::ExtractReadSet(agg, opts, false);
+  EXPECT_TRUE(rs.tables.count("q0"));
+  EXPECT_TRUE(rs.events.count("open"));
+  EXPECT_TRUE(rs.events.count("tick"));
+  EXPECT_TRUE(rs.any_state);
+
+  auto wagg = ptl::Compare(
+      ptl::CmpOp::kGt,
+      ptl::WindowAggTerm(ptl::TemporalAggFn::kAvg, ptl::QueryRef("q1", {}),
+                         20),
+      ptl::Const(Value::Int(50)));
+  analysis::ReadSet wrs = analysis::ExtractReadSet(wagg, opts, false);
+  EXPECT_TRUE(wrs.tables.count("q1"));
+  EXPECT_TRUE(wrs.any_state);  // window expiry is a clock edge
+}
+
+}  // namespace
+}  // namespace ptldb::rules

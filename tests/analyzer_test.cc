@@ -114,6 +114,59 @@ TEST(AnalyzerTest, RejectsVariableEventArgs) {
   EXPECT_OK(AnalyzeText("@login('alice', 3)").status());
 }
 
+TEST(AnalyzerTest, ExecutedAtomIsAnOrdinaryEvent) {
+  // The §7 execution event: the refinement argument must be ground, the
+  // event name feeds the §8 relevance filter, and no query slot is created
+  // (the rule-set analyzer reads the argument, not the snapshot).
+  ASSERT_OK_AND_ASSIGN(Analysis a, AnalyzeText("@executed('watch')"));
+  EXPECT_TRUE(a.event_names.count("executed"));
+  EXPECT_TRUE(a.slots.empty());
+  EXPECT_FALSE(a.refers_to_db);
+  Status s = AnalyzeText("[x := time] @executed(x)").status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("argument of event @executed"),
+            std::string::npos);
+}
+
+TEST(AnalyzerTest, ExecutedAtomParamSubstitution) {
+  // Family form: the watched rule name arrives as a rule parameter.
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f, ParseFormula("@executed(which)"));
+  EXPECT_FALSE(Analyze(f).ok());  // free until substituted
+  FormulaPtr grounded =
+      SubstituteParams(f, {{"which", Value::Str("watch")}});
+  ASSERT_OK_AND_ASSIGN(Analysis a, Analyze(grounded));
+  EXPECT_TRUE(a.event_names.count("executed"));
+}
+
+TEST(AnalyzerTest, AggregateFamilyConditionSubstitutesParams) {
+  // A rule-family condition where the aggregate's source query and the
+  // threshold both reference family parameters; substitution closes them
+  // and the source query gets a snapshot slot with the substituted args.
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f,
+                       ParseFormula("sum(price(sym); @open; @tick) > lim"));
+  EXPECT_FALSE(Analyze(f).ok());
+  FormulaPtr g = SubstituteParams(
+      f, {{"sym", Value::Str("IBM")}, {"lim", Value::Int(100)}});
+  ASSERT_OK_AND_ASSIGN(Analysis a, Analyze(g));
+  ASSERT_EQ(a.slots.size(), 1u);
+  EXPECT_EQ(a.slots[0].name, "price");
+  ASSERT_EQ(a.slots[0].args.size(), 1u);
+  EXPECT_EQ(a.slots[0].args[0], Value::Str("IBM"));
+  // Events inside start/sampling formulas feed the relevance filter.
+  EXPECT_TRUE(a.event_names.count("open"));
+  EXPECT_TRUE(a.event_names.count("tick"));
+  EXPECT_TRUE(a.refers_to_db);
+}
+
+TEST(AnalyzerTest, WindowAggregateFamilyCondition) {
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f, ParseFormula("wavg(price(sym), 20) > 50"));
+  EXPECT_FALSE(Analyze(f).ok());
+  FormulaPtr g = SubstituteParams(f, {{"sym", Value::Str("HP")}});
+  ASSERT_OK_AND_ASSIGN(Analysis a, Analyze(g));
+  ASSERT_EQ(a.slots.size(), 1u);
+  EXPECT_EQ(a.slots[0].args[0], Value::Str("HP"));
+}
+
 TEST(AnalyzerTest, SizeIsComputed) {
   ASSERT_OK_AND_ASSIGN(Analysis a, AnalyzeText("@a AND @b"));
   EXPECT_EQ(a.size, 3u);

@@ -225,6 +225,33 @@ TEST(CheckpointRoundTrip, RestoreValidatesRuleSetAgainstDump) {
   EXPECT_FALSE(s.ok());
 }
 
+TEST(CheckpointRoundTrip, LintReportSurvivesRestore) {
+  // The registration-time lint report is retained state: a restoring
+  // process re-registers the *folded* condition (that is what the dump
+  // validates against), which lints clean — so the original report, with
+  // its fold accounting and PTL004 diagnostic, must travel in the
+  // checkpoint and overwrite the re-registration's empty one.
+  World a;
+  int fired = 0;
+  ASSERT_OK(a.engine.AddTrigger("lossy", "@deposit AND 1 < 2",
+                                World::Count(&fired)));
+  ASSERT_OK_AND_ASSIGN(std::string before, a.engine.Lint("lossy"));
+  EXPECT_NE(before.find("PTL004"), std::string::npos) << before;
+  EXPECT_EQ(before.find("folded nodes: 0"), std::string::npos) << before;
+  DriveWorkload(a, 0);
+  std::string body;
+  ASSERT_OK(EncodeCheckpoint(3, a.Targets(), &body));
+
+  World b;
+  int b_fired = 0;
+  ASSERT_OK(b.engine.AddTrigger("lossy", "@deposit", World::Count(&b_fired)));
+  ASSERT_OK_AND_ASSIGN(std::string clean, b.engine.Lint("lossy"));
+  EXPECT_EQ(clean.find("PTL004"), std::string::npos) << clean;
+  ASSERT_OK(RestoreCheckpoint(body, b.Targets()).status());
+  ASSERT_OK_AND_ASSIGN(std::string after, b.engine.Lint("lossy"));
+  EXPECT_EQ(after, before);
+}
+
 TEST(CheckpointRoundTrip, SimClockRestoreKeepsTimeComparisonsStable) {
   // Satellite 2: a `time <= c` condition must not flip across restart
   // because the clock restarted from zero.

@@ -1,0 +1,115 @@
+// ptldb-analyze: whole-rule-set static analysis (triggering graph,
+// termination, confluence) over a rule file.
+//
+//   ptldb-analyze [options] <rule-file> | -    analyze a rule set
+//   ptldb-analyze [options] -e '<line>'        analyze one rule line
+//
+// Rule-file format (analysis/ruleset.h): one rule per line,
+//
+//   [trigger|ic] name := condition [| writes(a b) raises(e) abort pure
+//                                    level record priority=N]
+//
+// The clause after `|` declares the action's effects; `ic` lines abort
+// implicitly; a trigger line without a clause has *undeclared* effects and
+// is analyzed as a worst-case writer (PTL202).
+//
+// Output is a human report by default; `--json` emits the stable
+// machine-readable document CI diffs against golden files; `--dot` emits a
+// Graphviz digraph (flagged-cycle members red, commutative rules green, cut
+// edges dashed).
+//
+// Exit status: 0 clean, 1 flagged (unproven-termination) cycles — the same
+// bar the engine's strict registration mode enforces, 2 bad usage or parse
+// errors.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/ruleset.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ptldb-analyze [--json|--dot] <rule-file> | -\n"
+      "       ptldb-analyze [--json|--dot] -e '<rule line>'\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kText, kJson, kDot } mode = Mode::kText;
+  std::string path;
+  std::string expr;
+  bool have_expr = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--json") {
+      mode = Mode::kJson;
+    } else if (arg == "--dot") {
+      mode = Mode::kDot;
+    } else if (arg == "-e") {
+      if (i + 1 >= argc) return Usage();
+      expr = argv[++i];
+      have_expr = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return Usage();
+    } else if (path.empty()) {
+      path = std::string(arg);
+    } else {
+      return Usage();
+    }
+  }
+  if (have_expr == !path.empty()) return Usage();
+
+  std::string text;
+  if (have_expr) {
+    text = expr;
+  } else if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "ptldb-analyze: cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  ptldb::analysis::ParsedRuleSet parsed =
+      ptldb::analysis::ParseRuleSetText(text);
+  for (const std::string& err : parsed.errors) {
+    std::fprintf(stderr, "ptldb-analyze: %s\n", err.c_str());
+  }
+  if (!parsed.errors.empty()) return 2;
+
+  ptldb::analysis::SetReport report =
+      ptldb::analysis::AnalyzeRuleSet(std::move(parsed.decls));
+  switch (mode) {
+    case Mode::kText:
+      std::printf("%s", report.ToText().c_str());
+      break;
+    case Mode::kJson:
+      std::printf("%s\n", report.ToJson().Dump().c_str());
+      break;
+    case Mode::kDot:
+      std::printf("%s", report.ToDot().c_str());
+      break;
+  }
+  return report.has_flagged_cycles() ? 1 : 0;
+}

@@ -2,8 +2,12 @@
 //
 //   ptldb-lint [options] <rule-file>...     lint rule files
 //   ptldb-lint [options] -e '<condition>'   lint one condition from argv
-//   ptldb-lint --codes                      list the PTL0xx codes
+//   ptldb-lint --codes                      list the PTL diagnostic codes
 //   echo '<condition>' | ptldb-lint -       read rules from stdin
+//
+// `--json` emits one machine-readable document instead of the human text
+// (shared schema with `ptldb-analyze --json`): per rule name/line/condition/
+// boundedness/diagnostics plus a summary block. Exit codes are unchanged.
 //
 // A rule file holds one rule per line: `name := condition` (or a bare
 // condition); `#` comments and blank lines are skipped; a leading `trigger`
@@ -22,26 +26,29 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "ptl/diagnostics.h"
 #include "ptl/lint.h"
 #include "ptl/parser.h"
 
 namespace {
 
+using ptldb::json::Json;
 using ptldb::ptl::DiagCode;
 
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: ptldb-lint [--strict] [--no-fold] <rule-file>... | - \n"
-      "       ptldb-lint [--strict] [--no-fold] -e '<condition>'\n"
+      "usage: ptldb-lint [--strict] [--no-fold] [--json] <rule-file>... | -\n"
+      "       ptldb-lint [--strict] [--no-fold] [--json] -e '<condition>'\n"
       "       ptldb-lint --codes\n");
   return 2;
 }
 
 void PrintCodes() {
-  for (int i = 0; i <= static_cast<int>(DiagCode::kAlwaysFires); ++i) {
-    DiagCode code = static_cast<DiagCode>(i);
+  // The code space is sparse (per-rule 0xx, rule-set 2xx): enumerate the
+  // registry, never the integer range.
+  for (DiagCode code : ptldb::ptl::AllDiagCodes()) {
     std::printf("%s  %-7s  %s\n", ptldb::ptl::DiagCodeName(code).c_str(),
                 ptldb::ptl::SeverityToString(
                     ptldb::ptl::DiagCodeSeverity(code)),
@@ -49,10 +56,32 @@ void PrintCodes() {
   }
 }
 
+/// One rule entry of the --json document.
+Json EntryToJson(const ptldb::ptl::FileLintResult::RuleLint& e) {
+  Json j = Json::Object();
+  j.Set("name", Json::Str(e.name));
+  j.Set("line", Json::UInt(e.line));
+  j.Set("condition", Json::Str(e.condition));
+  if (!e.parse_error.empty()) {
+    j.Set("parse_error", Json::Str(e.parse_error));
+    return j;
+  }
+  j.Set("boundedness", Json::Str(ptldb::ptl::BoundednessToString(
+                           e.report.boundedness)));
+  j.Set("folded_nodes", Json::UInt(e.report.folded_nodes));
+  Json diags = Json::Array();
+  for (const auto& d : e.report.diagnostics) {
+    diags.Add(ptldb::ptl::DiagnosticToJson(d));
+  }
+  j.Set("diagnostics", std::move(diags));
+  return j;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool strict = false;
+  bool as_json = false;
   ptldb::ptl::LintOptions opts;
   std::vector<std::string> files;
   std::string expr;
@@ -65,6 +94,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--strict") {
       strict = true;
+    } else if (arg == "--json") {
+      as_json = true;
     } else if (arg == "--no-fold") {
       opts.fold = false;
     } else if (arg == "-e") {
@@ -85,27 +116,45 @@ int main(int argc, char** argv) {
   if (have_expr && !files.empty()) return Usage();
 
   size_t errors = 0, warnings = 0, unbounded = 0;
+  Json doc = Json::Object();
+  Json jrules = Json::Array();
 
   if (have_expr) {
+    ptldb::ptl::FileLintResult::RuleLint entry;
+    entry.name = "<expr>";
+    entry.line = 1;
+    entry.condition = expr;
     auto parsed = ptldb::ptl::ParseFormula(expr);
     if (!parsed.ok()) {
-      std::printf("%s error: %s\n",
-                  ptldb::ptl::DiagCodeName(DiagCode::kParseError).c_str(),
-                  parsed.status().message().c_str());
-      return 1;
+      entry.parse_error = parsed.status().message();
+      errors = 1;
+      if (as_json) {
+        jrules.Add(EntryToJson(entry));
+      } else {
+        std::printf("%s error: %s\n",
+                    ptldb::ptl::DiagCodeName(DiagCode::kParseError).c_str(),
+                    parsed.status().message().c_str());
+      }
+    } else {
+      ptldb::ptl::LintReport rep =
+          ptldb::ptl::LintFormula(parsed.value(), opts);
+      entry.report = rep;
+      errors = rep.Count(ptldb::ptl::Severity::kError);
+      warnings = rep.Count(ptldb::ptl::Severity::kWarning);
+      unbounded = rep.boundedness == ptldb::ptl::Boundedness::kUnbounded;
+      if (as_json) {
+        jrules.Add(EntryToJson(entry));
+      } else {
+        std::printf("boundedness: %s\n",
+                    ptldb::ptl::BoundednessToString(rep.boundedness));
+        if (rep.folded_nodes > 0) {
+          std::printf("folded: %zu node(s); condition is now: %s\n",
+                      rep.folded_nodes, rep.folded->ToString().c_str());
+        }
+        std::string rendered = rep.Render(expr);
+        if (!rendered.empty()) std::printf("%s\n", rendered.c_str());
+      }
     }
-    ptldb::ptl::LintReport rep = ptldb::ptl::LintFormula(parsed.value(), opts);
-    std::printf("boundedness: %s\n",
-                ptldb::ptl::BoundednessToString(rep.boundedness));
-    if (rep.folded_nodes > 0) {
-      std::printf("folded: %zu node(s); condition is now: %s\n",
-                  rep.folded_nodes, rep.folded->ToString().c_str());
-    }
-    std::string rendered = rep.Render(expr);
-    if (!rendered.empty()) std::printf("%s\n", rendered.c_str());
-    errors = rep.Count(ptldb::ptl::Severity::kError);
-    warnings = rep.Count(ptldb::ptl::Severity::kWarning);
-    unbounded = rep.boundedness == ptldb::ptl::Boundedness::kUnbounded;
   } else {
     for (const std::string& path : files) {
       std::string text;
@@ -124,12 +173,29 @@ int main(int argc, char** argv) {
         text = buf.str();
       }
       ptldb::ptl::FileLintResult res = ptldb::ptl::LintRulesText(text, opts);
-      if (files.size() > 1) std::printf("== %s ==\n", path.c_str());
-      std::printf("%s\n", res.rendered.c_str());
+      if (as_json) {
+        for (const auto& e : res.entries) {
+          Json j = EntryToJson(e);
+          if (files.size() > 1) j.Set("file", Json::Str(path));
+          jrules.Add(std::move(j));
+        }
+      } else {
+        if (files.size() > 1) std::printf("== %s ==\n", path.c_str());
+        std::printf("%s\n", res.rendered.c_str());
+      }
       errors += res.errors;
       warnings += res.warnings;
       unbounded += res.unbounded;
     }
+  }
+
+  if (as_json) {
+    doc.Set("rules", std::move(jrules));
+    doc.Set("summary", Json::Object()
+                           .Set("errors", Json::UInt(errors))
+                           .Set("warnings", Json::UInt(warnings))
+                           .Set("unbounded", Json::UInt(unbounded)));
+    std::printf("%s\n", doc.Dump().c_str());
   }
 
   if (errors > 0) return 1;
